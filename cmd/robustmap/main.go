@@ -1,0 +1,125 @@
+// Command robustmap regenerates the paper's figures as robustness maps.
+//
+// Usage:
+//
+//	robustmap -list
+//	robustmap -exp fig1 [-out DIR] [-rows N] [-small]
+//	robustmap -all [-out DIR]
+//
+// Each experiment writes its artifacts (summary.txt, data.csv, map.txt,
+// map.svg, and map.ppm where applicable) under DIR/<id>/ and prints the
+// summary with the paper-claim checks to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"robustmap/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		exp   = flag.String("exp", "", "experiment id to run (fig1..fig10, sortspill)")
+		all   = flag.Bool("all", false, "run every experiment")
+		out   = flag.String("out", "out", "output directory")
+		rows  = flag.Int64("rows", 0, "override table cardinality (default: study default)")
+		small = flag.Bool("small", false, "use the reduced test-scale study")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			d, _ := experiments.Lookup(id)
+			fmt.Printf("%-10s %s\n", id, d.Paper)
+		}
+		return
+	}
+	if !*all && *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := experiments.DefaultStudyConfig()
+	if *small {
+		cfg = experiments.SmallStudyConfig()
+	}
+	if *rows > 0 {
+		cfg.Rows = *rows
+		cfg.Engine.Rows = *rows
+	}
+
+	fmt.Fprintf(os.Stderr, "building systems A, B, C (%d rows)...\n", cfg.Rows)
+	study, err := experiments.NewStudy(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	ids := []string{*exp}
+	if *all {
+		ids = experiments.IDs()
+	}
+	failed := false
+	var arts []*experiments.Artifacts
+	for _, id := range ids {
+		def, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "error: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", id)
+		art := def.Run(study)
+		arts = append(arts, art)
+		fmt.Println(art.Summary)
+		if !art.Passed() {
+			failed = true
+		}
+		if err := writeArtifacts(*out, art); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+	if *all {
+		report := experiments.HTMLReport(
+			fmt.Sprintf("Robustness maps (%d rows)", cfg.Rows), arts)
+		path := filepath.Join(*out, "report.html")
+		if err := os.WriteFile(path, []byte(report), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "some paper-claim checks FAILED")
+		os.Exit(1)
+	}
+}
+
+func writeArtifacts(dir string, art *experiments.Artifacts) error {
+	d := filepath.Join(dir, art.ID)
+	if err := os.MkdirAll(d, 0o755); err != nil {
+		return err
+	}
+	files := map[string]string{
+		"summary.txt": art.Summary,
+		"data.csv":    art.CSV,
+		"map.txt":     art.ASCII,
+		"map.svg":     art.SVG,
+	}
+	if art.PPM != "" {
+		files["map.ppm"] = art.PPM
+	}
+	for name, content := range files {
+		if content == "" {
+			continue
+		}
+		if err := os.WriteFile(filepath.Join(d, name), []byte(content), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

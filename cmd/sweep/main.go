@@ -1,0 +1,159 @@
+// Command sweep runs ad-hoc robustness sweeps over chosen plans — the tool
+// a database developer would use to map a new operator the way the paper
+// maps index scans.
+//
+// Usage:
+//
+//	sweep -plans A1,A2,F1-trad -rows 65536 -max-exp 12          # 1-D
+//	sweep -plans A1,A2,A4,B1,C1 -rows 65536 -max-exp 8 -grid    # 2-D
+//
+// Plan ids: A1..A7 (System A), B1..B4 (System B), C1..C2 (System C),
+// F1-trad, F2-merge-ab, F2-merge-ba, F2-hash-ab, F2-hash-ba.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"robustmap/internal/core"
+	"robustmap/internal/engine"
+	"robustmap/internal/experiments"
+	"robustmap/internal/plan"
+	"robustmap/internal/vis"
+)
+
+func main() {
+	var (
+		planList = flag.String("plans", "A1,A2", "comma-separated plan ids")
+		rows     = flag.Int64("rows", 1<<16, "table cardinality")
+		maxExp   = flag.Int("max-exp", 10, "sweep selectivities 2^-maxExp .. 2^0")
+		grid     = flag.Bool("grid", false, "2-D sweep (first plan rendered)")
+		relative = flag.Bool("relative", false, "render relative to the best plan")
+	)
+	flag.Parse()
+
+	all := map[string]plan.Plan{}
+	systems := map[string]string{}
+	for _, p := range plan.AllPlans() {
+		all[p.ID] = p
+		systems[p.ID] = p.System
+	}
+	for _, p := range plan.Figure2Plans() {
+		all[p.ID] = p
+		systems[p.ID] = p.System
+	}
+
+	cfg := engine.DefaultConfig()
+	cfg.Rows = *rows
+	built := map[string]*engine.System{}
+	getSys := func(name string) *engine.System {
+		if s, ok := built[name]; ok {
+			return s
+		}
+		var s *engine.System
+		var err error
+		switch name {
+		case "A":
+			s, err = engine.SystemA(cfg)
+		case "B":
+			s, err = engine.SystemB(cfg)
+		case "C":
+			s, err = engine.SystemC(cfg)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		built[name] = s
+		return s
+	}
+
+	var sources []core.PlanSource
+	var ids []string
+	for _, id := range strings.Split(*planList, ",") {
+		id = strings.TrimSpace(id)
+		p, ok := all[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "error: unknown plan %q\n", id)
+			os.Exit(2)
+		}
+		sys := getSys(systems[id])
+		ids = append(ids, id)
+		pp := p
+		sources = append(sources, core.PlanSource{ID: id, Measure: func(ta, tb int64) core.Measurement {
+			r := sys.Run(pp, plan.Query{TA: ta, TB: tb})
+			return core.Measurement{Time: r.Time, Rows: r.Rows}
+		}})
+	}
+
+	fracs, ths := sweepAxis(*rows, *maxExp)
+	if !*grid {
+		// 1-D sweep uses tb = -1 inside Sweep1D.
+		m := core.Sweep1D(sources, fracs, ths)
+		series := map[string][]time.Duration{}
+		for _, id := range ids {
+			series[id] = m.Series(id)
+		}
+		fmt.Println(vis.LineChartASCII(fracs, series, 72, 20,
+			fmt.Sprintf("1-D sweep, %d rows", *rows)))
+		for _, id := range ids {
+			st := core.SummarizeCurve(m.Rows, m.Series(id))
+			fmt.Printf("%-12s min=%v max=%v max/min=%.1f landmarks=%d\n",
+				id, st.Min, st.Max, st.MaxOverMin, st.Landmarks)
+		}
+		return
+	}
+
+	m := core.Sweep2D(sources, fracs, fracs, ths, ths)
+	labels := experiments.FractionLabels(fracs)
+	first := ids[0]
+	if *relative {
+		rel := m.RelativeGrid(first)
+		bins := core.BinGridRelative(rel, core.DefaultRelativeBins())
+		fmt.Println(vis.HeatMapASCII(bins, vis.GlyphsRelative, labels, labels,
+			fmt.Sprintf("plan %s relative to best of %v", first, ids),
+			"relative factor", relLabels()))
+		sum := core.SummarizeRelative(rel)
+		fmt.Printf("optimal %.0f%%, within 10x %.0f%%, worst %.0f, p95 %.0f\n",
+			sum.OptimalFraction*100, sum.WithinFactor10*100, sum.Worst, sum.P95)
+		return
+	}
+	bins := core.BinGridAbsolute(m.PlanGrid(first), core.DefaultAbsoluteBins())
+	fmt.Println(vis.HeatMapASCII(bins, vis.GlyphsAbsolute, labels, labels,
+		fmt.Sprintf("plan %s absolute cost", first), "absolute time", absLabels()))
+}
+
+func sweepAxis(rows int64, maxExp int) ([]float64, []int64) {
+	var fr []float64
+	var th []int64
+	for k := maxExp; k >= 0; k-- {
+		fr = append(fr, 1/float64(int64(1)<<uint(k)))
+		t := rows >> uint(k)
+		if t < 1 {
+			t = 1
+		}
+		th = append(th, t)
+	}
+	return fr, th
+}
+
+func absLabels() []string {
+	b := core.DefaultAbsoluteBins()
+	out := make([]string, b.Count)
+	for i := range out {
+		out[i] = b.Label(i)
+	}
+	return out
+}
+
+func relLabels() []string {
+	b := core.DefaultRelativeBins()
+	out := make([]string, b.Count)
+	for i := range out {
+		out[i] = b.Label(i)
+	}
+	return out
+}

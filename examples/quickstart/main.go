@@ -1,0 +1,67 @@
+// Quickstart: build a small database system, run two fixed plans over a
+// range of selectivities, and print a robustness map.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"robustmap/internal/core"
+	"robustmap/internal/engine"
+	"robustmap/internal/plan"
+	"robustmap/internal/vis"
+)
+
+func main() {
+	// A System A-style engine: heap table plus single-column B-tree
+	// indexes, deterministic disk cost model, cold cache per query.
+	cfg := engine.DefaultConfig()
+	cfg.Rows = 1 << 16 // smaller than the full study, still contrastful
+	sys, err := engine.SystemA(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two fixed plans for the query SELECT * FROM lineitem WHERE a < t:
+	// a full table scan and the paper's "improved" index scan.
+	scan := plan.PlanA1TableScan()
+	improved := plan.PlanA2IdxAImproved()
+
+	// Sweep selectivities 2^-14 .. 2^0 and measure both plans. (The sweep
+	// must reach fractions where a handful of point fetches beats reading
+	// every page — below roughly seek/transfer ≈ 2^-12 of the table.)
+	var fractions []float64
+	var thresholds []int64
+	for k := 14; k >= 0; k-- {
+		fractions = append(fractions, 1/float64(int64(1)<<uint(k)))
+		thresholds = append(thresholds, cfg.Rows>>uint(k))
+	}
+	src := func(p plan.Plan) core.PlanSource {
+		return core.PlanSource{ID: p.ID, Measure: func(ta, tb int64) core.Measurement {
+			r := sys.Run(p, plan.Query{TA: ta, TB: tb})
+			return core.Measurement{Time: r.Time, Rows: r.Rows}
+		}}
+	}
+	m := core.Sweep1D([]core.PlanSource{src(scan), src(improved)}, fractions, thresholds)
+
+	// Render the 1-D robustness map.
+	series := map[string][]time.Duration{
+		"table scan":     m.Series("A1"),
+		"improved index": m.Series("A2"),
+	}
+	fmt.Println(vis.LineChartASCII(fractions, series, 72, 18,
+		"Robustness map: table scan vs improved index scan"))
+
+	// Read off the landmarks the paper's §3.1 describes.
+	for name, s := range series {
+		st := core.SummarizeCurve(m.Rows, s)
+		fmt.Printf("%-16s min=%-12v max=%-12v max/min=%.1f landmarks=%d\n",
+			name, st.Min, st.Max, st.MaxOverMin, st.Landmarks)
+	}
+	fmt.Println("\nThe table scan is flat; the improved index scan wins at low")
+	fmt.Println("selectivities and degrades to a bounded factor at high ones —")
+	fmt.Println("Figure 1 of the paper, regenerated.")
+}

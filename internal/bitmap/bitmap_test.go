@@ -1,0 +1,208 @@
+package bitmap
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"robustmap/internal/storage"
+)
+
+func rid(pg, slot int) storage.RID {
+	return storage.RID{File: 1, Page: storage.PageNo(pg), Slot: storage.Slot(slot)}
+}
+
+func TestAddContainsLen(t *testing.T) {
+	b := New(1)
+	b.Add(rid(0, 0))
+	b.Add(rid(0, 63))
+	b.Add(rid(0, 64)) // crosses a word boundary
+	b.Add(rid(5, 1))
+	b.Add(rid(0, 0)) // duplicate
+	if b.Len() != 4 {
+		t.Errorf("Len = %d, want 4", b.Len())
+	}
+	for _, r := range []storage.RID{rid(0, 0), rid(0, 63), rid(0, 64), rid(5, 1)} {
+		if !b.Contains(r) {
+			t.Errorf("Contains(%v) = false", r)
+		}
+	}
+	if b.Contains(rid(0, 1)) || b.Contains(rid(4, 0)) {
+		t.Error("Contains returned true for absent RID")
+	}
+	if b.NumPages() != 2 {
+		t.Errorf("NumPages = %d, want 2", b.NumPages())
+	}
+}
+
+func TestForeignFile(t *testing.T) {
+	b := New(1)
+	if b.Contains(storage.RID{File: 2}) {
+		t.Error("Contains true for foreign file")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Add of foreign RID did not panic")
+		}
+	}()
+	b.Add(storage.RID{File: 2})
+}
+
+func TestIterateSortedPhysicalOrder(t *testing.T) {
+	b := New(1)
+	// Insert in scattered order.
+	ins := []storage.RID{rid(9, 3), rid(2, 70), rid(2, 1), rid(0, 5), rid(9, 0)}
+	for _, r := range ins {
+		b.Add(r)
+	}
+	var got []storage.RID
+	b.Iterate(func(r storage.RID) bool {
+		got = append(got, r)
+		return true
+	})
+	if len(got) != len(ins) {
+		t.Fatalf("Iterate yielded %d RIDs, want %d", len(got), len(ins))
+	}
+	for i := 1; i < len(got); i++ {
+		if !got[i-1].Less(got[i]) {
+			t.Fatalf("iteration out of order: %v then %v", got[i-1], got[i])
+		}
+	}
+}
+
+func TestIterateEarlyStop(t *testing.T) {
+	b := New(1)
+	for i := 0; i < 100; i++ {
+		b.Add(rid(i, 0))
+	}
+	n := 0
+	b.Iterate(func(storage.RID) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Errorf("visited %d, want 7", n)
+	}
+}
+
+func TestAnd(t *testing.T) {
+	x, y := New(1), New(1)
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 {
+			x.Add(rid(i/10, i%10))
+		}
+		if i%3 == 0 {
+			y.Add(rid(i/10, i%10))
+		}
+	}
+	z := And(x, y)
+	want := 0
+	for i := 0; i < 100; i++ {
+		if i%6 == 0 {
+			want++
+			if !z.Contains(rid(i/10, i%10)) {
+				t.Errorf("AND missing %d", i)
+			}
+		}
+	}
+	if int(z.Len()) != want {
+		t.Errorf("AND Len = %d, want %d", z.Len(), want)
+	}
+}
+
+func TestOr(t *testing.T) {
+	x, y := New(1), New(1)
+	x.Add(rid(0, 1))
+	x.Add(rid(1, 2))
+	y.Add(rid(1, 2))
+	y.Add(rid(2, 3))
+	z := Or(x, y)
+	if z.Len() != 3 {
+		t.Errorf("OR Len = %d, want 3", z.Len())
+	}
+	for _, r := range []storage.RID{rid(0, 1), rid(1, 2), rid(2, 3)} {
+		if !z.Contains(r) {
+			t.Errorf("OR missing %v", r)
+		}
+	}
+	// Inputs unchanged.
+	if x.Len() != 2 || y.Len() != 2 {
+		t.Error("OR mutated its inputs")
+	}
+}
+
+func TestAndOrAcrossFilesPanic(t *testing.T) {
+	for i, f := range []func(){
+		func() { And(New(1), New(2)) },
+		func() { Or(New(1), New(2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuickSetSemantics(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		b := New(1)
+		model := map[storage.RID]bool{}
+		for _, p := range pairs {
+			r := rid(int(p/256), int(p%256))
+			b.Add(r)
+			model[r] = true
+		}
+		if int(b.Len()) != len(model) {
+			return false
+		}
+		var iterated []storage.RID
+		b.Iterate(func(r storage.RID) bool {
+			iterated = append(iterated, r)
+			return true
+		})
+		if len(iterated) != len(model) {
+			return false
+		}
+		for _, r := range iterated {
+			if !model[r] {
+				return false
+			}
+		}
+		return sort.SliceIsSorted(iterated, func(i, j int) bool {
+			return iterated[i].Less(iterated[j])
+		})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAndMatchesModel(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		x, y := New(1), New(1)
+		mx, my := map[uint16]bool{}, map[uint16]bool{}
+		for _, v := range xs {
+			x.Add(rid(int(v/64), int(v%64)))
+			mx[v/64*64+v%64] = true
+		}
+		for _, v := range ys {
+			y.Add(rid(int(v/64), int(v%64)))
+			my[v/64*64+v%64] = true
+		}
+		z := And(x, y)
+		want := 0
+		for k := range mx {
+			if my[k] {
+				want++
+			}
+		}
+		return int(z.Len()) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,448 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"robustmap/internal/iomodel"
+	"robustmap/internal/simclock"
+	"robustmap/internal/storage"
+)
+
+func newEnv(t testing.TB, poolPages int) (*storage.Pool, *simclock.Clock) {
+	if tt, ok := t.(*testing.T); ok {
+		tt.Helper()
+	}
+	c := simclock.New()
+	dev := iomodel.NewDevice(iomodel.DefaultParams(), c)
+	return storage.NewPool(storage.NewDisk(), dev, c, poolPages), c
+}
+
+func intKey(i int64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i)^(1<<63))
+	return b[:]
+}
+
+func TestEmptyTree(t *testing.T) {
+	pool, c := newEnv(t, 64)
+	tr := New(pool, c)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty tree Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	if _, ok := tr.Get(intKey(1)); ok {
+		t.Error("Get on empty tree returned a value")
+	}
+	cur := tr.SeekFirst()
+	if cur.Next() {
+		t.Error("cursor on empty tree yielded an entry")
+	}
+	tr.CheckInvariants()
+}
+
+func TestInsertGetSmall(t *testing.T) {
+	pool, c := newEnv(t, 64)
+	tr := New(pool, c)
+	for i := int64(0); i < 100; i++ {
+		if err := tr.Insert(intKey(i*3), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+	for i := int64(0); i < 100; i++ {
+		v, ok := tr.Get(intKey(i * 3))
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%d) = %q, %v", i*3, v, ok)
+		}
+		if _, ok := tr.Get(intKey(i*3 + 1)); ok {
+			t.Fatalf("Get(%d) found phantom", i*3+1)
+		}
+	}
+	tr.CheckInvariants()
+}
+
+func TestInsertDuplicateRejected(t *testing.T) {
+	pool, c := newEnv(t, 64)
+	tr := New(pool, c)
+	if err := tr.Insert(intKey(1), []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(intKey(1), []byte("b")); err == nil {
+		t.Fatal("duplicate insert accepted")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d after rejected duplicate", tr.Len())
+	}
+}
+
+func TestInsertSplitsGrowTree(t *testing.T) {
+	pool, c := newEnv(t, 256)
+	tr := New(pool, c)
+	val := bytes.Repeat([]byte{0xCD}, 250)
+	const n = 40000
+	perm := rand.New(rand.NewSource(42)).Perm(n)
+	for _, i := range perm {
+		if err := tr.Insert(intKey(int64(i)), val); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+	if tr.Height() < 3 {
+		t.Errorf("Height = %d after %d inserts, want >= 3", tr.Height(), n)
+	}
+	if tr.Len() != n {
+		t.Errorf("Len = %d, want %d", tr.Len(), n)
+	}
+	tr.CheckInvariants()
+	for i := int64(0); i < n; i += 97 {
+		if _, ok := tr.Get(intKey(i)); !ok {
+			t.Fatalf("Get(%d) lost after splits", i)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	pool, c := newEnv(t, 64)
+	tr := New(pool, c)
+	for i := int64(0); i < 500; i++ {
+		tr.Insert(intKey(i), []byte("x"))
+	}
+	for i := int64(0); i < 500; i += 2 {
+		if !tr.Delete(intKey(i)) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+	}
+	if tr.Delete(intKey(0)) {
+		t.Error("second Delete returned true")
+	}
+	if tr.Len() != 250 {
+		t.Errorf("Len = %d, want 250", tr.Len())
+	}
+	for i := int64(0); i < 500; i++ {
+		_, ok := tr.Get(intKey(i))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) = %v, want %v", i, ok, want)
+		}
+	}
+	tr.CheckInvariants()
+}
+
+func TestCursorRangeScan(t *testing.T) {
+	pool, c := newEnv(t, 128)
+	tr := New(pool, c)
+	for i := int64(0); i < 5000; i++ {
+		tr.Insert(intKey(i*2), []byte{byte(i)})
+	}
+	// [1000, 3000): keys 1000,1002,...,2998 → 1000 entries.
+	cur := tr.Seek(intKey(1000), intKey(3000))
+	var got []int64
+	for cur.Next() {
+		k := int64(binary.BigEndian.Uint64(cur.Key()) ^ (1 << 63))
+		got = append(got, k)
+	}
+	if len(got) != 1000 {
+		t.Fatalf("range scan returned %d entries, want 1000", len(got))
+	}
+	if got[0] != 1000 || got[len(got)-1] != 2998 {
+		t.Errorf("range = [%d, %d]", got[0], got[len(got)-1])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[i-1]+2 {
+			t.Fatalf("gap at %d: %d then %d", i, got[i-1], got[i])
+		}
+	}
+}
+
+func TestCursorSeekBetweenKeys(t *testing.T) {
+	pool, c := newEnv(t, 64)
+	tr := New(pool, c)
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(intKey(i*10), nil)
+	}
+	cur := tr.Seek(intKey(55), nil)
+	if !cur.Next() {
+		t.Fatal("no entry after seek")
+	}
+	k := int64(binary.BigEndian.Uint64(cur.Key()) ^ (1 << 63))
+	if k != 60 {
+		t.Errorf("first key after 55 = %d, want 60", k)
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	pool, c := newEnv(t, 64)
+	tr := New(pool, c)
+	for i := int64(0); i < 1000; i++ {
+		tr.Insert(intKey(i), nil)
+	}
+	if n := tr.CountRange(intKey(100), intKey(200)); n != 100 {
+		t.Errorf("CountRange = %d, want 100", n)
+	}
+	if n := tr.CountRange(nil, nil); n != 1000 {
+		t.Errorf("CountRange(all) = %d, want 1000", n)
+	}
+}
+
+func TestBulkLoadMatchesInserts(t *testing.T) {
+	pool, c := newEnv(t, 512)
+	const n = 30000
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = intKey(int64(i))
+		vals[i] = []byte(fmt.Sprintf("val-%d", i))
+	}
+	tr, err := BulkLoadPairs(pool, c, keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	tr.CheckInvariants()
+	for i := 0; i < n; i += 577 {
+		v, ok := tr.Get(keys[i])
+		if !ok || !bytes.Equal(v, vals[i]) {
+			t.Fatalf("Get(%d) = %q, %v", i, v, ok)
+		}
+	}
+	// Full scan returns everything in order.
+	var seen int
+	tr.ScanAll(func(k, v []byte) bool {
+		if !bytes.Equal(k, keys[seen]) {
+			t.Fatalf("scan key %d mismatch", seen)
+		}
+		seen++
+		return true
+	})
+	if seen != n {
+		t.Errorf("scan saw %d entries", seen)
+	}
+}
+
+func TestBulkLoadRejectsDisorder(t *testing.T) {
+	pool, c := newEnv(t, 64)
+	if _, err := BulkLoadPairs(pool, c, [][]byte{intKey(2), intKey(1)}, [][]byte{nil, nil}); err == nil {
+		t.Error("accepted descending keys")
+	}
+	if _, err := BulkLoadPairs(pool, c, [][]byte{intKey(1), intKey(1)}, [][]byte{nil, nil}); err == nil {
+		t.Error("accepted duplicate keys")
+	}
+	if _, err := BulkLoadPairs(pool, c, [][]byte{intKey(1)}, nil); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	pool, c := newEnv(t, 64)
+	tr, err := BulkLoadPairs(pool, c, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if cur := tr.SeekFirst(); cur.Next() {
+		t.Error("empty bulk-loaded tree yielded entry")
+	}
+}
+
+func TestBulkLoadFillFactorValidation(t *testing.T) {
+	pool, c := newEnv(t, 64)
+	_, err := BulkLoad(pool, c, 0, func() ([]byte, []byte, bool) { return nil, nil, false })
+	if err == nil {
+		t.Error("accepted fill factor 0")
+	}
+	_, err = BulkLoad(pool, c, 1.5, func() ([]byte, []byte, bool) { return nil, nil, false })
+	if err == nil {
+		t.Error("accepted fill factor 1.5")
+	}
+}
+
+func TestBulkLoadLeavesPhysicallySequential(t *testing.T) {
+	// Leaf pages of a bulk-loaded tree must be allocated in key order so
+	// the leaf chain is priced sequentially — the property that makes
+	// index-only scans cheap (Figure 1's improved plan).
+	pool, c := newEnv(t, 512)
+	const n = 50000
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = intKey(int64(i))
+		vals[i] = bytes.Repeat([]byte{1}, 8)
+	}
+	tr, err := BulkLoadPairs(pool, c, keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := tr.LeftmostLeaf()
+	prev := pg
+	count := 1
+	for {
+		n := tr.readNode(prev)
+		if n.right < 0 {
+			break
+		}
+		if n.right != prev+1 {
+			t.Fatalf("leaf %d followed by %d: not physically sequential", prev, n.right)
+		}
+		prev = n.right
+		count++
+	}
+	if count < 100 {
+		t.Errorf("only %d leaves for %d entries", count, n)
+	}
+}
+
+func TestLeafScanCheaperThanPointGets(t *testing.T) {
+	pool, c := newEnv(t, 64) // small pool: interior pages won't all stay hot
+	const n = 100000
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = intKey(int64(i))
+		vals[i] = []byte{1, 2, 3, 4}
+	}
+	tr, err := BulkLoadPairs(pool, c, keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.FlushAll()
+	c.Reset()
+	tr.ScanAll(func(k, v []byte) bool { return true })
+	scanCost := c.Now()
+
+	pool.FlushAll()
+	c.Reset()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		tr.Get(keys[r.Intn(n)])
+	}
+	getCost := c.Now()
+	if scanCost > getCost {
+		t.Errorf("full scan %v costlier than 2000 random gets %v", scanCost, getCost)
+	}
+}
+
+func TestTreeQuickRandomOps(t *testing.T) {
+	f := func(ops []uint16) bool {
+		pool, c := newEnv(t, 128)
+		tr := New(pool, c)
+		model := map[uint16]bool{}
+		for _, op := range ops {
+			k := intKey(int64(op % 4096))
+			if op%3 == 0 && model[op%4096] {
+				tr.Delete(k)
+				delete(model, op%4096)
+			} else if !model[op%4096] {
+				if err := tr.Insert(k, []byte{byte(op)}); err != nil {
+					return false
+				}
+				model[op%4096] = true
+			}
+		}
+		tr.CheckInvariants()
+		if tr.Len() != int64(len(model)) {
+			return false
+		}
+		for k := range model {
+			if _, ok := tr.Get(intKey(int64(k))); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpenResumesTree(t *testing.T) {
+	pool, c := newEnv(t, 64)
+	tr := New(pool, c)
+	for i := int64(0); i < 1000; i++ {
+		tr.Insert(intKey(i), []byte("v"))
+	}
+	tr2 := Open(pool, c, MetaOf(tr))
+	if tr2.Len() != 1000 {
+		t.Errorf("reopened Len = %d", tr2.Len())
+	}
+	if _, ok := tr2.Get(intKey(500)); !ok {
+		t.Error("reopened tree lost key 500")
+	}
+	tr2.CheckInvariants()
+}
+
+func TestOversizedEntryRejected(t *testing.T) {
+	pool, c := newEnv(t, 64)
+	tr := New(pool, c)
+	if err := tr.Insert(intKey(1), bytes.Repeat([]byte{1}, MaxEntrySize+1)); err == nil {
+		t.Error("oversized insert accepted")
+	}
+}
+
+func TestVariableLengthKeysAndValues(t *testing.T) {
+	pool, c := newEnv(t, 256)
+	tr := New(pool, c)
+	r := rand.New(rand.NewSource(99))
+	type kv struct{ k, v []byte }
+	var pairs []kv
+	for i := 0; i < 3000; i++ {
+		k := []byte(fmt.Sprintf("%08d-%s", i, bytes.Repeat([]byte{'k'}, r.Intn(60))))
+		v := bytes.Repeat([]byte{byte(i)}, r.Intn(200))
+		if err := tr.Insert(k, v); err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+		pairs = append(pairs, kv{k, v})
+	}
+	tr.CheckInvariants()
+	for _, p := range pairs {
+		v, ok := tr.Get(p.k)
+		if !ok || !bytes.Equal(v, p.v) {
+			t.Fatalf("Get(%q) mismatch", p.k)
+		}
+	}
+}
+
+func TestWarmNonLeafMakesDescentsCheap(t *testing.T) {
+	pool, c := newEnv(t, 512)
+	const n = 100000
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	for i := range keys {
+		keys[i] = intKey(int64(i))
+		vals[i] = []byte{1}
+	}
+	tr, err := BulkLoadPairs(pool, c, keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 2 {
+		t.Skip("tree too small to have internal levels")
+	}
+	pool.FlushAll()
+	c.Reset()
+	touched := tr.WarmNonLeaf()
+	if touched == 0 {
+		t.Fatal("warmed no pages")
+	}
+	c.Reset()
+	pool.Device().ResetStats()
+	tr.Get(intKey(n / 2))
+	// Only the leaf should miss: exactly one random read.
+	if got := pool.Device().Stats().RandomReads; got != 1 {
+		t.Errorf("descent after warm paid %d random reads, want 1", got)
+	}
+}
+
+func TestWarmNonLeafSingleLeafTree(t *testing.T) {
+	pool, c := newEnv(t, 64)
+	tr := New(pool, c)
+	tr.Insert(intKey(1), []byte("x"))
+	if got := tr.WarmNonLeaf(); got != 0 {
+		t.Errorf("single-leaf tree warmed %d pages, want 0", got)
+	}
+}

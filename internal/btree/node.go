@@ -1,0 +1,185 @@
+// Package btree implements a B+tree over order-preserving normalized keys
+// (see internal/record). Trees come in two flavors used by the experiments:
+// clustered (whole rows in the leaves — the base table organization) and
+// secondary (key = column values ++ RID, value = RID), both built on the
+// same byte-level tree.
+//
+// All page access goes through the buffer pool, so tree operations are
+// priced by the I/O model: a point search costs a few (mostly cached) page
+// reads; a leaf-chain scan of a bulk-loaded tree is priced sequentially
+// because bulk loading allocates leaves in physical order.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"robustmap/internal/storage"
+)
+
+// Node page layout:
+//
+//	[0]     node type: 1 = leaf, 2 = internal
+//	[1:3)   entry count (uint16, little-endian)
+//	[3:11)  right-sibling page number (int64; -1 = none; leaves only)
+//	[11:13) bytes used in the entry area (uint16)
+//	[13:..) entries, back to back:
+//	        leaf:     uvarint klen ++ key ++ uvarint vlen ++ value
+//	        internal: uvarint klen ++ key ++ child page number (8 bytes)
+//
+// Internal nodes hold count entries; entry i's key is the inclusive lower
+// bound of the keys under child i. Entry 0's key is empty.
+
+const (
+	nodeLeaf     = 1
+	nodeInternal = 2
+
+	nodeHeader = 13
+
+	// MaxEntrySize bounds one key+value pair so that any entry fits a
+	// freshly split page. Enforced on insert.
+	MaxEntrySize = (storage.PageSize - nodeHeader) / 4
+)
+
+// entry is a decoded node entry. For internal nodes, child is valid and val
+// is nil; for leaves, val is valid.
+type entry struct {
+	key   []byte
+	val   []byte
+	child storage.PageNo
+}
+
+// node is a fully decoded page. Nodes are decoded on access and re-encoded
+// on modification; pages themselves stay in the buffer pool.
+type node struct {
+	typ     byte
+	right   storage.PageNo
+	entries []entry
+}
+
+func (n *node) isLeaf() bool { return n.typ == nodeLeaf }
+
+// decodeNode parses a page. Corrupt pages panic: they indicate engine bugs,
+// not recoverable conditions (the simulated disk cannot lose bits).
+func decodeNode(data []byte) *node {
+	typ := data[0]
+	if typ != nodeLeaf && typ != nodeInternal {
+		panic(fmt.Sprintf("btree: bad node type %d", typ))
+	}
+	count := int(binary.LittleEndian.Uint16(data[1:3]))
+	right := storage.PageNo(int64(binary.LittleEndian.Uint64(data[3:11])))
+	n := &node{typ: typ, right: right, entries: make([]entry, 0, count)}
+	off := nodeHeader
+	for i := 0; i < count; i++ {
+		klen, m := binary.Uvarint(data[off:])
+		if m <= 0 {
+			panic("btree: corrupt key length")
+		}
+		off += m
+		key := data[off : off+int(klen)]
+		off += int(klen)
+		var e entry
+		e.key = key
+		if typ == nodeLeaf {
+			vlen, m := binary.Uvarint(data[off:])
+			if m <= 0 {
+				panic("btree: corrupt value length")
+			}
+			off += m
+			e.val = data[off : off+int(vlen)]
+			off += int(vlen)
+		} else {
+			e.child = storage.PageNo(int64(binary.LittleEndian.Uint64(data[off:])))
+			off += 8
+		}
+		n.entries = append(n.entries, e)
+	}
+	return n
+}
+
+// encodedSize returns the byte size of the node's entry area.
+func (n *node) encodedSize() int {
+	size := 0
+	for _, e := range n.entries {
+		size += uvarintLen(uint64(len(e.key))) + len(e.key)
+		if n.isLeaf() {
+			size += uvarintLen(uint64(len(e.val))) + len(e.val)
+		} else {
+			size += 8
+		}
+	}
+	return size
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// fits reports whether the node's entries fit one page.
+func (n *node) fits() bool { return nodeHeader+n.encodedSize() <= storage.PageSize }
+
+// scratchPool provides staging buffers for encodeNode. Node entries decoded
+// by decodeNode alias page memory, so encoding directly into the page would
+// perform overlapping copies; staging through a scratch page avoids that.
+var scratchPool = sync.Pool{
+	New: func() any { return make([]byte, storage.PageSize) },
+}
+
+// encodeNode writes the node into the page bytes. Entries may alias the
+// destination page (the common case after decodeNode + mutation), so the
+// encoding is staged in a scratch buffer and copied over at the end.
+func encodeNode(data []byte, n *node) {
+	if !n.fits() {
+		panic("btree: encode of oversized node")
+	}
+	buf := scratchPool.Get().([]byte)
+	defer scratchPool.Put(buf)
+	buf[0] = n.typ
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(n.entries)))
+	binary.LittleEndian.PutUint64(buf[3:11], uint64(int64(n.right)))
+	off := nodeHeader
+	for _, e := range n.entries {
+		off += binary.PutUvarint(buf[off:], uint64(len(e.key)))
+		off += copy(buf[off:], e.key)
+		if n.isLeaf() {
+			off += binary.PutUvarint(buf[off:], uint64(len(e.val)))
+			off += copy(buf[off:], e.val)
+		} else {
+			binary.LittleEndian.PutUint64(buf[off:], uint64(int64(e.child)))
+			off += 8
+		}
+	}
+	binary.LittleEndian.PutUint16(buf[11:13], uint16(off-nodeHeader))
+	copy(data[:off], buf[:off])
+	// Zero the tail so stale bytes can never be misparsed.
+	for i := off; i < storage.PageSize && data[i] != 0; i++ {
+		data[i] = 0
+	}
+}
+
+// searchLeafEntries returns the index of the first entry with key >= target.
+func (n *node) searchGE(target []byte) int {
+	return sort.Search(len(n.entries), func(i int) bool {
+		return bytes.Compare(n.entries[i].key, target) >= 0
+	})
+}
+
+// childFor returns the index of the internal entry whose subtree covers the
+// target: the last entry with key <= target.
+func (n *node) childFor(target []byte) int {
+	i := sort.Search(len(n.entries), func(i int) bool {
+		return bytes.Compare(n.entries[i].key, target) > 0
+	})
+	if i == 0 {
+		return 0 // target below all separators: leftmost child
+	}
+	return i - 1
+}

@@ -1,0 +1,258 @@
+package catalog
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"robustmap/internal/iomodel"
+	"robustmap/internal/mvcc"
+	"robustmap/internal/record"
+	"robustmap/internal/simclock"
+	"robustmap/internal/storage"
+)
+
+func newEnv(t *testing.T) (*storage.Pool, *simclock.Clock) {
+	t.Helper()
+	c := simclock.New()
+	dev := iomodel.NewDevice(iomodel.DefaultParams(), c)
+	return storage.NewPool(storage.NewDisk(), dev, c, 256), c
+}
+
+func testSchema() *record.Schema {
+	return record.NewSchema(
+		record.Column{Name: "id", Type: record.TypeInt64},
+		record.Column{Name: "a", Type: record.TypeInt64},
+		record.Column{Name: "b", Type: record.TypeInt64},
+	)
+}
+
+func loadTable(t *testing.T, pool *storage.Pool, rows int64) *Table {
+	t.Helper()
+	tbl := &Table{Name: "t", Schema: testSchema(), Heap: storage.CreateHeap(pool)}
+	for i := int64(0); i < rows; i++ {
+		enc, err := tbl.Schema.Encode(nil, []record.Value{
+			record.Int(i), record.Int((i * 37) % rows), record.Int((i * 61) % rows),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl.Heap.Append(enc)
+	}
+	return tbl
+}
+
+func TestRIDSuffixRoundTrip(t *testing.T) {
+	f := func(file uint32, page uint32, slot uint16) bool {
+		rid := storage.RID{File: storage.FileID(file), Page: storage.PageNo(page), Slot: storage.Slot(slot)}
+		key := AppendRID([]byte("prefix"), rid)
+		return DecodeRIDSuffix(key) == rid
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRIDSuffixPreservesOrder(t *testing.T) {
+	f := func(p1, p2 uint16, s1, s2 uint8) bool {
+		a := storage.RID{File: 1, Page: storage.PageNo(p1), Slot: storage.Slot(s1)}
+		b := storage.RID{File: 1, Page: storage.PageNo(p2), Slot: storage.Slot(s2)}
+		ka := AppendRID(nil, a)
+		kb := AppendRID(nil, b)
+		return sign(bytes.Compare(ka, kb)) == a.Compare(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func sign(x int) int {
+	if x < 0 {
+		return -1
+	}
+	if x > 0 {
+		return 1
+	}
+	return 0
+}
+
+func TestCatalogRegistryAndLookup(t *testing.T) {
+	pool, _ := newEnv(t)
+	c := New()
+	tbl := loadTable(t, pool, 10)
+	c.AddTable(tbl)
+	if c.Table("t") != tbl {
+		t.Error("Table lookup failed")
+	}
+	if got := c.TableNames(); len(got) != 1 || got[0] != "t" {
+		t.Errorf("TableNames = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate AddTable did not panic")
+		}
+	}()
+	c.AddTable(tbl)
+}
+
+func TestCatalogMissingLookupsPanic(t *testing.T) {
+	c := New()
+	for i, f := range []func(){
+		func() { c.Table("nope") },
+		func() { c.Index("nope") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+	if c.HasIndex("nope") {
+		t.Error("HasIndex true for missing index")
+	}
+}
+
+func TestBuildIndexAndProbe(t *testing.T) {
+	pool, clock := newEnv(t)
+	const rows = 5000
+	tbl := loadTable(t, pool, rows)
+	ix, err := BuildIndex("t_a", tbl, Loader(pool, clock), true, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Tree.Len() != rows {
+		t.Fatalf("index has %d entries, want %d", ix.Tree.Len(), rows)
+	}
+	ix.Tree.CheckInvariants()
+
+	// Every index entry must point at a row whose column a matches the key.
+	var checked int
+	ix.Tree.ScanAll(func(key, val []byte) bool {
+		rid := DecodeRIDSuffix(key)
+		if rid2 := DecodeRIDSuffix(val); rid2 != rid {
+			t.Fatalf("key RID %v != value RID %v", rid, rid2)
+		}
+		rec, ok := tbl.Heap.Fetch(rid)
+		if !ok {
+			t.Fatalf("index points at missing row %v", rid)
+		}
+		row, _, err := tbl.Schema.Decode(tbl.RowPayload(rec), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keyVals, err := record.Denormalize(key[:len(key)-RIDSuffixLen], []record.Type{record.TypeInt64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if keyVals[0].AsInt() != row[1].AsInt() {
+			t.Fatalf("index key %d != row value %d", keyVals[0].AsInt(), row[1].AsInt())
+		}
+		checked++
+		return checked < 200 // sample
+	})
+}
+
+func TestBuildIndexRangeCounts(t *testing.T) {
+	pool, clock := newEnv(t)
+	const rows = 4096
+	tbl := loadTable(t, pool, rows)
+	ix, err := BuildIndex("t_a", tbl, Loader(pool, clock), true, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column a is (i*37)%rows with gcd(37,4096)=1: a permutation. A range
+	// scan [0, k) must contain exactly k entries.
+	for _, k := range []int64{1, 64, 1000, rows} {
+		lo := ix.PrefixFor(record.Int(0))
+		hi := ix.PrefixFor(record.Int(k))
+		if n := ix.Tree.CountRange(lo, hi); n != k {
+			t.Errorf("range [0,%d) has %d entries", k, n)
+		}
+	}
+}
+
+func TestBuildIndexOnVersionedTable(t *testing.T) {
+	pool, clock := newEnv(t)
+	sch := testSchema()
+	heap := storage.CreateHeap(pool)
+	store := mvcc.NewStore(heap)
+	mgr := mvcc.NewManager()
+	txn := mgr.Begin()
+	const rows = 200
+	for i := int64(0); i < rows; i++ {
+		enc, _ := sch.Encode(nil, []record.Value{record.Int(i), record.Int(i), record.Int(i)})
+		store.Insert(txn, enc)
+	}
+	tbl := &Table{Name: "v", Schema: sch, Heap: heap, Versioned: store}
+	ix, err := BuildIndex("v_a", tbl, Loader(pool, clock), false, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Tree.Len() != rows {
+		t.Errorf("versioned index has %d entries, want %d", ix.Tree.Len(), rows)
+	}
+	if ix.Covering {
+		t.Error("index on versioned table must not be covering")
+	}
+}
+
+func TestTwoColumnIndexOrder(t *testing.T) {
+	pool, clock := newEnv(t)
+	tbl := loadTable(t, pool, 1000)
+	ix, err := BuildIndex("t_ab", tbl, Loader(pool, clock), true, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scan must be ordered by (a, b).
+	var prevA, prevB int64 = -1, -1
+	ix.Tree.ScanAll(func(key, val []byte) bool {
+		vals, err := record.Denormalize(key[:len(key)-RIDSuffixLen],
+			[]record.Type{record.TypeInt64, record.TypeInt64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := vals[0].AsInt(), vals[1].AsInt()
+		if a < prevA || (a == prevA && b <= prevB) {
+			t.Fatalf("index out of order: (%d,%d) after (%d,%d)", a, b, prevA, prevB)
+		}
+		prevA, prevB = a, b
+		return true
+	})
+}
+
+func TestIndexesOn(t *testing.T) {
+	pool, clock := newEnv(t)
+	c := New()
+	tbl := loadTable(t, pool, 100)
+	c.AddTable(tbl)
+	ixA, _ := BuildIndex("t_a", tbl, Loader(pool, clock), true, "a")
+	ixB, _ := BuildIndex("t_b", tbl, Loader(pool, clock), true, "b")
+	c.AddIndex(ixA)
+	c.AddIndex(ixB)
+	got := c.IndexesOn("t")
+	if len(got) != 2 || got[0].Name != "t_a" || got[1].Name != "t_b" {
+		names := []string{}
+		for _, ix := range got {
+			names = append(names, ix.Name)
+		}
+		t.Errorf("IndexesOn = %v", names)
+	}
+	if names := c.IndexNames(); len(names) != 2 {
+		t.Errorf("IndexNames = %v", names)
+	}
+}
+
+func TestPrefixForTooManyValuesPanics(t *testing.T) {
+	pool, clock := newEnv(t)
+	tbl := loadTable(t, pool, 10)
+	ix, _ := BuildIndex("t_a", tbl, Loader(pool, clock), true, "a")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ix.PrefixFor(record.Int(1), record.Int(2))
+}

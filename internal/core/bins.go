@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Color bins reproduce the paper's two color codes. Bin values are small
+// integers; the vis package maps them to colors/characters.
+
+// AbsoluteBins is the Figure 3 scale: one bin per order of magnitude of
+// execution time, from green (fast) through red to black (slow). The
+// paper's legend runs 0.001–0.01 s up to 100–1000 s (six bins).
+type AbsoluteBins struct {
+	// Floor is the lower edge of bin 0 (Figure 3: 1 ms).
+	Floor time.Duration
+	// Count is the number of decade bins (Figure 3: 6).
+	Count int
+}
+
+// DefaultAbsoluteBins returns the paper's Figure 3 scale.
+func DefaultAbsoluteBins() AbsoluteBins {
+	return AbsoluteBins{Floor: time.Millisecond, Count: 6}
+}
+
+// Bin maps an execution time to a bin index in [0, Count): bin k covers
+// [Floor·10ᵏ, Floor·10ᵏ⁺¹). Times below the floor clamp to 0, above the
+// top to Count-1.
+func (b AbsoluteBins) Bin(t time.Duration) int {
+	if t <= 0 {
+		return 0
+	}
+	k := int(math.Floor(math.Log10(float64(t) / float64(b.Floor))))
+	if k < 0 {
+		return 0
+	}
+	if k >= b.Count {
+		return b.Count - 1
+	}
+	return k
+}
+
+// Label renders the bin's range as in the Figure 3 legend.
+func (b AbsoluteBins) Label(bin int) string {
+	lo := float64(b.Floor) / float64(time.Second) * math.Pow(10, float64(bin))
+	return fmt.Sprintf("%g-%g seconds", lo, lo*10)
+}
+
+// RelativeBins is the Figure 6 scale: factor 1 is its own bin, then one
+// bin per order of magnitude of the quotient against the best plan
+// (1–10, 10–100, …, 10,000–100,000).
+type RelativeBins struct {
+	// Count is the number of bins including the "factor 1" bin
+	// (Figure 6: 6 = factor 1 plus five decades).
+	Count int
+	// OptimalTolerance is the quotient up to which a plan still counts as
+	// "factor 1" (measurement-noise forgiveness; 1.0 disables).
+	OptimalTolerance float64
+}
+
+// DefaultRelativeBins returns the paper's Figure 6 scale.
+func DefaultRelativeBins() RelativeBins {
+	return RelativeBins{Count: 6, OptimalTolerance: 1.001}
+}
+
+// Bin maps a quotient to a bin: 0 for (near-)optimal, k for quotients in
+// [10ᵏ⁻¹, 10ᵏ). Values above the top clamp to Count-1.
+func (b RelativeBins) Bin(q float64) int {
+	tol := b.OptimalTolerance
+	if tol < 1 {
+		tol = 1
+	}
+	if q <= tol {
+		return 0
+	}
+	k := int(math.Floor(math.Log10(q))) + 1
+	if k < 1 {
+		k = 1
+	}
+	if k >= b.Count {
+		return b.Count - 1
+	}
+	return k
+}
+
+// Label renders the bin as in the Figure 6 legend.
+func (b RelativeBins) Label(bin int) string {
+	if bin == 0 {
+		return "factor 1"
+	}
+	lo := math.Pow(10, float64(bin-1))
+	return fmt.Sprintf("factor %g-%g", lo, lo*10)
+}
+
+// BinGridAbsolute bins a time grid with the absolute scale.
+func BinGridAbsolute(grid [][]time.Duration, bins AbsoluteBins) [][]int {
+	out := make([][]int, len(grid))
+	for i, row := range grid {
+		out[i] = make([]int, len(row))
+		for j, t := range row {
+			out[i][j] = bins.Bin(t)
+		}
+	}
+	return out
+}
+
+// BinGridRelative bins a quotient grid with the relative scale.
+func BinGridRelative(grid [][]float64, bins RelativeBins) [][]int {
+	out := make([][]int, len(grid))
+	for i, row := range grid {
+		out[i] = make([]int, len(row))
+		for j, q := range row {
+			out[i][j] = bins.Bin(q)
+		}
+	}
+	return out
+}

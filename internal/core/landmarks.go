@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Landmark detection implements §3.1's sanity checks on 1-D cost curves:
+//
+//   "One of the first things to verify in such a diagram is that the
+//    actual execution cost is monotonic across the parameter space. …
+//    Moreover, the cost curve should flatten, i.e., its first derivative
+//    should monotonically decrease. … This last condition is not true for
+//    the improved index scan in Figure 1."
+//
+// and discontinuity detection for the §4 sort-spill prediction.
+
+// LandmarkKind classifies a detected landmark.
+type LandmarkKind int
+
+// Landmark kinds.
+const (
+	// NonMonotonic marks a point where doing more work got cheaper.
+	NonMonotonic LandmarkKind = iota
+	// NonFlattening marks a point where the per-row marginal cost grew —
+	// the curve steepened instead of flattening.
+	NonFlattening
+	// Discontinuity marks a cost jump far exceeding the work increase.
+	Discontinuity
+)
+
+// String names the kind.
+func (k LandmarkKind) String() string {
+	switch k {
+	case NonMonotonic:
+		return "non-monotonic"
+	case NonFlattening:
+		return "non-flattening"
+	case Discontinuity:
+		return "discontinuity"
+	default:
+		return "unknown"
+	}
+}
+
+// Landmark is one detected irregularity on a cost curve.
+type Landmark struct {
+	Kind  LandmarkKind
+	Index int // point index where the irregularity appears
+	// Detail quantifies the irregularity (cost ratio or derivative ratio).
+	Detail float64
+}
+
+// String renders the landmark.
+func (l Landmark) String() string {
+	return fmt.Sprintf("%s at point %d (%.3g)", l.Kind, l.Index, l.Detail)
+}
+
+// LandmarkConfig tunes detection tolerances.
+type LandmarkConfig struct {
+	// MonotonicTolerance forgives cost decreases up to this ratio
+	// (cost[i] >= cost[i-1] * MonotonicTolerance passes). The paper's
+	// sub-second "measurement flukes" motivate a tolerance below 1.
+	MonotonicTolerance float64
+	// FlattenTolerance forgives marginal-cost increases up to this factor:
+	// marginal[i] <= marginal[i-1] * FlattenTolerance passes.
+	FlattenTolerance float64
+	// DiscontinuityFactor flags cost jumps where cost grows by more than
+	// this factor times the work growth between adjacent points.
+	DiscontinuityFactor float64
+}
+
+// DefaultLandmarkConfig returns tolerances suited to deterministic
+// virtual-time measurements.
+func DefaultLandmarkConfig() LandmarkConfig {
+	return LandmarkConfig{
+		MonotonicTolerance:  0.999,
+		FlattenTolerance:    1.10,
+		DiscontinuityFactor: 3.0,
+	}
+}
+
+// FindLandmarks inspects a cost curve sampled at increasing work levels
+// (rows[i] strictly increasing) and returns all detected landmarks in
+// point order.
+func FindLandmarks(rows []int64, times []time.Duration, cfg LandmarkConfig) []Landmark {
+	if len(rows) != len(times) {
+		panic("core: rows and times length mismatch")
+	}
+	var out []Landmark
+
+	// Monotonicity: fetching more rows must not be cheaper.
+	for i := 1; i < len(times); i++ {
+		if float64(times[i]) < float64(times[i-1])*cfg.MonotonicTolerance {
+			out = append(out, Landmark{
+				Kind:   NonMonotonic,
+				Index:  i,
+				Detail: float64(times[i]) / float64(times[i-1]),
+			})
+		}
+	}
+
+	// Flattening: marginal cost per additional row must not increase.
+	// marginal[i] = (t[i]-t[i-1]) / (rows[i]-rows[i-1]).
+	var prevMarginal float64
+	havePrev := false
+	for i := 1; i < len(times); i++ {
+		dRows := rows[i] - rows[i-1]
+		if dRows <= 0 {
+			continue
+		}
+		marginal := float64(times[i]-times[i-1]) / float64(dRows)
+		if havePrev && prevMarginal > 0 && marginal > prevMarginal*cfg.FlattenTolerance {
+			out = append(out, Landmark{
+				Kind:   NonFlattening,
+				Index:  i,
+				Detail: marginal / prevMarginal,
+			})
+		}
+		if marginal > 0 {
+			prevMarginal = marginal
+			havePrev = true
+		}
+	}
+
+	// Discontinuities: cost ratio far beyond work ratio between adjacent
+	// points (e.g., the degenerate sort's spill cliff).
+	for i := 1; i < len(times); i++ {
+		if times[i-1] <= 0 || rows[i-1] <= 0 {
+			continue
+		}
+		costRatio := float64(times[i]) / float64(times[i-1])
+		workRatio := float64(rows[i]) / float64(rows[i-1])
+		if workRatio < 1 {
+			workRatio = 1
+		}
+		if costRatio > workRatio*cfg.DiscontinuityFactor {
+			out = append(out, Landmark{Kind: Discontinuity, Index: i, Detail: costRatio / workRatio})
+		}
+	}
+	return out
+}
+
+// FindLandmarksOfKind filters FindLandmarks output by kind.
+func FindLandmarksOfKind(rows []int64, times []time.Duration, cfg LandmarkConfig, kind LandmarkKind) []Landmark {
+	var out []Landmark
+	for _, l := range FindLandmarks(rows, times, cfg) {
+		if l.Kind == kind {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// CurveStats summarizes a 1-D cost curve for reports.
+type CurveStats struct {
+	Min, Max   time.Duration
+	MaxOverMin float64
+	Landmarks  int
+}
+
+// SummarizeCurve computes curve statistics with default tolerances.
+func SummarizeCurve(rows []int64, times []time.Duration) CurveStats {
+	if len(times) == 0 {
+		return CurveStats{}
+	}
+	st := CurveStats{Min: times[0], Max: times[0]}
+	for _, t := range times[1:] {
+		if t < st.Min {
+			st.Min = t
+		}
+		if t > st.Max {
+			st.Max = t
+		}
+	}
+	if st.Min > 0 {
+		st.MaxOverMin = float64(st.Max) / float64(st.Min)
+	}
+	st.Landmarks = len(FindLandmarks(rows, times, DefaultLandmarkConfig()))
+	return st
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Optimality analysis implements §3.4 ("Mapping regions of optimality"):
+// which plans are optimal where, how large and how regular each plan's
+// optimality region is, and how many plans tie per point once small
+// differences are neglected (Figure 10).
+
+// Tolerance defines when two execution times are "practically equivalent"
+// (§3.4: "two plans with actual execution costs within 1% of each other
+// are practically equivalent. Whether this tolerance ends at 1% difference,
+// at 20% difference, or at a factor of 2 depends on one's tradeoff between
+// performance and robustness").
+type Tolerance struct {
+	// Absolute forgives differences up to this duration (Figure 10 uses
+	// 0.1 s measurement error).
+	Absolute time.Duration
+	// Relative forgives quotients up to this factor (1.01 = 1%).
+	Relative float64
+}
+
+// Within reports whether time t is equivalent to the best time under the
+// tolerance.
+func (tol Tolerance) Within(t, best time.Duration) bool {
+	if t <= best {
+		return true
+	}
+	if tol.Absolute > 0 && t-best <= tol.Absolute {
+		return true
+	}
+	rel := tol.Relative
+	if rel < 1 {
+		rel = 1
+	}
+	return float64(t) <= float64(best)*rel
+}
+
+// OptimalityMap computes, per grid point, the set of plans optimal within
+// the tolerance.
+type OptimalityMap struct {
+	Plans []string
+	// Optimal[i][j] is the sorted list of plan indexes optimal at (i, j).
+	Optimal [][][]int
+}
+
+// ComputeOptimality builds the optimality map of a 2-D robustness map.
+func ComputeOptimality(m *Map2D, tol Tolerance) *OptimalityMap {
+	best := m.BestGrid()
+	om := &OptimalityMap{Plans: append([]string(nil), m.Plans...)}
+	om.Optimal = make([][][]int, len(m.TA))
+	for i := range m.TA {
+		om.Optimal[i] = make([][]int, len(m.TB))
+		for j := range m.TB {
+			var ids []int
+			for p := range m.Plans {
+				if tol.Within(m.Times[p][i][j], best[i][j]) {
+					ids = append(ids, p)
+				}
+			}
+			sort.Ints(ids)
+			om.Optimal[i][j] = ids
+		}
+	}
+	return om
+}
+
+// CountGrid returns, per point, the number of optimal plans — the data of
+// Figure 10 ("Most points in the parameter space have multiple optimal
+// plans").
+func (om *OptimalityMap) CountGrid() [][]int {
+	out := make([][]int, len(om.Optimal))
+	for i, row := range om.Optimal {
+		out[i] = make([]int, len(row))
+		for j, ids := range row {
+			out[i][j] = len(ids)
+		}
+	}
+	return out
+}
+
+// PlanRegion returns the boolean grid of points where the named plan is
+// optimal — the per-plan region diagrams of §3.4.
+func (om *OptimalityMap) PlanRegion(planID string) [][]bool {
+	pi := -1
+	for i, p := range om.Plans {
+		if p == planID {
+			pi = i
+			break
+		}
+	}
+	if pi < 0 {
+		panic("core: no plan " + planID + " in optimality map")
+	}
+	out := make([][]bool, len(om.Optimal))
+	for i, row := range om.Optimal {
+		out[i] = make([]bool, len(row))
+		for j, ids := range row {
+			for _, id := range ids {
+				if id == pi {
+					out[i][j] = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MultiOptimalFraction returns the fraction of points with at least k
+// optimal plans.
+func (om *OptimalityMap) MultiOptimalFraction(k int) float64 {
+	total, hit := 0, 0
+	for _, row := range om.CountGrid() {
+		for _, c := range row {
+			total++
+			if c >= k {
+				hit++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}
+
+// RegionStats describes a plan's optimality region: the §3.4 quantities
+// ("the most interesting aspects of these maps would be the size and the
+// shape of each plan's optimality region. Ideally, these regions would be
+// continuous, simple shapes").
+type RegionStats struct {
+	// AreaFraction is the fraction of grid points in the region.
+	AreaFraction float64
+	// Components is the number of 4-connected components; more than one
+	// means the region is discontinuous (the surprise of Figure 7).
+	Components int
+	// Irregularity is the isoperimetric quotient perimeter²/(4π·area) of
+	// the largest component measured on the grid; 1 ≈ disc-like, larger
+	// means ragged. Zero for an empty region.
+	Irregularity float64
+	// LargestComponentFraction is the largest component's share of the
+	// whole region's points.
+	LargestComponentFraction float64
+}
+
+// AnalyzeRegion computes RegionStats for a boolean grid.
+func AnalyzeRegion(region [][]bool) RegionStats {
+	rows := len(region)
+	if rows == 0 {
+		return RegionStats{}
+	}
+	cols := len(region[0])
+	total := rows * cols
+	inRegion := 0
+	for _, r := range region {
+		for _, b := range r {
+			if b {
+				inRegion++
+			}
+		}
+	}
+	if inRegion == 0 {
+		return RegionStats{}
+	}
+
+	// Connected components by flood fill (4-neighborhood).
+	label := make([][]int, rows)
+	for i := range label {
+		label[i] = make([]int, cols)
+	}
+	var compSizes []int
+	var compPerims []int
+	var stack [][2]int
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if !region[i][j] || label[i][j] != 0 {
+				continue
+			}
+			id := len(compSizes) + 1
+			size, perim := 0, 0
+			stack = append(stack[:0], [2]int{i, j})
+			label[i][j] = id
+			for len(stack) > 0 {
+				c := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				size++
+				for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+					ni, nj := c[0]+d[0], c[1]+d[1]
+					if ni < 0 || ni >= rows || nj < 0 || nj >= cols || !region[ni][nj] {
+						perim++ // boundary edge
+						continue
+					}
+					if label[ni][nj] == 0 {
+						label[ni][nj] = id
+						stack = append(stack, [2]int{ni, nj})
+					}
+				}
+			}
+			compSizes = append(compSizes, size)
+			compPerims = append(compPerims, perim)
+		}
+	}
+
+	largest, largestIdx := 0, 0
+	for i, s := range compSizes {
+		if s > largest {
+			largest, largestIdx = s, i
+		}
+	}
+	irr := 0.0
+	if largest > 0 {
+		p := float64(compPerims[largestIdx])
+		irr = p * p / (4 * math.Pi * float64(largest))
+	}
+	return RegionStats{
+		AreaFraction:             float64(inRegion) / float64(total),
+		Components:               len(compSizes),
+		Irregularity:             irr,
+		LargestComponentFraction: float64(largest) / float64(inRegion),
+	}
+}
+
+// RobustnessSummary condenses a plan's relative grid into the numbers the
+// paper reads off Figures 7–9: how much of the space the plan wins, how
+// bad it gets, and how bad it typically is.
+type RobustnessSummary struct {
+	// OptimalFraction is the share of points where the quotient is 1
+	// (within the relative-bins tolerance).
+	OptimalFraction float64
+	// WithinFactor10 is the share of points with quotient <= 10.
+	WithinFactor10 float64
+	// Worst is the maximum quotient.
+	Worst float64
+	// P95 is the 95th-percentile quotient.
+	P95 float64
+}
+
+// SummarizeRelative computes a RobustnessSummary from a quotient grid.
+func SummarizeRelative(grid [][]float64) RobustnessSummary {
+	var all []float64
+	opt, within10 := 0, 0
+	for _, row := range grid {
+		for _, q := range row {
+			all = append(all, q)
+			if q <= 1.001 {
+				opt++
+			}
+			if q <= 10 {
+				within10++
+			}
+		}
+	}
+	if len(all) == 0 {
+		return RobustnessSummary{}
+	}
+	sort.Float64s(all)
+	n := float64(len(all))
+	return RobustnessSummary{
+		OptimalFraction: float64(opt) / n,
+		WithinFactor10:  float64(within10) / n,
+		Worst:           all[len(all)-1],
+		P95:             all[int(0.95*float64(len(all)-1))],
+	}
+}

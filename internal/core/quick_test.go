@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property tests on the map analysis primitives.
+
+func TestQuickAbsoluteBinsMonotone(t *testing.T) {
+	b := DefaultAbsoluteBins()
+	f := func(x, y uint32) bool {
+		tx, ty := time.Duration(x)*time.Microsecond, time.Duration(y)*time.Microsecond
+		if tx <= ty {
+			return b.Bin(tx) <= b.Bin(ty)
+		}
+		return b.Bin(tx) >= b.Bin(ty)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRelativeBinsMonotone(t *testing.T) {
+	b := DefaultRelativeBins()
+	f := func(x, y float64) bool {
+		if x < 1 {
+			x = 1
+		}
+		if y < 1 {
+			y = 1
+		}
+		if x <= y {
+			return b.Bin(x) <= b.Bin(y)
+		}
+		return b.Bin(x) >= b.Bin(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRegionInvariants(t *testing.T) {
+	f := func(cells []bool, width uint8) bool {
+		w := int(width%8) + 1
+		rows := len(cells) / w
+		if rows == 0 {
+			return true
+		}
+		grid := make([][]bool, rows)
+		inRegion := 0
+		for i := range grid {
+			grid[i] = cells[i*w : (i+1)*w]
+			for _, b := range grid[i] {
+				if b {
+					inRegion++
+				}
+			}
+		}
+		st := AnalyzeRegion(grid)
+		if st.AreaFraction < 0 || st.AreaFraction > 1 {
+			return false
+		}
+		if inRegion == 0 {
+			return st == (RegionStats{})
+		}
+		if st.Components < 1 || st.Components > inRegion {
+			return false
+		}
+		if st.LargestComponentFraction <= 0 || st.LargestComponentFraction > 1 {
+			return false
+		}
+		return st.Irregularity >= 0.9 // a single cell has quotient 16/(4π) ≈ 1.27
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickToleranceWithinReflexiveAndMonotone(t *testing.T) {
+	f := func(best uint32, extra uint16, rel uint8) bool {
+		tol := Tolerance{Relative: 1 + float64(rel)/100}
+		b := time.Duration(best)
+		if !tol.Within(b, b) {
+			return false
+		}
+		// If t1 <= t2 and t2 is within tolerance, t1 must be too.
+		t2 := b + time.Duration(extra)
+		t1 := b + time.Duration(extra)/2
+		if tol.Within(t2, b) && !tol.Within(t1, b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLandmarksEmptyOnConstantCurves(t *testing.T) {
+	f := func(n uint8, cost uint32) bool {
+		k := int(n%20) + 2
+		rows := make([]int64, k)
+		times := make([]time.Duration, k)
+		for i := range rows {
+			rows[i] = int64(i+1) * 100
+			times[i] = time.Duration(cost) + time.Duration(i) // gently increasing
+		}
+		// A nearly-flat increasing curve must produce no non-monotonic and
+		// no discontinuity landmarks.
+		for _, lm := range FindLandmarks(rows, times, DefaultLandmarkConfig()) {
+			if lm.Kind == NonMonotonic || lm.Kind == Discontinuity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// The robustness scoreboard is the §4 benchmark made concrete: "we will
+// then define a benchmark that focuses on robustness of query execution …
+// This benchmark will identify weaknesses in the algorithms and their
+// implementation, track progress against these weaknesses, and permit
+// daily regression testing." Each plan gets a single score derived from
+// its relative map, so a regression run can diff two scoreboards and flag
+// any plan whose robustness degraded.
+
+// PlanScore is one plan's robustness record.
+type PlanScore struct {
+	Plan string
+	// Relative-map statistics against the chosen baseline pool.
+	OptimalFraction float64
+	WithinFactor10  float64
+	Worst           float64
+	P95             float64
+	// MeanDanger is the plan's average proximity to the per-point worst
+	// plan (1 = always the worst choice).
+	MeanDanger float64
+	// Score is the composite in [0, 1]: higher is more robust. It rewards
+	// area near the optimum and punishes the worst-case factor
+	// logarithmically — a plan that is sometimes 10x slower but never
+	// catastrophic outranks one that is usually optimal but occasionally
+	// disastrous, the paper's "robustness might well trump performance".
+	Score float64
+}
+
+// ScoreFrom combines the statistics into the composite score.
+func ScoreFrom(rel RobustnessSummary, danger DangerSummary) float64 {
+	area := 0.5*rel.OptimalFraction + 0.5*rel.WithinFactor10
+	worst := rel.Worst
+	if worst < 1 {
+		worst = 1
+	}
+	penalty := 1 / (1 + math.Log10(worst))
+	safety := 1 - 0.5*danger.MeanDanger
+	return area * penalty * safety
+}
+
+// Scoreboard scores every plan of a 2-D map against a baseline pool and
+// returns the plans in descending robustness order.
+func Scoreboard(m *Map2D, baseline []string) []PlanScore {
+	out := make([]PlanScore, 0, len(m.Plans))
+	for _, p := range m.Plans {
+		rel := SummarizeRelative(m.RelativeGridAgainst(p, baseline))
+		danger := SummarizeDanger(m.DangerGrid(p))
+		out = append(out, PlanScore{
+			Plan:            p,
+			OptimalFraction: rel.OptimalFraction,
+			WithinFactor10:  rel.WithinFactor10,
+			Worst:           rel.Worst,
+			P95:             rel.P95,
+			MeanDanger:      danger.MeanDanger,
+			Score:           ScoreFrom(rel, danger),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Plan < out[j].Plan
+	})
+	return out
+}
+
+// CompareScoreboards diffs two scoreboards (e.g., yesterday's and
+// today's) and returns the plans whose score dropped by more than tol —
+// the daily-regression alarm of §4. Plans present in only one board are
+// ignored (they are additions or removals, not regressions).
+func CompareScoreboards(before, after []PlanScore, tol float64) []string {
+	prev := make(map[string]float64, len(before))
+	for _, s := range before {
+		prev[s.Plan] = s.Score
+	}
+	var regressed []string
+	for _, s := range after {
+		if old, ok := prev[s.Plan]; ok && s.Score < old-tol {
+			regressed = append(regressed, s.Plan)
+		}
+	}
+	sort.Strings(regressed)
+	return regressed
+}

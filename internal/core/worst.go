@@ -1,0 +1,104 @@
+package core
+
+import "time"
+
+// Worst-performance maps implement the first of the paper's two explicitly
+// unpursued opportunities (§3.3): "we have not mapped worst performance,
+// i.e., particularly dangerous plans and the relative performance of plans
+// compared to how bad performance could be." A plan close to the
+// per-point worst is dangerous; a plan far below it is safe even when it
+// is not optimal.
+
+// WorstGrid returns, per point, the maximum time across all plans — "how
+// bad performance could be".
+func (m *Map2D) WorstGrid() [][]time.Duration {
+	worst := make([][]time.Duration, len(m.TA))
+	for i := range worst {
+		worst[i] = make([]time.Duration, len(m.TB))
+		for j := range worst[i] {
+			worst[i][j] = m.Times[0][i][j]
+			for _, g := range m.Times[1:] {
+				if g[i][j] > worst[i][j] {
+					worst[i][j] = g[i][j]
+				}
+			}
+		}
+	}
+	return worst
+}
+
+// DangerGrid returns plan p's per-point quotient against the worst plan:
+// 1.0 means the plan IS the worst at that point; small values mean the
+// plan is far from the danger ceiling. (The inverse orientation of
+// RelativeGrid.)
+func (m *Map2D) DangerGrid(planID string) [][]float64 {
+	worst := m.WorstGrid()
+	grid := m.PlanGrid(planID)
+	out := make([][]float64, len(grid))
+	for i := range grid {
+		out[i] = make([]float64, len(grid[i]))
+		for j := range grid[i] {
+			if worst[i][j] <= 0 {
+				out[i][j] = 1
+				continue
+			}
+			out[i][j] = float64(grid[i][j]) / float64(worst[i][j])
+		}
+	}
+	return out
+}
+
+// DangerSummary condenses a plan's danger grid.
+type DangerSummary struct {
+	// WorstAtFraction is the share of points where the plan is the worst
+	// of all plans (quotient >= 0.999).
+	WorstAtFraction float64
+	// MaxDanger is the maximum quotient (1 = worst somewhere).
+	MaxDanger float64
+	// MeanDanger is the average quotient.
+	MeanDanger float64
+}
+
+// SummarizeDanger computes a DangerSummary.
+func SummarizeDanger(grid [][]float64) DangerSummary {
+	var n, worstAt int
+	var sum, max float64
+	for _, row := range grid {
+		for _, q := range row {
+			n++
+			sum += q
+			if q > max {
+				max = q
+			}
+			if q >= 0.999 {
+				worstAt++
+			}
+		}
+	}
+	if n == 0 {
+		return DangerSummary{}
+	}
+	return DangerSummary{
+		WorstAtFraction: float64(worstAt) / float64(n),
+		MaxDanger:       max,
+		MeanDanger:      sum / float64(n),
+	}
+}
+
+// HeadroomGrid returns, per point, worst/best — the spread between the
+// most and least dangerous plan. The paper wonders "whether consistent and
+// ubiquitous implementation of robust query execution techniques … would
+// reduce the cost factor of the worst query execution plans"; this grid is
+// that factor.
+func (m *Map2D) HeadroomGrid() [][]float64 {
+	best := m.BestGrid()
+	worst := m.WorstGrid()
+	out := make([][]float64, len(m.TA))
+	for i := range out {
+		out[i] = make([]float64, len(m.TB))
+		for j := range out[i] {
+			out[i][j] = quotient(worst[i][j], best[i][j])
+		}
+	}
+	return out
+}

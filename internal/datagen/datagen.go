@@ -1,0 +1,155 @@
+// Package datagen generates the synthetic workload table of the
+// experiments: a TPC-H-lineitem-flavoured relation whose two predicate
+// columns are independent permutations of [0, rows), so that a range
+// predicate col < t selects exactly t rows.
+//
+// The paper ran against TPC-H lineitem (~60 M rows) and swept predicate
+// selectivities from 2⁻¹⁶ up to 1 in factor-of-two steps. Exact-count
+// permutation columns reproduce those sweeps without cardinality noise:
+// selecting a fraction 2⁻ᵏ of the table is the predicate a < rows>>k.
+//
+// The physical row order (insertion order) is uncorrelated with both
+// predicate columns — the scatter that makes unsorted RID fetching pay one
+// random I/O per row, as in the paper's "traditional" index scan.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"robustmap/internal/record"
+)
+
+// Spec configures a generated table.
+type Spec struct {
+	// Rows is the table cardinality.
+	Rows int64
+	// Seed drives all pseudo-randomness; equal specs generate equal data.
+	Seed int64
+	// PayloadBytes pads each row with a comment string to reach a realistic
+	// row width (TPC-H lineitem rows are ~120 bytes). Zero means default.
+	PayloadBytes int
+	// ZipfA, if > 1, replaces predicate column a's uniform permutation with
+	// a Zipf distribution of that parameter (duplicates appear, selectivity
+	// is no longer exact). Used by the skew ablation only.
+	ZipfA float64
+	// ZipfB is the analogous option for predicate column b.
+	ZipfB float64
+}
+
+// DefaultPayloadBytes pads rows to roughly lineitem width.
+const DefaultPayloadBytes = 64
+
+// Validate reports whether the spec is usable.
+func (s Spec) Validate() error {
+	if s.Rows <= 0 {
+		return fmt.Errorf("datagen: Rows = %d, want > 0", s.Rows)
+	}
+	if s.PayloadBytes < 0 {
+		return fmt.Errorf("datagen: negative PayloadBytes")
+	}
+	if s.ZipfA != 0 && s.ZipfA <= 1 {
+		return fmt.Errorf("datagen: ZipfA must be > 1 or 0")
+	}
+	if s.ZipfB != 0 && s.ZipfB <= 1 {
+		return fmt.Errorf("datagen: ZipfB must be > 1 or 0")
+	}
+	return nil
+}
+
+// Schema returns the generated table's schema.
+//
+//	orderkey  BIGINT   — 0..rows-1, the insertion order
+//	a         BIGINT   — predicate column A (permutation of [0, rows))
+//	b         BIGINT   — predicate column B (independent permutation)
+//	quantity  DOUBLE   — 1..50
+//	price     DOUBLE   — derived from quantity
+//	shipdate  DATE     — ~7 years of days
+//	comment   VARCHAR  — payload padding
+func Schema() *record.Schema {
+	return record.NewSchema(
+		record.Column{Name: "orderkey", Type: record.TypeInt64},
+		record.Column{Name: "a", Type: record.TypeInt64},
+		record.Column{Name: "b", Type: record.TypeInt64},
+		record.Column{Name: "quantity", Type: record.TypeFloat64},
+		record.Column{Name: "price", Type: record.TypeFloat64},
+		record.Column{Name: "shipdate", Type: record.TypeDate},
+		record.Column{Name: "comment", Type: record.TypeString},
+	)
+}
+
+// Generate streams the table's rows in insertion order. The row slice is
+// reused between calls; the consumer must copy or encode it before
+// returning.
+func Generate(spec Spec, fn func(row []record.Value) error) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	payload := spec.PayloadBytes
+	if payload == 0 {
+		payload = DefaultPayloadBytes
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	colA := permutedColumn(spec.Rows, spec.ZipfA, rng)
+	colB := permutedColumn(spec.Rows, spec.ZipfB, rng)
+
+	comment := make([]byte, payload)
+	row := make([]record.Value, 7)
+	for i := int64(0); i < spec.Rows; i++ {
+		qty := float64(rng.Intn(50) + 1)
+		for j := range comment {
+			comment[j] = byte('a' + (i+int64(j))%26)
+		}
+		row[0] = record.Int(i)
+		row[1] = record.Int(colA(i))
+		row[2] = record.Int(colB(i))
+		row[3] = record.Float(qty)
+		row[4] = record.Float(qty * (900 + float64(rng.Intn(200))))
+		row[5] = record.Date(10000 + i%2557) // ~7 years of ship dates
+		row[6] = record.String_(string(comment))
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// permutedColumn returns an accessor for a predicate column: either an
+// exact permutation of [0, rows) or a Zipf draw.
+func permutedColumn(rows int64, zipf float64, rng *rand.Rand) func(int64) int64 {
+	if zipf > 1 {
+		z := rand.NewZipf(rand.New(rand.NewSource(rng.Int63())), zipf, 1, uint64(rows-1))
+		vals := make([]int64, rows)
+		for i := range vals {
+			vals[i] = int64(z.Uint64())
+		}
+		return func(i int64) int64 { return vals[i] }
+	}
+	perm := rng.Perm(int(rows))
+	return func(i int64) int64 { return int64(perm[i]) }
+}
+
+// SelectivityThreshold returns the predicate threshold t such that
+// "col < t" selects the given fraction of a permutation column, and the
+// exact number of rows it selects.
+func SelectivityThreshold(rows int64, fraction float64) (threshold int64, selected int64) {
+	if fraction <= 0 {
+		return 0, 0
+	}
+	if fraction >= 1 {
+		return rows, rows
+	}
+	t := int64(fraction * float64(rows))
+	return t, t
+}
+
+// PowerOfTwoFractions returns the sweep fractions 2⁻ᵏ for k = maxExp..0,
+// ascending — the x-axis of the paper's Figure 1 (there: 2⁻¹⁶ … 2⁰).
+func PowerOfTwoFractions(maxExp int) []float64 {
+	out := make([]float64, 0, maxExp+1)
+	for k := maxExp; k >= 0; k-- {
+		out = append(out, 1/float64(int64(1)<<uint(k)))
+	}
+	return out
+}

@@ -1,0 +1,313 @@
+// Package engine assembles the three database systems of the paper's study
+// over a shared synthetic dataset and runs fixed plans against them under
+// a deterministic cost model.
+//
+// The paper measured three commercial systems; we reproduce each system's
+// architectural signature (see DESIGN.md):
+//
+//   - System A: heap table, single-column non-clustered indexes on a and
+//     b; traditional and improved fetches; merge and hash index
+//     intersection.
+//   - System B: MVCC version headers on base rows only, so no index is
+//     covering and every plan ends in a bitmap-driven fetch; two-column
+//     indexes (a,b) and (b,a) evaluate both predicates on entries first.
+//   - System C: two-column covering indexes driven by MDAM.
+//
+// Every Run gets a fresh virtual clock, device, and cold buffer pool, so
+// measurements are deterministic and independent — the conditions the
+// paper needs for reproducible robustness maps.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"robustmap/internal/btree"
+	"robustmap/internal/catalog"
+	"robustmap/internal/datagen"
+	"robustmap/internal/exec"
+	"robustmap/internal/iomodel"
+	"robustmap/internal/mvcc"
+	"robustmap/internal/plan"
+	"robustmap/internal/record"
+	"robustmap/internal/simclock"
+	"robustmap/internal/storage"
+)
+
+// Config parameterizes a system build.
+type Config struct {
+	// Rows is the lineitem-like table cardinality.
+	Rows int64
+	// Seed drives data generation.
+	Seed int64
+	// PayloadBytes pads rows; zero uses the datagen default.
+	PayloadBytes int
+	// PoolPages is the buffer pool capacity for each query run. It should
+	// be well below the table's page count for realistic fetch costs.
+	PoolPages int
+	// MemoryBudget is the per-query operator memory in bytes.
+	MemoryBudget int64
+	// IO is the device cost profile.
+	IO iomodel.Params
+	// Versioned adds MVCC headers to base rows (System B).
+	Versioned bool
+	// Indexes lists which secondary indexes to build: any of "a", "b",
+	// "ab", "ba".
+	Indexes []string
+	// ZipfA and ZipfB skew the predicate columns (see datagen.Spec); zero
+	// keeps the exact-selectivity permutations. Used by the skew ablation.
+	ZipfA, ZipfB float64
+}
+
+// DefaultConfig returns the experiment defaults: 2^17 rows (the sweeps use
+// fractions of the table, as the paper does), a buffer pool of 1/8 of the
+// table, 16 MiB of operator memory, and the disk profile.
+func DefaultConfig() Config {
+	return Config{
+		Rows:         1 << 17,
+		Seed:         2009,
+		PoolPages:    256,
+		MemoryBudget: 16 << 20,
+		IO:           iomodel.DefaultParams(),
+		Indexes:      []string{"a", "b"},
+	}
+}
+
+// System is one built database system: a shared disk holding the loaded
+// table and indexes, plus the metadata to reopen them cheaply per run.
+type System struct {
+	Name string
+	cfg  Config
+
+	disk      *storage.Disk
+	schema    *record.Schema
+	heapFile  storage.FileID
+	heapRows  int64
+	versioned bool
+	indexes   map[string]indexMeta
+	snapHigh  mvcc.TxnID
+}
+
+type indexMeta struct {
+	name     string
+	columns  []string
+	covering bool
+	meta     btree.Meta
+}
+
+// Result is one measured plan execution.
+type Result struct {
+	Plan     string
+	Query    plan.Query
+	Rows     int64
+	Time     time.Duration
+	Accounts map[simclock.Account]time.Duration
+	Device   iomodel.Stats
+	Pool     storage.PoolStats
+}
+
+// BuildSystem loads the dataset and indexes for one system configuration.
+// Loading happens on a throwaway clock; only Run costs are measured.
+func BuildSystem(name string, cfg Config) (*System, error) {
+	if cfg.Rows <= 0 {
+		return nil, fmt.Errorf("engine: Rows = %d", cfg.Rows)
+	}
+	if err := cfg.IO.Validate(); err != nil {
+		return nil, err
+	}
+	disk := storage.NewDisk()
+	loadClock := simclock.New()
+	dev := iomodel.NewDevice(cfg.IO, loadClock)
+	// A large pool for loading keeps load-time Go overhead low; run-time
+	// pools are sized by cfg.PoolPages.
+	pool := storage.NewPool(disk, dev, loadClock, 4096)
+
+	sys := &System{
+		Name:    name,
+		cfg:     cfg,
+		disk:    disk,
+		schema:  datagen.Schema(),
+		indexes: make(map[string]indexMeta),
+	}
+
+	heap := storage.CreateHeap(pool)
+	tbl := &catalog.Table{Name: plan.TableName, Schema: sys.schema, Heap: heap}
+
+	var store *mvcc.Store
+	var txn mvcc.TxnID
+	if cfg.Versioned {
+		store = mvcc.NewStore(heap)
+		mgr := mvcc.NewManager()
+		txn = mgr.Begin()
+		tbl.Versioned = store
+		sys.versioned = true
+		sys.snapHigh = txn
+	}
+
+	spec := datagen.Spec{Rows: cfg.Rows, Seed: cfg.Seed, PayloadBytes: cfg.PayloadBytes,
+		ZipfA: cfg.ZipfA, ZipfB: cfg.ZipfB}
+	var encodeBuf []byte
+	err := datagen.Generate(spec, func(row []record.Value) error {
+		encodeBuf = encodeBuf[:0]
+		var err error
+		encodeBuf, err = sys.schema.Encode(encodeBuf, row)
+		if err != nil {
+			return err
+		}
+		if store != nil {
+			store.Insert(txn, encodeBuf)
+		} else {
+			heap.Append(encodeBuf)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys.heapFile = heap.File()
+	sys.heapRows = heap.NumRows()
+
+	loader := catalog.Loader(pool, loadClock)
+	for _, spec := range cfg.Indexes {
+		var name string
+		var cols []string
+		switch spec {
+		case "a":
+			name, cols = plan.IdxA, []string{"a"}
+		case "b":
+			name, cols = plan.IdxB, []string{"b"}
+		case "ab":
+			name, cols = plan.IdxAB, []string{"a", "b"}
+		case "ba":
+			name, cols = plan.IdxBA, []string{"b", "a"}
+		default:
+			return nil, fmt.Errorf("engine: unknown index spec %q", spec)
+		}
+		covering := !cfg.Versioned // MVCC on base rows only: never covering
+		ix, err := catalog.BuildIndex(name, tbl, loader, covering, cols...)
+		if err != nil {
+			return nil, err
+		}
+		sys.indexes[name] = indexMeta{
+			name: name, columns: cols, covering: covering, meta: btree.MetaOf(ix.Tree),
+		}
+	}
+	pool.FlushAll()
+	return sys, nil
+}
+
+// SystemA builds the paper's System A over the default-style config.
+func SystemA(cfg Config) (*System, error) {
+	cfg.Versioned = false
+	cfg.Indexes = []string{"a", "b"}
+	return BuildSystem("A", cfg)
+}
+
+// SystemB builds System B: MVCC base rows, single- and two-column indexes,
+// none covering.
+func SystemB(cfg Config) (*System, error) {
+	cfg.Versioned = true
+	cfg.Indexes = []string{"a", "b", "ab", "ba"}
+	return BuildSystem("B", cfg)
+}
+
+// SystemC builds System C: covering two-column indexes for MDAM.
+func SystemC(cfg Config) (*System, error) {
+	cfg.Versioned = false
+	cfg.Indexes = []string{"ab", "ba"}
+	return BuildSystem("C", cfg)
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Rows returns the table cardinality.
+func (s *System) Rows() int64 { return s.heapRows }
+
+// openCatalog rewires the persistent disk objects to a fresh pool/clock.
+func (s *System) openCatalog(pool *storage.Pool, clock *simclock.Clock) *catalog.Catalog {
+	c := catalog.New()
+	heap := storage.OpenHeap(pool, s.heapFile, s.heapRows)
+	tbl := &catalog.Table{Name: plan.TableName, Schema: s.schema, Heap: heap}
+	if s.versioned {
+		tbl.Versioned = mvcc.NewStore(heap)
+	}
+	c.AddTable(tbl)
+	for _, im := range s.indexes {
+		ords := make([]int, len(im.columns))
+		for i, col := range im.columns {
+			ords[i] = s.schema.MustOrdinal(col)
+		}
+		c.AddIndex(&catalog.Index{
+			Name: im.name, Table: tbl, Columns: im.columns, Ordinals: ords,
+			Tree: btree.Open(pool, clock, im.meta), Covering: im.covering,
+		})
+	}
+	return c
+}
+
+// Run executes one plan at one query point and returns the measured
+// virtual-time result. Data pages start cold (the pool is fresh and far
+// smaller than the table), but the non-leaf levels of every index are
+// warmed before the clock starts: in a steady-state system the upper
+// B-tree levels are always resident, and the paper's measured systems were
+// warm in that sense. Without warming, the fixed seeks of a cold root
+// descent would dominate exactly the small-result queries whose low
+// latency Figure 1 highlights.
+func (s *System) Run(p plan.Plan, q plan.Query) Result {
+	clock := simclock.New()
+	dev := iomodel.NewDevice(s.cfg.IO, clock)
+	pool := storage.NewPool(s.disk, dev, clock, s.cfg.PoolPages)
+	ctx := &exec.Ctx{
+		Clock:        clock,
+		Pool:         pool,
+		Snap:         mvcc.Snapshot{High: s.snapHigh},
+		MemoryBudget: s.cfg.MemoryBudget,
+	}
+	cat := s.openCatalog(pool, clock)
+	for _, name := range cat.IndexNames() {
+		cat.Index(name).Tree.WarmNonLeaf()
+	}
+	dev.ResetStats()
+	pool.ResetStats()
+	clock.Reset()
+	it := p.Build(ctx, cat, q)
+	rows := exec.Drain(it)
+	clock.Freeze()
+	return Result{
+		Plan:     p.ID,
+		Query:    q,
+		Rows:     rows,
+		Time:     clock.Now(),
+		Accounts: clock.Accounts(),
+		Device:   dev.Stats(),
+		Pool:     pool.Stats(),
+	}
+}
+
+// Disk exposes the system's loaded disk image so specialized experiments
+// (e.g., the parallel-scan study) can attach their own per-worker pools.
+func (s *System) Disk() *storage.Disk { return s.disk }
+
+// OpenTable rewires the system's base table to the given pool — the
+// per-worker view of the parallel experiment. The clock used for index
+// access is the pool's own; this accessor exposes the heap only.
+func (s *System) OpenTable(pool *storage.Pool) *catalog.Table {
+	heap := storage.OpenHeap(pool, s.heapFile, s.heapRows)
+	tbl := &catalog.Table{Name: plan.TableName, Schema: s.schema, Heap: heap}
+	if s.versioned {
+		tbl.Versioned = mvcc.NewStore(heap)
+	}
+	return tbl
+}
+
+// HasIndexes reports whether the system has every named index — used by
+// experiment definitions to pick runnable plans per system.
+func (s *System) HasIndexes(names ...string) bool {
+	for _, n := range names {
+		if _, ok := s.indexes[n]; !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"robustmap/internal/simclock"
+)
+
+// Format renders a Result as an EXPLAIN ANALYZE-style report: virtual
+// time, result size, the cost-account breakdown, and the physical
+// counters. Deterministic output (accounts sorted by expenditure).
+func (r Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %s  query %s\n", r.Plan, r.Query)
+	fmt.Fprintf(&b, "  rows     %d\n", r.Rows)
+	fmt.Fprintf(&b, "  time     %v\n", r.Time)
+
+	type kv struct {
+		k simclock.Account
+		v time.Duration
+	}
+	accts := make([]kv, 0, len(r.Accounts))
+	for k, v := range r.Accounts {
+		accts = append(accts, kv{k, v})
+	}
+	sort.Slice(accts, func(i, j int) bool {
+		if accts[i].v != accts[j].v {
+			return accts[i].v > accts[j].v
+		}
+		return accts[i].k < accts[j].k
+	})
+	for _, a := range accts {
+		pct := 0.0
+		if r.Time > 0 {
+			pct = 100 * float64(a.v) / float64(r.Time)
+		}
+		fmt.Fprintf(&b, "    %-14s %12v %5.1f%%\n", a.k, a.v, pct)
+	}
+	fmt.Fprintf(&b, "  device   %d random + %d sequential reads, %d written, %d prefetch units\n",
+		r.Device.RandomReads, r.Device.SequentialReads, r.Device.PagesWritten, r.Device.PrefetchIssued)
+	hitRate := 0.0
+	if total := r.Pool.Hits + r.Pool.Misses; total > 0 {
+		hitRate = 100 * float64(r.Pool.Hits) / float64(total)
+	}
+	fmt.Fprintf(&b, "  pool     %d hits / %d misses (%.0f%% hit rate), %d evictions\n",
+		r.Pool.Hits, r.Pool.Misses, hitRate, r.Pool.Evictions)
+	return b.String()
+}

@@ -1,0 +1,225 @@
+package exec
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"robustmap/internal/record"
+)
+
+func twoColSchema() *record.Schema {
+	return record.NewSchema(
+		record.Column{Name: "k", Type: record.TypeInt64},
+		record.Column{Name: "v", Type: record.TypeInt64},
+	)
+}
+
+// modelJoin computes the expected multiset of (lk, lv, rk, rv) join rows.
+func modelJoin(left, right []Row) map[[4]int64]int {
+	out := map[[4]int64]int{}
+	for _, l := range left {
+		for _, r := range right {
+			if l[0].AsInt() == r[0].AsInt() {
+				out[[4]int64{l[0].AsInt(), l[1].AsInt(), r[0].AsInt(), r[1].AsInt()}]++
+			}
+		}
+	}
+	return out
+}
+
+func joinResultMultiset(rows []Row) map[[4]int64]int {
+	out := map[[4]int64]int{}
+	for _, r := range rows {
+		out[[4]int64{r[0].AsInt(), r[1].AsInt(), r[2].AsInt(), r[3].AsInt()}]++
+	}
+	return out
+}
+
+func randRows(n, keyRange int, seed int64) []Row {
+	r := rand.New(rand.NewSource(seed))
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{record.Int(int64(r.Intn(keyRange))), record.Int(int64(i))}
+	}
+	return rows
+}
+
+func sortedCopy(rows []Row) []Row {
+	out := make([]Row, len(rows))
+	copy(out, rows)
+	sort.SliceStable(out, func(i, j int) bool { return out[i][0].AsInt() < out[j][0].AsInt() })
+	return out
+}
+
+func equalMultisets(a, b map[[4]int64]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMergeJoinRowsMatchesModel(t *testing.T) {
+	e := newTestEnv(t, 101)
+	left := randRows(200, 50, 1)
+	right := randRows(300, 50, 2)
+	want := modelJoin(left, right)
+
+	j := NewMergeJoinRows(e.ctx,
+		&SliceRows{Rows: sortedCopy(left)}, &SliceRows{Rows: sortedCopy(right)},
+		[]int{0}, []int{0})
+	got := joinResultMultiset(collectRows(j))
+	if !equalMultisets(got, want) {
+		t.Errorf("merge join multiset mismatch: %d result keys vs %d expected", len(got), len(want))
+	}
+}
+
+func TestMergeJoinManyToMany(t *testing.T) {
+	e := newTestEnv(t, 101)
+	left := []Row{
+		{record.Int(1), record.Int(10)}, {record.Int(1), record.Int(11)},
+		{record.Int(2), record.Int(12)},
+	}
+	right := []Row{
+		{record.Int(1), record.Int(20)}, {record.Int(1), record.Int(21)},
+		{record.Int(1), record.Int(22)}, {record.Int(3), record.Int(23)},
+	}
+	j := NewMergeJoinRows(e.ctx, &SliceRows{Rows: left}, &SliceRows{Rows: right},
+		[]int{0}, []int{0})
+	out := collectRows(j)
+	if len(out) != 6 { // 2 left × 3 right for key 1
+		t.Errorf("many-to-many join produced %d rows, want 6", len(out))
+	}
+}
+
+func TestMergeJoinEmptyInputs(t *testing.T) {
+	e := newTestEnv(t, 101)
+	nonEmpty := []Row{{record.Int(1), record.Int(2)}}
+	cases := []struct{ l, r []Row }{
+		{nil, nil}, {nonEmpty, nil}, {nil, nonEmpty},
+	}
+	for i, c := range cases {
+		j := NewMergeJoinRows(e.ctx, &SliceRows{Rows: c.l}, &SliceRows{Rows: c.r},
+			[]int{0}, []int{0})
+		if out := collectRows(j); len(out) != 0 {
+			t.Errorf("case %d: joined %d rows from empty input", i, len(out))
+		}
+	}
+}
+
+func TestHashJoinRowsMatchesModel(t *testing.T) {
+	e := newTestEnv(t, 101)
+	sch := twoColSchema()
+	left := randRows(200, 50, 3)
+	right := randRows(300, 50, 4)
+	want := modelJoin(left, right)
+	j := NewHashJoinRows(e.ctx, &SliceRows{Rows: left}, &SliceRows{Rows: right},
+		sch, sch, []int{0}, []int{0})
+	got := joinResultMultiset(collectRows(j))
+	if !equalMultisets(got, want) {
+		t.Errorf("hash join multiset mismatch")
+	}
+}
+
+func TestHashJoinGracePartitioning(t *testing.T) {
+	e := newTestEnv(t, 101)
+	sch := twoColSchema()
+	// Budget far below the build size forces grace partitioning.
+	e.ctx.MemoryBudget = int64(sch.EncodedSizeEstimate()) * 50
+	left := randRows(2000, 200, 5)
+	right := randRows(1000, 200, 6)
+	want := modelJoin(left, right)
+	e.ctx.Clock.Reset()
+	j := NewHashJoinRows(e.ctx, &SliceRows{Rows: left}, &SliceRows{Rows: right},
+		sch, sch, []int{0}, []int{0})
+	got := joinResultMultiset(collectRows(j))
+	if !equalMultisets(got, want) {
+		t.Fatal("grace hash join multiset mismatch")
+	}
+	if e.ctx.Clock.Spent("io.spill") == 0 {
+		t.Error("grace partitioning charged no spill I/O")
+	}
+}
+
+func TestHashJoinAgreesWithMergeJoin(t *testing.T) {
+	e := newTestEnv(t, 101)
+	sch := twoColSchema()
+	left := randRows(500, 80, 7)
+	right := randRows(500, 80, 8)
+	h := NewHashJoinRows(e.ctx, &SliceRows{Rows: left}, &SliceRows{Rows: right},
+		sch, sch, []int{0}, []int{0})
+	m := NewMergeJoinRows(e.ctx, &SliceRows{Rows: sortedCopy(left)},
+		&SliceRows{Rows: sortedCopy(right)}, []int{0}, []int{0})
+	if !equalMultisets(joinResultMultiset(collectRows(h)), joinResultMultiset(collectRows(m))) {
+		t.Error("hash and merge joins disagree")
+	}
+}
+
+func TestHashAggregateCounts(t *testing.T) {
+	e := newTestEnv(t, 101)
+	var rows []Row
+	for i := int64(0); i < 100; i++ {
+		rows = append(rows, Row{record.Int(i % 4), record.Int(i)})
+	}
+	a := NewHashAggregate(e.ctx, &SliceRows{Rows: rows}, []int{0},
+		[]AggSpec{{Kind: AggCount}, {Kind: AggSum, Col: 1}, {Kind: AggMin, Col: 1}, {Kind: AggMax, Col: 1}})
+	out := collectRows(a)
+	if len(out) != 4 {
+		t.Fatalf("aggregate produced %d groups, want 4", len(out))
+	}
+	for _, r := range out {
+		g := r[0].AsInt()
+		if r[1].AsInt() != 25 {
+			t.Errorf("group %d count = %d, want 25", g, r[1].AsInt())
+		}
+		// Sum of g, g+4, ..., g+96 = 25g + 4*(0+1+...+24) = 25g + 1200.
+		if want := float64(25*g + 1200); r[2].AsFloat() != want {
+			t.Errorf("group %d sum = %g, want %g", g, r[2].AsFloat(), want)
+		}
+		if r[3].AsInt() != g {
+			t.Errorf("group %d min = %d, want %d", g, r[3].AsInt(), g)
+		}
+		if want := g + 96; r[4].AsInt() != want {
+			t.Errorf("group %d max = %d, want %d", g, r[4].AsInt(), want)
+		}
+	}
+	// Deterministic group order (normalized key order = numeric order).
+	for i := 1; i < len(out); i++ {
+		if out[i-1][0].AsInt() >= out[i][0].AsInt() {
+			t.Error("groups not in deterministic ascending order")
+		}
+	}
+}
+
+func TestHashAggregateEmptyInput(t *testing.T) {
+	e := newTestEnv(t, 101)
+	a := NewHashAggregate(e.ctx, &SliceRows{}, []int{0}, []AggSpec{{Kind: AggCount}})
+	if out := collectRows(a); len(out) != 0 {
+		t.Errorf("empty aggregate produced %d groups", len(out))
+	}
+}
+
+func TestFilterProjectLimit(t *testing.T) {
+	e := newTestEnv(t, 101)
+	var rows []Row
+	for i := int64(0); i < 50; i++ {
+		rows = append(rows, Row{record.Int(i), record.Int(i * 2)})
+	}
+	f := NewFilter(e.ctx, &SliceRows{Rows: rows}, []ColPred{{Col: 0, Lo: record.Int(10), Hi: record.Int(30)}})
+	p := NewProject(e.ctx, f, []int{1})
+	l := NewLimit(p, 5)
+	out := collectRows(l)
+	if len(out) != 5 {
+		t.Fatalf("limit yielded %d rows", len(out))
+	}
+	for i, r := range out {
+		if len(r) != 1 || r[0].AsInt() != int64(10+i)*2 {
+			t.Errorf("row %d = %v", i, r)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package exec
+
+import (
+	"robustmap/internal/btree"
+	"robustmap/internal/catalog"
+	"robustmap/internal/record"
+	"robustmap/internal/simclock"
+	"robustmap/internal/storage"
+)
+
+// IndexKeyFilterScan walks an index range and applies predicates to the
+// decoded key columns, emitting the RIDs of matching entries. Unlike
+// CoveringIndexScan it does not require the index to be covering: it is the
+// System B access path, where a two-column index can evaluate both
+// predicates from its entries but the matching rows must still be fetched
+// from the base table because only base rows carry MVCC visibility
+// (Figure 8).
+type IndexKeyFilterScan struct {
+	ctx   *Ctx
+	ix    *catalog.Index
+	lo    []byte
+	hi    []byte
+	types []record.Type
+	preds []ColPred // ordinals refer to the index's column list
+	cur   *btree.Cursor
+}
+
+// NewIndexKeyFilterScan constructs the filtering index scan.
+func NewIndexKeyFilterScan(ctx *Ctx, ix *catalog.Index, lo, hi []byte, preds []ColPred) *IndexKeyFilterScan {
+	types := make([]record.Type, len(ix.Columns))
+	for i, o := range ix.Ordinals {
+		types[i] = ix.Table.Schema.Column(o).Type
+	}
+	return &IndexKeyFilterScan{ctx: ctx, ix: ix, lo: lo, hi: hi, types: types, preds: preds}
+}
+
+// Open seeks to the range start.
+func (s *IndexKeyFilterScan) Open() { s.cur = s.ix.Tree.Seek(s.lo, s.hi) }
+
+// Next returns the RID of the next entry whose key columns match.
+func (s *IndexKeyFilterScan) Next() (rid storage.RID, ok bool) {
+	for s.cur.Next() {
+		s.ctx.ChargeCPU(simclock.AccountCPU, CostIndexEntry, 1)
+		key := s.cur.Key()
+		if len(s.preds) > 0 {
+			vals, err := record.Denormalize(key[:len(key)-catalog.RIDSuffixLen], s.types)
+			if err != nil {
+				panic("exec: corrupt index key: " + err.Error())
+			}
+			if !MatchesAll(s.ctx, s.preds, vals) {
+				continue
+			}
+		}
+		return catalog.DecodeRIDSuffix(key), true
+	}
+	return storage.RID{}, false
+}
+
+// Close releases the cursor.
+func (s *IndexKeyFilterScan) Close() { s.cur = nil }

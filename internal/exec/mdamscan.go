@@ -1,0 +1,154 @@
+package exec
+
+import (
+	"robustmap/internal/btree"
+	"robustmap/internal/catalog"
+	"robustmap/internal/mdam"
+	"robustmap/internal/record"
+	"robustmap/internal/simclock"
+)
+
+// MDAMScan walks a two-column covering index with interval predicates on
+// both columns — the paper's System C plan (Figure 9). The leading column's
+// qualifying range is scanned; within it, entries whose second column falls
+// outside its interval set are skipped, and when a long stretch of
+// non-qualifying entries is detected the scan re-probes the tree past the
+// current leading value instead of grinding through leaf entries
+// ("multi-dimensional B-tree access", [LJBY95]).
+//
+// The scan-vs-probe switch is what makes the plan robust: its cost is
+// bounded by the leading interval's entry count on one side and by the
+// number of distinct leading values on the other, never by the table's
+// row count times a random I/O.
+type MDAMScan struct {
+	ctx       *Ctx
+	ix        *catalog.Index
+	leadSet   mdam.Set
+	secondSet mdam.Set
+	types     []record.Type
+
+	// ProbeThreshold is the number of consecutive non-qualifying entries
+	// tolerated before re-probing. Exposed for the MDAM ablation bench.
+	ProbeThreshold int
+
+	// DisableProbes turns off all re-probing, degrading the operator to a
+	// filtered covering scan — the non-MDAM baseline of the ablation.
+	DisableProbes bool
+
+	cur    *btree.Cursor
+	misses int
+	row    Row
+
+	// Probes counts tree re-probes (for tests and EXPLAIN output).
+	Probes int
+}
+
+// DefaultProbeThreshold balances scanning vs probing: about the number of
+// entries whose decode cost equals one tree descent.
+const DefaultProbeThreshold = 16
+
+// NewMDAMScan constructs the scan over a two-column covering index.
+func NewMDAMScan(ctx *Ctx, ix *catalog.Index, leadSet, secondSet mdam.Set) *MDAMScan {
+	if len(ix.Columns) != 2 {
+		panic("exec: MDAMScan requires a two-column index")
+	}
+	if !ix.Covering {
+		panic("exec: MDAMScan over non-covering index " + ix.Name)
+	}
+	types := []record.Type{
+		ix.Table.Schema.Column(ix.Ordinals[0]).Type,
+		ix.Table.Schema.Column(ix.Ordinals[1]).Type,
+	}
+	return &MDAMScan{ctx: ctx, ix: ix, leadSet: leadSet, secondSet: secondSet,
+		types: types, ProbeThreshold: DefaultProbeThreshold}
+}
+
+// Open positions the scan at the start of the leading interval set.
+func (s *MDAMScan) Open() {
+	if s.leadSet.Empty() || s.secondSet.Empty() {
+		s.cur = nil
+		return
+	}
+	var lo, hi []byte
+	if v, ok := s.leadSet.MinLo(); ok {
+		lo = record.NormalizeValue(nil, v)
+	}
+	if v, ok := s.leadSet.MaxHi(); ok {
+		hi = record.NormalizeValue(nil, v)
+	}
+	s.cur = s.ix.Tree.Seek(lo, hi)
+}
+
+// Next returns the next qualifying (lead, second) row.
+func (s *MDAMScan) Next() (Row, bool) {
+	if s.cur == nil {
+		return nil, false
+	}
+	for s.cur.Next() {
+		s.ctx.ChargeCPU(simclock.AccountCPU, CostIndexEntry, 1)
+		key := s.cur.Key()
+		vals, err := record.Denormalize(key[:len(key)-catalog.RIDSuffixLen], s.types)
+		if err != nil {
+			panic("exec: corrupt MDAM index key: " + err.Error())
+		}
+		lead, second := vals[0], vals[1]
+
+		if !s.leadSet.Contains(lead) {
+			if s.DisableProbes {
+				continue
+			}
+			// Inside the overall [minLo, maxHi) range but in a gap between
+			// leading intervals: probe to the next interval's start.
+			if iv, ok := s.leadSet.NextFrom(lead); ok && !iv.Lo.IsNull() {
+				s.probeTo(record.NormalizeValue(nil, iv.Lo))
+				continue
+			}
+			return nil, false
+		}
+
+		if s.secondSet.Contains(second) {
+			s.misses = 0
+			s.ctx.ChargeCPU(simclock.AccountCPU, CostEmit, 1)
+			s.row = vals
+			return s.row, true
+		}
+		if s.DisableProbes {
+			continue
+		}
+
+		// Non-qualifying second column. If the second value is already at
+		// or past its set's upper bound, nothing further under this leading
+		// value can qualify: skip to the next leading value immediately.
+		if hi, bounded := s.secondSet.MaxHi(); bounded && record.Compare(second, hi) >= 0 {
+			s.probeTo(record.KeySuccessor(record.NormalizeValue(nil, lead)))
+			continue
+		}
+		// Otherwise the qualifying region may lie ahead within this
+		// leading value; scan adaptively, probing directly to the next
+		// second-column interval after a stretch of misses.
+		s.misses++
+		if s.misses >= s.ProbeThreshold {
+			if iv, ok := s.secondSet.NextFrom(second); ok && !iv.Lo.IsNull() {
+				target := record.NormalizeValue(nil, lead)
+				target = record.NormalizeValue(target, iv.Lo)
+				s.probeTo(target)
+			}
+		}
+	}
+	return nil, false
+}
+
+// probeTo re-seeks the cursor to the given key, preserving the overall
+// upper bound, and counts the probe.
+func (s *MDAMScan) probeTo(key []byte) {
+	var hi []byte
+	if v, ok := s.leadSet.MaxHi(); ok {
+		hi = record.NormalizeValue(nil, v)
+	}
+	s.cur = s.ix.Tree.Seek(key, hi)
+	s.misses = 0
+	s.Probes++
+}
+
+// Close releases the cursor.
+func (s *MDAMScan) Close() { s.cur = nil }

@@ -1,0 +1,113 @@
+package exec
+
+import (
+	"sort"
+	"testing"
+
+	"robustmap/internal/record"
+)
+
+func TestNestedLoopJoinMatchesModel(t *testing.T) {
+	e := newTestEnv(t, 101)
+	left := randRows(150, 40, 21)
+	right := randRows(200, 40, 22)
+	want := modelJoin(left, right)
+	j := NewNestedLoopJoin(e.ctx, &SliceRows{Rows: left}, &SliceRows{Rows: right},
+		[]int{0}, []int{0})
+	got := joinResultMultiset(collectRows(j))
+	if !equalMultisets(got, want) {
+		t.Error("nested loop join multiset mismatch")
+	}
+}
+
+func TestNestedLoopJoinEmptyInputs(t *testing.T) {
+	e := newTestEnv(t, 101)
+	one := []Row{{record.Int(1), record.Int(2)}}
+	for i, c := range []struct{ l, r []Row }{{nil, one}, {one, nil}, {nil, nil}} {
+		j := NewNestedLoopJoin(e.ctx, &SliceRows{Rows: c.l}, &SliceRows{Rows: c.r},
+			[]int{0}, []int{0})
+		if out := collectRows(j); len(out) != 0 {
+			t.Errorf("case %d: %d rows from empty input", i, len(out))
+		}
+	}
+}
+
+func TestNestedLoopJoinQuadraticCost(t *testing.T) {
+	e := newTestEnv(t, 101)
+	cost := func(n int) int64 {
+		e.ctx.Clock.Reset()
+		j := NewNestedLoopJoin(e.ctx,
+			&SliceRows{Rows: randRows(n, 1<<30, 5)}, // unique keys: no matches
+			&SliceRows{Rows: randRows(n, 1<<30, 6)},
+			[]int{0}, []int{0})
+		Drain(j)
+		return int64(e.ctx.Clock.Now())
+	}
+	small, large := cost(100), cost(400)
+	ratio := float64(large) / float64(small)
+	if ratio < 10 || ratio > 24 {
+		t.Errorf("4x input gave %.1fx cost; want ~16x (quadratic)", ratio)
+	}
+}
+
+func TestSpillingHashAggregateMatchesInMemory(t *testing.T) {
+	e := newTestEnv(t, 101)
+	sch := twoColSchema()
+	rows := randRows(5000, 600, 31)
+	aggs := []AggSpec{{Kind: AggCount}, {Kind: AggSum, Col: 1}}
+
+	inMem := collectRows(NewHashAggregate(e.ctx, &SliceRows{Rows: rows}, []int{0}, aggs))
+
+	// Budget for ~50 groups of 600: forces spilling.
+	e.ctx.MemoryBudget = 50 * groupStateBytes([]int{0}, aggs)
+	sp := NewSpillingHashAggregate(e.ctx, &SliceRows{Rows: rows}, sch, []int{0}, aggs)
+	spilled := collectRows(sp)
+	if !sp.Spilled {
+		t.Fatal("aggregate did not spill under a tiny budget")
+	}
+	if len(spilled) != len(inMem) {
+		t.Fatalf("spilled aggregate has %d groups, in-memory %d", len(spilled), len(inMem))
+	}
+	// Compare as sets keyed by group value.
+	key := func(r Row) int64 { return r[0].AsInt() }
+	sort.Slice(spilled, func(i, j int) bool { return key(spilled[i]) < key(spilled[j]) })
+	sort.Slice(inMem, func(i, j int) bool { return key(inMem[i]) < key(inMem[j]) })
+	for i := range spilled {
+		for c := range spilled[i] {
+			if record.Compare(spilled[i][c], inMem[i][c]) != 0 {
+				t.Fatalf("group %d col %d: spilled=%v inmem=%v",
+					i, c, spilled[i][c], inMem[i][c])
+			}
+		}
+	}
+}
+
+func TestSpillingHashAggregateNoSpillWithinBudget(t *testing.T) {
+	e := newTestEnv(t, 101)
+	sch := twoColSchema()
+	rows := randRows(1000, 20, 33)
+	aggs := []AggSpec{{Kind: AggCount}}
+	e.ctx.MemoryBudget = 1 << 30
+	sp := NewSpillingHashAggregate(e.ctx, &SliceRows{Rows: rows}, sch, []int{0}, aggs)
+	out := collectRows(sp)
+	if sp.Spilled {
+		t.Error("spilled despite a huge budget")
+	}
+	if len(out) != 20 {
+		t.Errorf("groups = %d, want 20", len(out))
+	}
+}
+
+func TestSpillingHashAggregateChargesSpillIO(t *testing.T) {
+	e := newTestEnv(t, 101)
+	sch := twoColSchema()
+	rows := randRows(5000, 600, 35)
+	aggs := []AggSpec{{Kind: AggCount}}
+	e.ctx.MemoryBudget = 50 * groupStateBytes([]int{0}, aggs)
+	e.ctx.Clock.Reset()
+	sp := NewSpillingHashAggregate(e.ctx, &SliceRows{Rows: rows}, sch, []int{0}, aggs)
+	Drain(sp)
+	if e.ctx.Clock.Spent("io.spill") == 0 {
+		t.Error("spilling aggregate charged no spill I/O")
+	}
+}

@@ -1,0 +1,160 @@
+package exec
+
+import (
+	"testing"
+
+	"robustmap/internal/iomodel"
+	"robustmap/internal/simclock"
+	"robustmap/internal/storage"
+)
+
+func freshWorkerCtx(e *env) func(int) *Ctx {
+	return func(int) *Ctx {
+		clock := simclock.New()
+		dev := iomodel.NewDevice(iomodel.DefaultParams(), clock)
+		pool := storage.NewPool(e.ctx.Pool.Disk(), dev, clock, 64)
+		return &Ctx{Clock: clock, Pool: pool, MemoryBudget: 1 << 30}
+	}
+}
+
+func TestRangedTableScanPartitionsCoverTable(t *testing.T) {
+	e := newTestEnv(t, 3001)
+	pages := e.tbl.Heap.NumPages()
+	ranges := SkewedRanges(pages, 4, 1.0)
+	var total int64
+	for _, rng := range ranges {
+		total += Drain(NewRangedTableScan(e.ctx, e.tbl, nil, rng))
+	}
+	if total != e.n {
+		t.Errorf("partitioned scans saw %d rows, want %d", total, e.n)
+	}
+}
+
+func TestRangedTableScanWithPredicate(t *testing.T) {
+	e := newTestEnv(t, 2003)
+	pages := e.tbl.Heap.NumPages()
+	ranges := SkewedRanges(pages, 3, 1.0)
+	var total int64
+	for _, rng := range ranges {
+		total += Drain(NewRangedTableScan(e.ctx, e.tbl, []ColPred{predLess(1, 500)}, rng))
+	}
+	if total != 500 {
+		t.Errorf("partitioned predicate scans saw %d rows, want 500", total)
+	}
+}
+
+func TestRangedTableScanUnalignedStartStaysSequential(t *testing.T) {
+	// A fragment starting mid-extent must still be priced as a sequential
+	// scan (prefetch from its first page), not page-at-a-time seeks.
+	e := newTestEnv(t, 4001)
+	pages := e.tbl.Heap.NumPages()
+	rng := PageRange{Lo: 3, Hi: pages} // deliberately unaligned
+	e.ctx.Pool.FlushAll()
+	e.ctx.Clock.Reset()
+	e.ctx.Pool.Device().ResetStats()
+	Drain(NewRangedTableScan(e.ctx, e.tbl, nil, rng))
+	st := e.ctx.Pool.Device().Stats()
+	if st.RandomReads > 2 {
+		t.Errorf("unaligned fragment paid %d random reads, want <= 2", st.RandomReads)
+	}
+}
+
+func TestSkewedRanges(t *testing.T) {
+	ranges := SkewedRanges(100, 4, 1.0)
+	if len(ranges) != 4 {
+		t.Fatalf("ranges = %v", ranges)
+	}
+	if ranges[0].Lo != 0 || ranges[3].Hi != 100 {
+		t.Errorf("ranges do not cover [0,100): %v", ranges)
+	}
+	for i := 1; i < 4; i++ {
+		if ranges[i].Lo != ranges[i-1].Hi {
+			t.Errorf("gap between ranges %d and %d: %v", i-1, i, ranges)
+		}
+	}
+	// Uniform: all shares equal.
+	for _, r := range ranges {
+		if r.Hi-r.Lo != 25 {
+			t.Errorf("uniform range size = %d, want 25", r.Hi-r.Lo)
+		}
+	}
+	// Skewed: first range much larger than last.
+	skewed := SkewedRanges(100, 4, 2.0)
+	first := skewed[0].Hi - skewed[0].Lo
+	last := skewed[3].Hi - skewed[3].Lo
+	if first < 3*last {
+		t.Errorf("skew 2.0: first=%d last=%d, want strong imbalance", first, last)
+	}
+}
+
+func TestSkewedRangesValidation(t *testing.T) {
+	for i, f := range []func(){
+		func() { SkewedRanges(10, 0, 1) },
+		func() { SkewedRanges(10, 2, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRunParallelUniformSpeedup(t *testing.T) {
+	e := newTestEnv(t, 8009)
+	pages := e.tbl.Heap.NumPages()
+	const workers = 4
+	ranges := SkewedRanges(pages, workers, 1.0)
+	res := RunParallel(workers, freshWorkerCtx(e), func(w int, ctx *Ctx) RowIter {
+		return NewRangedTableScan(ctx, e.tbl, nil, ranges[w])
+	})
+	if res.Rows != e.n {
+		t.Fatalf("parallel scan saw %d rows, want %d", res.Rows, e.n)
+	}
+	if sp := res.Speedup(); sp < 2.5 || sp > float64(workers)+0.1 {
+		t.Errorf("uniform speedup = %.2f, want near %d", sp, workers)
+	}
+}
+
+func TestRunParallelSkewDegradesSpeedup(t *testing.T) {
+	e := newTestEnv(t, 8009)
+	pages := e.tbl.Heap.NumPages()
+	const workers = 4
+	run := func(skew float64) ParallelResult {
+		ranges := SkewedRanges(pages, workers, skew)
+		return RunParallel(workers, freshWorkerCtx(e), func(w int, ctx *Ctx) RowIter {
+			return NewRangedTableScan(ctx, e.tbl, nil, ranges[w])
+		})
+	}
+	uniform := run(1.0)
+	skewed := run(3.0)
+	if skewed.Speedup() >= uniform.Speedup() {
+		t.Errorf("skewed speedup %.2f not below uniform %.2f",
+			skewed.Speedup(), uniform.Speedup())
+	}
+	// The makespan collapses toward the largest partition's cost: with
+	// skew 3 the largest worker holds ~2/3 of the pages.
+	if skewed.Makespan < uniform.Makespan*14/10 {
+		t.Errorf("skewed makespan %v not >= 1.4x uniform %v",
+			skewed.Makespan, uniform.Makespan)
+	}
+}
+
+func TestRunParallelMakespanIsMaxPlusMerge(t *testing.T) {
+	e := newTestEnv(t, 1009)
+	pages := e.tbl.Heap.NumPages()
+	ranges := SkewedRanges(pages, 2, 1.0)
+	res := RunParallel(2, freshWorkerCtx(e), func(w int, ctx *Ctx) RowIter {
+		return NewRangedTableScan(ctx, e.tbl, nil, ranges[w])
+	})
+	var maxW = res.Workers[0].Time
+	if res.Workers[1].Time > maxW {
+		maxW = res.Workers[1].Time
+	}
+	if res.Makespan <= maxW {
+		t.Error("makespan must exceed the slowest worker (merge charge)")
+	}
+}

@@ -1,0 +1,203 @@
+package exec
+
+import (
+	"robustmap/internal/btree"
+	"robustmap/internal/catalog"
+	"robustmap/internal/mvcc"
+	"robustmap/internal/record"
+	"robustmap/internal/simclock"
+	"robustmap/internal/storage"
+)
+
+// TableScan reads every row of a table in physical order with prefetching
+// and applies a conjunction of predicates. Its cost is flat across
+// selectivities — the horizontal line of Figure 1.
+type TableScan struct {
+	ctx   *Ctx
+	table *catalog.Table
+	preds []ColPred
+
+	pages      storage.PageNo
+	pg         storage.PageNo
+	prefetched storage.PageNo // pages below this are already paid for
+	slot       int
+	sp         storage.SlottedPage
+	havePage   bool // sp is valid and pg is pinned
+	open       bool
+	row        Row
+}
+
+// NewTableScan constructs a table scan. Predicate ordinals refer to the
+// table schema.
+func NewTableScan(ctx *Ctx, t *catalog.Table, preds []ColPred) *TableScan {
+	return &TableScan{ctx: ctx, table: t, preds: preds}
+}
+
+// Open positions the scan before the first page.
+func (s *TableScan) Open() {
+	s.pages = s.table.Heap.NumPages()
+	s.pg = -1
+	s.prefetched = 0
+	s.slot = -1
+	s.havePage = false
+	s.open = true
+}
+
+// Next returns the next matching row.
+func (s *TableScan) Next() (Row, bool) {
+	if !s.open {
+		panic("exec: Next on unopened TableScan")
+	}
+	for {
+		if s.havePage && s.slot+1 < s.sp.NumSlots() {
+			s.slot++
+			rec, ok := s.sp.Get(storage.Slot(s.slot))
+			if !ok {
+				continue
+			}
+			if row, ok := s.decodeAndFilter(rec); ok {
+				return row, true
+			}
+			continue
+		}
+		// Advance to the next page, prefetching in device units.
+		if s.havePage {
+			s.ctx.Pool.Unpin(s.table.Heap.File(), s.pg)
+			s.havePage = false
+		}
+		s.pg++
+		if s.pg >= s.pages {
+			s.open = false
+			return nil, false
+		}
+		if s.pg >= s.prefetched {
+			k := storage.PageNo(s.ctx.Pool.PrefetchUnit())
+			if rem := s.pages - s.pg; rem < k {
+				k = rem
+			}
+			s.ctx.Pool.Prefetch(s.table.Heap.File(), s.pg, int(k))
+			s.prefetched = s.pg + k
+		}
+		data := s.ctx.Pool.Get(s.table.Heap.File(), s.pg)
+		s.sp = storage.AsSlotted(data)
+		s.havePage = true
+		s.slot = -1
+	}
+}
+
+func (s *TableScan) decodeAndFilter(rec []byte) (Row, bool) {
+	payload := rec
+	if s.table.Versioned != nil {
+		h, p := mvcc.DecodeHeader(rec)
+		if !s.ctx.Snap.Visible(h) {
+			return nil, false
+		}
+		payload = p
+	}
+	s.ctx.ChargeCPU(simclock.AccountCPU, CostRowDecode, 1)
+	s.row = s.row[:0]
+	var err error
+	s.row, _, err = s.table.Schema.Decode(payload, s.row)
+	if err != nil {
+		panic("exec: corrupt row in table scan: " + err.Error())
+	}
+	if !MatchesAll(s.ctx, s.preds, s.row) {
+		return nil, false
+	}
+	s.ctx.ChargeCPU(simclock.AccountCPU, CostEmit, 1)
+	return s.row, true
+}
+
+// Close releases the current page pin.
+func (s *TableScan) Close() {
+	if s.open && s.havePage {
+		s.ctx.Pool.Unpin(s.table.Heap.File(), s.pg)
+		s.havePage = false
+	}
+	s.open = false
+}
+
+// IndexRangeScan walks an index over the key range [lo, hi) and emits RIDs
+// in key order — physically scattered order, which is exactly what makes
+// the traditional fetch expensive.
+type IndexRangeScan struct {
+	ctx *Ctx
+	ix  *catalog.Index
+	lo  []byte
+	hi  []byte
+	cur *btree.Cursor
+}
+
+// NewIndexRangeScan constructs a range scan. lo and hi are normalized key
+// prefixes (see catalog.Index.PrefixFor); nil means unbounded.
+func NewIndexRangeScan(ctx *Ctx, ix *catalog.Index, lo, hi []byte) *IndexRangeScan {
+	return &IndexRangeScan{ctx: ctx, ix: ix, lo: lo, hi: hi}
+}
+
+// Open seeks to the start of the range.
+func (s *IndexRangeScan) Open() { s.cur = s.ix.Tree.Seek(s.lo, s.hi) }
+
+// Next returns the next RID in key order.
+func (s *IndexRangeScan) Next() (storage.RID, bool) {
+	if !s.cur.Next() {
+		return storage.RID{}, false
+	}
+	s.ctx.ChargeCPU(simclock.AccountCPU, CostIndexEntry, 1)
+	return catalog.DecodeRIDSuffix(s.cur.Key()), true
+}
+
+// Close is a no-op (cursors hold no pins between calls).
+func (s *IndexRangeScan) Close() { s.cur = nil }
+
+// CoveringIndexScan answers a query from index entries alone, decoding the
+// key columns and applying residual predicates to them. Only valid on
+// covering indexes: on versioned tables row visibility lives in the base
+// row, so constructing this over a non-covering index panics — that is
+// precisely the System B limitation of Figure 8.
+type CoveringIndexScan struct {
+	ctx   *Ctx
+	ix    *catalog.Index
+	lo    []byte
+	hi    []byte
+	types []record.Type
+	preds []ColPred // ordinals refer to the index's column list
+	cur   *btree.Cursor
+	row   Row
+}
+
+// NewCoveringIndexScan constructs an index-only scan.
+func NewCoveringIndexScan(ctx *Ctx, ix *catalog.Index, lo, hi []byte, preds []ColPred) *CoveringIndexScan {
+	if !ix.Covering {
+		panic("exec: covering scan over non-covering index " + ix.Name)
+	}
+	types := make([]record.Type, len(ix.Columns))
+	for i, o := range ix.Ordinals {
+		types[i] = ix.Table.Schema.Column(o).Type
+	}
+	return &CoveringIndexScan{ctx: ctx, ix: ix, lo: lo, hi: hi, types: types, preds: preds}
+}
+
+// Open seeks to the start of the range.
+func (s *CoveringIndexScan) Open() { s.cur = s.ix.Tree.Seek(s.lo, s.hi) }
+
+// Next returns the next matching index row (the key columns, in index
+// column order).
+func (s *CoveringIndexScan) Next() (Row, bool) {
+	for s.cur.Next() {
+		s.ctx.ChargeCPU(simclock.AccountCPU, CostIndexEntry, 1)
+		key := s.cur.Key()
+		vals, err := record.Denormalize(key[:len(key)-catalog.RIDSuffixLen], s.types)
+		if err != nil {
+			panic("exec: corrupt index key: " + err.Error())
+		}
+		s.row = vals
+		if MatchesAll(s.ctx, s.preds, s.row) {
+			s.ctx.ChargeCPU(simclock.AccountCPU, CostEmit, 1)
+			return s.row, true
+		}
+	}
+	return nil, false
+}
+
+// Close is a no-op.
+func (s *CoveringIndexScan) Close() { s.cur = nil }

@@ -1,0 +1,137 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"robustmap/internal/record"
+	"robustmap/internal/storage"
+)
+
+// Spill files hold sorted runs and hash-join partitions. Each run gets its
+// own file so that the device's sequential-run detection prices interleaved
+// merge reads correctly (each file advances its own sequential position).
+// Spill I/O bypasses the buffer pool — bulk spill traffic is not cached by
+// real engines either — and charges the device directly.
+//
+// Page format: uint16 row count, then schema-encoded rows back to back.
+
+const spillHeader = 2
+
+// runWriter writes encoded rows to a fresh file, sequentially.
+type runWriter struct {
+	ctx    *Ctx
+	schema *record.Schema
+	file   storage.FileID
+	page   []byte
+	off    int
+	count  int
+	pageNo storage.PageNo
+	rows   int64
+}
+
+func newRunWriter(ctx *Ctx, schema *record.Schema) *runWriter {
+	return &runWriter{
+		ctx:    ctx,
+		schema: schema,
+		file:   ctx.Pool.Disk().CreateFile(),
+		page:   make([]byte, 0, storage.PageSize),
+		off:    spillHeader,
+	}
+}
+
+// write appends one row, flushing pages as they fill.
+func (w *runWriter) write(row Row) {
+	enc, err := w.schema.Encode(nil, row)
+	if err != nil {
+		panic("exec: spill encode: " + err.Error())
+	}
+	if len(enc)+spillHeader > storage.PageSize {
+		panic(fmt.Sprintf("exec: spilled row of %d bytes exceeds page", len(enc)))
+	}
+	if w.off+len(enc) > storage.PageSize {
+		w.flushPage()
+	}
+	if cap(w.page) < storage.PageSize {
+		w.page = make([]byte, 0, storage.PageSize)
+	}
+	w.page = w.page[:w.off+len(enc)]
+	copy(w.page[w.off:], enc)
+	w.off += len(enc)
+	w.count++
+	w.rows++
+}
+
+func (w *runWriter) flushPage() {
+	if w.count == 0 {
+		return
+	}
+	pn := w.ctx.Pool.Disk().AllocPage(w.file)
+	data := w.ctx.Pool.Disk().PageData(w.file, pn)
+	binary.LittleEndian.PutUint16(data[0:2], uint16(w.count))
+	copy(data[spillHeader:], w.page[spillHeader:w.off])
+	w.ctx.Pool.Device().WritePage(uint32(w.file), int64(pn))
+	w.page = w.page[:0]
+	w.off = spillHeader
+	w.count = 0
+	w.pageNo = pn + 1
+}
+
+// finish flushes the tail and returns a reader constructor.
+func (w *runWriter) finish() spillRun {
+	w.flushPage()
+	return spillRun{file: w.file, pages: w.ctx.Pool.Disk().NumPages(w.file), rows: w.rows, schema: w.schema}
+}
+
+// spillRun identifies a finished run on disk.
+type spillRun struct {
+	file   storage.FileID
+	pages  storage.PageNo
+	rows   int64
+	schema *record.Schema
+}
+
+// runReader streams a spilled run back in write order.
+type runReader struct {
+	ctx  *Ctx
+	run  spillRun
+	pg   storage.PageNo
+	data []byte
+	off  int
+	left int
+	row  Row
+}
+
+func newRunReader(ctx *Ctx, run spillRun) *runReader {
+	return &runReader{ctx: ctx, run: run}
+}
+
+// next returns the following row, or false at end of run. The returned row
+// is freshly decoded and owned by the reader until the next call.
+func (r *runReader) next() (Row, bool) {
+	for r.left == 0 {
+		if r.pg >= r.run.pages {
+			return nil, false
+		}
+		r.ctx.Pool.Device().ReadPage(uint32(r.run.file), int64(r.pg))
+		r.data = r.ctx.Pool.Disk().PageData(r.run.file, r.pg)
+		r.left = int(binary.LittleEndian.Uint16(r.data[0:2]))
+		r.off = spillHeader
+		r.pg++
+	}
+	r.row = r.row[:0]
+	var n int
+	var err error
+	r.row, n, err = r.run.schema.Decode(r.data[r.off:], r.row)
+	if err != nil {
+		panic("exec: spill decode: " + err.Error())
+	}
+	r.off += n
+	r.left--
+	return r.row, true
+}
+
+// drop releases the run's disk space.
+func (run spillRun) drop(ctx *Ctx) {
+	ctx.Pool.Disk().DropFile(run.file)
+}

@@ -1,0 +1,151 @@
+package exec
+
+import (
+	"robustmap/internal/record"
+	"robustmap/internal/simclock"
+)
+
+// StreamAggregate groups rows that arrive sorted on the group-by columns,
+// holding exactly one group's state at a time. Its memory footprint is
+// constant regardless of group count — the gracefully degrading
+// alternative to HashAggregate, whose state grows with the number of
+// groups. The aggregation-robustness experiment maps the two against each
+// other (the paper's §4 names aggregation among the algorithms to map
+// next).
+type StreamAggregate struct {
+	ctx     *Ctx
+	input   RowIter
+	groupBy []int
+	aggs    []AggSpec
+
+	cur       *aggState
+	pending   Row
+	havePend  bool
+	exhausted bool
+	out       Row
+}
+
+// NewStreamAggregate constructs the streaming aggregate; the input must be
+// sorted on the group-by columns (wrap it in Sort if it is not).
+func NewStreamAggregate(ctx *Ctx, input RowIter, groupBy []int, aggs []AggSpec) *StreamAggregate {
+	return &StreamAggregate{ctx: ctx, input: input, groupBy: groupBy, aggs: aggs}
+}
+
+// Open opens the input.
+func (a *StreamAggregate) Open() { a.input.Open() }
+
+func (a *StreamAggregate) sameGroup(row Row) bool {
+	for _, g := range a.groupBy {
+		a.ctx.ChargeCPU(simclock.AccountCompare, CostSortCompare, 1)
+		if record.Compare(a.cur.groupVals[indexOf(a.groupBy, g)], row[g]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func (a *StreamAggregate) startGroup(row Row) {
+	a.cur = &aggState{
+		counts: make([]int64, len(a.aggs)),
+		sums:   make([]float64, len(a.aggs)),
+		mins:   make([]record.Value, len(a.aggs)),
+		maxs:   make([]record.Value, len(a.aggs)),
+	}
+	for _, g := range a.groupBy {
+		a.cur.groupVals = append(a.cur.groupVals, row[g])
+	}
+	a.accumulate(row)
+}
+
+func (a *StreamAggregate) accumulate(row Row) {
+	for i, spec := range a.aggs {
+		a.cur.counts[i]++
+		switch spec.Kind {
+		case AggSum:
+			a.cur.sums[i] += row[spec.Col].AsFloat()
+		case AggMin:
+			if a.cur.mins[i].IsNull() || record.Compare(row[spec.Col], a.cur.mins[i]) < 0 {
+				a.cur.mins[i] = row[spec.Col]
+			}
+		case AggMax:
+			if a.cur.maxs[i].IsNull() || record.Compare(row[spec.Col], a.cur.maxs[i]) > 0 {
+				a.cur.maxs[i] = row[spec.Col]
+			}
+		}
+	}
+}
+
+// emit renders the current group's output row.
+func (a *StreamAggregate) emit() Row {
+	a.out = a.out[:0]
+	a.out = append(a.out, a.cur.groupVals...)
+	for i, spec := range a.aggs {
+		switch spec.Kind {
+		case AggCount:
+			a.out = append(a.out, record.Int(a.cur.counts[i]))
+		case AggSum:
+			a.out = append(a.out, record.Float(a.cur.sums[i]))
+		case AggMin:
+			a.out = append(a.out, a.cur.mins[i])
+		case AggMax:
+			a.out = append(a.out, a.cur.maxs[i])
+		}
+	}
+	a.ctx.ChargeCPU(simclock.AccountCPU, CostEmit, 1)
+	return a.out
+}
+
+// Next returns the next completed group.
+func (a *StreamAggregate) Next() (Row, bool) {
+	if a.exhausted {
+		return nil, false
+	}
+	// Seed the first group.
+	if a.cur == nil {
+		var row Row
+		var ok bool
+		if a.havePend {
+			row, ok = a.pending, true
+			a.havePend = false
+		} else {
+			row, ok = a.input.Next()
+		}
+		if !ok {
+			a.exhausted = true
+			return nil, false
+		}
+		a.startGroup(copyRowVals(row))
+	}
+	for {
+		row, ok := a.input.Next()
+		if !ok {
+			a.exhausted = true
+			return a.emit(), true
+		}
+		if a.sameGroup(row) {
+			a.accumulate(row)
+			continue
+		}
+		// Group boundary: emit the finished group, stash the new row.
+		out := a.emit()
+		a.pending = copyRowVals(row)
+		a.havePend = true
+		a.cur = nil
+		// Prepare next group lazily on the following Next call.
+		a.startGroup(a.pending)
+		a.havePend = false
+		return out, true
+	}
+}
+
+// Close closes the input.
+func (a *StreamAggregate) Close() { a.input.Close() }

@@ -1,0 +1,93 @@
+package exec
+
+import (
+	"testing"
+
+	"robustmap/internal/record"
+)
+
+func sortedGroupRows(groups, perGroup int64) []Row {
+	var rows []Row
+	for g := int64(0); g < groups; g++ {
+		for i := int64(0); i < perGroup; i++ {
+			rows = append(rows, Row{record.Int(g), record.Int(g*perGroup + i)})
+		}
+	}
+	return rows
+}
+
+func TestStreamAggregateMatchesHashAggregate(t *testing.T) {
+	e := newTestEnv(t, 101)
+	rows := sortedGroupRows(7, 13)
+	aggs := []AggSpec{{Kind: AggCount}, {Kind: AggSum, Col: 1}, {Kind: AggMin, Col: 1}, {Kind: AggMax, Col: 1}}
+
+	stream := collectRows(NewStreamAggregate(e.ctx, &SliceRows{Rows: rows}, []int{0}, aggs))
+	hash := collectRows(NewHashAggregate(e.ctx, &SliceRows{Rows: rows}, []int{0}, aggs))
+
+	if len(stream) != len(hash) || len(stream) != 7 {
+		t.Fatalf("group counts: stream=%d hash=%d want 7", len(stream), len(hash))
+	}
+	for i := range stream {
+		for c := range stream[i] {
+			if record.Compare(stream[i][c], hash[i][c]) != 0 {
+				t.Errorf("group %d col %d: stream=%v hash=%v", i, c, stream[i][c], hash[i][c])
+			}
+		}
+	}
+}
+
+func TestStreamAggregateSingleGroup(t *testing.T) {
+	e := newTestEnv(t, 101)
+	rows := sortedGroupRows(1, 50)
+	out := collectRows(NewStreamAggregate(e.ctx, &SliceRows{Rows: rows}, []int{0},
+		[]AggSpec{{Kind: AggCount}}))
+	if len(out) != 1 || out[0][1].AsInt() != 50 {
+		t.Errorf("single group output = %v", out)
+	}
+}
+
+func TestStreamAggregateEmptyInput(t *testing.T) {
+	e := newTestEnv(t, 101)
+	out := collectRows(NewStreamAggregate(e.ctx, &SliceRows{}, []int{0},
+		[]AggSpec{{Kind: AggCount}}))
+	if len(out) != 0 {
+		t.Errorf("empty input produced %d groups", len(out))
+	}
+}
+
+func TestStreamAggregateGroupOfOne(t *testing.T) {
+	e := newTestEnv(t, 101)
+	rows := sortedGroupRows(20, 1)
+	out := collectRows(NewStreamAggregate(e.ctx, &SliceRows{Rows: rows}, []int{0},
+		[]AggSpec{{Kind: AggCount}, {Kind: AggMax, Col: 1}}))
+	if len(out) != 20 {
+		t.Fatalf("groups = %d, want 20", len(out))
+	}
+	for i, r := range out {
+		if r[1].AsInt() != 1 {
+			t.Errorf("group %d count = %d", i, r[1].AsInt())
+		}
+	}
+}
+
+func TestStreamAggregateMultiKeyGroups(t *testing.T) {
+	e := newTestEnv(t, 101)
+	var rows []Row
+	for a := int64(0); a < 3; a++ {
+		for b := int64(0); b < 4; b++ {
+			for k := int64(0); k < 2; k++ {
+				rows = append(rows, Row{record.Int(a), record.Int(b), record.Int(k)})
+			}
+		}
+	}
+	out := collectRows(NewStreamAggregate(e.ctx, &SliceRows{Rows: rows}, []int{0, 1},
+		[]AggSpec{{Kind: AggCount}}))
+	if len(out) != 12 {
+		t.Fatalf("groups = %d, want 12", len(out))
+	}
+	for _, r := range out {
+		if r[2].AsInt() != 2 {
+			t.Errorf("group (%v,%v) count = %d", r[0], r[1], r[2].AsInt())
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package exec
+
+import (
+	"fmt"
+
+	"robustmap/internal/record"
+	"robustmap/internal/simclock"
+)
+
+// Filter applies a predicate conjunction to its input.
+type Filter struct {
+	ctx   *Ctx
+	input RowIter
+	preds []ColPred
+}
+
+// NewFilter constructs a filter.
+func NewFilter(ctx *Ctx, input RowIter, preds []ColPred) *Filter {
+	return &Filter{ctx: ctx, input: input, preds: preds}
+}
+
+// Open opens the input.
+func (f *Filter) Open() { f.input.Open() }
+
+// Next returns the next matching row.
+func (f *Filter) Next() (Row, bool) {
+	for {
+		row, ok := f.input.Next()
+		if !ok {
+			return nil, false
+		}
+		if MatchesAll(f.ctx, f.preds, row) {
+			return row, true
+		}
+	}
+}
+
+// Close closes the input.
+func (f *Filter) Close() { f.input.Close() }
+
+// Project narrows rows to the given column ordinals.
+type Project struct {
+	ctx   *Ctx
+	input RowIter
+	cols  []int
+	out   Row
+}
+
+// NewProject constructs a projection.
+func NewProject(ctx *Ctx, input RowIter, cols []int) *Project {
+	return &Project{ctx: ctx, input: input, cols: cols}
+}
+
+// Open opens the input.
+func (p *Project) Open() { p.input.Open() }
+
+// Next returns the next projected row.
+func (p *Project) Next() (Row, bool) {
+	row, ok := p.input.Next()
+	if !ok {
+		return nil, false
+	}
+	p.out = p.out[:0]
+	for _, c := range p.cols {
+		p.out = append(p.out, row[c])
+	}
+	p.ctx.ChargeCPU(simclock.AccountCPU, CostEmit, 1)
+	return p.out, true
+}
+
+// Close closes the input.
+func (p *Project) Close() { p.input.Close() }
+
+// Limit stops after n rows.
+type Limit struct {
+	input RowIter
+	n     int64
+	seen  int64
+}
+
+// NewLimit constructs a limit.
+func NewLimit(input RowIter, n int64) *Limit { return &Limit{input: input, n: n} }
+
+// Open opens the input.
+func (l *Limit) Open() {
+	l.seen = 0
+	l.input.Open()
+}
+
+// Next returns the next row while under the limit.
+func (l *Limit) Next() (Row, bool) {
+	if l.seen >= l.n {
+		return nil, false
+	}
+	row, ok := l.input.Next()
+	if !ok {
+		return nil, false
+	}
+	l.seen++
+	return row, true
+}
+
+// Close closes the input.
+func (l *Limit) Close() { l.input.Close() }
+
+// SliceRows adapts an in-memory row slice to a RowIter (tests, examples).
+type SliceRows struct {
+	Rows []Row
+	pos  int
+}
+
+// Open rewinds.
+func (s *SliceRows) Open() { s.pos = 0 }
+
+// Next returns the next row.
+func (s *SliceRows) Next() (Row, bool) {
+	if s.pos >= len(s.Rows) {
+		return nil, false
+	}
+	r := s.Rows[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Close is a no-op.
+func (s *SliceRows) Close() {}
+
+// AggKind enumerates the supported aggregates.
+type AggKind int
+
+// Supported aggregate functions.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+)
+
+// AggSpec is one aggregate over an input column (ignored for AggCount).
+type AggSpec struct {
+	Kind AggKind
+	Col  int
+}
+
+// HashAggregate groups by the given columns and computes aggregates.
+// Output rows are the group-by columns followed by the aggregate values,
+// in deterministic (normalized group key) order.
+type HashAggregate struct {
+	ctx     *Ctx
+	input   RowIter
+	groupBy []int
+	aggs    []AggSpec
+
+	keys   []string
+	groups map[string]*aggState
+	order  []string
+	pos    int
+	built  bool
+	out    Row
+}
+
+type aggState struct {
+	groupVals Row
+	counts    []int64
+	sums      []float64
+	mins      []record.Value
+	maxs      []record.Value
+}
+
+// NewHashAggregate constructs a grouping aggregate. Group state is assumed
+// to fit in memory (the experiment queries group on low-cardinality keys).
+func NewHashAggregate(ctx *Ctx, input RowIter, groupBy []int, aggs []AggSpec) *HashAggregate {
+	return &HashAggregate{ctx: ctx, input: input, groupBy: groupBy, aggs: aggs}
+}
+
+// Open opens the input.
+func (a *HashAggregate) Open() { a.input.Open() }
+
+func (a *HashAggregate) build() {
+	a.groups = make(map[string]*aggState)
+	for {
+		row, ok := a.input.Next()
+		if !ok {
+			break
+		}
+		a.ctx.ChargeCPU(simclock.AccountHash, CostHashOp, 1)
+		key := keyString(row, a.groupBy)
+		st := a.groups[key]
+		if st == nil {
+			st = &aggState{
+				counts: make([]int64, len(a.aggs)),
+				sums:   make([]float64, len(a.aggs)),
+				mins:   make([]record.Value, len(a.aggs)),
+				maxs:   make([]record.Value, len(a.aggs)),
+			}
+			for _, g := range a.groupBy {
+				st.groupVals = append(st.groupVals, row[g])
+			}
+			a.groups[key] = st
+			a.order = append(a.order, key)
+		}
+		for i, spec := range a.aggs {
+			st.counts[i]++
+			switch spec.Kind {
+			case AggSum:
+				st.sums[i] += row[spec.Col].AsFloat()
+			case AggMin:
+				if st.mins[i].IsNull() || record.Compare(row[spec.Col], st.mins[i]) < 0 {
+					st.mins[i] = row[spec.Col]
+				}
+			case AggMax:
+				if st.maxs[i].IsNull() || record.Compare(row[spec.Col], st.maxs[i]) > 0 {
+					st.maxs[i] = row[spec.Col]
+				}
+			}
+		}
+	}
+	// Deterministic output order: sort keys lexicographically (normalized
+	// keys order like the values themselves).
+	sortStrings(a.order)
+	a.built = true
+}
+
+// Next returns the next group row.
+func (a *HashAggregate) Next() (Row, bool) {
+	if !a.built {
+		a.build()
+	}
+	if a.pos >= len(a.order) {
+		return nil, false
+	}
+	st := a.groups[a.order[a.pos]]
+	a.pos++
+	a.out = a.out[:0]
+	a.out = append(a.out, st.groupVals...)
+	for i, spec := range a.aggs {
+		switch spec.Kind {
+		case AggCount:
+			a.out = append(a.out, record.Int(st.counts[i]))
+		case AggSum:
+			a.out = append(a.out, record.Float(st.sums[i]))
+		case AggMin:
+			a.out = append(a.out, st.mins[i])
+		case AggMax:
+			a.out = append(a.out, st.maxs[i])
+		default:
+			panic(fmt.Sprintf("exec: unknown aggregate %d", spec.Kind))
+		}
+	}
+	a.ctx.ChargeCPU(simclock.AccountCPU, CostEmit, 1)
+	return a.out, true
+}
+
+// Close closes the input.
+func (a *HashAggregate) Close() { a.input.Close() }
+
+func sortStrings(s []string) {
+	// Insertion sort is fine: group counts in experiments are small.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

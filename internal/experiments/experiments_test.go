@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallStudy is shared across tests; the 2-D sweep is computed once.
+var smallStudy *Study
+
+func study(t testing.TB) *Study {
+	if smallStudy == nil {
+		s, err := NewStudy(SmallStudyConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		smallStudy = s
+	}
+	return smallStudy
+}
+
+func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
+	ids := IDs()
+	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "aggsweep", "joinsweep", "memsweep",
+		"parallel", "regions", "scoreboard", "sortspill", "systems", "worstmap"}
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d: %v", len(ids), len(want), ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Errorf("ids[%d] = %s, want %s", i, ids[i], id)
+		}
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("Lookup(%s) missing", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup accepted unknown id")
+	}
+}
+
+func TestAxisHelper(t *testing.T) {
+	fr, th := axis(1<<10, 3)
+	if len(fr) != 4 || fr[0] != 0.125 || fr[3] != 1 {
+		t.Errorf("fractions = %v", fr)
+	}
+	if th[0] != 128 || th[3] != 1024 {
+		t.Errorf("thresholds = %v", th)
+	}
+	// Tiny tables clamp thresholds to 1 row.
+	_, th = axis(4, 6)
+	if th[0] != 1 {
+		t.Errorf("clamped threshold = %d", th[0])
+	}
+}
+
+func TestFractionLabels(t *testing.T) {
+	got := FractionLabels([]float64{0.25, 0.5, 1})
+	want := []string{"2^-2", "2^-1", "2^0"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("labels = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFigure1ChecksPass(t *testing.T) {
+	a := Figure1(study(t))
+	if !a.Passed() {
+		t.Errorf("figure 1 checks failed:\n%s", a.Summary)
+	}
+	if !strings.Contains(a.CSV, "A1") || !strings.Contains(a.ASCII, "A1") {
+		t.Error("artifacts missing plan data")
+	}
+	if !strings.HasPrefix(a.SVG, "<svg") {
+		t.Error("missing SVG")
+	}
+}
+
+func TestFigure2ChecksPass(t *testing.T) {
+	a := Figure2(study(t))
+	if !a.Passed() {
+		t.Errorf("figure 2 checks failed:\n%s", a.Summary)
+	}
+}
+
+func TestLegendFigures(t *testing.T) {
+	for _, f := range []func(*Study) *Artifacts{Figure3, Figure6} {
+		a := f(nil) // legends need no study
+		if !a.Passed() {
+			t.Errorf("%s checks failed:\n%s", a.ID, a.Summary)
+		}
+		if !strings.HasPrefix(a.SVG, "<svg") || a.ASCII == "" {
+			t.Errorf("%s artifacts incomplete", a.ID)
+		}
+	}
+}
+
+func TestTwoDimensionalFigures(t *testing.T) {
+	s := study(t)
+	for _, f := range []func(*Study) *Artifacts{Figure4, Figure5, Figure7, Figure8, Figure9, Figure10} {
+		a := f(s)
+		t.Run(a.ID, func(t *testing.T) {
+			if !a.Passed() {
+				t.Errorf("checks failed:\n%s", a.Summary)
+			}
+			if a.CSV == "" || a.ASCII == "" || !strings.HasPrefix(a.SVG, "<svg") {
+				t.Error("artifacts incomplete")
+			}
+			if a.ID != "fig10" && a.PPM == "" {
+				t.Error("missing PPM")
+			}
+		})
+	}
+}
+
+func TestSortSpillChecksPass(t *testing.T) {
+	a := SortSpill(study(t))
+	if !a.Passed() {
+		t.Errorf("sortspill checks failed:\n%s", a.Summary)
+	}
+	if !strings.Contains(a.CSV, "graceful_s") {
+		t.Error("missing CSV series")
+	}
+}
+
+func TestJoinSweepChecksPass(t *testing.T) {
+	a := JoinSweep(study(t))
+	if !a.Passed() {
+		t.Errorf("joinsweep checks failed:\n%s", a.Summary)
+	}
+}
+
+func TestAggSweepChecksPass(t *testing.T) {
+	a := AggSweep(study(t))
+	if !a.Passed() {
+		t.Errorf("aggsweep checks failed:\n%s", a.Summary)
+	}
+}
+
+func TestWorstMapChecksPass(t *testing.T) {
+	a := WorstMap(study(t))
+	if !a.Passed() {
+		t.Errorf("worstmap checks failed:\n%s", a.Summary)
+	}
+	if !strings.Contains(a.Summary, "WORST choice") {
+		t.Error("missing danger ranking")
+	}
+}
+
+func TestSystemsCompareChecksPass(t *testing.T) {
+	a := SystemsCompare(study(t))
+	if !a.Passed() {
+		t.Errorf("systems checks failed:\n%s", a.Summary)
+	}
+	for _, sys := range []string{"A", "B", "C"} {
+		if !strings.Contains(a.Summary, sys) {
+			t.Errorf("summary missing system %s", sys)
+		}
+	}
+}
+
+func TestRunAllProducesEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll covered piecewise above")
+	}
+	arts := RunAll(study(t))
+	if len(arts) != len(IDs()) {
+		t.Fatalf("RunAll produced %d artifacts", len(arts))
+	}
+	for _, a := range arts {
+		if a.Summary == "" {
+			t.Errorf("%s has no summary", a.ID)
+		}
+	}
+}
+
+func TestParallelSweepChecksPass(t *testing.T) {
+	a := ParallelSweep(study(t))
+	if !a.Passed() {
+		t.Errorf("parallel checks failed:\n%s", a.Summary)
+	}
+	if !strings.Contains(a.CSV, "workers") {
+		t.Error("missing CSV header")
+	}
+}
+
+func TestRegionsChecksPass(t *testing.T) {
+	a := Regions(study(t))
+	if !a.Passed() {
+		t.Errorf("regions checks failed:\n%s", a.Summary)
+	}
+	if !strings.Contains(a.CSV, "areaFraction") {
+		t.Error("missing CSV header")
+	}
+	if !strings.Contains(a.ASCII, "optimal on") {
+		t.Error("missing region renderings")
+	}
+}
+
+func TestScoreboardChecksPass(t *testing.T) {
+	a := ScoreboardExperiment(study(t))
+	if !a.Passed() {
+		t.Errorf("scoreboard checks failed:\n%s", a.Summary)
+	}
+	if !strings.Contains(a.CSV, "meanDanger") {
+		t.Error("missing CSV header")
+	}
+}
+
+func TestMemSweepChecksPass(t *testing.T) {
+	a := MemSweep(study(t))
+	if !a.Passed() {
+		t.Errorf("memsweep checks failed:\n%s", a.Summary)
+	}
+}

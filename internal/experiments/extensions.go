@@ -1,0 +1,373 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"robustmap/internal/core"
+	"robustmap/internal/exec"
+	"robustmap/internal/iomodel"
+	"robustmap/internal/record"
+	"robustmap/internal/simclock"
+	"robustmap/internal/storage"
+	"robustmap/internal/vis"
+)
+
+// Extension experiments realize the paper's §4 roadmap beyond the figures:
+// "Our immediate next step is to extend this analysis and its
+// visualization to additional query execution algorithms including sort,
+// aggregation, join algorithms, and join order", plus the two §3.3
+// opportunities "not pursued in this paper": worst-performance maps and
+// multi-system comparison.
+
+// freshOpCtx builds an isolated operator-execution context.
+func freshOpCtx(io iomodel.Params, budget int64) *exec.Ctx {
+	clock := simclock.New()
+	dev := iomodel.NewDevice(io, clock)
+	pool := storage.NewPool(storage.NewDisk(), dev, clock, 64)
+	return &exec.Ctx{Clock: clock, Pool: pool, MemoryBudget: budget}
+}
+
+// JoinSweep maps the robustness of hash join vs sort-merge join as the
+// build input grows through the memory budget — the join-algorithm entry
+// of §4 and the [GLS94] sort-vs-hash comparison the paper cites.
+func JoinSweep(s *Study) *Artifacts {
+	schema := record.NewSchema(
+		record.Column{Name: "k", Type: record.TypeInt64},
+		record.Column{Name: "pad", Type: record.TypeString},
+	)
+	pad := record.String_(string(make([]byte, 100)))
+	rowBytes := schema.EncodedSizeEstimate()
+	memRows := int64(4000)
+	budget := int64(rowBytes) * memRows
+	const probeRows = 8000
+
+	mkRows := func(n int64, seed int64) []exec.Row {
+		r := rand.New(rand.NewSource(seed))
+		rows := make([]exec.Row, n)
+		for i := range rows {
+			rows[i] = exec.Row{record.Int(int64(r.Intn(int(n) + 1))), pad}
+		}
+		return rows
+	}
+	probe := mkRows(probeRows, 7)
+
+	hashCost := func(buildN int64) time.Duration {
+		ctx := freshOpCtx(s.Cfg.Engine.IO, budget)
+		j := exec.NewHashJoinRows(ctx, &exec.SliceRows{Rows: mkRows(buildN, 3)},
+			&exec.SliceRows{Rows: probe}, schema, schema, []int{0}, []int{0})
+		exec.Drain(j)
+		return ctx.Clock.Now()
+	}
+	mergeCost := func(buildN int64) time.Duration {
+		ctx := freshOpCtx(s.Cfg.Engine.IO, budget)
+		left := exec.NewSort(ctx, &exec.SliceRows{Rows: mkRows(buildN, 3)}, schema,
+			[]int{0}, exec.PolicyGraceful)
+		right := exec.NewSort(ctx, &exec.SliceRows{Rows: probe}, schema,
+			[]int{0}, exec.PolicyGraceful)
+		j := exec.NewMergeJoinRows(ctx, left, right, []int{0}, []int{0})
+		exec.Drain(j)
+		return ctx.Clock.Now()
+	}
+	nljCost := func(buildN int64) time.Duration {
+		ctx := freshOpCtx(s.Cfg.Engine.IO, budget)
+		j := exec.NewNestedLoopJoin(ctx, &exec.SliceRows{Rows: probe},
+			&exec.SliceRows{Rows: mkRows(buildN, 3)}, []int{0}, []int{0})
+		exec.Drain(j)
+		return ctx.Clock.Now()
+	}
+
+	var fractions []float64
+	var sizes []int64
+	for _, f := range []float64{0.25, 0.5, 0.75, 0.95, 1.05, 1.5, 2, 3, 4} {
+		fractions = append(fractions, f)
+		sizes = append(sizes, int64(f*float64(memRows)))
+	}
+	hash := make([]time.Duration, len(sizes))
+	merge := make([]time.Duration, len(sizes))
+	nlj := make([]time.Duration, len(sizes))
+	for i, n := range sizes {
+		hash[i] = hashCost(n)
+		merge[i] = mergeCost(n)
+		nlj[i] = nljCost(n)
+	}
+
+	// Checks: in-memory hash join beats sort-merge (GLS94); past the
+	// budget, hash pays the grace-partitioning cliff while the
+	// graceful-sort merge join grows smoothly.
+	var checks []Check
+	checks = append(checks, Check{
+		Claim: "hash join beats sort-merge while the build input fits in memory [GLS94]",
+		Pass:  hash[0] < merge[0],
+		Got:   fmt.Sprintf("%v vs %v at 0.25x memory", hash[0], merge[0]),
+	})
+	hashJump := float64(hash[4]) / float64(hash[3]) // 0.95x -> 1.05x
+	mergeJump := float64(merge[4]) / float64(merge[3])
+	checks = append(checks, Check{
+		Claim: "hash join cost jumps at the memory boundary (grace partitioning round trip)",
+		Pass:  hashJump > 1.5,
+		Got:   fmt.Sprintf("jump %.2fx across the boundary", hashJump),
+	})
+	checks = append(checks, Check{
+		Claim: "sort-merge join with graceful sorts crosses the boundary smoothly",
+		Pass:  mergeJump < 1.3,
+		Got:   fmt.Sprintf("jump %.2fx across the boundary", mergeJump),
+	})
+	// Nested-loop join: perfectly memory-robust (no boundary effect at
+	// all) yet uniformly far slower — robustness alone is not enough.
+	nljJump := float64(nlj[4]) / float64(nlj[3])
+	checks = append(checks, Check{
+		Claim: "nested-loop join ignores the memory boundary entirely but is far slower throughout",
+		Pass:  nljJump < 1.25 && nlj[0] > 10*hash[0] && nlj[len(nlj)-1] > merge[len(merge)-1],
+		Got: fmt.Sprintf("boundary jump %.2fx; %v vs hash %v at 0.25x memory",
+			nljJump, nlj[0], hash[0]),
+	})
+
+	series := map[string][]time.Duration{
+		"hash join": hash, "sort-merge join": merge, "nested-loop join": nlj,
+	}
+	title := fmt.Sprintf("Join robustness (§4): build input vs memory (%d-row budget)", memRows)
+	csv := "buildOverMemory,buildRows,hash_s,merge_s,nlj_s\n"
+	for i := range sizes {
+		csv += fmt.Sprintf("%.2f,%d,%.6f,%.6f,%.6f\n",
+			fractions[i], sizes[i], hash[i].Seconds(), merge[i].Seconds(), nlj[i].Seconds())
+	}
+	return &Artifacts{
+		ID:      "joinsweep",
+		Title:   title,
+		Summary: title + "\n" + renderChecks(checks),
+		CSV:     csv,
+		ASCII:   vis.LineChartASCII(fractions, series, 72, 18, title),
+		SVG:     vis.LineChartSVG(fractions, series, title, "build size / memory size", "execution time"),
+		Checks:  checks,
+	}
+}
+
+// AggSweep maps aggregation robustness across group counts: hash
+// aggregation holds one state per group (memory grows with groups, cost
+// flat), while sort-based streaming aggregation holds one state total
+// (memory flat, cost pays the sort) — the aggregation entry of §4.
+func AggSweep(s *Study) *Artifacts {
+	schema := record.NewSchema(
+		record.Column{Name: "g", Type: record.TypeInt64},
+		record.Column{Name: "v", Type: record.TypeInt64},
+	)
+	const inputRows = 60000
+	aggs := []exec.AggSpec{{Kind: AggCountKind}, {Kind: AggSumKind, Col: 1}}
+
+	mkRows := func(groups int64) []exec.Row {
+		r := rand.New(rand.NewSource(11))
+		rows := make([]exec.Row, inputRows)
+		for i := range rows {
+			rows[i] = exec.Row{record.Int(int64(r.Intn(int(groups)))), record.Int(int64(i))}
+		}
+		return rows
+	}
+	budget := int64(schema.EncodedSizeEstimate()) * 8000
+
+	hashCost := func(groups int64) time.Duration {
+		ctx := freshOpCtx(s.Cfg.Engine.IO, budget)
+		exec.Drain(exec.NewHashAggregate(ctx, &exec.SliceRows{Rows: mkRows(groups)},
+			[]int{0}, aggs))
+		return ctx.Clock.Now()
+	}
+	sortCost := func(groups int64) time.Duration {
+		ctx := freshOpCtx(s.Cfg.Engine.IO, budget)
+		sorted := exec.NewSort(ctx, &exec.SliceRows{Rows: mkRows(groups)}, schema,
+			[]int{0}, exec.PolicyGraceful)
+		exec.Drain(exec.NewStreamAggregate(ctx, sorted, []int{0}, aggs))
+		return ctx.Clock.Now()
+	}
+
+	groupCounts := []int64{1, 16, 256, 4096, 16384, 60000}
+	fractions := make([]float64, len(groupCounts))
+	hash := make([]time.Duration, len(groupCounts))
+	sortAgg := make([]time.Duration, len(groupCounts))
+	for i, g := range groupCounts {
+		fractions[i] = float64(g) / float64(inputRows)
+		hash[i] = hashCost(g)
+		sortAgg[i] = sortCost(g)
+	}
+
+	var hashMax, hashMin = hash[0], hash[0]
+	for _, t := range hash {
+		if t > hashMax {
+			hashMax = t
+		}
+		if t < hashMin {
+			hashMin = t
+		}
+	}
+	checks := []Check{
+		{
+			Claim: "hash aggregation cost is flat across group counts",
+			Pass:  float64(hashMax)/float64(hashMin) < 1.6,
+			Got:   fmt.Sprintf("max/min = %.2f", float64(hashMax)/float64(hashMin)),
+		},
+		{
+			Claim: "sort-based aggregation pays the sort: costlier than hash aggregation throughout",
+			Pass:  sortAgg[0] > hash[0] && sortAgg[len(sortAgg)-1] > hash[len(hash)-1],
+			Got:   fmt.Sprintf("%v vs %v at 1 group; %v vs %v at %d groups", sortAgg[0], hash[0], sortAgg[len(sortAgg)-1], hash[len(hash)-1], groupCounts[len(groupCounts)-1]),
+		},
+	}
+
+	series := map[string][]time.Duration{"hash agg": hash, "sort+stream agg": sortAgg}
+	title := fmt.Sprintf("Aggregation robustness (§4): %d rows, varying group count", inputRows)
+	csv := "groupFraction,groups,hash_s,sortstream_s\n"
+	for i := range groupCounts {
+		csv += fmt.Sprintf("%.5f,%d,%.6f,%.6f\n",
+			fractions[i], groupCounts[i], hash[i].Seconds(), sortAgg[i].Seconds())
+	}
+	return &Artifacts{
+		ID:      "aggsweep",
+		Title:   title,
+		Summary: title + "\n" + renderChecks(checks),
+		CSV:     csv,
+		ASCII:   vis.LineChartASCII(fractions, series, 72, 18, title),
+		SVG:     vis.LineChartSVG(fractions, series, title, "groups / input rows", "execution time"),
+		Checks:  checks,
+	}
+}
+
+// Aggregate kind aliases keep the experiment definitions readable.
+const (
+	AggCountKind = exec.AggCount
+	AggSumKind   = exec.AggSum
+)
+
+// WorstMap realizes the paper's first unpursued opportunity (§3.3): map
+// "particularly dangerous plans and the relative performance of plans
+// compared to how bad performance could be."
+func WorstMap(s *Study) *Artifacts {
+	m := s.Map2D()
+	headroom := m.HeadroomGrid()
+	bins := core.BinGridRelative(headroom, core.DefaultRelativeBins())
+
+	// Rank plans by how often they are the worst choice.
+	type danger struct {
+		plan string
+		sum  core.DangerSummary
+	}
+	var rank []danger
+	for _, p := range m.Plans {
+		rank = append(rank, danger{p, core.SummarizeDanger(m.DangerGrid(p))})
+	}
+	var maxHeadroom float64
+	for _, row := range headroom {
+		for _, q := range row {
+			if q > maxHeadroom {
+				maxHeadroom = q
+			}
+		}
+	}
+
+	checks := []Check{
+		{
+			Claim: "the spread between best and worst plan exceeds an order of magnitude somewhere",
+			Pass:  maxHeadroom >= 10,
+			Got:   fmt.Sprintf("max worst/best = %.0f", maxHeadroom),
+		},
+	}
+
+	var b strings.Builder
+	title := "Worst-performance map (§3.3 extension): worst/best spread per point"
+	fmt.Fprintf(&b, "%s\n%s\nplans most often the WORST choice:\n", title, renderChecks(checks))
+	for _, d := range rank {
+		if d.sum.WorstAtFraction > 0 {
+			fmt.Fprintf(&b, "  %-10s worst at %4.0f%% of points (mean danger %.2f)\n",
+				d.plan, d.sum.WorstAtFraction*100, d.sum.MeanDanger)
+		}
+	}
+	labels := FractionLabels(m.FracA)
+	colLabels := FractionLabels(m.FracB)
+	return &Artifacts{
+		ID:      "worstmap",
+		Title:   title,
+		Summary: b.String(),
+		CSV:     csv2DQuot(m, headroom),
+		ASCII: vis.HeatMapASCII(bins, vis.GlyphsRelative, labels, colLabels,
+			title, "worst/best factor", legendLabelsRelative()),
+		SVG: vis.HeatMapSVG(bins, vis.PaletteRelative, labels, colLabels,
+			title, "selectivity of b (fraction)", "selectivity of a (fraction)", legendLabelsRelative()),
+		PPM:    vis.HeatMapPPM(bins, vis.PaletteRelative, 12),
+		Checks: checks,
+	}
+}
+
+// SystemsCompare realizes the paper's second unpursued opportunity: "we
+// have not yet compared multiple systems and their available plans." It
+// maps, per point, each system's best plan against the global best.
+func SystemsCompare(s *Study) *Artifacts {
+	m := s.Map2D()
+	pools := map[string][]string{
+		"A": {"A1", "A2", "A3", "A4", "A5", "A6", "A7"},
+		"B": {"B1", "B2", "B3", "B4"},
+		"C": {"C1", "C2"},
+	}
+	global := m.BestGrid()
+
+	sysQuot := func(ids []string) [][]float64 {
+		best := m.BestGridOver(ids)
+		out := make([][]float64, len(best))
+		for i := range best {
+			out[i] = make([]float64, len(best[i]))
+			for j := range best[i] {
+				out[i][j] = float64(best[i][j]) / float64(global[i][j])
+			}
+		}
+		return out
+	}
+	summaries := map[string]core.RobustnessSummary{}
+	for name, ids := range pools {
+		summaries[name] = core.SummarizeRelative(sysQuot(ids))
+	}
+
+	checks := []Check{
+		{
+			Claim: "System C's covering MDAM repertoire is the most robust (smallest worst-case vs global best)",
+			Pass: summaries["C"].Worst <= summaries["A"].Worst &&
+				summaries["C"].Worst <= summaries["B"].Worst,
+			Got: fmt.Sprintf("worst factors A=%.1f B=%.1f C=%.1f",
+				summaries["A"].Worst, summaries["B"].Worst, summaries["C"].Worst),
+		},
+		{
+			Claim: "no single system is globally optimal everywhere",
+			Pass: summaries["A"].OptimalFraction < 1 &&
+				summaries["B"].OptimalFraction < 1 && summaries["C"].OptimalFraction < 1,
+			Got: fmt.Sprintf("optimal fractions A=%.0f%% B=%.0f%% C=%.0f%%",
+				summaries["A"].OptimalFraction*100, summaries["B"].OptimalFraction*100,
+				summaries["C"].OptimalFraction*100),
+		},
+	}
+
+	title := "Multi-system comparison (§3.3 extension): each system's best vs global best"
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", title, renderChecks(checks))
+	fmt.Fprintf(&b, "%-8s %10s %12s %10s %8s\n", "system", "optimal%", "within10x%", "worst", "p95")
+	for _, name := range []string{"A", "B", "C"} {
+		sm := summaries[name]
+		fmt.Fprintf(&b, "%-8s %9.0f%% %11.0f%% %10.1f %8.1f\n",
+			name, sm.OptimalFraction*100, sm.WithinFactor10*100, sm.Worst, sm.P95)
+	}
+
+	// Render System C's quotient map as the figure.
+	quotC := sysQuot(pools["C"])
+	bins := core.BinGridRelative(quotC, core.DefaultRelativeBins())
+	labels := FractionLabels(m.FracA)
+	colLabels := FractionLabels(m.FracB)
+	return &Artifacts{
+		ID:      "systems",
+		Title:   title,
+		Summary: b.String(),
+		CSV:     csv2DQuot(m, quotC),
+		ASCII: vis.HeatMapASCII(bins, vis.GlyphsRelative, labels, colLabels,
+			"System C best vs global best", "relative factor", legendLabelsRelative()),
+		SVG: vis.HeatMapSVG(bins, vis.PaletteRelative, labels, colLabels,
+			"System C best vs global best", "selectivity of b (fraction)",
+			"selectivity of a (fraction)", legendLabelsRelative()),
+		PPM:    vis.HeatMapPPM(bins, vis.PaletteRelative, 12),
+		Checks: checks,
+	}
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"robustmap/internal/catalog"
+	"robustmap/internal/engine"
+	"robustmap/internal/exec"
+	"robustmap/internal/iomodel"
+	"robustmap/internal/simclock"
+	"robustmap/internal/storage"
+	"robustmap/internal/vis"
+)
+
+// ParallelSweep maps the robustness of parallel scan execution against
+// partition skew — the paper's §4 roadmap includes "visualizations of
+// entire query execution plans including parallel ones", and its related
+// work cites Schneider and DeWitt's shared-nothing study [SD89]. The map
+// shows, per (worker count, skew) point, the achieved speedup: uniform
+// partitions scale near-linearly; skew collapses the makespan toward the
+// largest partition.
+func ParallelSweep(s *Study) *Artifacts {
+	// Reuse System A's loaded table through per-worker contexts.
+	sys := s.SysA
+	// Rebuild a lightweight catalog view to access the heap.
+	clock := simclock.New()
+	dev := iomodel.NewDevice(s.Cfg.Engine.IO, clock)
+	pool := storage.NewPool(diskOf(sys), dev, clock, 64)
+	tbl := tableOf(sys, pool)
+
+	workerCtx := func(int) *exec.Ctx {
+		c := simclock.New()
+		d := iomodel.NewDevice(s.Cfg.Engine.IO, c)
+		p := storage.NewPool(diskOf(sys), d, c, 64)
+		return &exec.Ctx{Clock: c, Pool: p, MemoryBudget: 1 << 30}
+	}
+
+	pages := tbl.Heap.NumPages()
+	workers := []int{1, 2, 4, 8}
+	skews := []float64{1.0, 1.5, 2.0, 3.0}
+
+	speedup := make([][]float64, len(workers))
+	makespan := make([][]time.Duration, len(workers))
+	for i, w := range workers {
+		speedup[i] = make([]float64, len(skews))
+		makespan[i] = make([]time.Duration, len(skews))
+		for j, sk := range skews {
+			ranges := exec.SkewedRanges(pages, w, sk)
+			res := exec.RunParallel(w, workerCtx, func(wi int, ctx *exec.Ctx) exec.RowIter {
+				return exec.NewRangedTableScan(ctx, tableOf(sys, ctx.Pool), nil, ranges[wi])
+			})
+			speedup[i][j] = res.Speedup()
+			makespan[i][j] = res.Makespan
+		}
+	}
+
+	checks := []Check{
+		{
+			Claim: "uniform partitions give near-linear speedup [SD89]",
+			Pass:  speedup[2][0] > 3.0 && speedup[3][0] > 5.0,
+			Got:   fmt.Sprintf("speedup %.1f at 4 workers, %.1f at 8 (skew 1.0)", speedup[2][0], speedup[3][0]),
+		},
+		{
+			Claim: "partition skew degrades speedup toward the largest partition's share",
+			Pass:  speedup[3][3] < speedup[3][0]*0.6,
+			Got:   fmt.Sprintf("8-worker speedup %.1f at skew 3.0 vs %.1f uniform", speedup[3][3], speedup[3][0]),
+		},
+		{
+			Claim: "single-worker execution is skew-invariant (the baseline is flat)",
+			Pass:  makespan[0][0] > 0 && ratioSpread(makespan[0]) < 1.05,
+			Got:   fmt.Sprintf("1-worker makespan spread %.2f across skews", ratioSpread(makespan[0])),
+		},
+	}
+
+	title := "Parallel scan robustness (§4): speedup vs workers and partition skew"
+	csv := "workers\\skew"
+	for _, sk := range skews {
+		csv += fmt.Sprintf(",%g", sk)
+	}
+	csv += "\n"
+	for i, w := range workers {
+		csv += fmt.Sprintf("%d", w)
+		for j := range skews {
+			csv += fmt.Sprintf(",%.3f", speedup[i][j])
+		}
+		csv += "\n"
+	}
+
+	// Render makespans as series over skew, one line per worker count.
+	series := map[string][]time.Duration{}
+	for i, w := range workers {
+		series[fmt.Sprintf("%d workers", w)] = makespan[i]
+	}
+	var rowsAxis []float64
+	rowsAxis = append(rowsAxis, skews...)
+	return &Artifacts{
+		ID:      "parallel",
+		Title:   title,
+		Summary: title + "\n" + renderChecks(checks),
+		CSV:     csv,
+		ASCII:   vis.LineChartASCII(rowsAxis, series, 72, 18, title),
+		SVG:     vis.LineChartSVG(rowsAxis, series, title, "partition skew (geometric factor)", "makespan"),
+		Checks:  checks,
+	}
+}
+
+func ratioSpread(ts []time.Duration) float64 {
+	lo, hi := ts[0], ts[0]
+	for _, t := range ts[1:] {
+		if t < lo {
+			lo = t
+		}
+		if t > hi {
+			hi = t
+		}
+	}
+	if lo <= 0 {
+		return 1
+	}
+	return float64(hi) / float64(lo)
+}
+
+// diskOf and tableOf reuse a built system's loaded data for the parallel
+// experiment's per-worker contexts.
+func diskOf(sys *engine.System) *storage.Disk { return sys.Disk() }
+
+func tableOf(sys *engine.System, pool *storage.Pool) *catalog.Table {
+	return sys.OpenTable(pool)
+}

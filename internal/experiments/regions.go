@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"robustmap/internal/core"
+	"robustmap/internal/vis"
+)
+
+// Regions realizes §3.4's per-plan optimality-region study: "Variants of
+// Figure 8 and Figure 9 can be used to show the region of optimality for
+// a specific plan. … this type of diagram inherently requires one diagram
+// per plan and thus many diagrams." It renders every plan's region,
+// reports the §3.4 shape statistics (size, connected components,
+// irregularity), and checks the paper's observations: the regions cover
+// the space, several plans own none of it (candidates for elimination
+// from the optimizer's search space), and at least one region is
+// discontinuous (the Figure 7 surprise).
+func Regions(s *Study) *Artifacts {
+	m := s.Map2D()
+	om := core.ComputeOptimality(m, core.Tolerance{Relative: 1.05})
+	labels := FractionLabels(m.FracA)
+
+	title := "Optimality regions per plan (§3.4), tolerance 5%"
+	var ascii strings.Builder
+	var csv strings.Builder
+	csv.WriteString("plan,areaFraction,components,largestComponentFraction,irregularity\n")
+
+	empty := 0
+	covered := true
+	counts := om.CountGrid()
+	for _, row := range counts {
+		for _, c := range row {
+			if c == 0 {
+				covered = false
+			}
+		}
+	}
+	for _, p := range m.Plans {
+		region := om.PlanRegion(p)
+		st := core.AnalyzeRegion(region)
+		if st.AreaFraction == 0 {
+			empty++
+		}
+		fmt.Fprintf(&csv, "%s,%.4f,%d,%.4f,%.3f\n",
+			p, st.AreaFraction, st.Components, st.LargestComponentFraction, st.Irregularity)
+		fmt.Fprintf(&ascii, "\n%s\n", vis.RegionASCII(region, labels,
+			fmt.Sprintf("plan %s: optimal on %.0f%% of the grid, %d component(s)",
+				p, st.AreaFraction*100, st.Components)))
+	}
+
+	// The paper's fragmentation observation (Figure 7: "this region is not
+	// continuous, which is rather surprising") is made within System A's
+	// own plan pool — against the best of the seven, not the global best.
+	subOm := core.ComputeOptimality(m.SubMap(systemABaseline()), core.Tolerance{Relative: 1.05})
+	oddShaped := 0
+	var oddDetail []string
+	for _, p := range systemABaseline() {
+		st := core.AnalyzeRegion(subOm.PlanRegion(p))
+		if st.AreaFraction > 0 && (st.Components > 1 || st.Irregularity >= 1.8) {
+			oddShaped++
+			oddDetail = append(oddDetail,
+				fmt.Sprintf("%s(comps=%d irr=%.1f)", p, st.Components, st.Irregularity))
+		}
+	}
+
+	checks := []Check{
+		{
+			Claim: "every point has at least one optimal plan (the regions cover the space)",
+			Pass:  covered,
+			Got:   fmt.Sprintf("covered = %v", covered),
+		},
+		{
+			// §3.4: "Every plan eliminated from this map implies that query
+			// optimization need not consider this plan."
+			Claim: "some plans own no region at all (candidates for plan-space reduction)",
+			Pass:  empty >= 1,
+			Got:   fmt.Sprintf("%d of %d plans have empty regions", empty, len(m.Plans)),
+		},
+		{
+			// §3.4: "it might be interesting to focus on irregular shapes of
+			// optimality regions — chances are good that some implementation
+			// idiosyncrasy rather than the algorithm itself causes the
+			// irregular shape."
+			Claim: "within System A's pool, some region is discontinuous or irregular",
+			Pass:  oddShaped >= 1,
+			Got:   fmt.Sprintf("%d odd-shaped regions: %s", oddShaped, strings.Join(oddDetail, " ")),
+		},
+	}
+
+	return &Artifacts{
+		ID:      "regions",
+		Title:   title,
+		Summary: title + "\n" + renderChecks(checks),
+		CSV:     csv.String(),
+		ASCII:   ascii.String(),
+		SVG:     regionsSVG(m, om, labels),
+		Checks:  checks,
+	}
+}
+
+// regionsSVG renders all plan regions as a stack of small heat maps.
+func regionsSVG(m *core.Map2D, om *core.OptimalityMap, labels []string) string {
+	// Reuse the relative palette's two extremes as in/out colors via a
+	// binned grid: 0 = not optimal, 1 = optimal.
+	var parts []string
+	for _, p := range m.Plans {
+		region := om.PlanRegion(p)
+		bins := make([][]int, len(region))
+		for i, row := range region {
+			bins[i] = make([]int, len(row))
+			for j, in := range row {
+				if in {
+					bins[i][j] = 0 // light green: optimal
+				} else {
+					bins[i][j] = 5 // dark: not optimal
+				}
+			}
+		}
+		parts = append(parts, vis.HeatMapSVG(bins, vis.PaletteRelative, labels, labels,
+			"optimality region of plan "+p, "selectivity of b", "selectivity of a",
+			[]string{"optimal", "", "", "", "", "not optimal"}))
+	}
+	// Concatenated SVGs are wrapped in a single document per figure; the
+	// report embeds them separately, so join with newlines.
+	return strings.Join(parts, "\n")
+}

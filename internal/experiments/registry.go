@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Definition registers one experiment.
+type Definition struct {
+	ID    string
+	Paper string // the paper artifact being reproduced
+	Run   func(*Study) *Artifacts
+}
+
+// Registry lists every experiment, keyed by id.
+var registry = map[string]Definition{
+	"fig1":       {ID: "fig1", Paper: "Figure 1: single-table single-predicate selection", Run: Figure1},
+	"fig2":       {ID: "fig2", Paper: "Figure 2: advanced selection plans (relative)", Run: Figure2},
+	"fig3":       {ID: "fig3", Paper: "Figure 3: color code for 2-D maps", Run: Figure3},
+	"fig4":       {ID: "fig4", Paper: "Figure 4: two-predicate single-index selection", Run: Figure4},
+	"fig5":       {ID: "fig5", Paper: "Figure 5: two-index merge join", Run: Figure5},
+	"fig6":       {ID: "fig6", Paper: "Figure 6: color code for relative performance", Run: Figure6},
+	"fig7":       {ID: "fig7", Paper: "Figure 7: single-index plan vs best of 7 plans", Run: Figure7},
+	"fig8":       {ID: "fig8", Paper: "Figure 8: System B two-column index (relative)", Run: Figure8},
+	"fig9":       {ID: "fig9", Paper: "Figure 9: System C MDAM (relative)", Run: Figure9},
+	"fig10":      {ID: "fig10", Paper: "Figure 10: optimal plans per point", Run: Figure10},
+	"sortspill":  {ID: "sortspill", Paper: "§4 prediction: sort spill discontinuity", Run: SortSpill},
+	"joinsweep":  {ID: "joinsweep", Paper: "§4 roadmap: join algorithm robustness (sort vs hash, [GLS94])", Run: JoinSweep},
+	"aggsweep":   {ID: "aggsweep", Paper: "§4 roadmap: aggregation robustness (hash vs sort-based)", Run: AggSweep},
+	"worstmap":   {ID: "worstmap", Paper: "§3.3 unpursued opportunity: worst-performance maps", Run: WorstMap},
+	"systems":    {ID: "systems", Paper: "§3.3 unpursued opportunity: multi-system comparison", Run: SystemsCompare},
+	"parallel":   {ID: "parallel", Paper: "§4 roadmap: parallel plan robustness vs partition skew [SD89]", Run: ParallelSweep},
+	"regions":    {ID: "regions", Paper: "§3.4: per-plan optimality regions (size, shape, fragmentation)", Run: Regions},
+	"scoreboard": {ID: "scoreboard", Paper: "§4 goal: the robustness benchmark (ranked plan scores)", Run: ScoreboardExperiment},
+	"memsweep":   {ID: "memsweep", Paper: "§3.2 resource dimension: cost vs available memory", Run: MemSweep},
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// fig1..fig10 numerically, then the extensions alphabetically.
+		oi, oj := regOrder(out[i]), regOrder(out[j])
+		if oi != oj {
+			return oi < oj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+func regOrder(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {
+		return n
+	}
+	return 1000
+}
+
+// Lookup returns the definition for an id.
+func Lookup(id string) (Definition, bool) {
+	d, ok := registry[id]
+	return d, ok
+}
+
+// RunAll executes every experiment against one study, in order.
+func RunAll(s *Study) []*Artifacts {
+	var out []*Artifacts
+	for _, id := range IDs() {
+		out = append(out, registry[id].Run(s))
+	}
+	return out
+}

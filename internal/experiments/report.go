@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HTMLReport renders a set of artifacts as one self-contained HTML page
+// with inline SVG maps — the "robustness report" a database team would
+// publish from a nightly regression run (the paper: robustness maps "can
+// inform regression testing as well as motivate, track, and protect
+// improvements in query execution").
+func HTMLReport(title string, arts []*Artifacts) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", htmlEscape(title))
+	b.WriteString(`<style>
+body { font-family: sans-serif; max-width: 1100px; margin: 2em auto; color: #222; }
+h1 { border-bottom: 2px solid #444; padding-bottom: .3em; }
+h2 { margin-top: 2em; }
+pre.summary { background: #f6f6f6; padding: 1em; overflow-x: auto; }
+.pass { color: #1a7a2c; font-weight: bold; }
+.fail { color: #c0392b; font-weight: bold; }
+.figure { margin: 1em 0; }
+nav a { margin-right: 1em; }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n<nav>", htmlEscape(title))
+	for _, a := range arts {
+		fmt.Fprintf(&b, `<a href="#%s">%s</a>`, a.ID, a.ID)
+	}
+	b.WriteString("</nav>\n")
+
+	passed, total := 0, 0
+	for _, a := range arts {
+		for _, c := range a.Checks {
+			total++
+			if c.Pass {
+				passed++
+			}
+		}
+	}
+	fmt.Fprintf(&b, "<p>%d of %d paper-claim checks passed.</p>\n", passed, total)
+
+	for _, a := range arts {
+		fmt.Fprintf(&b, `<h2 id="%s">%s</h2>`+"\n", a.ID, htmlEscape(a.Title))
+		b.WriteString("<ul>\n")
+		for _, c := range a.Checks {
+			cls, mark := "pass", "PASS"
+			if !c.Pass {
+				cls, mark = "fail", "FAIL"
+			}
+			fmt.Fprintf(&b, `<li><span class="%s">%s</span> %s — %s</li>`+"\n",
+				cls, mark, htmlEscape(c.Claim), htmlEscape(c.Got))
+		}
+		b.WriteString("</ul>\n")
+		if a.SVG != "" {
+			fmt.Fprintf(&b, `<div class="figure">%s</div>`+"\n", a.SVG)
+		}
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+func htmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHTMLReport(t *testing.T) {
+	arts := []*Artifacts{
+		{
+			ID: "fig3", Title: "Figure 3 <legend>",
+			SVG: "<svg xmlns=\"http://www.w3.org/2000/svg\"></svg>",
+			Checks: []Check{
+				{Claim: "bins & labels", Pass: true, Got: "6 bins"},
+				{Claim: "something", Pass: false, Got: "oops"},
+			},
+		},
+		{ID: "fig6", Title: "Figure 6", Checks: []Check{{Claim: "x", Pass: true, Got: "y"}}},
+	}
+	h := HTMLReport("Test <Report>", arts)
+	if !strings.Contains(h, "<!DOCTYPE html>") {
+		t.Error("missing doctype")
+	}
+	if !strings.Contains(h, "Test &lt;Report&gt;") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(h, "Figure 3 &lt;legend&gt;") {
+		t.Error("artifact title not escaped")
+	}
+	if !strings.Contains(h, "2 of 3 paper-claim checks passed") {
+		t.Errorf("check tally wrong")
+	}
+	if !strings.Contains(h, `class="fail"`) || !strings.Contains(h, `class="pass"`) {
+		t.Error("missing check classes")
+	}
+	if !strings.Contains(h, "<svg") {
+		t.Error("missing inline SVG")
+	}
+	if !strings.Contains(h, `href="#fig6"`) {
+		t.Error("missing nav link")
+	}
+}

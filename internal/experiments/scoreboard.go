@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"robustmap/internal/core"
+)
+
+// ScoreboardExperiment realizes §4's end goal — "a benchmark that focuses
+// on robustness of query execution" — as a ranked scoreboard over the
+// thirteen plans. A nightly run diffs today's scoreboard against
+// yesterday's (core.CompareScoreboards) to "track progress against these
+// weaknesses and permit daily regression testing".
+func ScoreboardExperiment(s *Study) *Artifacts {
+	m := s.Map2D()
+	board := core.Scoreboard(m, systemABaseline())
+
+	byPlan := map[string]core.PlanScore{}
+	for _, ps := range board {
+		byPlan[ps.Plan] = ps
+	}
+
+	checks := []Check{
+		{
+			// Figure 8's architecture beats Figure 7's plan on robustness.
+			Claim: "the bitmap-fetch two-column plan (B1) outscores the single-index plan (A2)",
+			Pass:  byPlan["B1"].Score > byPlan["A2"].Score,
+			Got:   fmt.Sprintf("B1=%.3f A2=%.3f", byPlan["B1"].Score, byPlan["A2"].Score),
+		},
+		{
+			// Figure 9's conclusion: MDAM covering plans are the robust ones.
+			Claim: "a covering MDAM plan tops the scoreboard",
+			Pass:  board[0].Plan == "C1" || board[0].Plan == "C2",
+			Got:   fmt.Sprintf("top plan %s (%.3f)", board[0].Plan, board[0].Score),
+		},
+		{
+			Claim: "scores are a strict ranking (no degenerate all-equal outcome)",
+			Pass:  board[0].Score > board[len(board)-1].Score,
+			Got:   fmt.Sprintf("top %.3f vs bottom %.3f", board[0].Score, board[len(board)-1].Score),
+		},
+	}
+
+	title := "Robustness scoreboard (§4 benchmark): plans ranked by composite score"
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", title, renderChecks(checks))
+	fmt.Fprintf(&b, "%-8s %7s %9s %11s %8s %8s %8s\n",
+		"plan", "score", "optimal%", "within10x%", "worst", "p95", "danger")
+	for _, ps := range board {
+		fmt.Fprintf(&b, "%-8s %7.3f %8.0f%% %10.0f%% %8.1f %8.1f %8.2f\n",
+			ps.Plan, ps.Score, ps.OptimalFraction*100, ps.WithinFactor10*100,
+			ps.Worst, ps.P95, ps.MeanDanger)
+	}
+
+	csv := "plan,score,optimalFraction,withinFactor10,worst,p95,meanDanger\n"
+	for _, ps := range board {
+		csv += fmt.Sprintf("%s,%.4f,%.4f,%.4f,%.2f,%.2f,%.4f\n",
+			ps.Plan, ps.Score, ps.OptimalFraction, ps.WithinFactor10,
+			ps.Worst, ps.P95, ps.MeanDanger)
+	}
+	return &Artifacts{
+		ID:      "scoreboard",
+		Title:   title,
+		Summary: b.String(),
+		CSV:     csv,
+		ASCII:   b.String(),
+		Checks:  checks,
+	}
+}

@@ -1,0 +1,221 @@
+// Package experiments defines one regenerable experiment per table/figure
+// of the paper, plus the §4 sort-spill prediction made concrete. Each
+// experiment produces Artifacts: the underlying map data, a CSV, an ASCII
+// rendering, an SVG, and (for 2-D maps) a PPM bitmap, along with a textual
+// summary of the paper's qualitative claims checked against the measured
+// data.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"robustmap/internal/core"
+	"robustmap/internal/engine"
+	"robustmap/internal/plan"
+)
+
+// StudyConfig scales the whole study.
+type StudyConfig struct {
+	// Rows is the table cardinality (the paper used ~60M TPC-H lineitem
+	// rows; the default here is 2^17 — the maps' shapes depend on
+	// selectivity fractions, not absolute size).
+	Rows int64
+	// MaxExp1D sets the 1-D sweep range: fractions 2^-MaxExp1D … 2^0
+	// (the paper's Figure 1 runs 2^-16 … 2^0).
+	MaxExp1D int
+	// MaxExp2D sets each 2-D axis: fractions 2^-MaxExp2D … 2^0, giving a
+	// (MaxExp2D+1)² grid.
+	MaxExp2D int
+	// Engine carries pool size, memory budget, and the I/O profile.
+	Engine engine.Config
+}
+
+// DefaultStudyConfig returns the full-scale configuration used by the
+// benchmark harness and the CLI. The sweep ranges mirror the paper's:
+// Figure 1 runs selectivities 2^-16 … 2^0; the 2-D grids must reach
+// fractions where point lookups beat the table scan (below ~2^-12, the
+// seek/transfer break-even), or the maps lose the regions where index
+// plans win.
+func DefaultStudyConfig() StudyConfig {
+	cfg := engine.DefaultConfig()
+	return StudyConfig{
+		Rows:     cfg.Rows, // 2^17
+		MaxExp1D: 16,
+		MaxExp2D: 14,
+		Engine:   cfg,
+	}
+}
+
+// SmallStudyConfig returns the unit-test configuration: same table scale
+// as the default (the qualitative shapes need it) with slightly coarser
+// grids.
+func SmallStudyConfig() StudyConfig {
+	cfg := engine.DefaultConfig()
+	return StudyConfig{
+		Rows:     cfg.Rows,
+		MaxExp1D: 14,
+		MaxExp2D: 14,
+		Engine:   cfg,
+	}
+}
+
+// Study holds the three built systems and lazily computed sweeps shared by
+// the figures (the 2-D figures all derive from one 13-plan sweep).
+type Study struct {
+	Cfg  StudyConfig
+	SysA *engine.System
+	SysB *engine.System
+	SysC *engine.System
+
+	map2D *core.Map2D // all 13 plans over the 2-D grid; lazily built
+}
+
+// NewStudy builds the three systems over the shared dataset parameters.
+func NewStudy(cfg StudyConfig) (*Study, error) {
+	ecfg := cfg.Engine
+	ecfg.Rows = cfg.Rows
+	a, err := engine.SystemA(ecfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: build system A: %w", err)
+	}
+	b, err := engine.SystemB(ecfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: build system B: %w", err)
+	}
+	c, err := engine.SystemC(ecfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: build system C: %w", err)
+	}
+	return &Study{Cfg: cfg, SysA: a, SysB: b, SysC: c}, nil
+}
+
+// source adapts an engine plan to a core.PlanSource.
+func source(sys *engine.System, p plan.Plan) core.PlanSource {
+	return core.PlanSource{
+		ID: p.ID,
+		Measure: func(ta, tb int64) core.Measurement {
+			r := sys.Run(p, plan.Query{TA: ta, TB: tb})
+			return core.Measurement{Time: r.Time, Rows: r.Rows}
+		},
+	}
+}
+
+// AllSources returns the thirteen plans bound to their systems.
+func (s *Study) AllSources() []core.PlanSource {
+	var out []core.PlanSource
+	for _, p := range plan.SystemAPlans() {
+		out = append(out, source(s.SysA, p))
+	}
+	for _, p := range plan.SystemBPlans() {
+		out = append(out, source(s.SysB, p))
+	}
+	for _, p := range plan.SystemCPlans() {
+		out = append(out, source(s.SysC, p))
+	}
+	return out
+}
+
+// axis returns the fractions 2^-maxExp … 2^0 and the matching thresholds.
+func axis(rows int64, maxExp int) (fractions []float64, thresholds []int64) {
+	for k := maxExp; k >= 0; k-- {
+		f := 1 / float64(int64(1)<<uint(k))
+		t := rows >> uint(k)
+		if t < 1 {
+			t = 1
+		}
+		fractions = append(fractions, f)
+		thresholds = append(thresholds, t)
+	}
+	return fractions, thresholds
+}
+
+// Sweep1D runs the given plans over the study's 1-D axis on System A.
+func (s *Study) Sweep1D(plans []plan.Plan) *core.Map1D {
+	fr, th := axis(s.Cfg.Rows, s.Cfg.MaxExp1D)
+	var sources []core.PlanSource
+	for _, p := range plans {
+		sources = append(sources, source(s.SysA, p))
+	}
+	return core.Sweep1D(sources, fr, th)
+}
+
+// Map2D returns the shared 13-plan 2-D sweep, computing it on first use.
+// This is the expensive part of the study: (MaxExp2D+1)² points × 13
+// plans.
+func (s *Study) Map2D() *core.Map2D {
+	if s.map2D == nil {
+		fr, th := axis(s.Cfg.Rows, s.Cfg.MaxExp2D)
+		s.map2D = core.Sweep2D(s.AllSources(), fr, fr, th, th)
+	}
+	return s.map2D
+}
+
+// FractionLabels renders axis fractions as the paper labels them (2^-k).
+func FractionLabels(fracs []float64) []string {
+	out := make([]string, len(fracs))
+	for i, f := range fracs {
+		k := 0
+		for ff := f; ff < 1; ff *= 2 {
+			k++
+		}
+		if k == 0 {
+			out[i] = "2^0"
+		} else {
+			out[i] = fmt.Sprintf("2^-%d", k)
+		}
+	}
+	return out
+}
+
+// csv1D renders a Map1D as CSV: fraction, rows, one column per plan
+// (seconds).
+func csv1D(m *core.Map1D) string {
+	s := "fraction,rows"
+	for _, p := range m.Plans {
+		s += "," + p
+	}
+	s += "\n"
+	for i := range m.Thresholds {
+		s += fmt.Sprintf("%g,%d", m.Fractions[i], m.Rows[i])
+		for pi := range m.Plans {
+			s += fmt.Sprintf(",%.6f", m.Times[pi][i].Seconds())
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// csv2DDur renders one plan's 2-D duration grid as CSV.
+func csv2DDur(m *core.Map2D, grid [][]time.Duration) string {
+	s := "fracA\\fracB"
+	for _, f := range m.FracB {
+		s += fmt.Sprintf(",%g", f)
+	}
+	s += "\n"
+	for i, f := range m.FracA {
+		s += fmt.Sprintf("%g", f)
+		for j := range m.FracB {
+			s += fmt.Sprintf(",%.6f", grid[i][j].Seconds())
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// csv2DQuot renders a quotient grid as CSV.
+func csv2DQuot(m *core.Map2D, grid [][]float64) string {
+	s := "fracA\\fracB"
+	for _, f := range m.FracB {
+		s += fmt.Sprintf(",%g", f)
+	}
+	s += "\n"
+	for i, f := range m.FracA {
+		s += fmt.Sprintf("%g", f)
+		for j := range m.FracB {
+			s += fmt.Sprintf(",%.3f", grid[i][j])
+		}
+		s += "\n"
+	}
+	return s
+}

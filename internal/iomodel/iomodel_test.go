@@ -1,0 +1,264 @@
+package iomodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"robustmap/internal/simclock"
+)
+
+func newDev(t *testing.T) (*Device, *simclock.Clock) {
+	t.Helper()
+	c := simclock.New()
+	return NewDevice(DefaultParams(), c), c
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("DefaultParams invalid: %v", err)
+	}
+	if err := FlashParams().Validate(); err != nil {
+		t.Fatalf("FlashParams invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*Params)
+	}{
+		{"negative seek", func(p *Params) { p.SeekLatency = -1 }},
+		{"zero transfer", func(p *Params) { p.PageTransfer = 0 }},
+		{"zero prefetch", func(p *Params) { p.PrefetchPages = 0 }},
+		{"write penalty below one", func(p *Params) { p.WritePenalty = 0.5 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := DefaultParams()
+			tc.mod(&p)
+			if p.Validate() == nil {
+				t.Errorf("Validate() accepted %+v", p)
+			}
+		})
+	}
+}
+
+func TestNewDevicePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDevice(Params{}, simclock.New())
+}
+
+func TestRandomReadChargesSeekPlusTransfer(t *testing.T) {
+	d, c := newDev(t)
+	d.ReadPage(1, 100)
+	want := DefaultParams().SeekLatency + DefaultParams().PageTransfer
+	if c.Now() != want {
+		t.Errorf("first read cost %v, want %v", c.Now(), want)
+	}
+	if s := d.Stats(); s.RandomReads != 1 || s.PagesRead != 1 {
+		t.Errorf("stats = %+v, want 1 random read", s)
+	}
+}
+
+func TestSequentialRunDetection(t *testing.T) {
+	d, c := newDev(t)
+	d.ReadPage(1, 0)
+	before := c.Now()
+	d.ReadPage(1, 1) // continues the run
+	if got, want := c.Now()-before, DefaultParams().PageTransfer; got != want {
+		t.Errorf("sequential read cost %v, want transfer-only %v", got, want)
+	}
+	before = c.Now()
+	d.ReadPage(1, 5) // breaks the run
+	if got := c.Now() - before; got <= DefaultParams().PageTransfer {
+		t.Errorf("non-sequential read cost %v, want seek included", got)
+	}
+	s := d.Stats()
+	if s.SequentialReads != 1 || s.RandomReads != 2 {
+		t.Errorf("stats = %+v, want 1 sequential / 2 random", s)
+	}
+}
+
+func TestSequentialRunsArePerFile(t *testing.T) {
+	d, _ := newDev(t)
+	d.ReadPage(1, 0)
+	d.ReadPage(2, 1) // page 1 of a different file: not sequential
+	if s := d.Stats(); s.RandomReads != 2 {
+		t.Errorf("RandomReads = %d, want 2 (runs must not span files)", s.RandomReads)
+	}
+}
+
+func TestPrefetchAmortizesSeek(t *testing.T) {
+	d, c := newDev(t)
+	p := DefaultParams()
+	d.Prefetch(1, 0, 64)
+	want := p.SeekLatency + 64*p.PageTransfer
+	if c.Now() != want {
+		t.Errorf("prefetch cost %v, want %v", c.Now(), want)
+	}
+	// Reading the prefetched pages is free.
+	before := c.Now()
+	for i := int64(0); i < 64; i++ {
+		d.ReadPage(1, i)
+	}
+	if c.Now() != before {
+		t.Errorf("reading prefetched pages cost %v, want 0", c.Now()-before)
+	}
+	if s := d.Stats(); s.SequentialReads != 64 || s.PagesRead != 64 {
+		t.Errorf("stats = %+v, want 64 sequential reads", s)
+	}
+}
+
+func TestPrefetchContinuingRunSkipsSeek(t *testing.T) {
+	d, c := newDev(t)
+	p := DefaultParams()
+	d.Prefetch(1, 0, 4)
+	before := c.Now()
+	d.Prefetch(1, 4, 4) // continues the run
+	if got, want := c.Now()-before, 4*p.PageTransfer; got != want {
+		t.Errorf("continuing prefetch cost %v, want %v", got, want)
+	}
+}
+
+func TestPrefetchZeroOrNegativeIsNoop(t *testing.T) {
+	d, c := newDev(t)
+	d.Prefetch(1, 0, 0)
+	d.Prefetch(1, 0, -3)
+	if c.Now() != 0 {
+		t.Errorf("no-op prefetch charged %v", c.Now())
+	}
+}
+
+func TestPrefetchedPageConsumedOnce(t *testing.T) {
+	d, c := newDev(t)
+	d.Prefetch(1, 0, 1)
+	d.ReadPage(1, 0) // free
+	base := c.Now()
+	d.ReadPage(1, 0) // re-read: page 0 does not continue run ending at 0
+	if c.Now() == base {
+		t.Error("second read of a once-prefetched page was free")
+	}
+}
+
+func TestWritePageAppliesPenalty(t *testing.T) {
+	p := DefaultParams()
+	p.WritePenalty = 2.0
+	c := simclock.New()
+	d := NewDevice(p, c)
+	d.WritePage(1, 7)
+	want := time.Duration(float64(p.SeekLatency+p.PageTransfer) * 2.0)
+	if c.Now() != want {
+		t.Errorf("write cost %v, want %v", c.Now(), want)
+	}
+	if d.Stats().PagesWritten != 1 {
+		t.Errorf("PagesWritten = %d, want 1", d.Stats().PagesWritten)
+	}
+}
+
+func TestSequentialWritesCheap(t *testing.T) {
+	d, c := newDev(t)
+	d.WritePage(1, 0)
+	before := c.Now()
+	d.WritePage(1, 1)
+	if got, want := c.Now()-before, DefaultParams().PageTransfer; got != want {
+		t.Errorf("sequential write cost %v, want %v", got, want)
+	}
+}
+
+func TestAnalyticCosts(t *testing.T) {
+	p := DefaultParams()
+	if got := p.SequentialCost(0); got != 0 {
+		t.Errorf("SequentialCost(0) = %v, want 0", got)
+	}
+	if got := p.RandomCost(0); got != 0 {
+		t.Errorf("RandomCost(0) = %v, want 0", got)
+	}
+	// 128 pages = 2 prefetch units.
+	want := 2*p.SeekLatency + 128*p.PageTransfer
+	if got := p.SequentialCost(128); got != want {
+		t.Errorf("SequentialCost(128) = %v, want %v", got, want)
+	}
+	if got, want := p.RandomCost(10), 10*(p.SeekLatency+p.PageTransfer); got != want {
+		t.Errorf("RandomCost(10) = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyticSequentialMatchesDevice(t *testing.T) {
+	d, c := newDev(t)
+	const n = 200
+	unit := d.PrefetchUnit()
+	for at := int64(0); at < n; at += int64(unit) {
+		k := unit
+		if rem := n - at; rem < int64(unit) {
+			k = int(rem)
+		}
+		d.Prefetch(1, at, k)
+	}
+	// Analytic model assumes each unit pays a seek; the device elides seeks
+	// for continuing runs, so the device must be at most the analytic cost.
+	analytic := DefaultParams().SequentialCost(n)
+	if c.Now() > analytic {
+		t.Errorf("device sequential scan %v exceeds analytic bound %v", c.Now(), analytic)
+	}
+	if c.Now() < time.Duration(n)*DefaultParams().PageTransfer {
+		t.Errorf("device sequential scan %v below pure transfer floor", c.Now())
+	}
+}
+
+func TestRandomVsSequentialAsymmetry(t *testing.T) {
+	// The paper's Figure 1 depends on random access being much more
+	// expensive than sequential; guard the default profile's ratio.
+	p := DefaultParams()
+	ratio := float64(p.SeekLatency+p.PageTransfer) / float64(p.PageTransfer)
+	if ratio < 20 || ratio > 200 {
+		t.Errorf("random/sequential cost ratio = %.1f, want within [20,200]", ratio)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	d, _ := newDev(t)
+	d.ReadPage(1, 0)
+	d.ResetStats()
+	if s := d.Stats(); s != (Stats{}) {
+		t.Errorf("stats after reset = %+v, want zero", s)
+	}
+}
+
+func TestQuickSequentialCostMonotone(t *testing.T) {
+	p := DefaultParams()
+	f := func(a, b uint16) bool {
+		na, nb := int64(a), int64(b)
+		if na <= nb {
+			return p.SequentialCost(na) <= p.SequentialCost(nb)
+		}
+		return p.SequentialCost(na) >= p.SequentialCost(nb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRandomCostLinear(t *testing.T) {
+	p := DefaultParams()
+	f := func(n uint16) bool {
+		return p.RandomCost(int64(n)) == time.Duration(n)*(p.SeekLatency+p.PageTransfer)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSequentialNeverBeatsTransferFloor(t *testing.T) {
+	p := DefaultParams()
+	f := func(n uint16) bool {
+		return p.SequentialCost(int64(n)) >= time.Duration(n)*p.PageTransfer
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package mdam implements the interval machinery of multi-dimensional
+// B-tree access (MDAM, Leslie et al., VLDB 1995 [LJBY95]) — the technique
+// behind the paper's System C, whose two-column-index plan is "reasonable
+// across the entire parameter space" (Figure 9).
+//
+// MDAM models the predicate on each index column as a set of disjoint
+// intervals and walks a multi-column index as a sequence of range probes:
+// enumerate the leading column's qualifying values/ranges, and within each,
+// scan only the qualifying intervals of the next column. The executor's
+// MDAMScan combines this package's interval sets with an adaptive
+// scan-vs-probe rule.
+package mdam
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"robustmap/internal/record"
+)
+
+// Interval is a half-open interval [Lo, Hi) over one column's values.
+// A Null bound means unbounded on that side.
+type Interval struct {
+	Lo record.Value
+	Hi record.Value
+}
+
+// String renders the interval.
+func (iv Interval) String() string {
+	lo, hi := "-inf", "+inf"
+	if !iv.Lo.IsNull() {
+		lo = iv.Lo.String()
+	}
+	if !iv.Hi.IsNull() {
+		hi = iv.Hi.String()
+	}
+	return fmt.Sprintf("[%s, %s)", lo, hi)
+}
+
+// Empty reports whether the interval contains no values (Lo >= Hi with both
+// bounds present).
+func (iv Interval) Empty() bool {
+	return !iv.Lo.IsNull() && !iv.Hi.IsNull() && record.Compare(iv.Lo, iv.Hi) >= 0
+}
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v record.Value) bool {
+	if !iv.Lo.IsNull() && record.Compare(v, iv.Lo) < 0 {
+		return false
+	}
+	if !iv.Hi.IsNull() && record.Compare(v, iv.Hi) >= 0 {
+		return false
+	}
+	return true
+}
+
+// Set is a normalized set of disjoint intervals in ascending order. The
+// empty set matches nothing; the set containing the single unbounded
+// interval matches everything.
+type Set []Interval
+
+// All returns the unbounded set (no restriction on the column).
+func All() Set { return Set{{}} }
+
+// LessThan returns the set [ -inf, hi ).
+func LessThan(hi record.Value) Set { return Set{{Hi: hi}} }
+
+// AtLeast returns the set [ lo, +inf ).
+func AtLeast(lo record.Value) Set { return Set{{Lo: lo}} }
+
+// Range returns the set [ lo, hi ); empty if lo >= hi.
+func Range(lo, hi record.Value) Set {
+	iv := Interval{Lo: lo, Hi: hi}
+	if iv.Empty() {
+		return nil
+	}
+	return Set{iv}
+}
+
+// Point returns the single-value set [v, succ(v)) where succ(v) is the
+// immediate successor of v in the column's order, so the half-open interval
+// contains exactly v.
+func Point(v record.Value) Set {
+	switch v.Type() {
+	case record.TypeInt64:
+		return Range(v, record.Int(v.AsInt()+1))
+	case record.TypeDate:
+		return Range(v, record.Date(v.AsInt()+1))
+	case record.TypeString:
+		// The immediate successor of s in lexicographic order is s+"\x00".
+		return Range(v, record.String_(v.AsString()+"\x00"))
+	case record.TypeBytes:
+		succ := append(append([]byte(nil), v.AsBytes()...), 0x00)
+		return Range(v, record.Bytes(succ))
+	case record.TypeFloat64:
+		return Range(v, record.Float(math.Nextafter(v.AsFloat(), math.Inf(1))))
+	case record.TypeBool:
+		if v.AsBool() {
+			return Set{{Lo: v}} // nothing sorts above true
+		}
+		return Range(v, record.Bool(true))
+	default:
+		panic(fmt.Sprintf("mdam: Point on invalid type %v", v.Type()))
+	}
+}
+
+// Normalize sorts intervals and merges overlapping or adjacent ones,
+// dropping empties. It returns a valid Set.
+func Normalize(ivs []Interval) Set {
+	var out []Interval
+	for _, iv := range ivs {
+		if !iv.Empty() {
+			out = append(out, iv)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool {
+		li, lj := out[i].Lo, out[j].Lo
+		switch {
+		case li.IsNull() && lj.IsNull():
+			return false
+		case li.IsNull():
+			return true
+		case lj.IsNull():
+			return false
+		default:
+			return record.Compare(li, lj) < 0
+		}
+	})
+	merged := out[:1]
+	for _, iv := range out[1:] {
+		last := &merged[len(merged)-1]
+		if last.Hi.IsNull() {
+			break // last interval is unbounded above: swallows the rest
+		}
+		if iv.Lo.IsNull() || record.Compare(iv.Lo, last.Hi) <= 0 {
+			// Overlap or adjacency: extend.
+			if iv.Hi.IsNull() || record.Compare(iv.Hi, last.Hi) > 0 {
+				last.Hi = iv.Hi
+			}
+			continue
+		}
+		merged = append(merged, iv)
+	}
+	return Set(merged)
+}
+
+// Contains reports whether v matches any interval.
+func (s Set) Contains(v record.Value) bool {
+	for _, iv := range s {
+		if iv.Contains(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Empty reports whether the set matches nothing.
+func (s Set) Empty() bool { return len(s) == 0 }
+
+// Unbounded reports whether the set matches everything.
+func (s Set) Unbounded() bool {
+	return len(s) == 1 && s[0].Lo.IsNull() && s[0].Hi.IsNull()
+}
+
+// NextFrom returns the first interval that could contain a value >= v:
+// the first interval whose upper bound is > v (for closed degenerate
+// intervals, >= v). ok=false means no interval remains at or above v —
+// the scan can stop or skip to the next leading-column value.
+func (s Set) NextFrom(v record.Value) (Interval, bool) {
+	for _, iv := range s {
+		if iv.Hi.IsNull() {
+			return iv, true
+		}
+		if record.Compare(v, iv.Hi) < 0 {
+			return iv, true
+		}
+	}
+	return Interval{}, false
+}
+
+// MaxHi returns the set's overall upper bound; ok=false if unbounded above.
+func (s Set) MaxHi() (record.Value, bool) {
+	if len(s) == 0 {
+		return record.Null, false
+	}
+	last := s[len(s)-1]
+	if last.Hi.IsNull() {
+		return record.Null, false
+	}
+	return last.Hi, true
+}
+
+// MinLo returns the set's overall lower bound; ok=false if unbounded below.
+func (s Set) MinLo() (record.Value, bool) {
+	if len(s) == 0 {
+		return record.Null, false
+	}
+	first := s[0]
+	if first.Lo.IsNull() {
+		return record.Null, false
+	}
+	return first.Lo, true
+}
+
+// String renders the set.
+func (s Set) String() string {
+	if len(s) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(s))
+	for i, iv := range s {
+		parts[i] = iv.String()
+	}
+	return "{" + strings.Join(parts, " ∪ ") + "}"
+}

@@ -1,0 +1,175 @@
+package mdam
+
+import (
+	"testing"
+	"testing/quick"
+
+	"robustmap/internal/record"
+)
+
+func iv(lo, hi int64) Interval {
+	return Interval{Lo: record.Int(lo), Hi: record.Int(hi)}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	x := iv(10, 20)
+	if x.Empty() {
+		t.Error("non-empty interval reported Empty")
+	}
+	if iv(5, 5).Empty() != true || iv(7, 3).Empty() != true {
+		t.Error("empty intervals not detected")
+	}
+	for _, c := range []struct {
+		v    int64
+		want bool
+	}{{9, false}, {10, true}, {15, true}, {19, true}, {20, false}} {
+		if got := x.Contains(record.Int(c.v)); got != c.want {
+			t.Errorf("Contains(%d) = %v", c.v, got)
+		}
+	}
+	// Unbounded sides.
+	if !(Interval{}).Contains(record.Int(1 << 60)) {
+		t.Error("unbounded interval rejected a value")
+	}
+	if !(Interval{Hi: record.Int(5)}).Contains(record.Int(-1 << 60)) {
+		t.Error("lower-unbounded interval rejected a small value")
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	if !All().Unbounded() {
+		t.Error("All() not unbounded")
+	}
+	if s := LessThan(record.Int(10)); !s.Contains(record.Int(9)) || s.Contains(record.Int(10)) {
+		t.Error("LessThan misbehaves")
+	}
+	if s := AtLeast(record.Int(10)); s.Contains(record.Int(9)) || !s.Contains(record.Int(10)) {
+		t.Error("AtLeast misbehaves")
+	}
+	if s := Range(record.Int(3), record.Int(3)); !s.Empty() {
+		t.Error("empty Range not empty")
+	}
+	if s := Point(record.Int(7)); !s.Contains(record.Int(7)) || s.Contains(record.Int(8)) || s.Contains(record.Int(6)) {
+		t.Error("Point misbehaves for ints")
+	}
+	if s := Point(record.String_("x")); !s.Contains(record.String_("x")) || s.Contains(record.String_("y")) {
+		t.Error("Point misbehaves for strings")
+	}
+}
+
+func TestNormalizeMergesAndSorts(t *testing.T) {
+	s := Normalize([]Interval{iv(10, 20), iv(1, 5), iv(15, 30), iv(40, 50), iv(30, 40), iv(8, 3)})
+	// Expected: [1,5) [10,50)  — [15,30) overlaps [10,20); [30,40) is
+	// adjacent to the merged [10,30); [40,50) adjacent again; [8,3) empty.
+	if len(s) != 2 {
+		t.Fatalf("normalized to %d intervals: %v", len(s), s)
+	}
+	if s[0].Lo.AsInt() != 1 || s[0].Hi.AsInt() != 5 {
+		t.Errorf("first interval = %v", s[0])
+	}
+	if s[1].Lo.AsInt() != 10 || s[1].Hi.AsInt() != 50 {
+		t.Errorf("second interval = %v", s[1])
+	}
+}
+
+func TestNormalizeUnboundedSwallows(t *testing.T) {
+	s := Normalize([]Interval{{Lo: record.Int(10)}, iv(20, 30), iv(50, 60)})
+	if len(s) != 1 || !s[0].Hi.IsNull() {
+		t.Errorf("unbounded-above interval should swallow the rest: %v", s)
+	}
+	s = Normalize([]Interval{{Hi: record.Int(10)}, iv(5, 8)})
+	if len(s) != 1 {
+		t.Errorf("unbounded-below merge failed: %v", s)
+	}
+}
+
+func TestNormalizeQuickMatchesNaive(t *testing.T) {
+	f := func(bounds []uint8) bool {
+		var ivs []Interval
+		for i := 0; i+1 < len(bounds); i += 2 {
+			ivs = append(ivs, iv(int64(bounds[i]%50), int64(bounds[i+1]%50)))
+		}
+		s := Normalize(ivs)
+		// Every probe value must match iff it matches some raw interval.
+		for v := int64(0); v < 50; v++ {
+			naive := false
+			for _, x := range ivs {
+				if x.Contains(record.Int(v)) {
+					naive = true
+					break
+				}
+			}
+			if s.Contains(record.Int(v)) != naive {
+				return false
+			}
+		}
+		// And the set must be sorted and disjoint.
+		for i := 1; i < len(s); i++ {
+			if record.Compare(s[i-1].Hi, s[i].Lo) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextFrom(t *testing.T) {
+	s := Normalize([]Interval{iv(10, 20), iv(30, 40)})
+	cases := []struct {
+		v      int64
+		wantLo int64
+		ok     bool
+	}{
+		{0, 10, true}, {10, 10, true}, {19, 10, true},
+		{20, 30, true}, {25, 30, true}, {39, 30, true},
+		{40, 0, false}, {100, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := s.NextFrom(record.Int(c.v))
+		if ok != c.ok {
+			t.Errorf("NextFrom(%d) ok = %v, want %v", c.v, ok, c.ok)
+			continue
+		}
+		if ok && got.Lo.AsInt() != c.wantLo {
+			t.Errorf("NextFrom(%d) = %v, want Lo %d", c.v, got, c.wantLo)
+		}
+	}
+}
+
+func TestNextFromDegeneratePoint(t *testing.T) {
+	s := Point(record.String_("m"))
+	if _, ok := s.NextFrom(record.String_("m")); !ok {
+		t.Error("NextFrom must return the closed point interval at its own value")
+	}
+	if _, ok := s.NextFrom(record.String_("n")); ok {
+		t.Error("NextFrom past a closed point must report done")
+	}
+}
+
+func TestBoundsAccessors(t *testing.T) {
+	s := Normalize([]Interval{iv(10, 20), iv(30, 40)})
+	if lo, ok := s.MinLo(); !ok || lo.AsInt() != 10 {
+		t.Errorf("MinLo = %v, %v", lo, ok)
+	}
+	if hi, ok := s.MaxHi(); !ok || hi.AsInt() != 40 {
+		t.Errorf("MaxHi = %v, %v", hi, ok)
+	}
+	if _, ok := All().MaxHi(); ok {
+		t.Error("unbounded set reported a MaxHi")
+	}
+	if _, ok := Set(nil).MinLo(); ok {
+		t.Error("empty set reported a MinLo")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	if got := Set(nil).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+	if got := All().String(); got != "{[-inf, +inf)}" {
+		t.Errorf("All String = %q", got)
+	}
+}

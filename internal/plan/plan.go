@@ -1,0 +1,458 @@
+// Package plan defines the fixed query execution plans of the paper's
+// study. The paper "eliminate[s] choices in query optimization using hints
+// on index usage, join order, join algorithm, and memory allocation"; this
+// package is those hints made explicit — each Plan is a complete physical
+// plan constructor with no optimizer in the loop.
+//
+// Two query shapes are used:
+//
+//   - Select1D (Figures 1 and 2): a single range predicate a < ta over the
+//     lineitem-like table; Figure 2's variant needs only columns (a, b), so
+//     index-join plans can cover it.
+//   - Select2D (Figures 4 through 10): the conjunction a < ta AND b < tb.
+//
+// Thirteen distinct plans cover the three systems, matching the paper's
+// count ("a total of 13 distinct plans across all systems"): seven in
+// System A, four more in System B, and two in System C.
+package plan
+
+import (
+	"fmt"
+
+	"robustmap/internal/catalog"
+	"robustmap/internal/exec"
+	"robustmap/internal/mdam"
+	"robustmap/internal/record"
+)
+
+// Conventional object names shared by all systems.
+const (
+	TableName = "lineitem"
+	IdxA      = "idx_a"  // single-column non-clustered index on a
+	IdxB      = "idx_b"  // single-column non-clustered index on b
+	IdxAB     = "idx_ab" // two-column index on (a, b)
+	IdxBA     = "idx_ba" // two-column index on (b, a)
+)
+
+// Query is a point in the paper's parameter space: thresholds for the
+// range predicates a < TA and b < TB. TB < 0 means the query has no b
+// predicate (the 1-D sweeps of Figures 1 and 2).
+type Query struct {
+	TA int64
+	TB int64
+}
+
+// OnlyA reports whether the query restricts column a alone.
+func (q Query) OnlyA() bool { return q.TB < 0 }
+
+// String renders the query.
+func (q Query) String() string {
+	if q.OnlyA() {
+		return fmt.Sprintf("a<%d", q.TA)
+	}
+	return fmt.Sprintf("a<%d AND b<%d", q.TA, q.TB)
+}
+
+// BuildFunc constructs a ready-to-drain iterator for a query against a
+// catalog.
+type BuildFunc func(*exec.Ctx, *catalog.Catalog, Query) exec.RowIter
+
+// Plan is a fixed physical plan.
+type Plan struct {
+	// ID is the stable identifier used in experiment output, e.g. "A2".
+	ID string
+	// System is the engine configuration the plan belongs to: "A", "B",
+	// or "C".
+	System string
+	// Description is the human-readable plan shape.
+	Description string
+	// Build constructs the iterator.
+	Build BuildFunc
+}
+
+// ridRowAdapter drains a RID iterator as rows of one dummy column — used
+// when a plan's result is consumed only for counting.
+// (Not needed today: all plans end in row-producing operators.)
+
+// aPreds returns the residual predicate a < ta against the table schema.
+func aPred(c *catalog.Catalog, ta int64) exec.ColPred {
+	t := c.Table(TableName)
+	return exec.ColPred{Col: t.Schema.MustOrdinal("a"), Hi: record.Int(ta)}
+}
+
+func bPred(c *catalog.Catalog, tb int64) exec.ColPred {
+	t := c.Table(TableName)
+	return exec.ColPred{Col: t.Schema.MustOrdinal("b"), Hi: record.Int(tb)}
+}
+
+// scanRange builds the [0, t) bound pair for a single-column index.
+func scanRange(ix *catalog.Index, t int64) (lo, hi []byte) {
+	return nil, ix.PrefixFor(record.Int(t))
+}
+
+// tablePreds assembles the predicates for a full-row plan.
+func tablePreds(c *catalog.Catalog, q Query) []exec.ColPred {
+	preds := []exec.ColPred{aPred(c, q.TA)}
+	if !q.OnlyA() {
+		preds = append(preds, bPred(c, q.TB))
+	}
+	return preds
+}
+
+// --- System A plans (seven, for the two-predicate query) ---------------
+
+// PlanA1TableScan scans the base table and filters.
+func PlanA1TableScan() Plan {
+	return Plan{
+		ID: "A1", System: "A",
+		Description: "table scan, all predicates applied to every row",
+		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
+			return exec.NewTableScan(ctx, c.Table(TableName), tablePreds(c, q))
+		},
+	}
+}
+
+// PlanA2IdxAImproved scans idx(a) and fetches rows with the improved
+// (sorted, gap-streaming) fetch; the b predicate is residual.
+func PlanA2IdxAImproved() Plan {
+	return Plan{
+		ID: "A2", System: "A",
+		Description: "idx(a) range scan, improved fetch, residual b predicate",
+		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
+			ix := c.Index(IdxA)
+			lo, hi := scanRange(ix, q.TA)
+			var residual []exec.ColPred
+			if !q.OnlyA() {
+				residual = []exec.ColPred{bPred(c, q.TB)}
+			}
+			return exec.NewImprovedFetch(ctx, c.Table(TableName),
+				exec.NewIndexRangeScan(ctx, ix, lo, hi), residual, 0)
+		},
+	}
+}
+
+// PlanA3IdxBImproved is the symmetric plan on idx(b).
+func PlanA3IdxBImproved() Plan {
+	return Plan{
+		ID: "A3", System: "A",
+		Description: "idx(b) range scan, improved fetch, residual a predicate",
+		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
+			if q.OnlyA() {
+				panic("plan A3 requires a two-predicate query")
+			}
+			ix := c.Index(IdxB)
+			lo, hi := scanRange(ix, q.TB)
+			return exec.NewImprovedFetch(ctx, c.Table(TableName),
+				exec.NewIndexRangeScan(ctx, ix, lo, hi),
+				[]exec.ColPred{aPred(c, q.TA)}, 0)
+		},
+	}
+}
+
+// intersectionInputs builds the two index range scans of the 2-D query.
+func intersectionInputs(ctx *exec.Ctx, c *catalog.Catalog, q Query) (sa, sb exec.RIDIter) {
+	ixA, ixB := c.Index(IdxA), c.Index(IdxB)
+	loA, hiA := scanRange(ixA, q.TA)
+	loB, hiB := scanRange(ixB, q.TB)
+	return exec.NewIndexRangeScan(ctx, ixA, loA, hiA),
+		exec.NewIndexRangeScan(ctx, ixB, loB, hiB)
+}
+
+// PlanA4MergeAB intersects idx(a) with idx(b) by merge join, then fetches.
+func PlanA4MergeAB() Plan {
+	return Plan{
+		ID: "A4", System: "A",
+		Description: "merge-join intersection idx(a) ⋂ idx(b), improved fetch",
+		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
+			sa, sb := intersectionInputs(ctx, c, q)
+			j := exec.NewRIDMergeIntersect(ctx, sa, sb)
+			return exec.NewImprovedFetch(ctx, c.Table(TableName), j, nil, 0)
+		},
+	}
+}
+
+// PlanA5MergeBA is the merge intersection in the other join order.
+func PlanA5MergeBA() Plan {
+	return Plan{
+		ID: "A5", System: "A",
+		Description: "merge-join intersection idx(b) ⋂ idx(a), improved fetch",
+		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
+			sa, sb := intersectionInputs(ctx, c, q)
+			j := exec.NewRIDMergeIntersect(ctx, sb, sa)
+			return exec.NewImprovedFetch(ctx, c.Table(TableName), j, nil, 0)
+		},
+	}
+}
+
+// PlanA6HashAB hash-intersects with idx(a) as the build side.
+func PlanA6HashAB() Plan {
+	return Plan{
+		ID: "A6", System: "A",
+		Description: "hash intersection, build idx(a), probe idx(b), improved fetch",
+		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
+			sa, sb := intersectionInputs(ctx, c, q)
+			j := exec.NewRIDHashIntersect(ctx, sa, sb)
+			return exec.NewImprovedFetch(ctx, c.Table(TableName), j, nil, 0)
+		},
+	}
+}
+
+// PlanA7HashBA hash-intersects with idx(b) as the build side.
+func PlanA7HashBA() Plan {
+	return Plan{
+		ID: "A7", System: "A",
+		Description: "hash intersection, build idx(b), probe idx(a), improved fetch",
+		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
+			sa, sb := intersectionInputs(ctx, c, q)
+			j := exec.NewRIDHashIntersect(ctx, sb, sa)
+			return exec.NewImprovedFetch(ctx, c.Table(TableName), j, nil, 0)
+		},
+	}
+}
+
+// --- System B plans (four) ----------------------------------------------
+//
+// System B applies MVCC to base rows only, so no index is covering: every
+// plan ends in a fetch, done bitmap-driven (Figure 8). Its two-column
+// indexes evaluate both predicates from index entries before fetching.
+
+// PlanB1IdxABBitmap scans idx(a,b) with both predicates on the entries,
+// then bitmap-fetches the full rows (visibility forces the fetch).
+func PlanB1IdxABBitmap() Plan {
+	return Plan{
+		ID: "B1", System: "B",
+		Description: "idx(a,b) entry filter, bitmap-sorted fetch of base rows",
+		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
+			ix := c.Index(IdxAB)
+			lo, hi := scanRange(ix, q.TA) // range on leading column a
+			var entryPreds []exec.ColPred
+			if !q.OnlyA() {
+				entryPreds = []exec.ColPred{{Col: 1, Hi: record.Int(q.TB)}}
+			}
+			rids := exec.NewIndexKeyFilterScan(ctx, ix, lo, hi, entryPreds)
+			return exec.NewBitmapFetch(ctx, c.Table(TableName), rids, nil)
+		},
+	}
+}
+
+// PlanB2IdxBABitmap is the symmetric plan over idx(b,a).
+func PlanB2IdxBABitmap() Plan {
+	return Plan{
+		ID: "B2", System: "B",
+		Description: "idx(b,a) entry filter, bitmap-sorted fetch of base rows",
+		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
+			if q.OnlyA() {
+				panic("plan B2 requires a two-predicate query")
+			}
+			ix := c.Index(IdxBA)
+			lo, hi := scanRange(ix, q.TB) // leading column is b
+			entryPreds := []exec.ColPred{{Col: 1, Hi: record.Int(q.TA)}}
+			rids := exec.NewIndexKeyFilterScan(ctx, ix, lo, hi, entryPreds)
+			return exec.NewBitmapFetch(ctx, c.Table(TableName), rids, nil)
+		},
+	}
+}
+
+// PlanB3IdxABitmap scans single-column idx(a) and bitmap-fetches.
+func PlanB3IdxABitmap() Plan {
+	return Plan{
+		ID: "B3", System: "B",
+		Description: "idx(a) range scan, bitmap-sorted fetch, residual b predicate",
+		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
+			ix := c.Index(IdxA)
+			lo, hi := scanRange(ix, q.TA)
+			var residual []exec.ColPred
+			if !q.OnlyA() {
+				residual = []exec.ColPred{bPred(c, q.TB)}
+			}
+			return exec.NewBitmapFetch(ctx, c.Table(TableName),
+				exec.NewIndexRangeScan(ctx, ix, lo, hi), residual)
+		},
+	}
+}
+
+// PlanB4IdxBBitmap is the symmetric plan on idx(b).
+func PlanB4IdxBBitmap() Plan {
+	return Plan{
+		ID: "B4", System: "B",
+		Description: "idx(b) range scan, bitmap-sorted fetch, residual a predicate",
+		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
+			if q.OnlyA() {
+				panic("plan B4 requires a two-predicate query")
+			}
+			ix := c.Index(IdxB)
+			lo, hi := scanRange(ix, q.TB)
+			return exec.NewBitmapFetch(ctx, c.Table(TableName),
+				exec.NewIndexRangeScan(ctx, ix, lo, hi),
+				[]exec.ColPred{aPred(c, q.TA)})
+		},
+	}
+}
+
+// --- System C plans (two) -----------------------------------------------
+
+// PlanC1MDAMAB answers the query index-only via MDAM over idx(a,b).
+func PlanC1MDAMAB() Plan {
+	return Plan{
+		ID: "C1", System: "C",
+		Description: "MDAM over covering idx(a,b), index-only",
+		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
+			second := mdam.All()
+			if !q.OnlyA() {
+				second = mdam.LessThan(record.Int(q.TB))
+			}
+			return exec.NewMDAMScan(ctx, c.Index(IdxAB),
+				mdam.LessThan(record.Int(q.TA)), second)
+		},
+	}
+}
+
+// PlanC2MDAMBA answers the query index-only via MDAM over idx(b,a).
+func PlanC2MDAMBA() Plan {
+	return Plan{
+		ID: "C2", System: "C",
+		Description: "MDAM over covering idx(b,a), index-only",
+		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
+			if q.OnlyA() {
+				// With no b predicate the leading column is unrestricted:
+				// MDAM degrades to a full index sweep with an a filter —
+				// still a legal fixed plan.
+				return exec.NewMDAMScan(ctx, c.Index(IdxBA),
+					mdam.All(), mdam.LessThan(record.Int(q.TA)))
+			}
+			return exec.NewMDAMScan(ctx, c.Index(IdxBA),
+				mdam.LessThan(record.Int(q.TB)), mdam.LessThan(record.Int(q.TA)))
+		},
+	}
+}
+
+// --- Figure 1 / Figure 2 plan sets (single-predicate query) --------------
+
+// PlanFig1Traditional is the traditional index scan of Figure 1: idx(a)
+// range scan with row-at-a-time fetch in key order.
+func PlanFig1Traditional() Plan {
+	return Plan{
+		ID: "F1-trad", System: "A",
+		Description: "idx(a) range scan, traditional row-at-a-time fetch",
+		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
+			ix := c.Index(IdxA)
+			lo, hi := scanRange(ix, q.TA)
+			return exec.NewTraditionalFetch(ctx, c.Table(TableName),
+				exec.NewIndexRangeScan(ctx, ix, lo, hi), nil)
+		},
+	}
+}
+
+// PlanFig2IndexJoin joins idx(a)'s qualifying range against the full
+// idx(b) on RID, covering the (a, b) output without touching the table —
+// Figure 2's "multi-index plans that join non-clustered indexes such that
+// the join result covers the query". algo selects merge or hash; buildA
+// selects the join order.
+func PlanFig2IndexJoin(algo string, buildA bool) Plan {
+	id := fmt.Sprintf("F2-%s-%s", algo, map[bool]string{true: "ab", false: "ba"}[buildA])
+	return Plan{
+		ID: id, System: "A",
+		Description: fmt.Sprintf("covering index join idx(a)⨝idx(b) on RID (%s, build-%s)",
+			algo, map[bool]string{true: "a", false: "b"}[buildA]),
+		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
+			ixA, ixB := c.Index(IdxA), c.Index(IdxB)
+			loA, hiA := scanRange(ixA, q.TA)
+			sa := exec.NewIndexRangeScan(ctx, ixA, loA, hiA)
+			sb := exec.NewIndexRangeScan(ctx, ixB, nil, nil) // full idx(b)
+			var j exec.RIDIter
+			switch {
+			case algo == "merge":
+				if buildA {
+					j = exec.NewRIDMergeIntersect(ctx, sa, sb)
+				} else {
+					j = exec.NewRIDMergeIntersect(ctx, sb, sa)
+				}
+			case buildA:
+				j = exec.NewRIDHashIntersect(ctx, sa, sb)
+			default:
+				j = exec.NewRIDHashIntersect(ctx, sb, sa)
+			}
+			// The join result covers (a, b): emit one row per RID without
+			// fetching. Row content is not needed for the cost study; a
+			// count-shaped row stands in for the covered columns.
+			return &ridsAsRows{inner: j}
+		},
+	}
+}
+
+// ridsAsRows adapts a RID stream to a RowIter emitting one empty row per
+// RID (the covered columns are already paid for by the index scans).
+type ridsAsRows struct {
+	inner exec.RIDIter
+	row   exec.Row
+}
+
+// Open opens the inner iterator.
+func (r *ridsAsRows) Open() { r.inner.Open() }
+
+// Next yields one row per RID.
+func (r *ridsAsRows) Next() (exec.Row, bool) {
+	if _, ok := r.inner.Next(); !ok {
+		return nil, false
+	}
+	return r.row, true
+}
+
+// Close closes the inner iterator.
+func (r *ridsAsRows) Close() { r.inner.Close() }
+
+// --- Plan sets ------------------------------------------------------------
+
+// SystemAPlans returns System A's seven two-predicate plans, the set whose
+// best-of defines the relative maps of Figures 7 and 10.
+func SystemAPlans() []Plan {
+	return []Plan{
+		PlanA1TableScan(), PlanA2IdxAImproved(), PlanA3IdxBImproved(),
+		PlanA4MergeAB(), PlanA5MergeBA(), PlanA6HashAB(), PlanA7HashBA(),
+	}
+}
+
+// SystemBPlans returns System B's four additional plans.
+func SystemBPlans() []Plan {
+	return []Plan{
+		PlanB1IdxABBitmap(), PlanB2IdxBABitmap(), PlanB3IdxABitmap(), PlanB4IdxBBitmap(),
+	}
+}
+
+// SystemCPlans returns System C's two MDAM plans.
+func SystemCPlans() []Plan {
+	return []Plan{PlanC1MDAMAB(), PlanC2MDAMBA()}
+}
+
+// AllPlans returns all thirteen distinct plans of the study.
+func AllPlans() []Plan {
+	out := SystemAPlans()
+	out = append(out, SystemBPlans()...)
+	out = append(out, SystemCPlans()...)
+	return out
+}
+
+// Figure1Plans returns the three plans of Figure 1 (single-predicate).
+func Figure1Plans() []Plan {
+	return []Plan{PlanA1TableScan(), PlanFig1Traditional(), PlanA2IdxAImproved()}
+}
+
+// Figure2Plans returns Figure 2's advanced selection plans: Figure 1's
+// three plus the four covering index joins.
+func Figure2Plans() []Plan {
+	return append(Figure1Plans(),
+		PlanFig2IndexJoin("merge", true), PlanFig2IndexJoin("merge", false),
+		PlanFig2IndexJoin("hash", true), PlanFig2IndexJoin("hash", false),
+	)
+}
+
+// ByID returns the plan with the given id from a set; missing ids panic
+// (experiment definitions use fixed ids).
+func ByID(plans []Plan, id string) Plan {
+	for _, p := range plans {
+		if p.ID == id {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("plan: no plan %q", id))
+}

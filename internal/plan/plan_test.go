@@ -1,0 +1,100 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlanSetSizesMatchPaper(t *testing.T) {
+	if got := len(SystemAPlans()); got != 7 {
+		t.Errorf("System A has %d plans, want 7 (the paper's count)", got)
+	}
+	if got := len(SystemBPlans()); got != 4 {
+		t.Errorf("System B has %d plans, want 4", got)
+	}
+	if got := len(SystemCPlans()); got != 2 {
+		t.Errorf("System C has %d plans, want 2", got)
+	}
+	if got := len(AllPlans()); got != 13 {
+		t.Errorf("AllPlans = %d, want 13 distinct plans", got)
+	}
+	if got := len(Figure1Plans()); got != 3 {
+		t.Errorf("Figure1Plans = %d, want 3", got)
+	}
+	if got := len(Figure2Plans()); got != 7 {
+		t.Errorf("Figure2Plans = %d, want 7", got)
+	}
+}
+
+func TestPlanIDsUniqueAndSystemsAssigned(t *testing.T) {
+	seen := map[string]bool{}
+	all := append(AllPlans(), Figure2Plans()...)
+	for _, p := range all {
+		if p.ID == "" || p.Description == "" {
+			t.Errorf("plan %+v missing id or description", p)
+		}
+		if p.System != "A" && p.System != "B" && p.System != "C" {
+			t.Errorf("plan %s has system %q", p.ID, p.System)
+		}
+		if p.Build == nil {
+			t.Errorf("plan %s has no builder", p.ID)
+		}
+	}
+	for _, p := range AllPlans() {
+		if seen[p.ID] {
+			t.Errorf("duplicate plan id %s", p.ID)
+		}
+		seen[p.ID] = true
+	}
+}
+
+func TestSystemPrefixesMatchIDs(t *testing.T) {
+	for _, p := range AllPlans() {
+		if !strings.HasPrefix(p.ID, p.System) {
+			t.Errorf("plan %s does not carry its system prefix %s", p.ID, p.System)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	p := ByID(AllPlans(), "B1")
+	if p.ID != "B1" || p.System != "B" {
+		t.Errorf("ByID(B1) = %+v", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ByID with unknown id did not panic")
+		}
+	}()
+	ByID(AllPlans(), "nope")
+}
+
+func TestQueryHelpers(t *testing.T) {
+	q1 := Query{TA: 100, TB: -1}
+	if !q1.OnlyA() {
+		t.Error("TB=-1 should be a single-predicate query")
+	}
+	if got := q1.String(); got != "a<100" {
+		t.Errorf("String = %q", got)
+	}
+	q2 := Query{TA: 100, TB: 200}
+	if q2.OnlyA() {
+		t.Error("TB>=0 should be a two-predicate query")
+	}
+	if got := q2.String(); got != "a<100 AND b<200" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestFigure2IndexJoinIDs(t *testing.T) {
+	want := map[string]bool{
+		"F2-merge-ab": true, "F2-merge-ba": true,
+		"F2-hash-ab": true, "F2-hash-ba": true,
+	}
+	for _, p := range Figure2Plans() {
+		delete(want, p.ID)
+	}
+	if len(want) != 0 {
+		t.Errorf("Figure2Plans missing join plans: %v", want)
+	}
+}

@@ -1,0 +1,182 @@
+package record
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// normCompare compares via normalized bytes, which must agree with Compare.
+func normCompare(a, b Value) int {
+	return bytes.Compare(NormalizeValue(nil, a), NormalizeValue(nil, b))
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func TestNormalizePreservesIntOrder(t *testing.T) {
+	f := func(a, b int64) bool {
+		return sign(normCompare(Int(a), Int(b))) == sign(Compare(Int(a), Int(b)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizePreservesFloatOrder(t *testing.T) {
+	f := func(a, b float64) bool {
+		if a != a || b != b {
+			return true // NaN
+		}
+		return sign(normCompare(Float(a), Float(b))) == sign(Compare(Float(a), Float(b)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizePreservesStringOrder(t *testing.T) {
+	f := func(a, b string) bool {
+		return sign(normCompare(String_(a), String_(b))) == sign(Compare(String_(a), String_(b)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizePreservesBytesOrderWithZeros(t *testing.T) {
+	f := func(a, b []byte) bool {
+		return sign(normCompare(Bytes(a), Bytes(b))) == sign(Compare(Bytes(a), Bytes(b)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Explicit adversarial pairs around the escape byte.
+	pairs := [][2][]byte{
+		{{0x00}, {0x00, 0x00}},
+		{{0x00, 0xFF}, {0x01}},
+		{{}, {0x00}},
+		{{0x00, 0x01}, {0x00, 0x02}},
+	}
+	for _, p := range pairs {
+		if sign(normCompare(Bytes(p[0]), Bytes(p[1]))) != sign(Compare(Bytes(p[0]), Bytes(p[1]))) {
+			t.Errorf("order mismatch for %x vs %x", p[0], p[1])
+		}
+	}
+}
+
+func TestNullSortsFirstNormalized(t *testing.T) {
+	vals := []Value{Int(-1 << 62), Float(-1e300), String_(""), Bytes(nil), Bool(false), Date(-1e6)}
+	nullKey := NormalizeValue(nil, Null)
+	for _, v := range vals {
+		if bytes.Compare(nullKey, NormalizeValue(nil, v)) >= 0 {
+			t.Errorf("NULL does not sort before %v", v)
+		}
+	}
+}
+
+func TestCompositeKeyOrder(t *testing.T) {
+	// (1, "zz") < (2, "aa") even though "zz" > "aa": leading column wins.
+	a := Normalize(nil, Int(1), String_("zz"))
+	b := Normalize(nil, Int(2), String_("aa"))
+	if bytes.Compare(a, b) >= 0 {
+		t.Error("composite: leading column must dominate")
+	}
+	// Equal leading column: second column decides.
+	c := Normalize(nil, Int(2), String_("ab"))
+	if bytes.Compare(b, c) >= 0 {
+		t.Error("composite: second column must break ties")
+	}
+}
+
+func TestCompositePrefixNoConfusion(t *testing.T) {
+	// ("a", "b") vs ("ab",) must not collide or misorder even though the
+	// raw strings concatenate identically.
+	a := Normalize(nil, String_("a"), String_("b"))
+	b := NormalizeValue(nil, String_("ab"))
+	if bytes.Equal(a, b) {
+		t.Error("composite key collides with concatenated single key")
+	}
+}
+
+func TestDenormalizeRoundTrip(t *testing.T) {
+	rows := [][]Value{
+		{Int(42), String_("hi\x00there"), Float(-2.5)},
+		{Null, String_(""), Float(0)},
+		{Int(-1), Null, Null},
+	}
+	types := []Type{TypeInt64, TypeString, TypeFloat64}
+	for _, row := range rows {
+		key := Normalize(nil, row...)
+		got, err := Denormalize(key, types)
+		if err != nil {
+			t.Fatalf("Denormalize(%v): %v", row, err)
+		}
+		for i := range row {
+			if row[i].IsNull() != got[i].IsNull() {
+				t.Errorf("col %d null mismatch", i)
+			} else if !row[i].IsNull() && Compare(row[i], got[i]) != 0 {
+				t.Errorf("col %d: got %v, want %v", i, got[i], row[i])
+			}
+		}
+	}
+}
+
+func TestDenormalizeRoundTripQuick(t *testing.T) {
+	types := []Type{TypeInt64, TypeBytes, TypeBool}
+	f := func(a int64, b []byte, c bool) bool {
+		key := Normalize(nil, Int(a), Bytes(b), Bool(c))
+		got, err := Denormalize(key, types)
+		if err != nil {
+			return false
+		}
+		return got[0].AsInt() == a && bytes.Equal(got[1].AsBytes(), b) && got[2].AsBool() == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDenormalizeErrors(t *testing.T) {
+	if _, _, err := DenormalizeValue(nil, TypeInt64); err == nil {
+		t.Error("accepted empty input")
+	}
+	if _, _, err := DenormalizeValue([]byte{0x77}, TypeInt64); err == nil {
+		t.Error("accepted bad tag")
+	}
+	if _, _, err := DenormalizeValue([]byte{keyTagPresent, 1, 2}, TypeInt64); err == nil {
+		t.Error("accepted truncated int")
+	}
+	if _, _, err := DenormalizeValue([]byte{keyTagPresent, 'a', 'b'}, TypeString); err == nil {
+		t.Error("accepted unterminated string")
+	}
+	if _, err := Denormalize(append(Normalize(nil, Int(1)), 0xAA), []Type{TypeInt64}); err == nil {
+		t.Error("accepted trailing bytes")
+	}
+}
+
+func TestKeySuccessor(t *testing.T) {
+	base := Normalize(nil, Int(5))
+	succ := KeySuccessor(base)
+	if bytes.Compare(succ, base) <= 0 {
+		t.Error("successor not greater than base")
+	}
+	// Successor must be <= the next real key value.
+	next := Normalize(nil, Int(6))
+	if bytes.Compare(succ, next) >= 0 {
+		t.Error("successor overshoots the next key")
+	}
+	// And greater than any composite extension of base.
+	ext := Normalize(nil, Int(5), String_("\xff\xff\xff\xff"))
+	if bytes.Compare(succ, ext) <= 0 {
+		t.Errorf("successor %x not greater than extension %x", succ, ext)
+	}
+}

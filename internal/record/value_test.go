@@ -1,0 +1,171 @@
+package record
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if got := Int(42).AsInt(); got != 42 {
+		t.Errorf("Int(42).AsInt() = %d", got)
+	}
+	if got := Float(1.5).AsFloat(); got != 1.5 {
+		t.Errorf("Float(1.5).AsFloat() = %g", got)
+	}
+	if got := String_("hi").AsString(); got != "hi" {
+		t.Errorf("String_.AsString() = %q", got)
+	}
+	if got := Bytes([]byte{1, 2}).AsBytes(); len(got) != 2 || got[0] != 1 {
+		t.Errorf("Bytes.AsBytes() = %v", got)
+	}
+	if got := Date(100).AsInt(); got != 100 {
+		t.Errorf("Date(100).AsInt() = %d", got)
+	}
+	if !Bool(true).AsBool() {
+		t.Error("Bool(true).AsBool() = false")
+	}
+	if !Null.IsNull() || Int(0).IsNull() {
+		t.Error("IsNull misbehaves")
+	}
+}
+
+func TestAsFloatWidensInt(t *testing.T) {
+	if got := Int(7).AsFloat(); got != 7.0 {
+		t.Errorf("Int(7).AsFloat() = %g", got)
+	}
+}
+
+func TestAccessorPanicsOnWrongType(t *testing.T) {
+	cases := []func(){
+		func() { Int(1).AsString() },
+		func() { String_("x").AsInt() },
+		func() { Float(1).AsBool() },
+		func() { Bool(true).AsBytes() },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCompareOrdersWithinTypes(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Float(-1), Float(1), -1},
+		{String_("a"), String_("b"), -1},
+		{String_("ab"), String_("a"), 1},
+		{Bytes([]byte{0}), Bytes([]byte{0, 0}), -1},
+		{Bool(false), Bool(true), -1},
+		{Bool(true), Bool(true), 0},
+		{Date(5), Date(9), -1},
+		{Null, Int(math.MinInt64), -1},
+		{Int(math.MinInt64), Null, 1},
+		{Null, Null, 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareMixedTypesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic comparing int with string")
+		}
+	}()
+	Compare(Int(1), String_("1"))
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Int(3), Int(3)) || Equal(Int(3), Int(4)) {
+		t.Error("Equal misbehaves")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"NULL":    Null,
+		"42":      Int(42),
+		"1.5":     Float(1.5),
+		`"hi"`:    String_("hi"),
+		"x'0102'": Bytes([]byte{1, 2}),
+		"date(9)": Date(9),
+		"true":    Bool(true),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", v.Type(), got, want)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeInt64.String() != "BIGINT" || TypeString.String() != "VARCHAR" {
+		t.Error("Type.String misbehaves")
+	}
+	if Type(99).Valid() {
+		t.Error("Type(99).Valid() = true")
+	}
+}
+
+func TestFloatSortableOrderPreserving(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ua, ub := Float64ToSortable(a), Float64ToSortable(b)
+		switch {
+		case a < b:
+			return ua < ub
+		case a > b:
+			return ua > ub
+		default:
+			return ua == ub || (a == 0 && b == 0) // ±0 may differ in bits
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatSortableRoundTrip(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) {
+			return true
+		}
+		return Float64FromSortable(Float64ToSortable(a)) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareIsTotalOrderOnInts(t *testing.T) {
+	f := func(xs []int64) bool {
+		vals := make([]Value, len(xs))
+		for i, x := range xs {
+			vals[i] = Int(x)
+		}
+		sort.Slice(vals, func(i, j int) bool { return Compare(vals[i], vals[j]) < 0 })
+		return sort.SliceIsSorted(xs, func(i, j int) bool { return false }) ||
+			sort.SliceIsSorted(vals, func(i, j int) bool { return Compare(vals[i], vals[j]) < 0 })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

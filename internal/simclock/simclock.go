@@ -1,0 +1,135 @@
+// Package simclock provides a deterministic virtual clock for the query
+// execution engine. All costs in the system — I/O waits, per-row CPU work,
+// latch acquisitions — are charged to a Clock instead of being measured with
+// wall time. Experiments therefore produce identical "execution times" on
+// every run and on every machine, which is what lets the robustness maps of
+// the paper be regenerated exactly.
+//
+// A Clock also keeps named cost accounts so that an experiment can report
+// where virtual time went (sequential I/O vs. random I/O vs. CPU), mirroring
+// the per-operator analysis in the paper's discussion of Figures 1–10.
+package simclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Account identifies a category of virtual-time expenditure.
+type Account string
+
+// Standard accounts used throughout the engine. Packages may define their
+// own accounts; these cover the cost categories the paper reasons about.
+const (
+	AccountSeqIO   Account = "io.sequential"
+	AccountRandIO  Account = "io.random"
+	AccountCPU     Account = "cpu"
+	AccountSort    Account = "cpu.sort"
+	AccountHash    Account = "cpu.hash"
+	AccountCompare Account = "cpu.compare"
+	AccountLatch   Account = "latch"
+	AccountSpillIO Account = "io.spill"
+	AccountOther   Account = "other"
+)
+
+// Clock is a deterministic virtual clock. It is not safe for concurrent use;
+// each query execution owns its own Clock (experiments run queries serially,
+// as the paper does — it explicitly defers multi-programming).
+type Clock struct {
+	now      time.Duration
+	accounts map[Account]time.Duration
+	frozen   bool
+}
+
+// New returns a Clock at virtual time zero.
+func New() *Clock {
+	return &Clock{accounts: make(map[Account]time.Duration)}
+}
+
+// Now returns the current virtual time since the clock's epoch.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance charges d of virtual time to the given account. Negative charges
+// and charges to a frozen clock panic: both indicate engine bugs that would
+// silently corrupt an experiment.
+func (c *Clock) Advance(acct Account, d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: negative advance %v on %q", d, acct))
+	}
+	if c.frozen {
+		panic("simclock: advance on frozen clock")
+	}
+	c.now += d
+	c.accounts[acct] += d
+}
+
+// Freeze prevents further advances. Experiments freeze the clock after a
+// query completes so a leaked iterator cannot perturb the measurement.
+func (c *Clock) Freeze() { c.frozen = true }
+
+// Frozen reports whether the clock has been frozen.
+func (c *Clock) Frozen() bool { return c.frozen }
+
+// Reset returns the clock to time zero, clears all accounts, and unfreezes.
+func (c *Clock) Reset() {
+	c.now = 0
+	c.frozen = false
+	for k := range c.accounts {
+		delete(c.accounts, k)
+	}
+}
+
+// Spent returns the time charged to a single account.
+func (c *Clock) Spent(acct Account) time.Duration { return c.accounts[acct] }
+
+// Accounts returns a copy of all non-zero accounts.
+func (c *Clock) Accounts() map[Account]time.Duration {
+	out := make(map[Account]time.Duration, len(c.accounts))
+	for k, v := range c.accounts {
+		if v != 0 {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// Breakdown renders the accounts as a deterministic, human-readable summary
+// sorted by descending expenditure, e.g. for EXPLAIN ANALYZE-style output.
+func (c *Clock) Breakdown() string {
+	type kv struct {
+		k Account
+		v time.Duration
+	}
+	rows := make([]kv, 0, len(c.accounts))
+	for k, v := range c.accounts {
+		if v != 0 {
+			rows = append(rows, kv{k, v})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].v != rows[j].v {
+			return rows[i].v > rows[j].v
+		}
+		return rows[i].k < rows[j].k
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "total %v", c.now)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "; %s %v", r.k, r.v)
+	}
+	return b.String()
+}
+
+// Timer measures a span of virtual time.
+type Timer struct {
+	c     *Clock
+	start time.Duration
+}
+
+// StartTimer begins a span at the current virtual time.
+func (c *Clock) StartTimer() Timer { return Timer{c: c, start: c.now} }
+
+// Elapsed returns the virtual time since the timer started.
+func (t Timer) Elapsed() time.Duration { return t.c.now - t.start }

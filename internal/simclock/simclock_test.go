@@ -1,0 +1,143 @@
+package simclock
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewStartsAtZero(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", c.Now())
+	}
+}
+
+func TestAdvanceAccumulates(t *testing.T) {
+	c := New()
+	c.Advance(AccountCPU, 3*time.Millisecond)
+	c.Advance(AccountRandIO, 5*time.Millisecond)
+	c.Advance(AccountCPU, 2*time.Millisecond)
+	if got, want := c.Now(), 10*time.Millisecond; got != want {
+		t.Errorf("Now() = %v, want %v", got, want)
+	}
+	if got, want := c.Spent(AccountCPU), 5*time.Millisecond; got != want {
+		t.Errorf("Spent(cpu) = %v, want %v", got, want)
+	}
+	if got, want := c.Spent(AccountRandIO), 5*time.Millisecond; got != want {
+		t.Errorf("Spent(rand io) = %v, want %v", got, want)
+	}
+}
+
+func TestAdvanceZeroIsAllowed(t *testing.T) {
+	c := New()
+	c.Advance(AccountCPU, 0)
+	if c.Now() != 0 {
+		t.Errorf("Now() = %v after zero advance, want 0", c.Now())
+	}
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative advance")
+		}
+	}()
+	New().Advance(AccountCPU, -time.Nanosecond)
+}
+
+func TestFreezePreventsAdvance(t *testing.T) {
+	c := New()
+	c.Advance(AccountCPU, time.Millisecond)
+	c.Freeze()
+	if !c.Frozen() {
+		t.Fatal("Frozen() = false after Freeze")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on advance after Freeze")
+		}
+	}()
+	c.Advance(AccountCPU, time.Millisecond)
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	c := New()
+	c.Advance(AccountCPU, time.Second)
+	c.Freeze()
+	c.Reset()
+	if c.Now() != 0 {
+		t.Errorf("Now() = %v after Reset, want 0", c.Now())
+	}
+	if c.Frozen() {
+		t.Error("Frozen() = true after Reset")
+	}
+	if len(c.Accounts()) != 0 {
+		t.Errorf("Accounts() = %v after Reset, want empty", c.Accounts())
+	}
+	c.Advance(AccountCPU, time.Millisecond) // must not panic
+}
+
+func TestAccountsOmitsZeroEntries(t *testing.T) {
+	c := New()
+	c.Advance(AccountCPU, 0)
+	c.Advance(AccountSeqIO, time.Millisecond)
+	accts := c.Accounts()
+	if _, ok := accts[AccountCPU]; ok {
+		t.Error("Accounts() contains zero-valued cpu entry")
+	}
+	if accts[AccountSeqIO] != time.Millisecond {
+		t.Errorf("Accounts()[seq io] = %v, want 1ms", accts[AccountSeqIO])
+	}
+}
+
+func TestAccountsReturnsCopy(t *testing.T) {
+	c := New()
+	c.Advance(AccountCPU, time.Millisecond)
+	accts := c.Accounts()
+	accts[AccountCPU] = 42 * time.Hour
+	if c.Spent(AccountCPU) != time.Millisecond {
+		t.Error("mutating Accounts() result affected the clock")
+	}
+}
+
+func TestBreakdownSortedByExpenditure(t *testing.T) {
+	c := New()
+	c.Advance(AccountCPU, 1*time.Millisecond)
+	c.Advance(AccountRandIO, 9*time.Millisecond)
+	s := c.Breakdown()
+	if !strings.HasPrefix(s, "total 10ms") {
+		t.Errorf("Breakdown() = %q, want prefix 'total 10ms'", s)
+	}
+	ioIdx := strings.Index(s, string(AccountRandIO))
+	cpuIdx := strings.Index(s, string(AccountCPU))
+	if ioIdx < 0 || cpuIdx < 0 || ioIdx > cpuIdx {
+		t.Errorf("Breakdown() = %q: want io.random before cpu", s)
+	}
+}
+
+func TestBreakdownDeterministicOnTies(t *testing.T) {
+	mk := func() string {
+		c := New()
+		c.Advance(AccountCPU, time.Millisecond)
+		c.Advance(AccountRandIO, time.Millisecond)
+		c.Advance(AccountSeqIO, time.Millisecond)
+		return c.Breakdown()
+	}
+	first := mk()
+	for i := 0; i < 20; i++ {
+		if got := mk(); got != first {
+			t.Fatalf("Breakdown() nondeterministic: %q vs %q", got, first)
+		}
+	}
+}
+
+func TestTimerMeasuresSpan(t *testing.T) {
+	c := New()
+	c.Advance(AccountCPU, time.Millisecond)
+	tm := c.StartTimer()
+	c.Advance(AccountRandIO, 7*time.Millisecond)
+	if got, want := tm.Elapsed(), 7*time.Millisecond; got != want {
+		t.Errorf("Elapsed() = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,75 @@
+package storage
+
+import "fmt"
+
+// Disk is the simulated persistent store: a set of files, each an extendable
+// array of PageSize pages. Disk does no cost accounting — that is the buffer
+// pool's job — and is deliberately dumb so that tests can inspect raw pages.
+type Disk struct {
+	files  map[FileID][][]byte
+	nextID FileID
+}
+
+// NewDisk returns an empty disk.
+func NewDisk() *Disk {
+	return &Disk{files: make(map[FileID][][]byte), nextID: 1}
+}
+
+// CreateFile allocates a new empty file and returns its id.
+func (d *Disk) CreateFile() FileID {
+	id := d.nextID
+	d.nextID++
+	d.files[id] = nil
+	return id
+}
+
+// DropFile removes a file and its pages. Dropping an unknown file panics:
+// files are managed by the engine, never by user input.
+func (d *Disk) DropFile(id FileID) {
+	if _, ok := d.files[id]; !ok {
+		panic(fmt.Sprintf("storage: drop of unknown file %d", id))
+	}
+	delete(d.files, id)
+}
+
+// NumPages returns the number of pages in the file.
+func (d *Disk) NumPages(id FileID) PageNo {
+	pages, ok := d.files[id]
+	if !ok {
+		panic(fmt.Sprintf("storage: NumPages of unknown file %d", id))
+	}
+	return PageNo(len(pages))
+}
+
+// AllocPage appends a zeroed page to the file and returns its page number.
+func (d *Disk) AllocPage(id FileID) PageNo {
+	pages, ok := d.files[id]
+	if !ok {
+		panic(fmt.Sprintf("storage: alloc in unknown file %d", id))
+	}
+	d.files[id] = append(pages, make([]byte, PageSize))
+	return PageNo(len(pages))
+}
+
+// PageData returns the raw backing slice of a page. It performs no cost
+// accounting: callers that model physical access (spill writers, readers)
+// must charge the device themselves. Engine-internal code only.
+func (d *Disk) PageData(id FileID, n PageNo) []byte { return d.page(id, n) }
+
+// page returns the raw backing slice of a page.
+func (d *Disk) page(id FileID, n PageNo) []byte {
+	pages, ok := d.files[id]
+	if !ok {
+		panic(fmt.Sprintf("storage: access to unknown file %d", id))
+	}
+	if n < 0 || int(n) >= len(pages) {
+		panic(fmt.Sprintf("storage: page %d out of range [0,%d) in file %d", n, len(pages), id))
+	}
+	return pages[n]
+}
+
+// Exists reports whether the file is present.
+func (d *Disk) Exists(id FileID) bool {
+	_, ok := d.files[id]
+	return ok
+}

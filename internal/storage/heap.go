@@ -1,0 +1,142 @@
+package storage
+
+import "fmt"
+
+// HeapFile is an append-oriented file of slotted pages holding encoded rows.
+// The base tables of the experiments are heap files (or clustered B-trees;
+// see internal/btree). Row order is insertion order, which the data
+// generator randomizes relative to the indexed columns — the physical
+// scatter that makes unsorted RID fetching expensive in the paper's
+// "traditional index scan".
+type HeapFile struct {
+	pool *Pool
+	file FileID
+	rows int64
+}
+
+// CreateHeap creates an empty heap file on the pool's disk.
+func CreateHeap(pool *Pool) *HeapFile {
+	return &HeapFile{pool: pool, file: pool.Disk().CreateFile()}
+}
+
+// OpenHeap reopens an existing heap file with a known row count. Used when
+// an engine is rebuilt over an existing disk between experiment runs.
+func OpenHeap(pool *Pool, file FileID, rows int64) *HeapFile {
+	if !pool.Disk().Exists(file) {
+		panic(fmt.Sprintf("storage: OpenHeap of unknown file %d", file))
+	}
+	return &HeapFile{pool: pool, file: file, rows: rows}
+}
+
+// File returns the heap's file id.
+func (h *HeapFile) File() FileID { return h.file }
+
+// NumRows returns the number of rows ever appended (deletes not tracked;
+// the experiment workloads are append-only).
+func (h *HeapFile) NumRows() int64 { return h.rows }
+
+// NumPages returns the heap's size in pages.
+func (h *HeapFile) NumPages() PageNo { return h.pool.Disk().NumPages(h.file) }
+
+// Append stores an encoded row and returns its RID. The write path is used
+// only at load time, so it charges buffer-pool costs like any other access
+// (experiments reset the clock after loading).
+func (h *HeapFile) Append(rec []byte) RID {
+	disk := h.pool.Disk()
+	n := disk.NumPages(h.file)
+	if n > 0 {
+		last := n - 1
+		data := h.pool.Get(h.file, last)
+		sp := AsSlotted(data)
+		if slot, ok := sp.Insert(rec); ok {
+			h.pool.MarkDirty(h.file, last)
+			h.pool.Unpin(h.file, last)
+			h.rows++
+			return RID{File: h.file, Page: last, Slot: slot}
+		}
+		h.pool.Unpin(h.file, last)
+	}
+	pn := disk.AllocPage(h.file)
+	data := h.pool.Get(h.file, pn)
+	sp := InitSlotted(data)
+	slot, ok := sp.Insert(rec)
+	if !ok {
+		panic("storage: record does not fit an empty page")
+	}
+	h.pool.MarkDirty(h.file, pn)
+	h.pool.Unpin(h.file, pn)
+	h.rows++
+	return RID{File: h.file, Page: pn, Slot: slot}
+}
+
+// Fetch returns the encoded row at rid. The returned slice aliases the page;
+// callers must copy or decode before the next pool operation if they retain
+// it. ok=false means the slot is deleted.
+func (h *HeapFile) Fetch(rid RID) ([]byte, bool) {
+	if rid.File != h.file {
+		panic(fmt.Sprintf("storage: fetch of %v from heap file %d", rid, h.file))
+	}
+	data := h.pool.Get(h.file, rid.Page)
+	sp := AsSlotted(data)
+	rec, ok := sp.Get(rid.Slot)
+	h.pool.Unpin(h.file, rid.Page)
+	return rec, ok
+}
+
+// PageRecords pins a page and returns all live records with their slots.
+// The callback style keeps the pin window tight.
+func (h *HeapFile) PageRecords(page PageNo, fn func(Slot, []byte)) {
+	data := h.pool.Get(h.file, page)
+	sp := AsSlotted(data)
+	for i := 0; i < sp.NumSlots(); i++ {
+		if rec, ok := sp.Get(Slot(i)); ok {
+			fn(Slot(i), rec)
+		}
+	}
+	h.pool.Unpin(h.file, page)
+}
+
+// Scan iterates every live record in physical order, prefetching in device
+// units — the table-scan access pattern whose flat cost anchors Figure 1.
+// The callback must not retain rec.
+func (h *HeapFile) Scan(fn func(RID, []byte) bool) {
+	n := h.NumPages()
+	unit := PageNo(h.pool.PrefetchUnit())
+	for at := PageNo(0); at < n; at += unit {
+		k := unit
+		if rem := n - at; rem < k {
+			k = rem
+		}
+		h.pool.Prefetch(h.file, at, int(k))
+		for pg := at; pg < at+k; pg++ {
+			data := h.pool.Get(h.file, pg)
+			sp := AsSlotted(data)
+			stop := false
+			for i := 0; i < sp.NumSlots(); i++ {
+				if rec, ok := sp.Get(Slot(i)); ok {
+					if !fn(RID{File: h.file, Page: pg, Slot: Slot(i)}, rec) {
+						stop = true
+						break
+					}
+				}
+			}
+			h.pool.Unpin(h.file, pg)
+			if stop {
+				return
+			}
+		}
+	}
+}
+
+// Update replaces the row at rid in place (MVCC version-chain maintenance).
+// Returns false if the page cannot hold the new version.
+func (h *HeapFile) Update(rid RID, rec []byte) bool {
+	data := h.pool.Get(h.file, rid.Page)
+	sp := AsSlotted(data)
+	ok := sp.Update(rid.Slot, rec)
+	if ok {
+		h.pool.MarkDirty(h.file, rid.Page)
+	}
+	h.pool.Unpin(h.file, rid.Page)
+	return ok
+}

@@ -1,0 +1,165 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"robustmap/internal/iomodel"
+	"robustmap/internal/simclock"
+)
+
+func newHeap(t *testing.T, poolPages int) (*HeapFile, *Pool, *simclock.Clock) {
+	t.Helper()
+	c := simclock.New()
+	dev := iomodel.NewDevice(iomodel.DefaultParams(), c)
+	pool := NewPool(NewDisk(), dev, c, poolPages)
+	return CreateHeap(pool), pool, c
+}
+
+func TestHeapAppendFetch(t *testing.T) {
+	h, _, _ := newHeap(t, 16)
+	var rids []RID
+	for i := 0; i < 1000; i++ {
+		rids = append(rids, h.Append([]byte(fmt.Sprintf("row-%04d", i))))
+	}
+	if h.NumRows() != 1000 {
+		t.Errorf("NumRows = %d", h.NumRows())
+	}
+	if h.NumPages() < 2 {
+		t.Errorf("NumPages = %d, want multiple pages", h.NumPages())
+	}
+	for i, rid := range rids {
+		rec, ok := h.Fetch(rid)
+		if !ok || string(rec) != fmt.Sprintf("row-%04d", i) {
+			t.Fatalf("Fetch(%v) = %q, %v", rid, rec, ok)
+		}
+	}
+}
+
+func TestHeapScanOrderAndCompleteness(t *testing.T) {
+	h, _, _ := newHeap(t, 16)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		h.Append([]byte(fmt.Sprintf("%06d", i)))
+	}
+	var seen int
+	last := RID{}
+	first := true
+	h.Scan(func(rid RID, rec []byte) bool {
+		if !first && !last.Less(rid) {
+			t.Fatalf("scan out of order: %v then %v", last, rid)
+		}
+		if string(rec) != fmt.Sprintf("%06d", seen) {
+			t.Fatalf("row %d = %q", seen, rec)
+		}
+		last, first = rid, false
+		seen++
+		return true
+	})
+	if seen != n {
+		t.Errorf("scan saw %d rows, want %d", seen, n)
+	}
+}
+
+func TestHeapScanEarlyStop(t *testing.T) {
+	h, _, _ := newHeap(t, 16)
+	for i := 0; i < 500; i++ {
+		h.Append([]byte("x"))
+	}
+	var seen int
+	h.Scan(func(RID, []byte) bool {
+		seen++
+		return seen < 10
+	})
+	if seen != 10 {
+		t.Errorf("scan visited %d rows after stop, want 10", seen)
+	}
+}
+
+func TestHeapScanCheaperThanRandomFetch(t *testing.T) {
+	// The core asymmetry of Figure 1: scanning all rows sequentially must be
+	// far cheaper than fetching each row by RID in key (scattered) order.
+	h, pool, c := newHeap(t, 64)
+	const n = 5000
+	rec := bytes.Repeat([]byte{7}, 100)
+	var rids []RID
+	for i := 0; i < n; i++ {
+		rids = append(rids, h.Append(rec))
+	}
+	pool.FlushAll()
+	c.Reset()
+	h.Scan(func(RID, []byte) bool { return true })
+	scanCost := c.Now()
+
+	// Scatter the fetch order deterministically.
+	scattered := make([]RID, n)
+	for i, r := range rids {
+		scattered[(i*7919)%n] = r
+	}
+	pool.FlushAll()
+	c.Reset()
+	for _, r := range scattered {
+		h.Fetch(r)
+	}
+	fetchCost := c.Now()
+
+	if fetchCost < 5*scanCost {
+		t.Errorf("scattered fetch %v vs scan %v: want >= 5x asymmetry", fetchCost, scanCost)
+	}
+}
+
+func TestHeapUpdate(t *testing.T) {
+	h, _, _ := newHeap(t, 16)
+	rid := h.Append([]byte("original"))
+	if !h.Update(rid, []byte("new")) {
+		t.Fatal("Update failed")
+	}
+	rec, ok := h.Fetch(rid)
+	if !ok || string(rec) != "new" {
+		t.Errorf("after update Fetch = %q, %v", rec, ok)
+	}
+}
+
+func TestHeapPageRecords(t *testing.T) {
+	h, _, _ := newHeap(t, 16)
+	for i := 0; i < 10; i++ {
+		h.Append([]byte{byte(i)})
+	}
+	var got []byte
+	h.PageRecords(0, func(s Slot, rec []byte) {
+		got = append(got, rec[0])
+	})
+	if len(got) != 10 {
+		t.Fatalf("PageRecords saw %d records", len(got))
+	}
+	for i, b := range got {
+		if int(b) != i {
+			t.Errorf("record %d = %d", i, b)
+		}
+	}
+}
+
+func TestOpenHeap(t *testing.T) {
+	h, pool, _ := newHeap(t, 16)
+	rid := h.Append([]byte("persist"))
+	h2 := OpenHeap(pool, h.File(), h.NumRows())
+	rec, ok := h2.Fetch(rid)
+	if !ok || string(rec) != "persist" {
+		t.Errorf("reopened Fetch = %q, %v", rec, ok)
+	}
+	if h2.NumRows() != 1 {
+		t.Errorf("reopened NumRows = %d", h2.NumRows())
+	}
+}
+
+func TestFetchWrongFilePanics(t *testing.T) {
+	h, _, _ := newHeap(t, 16)
+	h.Append([]byte("x"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.Fetch(RID{File: h.File() + 99, Page: 0, Slot: 0})
+}

@@ -1,0 +1,61 @@
+// Package storage implements the physical layer of the engine: an in-memory
+// simulated disk of fixed-size pages, a buffer pool with clock eviction that
+// charges all misses to an iomodel.Device, slotted pages, and heap files.
+//
+// Every page touched by the executor flows through the buffer pool, so the
+// virtual-time cost of a query is exactly the physical access pattern the
+// plan induces — the quantity the paper's robustness maps visualize.
+package storage
+
+import "fmt"
+
+// PageSize is the size of every page in bytes (8 KiB, the common unit of the
+// systems the paper measured).
+const PageSize = 8192
+
+// FileID identifies a file on the simulated disk.
+type FileID uint32
+
+// PageNo is a zero-based page number within a file.
+type PageNo int64
+
+// Slot is a record slot index within a slotted page.
+type Slot uint16
+
+// RID is a record identifier: the physical address of a row.
+// Secondary indexes store RIDs; fetch operators resolve them.
+type RID struct {
+	File FileID
+	Page PageNo
+	Slot Slot
+}
+
+// Less orders RIDs by physical position: file, then page, then slot.
+// Sorting RIDs into this order is what turns the paper's "traditional"
+// index scan into the "improved" one.
+func (r RID) Less(o RID) bool {
+	if r.File != o.File {
+		return r.File < o.File
+	}
+	if r.Page != o.Page {
+		return r.Page < o.Page
+	}
+	return r.Slot < o.Slot
+}
+
+// String renders the RID for debugging.
+func (r RID) String() string {
+	return fmt.Sprintf("%d:%d:%d", r.File, r.Page, r.Slot)
+}
+
+// Compare returns -1, 0, or 1 ordering RIDs physically.
+func (r RID) Compare(o RID) int {
+	switch {
+	case r.Less(o):
+		return -1
+	case o.Less(r):
+		return 1
+	default:
+		return 0
+	}
+}

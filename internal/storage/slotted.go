@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Slotted page layout (all offsets little-endian uint16):
+//
+//	[0:2)  slot count
+//	[2:4)  free-space pointer (offset of first unused byte of the cell area)
+//	[4:..) cell area, growing upward
+//	[..:PageSize) slot directory, growing downward; each slot is
+//	              (offset uint16, length uint16); offset 0xFFFF marks a
+//	              deleted slot.
+//
+// SlottedPage is a view over a page's bytes; it holds no state of its own,
+// so multiple views of the same page stay coherent.
+type SlottedPage struct {
+	data []byte
+}
+
+const (
+	slottedHeader = 4
+	slotEntrySize = 4
+	deadOffset    = 0xFFFF
+)
+
+// AsSlotted interprets a page as a slotted page. The page must have been
+// initialized with InitSlotted (fresh zeroed pages are valid: zero slots,
+// but a zero free pointer is normalized on first use).
+func AsSlotted(data []byte) SlottedPage {
+	if len(data) != PageSize {
+		panic(fmt.Sprintf("storage: slotted page over %d bytes", len(data)))
+	}
+	return SlottedPage{data: data}
+}
+
+// InitSlotted formats a page as an empty slotted page.
+func InitSlotted(data []byte) SlottedPage {
+	p := AsSlotted(data)
+	p.setNumSlots(0)
+	p.setFreePtr(slottedHeader)
+	return p
+}
+
+func (p SlottedPage) numSlots() int { return int(binary.LittleEndian.Uint16(p.data[0:2])) }
+func (p SlottedPage) freePtr() int  { return int(binary.LittleEndian.Uint16(p.data[2:4])) }
+func (p SlottedPage) setNumSlots(n int) {
+	binary.LittleEndian.PutUint16(p.data[0:2], uint16(n))
+}
+func (p SlottedPage) setFreePtr(n int) {
+	binary.LittleEndian.PutUint16(p.data[2:4], uint16(n))
+}
+
+// NumSlots returns the slot count, including deleted slots.
+func (p SlottedPage) NumSlots() int { return p.numSlots() }
+
+func (p SlottedPage) slotPos(i int) int { return PageSize - (i+1)*slotEntrySize }
+
+func (p SlottedPage) slot(i int) (off, ln int) {
+	pos := p.slotPos(i)
+	return int(binary.LittleEndian.Uint16(p.data[pos : pos+2])),
+		int(binary.LittleEndian.Uint16(p.data[pos+2 : pos+4]))
+}
+
+func (p SlottedPage) setSlot(i, off, ln int) {
+	pos := p.slotPos(i)
+	binary.LittleEndian.PutUint16(p.data[pos:pos+2], uint16(off))
+	binary.LittleEndian.PutUint16(p.data[pos+2:pos+4], uint16(ln))
+}
+
+// FreeSpace returns the bytes available for one more record (accounting for
+// its slot directory entry). Never negative.
+func (p SlottedPage) FreeSpace() int {
+	free := p.slotPos(p.numSlots()) - p.freePtrNormalized() - slotEntrySize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+func (p SlottedPage) freePtrNormalized() int {
+	fp := p.freePtr()
+	if fp < slottedHeader {
+		fp = slottedHeader // fresh zeroed page
+	}
+	return fp
+}
+
+// Insert stores a record and returns its slot. Returns ok=false if the page
+// lacks space. Records longer than the page payload are construction bugs
+// and panic.
+func (p SlottedPage) Insert(rec []byte) (Slot, bool) {
+	if len(rec) > PageSize-slottedHeader-slotEntrySize {
+		panic(fmt.Sprintf("storage: record of %d bytes cannot fit any page", len(rec)))
+	}
+	if len(rec) > p.FreeSpace() {
+		return 0, false
+	}
+	fp := p.freePtrNormalized()
+	n := p.numSlots()
+	copy(p.data[fp:], rec)
+	p.setSlot(n, fp, len(rec))
+	p.setFreePtr(fp + len(rec))
+	p.setNumSlots(n + 1)
+	return Slot(n), true
+}
+
+// Get returns the record in the slot, or ok=false if the slot was deleted.
+// Out-of-range slots panic (index corruption, not a data condition).
+func (p SlottedPage) Get(s Slot) ([]byte, bool) {
+	i := int(s)
+	if i >= p.numSlots() {
+		panic(fmt.Sprintf("storage: slot %d out of range (%d slots)", i, p.numSlots()))
+	}
+	off, ln := p.slot(i)
+	if off == deadOffset {
+		return nil, false
+	}
+	return p.data[off : off+ln], true
+}
+
+// Delete marks the slot dead. The cell space is not reclaimed (no compaction
+// is needed for the read-mostly workloads of the experiments, and MVCC keeps
+// dead versions addressable).
+func (p SlottedPage) Delete(s Slot) {
+	i := int(s)
+	if i >= p.numSlots() {
+		panic(fmt.Sprintf("storage: delete of slot %d out of range", i))
+	}
+	p.setSlot(i, deadOffset, 0)
+}
+
+// Update replaces the record in a slot. If the new record fits in the old
+// cell it is updated in place; otherwise it is appended to the cell area
+// (requiring free space) and the slot redirected. Returns ok=false if space
+// is exhausted.
+func (p SlottedPage) Update(s Slot, rec []byte) bool {
+	i := int(s)
+	if i >= p.numSlots() {
+		panic(fmt.Sprintf("storage: update of slot %d out of range", i))
+	}
+	off, ln := p.slot(i)
+	if off != deadOffset && len(rec) <= ln {
+		copy(p.data[off:], rec)
+		p.setSlot(i, off, len(rec))
+		return true
+	}
+	// Need fresh space (no slot entry needed, only cell bytes).
+	if len(rec) > p.slotPos(p.numSlots())-p.freePtrNormalized() {
+		return false
+	}
+	fp := p.freePtrNormalized()
+	copy(p.data[fp:], rec)
+	p.setSlot(i, fp, len(rec))
+	p.setFreePtr(fp + len(rec))
+	return true
+}

@@ -1,0 +1,184 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func freshPage() SlottedPage {
+	return InitSlotted(make([]byte, PageSize))
+}
+
+func TestInsertGetRoundTrip(t *testing.T) {
+	p := freshPage()
+	recs := [][]byte{[]byte("alpha"), []byte(""), []byte("gamma rays")}
+	slots := make([]Slot, len(recs))
+	for i, r := range recs {
+		s, ok := p.Insert(r)
+		if !ok {
+			t.Fatalf("Insert(%q) failed", r)
+		}
+		slots[i] = s
+	}
+	for i, r := range recs {
+		got, ok := p.Get(slots[i])
+		if !ok || !bytes.Equal(got, r) {
+			t.Errorf("Get(%d) = %q, %v; want %q", slots[i], got, ok, r)
+		}
+	}
+	if p.NumSlots() != len(recs) {
+		t.Errorf("NumSlots = %d, want %d", p.NumSlots(), len(recs))
+	}
+}
+
+func TestInsertUntilFull(t *testing.T) {
+	p := freshPage()
+	rec := make([]byte, 100)
+	count := 0
+	for {
+		if _, ok := p.Insert(rec); !ok {
+			break
+		}
+		count++
+	}
+	// 8192 bytes / (100 payload + 4 slot) ≈ 78 records.
+	if count < 70 || count > 82 {
+		t.Errorf("page held %d 100-byte records, want ~78", count)
+	}
+	if p.FreeSpace() >= 100 {
+		t.Errorf("FreeSpace = %d after fill, want < 100", p.FreeSpace())
+	}
+	// Existing records must survive the failed insert.
+	if _, ok := p.Get(0); !ok {
+		t.Error("record 0 lost after failed insert")
+	}
+}
+
+func TestZeroedPageIsValidEmpty(t *testing.T) {
+	p := AsSlotted(make([]byte, PageSize))
+	if p.NumSlots() != 0 {
+		t.Errorf("zeroed page NumSlots = %d", p.NumSlots())
+	}
+	if s, ok := p.Insert([]byte("x")); !ok || s != 0 {
+		t.Errorf("Insert on zeroed page = %d, %v", s, ok)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	p := freshPage()
+	s, _ := p.Insert([]byte("doomed"))
+	p.Delete(s)
+	if _, ok := p.Get(s); ok {
+		t.Error("Get returned deleted record")
+	}
+	// Slot count unchanged; new inserts get fresh slots.
+	s2, _ := p.Insert([]byte("new"))
+	if s2 == s {
+		t.Error("slot reused after delete")
+	}
+}
+
+func TestUpdateInPlaceAndRelocate(t *testing.T) {
+	p := freshPage()
+	s, _ := p.Insert([]byte("abcdef"))
+	if !p.Update(s, []byte("xyz")) {
+		t.Fatal("shrinking update failed")
+	}
+	got, _ := p.Get(s)
+	if string(got) != "xyz" {
+		t.Errorf("after shrink Get = %q", got)
+	}
+	if !p.Update(s, []byte("a much longer record than before")) {
+		t.Fatal("growing update failed")
+	}
+	got, _ = p.Get(s)
+	if string(got) != "a much longer record than before" {
+		t.Errorf("after grow Get = %q", got)
+	}
+}
+
+func TestUpdateFailsWhenFull(t *testing.T) {
+	p := freshPage()
+	s, _ := p.Insert(bytes.Repeat([]byte{1}, 10))
+	big := bytes.Repeat([]byte{2}, PageSize)
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized record did not panic")
+		}
+	}()
+	// Fill the page first so relocation must fail.
+	filler := bytes.Repeat([]byte{3}, 1000)
+	for {
+		if _, ok := p.Insert(filler); !ok {
+			break
+		}
+	}
+	if p.Update(s, bytes.Repeat([]byte{4}, 2000)) {
+		t.Error("growing update succeeded on full page")
+	}
+	p.Insert(big) // must panic
+}
+
+func TestGetOutOfRangePanics(t *testing.T) {
+	p := freshPage()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p.Get(5)
+}
+
+func TestSlottedQuickRoundTrip(t *testing.T) {
+	f := func(recs [][]byte) bool {
+		p := freshPage()
+		var kept []int
+		for i, r := range recs {
+			if len(r) > 512 {
+				r = r[:512]
+				recs[i] = r
+			}
+			if _, ok := p.Insert(r); ok {
+				kept = append(kept, i)
+			} else {
+				break
+			}
+		}
+		for j, i := range kept {
+			got, ok := p.Get(Slot(j))
+			if !ok || !bytes.Equal(got, recs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRIDOrdering(t *testing.T) {
+	rids := []RID{
+		{1, 0, 0}, {1, 0, 1}, {1, 1, 0}, {2, 0, 0},
+	}
+	for i := 0; i < len(rids); i++ {
+		for j := 0; j < len(rids); j++ {
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got := rids[i].Compare(rids[j]); got != want {
+				t.Errorf("Compare(%v,%v) = %d, want %d", rids[i], rids[j], got, want)
+			}
+			if gotLess := rids[i].Less(rids[j]); gotLess != (want < 0) {
+				t.Errorf("Less(%v,%v) = %v", rids[i], rids[j], gotLess)
+			}
+		}
+	}
+	if s := (RID{1, 2, 3}).String(); s != "1:2:3" {
+		t.Errorf("RID.String = %q", s)
+	}
+}

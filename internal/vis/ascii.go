@@ -1,0 +1,187 @@
+package vis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// HeatMapASCII renders a binned 2-D grid as text. Rows are printed with
+// the first axis ascending downward and the second axis ascending to the
+// right; axis labels name the swept parameters. The legend maps glyphs to
+// bin labels.
+func HeatMapASCII(bins [][]int, glyphs string, rowLabels, colLabels []string,
+	title, legendTitle string, binLabels []string) string {
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	labelW := 0
+	for _, l := range rowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, row := range bins {
+		label := ""
+		if i < len(rowLabels) {
+			label = rowLabels[i]
+		}
+		fmt.Fprintf(&b, "%*s |", labelW, label)
+		for _, bin := range row {
+			b.WriteByte(' ')
+			b.WriteByte(glyphFor(glyphs, bin))
+		}
+		b.WriteByte('\n')
+	}
+	// Column label footer (sparse: first, middle, last).
+	if len(colLabels) > 0 {
+		fmt.Fprintf(&b, "%*s  ", labelW, "")
+		n := len(colLabels)
+		marks := map[int]bool{0: true, n / 2: true, n - 1: true}
+		for j := 0; j < n; j++ {
+			if marks[j] {
+				b.WriteString("^ ")
+			} else {
+				b.WriteString("  ")
+			}
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "%*s  cols: %s .. %s .. %s\n", labelW, "",
+			colLabels[0], colLabels[len(colLabels)/2], colLabels[len(colLabels)-1])
+	}
+	if legendTitle != "" {
+		fmt.Fprintf(&b, "legend (%s):\n", legendTitle)
+		for i, l := range binLabels {
+			fmt.Fprintf(&b, "  %c  %s\n", glyphFor(glyphs, i), l)
+		}
+	}
+	return b.String()
+}
+
+// RegionASCII renders a boolean optimality region: '#' marks points where
+// the plan is optimal, '.' the rest — the one-diagram-per-plan form §3.4
+// of the paper describes.
+func RegionASCII(region [][]bool, rowLabels []string, title string) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	labelW := 0
+	for _, l := range rowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for i, row := range region {
+		label := ""
+		if i < len(rowLabels) {
+			label = rowLabels[i]
+		}
+		fmt.Fprintf(&b, "%*s |", labelW, label)
+		for _, in := range row {
+			if in {
+				b.WriteString(" #")
+			} else {
+				b.WriteString(" .")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// LineChartASCII renders 1-D series on log-log axes as a text chart of the
+// given size. Each series is drawn with its own rune; later series
+// overwrite earlier ones where they collide.
+func LineChartASCII(xs []float64, series map[string][]time.Duration,
+	width, height int, title string) string {
+
+	if width < 16 {
+		width = 16
+	}
+	if height < 8 {
+		height = 8
+	}
+	// Log ranges.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		lx := math.Log10(x)
+		minX = math.Min(minX, lx)
+		maxX = math.Max(maxX, lx)
+	}
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, ts := range series {
+		for _, t := range ts {
+			if t <= 0 {
+				continue
+			}
+			ly := math.Log10(float64(t) / float64(time.Second))
+			minY = math.Min(minY, ly)
+			maxY = math.Max(maxY, ly)
+		}
+	}
+	if math.IsInf(minX, 1) || math.IsInf(minY, 1) {
+		return title + "\n(no positive data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	canvas := make([][]byte, height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "*o+x#%&@"
+	names := sortedKeys(series)
+	for si, name := range names {
+		mark := marks[si%len(marks)]
+		ts := series[name]
+		for i, x := range xs {
+			if i >= len(ts) || x <= 0 || ts[i] <= 0 {
+				continue
+			}
+			cx := int((math.Log10(x) - minX) / (maxX - minX) * float64(width-1))
+			ly := math.Log10(float64(ts[i]) / float64(time.Second))
+			cy := int((ly - minY) / (maxY - minY) * float64(height-1))
+			canvas[height-1-cy][cx] = mark
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	fmt.Fprintf(&b, "%8.3gs +%s\n", math.Pow(10, maxY), strings.Repeat("-", width))
+	for _, row := range canvas {
+		fmt.Fprintf(&b, "%9s |%s\n", "", string(row))
+	}
+	fmt.Fprintf(&b, "%8.3gs +%s\n", math.Pow(10, minY), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%9s  %-8.3g%*s%8.3g (selectivity, log)\n", "",
+		math.Pow(10, minX), width-16, "", math.Pow(10, maxX))
+	for si, name := range names {
+		fmt.Fprintf(&b, "  %c %s\n", marks[si%len(marks)], name)
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string][]time.Duration) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+// Package vis renders robustness maps: ASCII heat maps and line charts for
+// terminals, SVG for documents, and PPM bitmaps. The color scales
+// reproduce the paper's Figure 3 (absolute execution time, one color per
+// order of magnitude, green through red to black) and Figure 6 (relative
+// performance, factor 1 through factor 100,000).
+package vis
+
+import "fmt"
+
+// RGB is one palette color.
+type RGB struct{ R, G, B uint8 }
+
+// Hex renders the color as #rrggbb.
+func (c RGB) Hex() string { return fmt.Sprintf("#%02x%02x%02x", c.R, c.G, c.B) }
+
+// PaletteAbsolute is the Figure 3 scale: green → yellow → orange → red →
+// dark red → black, one color per decade of execution time.
+var PaletteAbsolute = []RGB{
+	{0x1a, 0x9c, 0x2c}, // green:       0.001-0.01 s
+	{0x8f, 0xc3, 0x2a}, // yellow-green
+	{0xf2, 0xd4, 0x2b}, // yellow
+	{0xf2, 0x8c, 0x28}, // orange
+	{0xd6, 0x2a, 0x20}, // red
+	{0x1a, 0x1a, 0x1a}, // black
+}
+
+// PaletteRelative is the Figure 6 scale: light green for factor 1, then
+// deepening through yellow and red to near-black for factor 10⁴–10⁵.
+var PaletteRelative = []RGB{
+	{0x90, 0xee, 0x90}, // factor 1 (light green)
+	{0x2e, 0x8b, 0x2e}, // factor 1-10
+	{0xf2, 0xd4, 0x2b}, // factor 10-100
+	{0xf2, 0x8c, 0x28}, // factor 100-1000
+	{0xd6, 0x2a, 0x20}, // factor 1000-10000
+	{0x26, 0x0d, 0x0d}, // factor 10000-100000
+}
+
+// GlyphsAbsolute are the monochrome terminal glyphs for the absolute
+// scale, light to dark (the paper's monochrome fallback is "light gray to
+// black").
+const GlyphsAbsolute = " .:*#@"
+
+// GlyphsRelative are the terminal glyphs for the relative scale; factor 1
+// is a dot so optimal regions read as calm areas. (ASCII only: glyphs are
+// indexed bytewise.)
+const GlyphsRelative = ".123456789"
+
+// glyphFor returns the glyph for a bin, clamping to the palette size.
+func glyphFor(glyphs string, bin int) byte {
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= len(glyphs) {
+		bin = len(glyphs) - 1
+	}
+	return glyphs[bin]
+}
+
+// colorFor returns the palette color for a bin, clamping.
+func colorFor(palette []RGB, bin int) RGB {
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= len(palette) {
+		bin = len(palette) - 1
+	}
+	return palette[bin]
+}

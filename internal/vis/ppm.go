@@ -1,0 +1,37 @@
+package vis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HeatMapPPM renders a binned grid as a plain-text PPM (P3) image with
+// square cells of the given pixel size. PPM needs no image library, keeps
+// the module dependency-free, and converts losslessly to PNG with any
+// standard tool.
+func HeatMapPPM(bins [][]int, palette []RGB, cellPx int) string {
+	if cellPx < 1 {
+		cellPx = 1
+	}
+	rows := len(bins)
+	cols := 0
+	if rows > 0 {
+		cols = len(bins[0])
+	}
+	w, h := cols*cellPx, rows*cellPx
+	var b strings.Builder
+	fmt.Fprintf(&b, "P3\n%d %d\n255\n", w, h)
+	for i := 0; i < rows; i++ {
+		for py := 0; py < cellPx; py++ {
+			for j := 0; j < cols; j++ {
+				c := colorFor(palette, bins[i][j])
+				px := fmt.Sprintf("%d %d %d ", c.R, c.G, c.B)
+				for k := 0; k < cellPx; k++ {
+					b.WriteString(px)
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

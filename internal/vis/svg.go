@@ -1,0 +1,175 @@
+package vis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// HeatMapSVG renders a binned 2-D grid as a standalone SVG document with a
+// legend — the publication-quality counterpart of the paper's Figures 4,
+// 5, 7, 8, 9, and 10.
+func HeatMapSVG(bins [][]int, palette []RGB, rowLabels, colLabels []string,
+	title, xAxis, yAxis string, binLabels []string) string {
+
+	const cell = 28
+	rows := len(bins)
+	cols := 0
+	if rows > 0 {
+		cols = len(bins[0])
+	}
+	const marginL, marginT, marginB = 90, 50, 60
+	legendW := 190
+	w := marginL + cols*cell + 30 + legendW
+	h := marginT + rows*cell + marginB
+	if lh := marginT + len(binLabels)*24 + 40; lh > h {
+		h = lh
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16">%s</text>`, marginL, xmlEscape(title))
+
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			c := colorFor(palette, bins[i][j])
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="white" stroke-width="1"/>`,
+				marginL+j*cell, marginT+i*cell, cell, cell, c.Hex())
+		}
+	}
+
+	// Row labels (first axis, downward) and sparse column labels.
+	for i, l := range rowLabels {
+		if i >= rows {
+			break
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" text-anchor="end">%s</text>`,
+			marginL-6, marginT+i*cell+cell/2+4, xmlEscape(l))
+	}
+	for j, l := range colLabels {
+		if j >= cols || (j%2 != 0 && j != cols-1) {
+			continue
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" text-anchor="middle">%s</text>`,
+			marginL+j*cell+cell/2, marginT+rows*cell+16, xmlEscape(l))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="13" text-anchor="middle">%s</text>`,
+		marginL+cols*cell/2, marginT+rows*cell+40, xmlEscape(xAxis))
+	fmt.Fprintf(&b, `<text x="20" y="%d" font-size="13" transform="rotate(-90 20 %d)" text-anchor="middle">%s</text>`,
+		marginT+rows*cell/2, marginT+rows*cell/2, xmlEscape(yAxis))
+
+	// Legend.
+	lx := marginL + cols*cell + 30
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12">Execution time</text>`, lx, marginT-8)
+	for i, l := range binLabels {
+		c := colorFor(palette, i)
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="18" height="18" fill="%s"/>`, lx, marginT+i*24, c.Hex())
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s</text>`, lx+24, marginT+i*24+13, xmlEscape(l))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// LineChartSVG renders 1-D series on log-log axes — the Figure 1/2 form.
+func LineChartSVG(xs []float64, series map[string][]time.Duration, title, xAxis, yAxis string) string {
+	const w, h = 640, 420
+	const marginL, marginR, marginT, marginB = 70, 160, 40, 50
+	plotW, plotH := w-marginL-marginR, h-marginT-marginB
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x > 0 {
+			minX = math.Min(minX, math.Log10(x))
+			maxX = math.Max(maxX, math.Log10(x))
+		}
+	}
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, ts := range series {
+		for _, t := range ts {
+			if t > 0 {
+				ly := math.Log10(float64(t) / float64(time.Second))
+				minY = math.Min(minY, ly)
+				maxY = math.Max(maxY, ly)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15">%s</text>`, marginL, xmlEscape(title))
+	if math.IsInf(minX, 1) || math.IsInf(minY, 1) {
+		b.WriteString(`<text x="80" y="200" font-size="13">(no positive data)</text></svg>`)
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	px := func(lx float64) float64 { return float64(marginL) + (lx-minX)/(maxX-minX)*float64(plotW) }
+	py := func(ly float64) float64 { return float64(marginT+plotH) - (ly-minY)/(maxY-minY)*float64(plotH) }
+
+	// Frame and decade grid lines.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#888"/>`,
+		marginL, marginT, plotW, plotH)
+	for d := math.Ceil(minY); d <= math.Floor(maxY); d++ {
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`,
+			marginL, py(d), marginL+plotW, py(d))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%gs</text>`,
+			marginL-4, py(d)+4, math.Pow(10, d))
+	}
+	for d := math.Ceil(minX); d <= math.Floor(maxX); d++ {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#eee"/>`,
+			px(d), marginT, px(d), marginT+plotH)
+	}
+
+	colors := []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf"}
+	names := sortedKeys(series)
+	for si, name := range names {
+		ts := series[name]
+		var pts []string
+		for i, x := range xs {
+			if i >= len(ts) || x <= 0 || ts[i] <= 0 {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f",
+				px(math.Log10(x)), py(math.Log10(float64(ts[i])/float64(time.Second)))))
+		}
+		color := colors[si%len(colors)]
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`,
+			strings.Join(pts, " "), color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="%s">%s</text>`,
+			w-marginR+10, marginT+18*si+12, color, xmlEscape(name))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`,
+		marginL+plotW/2, h-12, xmlEscape(xAxis))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="12" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`,
+		marginT+plotH/2, marginT+plotH/2, xmlEscape(yAxis))
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// LegendSVG renders a standalone legend — the reproductions of the paper's
+// Figures 3 and 6 themselves.
+func LegendSVG(palette []RGB, labels []string, title string) string {
+	w, h := 260, 40+len(labels)*26
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, w, h)
+	fmt.Fprintf(&b, `<text x="12" y="22" font-size="14">%s</text>`, xmlEscape(title))
+	for i, l := range labels {
+		c := colorFor(palette, i)
+		fmt.Fprintf(&b, `<rect x="12" y="%d" width="20" height="20" fill="%s"/>`, 34+i*26, c.Hex())
+		fmt.Fprintf(&b, `<text x="40" y="%d" font-size="12">%s</text>`, 34+i*26+14, xmlEscape(l))
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

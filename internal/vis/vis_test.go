@@ -1,0 +1,200 @@
+package vis
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRGBHex(t *testing.T) {
+	if got := (RGB{0x1a, 0x9c, 0x2c}).Hex(); got != "#1a9c2c" {
+		t.Errorf("Hex = %q", got)
+	}
+}
+
+func TestPalettesMatchPaperScales(t *testing.T) {
+	// Figure 3 and Figure 6 each have six bins.
+	if len(PaletteAbsolute) != 6 {
+		t.Errorf("absolute palette has %d colors, want 6", len(PaletteAbsolute))
+	}
+	if len(PaletteRelative) != 6 {
+		t.Errorf("relative palette has %d colors, want 6", len(PaletteRelative))
+	}
+	if len(GlyphsAbsolute) != 6 {
+		t.Errorf("absolute glyphs = %q, want 6", GlyphsAbsolute)
+	}
+}
+
+func TestGlyphAndColorClamp(t *testing.T) {
+	if glyphFor("abc", -1) != 'a' || glyphFor("abc", 99) != 'c' {
+		t.Error("glyph clamp misbehaves")
+	}
+	if colorFor(PaletteAbsolute, -5) != PaletteAbsolute[0] {
+		t.Error("color clamp low misbehaves")
+	}
+	if colorFor(PaletteAbsolute, 99) != PaletteAbsolute[5] {
+		t.Error("color clamp high misbehaves")
+	}
+}
+
+func sampleBins() [][]int {
+	return [][]int{
+		{0, 1, 2},
+		{1, 3, 4},
+		{2, 4, 5},
+	}
+}
+
+func TestHeatMapASCII(t *testing.T) {
+	s := HeatMapASCII(sampleBins(), GlyphsAbsolute,
+		[]string{"2^-2", "2^-1", "2^0"}, []string{"2^-2", "2^-1", "2^0"},
+		"test map", "absolute", []string{"bin0", "bin1"})
+	if !strings.Contains(s, "test map") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(s, "2^-2 |") {
+		t.Errorf("missing row label: %q", s)
+	}
+	if !strings.Contains(s, "legend (absolute):") || !strings.Contains(s, "bin1") {
+		t.Error("missing legend")
+	}
+	// Three grid lines with 3 cells each.
+	lines := strings.Split(s, "\n")
+	gridLines := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			gridLines++
+		}
+	}
+	if gridLines != 3 {
+		t.Errorf("grid lines = %d, want 3", gridLines)
+	}
+}
+
+func TestLineChartASCII(t *testing.T) {
+	xs := []float64{0.001, 0.01, 0.1, 1}
+	series := map[string][]time.Duration{
+		"scan":  {time.Second, time.Second, time.Second, time.Second},
+		"index": {time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond, 10 * time.Second},
+	}
+	s := LineChartASCII(xs, series, 40, 10, "figure 1")
+	if !strings.Contains(s, "figure 1") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(s, "index") || !strings.Contains(s, "scan") {
+		t.Error("missing series names")
+	}
+	if !strings.Contains(s, "*") || !strings.Contains(s, "o") {
+		t.Error("missing plot marks")
+	}
+}
+
+func TestLineChartASCIIEmpty(t *testing.T) {
+	s := LineChartASCII(nil, map[string][]time.Duration{}, 40, 10, "empty")
+	if !strings.Contains(s, "no positive data") {
+		t.Errorf("empty chart = %q", s)
+	}
+}
+
+func TestHeatMapSVGWellFormed(t *testing.T) {
+	s := HeatMapSVG(sampleBins(), PaletteAbsolute,
+		[]string{"a", "b", "c"}, []string{"x", "y", "z"},
+		"Figure 4", "selectivity b", "selectivity a",
+		[]string{"l0", "l1", "l2", "l3", "l4", "l5"})
+	var doc struct{}
+	if err := xml.Unmarshal([]byte(s), &doc); err != nil {
+		t.Fatalf("SVG not well-formed XML: %v", err)
+	}
+	if !strings.Contains(s, "Figure 4") {
+		t.Error("missing title")
+	}
+	if strings.Count(s, "<rect") < 9 {
+		t.Error("missing cells")
+	}
+	if !strings.Contains(s, PaletteAbsolute[5].Hex()) {
+		t.Error("missing top-bin color")
+	}
+}
+
+func TestHeatMapSVGEscapesMarkup(t *testing.T) {
+	s := HeatMapSVG([][]int{{0}}, PaletteAbsolute, nil, nil,
+		`a<b & "c"`, "x", "y", nil)
+	if strings.Contains(s, `a<b`) {
+		t.Error("title not escaped")
+	}
+	var doc struct{}
+	if err := xml.Unmarshal([]byte(s), &doc); err != nil {
+		t.Fatalf("escaped SVG not well-formed: %v", err)
+	}
+}
+
+func TestLineChartSVGWellFormed(t *testing.T) {
+	xs := []float64{0.01, 0.1, 1}
+	series := map[string][]time.Duration{
+		"p1": {time.Millisecond, 10 * time.Millisecond, time.Second},
+	}
+	s := LineChartSVG(xs, series, "Figure 1", "selectivity", "time")
+	var doc struct{}
+	if err := xml.Unmarshal([]byte(s), &doc); err != nil {
+		t.Fatalf("SVG not well-formed: %v", err)
+	}
+	if !strings.Contains(s, "polyline") {
+		t.Error("missing polyline")
+	}
+	if !strings.Contains(s, "p1") {
+		t.Error("missing series label")
+	}
+}
+
+func TestLegendSVG(t *testing.T) {
+	s := LegendSVG(PaletteRelative, []string{"factor 1", "factor 1-10"}, "Figure 6")
+	var doc struct{}
+	if err := xml.Unmarshal([]byte(s), &doc); err != nil {
+		t.Fatalf("SVG not well-formed: %v", err)
+	}
+	if !strings.Contains(s, "factor 1-10") {
+		t.Error("missing label")
+	}
+}
+
+func TestHeatMapPPM(t *testing.T) {
+	s := HeatMapPPM(sampleBins(), PaletteAbsolute, 2)
+	if !strings.HasPrefix(s, "P3\n6 6\n255\n") {
+		t.Fatalf("bad PPM header: %q", s[:20])
+	}
+	// 6 pixel rows of data.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 3+6 {
+		t.Errorf("PPM has %d lines, want 9", len(lines))
+	}
+	// Each data line has 6 pixels × 3 components.
+	fields := strings.Fields(lines[3])
+	if len(fields) != 18 {
+		t.Errorf("pixel row has %d values, want 18", len(fields))
+	}
+}
+
+func TestHeatMapPPMCellClamp(t *testing.T) {
+	s := HeatMapPPM([][]int{{0}}, PaletteAbsolute, 0) // clamps to 1
+	if !strings.HasPrefix(s, "P3\n1 1\n") {
+		t.Errorf("bad header: %q", s)
+	}
+}
+
+func TestRegionASCII(t *testing.T) {
+	region := [][]bool{
+		{true, false, true},
+		{false, true, false},
+	}
+	s := RegionASCII(region, []string{"2^-1", "2^0"}, "region of plan X")
+	if !strings.Contains(s, "region of plan X") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(s, "2^-1 | # . #") {
+		t.Errorf("row rendering wrong:\n%s", s)
+	}
+	if !strings.Contains(s, " 2^0 | . # .") {
+		t.Errorf("second row rendering wrong:\n%s", s)
+	}
+}

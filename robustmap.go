@@ -1,0 +1,275 @@
+// Package robustmap is a library for measuring and visualizing the
+// robustness of query execution, reproducing "Visualizing the robustness
+// of query execution" (Graefe, Kuno, Wiener — CIDR 2009).
+//
+// A robustness map records the measured execution time of one or more
+// fixed query execution plans across a parameter space (typically
+// predicate selectivities) and makes degradation visible: where plans
+// cross over, where cost curves stop flattening, where optimality regions
+// fragment, and how far from optimal a plan gets (the paper observed
+// factors up to 101,000).
+//
+// The package is a facade over the implementation:
+//
+//   - a deterministic storage engine (buffer pool, B-trees, MVCC, MDAM,
+//     bitmap fetch, external sort, intersection joins) whose virtual-time
+//     cost model reproduces the paper's three measured systems,
+//   - the robustness-map core (sweeps, color bins, landmark detection,
+//     optimality-region analysis), and
+//   - renderers (ASCII, SVG, PPM).
+//
+// # Quick start
+//
+//	study, err := robustmap.NewStudy(robustmap.SmallStudyConfig())
+//	if err != nil { ... }
+//	art := robustmap.Figure1(study)     // regenerate the paper's Figure 1
+//	fmt.Println(art.ASCII)              // terminal robustness map
+//	os.WriteFile("fig1.svg", []byte(art.SVG), 0o644)
+//
+// Or map your own plans:
+//
+//	sys, _ := robustmap.SystemA(robustmap.DefaultEngineConfig())
+//	m := robustmap.Sweep1D(...)
+//
+// See the examples directory for complete programs, DESIGN.md for the
+// system inventory, and EXPERIMENTS.md for paper-vs-measured results.
+package robustmap
+
+import (
+	"robustmap/internal/core"
+	"robustmap/internal/engine"
+	"robustmap/internal/exec"
+	"robustmap/internal/experiments"
+	"robustmap/internal/iomodel"
+	"robustmap/internal/plan"
+	"robustmap/internal/vis"
+)
+
+// Study orchestration -------------------------------------------------------
+
+// StudyConfig scales a full reproduction study (table size, sweep ranges,
+// engine parameters).
+type StudyConfig = experiments.StudyConfig
+
+// Study holds the three built systems and the shared plan sweeps.
+type Study = experiments.Study
+
+// Artifacts is everything one experiment produces: summary, CSV, ASCII,
+// SVG, PPM, and the outcomes of the paper-claim checks.
+type Artifacts = experiments.Artifacts
+
+// NewStudy builds the three systems of the paper's study.
+func NewStudy(cfg StudyConfig) (*Study, error) { return experiments.NewStudy(cfg) }
+
+// DefaultStudyConfig is the full-scale study configuration.
+func DefaultStudyConfig() StudyConfig { return experiments.DefaultStudyConfig() }
+
+// SmallStudyConfig is a reduced configuration suitable for laptops and CI.
+func SmallStudyConfig() StudyConfig { return experiments.SmallStudyConfig() }
+
+// ExperimentIDs lists the reproducible paper artifacts
+// (fig1 … fig10, sortspill).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper artifact by id.
+func RunExperiment(study *Study, id string) (*Artifacts, bool) {
+	def, ok := experiments.Lookup(id)
+	if !ok {
+		return nil, false
+	}
+	return def.Run(study), true
+}
+
+// Per-figure regenerators, plus the §3.3/§4 extension experiments.
+var (
+	Figure1        = experiments.Figure1
+	Figure2        = experiments.Figure2
+	Figure3        = experiments.Figure3
+	Figure4        = experiments.Figure4
+	Figure5        = experiments.Figure5
+	Figure6        = experiments.Figure6
+	Figure7        = experiments.Figure7
+	Figure8        = experiments.Figure8
+	Figure9        = experiments.Figure9
+	Figure10       = experiments.Figure10
+	SortSpill      = experiments.SortSpill
+	JoinSweep      = experiments.JoinSweep
+	AggSweep       = experiments.AggSweep
+	WorstMap       = experiments.WorstMap
+	SystemsCompare = experiments.SystemsCompare
+	ParallelSweep  = experiments.ParallelSweep
+	Regions        = experiments.Regions
+	ScoreboardExp  = experiments.ScoreboardExperiment
+	MemSweep       = experiments.MemSweep
+)
+
+// Engine --------------------------------------------------------------------
+
+// EngineConfig parameterizes one simulated database system.
+type EngineConfig = engine.Config
+
+// System is one built system: loaded table, indexes, and a deterministic
+// cost model. Run measures a fixed plan at a query point.
+type System = engine.System
+
+// Result is one measured plan execution (virtual time, cost accounts,
+// device and buffer-pool statistics).
+type Result = engine.Result
+
+// DefaultEngineConfig returns the experiment defaults (2^17 rows, 256-page
+// buffer pool, 16 MiB operator memory, 2009-era disk profile).
+func DefaultEngineConfig() EngineConfig { return engine.DefaultConfig() }
+
+// SystemA builds the paper's System A: heap table with single-column
+// non-clustered indexes, improved and traditional fetches, merge and hash
+// index intersection.
+func SystemA(cfg EngineConfig) (*System, error) { return engine.SystemA(cfg) }
+
+// SystemB builds System B: MVCC on base rows only, so no index is covering
+// and every plan fetches through a sorted RID bitmap.
+func SystemB(cfg EngineConfig) (*System, error) { return engine.SystemB(cfg) }
+
+// SystemC builds System C: covering two-column indexes driven by MDAM.
+func SystemC(cfg EngineConfig) (*System, error) { return engine.SystemC(cfg) }
+
+// DiskIOParams returns the default disk cost profile (4 ms seek, 8 KiB
+// pages at ~100 MB/s, 64-page prefetch).
+func DiskIOParams() iomodel.Params { return iomodel.DefaultParams() }
+
+// FlashIOParams returns a flash-like profile for ablations.
+func FlashIOParams() iomodel.Params { return iomodel.FlashParams() }
+
+// Plans ---------------------------------------------------------------------
+
+// Plan is a fixed physical query execution plan (the paper's hints made
+// explicit).
+type Plan = plan.Plan
+
+// Query is a point in the parameter space: thresholds of the predicates
+// a < TA and b < TB (TB < 0 for single-predicate queries).
+type Query = plan.Query
+
+// SystemAPlans returns System A's seven two-predicate plans.
+func SystemAPlans() []Plan { return plan.SystemAPlans() }
+
+// SystemBPlans returns System B's four bitmap-fetch plans.
+func SystemBPlans() []Plan { return plan.SystemBPlans() }
+
+// SystemCPlans returns System C's two MDAM plans.
+func SystemCPlans() []Plan { return plan.SystemCPlans() }
+
+// AllPlans returns all thirteen distinct plans of the study.
+func AllPlans() []Plan { return plan.AllPlans() }
+
+// Figure1Plans returns the three single-predicate plans of Figure 1.
+func Figure1Plans() []Plan { return plan.Figure1Plans() }
+
+// Figure2Plans returns Figure 2's advanced selection plan set.
+func Figure2Plans() []Plan { return plan.Figure2Plans() }
+
+// Robustness maps -----------------------------------------------------------
+
+// Measurement is one observed plan execution (time and result size).
+type Measurement = core.Measurement
+
+// PlanSource is a named measurable plan for sweeps.
+type PlanSource = core.PlanSource
+
+// Map1D is a one-dimensional robustness map.
+type Map1D = core.Map1D
+
+// Map2D is a two-dimensional robustness map.
+type Map2D = core.Map2D
+
+// Landmark is a detected cost-curve irregularity (§3.1 of the paper).
+type Landmark = core.Landmark
+
+// Tolerance defines when two execution times are practically equivalent
+// (§3.4).
+type Tolerance = core.Tolerance
+
+// RegionStats describes an optimality region's size, fragmentation, and
+// irregularity.
+type RegionStats = core.RegionStats
+
+// RobustnessSummary condenses a relative map into headline numbers.
+type RobustnessSummary = core.RobustnessSummary
+
+// Sweep1D measures plans across selectivity fractions.
+func Sweep1D(plans []PlanSource, fractions []float64, thresholds []int64) *Map1D {
+	return core.Sweep1D(plans, fractions, thresholds)
+}
+
+// Sweep2D measures plans over a 2-D selectivity grid.
+func Sweep2D(plans []PlanSource, fracA, fracB []float64, ta, tb []int64) *Map2D {
+	return core.Sweep2D(plans, fracA, fracB, ta, tb)
+}
+
+// FindLandmarks detects non-monotonic cost, non-flattening growth, and
+// discontinuities on a 1-D cost curve.
+var FindLandmarks = core.FindLandmarks
+
+// DefaultLandmarkConfig returns detection tolerances suited to
+// deterministic measurements.
+var DefaultLandmarkConfig = core.DefaultLandmarkConfig
+
+// ComputeOptimality builds the per-point optimal-plan-set map (Figure 10).
+var ComputeOptimality = core.ComputeOptimality
+
+// Scoreboard ranks plans by composite robustness score — the §4 benchmark.
+var Scoreboard = core.Scoreboard
+
+// CompareScoreboards flags plans whose robustness score regressed — the
+// daily-regression alarm of §4.
+var CompareScoreboards = core.CompareScoreboards
+
+// PlanScore is one plan's robustness record on the scoreboard.
+type PlanScore = core.PlanScore
+
+// AnalyzeRegion computes area, components, and irregularity of an
+// optimality region.
+var AnalyzeRegion = core.AnalyzeRegion
+
+// SummarizeRelative condenses a quotient grid.
+var SummarizeRelative = core.SummarizeRelative
+
+// PlanSourceFor adapts a built system and plan into a sweepable source.
+func PlanSourceFor(sys *System, p Plan) PlanSource {
+	return PlanSource{
+		ID: p.ID,
+		Measure: func(ta, tb int64) Measurement {
+			r := sys.Run(p, Query{TA: ta, TB: tb})
+			return Measurement{Time: r.Time, Rows: r.Rows}
+		},
+	}
+}
+
+// Rendering -----------------------------------------------------------------
+
+// HeatMapASCII renders a binned grid for terminals.
+var HeatMapASCII = vis.HeatMapASCII
+
+// HeatMapSVG renders a binned grid as SVG with a legend.
+var HeatMapSVG = vis.HeatMapSVG
+
+// HeatMapPPM renders a binned grid as a PPM bitmap.
+var HeatMapPPM = vis.HeatMapPPM
+
+// LineChartASCII renders 1-D series on log-log axes for terminals.
+var LineChartASCII = vis.LineChartASCII
+
+// LineChartSVG renders 1-D series on log-log axes as SVG.
+var LineChartSVG = vis.LineChartSVG
+
+// Execution internals exposed for advanced use ------------------------------
+
+// SpillPolicy selects how the external sort degrades past its memory
+// budget: gracefully (spill only the overflow) or degenerately (spill the
+// whole input) — the §4 experiment.
+type SpillPolicy = exec.SpillPolicy
+
+// Spill policies.
+const (
+	PolicyGraceful   = exec.PolicyGraceful
+	PolicyDegenerate = exec.PolicyDegenerate
+)

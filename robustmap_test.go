@@ -1,0 +1,100 @@
+package robustmap
+
+// Tests of the public facade: a downstream user's view of the library.
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func facadeSystem(t *testing.T) *System {
+	t.Helper()
+	cfg := DefaultEngineConfig()
+	cfg.Rows = 1 << 14
+	sys, err := SystemA(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestFacadeSweep1D(t *testing.T) {
+	sys := facadeSystem(t)
+	plans := []PlanSource{
+		PlanSourceFor(sys, Figure1Plans()[0]), // table scan
+		PlanSourceFor(sys, Figure1Plans()[2]), // improved index scan
+	}
+	fractions := []float64{1.0 / 1024, 1.0 / 32, 1}
+	thresholds := []int64{sys.Rows() / 1024, sys.Rows() / 32, sys.Rows()}
+	m := Sweep1D(plans, fractions, thresholds)
+	if len(m.Plans) != 2 {
+		t.Fatalf("plans = %v", m.Plans)
+	}
+	if m.Rows[2] != sys.Rows() {
+		t.Errorf("full-selectivity row count = %d", m.Rows[2])
+	}
+	chart := LineChartASCII(fractions, map[string][]time.Duration{
+		"scan": m.Series("A1"), "improved": m.Series("A2"),
+	}, 40, 10, "facade test")
+	if !strings.Contains(chart, "improved") {
+		t.Error("chart missing series")
+	}
+}
+
+func TestFacadeLandmarks(t *testing.T) {
+	rows := []int64{100, 200, 400}
+	times := []time.Duration{100, 80, 400}
+	lms := FindLandmarks(rows, times, DefaultLandmarkConfig())
+	if len(lms) == 0 {
+		t.Error("no landmarks found on a dipping curve")
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 19 {
+		t.Fatalf("ExperimentIDs = %v", ids)
+	}
+	// Legends run without a study.
+	art := Figure3(nil)
+	if art == nil || !art.Passed() {
+		t.Error("Figure3 legend failed")
+	}
+	if _, ok := RunExperiment(nil, "unknown"); ok {
+		t.Error("RunExperiment accepted unknown id")
+	}
+}
+
+func TestFacadePlanSets(t *testing.T) {
+	if len(SystemAPlans()) != 7 || len(SystemBPlans()) != 4 || len(SystemCPlans()) != 2 {
+		t.Error("plan set sizes wrong")
+	}
+	if len(AllPlans()) != 13 {
+		t.Errorf("AllPlans = %d, want 13 (the paper's count)", len(AllPlans()))
+	}
+	if len(Figure2Plans()) != 7 {
+		t.Errorf("Figure2Plans = %d, want 7", len(Figure2Plans()))
+	}
+}
+
+func TestFacadeRunAndAccounts(t *testing.T) {
+	sys := facadeSystem(t)
+	r := sys.Run(Figure1Plans()[0], Query{TA: 100, TB: -1})
+	if r.Rows != 100 {
+		t.Errorf("rows = %d, want 100", r.Rows)
+	}
+	if r.Time <= 0 || len(r.Accounts) == 0 {
+		t.Error("measurement incomplete")
+	}
+}
+
+func TestFacadeIOProfiles(t *testing.T) {
+	disk, flash := DiskIOParams(), FlashIOParams()
+	if disk.SeekLatency <= flash.SeekLatency {
+		t.Error("disk seeks should exceed flash seeks")
+	}
+	if err := disk.Validate(); err != nil {
+		t.Error(err)
+	}
+}
