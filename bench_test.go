@@ -164,6 +164,83 @@ func BenchmarkSortSpill(b *testing.B) {
 	}
 }
 
+// --- Sweep executor benchmarks ---------------------------------------------
+
+var (
+	sweepBenchOnce  sync.Once
+	sweepBenchStudy *Study
+)
+
+// sweepStudy builds a reduced study for the executor benchmarks: the small
+// study grid at 2^14 rows, 13 plans over a 6×6 grid (468 cells per sweep).
+func sweepStudy(b *testing.B) *Study {
+	b.Helper()
+	sweepBenchOnce.Do(func() {
+		cfg := SmallStudyConfig()
+		cfg.Rows = 1 << 14
+		cfg.Engine.Rows = cfg.Rows
+		cfg.MaxExp2D = 5
+		s, err := NewStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweepBenchStudy = s
+	})
+	return sweepBenchStudy
+}
+
+func sweepBenchAxis(rows int64, maxExp int) ([]float64, []int64) {
+	var fr []float64
+	var th []int64
+	for k := maxExp; k >= 0; k-- {
+		fr = append(fr, 1/float64(int64(1)<<uint(k)))
+		t := rows >> uint(k)
+		if t < 1 {
+			t = 1
+		}
+		th = append(th, t)
+	}
+	return fr, th
+}
+
+// BenchmarkSweep2DExecutors contrasts the serial measurement loop with the
+// work-stealing parallel executor on the shared 13-plan 2-D sweep. Map
+// contents are identical at every worker count (the determinism tests pin
+// that); only wall-clock time changes. On a multi-core box the 4-worker
+// run completes the sweep several times faster than serial.
+func BenchmarkSweep2DExecutors(b *testing.B) {
+	s := sweepStudy(b)
+	fr, th := sweepBenchAxis(s.Cfg.Rows, s.Cfg.MaxExp2D)
+	for _, workers := range []int{1, 2, 4, 8} {
+		name := map[int]string{1: "serial", 2: "par2", 4: "par4", 8: "par8"}[workers]
+		b.Run(name, func(b *testing.B) {
+			ex := NewExecutor(workers)
+			for i := 0; i < b.N; i++ {
+				core.Sweep2DWith(ex, s.AllSources(), fr, fr, th, th)
+			}
+		})
+	}
+}
+
+// BenchmarkSweep1DExecutors is the 1-D counterpart over Figure 1's plans.
+func BenchmarkSweep1DExecutors(b *testing.B) {
+	s := sweepStudy(b)
+	fr, th := sweepBenchAxis(s.Cfg.Rows, s.Cfg.MaxExp1D)
+	for _, workers := range []int{1, 4} {
+		name := map[int]string{1: "serial", 4: "par4"}[workers]
+		b.Run(name, func(b *testing.B) {
+			ex := NewExecutor(workers)
+			var sources []core.PlanSource
+			for _, p := range plan.Figure1Plans() {
+				sources = append(sources, PlanSourceFor(s.SysA, p))
+			}
+			for i := 0; i < b.N; i++ {
+				core.Sweep1DWith(ex, sources, fr, th)
+			}
+		})
+	}
+}
+
 // --- Ablation benchmarks ---------------------------------------------------
 
 var (

@@ -22,12 +22,13 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiments and exit")
-		exp   = flag.String("exp", "", "experiment id to run (fig1..fig10, sortspill)")
-		all   = flag.Bool("all", false, "run every experiment")
-		out   = flag.String("out", "out", "output directory")
-		rows  = flag.Int64("rows", 0, "override table cardinality (default: study default)")
-		small = flag.Bool("small", false, "use the reduced test-scale study")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		exp      = flag.String("exp", "", "experiment id to run (fig1..fig10, sortspill)")
+		all      = flag.Bool("all", false, "run every experiment")
+		out      = flag.String("out", "out", "output directory")
+		rows     = flag.Int64("rows", 0, "override table cardinality (default: study default)")
+		small    = flag.Bool("small", false, "use the reduced test-scale study")
+		parallel = flag.Int("parallel", 1, "sweep worker goroutines (1 = serial, -1 = all CPUs); figures are identical at any setting")
 	)
 	flag.Parse()
 
@@ -51,6 +52,7 @@ func main() {
 		cfg.Rows = *rows
 		cfg.Engine.Rows = *rows
 	}
+	cfg.Parallelism = *parallel
 
 	fmt.Fprintf(os.Stderr, "building systems A, B, C (%d rows)...\n", cfg.Rows)
 	study, err := experiments.NewStudy(cfg)

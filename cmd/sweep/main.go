@@ -32,8 +32,10 @@ func main() {
 		maxExp   = flag.Int("max-exp", 10, "sweep selectivities 2^-maxExp .. 2^0")
 		grid     = flag.Bool("grid", false, "2-D sweep (first plan rendered)")
 		relative = flag.Bool("relative", false, "render relative to the best plan")
+		parallel = flag.Int("parallel", 1, "sweep worker goroutines (1 = serial, -1 = all CPUs); results are identical at any setting")
 	)
 	flag.Parse()
+	executor := core.NewExecutor(*parallel)
 
 	all := map[string]plan.Plan{}
 	systems := map[string]string{}
@@ -84,7 +86,7 @@ func main() {
 		ids = append(ids, id)
 		pp := p
 		sources = append(sources, core.PlanSource{ID: id, Measure: func(ta, tb int64) core.Measurement {
-			r := sys.Run(pp, plan.Query{TA: ta, TB: tb})
+			r := sys.RunShared(pp, plan.Query{TA: ta, TB: tb})
 			return core.Measurement{Time: r.Time, Rows: r.Rows}
 		}})
 	}
@@ -92,7 +94,7 @@ func main() {
 	fracs, ths := sweepAxis(*rows, *maxExp)
 	if !*grid {
 		// 1-D sweep uses tb = -1 inside Sweep1D.
-		m := core.Sweep1D(sources, fracs, ths)
+		m := core.Sweep1DWith(executor, sources, fracs, ths)
 		series := map[string][]time.Duration{}
 		for _, id := range ids {
 			series[id] = m.Series(id)
@@ -107,7 +109,7 @@ func main() {
 		return
 	}
 
-	m := core.Sweep2D(sources, fracs, fracs, ths, ths)
+	m := core.Sweep2DWith(executor, sources, fracs, fracs, ths, ths)
 	labels := experiments.FractionLabels(fracs)
 	first := ids[0]
 	if *relative {

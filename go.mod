@@ -1,0 +1,3 @@
+module robustmap
+
+go 1.24

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SweepExecutor schedules the independent measurement cells of a sweep.
+// A cell is one (plan, point) pair; Execute must call fn exactly once for
+// every cell index in [0, n) and return only after all calls finish. fn
+// writes its result into a preallocated slot, so executors never need to
+// collect return values and output ordering is fixed by the slot layout,
+// not the schedule.
+//
+// Implementations may run cells concurrently. The measurement functions
+// behind the cells must then be safe for concurrent use — engine-backed
+// sources satisfy this by giving each worker its own engine.Session.
+type SweepExecutor interface {
+	Execute(n int, fn func(cell int))
+}
+
+// SerialExecutor runs cells one at a time in index order — the executor of
+// the paper's original serial measurement loop, and the default.
+type SerialExecutor struct{}
+
+// Execute runs every cell in order on the calling goroutine.
+func (SerialExecutor) Execute(n int, fn func(cell int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// ParallelExecutor runs cells on a pool of worker goroutines. Cells are
+// claimed from a shared atomic counter (work stealing over the flattened
+// cell space), so an expensive cell — a slow plan at a high selectivity —
+// never leaves workers idle while cheap cells remain.
+type ParallelExecutor struct {
+	// Workers is the goroutine count. Values below 2 make Execute
+	// equivalent to SerialExecutor.
+	Workers int
+}
+
+// Execute fans the cells out over the workers and waits for completion.
+// A panic in any cell (for example the sweep's row-count cross-check) is
+// captured and re-raised on the calling goroutine once all workers have
+// stopped, preserving the serial sweep's panic semantics.
+func (e ParallelExecutor) Execute(n int, fn func(cell int)) {
+	workers := e.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 2 {
+		SerialExecutor{}.Execute(n, fn)
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicVal any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					// Keep the first panic; lower cell indexes do not win
+					// here, so sweeps re-check deterministically afterwards.
+					if panicked.CompareAndSwap(false, true) {
+						panicVal = r
+					}
+				}
+			}()
+			for !panicked.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+}
+
+// NewExecutor returns the executor for a parallelism degree: 0 or 1 give
+// the serial executor, higher values a parallel one with that many
+// workers, and negative values a parallel one sized to the machine
+// (GOMAXPROCS).
+func NewExecutor(parallelism int) SweepExecutor {
+	switch {
+	case parallelism < 0:
+		return ParallelExecutor{Workers: runtime.GOMAXPROCS(0)}
+	case parallelism <= 1:
+		return SerialExecutor{}
+	default:
+		return ParallelExecutor{Workers: parallelism}
+	}
+}
+
+// cellSplit recovers the (plan, point) pair from a flattened cell index.
+// Sweeps flatten (plan, point) into cell = plan*points + point, so
+// neighboring cells of one plan land on different workers only when
+// stealing demands it.
+func cellSplit(cell, points int) (plan, point int) {
+	return cell / points, cell % points
+}
+
+// crossCheckRows verifies that every plan agreed with plan 0 on the result
+// size at every point, scanning in plan-major, point-minor order so the
+// panic (if any) names the same first offender a serial inline check names.
+func crossCheckRows(plans []PlanSource, points int, rows func(pi, i int) int64,
+	describe func(i int) string) {
+	for pi := 1; pi < len(plans); pi++ {
+		for i := 0; i < points; i++ {
+			if got, want := rows(pi, i), rows(0, i); got != want {
+				panic(fmt.Sprintf("core: plan %s returned %d rows at %s, others %d",
+					plans[pi].ID, got, describe(i), want))
+			}
+		}
+	}
+}

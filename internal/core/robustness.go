@@ -57,33 +57,49 @@ type Map1D struct {
 	Rows []int64
 }
 
-// Sweep1D measures every plan at every threshold. Plans must agree on
-// result sizes at each point — a disagreement means a broken plan, and
-// panics rather than producing a silently wrong map.
+// Sweep1D measures every plan at every threshold, serially. Plans must
+// agree on result sizes at each point — a disagreement means a broken
+// plan, and panics rather than producing a silently wrong map.
 func Sweep1D(plans []PlanSource, fractions []float64, thresholds []int64) *Map1D {
+	return Sweep1DWith(SerialExecutor{}, plans, fractions, thresholds)
+}
+
+// Sweep1DWith measures every plan at every threshold on the given
+// executor. The map's contents are identical for every executor: results
+// land in preallocated (plan, point) slots, and the row-count cross-check
+// runs in a fixed order after all cells complete, so the panic (if any)
+// names the same first offender the serial sweep names.
+func Sweep1DWith(ex SweepExecutor, plans []PlanSource, fractions []float64,
+	thresholds []int64) *Map1D {
 	if len(fractions) != len(thresholds) {
 		panic("core: fractions and thresholds length mismatch")
 	}
+	points := len(thresholds)
 	m := &Map1D{
 		Fractions:  fractions,
 		Thresholds: thresholds,
-		Rows:       make([]int64, len(thresholds)),
+		Rows:       make([]int64, points),
+		Plans:      make([]string, len(plans)),
+		Times:      make([][]time.Duration, len(plans)),
 	}
+	rows := make([][]int64, len(plans))
 	for pi, p := range plans {
-		m.Plans = append(m.Plans, p.ID)
-		times := make([]time.Duration, len(thresholds))
-		for i, ta := range thresholds {
-			res := p.Measure(ta, -1)
-			times[i] = res.Time
-			if pi == 0 {
-				m.Rows[i] = res.Rows
-			} else if m.Rows[i] != res.Rows {
-				panic(fmt.Sprintf("core: plan %s returned %d rows at point %d, others %d",
-					p.ID, res.Rows, i, m.Rows[i]))
-			}
-		}
-		m.Times = append(m.Times, times)
+		m.Plans[pi] = p.ID
+		m.Times[pi] = make([]time.Duration, points)
+		rows[pi] = make([]int64, points)
 	}
+	ex.Execute(len(plans)*points, func(cell int) {
+		pi, i := cellSplit(cell, points)
+		res := plans[pi].Measure(thresholds[i], -1)
+		m.Times[pi][i] = res.Time
+		rows[pi][i] = res.Rows
+	})
+	if len(plans) > 0 {
+		copy(m.Rows, rows[0])
+	}
+	crossCheckRows(plans, points,
+		func(pi, i int) int64 { return rows[pi][i] },
+		func(i int) string { return fmt.Sprintf("point %d", i) })
 	return m
 }
 
@@ -137,35 +153,57 @@ type Map2D struct {
 	Rows [][]int64
 }
 
-// Sweep2D measures every plan over the grid. As in Sweep1D, row-count
-// disagreement across plans panics.
+// Sweep2D measures every plan over the grid, serially. As in Sweep1D,
+// row-count disagreement across plans panics.
 func Sweep2D(plans []PlanSource, fracA, fracB []float64, ta, tb []int64) *Map2D {
+	return Sweep2DWith(SerialExecutor{}, plans, fracA, fracB, ta, tb)
+}
+
+// Sweep2DWith measures every plan over the grid on the given executor.
+// Cells are (plan, grid point) pairs; see Sweep1DWith for the determinism
+// contract.
+func Sweep2DWith(ex SweepExecutor, plans []PlanSource, fracA, fracB []float64,
+	ta, tb []int64) *Map2D {
 	if len(fracA) != len(ta) || len(fracB) != len(tb) {
 		panic("core: fractions and thresholds length mismatch")
 	}
-	m := &Map2D{FracA: fracA, FracB: fracB, TA: ta, TB: tb}
+	points := len(ta) * len(tb)
+	m := &Map2D{
+		FracA: fracA, FracB: fracB, TA: ta, TB: tb,
+		Plans: make([]string, len(plans)),
+		Times: make([][][]time.Duration, len(plans)),
+	}
 	m.Rows = make([][]int64, len(ta))
 	for i := range m.Rows {
 		m.Rows[i] = make([]int64, len(tb))
 	}
+	rows := make([][]int64, len(plans))
 	for pi, p := range plans {
-		m.Plans = append(m.Plans, p.ID)
+		m.Plans[pi] = p.ID
 		grid := make([][]time.Duration, len(ta))
-		for i, a := range ta {
+		for i := range grid {
 			grid[i] = make([]time.Duration, len(tb))
-			for j, b := range tb {
-				res := p.Measure(a, b)
-				grid[i][j] = res.Time
-				if pi == 0 {
-					m.Rows[i][j] = res.Rows
-				} else if m.Rows[i][j] != res.Rows {
-					panic(fmt.Sprintf("core: plan %s returned %d rows at (%d,%d), others %d",
-						p.ID, res.Rows, i, j, m.Rows[i][j]))
-				}
+		}
+		m.Times[pi] = grid
+		rows[pi] = make([]int64, points)
+	}
+	ex.Execute(len(plans)*points, func(cell int) {
+		pi, pt := cellSplit(cell, points)
+		i, j := pt/len(tb), pt%len(tb)
+		res := plans[pi].Measure(ta[i], tb[j])
+		m.Times[pi][i][j] = res.Time
+		rows[pi][pt] = res.Rows
+	})
+	if len(plans) > 0 {
+		for i := range m.Rows {
+			for j := range m.Rows[i] {
+				m.Rows[i][j] = rows[0][i*len(tb)+j]
 			}
 		}
-		m.Times = append(m.Times, grid)
 	}
+	crossCheckRows(plans, points,
+		func(pi, pt int) int64 { return rows[pi][pt] },
+		func(pt int) string { return fmt.Sprintf("(%d,%d)", pt/len(tb), pt%len(tb)) })
 	return m
 }
 

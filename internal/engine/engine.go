@@ -20,12 +20,12 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"robustmap/internal/btree"
 	"robustmap/internal/catalog"
 	"robustmap/internal/datagen"
-	"robustmap/internal/exec"
 	"robustmap/internal/iomodel"
 	"robustmap/internal/mvcc"
 	"robustmap/internal/plan"
@@ -75,6 +75,19 @@ func DefaultConfig() Config {
 
 // System is one built database system: a shared disk holding the loaded
 // table and indexes, plus the metadata to reopen them cheaply per run.
+//
+// # Concurrency
+//
+// A System is immutable once BuildSystem returns: every field, including
+// the index metadata map, is only read afterwards, and the loaded heap and
+// index pages are never written by query runs. All per-run mutable state —
+// clock, device, buffer pool, catalog wiring, MVCC store views, spill
+// files — lives in a Session, and the shared Disk serializes file-table
+// mutation internally (sessions create and drop private spill files during
+// runs). Run and NewSession are therefore safe to call from any number of
+// goroutines concurrently; each call measures in full isolation.
+// (btree.WarmNonLeaf only populates the calling session's pool, and the
+// btree encode scratch buffers are a sync.Pool — both shared-safe.)
 type System struct {
 	Name string
 	cfg  Config
@@ -86,6 +99,10 @@ type System struct {
 	versioned bool
 	indexes   map[string]indexMeta
 	snapHigh  mvcc.TxnID
+
+	// sessions recycles measurement Sessions for RunShared. Recycling is
+	// invisible in the results: Session.Run restores the cold-start state.
+	sessions sync.Pool
 }
 
 type indexMeta struct {
@@ -246,43 +263,13 @@ func (s *System) openCatalog(pool *storage.Pool, clock *simclock.Clock) *catalog
 	return c
 }
 
-// Run executes one plan at one query point and returns the measured
-// virtual-time result. Data pages start cold (the pool is fresh and far
-// smaller than the table), but the non-leaf levels of every index are
-// warmed before the clock starts: in a steady-state system the upper
-// B-tree levels are always resident, and the paper's measured systems were
-// warm in that sense. Without warming, the fixed seeks of a cold root
-// descent would dominate exactly the small-result queries whose low
-// latency Figure 1 highlights.
+// Run executes one plan at one query point on a throwaway Session and
+// returns the measured virtual-time result. See Session.Run for the
+// measurement conditions. Callers measuring many points should hold a
+// Session per goroutine and call its Run instead, which reuses the pool
+// frames and catalog wiring.
 func (s *System) Run(p plan.Plan, q plan.Query) Result {
-	clock := simclock.New()
-	dev := iomodel.NewDevice(s.cfg.IO, clock)
-	pool := storage.NewPool(s.disk, dev, clock, s.cfg.PoolPages)
-	ctx := &exec.Ctx{
-		Clock:        clock,
-		Pool:         pool,
-		Snap:         mvcc.Snapshot{High: s.snapHigh},
-		MemoryBudget: s.cfg.MemoryBudget,
-	}
-	cat := s.openCatalog(pool, clock)
-	for _, name := range cat.IndexNames() {
-		cat.Index(name).Tree.WarmNonLeaf()
-	}
-	dev.ResetStats()
-	pool.ResetStats()
-	clock.Reset()
-	it := p.Build(ctx, cat, q)
-	rows := exec.Drain(it)
-	clock.Freeze()
-	return Result{
-		Plan:     p.ID,
-		Query:    q,
-		Rows:     rows,
-		Time:     clock.Now(),
-		Accounts: clock.Accounts(),
-		Device:   dev.Stats(),
-		Pool:     pool.Stats(),
-	}
+	return s.NewSession().Run(p, q)
 }
 
 // Disk exposes the system's loaded disk image so specialized experiments

@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"robustmap/internal/catalog"
+	"robustmap/internal/exec"
+	"robustmap/internal/iomodel"
+	"robustmap/internal/mvcc"
+	"robustmap/internal/plan"
+	"robustmap/internal/simclock"
+	"robustmap/internal/storage"
+)
+
+// Session owns every piece of per-run mutable state needed to measure plans
+// against one built System: a virtual clock, a cost-model device, a buffer
+// pool, and a catalog whose B-trees are bound to that pool and clock. The
+// System itself is immutable after BuildSystem, and the shared storage.Disk
+// guards its file table internally, so any number of Sessions may run
+// concurrently on separate goroutines — the foundation of parallel
+// robustness-map sweeps.
+//
+// A Session is NOT safe for concurrent use itself: it is confined to one
+// goroutine at a time. Run may be called repeatedly; each call restores the
+// session to the cold-pool, warm-non-leaf starting condition, so a reused
+// Session produces bit-for-bit the same Result as a fresh one.
+type Session struct {
+	sys   *System
+	clock *simclock.Clock
+	dev   *iomodel.Device
+	pool  *storage.Pool
+	cat   *catalog.Catalog
+	runs  int
+}
+
+// RunShared executes one plan at one query point on a pooled Session,
+// recycling sessions across calls and across goroutines. Because a reused
+// Session measures bit-for-bit what a fresh one measures, RunShared is a
+// drop-in replacement for Run that avoids rebuilding pool frames and
+// catalog wiring on every measurement — the per-cell fast path of parallel
+// sweeps.
+func (s *System) RunShared(p plan.Plan, q plan.Query) Result {
+	se, _ := s.sessions.Get().(*Session)
+	if se == nil {
+		se = s.NewSession()
+	}
+	defer s.sessions.Put(se)
+	return se.Run(p, q)
+}
+
+// NewSession creates an independent measurement session over the system.
+// Sessions are cheap: they share the loaded disk image and only allocate
+// the pool frames and catalog wiring.
+func (s *System) NewSession() *Session {
+	clock := simclock.New()
+	dev := iomodel.NewDevice(s.cfg.IO, clock)
+	pool := storage.NewPool(s.disk, dev, clock, s.cfg.PoolPages)
+	return &Session{
+		sys:   s,
+		clock: clock,
+		dev:   dev,
+		pool:  pool,
+		cat:   s.openCatalog(pool, clock),
+	}
+}
+
+// System returns the system the session measures.
+func (se *Session) System() *System { return se.sys }
+
+// Runs returns how many measurements the session has performed.
+func (se *Session) Runs() int { return se.runs }
+
+// reset returns the session to the state a fresh Session starts a run in:
+// clock at zero and unfrozen, pool cold, device with no sequential-run
+// memory. The first call on a new Session is a no-op.
+func (se *Session) reset() {
+	se.clock.Reset() // unfreeze before the pool touches the device
+	se.pool.FlushAll()
+	se.dev.ResetPosition()
+}
+
+// Run executes one plan at one query point and returns the measured
+// virtual-time result. Data pages start cold (the pool is flushed and far
+// smaller than the table), but the non-leaf levels of every index are
+// warmed before the clock starts: in a steady-state system the upper
+// B-tree levels are always resident, and the paper's measured systems were
+// warm in that sense. Without warming, the fixed seeks of a cold root
+// descent would dominate exactly the small-result queries whose low
+// latency Figure 1 highlights.
+func (se *Session) Run(p plan.Plan, q plan.Query) Result {
+	se.reset()
+	for _, name := range se.cat.IndexNames() {
+		se.cat.Index(name).Tree.WarmNonLeaf()
+	}
+	se.dev.ResetStats()
+	se.pool.ResetStats()
+	se.clock.Reset()
+	ctx := &exec.Ctx{
+		Clock:        se.clock,
+		Pool:         se.pool,
+		Snap:         mvcc.Snapshot{High: se.sys.snapHigh},
+		MemoryBudget: se.sys.cfg.MemoryBudget,
+	}
+	it := p.Build(ctx, se.cat, q)
+	rows := exec.Drain(it)
+	se.clock.Freeze()
+	se.runs++
+	return Result{
+		Plan:     p.ID,
+		Query:    q,
+		Rows:     rows,
+		Time:     se.clock.Now(),
+		Accounts: se.clock.Accounts(),
+		Device:   se.dev.Stats(),
+		Pool:     se.pool.Stats(),
+	}
+}

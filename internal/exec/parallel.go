@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"robustmap/internal/catalog"
+	"robustmap/internal/core"
 	"robustmap/internal/storage"
 )
 
@@ -82,23 +83,37 @@ const CoordinatorMergeCost = 15 * time.Nanosecond
 // RunParallel executes one iterator per worker, each built against its own
 // fresh context (own clock, device, pool), and reports the makespan. The
 // mkWorker callback receives the worker index and its private context.
+// Worker fragments run serially on the calling goroutine; use
+// RunParallelOn to execute them on real goroutines.
 func RunParallel(workers int, mkCtx func(worker int) *Ctx,
+	mkWorker func(worker int, ctx *Ctx) RowIter) ParallelResult {
+	return RunParallelOn(core.SerialExecutor{}, workers, mkCtx, mkWorker)
+}
+
+// RunParallelOn is RunParallel with the worker fragments scheduled by the
+// given executor. Virtual-time results are identical for every executor —
+// each fragment owns its clock, device, and pool, and the reduction over
+// worker results happens in worker order after all fragments finish — but
+// a parallel executor overlaps the real (host) work of simulating the
+// fragments, exactly as sweeps overlap measurement cells.
+func RunParallelOn(ex core.SweepExecutor, workers int, mkCtx func(worker int) *Ctx,
 	mkWorker func(worker int, ctx *Ctx) RowIter) ParallelResult {
 
 	if workers < 1 {
 		panic("exec: RunParallel with no workers")
 	}
 	res := ParallelResult{Workers: make([]WorkerResult, workers)}
-	var maxTime time.Duration
-	for w := 0; w < workers; w++ {
+	ex.Execute(workers, func(w int) {
 		ctx := mkCtx(w)
 		rows := Drain(mkWorker(w, ctx))
-		t := ctx.Clock.Now()
-		res.Workers[w] = WorkerResult{Rows: rows, Time: t}
-		res.Rows += rows
-		res.Total += t
-		if t > maxTime {
-			maxTime = t
+		res.Workers[w] = WorkerResult{Rows: rows, Time: ctx.Clock.Now()}
+	})
+	var maxTime time.Duration
+	for _, wr := range res.Workers {
+		res.Rows += wr.Rows
+		res.Total += wr.Time
+		if wr.Time > maxTime {
+			maxTime = wr.Time
 		}
 	}
 	res.Makespan = maxTime + CoordinatorMergeCost*time.Duration(res.Rows)

@@ -47,9 +47,12 @@ func ParallelSweep(s *Study) *Artifacts {
 		makespan[i] = make([]time.Duration, len(skews))
 		for j, sk := range skews {
 			ranges := exec.SkewedRanges(pages, w, sk)
-			res := exec.RunParallel(w, workerCtx, func(wi int, ctx *exec.Ctx) exec.RowIter {
-				return exec.NewRangedTableScan(ctx, tableOf(sys, ctx.Pool), nil, ranges[wi])
-			})
+			// The study's sweep executor also schedules the fragment
+			// simulations: virtual results are executor-invariant.
+			res := exec.RunParallelOn(s.Executor(), w, workerCtx,
+				func(wi int, ctx *exec.Ctx) exec.RowIter {
+					return exec.NewRangedTableScan(ctx, tableOf(sys, ctx.Pool), nil, ranges[wi])
+				})
 			speedup[i][j] = res.Speedup()
 			makespan[i][j] = res.Makespan
 		}

@@ -27,6 +27,12 @@ type StudyConfig struct {
 	// MaxExp2D sets each 2-D axis: fractions 2^-MaxExp2D … 2^0, giving a
 	// (MaxExp2D+1)² grid.
 	MaxExp2D int
+	// Parallelism is the sweep worker count: 0 or 1 measure serially (the
+	// paper's original loop), higher values fan (plan, point) cells out
+	// over that many goroutines, and negative values use every available
+	// CPU. Map contents are identical at every setting — measurements are
+	// virtual-time and per-cell isolated — only wall-clock time changes.
+	Parallelism int
 	// Engine carries pool size, memory budget, and the I/O profile.
 	Engine engine.Config
 }
@@ -90,15 +96,22 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	return &Study{Cfg: cfg, SysA: a, SysB: b, SysC: c}, nil
 }
 
-// source adapts an engine plan to a core.PlanSource.
+// source adapts an engine plan to a core.PlanSource. Measurements go
+// through the system's session pool, so the source is safe for concurrent
+// sweep workers and reuses sessions across cells.
 func source(sys *engine.System, p plan.Plan) core.PlanSource {
 	return core.PlanSource{
 		ID: p.ID,
 		Measure: func(ta, tb int64) core.Measurement {
-			r := sys.Run(p, plan.Query{TA: ta, TB: tb})
+			r := sys.RunShared(p, plan.Query{TA: ta, TB: tb})
 			return core.Measurement{Time: r.Time, Rows: r.Rows}
 		},
 	}
+}
+
+// Executor returns the sweep executor the study's Parallelism selects.
+func (s *Study) Executor() core.SweepExecutor {
+	return core.NewExecutor(s.Cfg.Parallelism)
 }
 
 // AllSources returns the thirteen plans bound to their systems.
@@ -130,23 +143,24 @@ func axis(rows int64, maxExp int) (fractions []float64, thresholds []int64) {
 	return fractions, thresholds
 }
 
-// Sweep1D runs the given plans over the study's 1-D axis on System A.
+// Sweep1D runs the given plans over the study's 1-D axis on System A,
+// scheduled by the study's executor.
 func (s *Study) Sweep1D(plans []plan.Plan) *core.Map1D {
 	fr, th := axis(s.Cfg.Rows, s.Cfg.MaxExp1D)
 	var sources []core.PlanSource
 	for _, p := range plans {
 		sources = append(sources, source(s.SysA, p))
 	}
-	return core.Sweep1D(sources, fr, th)
+	return core.Sweep1DWith(s.Executor(), sources, fr, th)
 }
 
-// Map2D returns the shared 13-plan 2-D sweep, computing it on first use.
-// This is the expensive part of the study: (MaxExp2D+1)² points × 13
-// plans.
+// Map2D returns the shared 13-plan 2-D sweep, computing it on first use
+// with the study's executor. This is the expensive part of the study:
+// (MaxExp2D+1)² points × 13 plans.
 func (s *Study) Map2D() *core.Map2D {
 	if s.map2D == nil {
 		fr, th := axis(s.Cfg.Rows, s.Cfg.MaxExp2D)
-		s.map2D = core.Sweep2D(s.AllSources(), fr, fr, th, th)
+		s.map2D = core.Sweep2DWith(s.Executor(), s.AllSources(), fr, fr, th, th)
 	}
 	return s.map2D
 }

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"robustmap/internal/core"
+	"robustmap/internal/plan"
+)
+
+// tinyStudies builds two studies over the same (reduced) dataset, one
+// serial and one with 4 sweep workers. Separate studies keep the lazily
+// cached 2-D maps independent.
+func tinyStudies(t *testing.T) (serial, parallel *Study) {
+	t.Helper()
+	mk := func(parallelism int) *Study {
+		cfg := SmallStudyConfig()
+		cfg.Rows = 1 << 14
+		cfg.Engine.Rows = cfg.Rows
+		cfg.MaxExp1D = 6
+		cfg.MaxExp2D = 5
+		cfg.Parallelism = parallelism
+		s, err := NewStudy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	return mk(1), mk(4)
+}
+
+// TestSweepDeterminismSerialVsParallel is the end-to-end determinism check
+// of the concurrent sweep executor: the full 13-plan engine-backed maps —
+// times, rows, plan order — and the analyses derived from them (landmarks,
+// optimality regions, scoreboard) are identical whether cells are measured
+// serially or by a worker pool. Run with -race to also verify the
+// engine-sharing contract.
+func TestSweepDeterminismSerialVsParallel(t *testing.T) {
+	ser, par := tinyStudies(t)
+
+	m1s := ser.Sweep1D(plan.Figure1Plans())
+	m1p := par.Sweep1D(plan.Figure1Plans())
+	if !reflect.DeepEqual(m1s, m1p) {
+		t.Fatal("1-D maps differ between serial and parallel executors")
+	}
+	cfg := core.DefaultLandmarkConfig()
+	for _, id := range m1s.Plans {
+		ls := core.FindLandmarks(m1s.Rows, m1s.Series(id), cfg)
+		lp := core.FindLandmarks(m1p.Rows, m1p.Series(id), cfg)
+		if !reflect.DeepEqual(ls, lp) {
+			t.Errorf("landmarks differ for plan %s", id)
+		}
+	}
+
+	m2s := ser.Map2D()
+	m2p := par.Map2D()
+	if !reflect.DeepEqual(m2s, m2p) {
+		t.Fatal("2-D maps differ between serial and parallel executors")
+	}
+	tol := core.Tolerance{Absolute: 100 * time.Millisecond, Relative: 1.01}
+	if !reflect.DeepEqual(core.ComputeOptimality(m2s, tol), core.ComputeOptimality(m2p, tol)) {
+		t.Error("optimality maps differ")
+	}
+	if !reflect.DeepEqual(core.Scoreboard(m2s, m2s.Plans), core.Scoreboard(m2p, m2p.Plans)) {
+		t.Error("scoreboards differ")
+	}
+}
+
+// TestStudyExecutorSelection pins the Parallelism knob's mapping.
+func TestStudyExecutorSelection(t *testing.T) {
+	s := &Study{Cfg: StudyConfig{Parallelism: 0}}
+	if _, ok := s.Executor().(core.SerialExecutor); !ok {
+		t.Error("Parallelism 0 should select the serial executor")
+	}
+	s.Cfg.Parallelism = 4
+	if ex, ok := s.Executor().(core.ParallelExecutor); !ok || ex.Workers != 4 {
+		t.Errorf("Parallelism 4 selected %#v", s.Executor())
+	}
+}

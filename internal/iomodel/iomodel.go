@@ -132,6 +132,16 @@ func (d *Device) Stats() Stats { return d.stats }
 // ResetStats zeroes the counters without touching cost state.
 func (d *Device) ResetStats() { d.stats = Stats{} }
 
+// ResetPosition forgets all sequential-run and read-ahead state, returning
+// the device to its just-constructed condition (head parked, read-ahead
+// buffer empty). Sessions call it between measurement runs so that a reused
+// device prices a run exactly like a fresh one — the property that keeps
+// concurrent sweeps bit-for-bit deterministic however runs are scheduled.
+func (d *Device) ResetPosition() {
+	clear(d.lastPage)
+	clear(d.prefetched)
+}
+
 // ReadPage charges for reading one page of the given file. If the page
 // continues the previous access's sequential run (or was covered by a
 // Prefetch), only transfer time is charged; otherwise a seek is charged too.

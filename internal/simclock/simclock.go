@@ -34,9 +34,12 @@ const (
 	AccountOther   Account = "other"
 )
 
-// Clock is a deterministic virtual clock. It is not safe for concurrent use;
-// each query execution owns its own Clock (experiments run queries serially,
-// as the paper does — it explicitly defers multi-programming).
+// Clock is a deterministic virtual clock. It is not safe for concurrent
+// use: each measurement session owns its own Clock, confined to one
+// goroutine at a time (engine.Session). Parallel sweeps run many clocks on
+// many goroutines — one per session — but never share one; the paper's
+// serial measurement semantics are preserved per run, concurrency only
+// overlaps separate runs' wall-clock time.
 type Clock struct {
 	now      time.Duration
 	accounts map[Account]time.Duration

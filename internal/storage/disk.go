@@ -1,11 +1,36 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Disk is the simulated persistent store: a set of files, each an extendable
 // array of PageSize pages. Disk does no cost accounting — that is the buffer
 // pool's job — and is deliberately dumb so that tests can inspect raw pages.
+//
+// # Concurrency
+//
+// A Disk is shared by every session that runs queries over one loaded
+// system, and sessions may run on concurrent goroutines (see
+// engine.Session). The file table itself — create, drop, extend, lookup —
+// is guarded by a mutex, so concurrent sessions can create and drop their
+// private scratch files (sort spill runs, hash partitions, RID runs)
+// without racing.
+//
+// Page *contents* are not guarded. The contract is ownership-based:
+//
+//   - pages of files loaded before concurrent execution begins (the base
+//     table and indexes) are read-only during runs, and may be read by any
+//     number of sessions;
+//   - pages of a file created during a run belong to the creating session
+//     alone until the file is dropped; no other session may touch them.
+//
+// Every writer in the engine (heap load, B-tree build, spill writers)
+// follows this contract, which is what lets robustness-map sweeps fan out
+// measurement runs across goroutines.
 type Disk struct {
+	mu     sync.RWMutex
 	files  map[FileID][][]byte
 	nextID FileID
 }
@@ -15,8 +40,12 @@ func NewDisk() *Disk {
 	return &Disk{files: make(map[FileID][][]byte), nextID: 1}
 }
 
-// CreateFile allocates a new empty file and returns its id.
+// CreateFile allocates a new empty file and returns its id. File ids are
+// never reused, so a stale reference to a dropped file can only panic, not
+// alias another session's data.
 func (d *Disk) CreateFile() FileID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	id := d.nextID
 	d.nextID++
 	d.files[id] = nil
@@ -26,6 +55,8 @@ func (d *Disk) CreateFile() FileID {
 // DropFile removes a file and its pages. Dropping an unknown file panics:
 // files are managed by the engine, never by user input.
 func (d *Disk) DropFile(id FileID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if _, ok := d.files[id]; !ok {
 		panic(fmt.Sprintf("storage: drop of unknown file %d", id))
 	}
@@ -34,6 +65,8 @@ func (d *Disk) DropFile(id FileID) {
 
 // NumPages returns the number of pages in the file.
 func (d *Disk) NumPages(id FileID) PageNo {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	pages, ok := d.files[id]
 	if !ok {
 		panic(fmt.Sprintf("storage: NumPages of unknown file %d", id))
@@ -43,6 +76,8 @@ func (d *Disk) NumPages(id FileID) PageNo {
 
 // AllocPage appends a zeroed page to the file and returns its page number.
 func (d *Disk) AllocPage(id FileID) PageNo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	pages, ok := d.files[id]
 	if !ok {
 		panic(fmt.Sprintf("storage: alloc in unknown file %d", id))
@@ -53,11 +88,16 @@ func (d *Disk) AllocPage(id FileID) PageNo {
 
 // PageData returns the raw backing slice of a page. It performs no cost
 // accounting: callers that model physical access (spill writers, readers)
-// must charge the device themselves. Engine-internal code only.
+// must charge the device themselves. Engine-internal code only. The
+// returned slice stays valid after the lock is released — pages are
+// allocated once and never moved — but writing through it is only legal for
+// the session that owns the file (see the type comment).
 func (d *Disk) PageData(id FileID, n PageNo) []byte { return d.page(id, n) }
 
 // page returns the raw backing slice of a page.
 func (d *Disk) page(id FileID, n PageNo) []byte {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	pages, ok := d.files[id]
 	if !ok {
 		panic(fmt.Sprintf("storage: access to unknown file %d", id))
@@ -70,6 +110,8 @@ func (d *Disk) page(id FileID, n PageNo) []byte {
 
 // Exists reports whether the file is present.
 func (d *Disk) Exists(id FileID) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	_, ok := d.files[id]
 	return ok
 }

@@ -31,8 +31,12 @@
 //	sys, _ := robustmap.SystemA(robustmap.DefaultEngineConfig())
 //	m := robustmap.Sweep1D(...)
 //
-// See the examples directory for complete programs, DESIGN.md for the
-// system inventory, and EXPERIMENTS.md for paper-vs-measured results.
+// Expensive sweeps can fan measurement cells out over worker goroutines
+// without changing a single measured value (StudyConfig.Parallelism, or
+// Sweep1DWith/Sweep2DWith with a ParallelExecutor).
+//
+// See the examples directory for complete programs, README.md for the
+// quick start and plan table, and DESIGN.md for the system inventory.
 package robustmap
 
 import (
@@ -116,6 +120,12 @@ type System = engine.System
 // device and buffer-pool statistics).
 type Result = engine.Result
 
+// Session owns the per-run mutable state of one measurement stream over a
+// System (clock, device, buffer pool, catalog). Systems are immutable
+// after build, so any number of Sessions may measure concurrently; a
+// Session itself is confined to one goroutine at a time.
+type Session = engine.Session
+
 // DefaultEngineConfig returns the experiment defaults (2^17 rows, 256-page
 // buffer pool, 16 MiB operator memory, 2009-era disk profile).
 func DefaultEngineConfig() EngineConfig { return engine.DefaultConfig() }
@@ -195,14 +205,43 @@ type RegionStats = core.RegionStats
 // RobustnessSummary condenses a relative map into headline numbers.
 type RobustnessSummary = core.RobustnessSummary
 
-// Sweep1D measures plans across selectivity fractions.
+// SweepExecutor schedules a sweep's (plan, point) measurement cells;
+// serial and parallel implementations produce identical maps.
+type SweepExecutor = core.SweepExecutor
+
+// SerialExecutor measures cells one at a time — the default.
+type SerialExecutor = core.SerialExecutor
+
+// ParallelExecutor fans cells out over a worker pool, claiming work from a
+// shared counter so slow cells never strand idle workers.
+type ParallelExecutor = core.ParallelExecutor
+
+// NewExecutor maps a parallelism degree to an executor: 0 or 1 serial,
+// n > 1 that many workers, negative all CPUs.
+func NewExecutor(parallelism int) SweepExecutor { return core.NewExecutor(parallelism) }
+
+// Sweep1D measures plans across selectivity fractions, serially.
 func Sweep1D(plans []PlanSource, fractions []float64, thresholds []int64) *Map1D {
 	return core.Sweep1D(plans, fractions, thresholds)
 }
 
-// Sweep2D measures plans over a 2-D selectivity grid.
+// Sweep1DWith is Sweep1D scheduled by the given executor. Parallel
+// executors require concurrency-safe plan sources; PlanSourceFor returns
+// such sources.
+func Sweep1DWith(ex SweepExecutor, plans []PlanSource, fractions []float64,
+	thresholds []int64) *Map1D {
+	return core.Sweep1DWith(ex, plans, fractions, thresholds)
+}
+
+// Sweep2D measures plans over a 2-D selectivity grid, serially.
 func Sweep2D(plans []PlanSource, fracA, fracB []float64, ta, tb []int64) *Map2D {
 	return core.Sweep2D(plans, fracA, fracB, ta, tb)
+}
+
+// Sweep2DWith is Sweep2D scheduled by the given executor.
+func Sweep2DWith(ex SweepExecutor, plans []PlanSource, fracA, fracB []float64,
+	ta, tb []int64) *Map2D {
+	return core.Sweep2DWith(ex, plans, fracA, fracB, ta, tb)
 }
 
 // FindLandmarks detects non-monotonic cost, non-flattening growth, and
@@ -234,11 +273,13 @@ var AnalyzeRegion = core.AnalyzeRegion
 var SummarizeRelative = core.SummarizeRelative
 
 // PlanSourceFor adapts a built system and plan into a sweepable source.
+// The source measures through the system's session pool, so it is safe for
+// parallel sweep executors.
 func PlanSourceFor(sys *System, p Plan) PlanSource {
 	return PlanSource{
 		ID: p.ID,
 		Measure: func(ta, tb int64) Measurement {
-			r := sys.Run(p, Query{TA: ta, TB: tb})
+			r := sys.RunShared(p, Query{TA: ta, TB: tb})
 			return Measurement{Time: r.Time, Rows: r.Rows}
 		},
 	}
