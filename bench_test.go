@@ -222,6 +222,70 @@ func BenchmarkSweep2DExecutors(b *testing.B) {
 	}
 }
 
+// BenchmarkSweep2DAdaptive contrasts the exhaustive sweep with the
+// adaptive multi-resolution sweep on the shared 13-plan 2-D grid, at one
+// and four workers. The custom metrics report how many (plan, point)
+// cells each sweep measured: the adaptive sweep's winner and landmark
+// maps are pinned identical to the exhaustive ones by the equivalence
+// tests, so measured-cells is the work actually saved.
+func BenchmarkSweep2DAdaptive(b *testing.B) {
+	s := sweepStudy(b)
+	fr, th := sweepBenchAxis(s.Cfg.Rows, s.Cfg.MaxExp2D)
+	oracle := func(ta, tb int64) int64 {
+		return s.SysA.ResultSize(plan.Query{TA: ta, TB: tb})
+	}
+	cases := []struct {
+		name     string
+		adaptive bool
+		workers  int
+	}{
+		{"exhaustive-serial", false, 1},
+		{"exhaustive-par4", false, 4},
+		{"adaptive-serial", true, 1},
+		{"adaptive-par4", true, 4},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			ex := NewExecutor(c.workers)
+			cells := 0
+			for i := 0; i < b.N; i++ {
+				if c.adaptive {
+					cfg := core.DefaultAdaptiveConfig()
+					cfg.ResultSize = oracle
+					_, mesh := core.AdaptiveSweep2DWith(ex, s.AllSources(), fr, fr, th, th, cfg)
+					cells = mesh.MeasuredCells
+				} else {
+					core.Sweep2DWith(ex, s.AllSources(), fr, fr, th, th)
+					cells = 13 * len(th) * len(th)
+				}
+			}
+			b.ReportMetric(float64(cells), "measured-cells")
+		})
+	}
+}
+
+// BenchmarkMeasureCache contrasts a cold sweep with a cache-served repeat
+// of the same grid: the second pass touches no session at all.
+func BenchmarkMeasureCache(b *testing.B) {
+	s := sweepStudy(b)
+	fr, th := sweepBenchAxis(s.Cfg.Rows, s.Cfg.MaxExp2D)
+	cache := core.NewMeasureCache(0)
+	var sources []core.PlanSource
+	for _, src := range s.AllSources() {
+		sources = append(sources, cache.Wrap("bench", src))
+	}
+	core.Sweep2DWith(NewExecutor(4), sources, fr, fr, th, th) // warm
+	before := cache.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Sweep2DWith(NewExecutor(4), sources, fr, fr, th, th)
+	}
+	b.StopTimer()
+	st := cache.Stats()
+	b.ReportMetric(float64(st.Hits-before.Hits)/float64(b.N), "cache-hits/op")
+	b.ReportMetric(float64(st.Misses-before.Misses)/float64(b.N), "cache-misses/op")
+}
+
 // BenchmarkSweep1DExecutors is the 1-D counterpart over Figure 1's plans.
 func BenchmarkSweep1DExecutors(b *testing.B) {
 	s := sweepStudy(b)

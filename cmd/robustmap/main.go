@@ -29,8 +29,14 @@ func main() {
 		rows     = flag.Int64("rows", 0, "override table cardinality (default: study default)")
 		small    = flag.Bool("small", false, "use the reduced test-scale study")
 		parallel = flag.Int("parallel", 1, "sweep worker goroutines (1 = serial, -1 = all CPUs); figures are identical at any setting")
+		refine   = flag.Bool("refine", false, "adaptive multi-resolution sweeps: measure the coarse lattice, winner boundaries, and landmarks; interpolate constant regions")
+		cache    = flag.Int("cache", 0, "measurement cache entries shared across sweeps (0 = off, -1 = unbounded)")
 	)
 	flag.Parse()
+	fatalf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "error: "+format+"\n", args...)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -43,6 +49,27 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *rows < 0 {
+		fatalf("-rows must be positive (or 0 for the study default), got %d", *rows)
+	}
+	if *parallel == 0 || *parallel < -1 {
+		fatalf("-parallel must be -1 (all CPUs) or at least 1, got %d", *parallel)
+	}
+	if *cache < -1 {
+		fatalf("-cache must be -1 (unbounded), 0 (off), or a positive entry count, got %d", *cache)
+	}
+
+	// Resolve experiment ids before paying for the system build, so an
+	// unknown figure name fails fast with a clear message.
+	ids := []string{*exp}
+	if *all {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		if _, ok := experiments.Lookup(id); !ok {
+			fatalf("unknown experiment %q (try -list)", id)
+		}
+	}
 
 	cfg := experiments.DefaultStudyConfig()
 	if *small {
@@ -53,6 +80,8 @@ func main() {
 		cfg.Engine.Rows = *rows
 	}
 	cfg.Parallelism = *parallel
+	cfg.Refine = *refine
+	cfg.CacheSize = *cache
 
 	fmt.Fprintf(os.Stderr, "building systems A, B, C (%d rows)...\n", cfg.Rows)
 	study, err := experiments.NewStudy(cfg)
@@ -61,18 +90,10 @@ func main() {
 		os.Exit(1)
 	}
 
-	ids := []string{*exp}
-	if *all {
-		ids = experiments.IDs()
-	}
 	failed := false
 	var arts []*experiments.Artifacts
 	for _, id := range ids {
-		def, ok := experiments.Lookup(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "error: unknown experiment %q (try -list)\n", id)
-			os.Exit(2)
-		}
+		def, _ := experiments.Lookup(id)
 		fmt.Fprintf(os.Stderr, "running %s...\n", id)
 		art := def.Run(study)
 		arts = append(arts, art)
@@ -94,6 +115,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	if st := study.CacheStats(); *cache != 0 {
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d evictions, %d entries\n",
+			st.Hits, st.Misses, st.Evictions, st.Size)
 	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "some paper-claim checks FAILED")

@@ -6,6 +6,7 @@
 //
 //	sweep -plans A1,A2,F1-trad -rows 65536 -max-exp 12          # 1-D
 //	sweep -plans A1,A2,A4,B1,C1 -rows 65536 -max-exp 8 -grid    # 2-D
+//	sweep -plans A1,B1,C1 -grid -refine -parallel -1            # adaptive
 //
 // Plan ids: A1..A7 (System A), B1..B4 (System B), C1..C2 (System C),
 // F1-trad, F2-merge-ab, F2-merge-ba, F2-hash-ab, F2-hash-ba.
@@ -33,8 +34,26 @@ func main() {
 		grid     = flag.Bool("grid", false, "2-D sweep (first plan rendered)")
 		relative = flag.Bool("relative", false, "render relative to the best plan")
 		parallel = flag.Int("parallel", 1, "sweep worker goroutines (1 = serial, -1 = all CPUs); results are identical at any setting")
+		refine   = flag.Bool("refine", false, "adaptive multi-resolution sweep: measure the coarse lattice, winner boundaries, and landmarks; interpolate constant regions")
+		cache    = flag.Int("cache", 0, "measurement cache entries (0 = off, -1 = unbounded); repeated cells are never re-measured")
 	)
 	flag.Parse()
+	fatalf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "error: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *rows < 1 {
+		fatalf("-rows must be at least 1, got %d", *rows)
+	}
+	if *maxExp < 0 || *maxExp > 40 {
+		fatalf("-max-exp must be between 0 and 40, got %d", *maxExp)
+	}
+	if *parallel == 0 || *parallel < -1 {
+		fatalf("-parallel must be -1 (all CPUs) or at least 1, got %d", *parallel)
+	}
+	if *cache < -1 {
+		fatalf("-cache must be -1 (unbounded), 0 (off), or a positive entry count, got %d", *cache)
+	}
 	executor := core.NewExecutor(*parallel)
 
 	all := map[string]plan.Plan{}
@@ -46,6 +65,25 @@ func main() {
 	for _, p := range plan.Figure2Plans() {
 		all[p.ID] = p
 		systems[p.ID] = p.System
+	}
+
+	twoPred := map[string]bool{}
+	for _, p := range plan.AllPlans() {
+		twoPred[p.ID] = true
+	}
+	var ids []string
+	for _, id := range strings.Split(*planList, ",") {
+		id = strings.TrimSpace(id)
+		if _, ok := all[id]; !ok {
+			fatalf("unknown plan %q (known: A1..A7, B1..B4, C1..C2, F1-trad, F2-merge-ab, F2-merge-ba, F2-hash-ab, F2-hash-ba)", id)
+		}
+		if *grid && !twoPred[id] {
+			fatalf("plan %q is a single-predicate Figure 1/2 extra; -grid sweeps take the two-predicate study plans A1..A7, B1..B4, C1..C2", id)
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		fatalf("-plans lists no plans")
 	}
 
 	cfg := engine.DefaultConfig()
@@ -73,28 +111,42 @@ func main() {
 		return s
 	}
 
+	var mcache *core.MeasureCache
+	if *cache != 0 {
+		// NewMeasureCache treats negative capacities as unbounded.
+		mcache = core.NewMeasureCache(*cache)
+	}
 	var sources []core.PlanSource
-	var ids []string
-	for _, id := range strings.Split(*planList, ",") {
-		id = strings.TrimSpace(id)
-		p, ok := all[id]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "error: unknown plan %q\n", id)
-			os.Exit(2)
-		}
+	var oracle *engine.System
+	for _, id := range ids {
 		sys := getSys(systems[id])
-		ids = append(ids, id)
-		pp := p
-		sources = append(sources, core.PlanSource{ID: id, Measure: func(ta, tb int64) core.Measurement {
+		if oracle == nil {
+			oracle = sys
+		}
+		pp := all[id]
+		src := core.PlanSource{ID: id, Measure: func(ta, tb int64) core.Measurement {
 			r := sys.RunShared(pp, plan.Query{TA: ta, TB: tb})
 			return core.Measurement{Time: r.Time, Rows: r.Rows}
-		}})
+		}}
+		sources = append(sources, mcache.Wrap(sys.Name, src))
+	}
+	acfg := core.DefaultAdaptiveConfig()
+	acfg.ResultSize = func(ta, tb int64) int64 {
+		return oracle.ResultSize(plan.Query{TA: ta, TB: tb})
 	}
 
 	fracs, ths := sweepAxis(*rows, *maxExp)
 	if !*grid {
 		// 1-D sweep uses tb = -1 inside Sweep1D.
-		m := core.Sweep1DWith(executor, sources, fracs, ths)
+		var m *core.Map1D
+		if *refine {
+			var mesh *core.Mesh1D
+			m, mesh = core.AdaptiveSweep1DWith(executor, sources, fracs, ths, acfg)
+			fmt.Fprintf(os.Stderr, "adaptive: measured %d of %d cells (%.0f%%)\n",
+				mesh.MeasuredCells, mesh.TotalCells, mesh.MeasuredFraction()*100)
+		} else {
+			m = core.Sweep1DWith(executor, sources, fracs, ths)
+		}
 		series := map[string][]time.Duration{}
 		for _, id := range ids {
 			series[id] = m.Series(id)
@@ -106,10 +158,20 @@ func main() {
 			fmt.Printf("%-12s min=%v max=%v max/min=%.1f landmarks=%d\n",
 				id, st.Min, st.Max, st.MaxOverMin, st.Landmarks)
 		}
+		reportCache(mcache)
 		return
 	}
 
-	m := core.Sweep2DWith(executor, sources, fracs, fracs, ths, ths)
+	var m *core.Map2D
+	var mesh *core.Mesh2D
+	if *refine {
+		m, mesh = core.AdaptiveSweep2DWith(executor, sources, fracs, fracs, ths, ths, acfg)
+		fmt.Fprintf(os.Stderr, "adaptive: measured %d of %d cells (%.0f%%; refine %d, landmark %d, guard %d)\n",
+			mesh.MeasuredCells, mesh.TotalCells, mesh.MeasuredFraction()*100,
+			mesh.RefineCells, mesh.LandmarkCells, mesh.GuardCells)
+	} else {
+		m = core.Sweep2DWith(executor, sources, fracs, fracs, ths, ths)
+	}
 	labels := experiments.FractionLabels(fracs)
 	first := ids[0]
 	if *relative {
@@ -121,11 +183,26 @@ func main() {
 		sum := core.SummarizeRelative(rel)
 		fmt.Printf("optimal %.0f%%, within 10x %.0f%%, worst %.0f, p95 %.0f\n",
 			sum.OptimalFraction*100, sum.WithinFactor10*100, sum.Worst, sum.P95)
+	} else {
+		bins := core.BinGridAbsolute(m.PlanGrid(first), core.DefaultAbsoluteBins())
+		fmt.Println(vis.HeatMapASCII(bins, vis.GlyphsAbsolute, labels, labels,
+			fmt.Sprintf("plan %s absolute cost", first), "absolute time", absLabels()))
+	}
+	if mesh != nil {
+		fmt.Println(vis.RegionASCII(mesh.Points, labels,
+			"refinement mesh: measured points (#) vs interpolated (.)"))
+	}
+	reportCache(mcache)
+}
+
+// reportCache prints cache effectiveness when a cache was configured.
+func reportCache(c *core.MeasureCache) {
+	if c == nil {
 		return
 	}
-	bins := core.BinGridAbsolute(m.PlanGrid(first), core.DefaultAbsoluteBins())
-	fmt.Println(vis.HeatMapASCII(bins, vis.GlyphsAbsolute, labels, labels,
-		fmt.Sprintf("plan %s absolute cost", first), "absolute time", absLabels()))
+	st := c.Stats()
+	fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d evictions, %d entries\n",
+		st.Hits, st.Misses, st.Evictions, st.Size)
 }
 
 func sweepAxis(rows int64, maxExp int) ([]float64, []int64) {

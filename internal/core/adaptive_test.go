@@ -1,0 +1,224 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// Synthetic plans for adaptive-sweep tests: analytic cost curves that are
+// piecewise-affine in the selectivity fractions, like the engine's, but
+// cheap enough to sweep exhaustively many times. synthRows is the shared
+// result-size model (all plans must agree on it).
+
+const synthN = 1 << 16
+
+func synthRows(ta, tb int64) int64 {
+	if tb < 0 {
+		return ta
+	}
+	return ta * tb / synthN
+}
+
+func synthPlans() []PlanSource {
+	mk := func(id string, cost func(ta, tb int64) time.Duration) PlanSource {
+		return PlanSource{ID: id, Measure: func(ta, tb int64) Measurement {
+			return Measurement{Time: cost(ta, tb), Rows: synthRows(ta, tb)}
+		}}
+	}
+	return []PlanSource{
+		mk("scan", func(ta, tb int64) time.Duration {
+			return time.Second
+		}),
+		mk("idx-a", func(ta, tb int64) time.Duration {
+			return time.Duration(100_000 + 40_000*ta)
+		}),
+		mk("idx-b", func(ta, tb int64) time.Duration {
+			if tb < 0 {
+				return 3 * time.Second
+			}
+			return time.Duration(100_000 + 40_000*tb)
+		}),
+		// spill jumps by 8x past 1/8 of the table — a discontinuity
+		// landmark the adaptive sweep must reproduce exactly.
+		mk("spill", func(ta, tb int64) time.Duration {
+			if ta <= synthN/8 {
+				return time.Duration(50_000 + 20_000*ta)
+			}
+			return time.Duration(50_000 + 160_000*ta)
+		}),
+	}
+}
+
+func expAxis(maxExp int) ([]float64, []int64) {
+	var fr []float64
+	var th []int64
+	for k := maxExp; k >= 0; k-- {
+		fr = append(fr, 1/float64(int64(1)<<uint(k)))
+		t := int64(synthN) >> uint(k)
+		if t < 1 {
+			t = 1
+		}
+		th = append(th, t)
+	}
+	return fr, th
+}
+
+func synthOracle() AdaptiveConfig {
+	cfg := DefaultAdaptiveConfig()
+	cfg.ResultSize = synthRows
+	return cfg
+}
+
+func TestAdaptiveSweep2DEquivalence(t *testing.T) {
+	plans := synthPlans()
+	fr, th := expAxis(16)
+	exhaustive := Sweep2D(plans, fr, fr, th, th)
+	adaptive, mesh := AdaptiveSweep2DWith(SerialExecutor{}, plans, fr, fr, th, th, synthOracle())
+
+	if mesh.MeasuredCells >= mesh.TotalCells {
+		t.Fatalf("adaptive sweep measured %d of %d cells — no savings", mesh.MeasuredCells, mesh.TotalCells)
+	}
+	if frac := mesh.MeasuredFraction(); frac > 0.5 {
+		t.Errorf("adaptive sweep measured %.0f%% of cells, want well under 50%%", frac*100)
+	}
+	// Measured cells must hold exactly the exhaustive values.
+	for p := range plans {
+		for i := range th {
+			for j := range th {
+				if mesh.PlanPoints[p][i][j] && adaptive.Times[p][i][j] != exhaustive.Times[p][i][j] {
+					t.Fatalf("measured cell (%d,%d,%d) = %v, exhaustive %v",
+						p, i, j, adaptive.Times[p][i][j], exhaustive.Times[p][i][j])
+				}
+			}
+		}
+	}
+	// The derived maps must match exactly: winners, rows, landmarks.
+	if !reflect.DeepEqual(adaptive.WinnerGrid(), exhaustive.WinnerGrid()) {
+		t.Error("winner grids differ between adaptive and exhaustive sweeps")
+	}
+	if !reflect.DeepEqual(adaptive.Rows, exhaustive.Rows) {
+		t.Error("rows grids differ despite the result-size oracle")
+	}
+	// Landmark equality is guaranteed at the sweep's stabilized detector
+	// granularity (AdaptiveConfig.Landmarks, MapLandmarkConfig here).
+	cfg := MapLandmarkConfig()
+	for _, id := range exhaustive.Plans {
+		la := adaptive.LandmarkGrid(id, cfg)
+		le := exhaustive.LandmarkGrid(id, cfg)
+		if !reflect.DeepEqual(la, le) {
+			t.Errorf("landmark sets differ for plan %s: adaptive %v, exhaustive %v", id, la, le)
+		}
+	}
+}
+
+func TestAdaptiveSweep2DDeterministicAcrossExecutors(t *testing.T) {
+	plans := synthPlans()
+	fr, th := expAxis(14)
+	cfg := synthOracle()
+	mSer, meshSer := AdaptiveSweep2DWith(SerialExecutor{}, plans, fr, fr, th, th, cfg)
+	mPar, meshPar := AdaptiveSweep2DWith(ParallelExecutor{Workers: 8}, plans, fr, fr, th, th, cfg)
+	if !reflect.DeepEqual(mSer, mPar) {
+		t.Error("adaptive maps differ between serial and parallel executors")
+	}
+	if !reflect.DeepEqual(meshSer, meshPar) {
+		t.Error("refinement meshes differ between serial and parallel executors")
+	}
+}
+
+func TestAdaptiveSweep2DSmallGridFallsBack(t *testing.T) {
+	plans := synthPlans()
+	fr, th := expAxis(1) // 2 points per axis: below the adaptive minimum
+	m, mesh := AdaptiveSweep2D(plans, fr, fr, th, th)
+	if mesh.MeasuredCells != mesh.TotalCells {
+		t.Errorf("tiny grid should measure exhaustively, got %d of %d",
+			mesh.MeasuredCells, mesh.TotalCells)
+	}
+	if !reflect.DeepEqual(m, Sweep2D(plans, fr, fr, th, th)) {
+		t.Error("fallback map differs from exhaustive sweep")
+	}
+}
+
+func TestAdaptiveSweep1DEquivalence(t *testing.T) {
+	plans := synthPlans()
+	fr, th := expAxis(16)
+	exhaustive := Sweep1D(plans, fr, th)
+	adaptive, mesh := AdaptiveSweep1DWith(SerialExecutor{}, plans, fr, th, synthOracle())
+
+	if mesh.MeasuredCells >= mesh.TotalCells {
+		t.Fatalf("adaptive 1-D sweep measured %d of %d cells", mesh.MeasuredCells, mesh.TotalCells)
+	}
+	for p := range plans {
+		for i := range th {
+			if mesh.PlanPoints[p][i] && adaptive.Times[p][i] != exhaustive.Times[p][i] {
+				t.Fatalf("measured cell (%d,%d) = %v, exhaustive %v",
+					p, i, adaptive.Times[p][i], exhaustive.Times[p][i])
+			}
+		}
+	}
+	if !reflect.DeepEqual(adaptive.Rows, exhaustive.Rows) {
+		t.Error("1-D rows differ despite the result-size oracle")
+	}
+	cfg := MapLandmarkConfig()
+	for _, id := range exhaustive.Plans {
+		la := FindLandmarks(adaptive.Rows, adaptive.Series(id), cfg)
+		le := FindLandmarks(exhaustive.Rows, exhaustive.Series(id), cfg)
+		if !reflect.DeepEqual(la, le) {
+			t.Errorf("1-D landmarks differ for plan %s", id)
+		}
+	}
+	// Per-point winners must agree too.
+	for i := range th {
+		wa, we := 0, 0
+		for p := 1; p < len(plans); p++ {
+			if adaptive.Times[p][i] < adaptive.Times[wa][i] {
+				wa = p
+			}
+			if exhaustive.Times[p][i] < exhaustive.Times[we][i] {
+				we = p
+			}
+		}
+		if wa != we {
+			t.Errorf("1-D winner differs at point %d: adaptive %s, exhaustive %s",
+				i, adaptive.Plans[wa], exhaustive.Plans[we])
+		}
+	}
+}
+
+func TestAdaptiveSweep1DDeterministicAcrossExecutors(t *testing.T) {
+	plans := synthPlans()
+	fr, th := expAxis(12)
+	cfg := synthOracle()
+	mSer, meshSer := AdaptiveSweep1DWith(SerialExecutor{}, plans, fr, th, cfg)
+	mPar, meshPar := AdaptiveSweep1DWith(ParallelExecutor{Workers: 4}, plans, fr, th, cfg)
+	if !reflect.DeepEqual(mSer, mPar) {
+		t.Error("adaptive 1-D maps differ between serial and parallel executors")
+	}
+	if !reflect.DeepEqual(meshSer, meshPar) {
+		t.Error("1-D meshes differ between serial and parallel executors")
+	}
+}
+
+func TestAdaptiveRowOracleMismatchPanics(t *testing.T) {
+	plans := synthPlans()
+	fr, th := expAxis(8)
+	cfg := DefaultAdaptiveConfig()
+	cfg.ResultSize = func(ta, tb int64) int64 { return -7 } // disagrees with every plan
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oracle disagreement did not panic")
+		}
+	}()
+	AdaptiveSweep2DWith(SerialExecutor{}, plans, fr, fr, th, th, cfg)
+}
+
+func TestWinnerGridTiesBreakLow(t *testing.T) {
+	m := &Map2D{
+		TA: []int64{1}, TB: []int64{1},
+		Plans: []string{"p0", "p1"},
+		Times: [][][]time.Duration{{{5}}, {{5}}},
+	}
+	if w := m.WinnerGrid(); w[0][0] != 0 {
+		t.Errorf("tie should go to the lowest plan index, got %d", w[0][0])
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+)
+
+// MeasureCache memoizes plan measurements across sweeps. Entries are keyed
+// by (scope, plan, point): the scope names the measured system (or any
+// other context that changes what a plan id means), so one cache can serve
+// several systems without collisions.
+//
+// The cache exists because robustness studies re-measure the same cells
+// constantly: an adaptive refinement pass revisits the coarse lattice it
+// started from, a re-rendered figure re-walks its whole sweep, and
+// repeated studies over the same configuration repeat everything.
+// (Entries key on the exact (ta, tb) pair, so 1-D sweeps — tb < 0 — and
+// 2-D grids occupy disjoint key spaces; only sweeps revisiting the same
+// points share entries.)
+// Measurements are deterministic, so a hit returns bit-for-bit what a
+// fresh measurement would — caching is invisible in map contents.
+//
+// MeasureCache is safe for concurrent use by any number of sweep workers.
+// Eviction is least-recently-used with a fixed entry capacity; a capacity
+// of zero or below means unbounded. Two workers racing on the same absent
+// key may both measure it — both compute the identical value, so the only
+// cost is the duplicate measurement, and sweeps already dispatch each cell
+// once.
+type MeasureCache struct {
+	mu    sync.Mutex
+	cap   int
+	lru   *list.List // front = most recently used; values are *cacheEntry
+	items map[cacheKey]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheKey struct {
+	scope, plan string
+	ta, tb      int64
+}
+
+type cacheEntry struct {
+	key cacheKey
+	val Measurement
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+	// Size and Capacity count entries; Capacity 0 means unbounded.
+	Size, Capacity int
+}
+
+// NewMeasureCache creates a cache holding at most capacity measurements
+// (capacity <= 0 means unbounded).
+func NewMeasureCache(capacity int) *MeasureCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &MeasureCache{
+		cap:   capacity,
+		lru:   list.New(),
+		items: make(map[cacheKey]*list.Element),
+	}
+}
+
+// get returns the cached measurement for the key, if present, and marks it
+// most recently used.
+func (c *MeasureCache) get(k cacheKey) (Measurement, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).val, true
+	}
+	c.misses++
+	return Measurement{}, false
+}
+
+// put inserts a measurement, evicting the least recently used entry if the
+// cache is full.
+func (c *MeasureCache) put(k cacheKey, v Measurement) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		// A concurrent worker measured the same cell; the values are
+		// identical by determinism, so just refresh recency.
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.lru.PushFront(&cacheEntry{key: k, val: v})
+	if c.cap > 0 && c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *MeasureCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Size: c.lru.Len(), Capacity: c.cap,
+	}
+}
+
+// Len returns the current entry count.
+func (c *MeasureCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Wrap returns a PlanSource that consults the cache before measuring and
+// records what it measures. The scope must uniquely identify the system
+// behind the source. A nil receiver returns the source unchanged, so
+// callers can thread an optional cache without branching.
+func (c *MeasureCache) Wrap(scope string, src PlanSource) PlanSource {
+	if c == nil {
+		return src
+	}
+	measure := src.Measure
+	return PlanSource{
+		ID: src.ID,
+		Measure: func(ta, tb int64) Measurement {
+			k := cacheKey{scope: scope, plan: src.ID, ta: ta, tb: tb}
+			if v, ok := c.get(k); ok {
+				return v
+			}
+			v := measure(ta, tb)
+			c.put(k, v)
+			return v
+		},
+	}
+}

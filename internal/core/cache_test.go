@@ -1,0 +1,161 @@
+package core
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingSource returns a plan source that counts underlying measurements.
+func countingSource(id string) (PlanSource, *atomic.Int64) {
+	var calls atomic.Int64
+	return PlanSource{ID: id, Measure: func(ta, tb int64) Measurement {
+		calls.Add(1)
+		return Measurement{Time: time.Duration(ta*1000 + tb), Rows: ta}
+	}}, &calls
+}
+
+func TestMeasureCacheHitsAndMisses(t *testing.T) {
+	c := NewMeasureCache(16)
+	src, calls := countingSource("p")
+	cached := c.Wrap("sysA", src)
+
+	first := cached.Measure(10, 3)
+	again := cached.Measure(10, 3)
+	if !reflect.DeepEqual(first, again) {
+		t.Fatal("cache hit returned a different measurement")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("underlying source measured %d times, want 1", calls.Load())
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 miss, size 1", st)
+	}
+}
+
+func TestMeasureCacheScopesDoNotCollide(t *testing.T) {
+	c := NewMeasureCache(16)
+	src, calls := countingSource("p")
+	a := c.Wrap("sysA", src)
+	b := c.Wrap("sysB", src)
+	a.Measure(10, 3)
+	b.Measure(10, 3)
+	if calls.Load() != 2 {
+		t.Errorf("distinct scopes shared an entry: %d measurements, want 2", calls.Load())
+	}
+}
+
+func TestMeasureCacheEvictsLRU(t *testing.T) {
+	c := NewMeasureCache(2)
+	src, calls := countingSource("p")
+	cached := c.Wrap("s", src)
+
+	cached.Measure(1, -1) // {1}
+	cached.Measure(2, -1) // {1,2}
+	cached.Measure(1, -1) // hit; 2 is now least recent
+	cached.Measure(3, -1) // evicts 2 -> {1,3}
+	cached.Measure(1, -1) // hit
+	cached.Measure(2, -1) // miss again: was evicted
+
+	if calls.Load() != 4 {
+		t.Errorf("measured %d times, want 4 (1,2,3 and re-measured 2)", calls.Load())
+	}
+	st := c.Stats()
+	if st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+	if st.Size != 2 {
+		t.Errorf("size = %d, want capacity 2", st.Size)
+	}
+}
+
+func TestMeasureCacheUnbounded(t *testing.T) {
+	c := NewMeasureCache(0)
+	src, _ := countingSource("p")
+	cached := c.Wrap("s", src)
+	for i := int64(0); i < 100; i++ {
+		cached.Measure(i, -1)
+	}
+	if st := c.Stats(); st.Evictions != 0 || st.Size != 100 {
+		t.Errorf("unbounded cache stats = %+v", st)
+	}
+	if c.Len() != 100 {
+		t.Errorf("Len = %d, want 100", c.Len())
+	}
+}
+
+func TestMeasureCacheNilWrapPassesThrough(t *testing.T) {
+	src, calls := countingSource("p")
+	var c *MeasureCache
+	cached := c.Wrap("s", src)
+	cached.Measure(1, -1)
+	cached.Measure(1, -1)
+	if calls.Load() != 2 {
+		t.Errorf("nil cache should not memoize, measured %d times", calls.Load())
+	}
+}
+
+// TestMeasureCacheConcurrentSweeps drives a parallel sweep through a shared
+// cache (run with -race), then repeats it and checks the repeat is served
+// entirely from the cache.
+func TestMeasureCacheConcurrentSweeps(t *testing.T) {
+	c := NewMeasureCache(0)
+	var sources []PlanSource
+	var counters []*atomic.Int64
+	for _, id := range []string{"a", "b", "c"} {
+		src, calls := countingSource(id)
+		sources = append(sources, c.Wrap("s", src))
+		counters = append(counters, calls)
+	}
+	fr, th := expAxis(5)
+	ex := ParallelExecutor{Workers: 8}
+	first := Sweep2DWith(ex, sources, fr, fr, th, th)
+	st := c.Stats()
+	if st.Size != 3*len(th)*len(th) {
+		t.Fatalf("cache holds %d entries, want %d", st.Size, 3*len(th)*len(th))
+	}
+	before := counters[0].Load() + counters[1].Load() + counters[2].Load()
+	second := Sweep2DWith(ex, sources, fr, fr, th, th)
+	after := counters[0].Load() + counters[1].Load() + counters[2].Load()
+	if after != before {
+		t.Errorf("repeat sweep measured %d new cells, want 0", after-before)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("cached sweep produced a different map")
+	}
+}
+
+// TestMeasureCacheAdaptiveReusesExhaustiveCells pins the cross-sweep reuse
+// the cache exists for: an adaptive pass after an exhaustive sweep over
+// the same grid re-measures nothing.
+func TestMeasureCacheAdaptiveReusesExhaustiveCells(t *testing.T) {
+	c := NewMeasureCache(0)
+	var sources []PlanSource
+	var counters []*atomic.Int64
+	for _, p := range synthPlans() {
+		p := p
+		var calls atomic.Int64
+		counters = append(counters, &calls)
+		counted := PlanSource{ID: p.ID, Measure: func(ta, tb int64) Measurement {
+			calls.Add(1)
+			return p.Measure(ta, tb)
+		}}
+		sources = append(sources, c.Wrap("s", counted))
+	}
+	fr, th := expAxis(8)
+	Sweep2DWith(SerialExecutor{}, sources, fr, fr, th, th)
+	var before int64
+	for _, ct := range counters {
+		before += ct.Load()
+	}
+	AdaptiveSweep2DWith(SerialExecutor{}, sources, fr, fr, th, th, synthOracle())
+	var after int64
+	for _, ct := range counters {
+		after += ct.Load()
+	}
+	if after != before {
+		t.Errorf("adaptive pass re-measured %d cells the exhaustive sweep already had", after-before)
+	}
+}

@@ -47,6 +47,12 @@ func (k LandmarkKind) String() string {
 type Landmark struct {
 	Kind  LandmarkKind
 	Index int // point index where the irregularity appears
+	// PrevIndex is the earlier point the irregularity is judged against:
+	// Index-1 for non-monotonic costs and discontinuities, and the end of
+	// the previous significant marginal-cost step for non-flattening
+	// landmarks (which may lie further back when intermediate steps are
+	// below the significance floor).
+	PrevIndex int
 	// Detail quantifies the irregularity (cost ratio or derivative ratio).
 	Detail float64
 }
@@ -68,6 +74,32 @@ type LandmarkConfig struct {
 	// DiscontinuityFactor flags cost jumps where cost grows by more than
 	// this factor times the work growth between adjacent points.
 	DiscontinuityFactor float64
+	// MinStep and MinRelStep are significance floors: a cost change
+	// between adjacent points smaller than both max(MinStep,
+	// MinRelStep*cost) thresholds is treated as flat — it neither raises
+	// a landmark nor participates in marginal-cost comparisons. Zero
+	// values disable the floors (every change is significant), preserving
+	// the original detector. The paper's §3.1 dismisses sub-second
+	// "measurement flukes" the same way.
+	MinStep time.Duration
+	// MinRelStep is the relative component of the significance floor.
+	MinRelStep float64
+}
+
+// significant reports whether the step from prev to cur clears the
+// config's significance floors.
+func (cfg LandmarkConfig) significant(prev, cur time.Duration) bool {
+	d := cur - prev
+	if d < 0 {
+		d = -d
+	}
+	if d < cfg.MinStep {
+		return false
+	}
+	if cfg.MinRelStep > 0 && float64(d) < cfg.MinRelStep*float64(cur) {
+		return false
+	}
+	return true
 }
 
 // DefaultLandmarkConfig returns tolerances suited to deterministic
@@ -77,6 +109,24 @@ func DefaultLandmarkConfig() LandmarkConfig {
 		MonotonicTolerance:  0.999,
 		FlattenTolerance:    1.10,
 		DiscontinuityFactor: 3.0,
+	}
+}
+
+// MapLandmarkConfig returns the tolerances used for landmark analysis of
+// whole robustness maps: the same irregularity conditions as
+// DefaultLandmarkConfig, but with a significance floor that ignores cost
+// wiggles below a quarter of the curve's level (and below a millisecond
+// outright). These are the landmarks visible at the maps'
+// order-of-magnitude color-bin granularity — region boundaries, spill
+// cliffs, batching break-evens — rather than per-cell texture, and the
+// scale at which adaptive sweeps reproduce landmark maps exactly.
+func MapLandmarkConfig() LandmarkConfig {
+	return LandmarkConfig{
+		MonotonicTolerance:  0.999,
+		FlattenTolerance:    1.5,
+		DiscontinuityFactor: 3.0,
+		MinStep:             time.Millisecond,
+		MinRelStep:          0.25,
 	}
 }
 
@@ -91,11 +141,15 @@ func FindLandmarks(rows []int64, times []time.Duration, cfg LandmarkConfig) []La
 
 	// Monotonicity: fetching more rows must not be cheaper.
 	for i := 1; i < len(times); i++ {
+		if !cfg.significant(times[i-1], times[i]) {
+			continue
+		}
 		if float64(times[i]) < float64(times[i-1])*cfg.MonotonicTolerance {
 			out = append(out, Landmark{
-				Kind:   NonMonotonic,
-				Index:  i,
-				Detail: float64(times[i]) / float64(times[i-1]),
+				Kind:      NonMonotonic,
+				Index:     i,
+				PrevIndex: i - 1,
+				Detail:    float64(times[i]) / float64(times[i-1]),
 			})
 		}
 	}
@@ -103,30 +157,31 @@ func FindLandmarks(rows []int64, times []time.Duration, cfg LandmarkConfig) []La
 	// Flattening: marginal cost per additional row must not increase.
 	// marginal[i] = (t[i]-t[i-1]) / (rows[i]-rows[i-1]).
 	var prevMarginal float64
-	havePrev := false
+	prevIdx := -1
 	for i := 1; i < len(times); i++ {
 		dRows := rows[i] - rows[i-1]
-		if dRows <= 0 {
+		if dRows <= 0 || !cfg.significant(times[i-1], times[i]) {
 			continue
 		}
 		marginal := float64(times[i]-times[i-1]) / float64(dRows)
-		if havePrev && prevMarginal > 0 && marginal > prevMarginal*cfg.FlattenTolerance {
+		if prevIdx >= 0 && prevMarginal > 0 && marginal > prevMarginal*cfg.FlattenTolerance {
 			out = append(out, Landmark{
-				Kind:   NonFlattening,
-				Index:  i,
-				Detail: marginal / prevMarginal,
+				Kind:      NonFlattening,
+				Index:     i,
+				PrevIndex: prevIdx,
+				Detail:    marginal / prevMarginal,
 			})
 		}
 		if marginal > 0 {
 			prevMarginal = marginal
-			havePrev = true
+			prevIdx = i
 		}
 	}
 
 	// Discontinuities: cost ratio far beyond work ratio between adjacent
 	// points (e.g., the degenerate sort's spill cliff).
 	for i := 1; i < len(times); i++ {
-		if times[i-1] <= 0 || rows[i-1] <= 0 {
+		if times[i-1] <= 0 || rows[i-1] <= 0 || !cfg.significant(times[i-1], times[i]) {
 			continue
 		}
 		costRatio := float64(times[i]) / float64(times[i-1])
@@ -135,7 +190,10 @@ func FindLandmarks(rows []int64, times []time.Duration, cfg LandmarkConfig) []La
 			workRatio = 1
 		}
 		if costRatio > workRatio*cfg.DiscontinuityFactor {
-			out = append(out, Landmark{Kind: Discontinuity, Index: i, Detail: costRatio / workRatio})
+			out = append(out, Landmark{
+				Kind: Discontinuity, Index: i, PrevIndex: i - 1,
+				Detail: costRatio / workRatio,
+			})
 		}
 	}
 	return out

@@ -312,6 +312,63 @@ func (m *Map2D) RelativeGrid(planID string) [][]float64 {
 	return out
 }
 
+// WinnerGrid returns, per point, the index of the cheapest plan (ties
+// break toward the lowest plan index). This is the map the paper's region
+// boundaries trace, and the grid the adaptive sweeper must reproduce
+// exactly.
+func (m *Map2D) WinnerGrid() [][]int {
+	out := make([][]int, len(m.TA))
+	for i := range out {
+		out[i] = make([]int, len(m.TB))
+		for j := range out[i] {
+			w := 0
+			for p := 1; p < len(m.Plans); p++ {
+				if m.Times[p][i][j] < m.Times[w][i][j] {
+					w = p
+				}
+			}
+			out[i][j] = w
+		}
+	}
+	return out
+}
+
+// GridLandmark is one landmark found on a 2-D map: a 1-D landmark on the
+// slice of the named plan's grid obtained by fixing one axis index.
+type GridLandmark struct {
+	Plan string
+	// Axis is 0 when the landmark lies on a row slice (TA fixed at Fixed,
+	// TB varying) and 1 on a column slice (TB fixed, TA varying).
+	Axis  int
+	Fixed int
+	Landmark
+}
+
+// LandmarkGrid runs §3.1 landmark detection over every row and column
+// slice of the named plan's grid, in deterministic order: all row slices
+// first, then all column slices, landmarks in point order within each.
+func (m *Map2D) LandmarkGrid(planID string, cfg LandmarkConfig) []GridLandmark {
+	grid := m.PlanGrid(planID)
+	var out []GridLandmark
+	for i := range m.TA {
+		for _, l := range FindLandmarks(m.Rows[i], grid[i], cfg) {
+			out = append(out, GridLandmark{Plan: planID, Axis: 0, Fixed: i, Landmark: l})
+		}
+	}
+	rows := make([]int64, len(m.TA))
+	times := make([]time.Duration, len(m.TA))
+	for j := range m.TB {
+		for i := range m.TA {
+			rows[i] = m.Rows[i][j]
+			times[i] = grid[i][j]
+		}
+		for _, l := range FindLandmarks(rows, times, cfg) {
+			out = append(out, GridLandmark{Plan: planID, Axis: 1, Fixed: j, Landmark: l})
+		}
+	}
+	return out
+}
+
 // WorstQuotient returns the plan's maximum quotient over the grid — the
 // paper's headline number for Figure 7 is "a factor of 101,000".
 func (m *Map2D) WorstQuotient(planID string) float64 {

@@ -100,6 +100,13 @@ type System struct {
 	indexes   map[string]indexMeta
 	snapHigh  mvcc.TxnID
 
+	// abPairs holds the generated (a, b) column pairs in row order, so
+	// ResultSize can answer "how many rows satisfy this query point"
+	// without executing a plan. 16 bytes per row (~2 MiB at the default
+	// scale) buys adaptive sweeps an exact row-count oracle for grid
+	// cells they never measure.
+	abPairs [][2]int64
+
 	// sessions recycles measurement Sessions for RunShared. Recycling is
 	// invisible in the results: Session.Run restores the cold-start state.
 	sessions sync.Pool
@@ -163,8 +170,12 @@ func BuildSystem(name string, cfg Config) (*System, error) {
 
 	spec := datagen.Spec{Rows: cfg.Rows, Seed: cfg.Seed, PayloadBytes: cfg.PayloadBytes,
 		ZipfA: cfg.ZipfA, ZipfB: cfg.ZipfB}
+	ordA := sys.schema.MustOrdinal("a")
+	ordB := sys.schema.MustOrdinal("b")
+	sys.abPairs = make([][2]int64, 0, cfg.Rows)
 	var encodeBuf []byte
 	err := datagen.Generate(spec, func(row []record.Value) error {
+		sys.abPairs = append(sys.abPairs, [2]int64{row[ordA].AsInt(), row[ordB].AsInt()})
 		encodeBuf = encodeBuf[:0]
 		var err error
 		encodeBuf, err = sys.schema.Encode(encodeBuf, row)
@@ -275,6 +286,22 @@ func (s *System) Run(p plan.Plan, q plan.Query) Result {
 // Disk exposes the system's loaded disk image so specialized experiments
 // (e.g., the parallel-scan study) can attach their own per-worker pools.
 func (s *System) Disk() *storage.Disk { return s.disk }
+
+// ResultSize returns how many rows satisfy the query point (a < TA, and
+// b < TB when TB >= 0) — the exact value every correct plan's execution
+// returns as its row count. It consults the generated column data
+// directly, off the cost model's books: no clock advances and no pages
+// are touched. Adaptive sweeps use it to fill the Rows grid of cells
+// they skip, and as an extra cross-check at cells they measure.
+func (s *System) ResultSize(q plan.Query) int64 {
+	var n int64
+	for _, ab := range s.abPairs {
+		if ab[0] < q.TA && (q.TB < 0 || ab[1] < q.TB) {
+			n++
+		}
+	}
+	return n
+}
 
 // OpenTable rewires the system's base table to the given pool — the
 // per-worker view of the parallel experiment. The clock used for index

@@ -338,3 +338,30 @@ func TestResultFormat(t *testing.T) {
 		t.Error("Format nondeterministic")
 	}
 }
+
+// TestResultSizeOracleMatchesExecution pins the adaptive sweeps' row-count
+// oracle: ResultSize answers off the cost model's books exactly what a
+// real plan execution returns, for one- and two-predicate points, on
+// every system over the shared dataset.
+func TestResultSizeOracleMatchesExecution(t *testing.T) {
+	a, b, c := getA(t), getB(t), getC(t)
+	n := a.Rows()
+	queries := []plan.Query{
+		{TA: 0, TB: -1},
+		{TA: n / 128, TB: -1},
+		{TA: n, TB: -1},
+		{TA: 1, TB: n},
+		{TA: n / 64, TB: n / 4},
+		{TA: n / 2, TB: n / 2},
+		{TA: n, TB: n},
+	}
+	for _, q := range queries {
+		want := a.Run(plan.PlanA1TableScan(), q).Rows
+		for _, sys := range []*System{a, b, c} {
+			if got := sys.ResultSize(q); got != want {
+				t.Errorf("system %s ResultSize(%v) = %d, execution returns %d",
+					sys.Name, q, got, want)
+			}
+		}
+	}
+}

@@ -22,7 +22,7 @@ func study(t testing.TB) *Study {
 func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	ids := IDs()
 	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-		"fig8", "fig9", "fig10", "aggsweep", "joinsweep", "memsweep",
+		"fig8", "fig9", "fig10", "adaptive", "aggsweep", "joinsweep", "memsweep",
 		"parallel", "regions", "scoreboard", "sortspill", "systems", "worstmap"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d: %v", len(ids), len(want), ids)

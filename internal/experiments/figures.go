@@ -441,11 +441,11 @@ func Figure5(s *Study) *Artifacts {
 					}
 				}
 			}
-			return []Check{{
+			return []Check{needsExactCells(s, Check{
 				Claim: "the merge-join map is symmetric: the two dimensions have very similar effects",
 				Pass:  worst <= 1.4,
 				Got:   fmt.Sprintf("worst transposition asymmetry %.2f above the noise floor", worst),
-			}}
+			})}
 		})
 }
 

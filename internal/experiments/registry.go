@@ -24,6 +24,7 @@ var registry = map[string]Definition{
 	"fig8":       {ID: "fig8", Paper: "Figure 8: System B two-column index (relative)", Run: Figure8},
 	"fig9":       {ID: "fig9", Paper: "Figure 9: System C MDAM (relative)", Run: Figure9},
 	"fig10":      {ID: "fig10", Paper: "Figure 10: optimal plans per point", Run: Figure10},
+	"adaptive":   {ID: "adaptive", Paper: "§5 future work: hardware-limited sweeps — adaptive refinement vs exhaustive", Run: AdaptiveSweepExperiment},
 	"sortspill":  {ID: "sortspill", Paper: "§4 prediction: sort spill discontinuity", Run: SortSpill},
 	"joinsweep":  {ID: "joinsweep", Paper: "§4 roadmap: join algorithm robustness (sort vs hash, [GLS94])", Run: JoinSweep},
 	"aggsweep":   {ID: "aggsweep", Paper: "§4 roadmap: aggregation robustness (hash vs sort-based)", Run: AggSweep},

@@ -33,6 +33,22 @@ type StudyConfig struct {
 	// CPU. Map contents are identical at every setting — measurements are
 	// virtual-time and per-cell isolated — only wall-clock time changes.
 	Parallelism int
+	// Refine switches the study's sweeps to the adaptive multi-resolution
+	// sweeper: a coarse pass plus quadtree refinement near winner
+	// boundaries and rough cost curves, with constant-region interiors
+	// interpolated. Measured cells are bit-identical to the exhaustive
+	// sweep's; winner and landmark maps match it exactly (the equivalence
+	// tests pin this for the 13-plan study).
+	Refine bool
+	// RefineConfig overrides the adaptive sweeper's tuning when Refine is
+	// set. The zero value means core.DefaultAdaptiveConfig(). The
+	// ResultSize oracle is always installed by the study.
+	RefineConfig *core.AdaptiveConfig
+	// CacheSize enables the shared measurement cache: measured cells are
+	// memoized across sweeps (1-D slices, refinement passes, repeated
+	// studies), keyed by (system, plan, point). Positive values bound the
+	// entry count with LRU eviction, -1 means unbounded, 0 disables.
+	CacheSize int
 	// Engine carries pool size, memory budget, and the I/O profile.
 	Engine engine.Config
 }
@@ -74,7 +90,9 @@ type Study struct {
 	SysB *engine.System
 	SysC *engine.System
 
-	map2D *core.Map2D // all 13 plans over the 2-D grid; lazily built
+	cache  *core.MeasureCache // shared across sweeps; nil when disabled
+	map2D  *core.Map2D        // all 13 plans over the 2-D grid; lazily built
+	mesh2D *core.Mesh2D       // refinement mesh of map2D when Refine is set
 }
 
 // NewStudy builds the three systems over the shared dataset parameters.
@@ -93,20 +111,63 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: build system C: %w", err)
 	}
-	return &Study{Cfg: cfg, SysA: a, SysB: b, SysC: c}, nil
+	s := &Study{Cfg: cfg, SysA: a, SysB: b, SysC: c}
+	if cfg.CacheSize != 0 {
+		// NewMeasureCache treats negative capacities as unbounded.
+		s.cache = core.NewMeasureCache(cfg.CacheSize)
+	}
+	return s, nil
 }
 
 // source adapts an engine plan to a core.PlanSource. Measurements go
 // through the system's session pool, so the source is safe for concurrent
-// sweep workers and reuses sessions across cells.
-func source(sys *engine.System, p plan.Plan) core.PlanSource {
-	return core.PlanSource{
+// sweep workers and reuses sessions across cells. When the study has a
+// measurement cache, the source consults it first, keyed by the system
+// name.
+func (s *Study) source(sys *engine.System, p plan.Plan) core.PlanSource {
+	src := core.PlanSource{
 		ID: p.ID,
 		Measure: func(ta, tb int64) core.Measurement {
 			r := sys.RunShared(p, plan.Query{TA: ta, TB: tb})
 			return core.Measurement{Time: r.Time, Rows: r.Rows}
 		},
 	}
+	return s.cache.Wrap(sys.Name, src)
+}
+
+// CacheStats reports the shared measurement cache's counters; the zero
+// value when no cache is configured.
+func (s *Study) CacheStats() core.CacheStats {
+	if s.cache == nil {
+		return core.CacheStats{}
+	}
+	return s.cache.Stats()
+}
+
+// needsExactCells guards a check that requires exhaustive per-cell
+// accuracy beyond the adaptive sweep's contract (exact winner, Rows, and
+// map-scale landmark maps). Under a refined study the claim is reported
+// as skipped rather than evaluated against interpolated interiors.
+func needsExactCells(s *Study, c Check) Check {
+	if s.Cfg.Refine {
+		return Check{Claim: c.Claim, Pass: true,
+			Got: "skipped: needs exhaustive per-cell accuracy (study ran with Refine)"}
+	}
+	return c
+}
+
+// adaptiveConfig assembles the study's adaptive sweeper tuning, installing
+// the engine-backed result-size oracle (all systems share one dataset, so
+// System A answers for every plan).
+func (s *Study) adaptiveConfig() core.AdaptiveConfig {
+	cfg := core.DefaultAdaptiveConfig()
+	if s.Cfg.RefineConfig != nil {
+		cfg = *s.Cfg.RefineConfig
+	}
+	cfg.ResultSize = func(ta, tb int64) int64 {
+		return s.SysA.ResultSize(plan.Query{TA: ta, TB: tb})
+	}
+	return cfg
 }
 
 // Executor returns the sweep executor the study's Parallelism selects.
@@ -118,13 +179,13 @@ func (s *Study) Executor() core.SweepExecutor {
 func (s *Study) AllSources() []core.PlanSource {
 	var out []core.PlanSource
 	for _, p := range plan.SystemAPlans() {
-		out = append(out, source(s.SysA, p))
+		out = append(out, s.source(s.SysA, p))
 	}
 	for _, p := range plan.SystemBPlans() {
-		out = append(out, source(s.SysB, p))
+		out = append(out, s.source(s.SysB, p))
 	}
 	for _, p := range plan.SystemCPlans() {
-		out = append(out, source(s.SysC, p))
+		out = append(out, s.source(s.SysC, p))
 	}
 	return out
 }
@@ -144,25 +205,42 @@ func axis(rows int64, maxExp int) (fractions []float64, thresholds []int64) {
 }
 
 // Sweep1D runs the given plans over the study's 1-D axis on System A,
-// scheduled by the study's executor.
+// scheduled by the study's executor. Refine deliberately does not apply
+// here: the 1-D figure sweeps are a few dozen cells (the expense lives
+// in the shared 2-D map), and the 1-D figures make noise-scale landmark
+// claims that need exhaustive measurement. Use core.AdaptiveSweep1DWith
+// directly for adaptive 1-D sweeps.
 func (s *Study) Sweep1D(plans []plan.Plan) *core.Map1D {
 	fr, th := axis(s.Cfg.Rows, s.Cfg.MaxExp1D)
 	var sources []core.PlanSource
 	for _, p := range plans {
-		sources = append(sources, source(s.SysA, p))
+		sources = append(sources, s.source(s.SysA, p))
 	}
 	return core.Sweep1DWith(s.Executor(), sources, fr, th)
 }
 
 // Map2D returns the shared 13-plan 2-D sweep, computing it on first use
 // with the study's executor. This is the expensive part of the study:
-// (MaxExp2D+1)² points × 13 plans.
+// (MaxExp2D+1)² points × 13 plans — unless Refine skips the redundant
+// ones.
 func (s *Study) Map2D() *core.Map2D {
 	if s.map2D == nil {
 		fr, th := axis(s.Cfg.Rows, s.Cfg.MaxExp2D)
-		s.map2D = core.Sweep2DWith(s.Executor(), s.AllSources(), fr, fr, th, th)
+		if s.Cfg.Refine {
+			s.map2D, s.mesh2D = core.AdaptiveSweep2DWith(s.Executor(),
+				s.AllSources(), fr, fr, th, th, s.adaptiveConfig())
+		} else {
+			s.map2D = core.Sweep2DWith(s.Executor(), s.AllSources(), fr, fr, th, th)
+		}
 	}
 	return s.map2D
+}
+
+// Mesh2D returns the refinement mesh of the shared 2-D sweep: nil unless
+// the study ran with Refine set.
+func (s *Study) Mesh2D() *core.Mesh2D {
+	s.Map2D()
+	return s.mesh2D
 }
 
 // FractionLabels renders axis fractions as the paper labels them (2^-k).

@@ -12,6 +12,17 @@ import (
 // 5, 7, 8, 9, and 10.
 func HeatMapSVG(bins [][]int, palette []RGB, rowLabels, colLabels []string,
 	title, xAxis, yAxis string, binLabels []string) string {
+	return HeatMapSVGMesh(bins, palette, nil, rowLabels, colLabels,
+		title, xAxis, yAxis, binLabels)
+}
+
+// HeatMapSVGMesh renders a binned 2-D grid like HeatMapSVG and, when
+// measured is non-nil, overlays the refinement mesh of an adaptive sweep:
+// cells that were actually measured carry a small dot, while plain cells
+// were filled by interpolation. The legend explains the marker.
+func HeatMapSVGMesh(bins [][]int, palette []RGB, measured [][]bool,
+	rowLabels, colLabels []string, title, xAxis, yAxis string,
+	binLabels []string) string {
 
 	const cell = 28
 	rows := len(bins)
@@ -23,8 +34,12 @@ func HeatMapSVG(bins [][]int, palette []RGB, rowLabels, colLabels []string,
 	legendW := 190
 	w := marginL + cols*cell + 30 + legendW
 	h := marginT + rows*cell + marginB
-	if lh := marginT + len(binLabels)*24 + 40; lh > h {
-		h = lh
+	legendH := marginT + len(binLabels)*24 + 40
+	if measured != nil {
+		legendH += 36 // mesh-marker legend lines
+	}
+	if legendH > h {
+		h = legendH
 	}
 
 	var b strings.Builder
@@ -37,6 +52,17 @@ func HeatMapSVG(bins [][]int, palette []RGB, rowLabels, colLabels []string,
 			c := colorFor(palette, bins[i][j])
 			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="white" stroke-width="1"/>`,
 				marginL+j*cell, marginT+i*cell, cell, cell, c.Hex())
+		}
+	}
+	if measured != nil {
+		for i := 0; i < rows && i < len(measured); i++ {
+			for j := 0; j < cols && j < len(measured[i]); j++ {
+				if !measured[i][j] {
+					continue
+				}
+				fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="3" fill="white" stroke="black" stroke-width="1"/>`,
+					marginL+j*cell+cell/2, marginT+i*cell+cell/2)
+			}
 		}
 	}
 
@@ -67,6 +93,12 @@ func HeatMapSVG(bins [][]int, palette []RGB, rowLabels, colLabels []string,
 		c := colorFor(palette, i)
 		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="18" height="18" fill="%s"/>`, lx, marginT+i*24, c.Hex())
 		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s</text>`, lx+24, marginT+i*24+13, xmlEscape(l))
+	}
+	if measured != nil {
+		my := marginT + len(binLabels)*24 + 12
+		fmt.Fprintf(&b, `<circle cx="%d" cy="%d" r="3" fill="white" stroke="black" stroke-width="1"/>`, lx+9, my)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">measured cell</text>`, lx+24, my+4)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">(others interpolated)</text>`, lx+24, my+20)
 	}
 	b.WriteString(`</svg>`)
 	return b.String()

@@ -198,3 +198,27 @@ func TestRegionASCII(t *testing.T) {
 		t.Errorf("second row rendering wrong:\n%s", s)
 	}
 }
+
+func TestHeatMapSVGMeshOverlay(t *testing.T) {
+	bins := sampleBins()
+	measured := [][]bool{
+		{true, false, true},
+		{false, true, false},
+	}
+	svg := HeatMapSVGMesh(bins, PaletteAbsolute, measured,
+		[]string{"r0", "r1"}, []string{"c0", "c1", "c2"},
+		"mesh", "x", "y", []string{"lo", "hi"})
+	if got := strings.Count(svg, "<circle"); got != 3+1 { // 3 cells + legend marker
+		t.Errorf("mesh overlay drew %d circles, want 4", got)
+	}
+	if !strings.Contains(svg, "measured cell") {
+		t.Error("mesh legend note missing")
+	}
+	// Without a mesh the overlay must disappear entirely.
+	plain := HeatMapSVG(bins, PaletteAbsolute,
+		[]string{"r0", "r1"}, []string{"c0", "c1", "c2"},
+		"plain", "x", "y", []string{"lo", "hi"})
+	if strings.Contains(plain, "<circle") {
+		t.Error("plain heat map should have no mesh markers")
+	}
+}

@@ -33,7 +33,15 @@
 //
 // Expensive sweeps can fan measurement cells out over worker goroutines
 // without changing a single measured value (StudyConfig.Parallelism, or
-// Sweep1DWith/Sweep2DWith with a ParallelExecutor).
+// Sweep1DWith/Sweep2DWith with a ParallelExecutor). They can also skip
+// most of their cells: adaptive multi-resolution sweeps
+// (StudyConfig.Refine, or AdaptiveSweep1DWith/AdaptiveSweep2DWith)
+// measure a coarse lattice plus the winner boundaries and landmarks,
+// interpolate the constant-region interiors, and reproduce the exhaustive
+// winner and landmark maps exactly on the paper's study at roughly a
+// third of the measurements. A shared MeasureCache
+// (StudyConfig.CacheSize) memoizes cells across sweeps, so repeated
+// studies and refinement passes never re-measure a (plan, point) cell.
 //
 // See the examples directory for complete programs, README.md for the
 // quick start and plan table, and DESIGN.md for the system inventory.
@@ -105,6 +113,10 @@ var (
 	Regions        = experiments.Regions
 	ScoreboardExp  = experiments.ScoreboardExperiment
 	MemSweep       = experiments.MemSweep
+	// AdaptiveExperiment contrasts the adaptive multi-resolution sweep
+	// with the exhaustive sweep on the full 13-plan study and renders the
+	// winner map with the refinement-mesh overlay.
+	AdaptiveExperiment = experiments.AdaptiveSweepExperiment
 )
 
 // Engine --------------------------------------------------------------------
@@ -194,6 +206,14 @@ type Map2D = core.Map2D
 // Landmark is a detected cost-curve irregularity (§3.1 of the paper).
 type Landmark = core.Landmark
 
+// GridLandmark is a landmark located on a slice of a 2-D map (see
+// Map2D.LandmarkGrid).
+type GridLandmark = core.GridLandmark
+
+// LandmarkConfig tunes landmark detection tolerances and significance
+// floors.
+type LandmarkConfig = core.LandmarkConfig
+
 // Tolerance defines when two execution times are practically equivalent
 // (§3.4).
 type Tolerance = core.Tolerance
@@ -243,6 +263,57 @@ func Sweep2DWith(ex SweepExecutor, plans []PlanSource, fracA, fracB []float64,
 	ta, tb []int64) *Map2D {
 	return core.Sweep2DWith(ex, plans, fracA, fracB, ta, tb)
 }
+
+// Adaptive multi-resolution sweeps ------------------------------------------
+
+// AdaptiveConfig tunes the adaptive sweeper: coarse-pass depth, guard
+// band, interpolation tolerances, contender net, landmark detector, and
+// the optional exact result-size oracle.
+type AdaptiveConfig = core.AdaptiveConfig
+
+// Mesh1D records which cells of an adaptive 1-D sweep were measured
+// versus interpolated.
+type Mesh1D = core.Mesh1D
+
+// Mesh2D records which cells of an adaptive 2-D sweep were measured
+// versus interpolated, with per-phase cell counts.
+type Mesh2D = core.Mesh2D
+
+// DefaultAdaptiveConfig returns the adaptive-sweep tuning used by the
+// study (about 37% of the exhaustive cells on the 13-plan 2-D study).
+var DefaultAdaptiveConfig = core.DefaultAdaptiveConfig
+
+// AdaptiveSweep1D runs an adaptive 1-D sweep serially with defaults.
+var AdaptiveSweep1D = core.AdaptiveSweep1D
+
+// AdaptiveSweep1DWith measures an adaptive 1-D sweep on the given
+// executor: coarse pass, winner-change and model-misfit bisection,
+// landmark/guard stabilization, model fill. Measured cells are
+// bit-identical to the exhaustive sweep's at any worker count.
+var AdaptiveSweep1DWith = core.AdaptiveSweep1DWith
+
+// AdaptiveSweep2D runs an adaptive 2-D sweep serially with defaults.
+var AdaptiveSweep2D = core.AdaptiveSweep2D
+
+// AdaptiveSweep2DWith is the 2-D adaptive sweep on the given executor;
+// see AdaptiveSweep1DWith for the contract.
+var AdaptiveSweep2DWith = core.AdaptiveSweep2DWith
+
+// MeasureCache memoizes measurements across sweeps, keyed by
+// (system scope, plan, point), with LRU eviction and concurrent-safe
+// access. Wrap plan sources with (*MeasureCache).Wrap.
+type MeasureCache = core.MeasureCache
+
+// CacheStats is a snapshot of a MeasureCache's hit/miss/eviction counters.
+type CacheStats = core.CacheStats
+
+// NewMeasureCache creates a measurement cache holding at most capacity
+// entries (capacity <= 0 means unbounded).
+var NewMeasureCache = core.NewMeasureCache
+
+// MapLandmarkConfig returns the landmark tolerances used for whole-map
+// landmark analysis (and by adaptive sweeps' landmark stabilization).
+var MapLandmarkConfig = core.MapLandmarkConfig
 
 // FindLandmarks detects non-monotonic cost, non-flattening growth, and
 // discontinuities on a 1-D cost curve.

@@ -53,7 +53,7 @@ func TestFacadeLandmarks(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 19 {
+	if len(ids) != 20 {
 		t.Fatalf("ExperimentIDs = %v", ids)
 	}
 	// Legends run without a study.
