@@ -6,6 +6,7 @@ package robustmap
 // map the design choices DESIGN.md calls out.
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -262,6 +263,44 @@ func BenchmarkSweep2DAdaptive(b *testing.B) {
 			b.ReportMetric(float64(cells), "measured-cells")
 		})
 	}
+}
+
+// BenchmarkSweepAPIOverhead contrasts the legacy positional entry point
+// with the equivalent NewSweep request on near-free synthetic plan
+// sources, so the API layers themselves — not the engine — dominate the
+// measurement. The options path must show no measurable overhead over the
+// shim (which itself routes through NewSweep): both sides do the same
+// work, and the delta is request-construction cost amortized over a
+// 3-plan × 33² grid.
+func BenchmarkSweepAPIOverhead(b *testing.B) {
+	synth := func(id string, scale int64) core.PlanSource {
+		return core.PlanSource{ID: id, Measure: func(ta, tb int64) core.Measurement {
+			if tb < 0 {
+				tb = 1
+			}
+			return core.Measurement{Time: time.Duration(scale*ta + 7*tb), Rows: ta * tb}
+		}}
+	}
+	plans := []core.PlanSource{synth("p1", 3), synth("p2", 11), synth("p3", 5)}
+	n := 33
+	fr := make([]float64, n)
+	th := make([]int64, n)
+	for i := range fr {
+		fr[i] = float64(i+1) / float64(n)
+		th[i] = int64(i + 1)
+	}
+	b.Run("legacy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Sweep2DWith(core.SerialExecutor{}, plans, fr, fr, th, th)
+		}
+	})
+	b.Run("options", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NewSweep(plans, core.Grid2D(fr, fr, th, th)).Run(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkMeasureCache contrasts a cold sweep with a cache-served repeat

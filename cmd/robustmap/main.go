@@ -9,14 +9,23 @@
 // Each experiment writes its artifacts (summary.txt, data.csv, map.txt,
 // map.svg, and map.ppm where applicable) under DIR/<id>/ and prints the
 // summary with the paper-claim checks to stdout.
+//
+// Experiments run under a signal-aware context: the first SIGINT/SIGTERM
+// cancels the sweep in flight (workers drain, no partial artifacts are
+// written) and the command exits 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
+	"robustmap/internal/cliutil"
 	"robustmap/internal/experiments"
 )
 
@@ -31,6 +40,7 @@ func main() {
 		parallel = flag.Int("parallel", 1, "sweep worker goroutines (1 = serial, -1 = all CPUs); figures are identical at any setting")
 		refine   = flag.Bool("refine", false, "adaptive multi-resolution sweeps: measure the coarse lattice, winner boundaries, and landmarks; interpolate constant regions")
 		cache    = flag.Int("cache", 0, "measurement cache entries shared across sweeps (0 = off, -1 = unbounded)")
+		progress = flag.Bool("progress", false, "render a live measured-cell count line on stderr for every sweep")
 	)
 	flag.Parse()
 	fatalf := func(format string, args ...any) {
@@ -49,14 +59,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *rows < 0 {
-		fatalf("-rows must be positive (or 0 for the study default), got %d", *rows)
-	}
-	if *parallel == 0 || *parallel < -1 {
-		fatalf("-parallel must be -1 (all CPUs) or at least 1, got %d", *parallel)
-	}
-	if *cache < -1 {
-		fatalf("-cache must be -1 (unbounded), 0 (off), or a positive entry count, got %d", *cache)
+	for _, err := range []error{
+		cliutil.ValidateRowsOverride(*rows),
+		cliutil.ValidateParallelism(*parallel),
+		cliutil.ValidateCacheSize(*cache),
+	} {
+		if err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	// Resolve experiment ids before paying for the system build, so an
@@ -82,6 +92,9 @@ func main() {
 	cfg.Parallelism = *parallel
 	cfg.Refine = *refine
 	cfg.CacheSize = *cache
+	if *progress {
+		cfg.Progress = cliutil.ProgressLine(os.Stderr)
+	}
 
 	fmt.Fprintf(os.Stderr, "building systems A, B, C (%d rows)...\n", cfg.Rows)
 	study, err := experiments.NewStudy(cfg)
@@ -90,12 +103,23 @@ func main() {
 		os.Exit(1)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	failed := false
 	var arts []*experiments.Artifacts
 	for _, id := range ids {
 		def, _ := experiments.Lookup(id)
 		fmt.Fprintf(os.Stderr, "running %s...\n", id)
-		art := def.Run(study)
+		art, err := def.RunContext(ctx, study)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "\ninterrupted: %s cancelled, no artifacts written\n", id)
+				os.Exit(130)
+			}
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
 		arts = append(arts, art)
 		fmt.Println(art.Summary)
 		if !art.Passed() {

@@ -6,19 +6,28 @@
 //
 //	sweep -plans A1,A2,F1-trad -rows 65536 -max-exp 12          # 1-D
 //	sweep -plans A1,A2,A4,B1,C1 -rows 65536 -max-exp 8 -grid    # 2-D
-//	sweep -plans A1,B1,C1 -grid -refine -parallel -1            # adaptive
+//	sweep -plans A1,B1,C1 -grid -refine -parallel -1 -progress  # adaptive
 //
 // Plan ids: A1..A7 (System A), B1..B4 (System B), C1..C2 (System C),
 // F1-trad, F2-merge-ab, F2-merge-ba, F2-hash-ab, F2-hash-ba.
+//
+// Sweeps run under a signal-aware context: the first SIGINT/SIGTERM
+// cancels the sweep (workers drain, nothing partial is printed) and the
+// command exits 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"robustmap/internal/cliutil"
 	"robustmap/internal/core"
 	"robustmap/internal/engine"
 	"robustmap/internal/experiments"
@@ -36,25 +45,23 @@ func main() {
 		parallel = flag.Int("parallel", 1, "sweep worker goroutines (1 = serial, -1 = all CPUs); results are identical at any setting")
 		refine   = flag.Bool("refine", false, "adaptive multi-resolution sweep: measure the coarse lattice, winner boundaries, and landmarks; interpolate constant regions")
 		cache    = flag.Int("cache", 0, "measurement cache entries (0 = off, -1 = unbounded); repeated cells are never re-measured")
+		progress = flag.Bool("progress", false, "render a live measured-cell count line on stderr")
 	)
 	flag.Parse()
 	fatalf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "error: "+format+"\n", args...)
 		os.Exit(2)
 	}
-	if *rows < 1 {
-		fatalf("-rows must be at least 1, got %d", *rows)
+	for _, err := range []error{
+		cliutil.ValidateRows(*rows),
+		cliutil.ValidateMaxExp(*maxExp),
+		cliutil.ValidateParallelism(*parallel),
+		cliutil.ValidateCacheSize(*cache),
+	} {
+		if err != nil {
+			fatalf("%v", err)
+		}
 	}
-	if *maxExp < 0 || *maxExp > 40 {
-		fatalf("-max-exp must be between 0 and 40, got %d", *maxExp)
-	}
-	if *parallel == 0 || *parallel < -1 {
-		fatalf("-parallel must be -1 (all CPUs) or at least 1, got %d", *parallel)
-	}
-	if *cache < -1 {
-		fatalf("-cache must be -1 (unbounded), 0 (off), or a positive entry count, got %d", *cache)
-	}
-	executor := core.NewExecutor(*parallel)
 
 	all := map[string]plan.Plan{}
 	systems := map[string]string{}
@@ -116,6 +123,8 @@ func main() {
 		// NewMeasureCache treats negative capacities as unbounded.
 		mcache = core.NewMeasureCache(*cache)
 	}
+	// Sources are cache-wrapped here rather than via WithCache: the plan
+	// list may span several systems, and each needs its own cache scope.
 	var sources []core.PlanSource
 	var oracle *engine.System
 	for _, id := range ids {
@@ -130,22 +139,44 @@ func main() {
 		}}
 		sources = append(sources, mcache.Wrap(sys.Name, src))
 	}
-	acfg := core.DefaultAdaptiveConfig()
-	acfg.ResultSize = func(ta, tb int64) int64 {
-		return oracle.ResultSize(plan.Query{TA: ta, TB: tb})
+
+	// One options list drives every sweep shape; the flags map onto it
+	// orthogonally instead of selecting one of eight entry points.
+	fracs, ths := cliutil.SweepAxis(*rows, *maxExp)
+	opts := []core.SweepOption{core.WithParallelism(*parallel)}
+	if *grid {
+		opts = append(opts, core.Grid2D(fracs, fracs, ths, ths))
+	} else {
+		opts = append(opts, core.Grid1D(fracs, ths))
+	}
+	if *refine {
+		acfg := core.DefaultAdaptiveConfig()
+		acfg.ResultSize = func(ta, tb int64) int64 {
+			return oracle.ResultSize(plan.Query{TA: ta, TB: tb})
+		}
+		opts = append(opts, core.WithAdaptive(acfg))
+	}
+	if *progress {
+		opts = append(opts, core.WithProgress(cliutil.ProgressLine(os.Stderr)),
+			core.WithProgressInterval(50*time.Millisecond))
 	}
 
-	fracs, ths := sweepAxis(*rows, *maxExp)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := core.NewSweep(sources, opts...).Run(ctx)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "\ninterrupted: sweep cancelled, no map produced")
+			os.Exit(130)
+		}
+		fatalf("%v", err)
+	}
+
 	if !*grid {
-		// 1-D sweep uses tb = -1 inside Sweep1D.
-		var m *core.Map1D
-		if *refine {
-			var mesh *core.Mesh1D
-			m, mesh = core.AdaptiveSweep1DWith(executor, sources, fracs, ths, acfg)
+		m, mesh := res.Map1D, res.Mesh1D
+		if mesh != nil {
 			fmt.Fprintf(os.Stderr, "adaptive: measured %d of %d cells (%.0f%%)\n",
 				mesh.MeasuredCells, mesh.TotalCells, mesh.MeasuredFraction()*100)
-		} else {
-			m = core.Sweep1DWith(executor, sources, fracs, ths)
 		}
 		series := map[string][]time.Duration{}
 		for _, id := range ids {
@@ -162,15 +193,11 @@ func main() {
 		return
 	}
 
-	var m *core.Map2D
-	var mesh *core.Mesh2D
-	if *refine {
-		m, mesh = core.AdaptiveSweep2DWith(executor, sources, fracs, fracs, ths, ths, acfg)
+	m, mesh := res.Map2D, res.Mesh2D
+	if mesh != nil {
 		fmt.Fprintf(os.Stderr, "adaptive: measured %d of %d cells (%.0f%%; refine %d, landmark %d, guard %d)\n",
 			mesh.MeasuredCells, mesh.TotalCells, mesh.MeasuredFraction()*100,
 			mesh.RefineCells, mesh.LandmarkCells, mesh.GuardCells)
-	} else {
-		m = core.Sweep2DWith(executor, sources, fracs, fracs, ths, ths)
 	}
 	labels := experiments.FractionLabels(fracs)
 	first := ids[0]
@@ -203,20 +230,6 @@ func reportCache(c *core.MeasureCache) {
 	st := c.Stats()
 	fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d evictions, %d entries\n",
 		st.Hits, st.Misses, st.Evictions, st.Size)
-}
-
-func sweepAxis(rows int64, maxExp int) ([]float64, []int64) {
-	var fr []float64
-	var th []int64
-	for k := maxExp; k >= 0; k-- {
-		fr = append(fr, 1/float64(int64(1)<<uint(k)))
-		t := rows >> uint(k)
-		if t < 1 {
-			t = 1
-		}
-		th = append(th, t)
-	}
-	return fr, th
 }
 
 func absLabels() []string {

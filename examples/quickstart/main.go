@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -45,7 +46,12 @@ func main() {
 			return core.Measurement{Time: r.Time, Rows: r.Rows}
 		}}
 	}
-	m := core.Sweep1D([]core.PlanSource{src(scan), src(improved)}, fractions, thresholds)
+	res, err := core.NewSweep([]core.PlanSource{src(scan), src(improved)},
+		core.Grid1D(fractions, thresholds)).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.Map1D
 
 	// Render the 1-D robustness map.
 	series := map[string][]time.Duration{

@@ -1,0 +1,98 @@
+// Package cliutil holds the small pieces the sweep-running commands
+// (cmd/sweep, cmd/robustmap) used to copy-paste: flag validation with the
+// shared error vocabulary, the selectivity axis construction, and the
+// live progress line for -progress.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"robustmap/internal/core"
+)
+
+// ValidateRows checks a -rows flag that must name a real table size.
+func ValidateRows(rows int64) error {
+	if rows < 1 {
+		return fmt.Errorf("-rows must be at least 1, got %d", rows)
+	}
+	return nil
+}
+
+// ValidateRowsOverride checks a -rows flag where 0 means "use the study
+// default".
+func ValidateRowsOverride(rows int64) error {
+	if rows < 0 {
+		return fmt.Errorf("-rows must be positive (or 0 for the study default), got %d", rows)
+	}
+	return nil
+}
+
+// ValidateMaxExp checks a -max-exp flag: sweeps run selectivities
+// 2^-maxExp .. 2^0, and exponents beyond 40 exceed any realistic table.
+func ValidateMaxExp(maxExp int) error {
+	if maxExp < 0 || maxExp > 40 {
+		return fmt.Errorf("-max-exp must be between 0 and 40, got %d", maxExp)
+	}
+	return nil
+}
+
+// ValidateParallelism checks a -parallel flag: -1 (all CPUs) or a positive
+// worker count; 0 and other negatives are rejected rather than guessed at.
+func ValidateParallelism(parallel int) error {
+	if parallel == 0 || parallel < -1 {
+		return fmt.Errorf("-parallel must be -1 (all CPUs) or at least 1, got %d", parallel)
+	}
+	return nil
+}
+
+// ValidateCacheSize checks a -cache flag: -1 unbounded, 0 off, positive a
+// bounded entry count.
+func ValidateCacheSize(cache int) error {
+	if cache < -1 {
+		return fmt.Errorf("-cache must be -1 (unbounded), 0 (off), or a positive entry count, got %d", cache)
+	}
+	return nil
+}
+
+// SweepAxis returns the selectivity fractions 2^-maxExp .. 2^0 and the
+// matching predicate thresholds over a table of the given cardinality
+// (thresholds are floored at 1 so every point selects something).
+func SweepAxis(rows int64, maxExp int) (fractions []float64, thresholds []int64) {
+	for k := maxExp; k >= 0; k-- {
+		fractions = append(fractions, 1/float64(int64(1)<<uint(k)))
+		t := rows >> uint(k)
+		if t < 1 {
+			t = 1
+		}
+		thresholds = append(thresholds, t)
+	}
+	return fractions, thresholds
+}
+
+// ProgressLine returns a core.ProgressFunc that renders a live
+// carriage-return cell-count line to w, e.g.
+//
+//	sweep: 1234/4096 cells measured
+//
+// and finishes the line (with the interpolated count, when the sweep
+// interpolated) on the final report. Safe for the sweep's worker
+// goroutines; writes are serialized.
+func ProgressLine(w io.Writer) core.ProgressFunc {
+	var mu sync.Mutex
+	return func(p core.Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !p.Done {
+			fmt.Fprintf(w, "\rsweep: %d/%d cells measured", p.MeasuredCells, p.TotalCells)
+			return
+		}
+		if p.InterpolatedCells > 0 {
+			fmt.Fprintf(w, "\rsweep: %d/%d cells measured, %d interpolated\n",
+				p.MeasuredCells, p.TotalCells, p.InterpolatedCells)
+			return
+		}
+		fmt.Fprintf(w, "\rsweep: %d/%d cells measured\n", p.MeasuredCells, p.TotalCells)
+	}
+}

@@ -1,0 +1,92 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+
+	"robustmap/internal/core"
+)
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		err     error
+		wantErr string // substring; "" = valid
+	}{
+		{"rows ok", ValidateRows(1), ""},
+		{"rows large", ValidateRows(1 << 30), ""},
+		{"rows zero", ValidateRows(0), "-rows must be at least 1"},
+		{"rows negative", ValidateRows(-3), "-rows must be at least 1"},
+
+		{"rows override default", ValidateRowsOverride(0), ""},
+		{"rows override ok", ValidateRowsOverride(42), ""},
+		{"rows override negative", ValidateRowsOverride(-1), "-rows must be positive"},
+
+		{"max-exp zero", ValidateMaxExp(0), ""},
+		{"max-exp top", ValidateMaxExp(40), ""},
+		{"max-exp negative", ValidateMaxExp(-1), "-max-exp must be between 0 and 40"},
+		{"max-exp huge", ValidateMaxExp(41), "-max-exp must be between 0 and 40"},
+
+		{"parallel serial", ValidateParallelism(1), ""},
+		{"parallel workers", ValidateParallelism(16), ""},
+		{"parallel all CPUs", ValidateParallelism(-1), ""},
+		{"parallel zero", ValidateParallelism(0), "-parallel must be -1"},
+		{"parallel negative", ValidateParallelism(-2), "-parallel must be -1"},
+
+		{"cache off", ValidateCacheSize(0), ""},
+		{"cache unbounded", ValidateCacheSize(-1), ""},
+		{"cache bounded", ValidateCacheSize(128), ""},
+		{"cache negative", ValidateCacheSize(-2), "-cache must be -1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			switch {
+			case tc.wantErr == "" && tc.err != nil:
+				t.Fatalf("unexpected error: %v", tc.err)
+			case tc.wantErr != "" && tc.err == nil:
+				t.Fatalf("expected error containing %q, got nil", tc.wantErr)
+			case tc.wantErr != "" && !strings.Contains(tc.err.Error(), tc.wantErr):
+				t.Fatalf("error %q does not contain %q", tc.err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSweepAxis(t *testing.T) {
+	fr, th := SweepAxis(1<<10, 4)
+	if len(fr) != 5 || len(th) != 5 {
+		t.Fatalf("axis lengths = %d, %d, want 5", len(fr), len(th))
+	}
+	wantFr := []float64{1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2, 1}
+	wantTh := []int64{64, 128, 256, 512, 1024}
+	for i := range fr {
+		if fr[i] != wantFr[i] || th[i] != wantTh[i] {
+			t.Fatalf("axis[%d] = (%g, %d), want (%g, %d)", i, fr[i], th[i], wantFr[i], wantTh[i])
+		}
+	}
+	// Thresholds floor at 1 when the fraction selects less than a row.
+	_, th = SweepAxis(4, 4)
+	if th[0] != 1 {
+		t.Fatalf("threshold floor = %d, want 1", th[0])
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	var b strings.Builder
+	fn := ProgressLine(&b)
+	fn(core.Progress{MeasuredCells: 3, TotalCells: 10})
+	fn(core.Progress{MeasuredCells: 10, TotalCells: 10, Done: true})
+	out := b.String()
+	if !strings.Contains(out, "3/10 cells measured") {
+		t.Errorf("missing interim line: %q", out)
+	}
+	if !strings.Contains(out, "10/10 cells measured\n") {
+		t.Errorf("final line not terminated: %q", out)
+	}
+
+	b.Reset()
+	ProgressLine(&b)(core.Progress{MeasuredCells: 4, InterpolatedCells: 6, TotalCells: 10, Done: true})
+	if !strings.Contains(b.String(), "6 interpolated") {
+		t.Errorf("adaptive final line missing interpolated count: %q", b.String())
+	}
+}

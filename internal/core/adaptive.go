@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -129,6 +130,7 @@ func (me *Mesh2D) MeasuredFraction() float64 {
 
 // adaptive2D is the in-flight state of one adaptive 2-D sweep.
 type adaptive2D struct {
+	ctx          context.Context
 	ex           SweepExecutor
 	plans        []PlanSource
 	fracA, fracB []float64
@@ -166,10 +168,13 @@ type aBlock struct {
 
 // AdaptiveSweep2D runs an adaptive 2-D sweep serially with default
 // configuration.
+//
+// Deprecated: use NewSweep with Grid2D and
+// WithAdaptive(DefaultAdaptiveConfig()).
 func AdaptiveSweep2D(plans []PlanSource, fracA, fracB []float64,
 	ta, tb []int64) (*Map2D, *Mesh2D) {
-	return AdaptiveSweep2DWith(SerialExecutor{}, plans, fracA, fracB, ta, tb,
-		DefaultAdaptiveConfig())
+	res := mustRun(NewSweep(plans, Grid2D(fracA, fracB, ta, tb), WithAdaptive(DefaultAdaptiveConfig())))
+	return res.Map2D, res.Mesh2D
 }
 
 // AdaptiveSweep2DWith measures an adaptive multi-resolution 2-D sweep on
@@ -177,14 +182,21 @@ func AdaptiveSweep2D(plans []PlanSource, fracA, fracB []float64,
 // measured where the mesh refined, interpolated elsewhere — and the mesh
 // reports which was which. Grids too small to subsample (under 3 points on
 // either axis) fall back to the exhaustive sweep.
+//
+// Deprecated: use NewSweep with Grid2D, WithExecutor, and WithAdaptive.
 func AdaptiveSweep2DWith(ex SweepExecutor, plans []PlanSource,
 	fracA, fracB []float64, ta, tb []int64, cfg AdaptiveConfig) (*Map2D, *Mesh2D) {
-	if len(fracA) != len(ta) || len(fracB) != len(tb) {
-		panic("core: fractions and thresholds length mismatch")
-	}
+	res := mustRun(NewSweep(plans, Grid2D(fracA, fracB, ta, tb), WithExecutor(ex), WithAdaptive(cfg)))
+	return res.Map2D, res.Mesh2D
+}
+
+// adaptiveSweep2D is the adaptive 2-D sweep under a context; grid lengths
+// are validated by NewSweep.
+func adaptiveSweep2D(ctx context.Context, ex SweepExecutor, plans []PlanSource,
+	fracA, fracB []float64, ta, tb []int64, cfg AdaptiveConfig) (*Map2D, *Mesh2D) {
 	n, m := len(ta), len(tb)
 	if n < 3 || m < 3 || len(plans) == 0 {
-		mp := Sweep2DWith(ex, plans, fracA, fracB, ta, tb)
+		mp := sweep2D(ctx, ex, plans, fracA, fracB, ta, tb)
 		return mp, exhaustiveMesh2D(len(plans), n, m)
 	}
 	if cfg.CoarseLevels < 1 {
@@ -194,7 +206,7 @@ func AdaptiveSweep2DWith(ex SweepExecutor, plans []PlanSource,
 		cfg.Landmarks = MapLandmarkConfig()
 	}
 	s := &adaptive2D{
-		ex: ex, plans: plans, fracA: fracA, fracB: fracB, ta: ta, tb: tb,
+		ctx: ctx, ex: ex, plans: plans, fracA: fracA, fracB: fracB, ta: ta, tb: tb,
 		cfg: cfg, n: n, m: m,
 	}
 	s.times = make([][][]time.Duration, len(plans))
@@ -320,7 +332,7 @@ func (s *adaptive2D) measureRound(wants map[[2]int][]bool) {
 		}
 	}
 	got := make([]Measurement, len(cellOf))
-	s.ex.Execute(len(cellOf), func(cell int) {
+	executeCells(s.ctx, s.ex, len(cellOf), func(cell int) {
 		ref := cellOf[cell]
 		r := reqs[ref.req]
 		got[cell] = s.plans[r.plans[ref.slot]].Measure(s.ta[r.i], s.tb[r.j])

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -30,10 +31,13 @@ func (me *Mesh1D) MeasuredFraction() float64 {
 
 // AdaptiveSweep1D runs an adaptive 1-D sweep serially with default
 // configuration.
+//
+// Deprecated: use NewSweep with Grid1D and
+// WithAdaptive(DefaultAdaptiveConfig()).
 func AdaptiveSweep1D(plans []PlanSource, fractions []float64,
 	thresholds []int64) (*Map1D, *Mesh1D) {
-	return AdaptiveSweep1DWith(SerialExecutor{}, plans, fractions, thresholds,
-		DefaultAdaptiveConfig())
+	res := mustRun(NewSweep(plans, Grid1D(fractions, thresholds), WithAdaptive(DefaultAdaptiveConfig())))
+	return res.Map1D, res.Mesh1D
 }
 
 // AdaptiveSweep1DWith is the interval counterpart of AdaptiveSweep2DWith:
@@ -43,14 +47,21 @@ func AdaptiveSweep1D(plans []PlanSource, fractions []float64,
 // model fill elsewhere. Sweeps under 3 points fall back to the exhaustive
 // sweep. See AdaptiveSweep2DWith for the models and the determinism
 // contract.
+//
+// Deprecated: use NewSweep with Grid1D, WithExecutor, and WithAdaptive.
 func AdaptiveSweep1DWith(ex SweepExecutor, plans []PlanSource,
 	fractions []float64, thresholds []int64, cfg AdaptiveConfig) (*Map1D, *Mesh1D) {
-	if len(fractions) != len(thresholds) {
-		panic("core: fractions and thresholds length mismatch")
-	}
+	res := mustRun(NewSweep(plans, Grid1D(fractions, thresholds), WithExecutor(ex), WithAdaptive(cfg)))
+	return res.Map1D, res.Mesh1D
+}
+
+// adaptiveSweep1D is the adaptive 1-D sweep under a context; grid lengths
+// are validated by NewSweep.
+func adaptiveSweep1D(ctx context.Context, ex SweepExecutor, plans []PlanSource,
+	fractions []float64, thresholds []int64, cfg AdaptiveConfig) (*Map1D, *Mesh1D) {
 	n := len(thresholds)
 	if n < 3 || len(plans) == 0 {
-		mp := Sweep1DWith(ex, plans, fractions, thresholds)
+		mp := sweep1D(ctx, ex, plans, fractions, thresholds)
 		me := &Mesh1D{
 			PlanPoints:    make([][]bool, len(plans)),
 			Points:        make([]bool, n),
@@ -74,7 +85,7 @@ func AdaptiveSweep1DWith(ex SweepExecutor, plans []PlanSource,
 		cfg.Landmarks = MapLandmarkConfig()
 	}
 	s := &adaptive1D{
-		ex: ex, plans: plans, fr: fractions, th: thresholds, cfg: cfg, n: n,
+		ctx: ctx, ex: ex, plans: plans, fr: fractions, th: thresholds, cfg: cfg, n: n,
 	}
 	s.times = make([][]time.Duration, len(plans))
 	s.measured = make([][]bool, len(plans))
@@ -100,6 +111,7 @@ func AdaptiveSweep1DWith(ex SweepExecutor, plans []PlanSource,
 }
 
 type adaptive1D struct {
+	ctx   context.Context
 	ex    SweepExecutor
 	plans []PlanSource
 	fr    []float64
@@ -148,7 +160,7 @@ func (s *adaptive1D) measureRound(wants map[int][]bool) {
 		return
 	}
 	got := make([]Measurement, len(cellOf))
-	s.ex.Execute(len(cellOf), func(cell int) {
+	executeCells(s.ctx, s.ex, len(cellOf), func(cell int) {
 		ref := cellOf[cell]
 		got[cell] = s.plans[ref.plan].Measure(s.th[ref.pt], -1)
 	})

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -83,6 +85,74 @@ func TestMeasureCacheUnbounded(t *testing.T) {
 	}
 	if c.Len() != 100 {
 		t.Errorf("Len = %d, want 100", c.Len())
+	}
+}
+
+// TestMeasureCacheNegativeCapacityUnbounded pins the documented contract
+// that any capacity <= 0 — not just zero — means unbounded: entries
+// accumulate without eviction and Stats reports Capacity 0.
+func TestMeasureCacheNegativeCapacityUnbounded(t *testing.T) {
+	for _, capacity := range []int{0, -1, -100} {
+		c := NewMeasureCache(capacity)
+		src, _ := countingSource("p")
+		cached := c.Wrap("s", src)
+		for i := int64(0); i < 64; i++ {
+			cached.Measure(i, -1)
+		}
+		st := c.Stats()
+		if st.Evictions != 0 || st.Size != 64 || st.Capacity != 0 {
+			t.Errorf("capacity %d: stats = %+v, want 64 entries, no evictions, Capacity 0",
+				capacity, st)
+		}
+	}
+}
+
+// TestMeasureCacheConcurrentWrap hammers one wrapped source from many
+// goroutines — racing on the same absent keys as well as distinct ones —
+// under -race. Every caller must observe the deterministic value, and the
+// counters must account for every request.
+func TestMeasureCacheConcurrentWrap(t *testing.T) {
+	c := NewMeasureCache(0)
+	src := PlanSource{ID: "p", Measure: func(ta, tb int64) Measurement {
+		return Measurement{Time: time.Duration(ta * 3), Rows: ta}
+	}}
+	cached := c.Wrap("s", src)
+	const workers, perWorker = 16, 200
+	const distinct = 25 // perWorker % distinct == 0: all workers hit all keys
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < perWorker; i++ {
+				k := i % distinct
+				if v := cached.Measure(k, -1); v.Time != time.Duration(k*3) || v.Rows != k {
+					select {
+					case errs <- fmt.Sprintf("Measure(%d) = %+v", k, v):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, open := <-errs; open {
+		t.Fatal(msg)
+	}
+	st := c.Stats()
+	if st.Size != distinct {
+		t.Errorf("cache holds %d entries, want %d", st.Size, distinct)
+	}
+	if st.Hits+st.Misses != workers*perWorker {
+		t.Errorf("hits %d + misses %d != %d requests", st.Hits, st.Misses, workers*perWorker)
+	}
+	// Racing workers may each measure an absent key once, but misses can
+	// never exceed one per (worker, key) pair.
+	if st.Misses < distinct || st.Misses > workers*distinct {
+		t.Errorf("misses = %d, want within [%d, %d]", st.Misses, distinct, workers*distinct)
 	}
 }
 

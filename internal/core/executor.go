@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -21,15 +22,39 @@ type SweepExecutor interface {
 	Execute(n int, fn func(cell int))
 }
 
+// ContextExecutor is a SweepExecutor that also supports cooperative
+// cancellation: ExecuteContext stops claiming new cells once ctx is
+// cancelled, lets in-flight cells finish, waits for every worker to stop,
+// and returns ctx.Err(). Both built-in executors implement it; sweeps
+// fall back to a skip-remaining-cells wrapper for executors that don't.
+type ContextExecutor interface {
+	SweepExecutor
+	ExecuteContext(ctx context.Context, n int, fn func(cell int)) error
+}
+
 // SerialExecutor runs cells one at a time in index order — the executor of
 // the paper's original serial measurement loop, and the default.
 type SerialExecutor struct{}
 
 // Execute runs every cell in order on the calling goroutine.
 func (SerialExecutor) Execute(n int, fn func(cell int)) {
+	_ = SerialExecutor{}.ExecuteContext(context.Background(), n, fn)
+}
+
+// ExecuteContext runs cells in order until done or ctx is cancelled.
+func (SerialExecutor) ExecuteContext(ctx context.Context, n int, fn func(cell int)) error {
+	done := ctx.Done()
 	for i := 0; i < n; i++ {
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		fn(i)
 	}
+	return nil
 }
 
 // ParallelExecutor runs cells on a pool of worker goroutines. Cells are
@@ -47,14 +72,22 @@ type ParallelExecutor struct {
 // captured and re-raised on the calling goroutine once all workers have
 // stopped, preserving the serial sweep's panic semantics.
 func (e ParallelExecutor) Execute(n int, fn func(cell int)) {
+	_ = e.ExecuteContext(context.Background(), n, fn)
+}
+
+// ExecuteContext is Execute under a context: workers stop claiming cells
+// once ctx is cancelled, in-flight cells finish, and the call returns
+// ctx.Err() after every worker has exited — cancellation never leaks
+// goroutines or interrupts a measurement halfway.
+func (e ParallelExecutor) ExecuteContext(ctx context.Context, n int, fn func(cell int)) error {
 	workers := e.Workers
 	if workers > n {
 		workers = n
 	}
 	if workers < 2 {
-		SerialExecutor{}.Execute(n, fn)
-		return
+		return SerialExecutor{}.ExecuteContext(ctx, n, fn)
 	}
+	done := ctx.Done()
 	var (
 		next     atomic.Int64
 		wg       sync.WaitGroup
@@ -75,6 +108,13 @@ func (e ParallelExecutor) Execute(n int, fn func(cell int)) {
 				}
 			}()
 			for !panicked.Load() {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -87,6 +127,7 @@ func (e ParallelExecutor) Execute(n int, fn func(cell int)) {
 	if panicked.Load() {
 		panic(panicVal)
 	}
+	return ctx.Err()
 }
 
 // NewExecutor returns the executor for a parallelism degree: 0 or 1 give
@@ -101,6 +142,45 @@ func NewExecutor(parallelism int) SweepExecutor {
 		return SerialExecutor{}
 	default:
 		return ParallelExecutor{Workers: parallelism}
+	}
+}
+
+// executeCells schedules one measurement batch on the executor under ctx.
+// Cancellation surfaces as a sweepInterrupt panic so it can cross the
+// sweepers' recursive measurement loops in one hop; Sweep.Run recovers it
+// into an error. Executors without ExecuteContext run their full schedule,
+// but cells started after cancellation are skipped, so the batch still
+// drains promptly when cell measurements dominate.
+func executeCells(ctx context.Context, ex SweepExecutor, n int, fn func(cell int)) {
+	if err := ctx.Err(); err != nil {
+		panic(sweepInterrupt{err})
+	}
+	if cex, ok := ex.(ContextExecutor); ok {
+		if err := cex.ExecuteContext(ctx, n, fn); err != nil {
+			panic(sweepInterrupt{err})
+		}
+		return
+	}
+	done := ctx.Done()
+	if done == nil {
+		ex.Execute(n, fn)
+		return
+	}
+	var cancelled atomic.Bool
+	ex.Execute(n, func(cell int) {
+		if cancelled.Load() {
+			return
+		}
+		select {
+		case <-done:
+			cancelled.Store(true)
+			return
+		default:
+		}
+		fn(cell)
+	})
+	if err := ctx.Err(); err != nil {
+		panic(sweepInterrupt{err})
 	}
 }
 

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -60,8 +61,11 @@ type Map1D struct {
 // Sweep1D measures every plan at every threshold, serially. Plans must
 // agree on result sizes at each point — a disagreement means a broken
 // plan, and panics rather than producing a silently wrong map.
+//
+// Deprecated: build the request with NewSweep(plans, Grid1D(fractions,
+// thresholds)) and Run it; this shim remains for compatibility.
 func Sweep1D(plans []PlanSource, fractions []float64, thresholds []int64) *Map1D {
-	return Sweep1DWith(SerialExecutor{}, plans, fractions, thresholds)
+	return mustRun(NewSweep(plans, Grid1D(fractions, thresholds))).Map1D
 }
 
 // Sweep1DWith measures every plan at every threshold on the given
@@ -69,11 +73,17 @@ func Sweep1D(plans []PlanSource, fractions []float64, thresholds []int64) *Map1D
 // land in preallocated (plan, point) slots, and the row-count cross-check
 // runs in a fixed order after all cells complete, so the panic (if any)
 // names the same first offender the serial sweep names.
+//
+// Deprecated: use NewSweep with Grid1D and WithExecutor.
 func Sweep1DWith(ex SweepExecutor, plans []PlanSource, fractions []float64,
 	thresholds []int64) *Map1D {
-	if len(fractions) != len(thresholds) {
-		panic("core: fractions and thresholds length mismatch")
-	}
+	return mustRun(NewSweep(plans, Grid1D(fractions, thresholds), WithExecutor(ex))).Map1D
+}
+
+// sweep1D is the exhaustive 1-D sweep under a context; see Sweep1DWith
+// for the determinism contract. Grid lengths are validated by NewSweep.
+func sweep1D(ctx context.Context, ex SweepExecutor, plans []PlanSource,
+	fractions []float64, thresholds []int64) *Map1D {
 	points := len(thresholds)
 	m := &Map1D{
 		Fractions:  fractions,
@@ -88,7 +98,7 @@ func Sweep1DWith(ex SweepExecutor, plans []PlanSource, fractions []float64,
 		m.Times[pi] = make([]time.Duration, points)
 		rows[pi] = make([]int64, points)
 	}
-	ex.Execute(len(plans)*points, func(cell int) {
+	executeCells(ctx, ex, len(plans)*points, func(cell int) {
 		pi, i := cellSplit(cell, points)
 		res := plans[pi].Measure(thresholds[i], -1)
 		m.Times[pi][i] = res.Time
@@ -155,18 +165,26 @@ type Map2D struct {
 
 // Sweep2D measures every plan over the grid, serially. As in Sweep1D,
 // row-count disagreement across plans panics.
+//
+// Deprecated: build the request with NewSweep(plans, Grid2D(fracA, fracB,
+// ta, tb)) and Run it; this shim remains for compatibility.
 func Sweep2D(plans []PlanSource, fracA, fracB []float64, ta, tb []int64) *Map2D {
-	return Sweep2DWith(SerialExecutor{}, plans, fracA, fracB, ta, tb)
+	return mustRun(NewSweep(plans, Grid2D(fracA, fracB, ta, tb))).Map2D
 }
 
 // Sweep2DWith measures every plan over the grid on the given executor.
 // Cells are (plan, grid point) pairs; see Sweep1DWith for the determinism
 // contract.
+//
+// Deprecated: use NewSweep with Grid2D and WithExecutor.
 func Sweep2DWith(ex SweepExecutor, plans []PlanSource, fracA, fracB []float64,
 	ta, tb []int64) *Map2D {
-	if len(fracA) != len(ta) || len(fracB) != len(tb) {
-		panic("core: fractions and thresholds length mismatch")
-	}
+	return mustRun(NewSweep(plans, Grid2D(fracA, fracB, ta, tb), WithExecutor(ex))).Map2D
+}
+
+// sweep2D is the exhaustive 2-D sweep under a context; see Sweep2DWith.
+func sweep2D(ctx context.Context, ex SweepExecutor, plans []PlanSource,
+	fracA, fracB []float64, ta, tb []int64) *Map2D {
 	points := len(ta) * len(tb)
 	m := &Map2D{
 		FracA: fracA, FracB: fracB, TA: ta, TB: tb,
@@ -187,7 +205,7 @@ func Sweep2DWith(ex SweepExecutor, plans []PlanSource, fracA, fracB []float64,
 		m.Times[pi] = grid
 		rows[pi] = make([]int64, points)
 	}
-	ex.Execute(len(plans)*points, func(cell int) {
+	executeCells(ctx, ex, len(plans)*points, func(cell int) {
 		pi, pt := cellSplit(cell, points)
 		i, j := pt/len(tb), pt%len(tb)
 		res := plans[pi].Measure(ta[i], tb[j])

@@ -18,6 +18,15 @@ import (
 // dotted cells were measured, plain cells interpolated.
 func AdaptiveSweepExperiment(s *Study) *Artifacts {
 	fr, th := axis(s.Cfg.Rows, s.Cfg.MaxExp2D)
+	grid := core.Grid2D(fr, fr, th, th)
+	run2D := func(opts ...core.SweepOption) (*core.Map2D, *core.Mesh2D) {
+		opts = append(append([]core.SweepOption{grid}, s.sweepOptions()...), opts...)
+		m, mesh, err := core.NewSweep(s.AllSources(), opts...).Run2D(s.Context())
+		if err != nil {
+			panic(studyInterrupt{err})
+		}
+		return m, mesh
+	}
 	var exhaustive, adaptive *core.Map2D
 	var mesh *core.Mesh2D
 	if s.Cfg.Refine {
@@ -25,11 +34,10 @@ func AdaptiveSweepExperiment(s *Study) *Artifacts {
 		// mesh, and run the exhaustive baseline fresh (with the
 		// measurement cache on, that only measures the skipped cells).
 		adaptive, mesh = s.Map2D(), s.Mesh2D()
-		exhaustive = core.Sweep2DWith(s.Executor(), s.AllSources(), fr, fr, th, th)
+		exhaustive, _ = run2D()
 	} else {
 		exhaustive = s.Map2D()
-		adaptive, mesh = core.AdaptiveSweep2DWith(s.Executor(), s.AllSources(),
-			fr, fr, th, th, s.adaptiveConfig())
+		adaptive, mesh = run2D(core.WithAdaptive(s.adaptiveConfig()))
 	}
 
 	lcfg := core.MapLandmarkConfig()

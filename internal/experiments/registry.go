@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -10,6 +11,34 @@ type Definition struct {
 	ID    string
 	Paper string // the paper artifact being reproduced
 	Run   func(*Study) *Artifacts
+}
+
+// RunContext runs the experiment with the study's sweeps under ctx:
+// cancelling ctx aborts the sweep in flight and returns ctx.Err() with no
+// artifacts. The study's previous context is restored afterwards. Other
+// panics (a broken plan's row-count cross-check) propagate unchanged.
+func (d Definition) RunContext(ctx context.Context, s *Study) (art *Artifacts, err error) {
+	// Check up front: experiments whose sweeps are already cached (or that
+	// need no sweep at all) would otherwise never observe the context.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s == nil { // legend-only experiments take no study
+		return d.Run(nil), nil
+	}
+	prev := s.ctx
+	s.SetContext(ctx)
+	defer func() {
+		s.ctx = prev
+		if r := recover(); r != nil {
+			si, ok := r.(studyInterrupt)
+			if !ok {
+				panic(r)
+			}
+			art, err = nil, si.err
+		}
+	}()
+	return d.Run(s), nil
 }
 
 // Registry lists every experiment, keyed by id.

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"robustmap/internal/core"
+	"robustmap/internal/plan"
+)
+
+func tinyRequestStudy(t *testing.T) *Study {
+	t.Helper()
+	cfg := SmallStudyConfig()
+	cfg.Rows = 1 << 14
+	cfg.Engine.Rows = cfg.Rows
+	cfg.MaxExp1D = 6
+	cfg.MaxExp2D = 5
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestStudyRunSweepDefaultsAndOverrides pins the options plumbing: the
+// default RunSweep is the study's 1-D System A sweep, and trailing
+// options override it (here: adaptivity, which must return a mesh).
+func TestStudyRunSweepDefaultsAndOverrides(t *testing.T) {
+	s := tinyRequestStudy(t)
+	res, err := s.RunSweep(context.Background(), plan.Figure1Plans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Map1D == nil || res.Mesh1D != nil {
+		t.Fatalf("default RunSweep result = %+v, want exhaustive 1-D", res)
+	}
+	if len(res.Map1D.Thresholds) != s.Cfg.MaxExp1D+1 {
+		t.Errorf("default grid has %d points, want %d", len(res.Map1D.Thresholds), s.Cfg.MaxExp1D+1)
+	}
+	if !equalMap1D(res.Map1D, s.Sweep1D(plan.Figure1Plans())) {
+		t.Error("RunSweep and legacy Sweep1D disagree")
+	}
+
+	res, err = s.RunSweep(context.Background(), plan.Figure1Plans(),
+		core.WithAdaptive(s.adaptiveConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mesh1D == nil {
+		t.Error("WithAdaptive override produced no mesh")
+	}
+}
+
+func equalMap1D(a, b *core.Map1D) bool {
+	if len(a.Plans) != len(b.Plans) {
+		return false
+	}
+	for p := range a.Plans {
+		if a.Plans[p] != b.Plans[p] {
+			return false
+		}
+		for i := range a.Times[p] {
+			if a.Times[p][i] != b.Times[p][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestRunContextCancellation cancels an experiment from inside its first
+// sweep (via the progress callback, which fires on the first measured
+// cell) and requires RunContext to surface ctx.Err() with no artifacts
+// and to leave the study retryable.
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := SmallStudyConfig()
+	cfg.Rows = 1 << 14
+	cfg.Engine.Rows = cfg.Rows
+	cfg.MaxExp1D = 6
+	cfg.MaxExp2D = 5
+	cfg.Progress = func(core.Progress) { cancel() }
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	def, ok := Lookup("fig10") // 2-D figure: exercises the shared Map2D sweep
+	if !ok {
+		t.Fatal("fig10 not registered")
+	}
+	art, err := def.RunContext(ctx, s)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext err = %v, want context.Canceled", err)
+	}
+	if art != nil {
+		t.Fatal("cancelled experiment returned artifacts")
+	}
+	if s.Context() != context.Background() {
+		t.Error("RunContext did not restore the study context")
+	}
+
+	// The cancelled sweep must not have cached a partial map: a retry
+	// under a live context succeeds.
+	s.Cfg.Progress = nil
+	if _, _, err := s.Map2DContext(context.Background()); err != nil {
+		t.Fatalf("retry after cancellation failed: %v", err)
+	}
+	if art, err := def.RunContext(context.Background(), s); err != nil || art == nil {
+		t.Fatalf("retry RunContext = (%v, %v), want artifacts", art, err)
+	}
+}
+
+// TestRunContextPreCancelled pins the fast path: an already-cancelled
+// context runs nothing — even for experiments whose sweeps are already
+// cached, or legend experiments that sweep nothing at all.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := tinyRequestStudy(t)
+	def, _ := Lookup("fig1")
+	if _, err := def.RunContext(ctx, s); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// Warm the shared 2-D map, then require the cached path to honor
+	// cancellation too (a cancelled caller must not see a success).
+	if _, _, err := s.Map2DContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Map2DContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cached Map2DContext err = %v, want context.Canceled", err)
+	}
+	def10, _ := Lookup("fig10")
+	if _, err := def10.RunContext(ctx, s); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cached-map experiment err = %v, want context.Canceled", err)
+	}
+	legend, _ := Lookup("fig3")
+	if _, err := legend.RunContext(ctx, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("legend experiment err = %v, want context.Canceled", err)
+	}
+}

@@ -7,9 +7,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"robustmap/internal/cliutil"
 	"robustmap/internal/core"
 	"robustmap/internal/engine"
 	"robustmap/internal/plan"
@@ -49,6 +51,11 @@ type StudyConfig struct {
 	// studies), keyed by (system, plan, point). Positive values bound the
 	// entry count with LRU eviction, -1 means unbounded, 0 disables.
 	CacheSize int
+	// Progress, when set, observes every study sweep: it receives
+	// throttled core.Progress snapshots (measured/interpolated/total cell
+	// counts) plus a final report per sweep. Purely observational — map
+	// contents are unaffected.
+	Progress core.ProgressFunc
 	// Engine carries pool size, memory budget, and the I/O profile.
 	Engine engine.Config
 }
@@ -90,9 +97,32 @@ type Study struct {
 	SysB *engine.System
 	SysC *engine.System
 
+	ctx    context.Context    // sweep context; nil means Background
 	cache  *core.MeasureCache // shared across sweeps; nil when disabled
 	map2D  *core.Map2D        // all 13 plans over the 2-D grid; lazily built
 	mesh2D *core.Mesh2D       // refinement mesh of map2D when Refine is set
+}
+
+// studyInterrupt carries a sweep cancellation through the figure
+// functions, whose signatures predate context plumbing; RunContext
+// recovers it. (The sweep core uses the same panic discipline for its
+// row-count cross-checks.)
+type studyInterrupt struct{ err error }
+
+// SetContext installs the context the study's legacy-signature sweep
+// accessors (Sweep1D, Map2D) run under; nil restores context.Background().
+// When the context is cancelled mid-sweep those accessors panic with an
+// internal marker that Definition.RunContext converts back into the
+// context's error — use RunSweep or Map2DContext for plain error returns.
+// Studies are confined to one goroutine at a time, as before.
+func (s *Study) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// Context returns the study's sweep context (Background by default).
+func (s *Study) Context() context.Context {
+	if s.ctx == nil {
+		return context.Background()
+	}
+	return s.ctx
 }
 
 // NewStudy builds the three systems over the shared dataset parameters.
@@ -190,50 +220,92 @@ func (s *Study) AllSources() []core.PlanSource {
 	return out
 }
 
-// axis returns the fractions 2^-maxExp … 2^0 and the matching thresholds.
+// axis returns the fractions 2^-maxExp … 2^0 and the matching thresholds
+// — the same construction the CLIs use, so study grids and ad-hoc CLI
+// grids can never silently diverge.
 func axis(rows int64, maxExp int) (fractions []float64, thresholds []int64) {
-	for k := maxExp; k >= 0; k-- {
-		f := 1 / float64(int64(1)<<uint(k))
-		t := rows >> uint(k)
-		if t < 1 {
-			t = 1
-		}
-		fractions = append(fractions, f)
-		thresholds = append(thresholds, t)
+	return cliutil.SweepAxis(rows, maxExp)
+}
+
+// sweepOptions assembles the study-wide options every sweep shares: the
+// executor the Parallelism knob selects and the configured progress
+// observer. (The measurement cache is not an option here — study sources
+// are pre-wrapped with per-system cache scopes.)
+func (s *Study) sweepOptions() []core.SweepOption {
+	opts := []core.SweepOption{core.WithExecutor(s.Executor())}
+	if s.Cfg.Progress != nil {
+		opts = append(opts, core.WithProgress(s.Cfg.Progress))
 	}
-	return fractions, thresholds
+	return opts
+}
+
+// RunSweep runs an ad-hoc sweep of the given plans through the unified
+// options API, under ctx: by default a 1-D sweep of System A's plans over
+// the study's 1-D axis on the study's executor, with any of the defaults
+// overridable by trailing options (e.g. core.Grid2D for a custom grid, or
+// core.WithAdaptive to refine). Sources are cache-wrapped when the study
+// has a measurement cache. Cancelling ctx returns ctx.Err() with no
+// partial map.
+func (s *Study) RunSweep(ctx context.Context, plans []plan.Plan,
+	opts ...core.SweepOption) (*core.SweepResult, error) {
+	fr, th := axis(s.Cfg.Rows, s.Cfg.MaxExp1D)
+	var sources []core.PlanSource
+	for _, p := range plans {
+		sources = append(sources, s.source(s.SysA, p))
+	}
+	base := append([]core.SweepOption{core.Grid1D(fr, th)}, s.sweepOptions()...)
+	return core.NewSweep(sources, append(base, opts...)...).Run(ctx)
 }
 
 // Sweep1D runs the given plans over the study's 1-D axis on System A,
 // scheduled by the study's executor. Refine deliberately does not apply
 // here: the 1-D figure sweeps are a few dozen cells (the expense lives
 // in the shared 2-D map), and the 1-D figures make noise-scale landmark
-// claims that need exhaustive measurement. Use core.AdaptiveSweep1DWith
-// directly for adaptive 1-D sweeps.
+// claims that need exhaustive measurement. Use RunSweep with
+// core.WithAdaptive for adaptive 1-D sweeps.
 func (s *Study) Sweep1D(plans []plan.Plan) *core.Map1D {
-	fr, th := axis(s.Cfg.Rows, s.Cfg.MaxExp1D)
-	var sources []core.PlanSource
-	for _, p := range plans {
-		sources = append(sources, s.source(s.SysA, p))
+	res, err := s.RunSweep(s.Context(), plans)
+	if err != nil {
+		panic(studyInterrupt{err})
 	}
-	return core.Sweep1DWith(s.Executor(), sources, fr, th)
+	return res.Map1D
+}
+
+// Map2DContext returns the shared 13-plan 2-D sweep and (when Refine is
+// set) its mesh, computing them on first use under ctx with the study's
+// executor. This is the expensive part of the study: (MaxExp2D+1)² points
+// × 13 plans — unless Refine skips the redundant ones. On cancellation it
+// returns ctx.Err() and leaves the map uncomputed, so a later call can
+// retry.
+func (s *Study) Map2DContext(ctx context.Context) (*core.Map2D, *core.Mesh2D, error) {
+	// Cancellation applies to cache hits too: a caller that was just
+	// interrupted should not receive the cached map as a success.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if s.map2D == nil {
+		fr, th := axis(s.Cfg.Rows, s.Cfg.MaxExp2D)
+		opts := append([]core.SweepOption{core.Grid2D(fr, fr, th, th)}, s.sweepOptions()...)
+		if s.Cfg.Refine {
+			opts = append(opts, core.WithAdaptive(s.adaptiveConfig()))
+		}
+		res, err := core.NewSweep(s.AllSources(), opts...).Run(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.map2D, s.mesh2D = res.Map2D, res.Mesh2D
+	}
+	return s.map2D, s.mesh2D, nil
 }
 
 // Map2D returns the shared 13-plan 2-D sweep, computing it on first use
-// with the study's executor. This is the expensive part of the study:
-// (MaxExp2D+1)² points × 13 plans — unless Refine skips the redundant
-// ones.
+// under the study's context (see Map2DContext).
 func (s *Study) Map2D() *core.Map2D {
-	if s.map2D == nil {
-		fr, th := axis(s.Cfg.Rows, s.Cfg.MaxExp2D)
-		if s.Cfg.Refine {
-			s.map2D, s.mesh2D = core.AdaptiveSweep2DWith(s.Executor(),
-				s.AllSources(), fr, fr, th, th, s.adaptiveConfig())
-		} else {
-			s.map2D = core.Sweep2DWith(s.Executor(), s.AllSources(), fr, fr, th, th)
-		}
+	m, _, err := s.Map2DContext(s.Context())
+	if err != nil {
+		panic(studyInterrupt{err})
 	}
-	return s.map2D
+	return m
 }
 
 // Mesh2D returns the refinement mesh of the shared 2-D sweep: nil unless

@@ -26,28 +26,42 @@
 //	fmt.Println(art.ASCII)              // terminal robustness map
 //	os.WriteFile("fig1.svg", []byte(art.SVG), 0o644)
 //
-// Or map your own plans:
+// Or map your own plans through the unified sweep request API: one
+// request built from functional options, run under a context:
 //
 //	sys, _ := robustmap.SystemA(robustmap.DefaultEngineConfig())
-//	m := robustmap.Sweep1D(...)
+//	sw := robustmap.NewSweep(sources,
+//	    robustmap.Grid2D(fracs, fracs, ths, ths),
+//	    robustmap.WithParallelism(-1),
+//	    robustmap.WithAdaptive(robustmap.DefaultAdaptiveConfig()),
+//	    robustmap.WithProgress(func(p robustmap.Progress) { ... }))
+//	res, err := sw.Run(ctx) // ctx cancellation aborts cleanly
 //
-// Expensive sweeps can fan measurement cells out over worker goroutines
-// without changing a single measured value (StudyConfig.Parallelism, or
-// Sweep1DWith/Sweep2DWith with a ParallelExecutor). They can also skip
-// most of their cells: adaptive multi-resolution sweeps
-// (StudyConfig.Refine, or AdaptiveSweep1DWith/AdaptiveSweep2DWith)
-// measure a coarse lattice plus the winner boundaries and landmarks,
-// interpolate the constant-region interiors, and reproduce the exhaustive
-// winner and landmark maps exactly on the paper's study at roughly a
-// third of the measurements. A shared MeasureCache
-// (StudyConfig.CacheSize) memoizes cells across sweeps, so repeated
-// studies and refinement passes never re-measure a (plan, point) cell.
+// Every concern is an orthogonal option: executors fan measurement cells
+// out over worker goroutines without changing a single measured value
+// (WithParallelism / WithExecutor), adaptive multi-resolution sweeps
+// (WithAdaptive, or StudyConfig.Refine) measure a coarse lattice plus the
+// winner boundaries and landmarks, interpolate the constant-region
+// interiors, and reproduce the exhaustive winner and landmark maps
+// exactly on the paper's study at roughly a third of the measurements,
+// and a shared MeasureCache (WithCache, or StudyConfig.CacheSize)
+// memoizes cells across sweeps, so repeated studies and refinement passes
+// never re-measure a (plan, point) cell. Cancelling the context makes Run
+// return ctx.Err() promptly with no partial map and no leaked
+// goroutines, and WithProgress observes measured/interpolated/total cell
+// counts as the sweep runs.
+//
+// The positional entry points (Sweep1D … AdaptiveSweep2DWith) predate the
+// request API and remain as deprecated one-line shims over it.
 //
 // See the examples directory for complete programs, README.md for the
-// quick start and plan table, and DESIGN.md for the system inventory.
+// quick start and plan table, and DESIGN.md for the system inventory and
+// the legacy-to-options migration table.
 package robustmap
 
 import (
+	"context"
+
 	"robustmap/internal/core"
 	"robustmap/internal/engine"
 	"robustmap/internal/exec"
@@ -90,6 +104,19 @@ func RunExperiment(study *Study, id string) (*Artifacts, bool) {
 		return nil, false
 	}
 	return def.Run(study), true
+}
+
+// RunExperimentContext regenerates one paper artifact by id with the
+// study's sweeps under ctx: cancelling ctx aborts the sweep in flight and
+// returns ctx.Err() with no artifacts. The boolean reports whether the id
+// is known.
+func RunExperimentContext(ctx context.Context, study *Study, id string) (*Artifacts, bool, error) {
+	def, ok := experiments.Lookup(id)
+	if !ok {
+		return nil, false, nil
+	}
+	art, err := def.RunContext(ctx, study)
+	return art, true, err
 }
 
 // Per-figure regenerators, plus the §3.3/§4 extension experiments.
@@ -225,9 +252,67 @@ type RegionStats = core.RegionStats
 // RobustnessSummary condenses a relative map into headline numbers.
 type RobustnessSummary = core.RobustnessSummary
 
+// The unified sweep request API ---------------------------------------------
+
+// Sweep is one configured sweep request: build it with NewSweep from
+// functional options, run it with Run(ctx). Cancelling the context makes
+// Run return ctx.Err() promptly with no partial map and no leaked
+// goroutines.
+type Sweep = core.Sweep
+
+// SweepOption configures a Sweep (grid, executor, cache, adaptivity,
+// progress, tolerance); options compose orthogonally.
+type SweepOption = core.SweepOption
+
+// SweepResult carries a run's maps: Map1D/Mesh1D for Grid1D sweeps,
+// Map2D/Mesh2D for Grid2D sweeps (meshes only when adaptive).
+type SweepResult = core.SweepResult
+
+// Progress is a snapshot of a running sweep: measured, interpolated, and
+// total cell counts, with Done marking the final report.
+type Progress = core.Progress
+
+// ProgressFunc observes sweep progress; see WithProgress.
+type ProgressFunc = core.ProgressFunc
+
+// NewSweep builds a sweep request over plan sources: exactly one grid
+// option plus any orthogonal options.
+func NewSweep(plans []PlanSource, opts ...SweepOption) *Sweep {
+	return core.NewSweep(plans, opts...)
+}
+
+// Sweep request options; see the core package for full contracts.
+var (
+	// Grid1D sweeps one predicate over fractions/thresholds.
+	Grid1D = core.Grid1D
+	// Grid2D sweeps the two-predicate (ta, tb) grid.
+	Grid2D = core.Grid2D
+	// WithExecutor schedules cells on the given executor.
+	WithExecutor = core.WithExecutor
+	// WithParallelism is WithExecutor(NewExecutor(n)).
+	WithParallelism = core.WithParallelism
+	// WithCache memoizes measurements in a MeasureCache.
+	WithCache = core.WithCache
+	// WithCacheScope names the system behind the sources for cache keys.
+	WithCacheScope = core.WithCacheScope
+	// WithAdaptive switches to the adaptive multi-resolution sweeper.
+	WithAdaptive = core.WithAdaptive
+	// WithTolerance overrides the adaptive interpolation error bound with
+	// a §3.4 practical-equivalence tolerance.
+	WithTolerance = core.WithTolerance
+	// WithProgress reports throttled Progress snapshots to the callback.
+	WithProgress = core.WithProgress
+	// WithProgressInterval tunes the progress throttle (0 = every cell).
+	WithProgressInterval = core.WithProgressInterval
+)
+
 // SweepExecutor schedules a sweep's (plan, point) measurement cells;
 // serial and parallel implementations produce identical maps.
 type SweepExecutor = core.SweepExecutor
+
+// ContextExecutor is a SweepExecutor that additionally supports
+// cooperative cancellation; both built-in executors implement it.
+type ContextExecutor = core.ContextExecutor
 
 // SerialExecutor measures cells one at a time — the default.
 type SerialExecutor = core.SerialExecutor
@@ -241,6 +326,8 @@ type ParallelExecutor = core.ParallelExecutor
 func NewExecutor(parallelism int) SweepExecutor { return core.NewExecutor(parallelism) }
 
 // Sweep1D measures plans across selectivity fractions, serially.
+//
+// Deprecated: use NewSweep with Grid1D.
 func Sweep1D(plans []PlanSource, fractions []float64, thresholds []int64) *Map1D {
 	return core.Sweep1D(plans, fractions, thresholds)
 }
@@ -248,17 +335,23 @@ func Sweep1D(plans []PlanSource, fractions []float64, thresholds []int64) *Map1D
 // Sweep1DWith is Sweep1D scheduled by the given executor. Parallel
 // executors require concurrency-safe plan sources; PlanSourceFor returns
 // such sources.
+//
+// Deprecated: use NewSweep with Grid1D and WithExecutor.
 func Sweep1DWith(ex SweepExecutor, plans []PlanSource, fractions []float64,
 	thresholds []int64) *Map1D {
 	return core.Sweep1DWith(ex, plans, fractions, thresholds)
 }
 
 // Sweep2D measures plans over a 2-D selectivity grid, serially.
+//
+// Deprecated: use NewSweep with Grid2D.
 func Sweep2D(plans []PlanSource, fracA, fracB []float64, ta, tb []int64) *Map2D {
 	return core.Sweep2D(plans, fracA, fracB, ta, tb)
 }
 
 // Sweep2DWith is Sweep2D scheduled by the given executor.
+//
+// Deprecated: use NewSweep with Grid2D and WithExecutor.
 func Sweep2DWith(ex SweepExecutor, plans []PlanSource, fracA, fracB []float64,
 	ta, tb []int64) *Map2D {
 	return core.Sweep2DWith(ex, plans, fracA, fracB, ta, tb)
@@ -284,19 +377,27 @@ type Mesh2D = core.Mesh2D
 var DefaultAdaptiveConfig = core.DefaultAdaptiveConfig
 
 // AdaptiveSweep1D runs an adaptive 1-D sweep serially with defaults.
+//
+// Deprecated: use NewSweep with Grid1D and WithAdaptive.
 var AdaptiveSweep1D = core.AdaptiveSweep1D
 
 // AdaptiveSweep1DWith measures an adaptive 1-D sweep on the given
 // executor: coarse pass, winner-change and model-misfit bisection,
 // landmark/guard stabilization, model fill. Measured cells are
 // bit-identical to the exhaustive sweep's at any worker count.
+//
+// Deprecated: use NewSweep with Grid1D, WithExecutor, and WithAdaptive.
 var AdaptiveSweep1DWith = core.AdaptiveSweep1DWith
 
 // AdaptiveSweep2D runs an adaptive 2-D sweep serially with defaults.
+//
+// Deprecated: use NewSweep with Grid2D and WithAdaptive.
 var AdaptiveSweep2D = core.AdaptiveSweep2D
 
 // AdaptiveSweep2DWith is the 2-D adaptive sweep on the given executor;
 // see AdaptiveSweep1DWith for the contract.
+//
+// Deprecated: use NewSweep with Grid2D, WithExecutor, and WithAdaptive.
 var AdaptiveSweep2DWith = core.AdaptiveSweep2DWith
 
 // MeasureCache memoizes measurements across sweeps, keyed by

@@ -3,6 +3,9 @@ package robustmap
 // Tests of the public facade: a downstream user's view of the library.
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -39,6 +42,60 @@ func TestFacadeSweep1D(t *testing.T) {
 	}, 40, 10, "facade test")
 	if !strings.Contains(chart, "improved") {
 		t.Error("chart missing series")
+	}
+}
+
+// TestFacadeSweepRequest exercises the options API end to end through
+// the facade: grid + parallelism + cache + progress, equivalence with
+// the legacy shim, and context cancellation.
+func TestFacadeSweepRequest(t *testing.T) {
+	sys := facadeSystem(t)
+	plans := []PlanSource{
+		PlanSourceFor(sys, Figure1Plans()[0]),
+		PlanSourceFor(sys, Figure1Plans()[2]),
+	}
+	fractions := []float64{1.0 / 1024, 1.0 / 32, 1}
+	thresholds := []int64{sys.Rows() / 1024, sys.Rows() / 32, sys.Rows()}
+
+	var final Progress
+	res, err := NewSweep(plans,
+		Grid1D(fractions, thresholds),
+		WithParallelism(2),
+		WithCache(NewMeasureCache(0)),
+		WithCacheScope("A"),
+		WithProgress(func(p Progress) {
+			if p.Done {
+				final = p
+			}
+		}),
+		WithProgressInterval(0)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Map1D, Sweep1D(plans, fractions, thresholds)) {
+		t.Error("request API map differs from the legacy shim's")
+	}
+	want := len(plans) * len(thresholds)
+	if !final.Done || final.MeasuredCells != want {
+		t.Errorf("final progress = %+v, want Done with %d cells", final, want)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewSweep(plans, Grid1D(fractions, thresholds)).Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled Run err = %v", err)
+	}
+}
+
+// TestFacadeRunExperimentContext pins the cancellable experiment entry
+// point: unknown ids are reported, and a cancelled context aborts.
+func TestFacadeRunExperimentContext(t *testing.T) {
+	if _, ok, err := RunExperimentContext(context.Background(), nil, "unknown"); ok || err != nil {
+		t.Errorf("unknown id = (%v, %v)", ok, err)
+	}
+	art, ok, err := RunExperimentContext(context.Background(), nil, "fig3") // legend: no sweeps
+	if !ok || err != nil || art == nil || !art.Passed() {
+		t.Errorf("fig3 = (%v, %v, %v)", art, ok, err)
 	}
 }
 
