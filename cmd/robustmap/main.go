@@ -5,6 +5,7 @@
 //	robustmap -list
 //	robustmap -exp fig1 [-out DIR] [-rows N] [-small]
 //	robustmap -all [-out DIR]
+//	robustmap -exp fig7 -server http://127.0.0.1:8421   # sweeps on a daemon
 //
 // Each experiment writes its artifacts (summary.txt, data.csv, map.txt,
 // map.svg, and map.ppm where applicable) under DIR/<id>/ and prints the
@@ -27,6 +28,7 @@ import (
 
 	"robustmap/internal/cliutil"
 	"robustmap/internal/experiments"
+	"robustmap/internal/httpapi"
 )
 
 func main() {
@@ -41,6 +43,7 @@ func main() {
 		refine   = flag.Bool("refine", false, "adaptive multi-resolution sweeps: measure the coarse lattice, winner boundaries, and landmarks; interpolate constant regions")
 		cache    = flag.Int("cache", 0, "measurement cache entries shared across sweeps (0 = off, -1 = unbounded)")
 		progress = flag.Bool("progress", false, "render a live measured-cell count line on stderr for every sweep")
+		server   = flag.String("server", "", "run the study's standard sweeps as jobs on the robustmapd at this base URL (local experiments still render the artifacts)")
 	)
 	flag.Parse()
 	fatalf := func(format string, args ...any) {
@@ -94,6 +97,9 @@ func main() {
 	cfg.CacheSize = *cache
 	if *progress {
 		cfg.Progress = cliutil.ProgressLine(os.Stderr)
+	}
+	if *server != "" {
+		cfg.Service = httpapi.NewClient(*server)
 	}
 
 	fmt.Fprintf(os.Stderr, "building systems A, B, C (%d rows)...\n", cfg.Rows)

@@ -1,0 +1,134 @@
+// Command robustmapd serves robustness-map sweeps as jobs over JSON
+// REST — the daemon half of the service API. Any number of clients
+// (cmd/sweep -server, the httpapi.Client, or plain curl) submit
+// declarative sweep requests; the daemon schedules them on a bounded
+// worker pool with priority admission, streams progress over SSE, and
+// shares one measurement cache across every job, so repeated studies
+// never re-measure a (system, plan, point) cell.
+//
+// Usage:
+//
+//	robustmapd                                  # 127.0.0.1:8421, workers = CPUs
+//	robustmapd -addr :9000 -workers 4 -cache -1 # bounded pool, unbounded cache
+//
+// Walkthrough:
+//
+//	curl -s -X POST localhost:8421/v1/jobs \
+//	    -d '{"plans":["A1","A2"],"rows":65536,"max_exp":10}'
+//	curl -s localhost:8421/v1/jobs/job-000001          # status
+//	curl -N  localhost:8421/v1/jobs/job-000001/watch   # SSE progress
+//	curl -s localhost:8421/v1/jobs/job-000001/result   # the maps
+//	curl -s -X DELETE localhost:8421/v1/jobs/job-000001
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: the listener stops,
+// running jobs finish (up to -grace), then stragglers are cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"robustmap/internal/cliutil"
+	"robustmap/internal/httpapi"
+	"robustmap/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8421", "listen address")
+		workers = flag.Int("workers", -1, "concurrent jobs (-1 = all CPUs)")
+		queue   = flag.Int("queue", 0, "admission queue limit (0 = unbounded)")
+		cache   = flag.Int("cache", -1, "measurement cache entries shared across jobs (0 = off, -1 = unbounded)")
+		ttl     = flag.Duration("job-ttl", time.Hour, "retention of finished jobs before GC (0 = keep forever)")
+		grace   = flag.Duration("grace", 30*time.Second, "graceful drain budget on shutdown before jobs are cancelled")
+		quiet   = flag.Bool("quiet", false, "suppress per-request logging")
+	)
+	flag.Parse()
+	fatalf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "error: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *workers == 0 || *workers < -1 {
+		fatalf("-workers must be -1 (all CPUs) or at least 1, got %d", *workers)
+	}
+	if *queue < 0 {
+		fatalf("-queue must be 0 (unbounded) or positive, got %d", *queue)
+	}
+	if err := cliutil.ValidateCacheSize(*cache); err != nil {
+		fatalf("%v", err)
+	}
+	if *ttl < 0 || *grace < 0 {
+		fatalf("-job-ttl and -grace must not be negative")
+	}
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	svc := service.NewLocal(service.LocalConfig{
+		Workers:    *workers,
+		QueueLimit: *queue,
+		TTL:        *ttl,
+		CacheSize:  *cache,
+	})
+	// Request contexts derive from streamCtx so shutdown can end the
+	// open SSE watch streams: they otherwise hold their connections
+	// until a job goes terminal, and srv.Shutdown would burn the whole
+	// grace budget waiting on them instead of on the jobs.
+	streamCtx, stopStreams := context.WithCancel(context.Background())
+	defer stopStreams()
+	srv := &http.Server{
+		Addr:        *addr,
+		Handler:     httpapi.NewServer(svc, httpapi.WithLogger(logf)),
+		BaseContext: func(net.Listener) context.Context { return streamCtx },
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("robustmapd: serving on %s (workers=%d cache=%d job-ttl=%s)",
+			*addr, *workers, *cache, *ttl)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// The listener died before any signal: a bad -addr, usually.
+		log.Fatalf("robustmapd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("robustmapd: shutting down, draining for up to %s", *grace)
+
+	// Refuse new jobs first, end the watch streams (their clients fall
+	// back to polling Status), then stop the listener — in-flight plain
+	// requests finish — and only then drain the scheduler, so running
+	// jobs get the whole grace budget.
+	svc.Drain()
+	stopStreams()
+	dctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("robustmapd: listener shutdown: %v", err)
+	}
+	if err := svc.Close(dctx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("robustmapd: grace period elapsed, remaining jobs cancelled")
+		} else {
+			log.Printf("robustmapd: drain: %v", err)
+		}
+	}
+	st := svc.CacheStats()
+	log.Printf("robustmapd: stopped (cache: %d hits, %d misses, %d entries)",
+		st.Hits, st.Misses, st.Size)
+}

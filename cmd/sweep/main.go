@@ -7,13 +7,17 @@
 //	sweep -plans A1,A2,F1-trad -rows 65536 -max-exp 12          # 1-D
 //	sweep -plans A1,A2,A4,B1,C1 -rows 65536 -max-exp 8 -grid    # 2-D
 //	sweep -plans A1,B1,C1 -grid -refine -parallel -1 -progress  # adaptive
+//	sweep -server http://127.0.0.1:8421 -plans A1,A2            # remote
 //
 // Plan ids: A1..A7 (System A), B1..B4 (System B), C1..C2 (System C),
 // F1-trad, F2-merge-ab, F2-merge-ba, F2-hash-ab, F2-hash-ba.
 //
-// Sweeps run under a signal-aware context: the first SIGINT/SIGTERM
-// cancels the sweep (workers drain, nothing partial is printed) and the
-// command exits 130.
+// Every sweep is a job submitted through the robustmap service API: by
+// default to an in-process service (same engine, same scheduling as the
+// daemon), or with -server to a running robustmapd — the request, the
+// progress stream, and the resulting maps are identical either way.
+// The first SIGINT/SIGTERM cancels the job (local or remote: workers
+// drain, nothing partial is printed) and the command exits 130.
 package main
 
 import (
@@ -29,9 +33,9 @@ import (
 
 	"robustmap/internal/cliutil"
 	"robustmap/internal/core"
-	"robustmap/internal/engine"
 	"robustmap/internal/experiments"
-	"robustmap/internal/plan"
+	"robustmap/internal/httpapi"
+	"robustmap/internal/service"
 	"robustmap/internal/vis"
 )
 
@@ -44,8 +48,9 @@ func main() {
 		relative = flag.Bool("relative", false, "render relative to the best plan")
 		parallel = flag.Int("parallel", 1, "sweep worker goroutines (1 = serial, -1 = all CPUs); results are identical at any setting")
 		refine   = flag.Bool("refine", false, "adaptive multi-resolution sweep: measure the coarse lattice, winner boundaries, and landmarks; interpolate constant regions")
-		cache    = flag.Int("cache", 0, "measurement cache entries (0 = off, -1 = unbounded); repeated cells are never re-measured")
+		cache    = flag.Int("cache", 0, "measurement cache entries (0 = off, -1 = unbounded); repeated cells are never re-measured (in-process sweeps; a daemon manages its own cache)")
 		progress = flag.Bool("progress", false, "render a live measured-cell count line on stderr")
+		server   = flag.String("server", "", "submit to a robustmapd at this base URL instead of sweeping in process")
 	)
 	flag.Parse()
 	fatalf := func(format string, args ...any) {
@@ -62,137 +67,99 @@ func main() {
 			fatalf("%v", err)
 		}
 	}
-
-	all := map[string]plan.Plan{}
-	systems := map[string]string{}
-	for _, p := range plan.AllPlans() {
-		all[p.ID] = p
-		systems[p.ID] = p.System
-	}
-	for _, p := range plan.Figure2Plans() {
-		all[p.ID] = p
-		systems[p.ID] = p.System
-	}
-
-	twoPred := map[string]bool{}
-	for _, p := range plan.AllPlans() {
-		twoPred[p.ID] = true
-	}
 	var ids []string
 	for _, id := range strings.Split(*planList, ",") {
-		id = strings.TrimSpace(id)
-		if _, ok := all[id]; !ok {
-			fatalf("unknown plan %q (known: A1..A7, B1..B4, C1..C2, F1-trad, F2-merge-ab, F2-merge-ba, F2-hash-ab, F2-hash-ba)", id)
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
 		}
-		if *grid && !twoPred[id] {
-			fatalf("plan %q is a single-predicate Figure 1/2 extra; -grid sweeps take the two-predicate study plans A1..A7, B1..B4, C1..C2", id)
-		}
-		ids = append(ids, id)
 	}
-	if len(ids) == 0 {
-		fatalf("-plans lists no plans")
-	}
-
-	cfg := engine.DefaultConfig()
-	cfg.Rows = *rows
-	built := map[string]*engine.System{}
-	getSys := func(name string) *engine.System {
-		if s, ok := built[name]; ok {
-			return s
-		}
-		var s *engine.System
-		var err error
-		switch name {
-		case "A":
-			s, err = engine.SystemA(cfg)
-		case "B":
-			s, err = engine.SystemB(cfg)
-		case "C":
-			s, err = engine.SystemC(cfg)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
-		}
-		built[name] = s
-		return s
+	req := service.Request{
+		Plans:       ids,
+		Rows:        *rows,
+		MaxExp:      *maxExp,
+		Grid2D:      *grid,
+		Parallelism: *parallel,
+		Refine:      *refine,
 	}
 
-	var mcache *core.MeasureCache
-	if *cache != 0 {
-		// NewMeasureCache treats negative capacities as unbounded.
-		mcache = core.NewMeasureCache(*cache)
-	}
-	// Sources are cache-wrapped here rather than via WithCache: the plan
-	// list may span several systems, and each needs its own cache scope.
-	var sources []core.PlanSource
-	var oracle *engine.System
-	for _, id := range ids {
-		sys := getSys(systems[id])
-		if oracle == nil {
-			oracle = sys
+	// The sweep runs as a submitted job either way; only the service
+	// behind the submission differs.
+	var (
+		svc   service.Service
+		local *service.Local
+	)
+	if *server != "" {
+		if *cache != 0 {
+			fmt.Fprintln(os.Stderr, "note: -cache is ignored with -server; the daemon manages its own cache")
 		}
-		pp := all[id]
-		src := core.PlanSource{ID: id, Measure: func(ta, tb int64) core.Measurement {
-			r := sys.RunShared(pp, plan.Query{TA: ta, TB: tb})
-			return core.Measurement{Time: r.Time, Rows: r.Rows}
-		}}
-		sources = append(sources, mcache.Wrap(sys.Name, src))
-	}
-
-	// One options list drives every sweep shape; the flags map onto it
-	// orthogonally instead of selecting one of eight entry points.
-	fracs, ths := cliutil.SweepAxis(*rows, *maxExp)
-	opts := []core.SweepOption{core.WithParallelism(*parallel)}
-	if *grid {
-		opts = append(opts, core.Grid2D(fracs, fracs, ths, ths))
+		svc = httpapi.NewClient(*server)
 	} else {
-		opts = append(opts, core.Grid1D(fracs, ths))
+		local = service.NewLocal(service.LocalConfig{Workers: 1, CacheSize: *cache})
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = local.Close(ctx)
+		}()
+		svc = local
 	}
-	if *refine {
-		acfg := core.DefaultAdaptiveConfig()
-		acfg.ResultSize = func(ta, tb int64) int64 {
-			return oracle.ResultSize(plan.Query{TA: ta, TB: tb})
-		}
-		opts = append(opts, core.WithAdaptive(acfg))
-	}
+
+	var onProgress core.ProgressFunc
 	if *progress {
-		opts = append(opts, core.WithProgress(cliutil.ProgressLine(os.Stderr)),
-			core.WithProgressInterval(50*time.Millisecond))
+		onProgress = cliutil.ProgressLine(os.Stderr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	res, err := core.NewSweep(sources, opts...).Run(ctx)
+	res, err := service.Run(ctx, svc, req, onProgress)
 	if err != nil {
-		if errors.Is(err, context.Canceled) {
+		switch {
+		case errors.Is(err, context.Canceled):
 			fmt.Fprintln(os.Stderr, "\ninterrupted: sweep cancelled, no map produced")
 			os.Exit(130)
+		case errors.Is(err, service.ErrInvalidRequest):
+			fatalf("%v", err)
+		default:
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
 		}
-		fatalf("%v", err)
 	}
 
+	fracs, _ := core.SweepAxis(*rows, *maxExp)
 	if !*grid {
-		m, mesh := res.Map1D, res.Mesh1D
-		if mesh != nil {
-			fmt.Fprintf(os.Stderr, "adaptive: measured %d of %d cells (%.0f%%)\n",
-				mesh.MeasuredCells, mesh.TotalCells, mesh.MeasuredFraction()*100)
-		}
-		series := map[string][]time.Duration{}
-		for _, id := range ids {
-			series[id] = m.Series(id)
-		}
-		fmt.Println(vis.LineChartASCII(fracs, series, 72, 20,
-			fmt.Sprintf("1-D sweep, %d rows", *rows)))
-		for _, id := range ids {
-			st := core.SummarizeCurve(m.Rows, m.Series(id))
-			fmt.Printf("%-12s min=%v max=%v max/min=%.1f landmarks=%d\n",
-				id, st.Min, st.Max, st.MaxOverMin, st.Landmarks)
-		}
-		reportCache(mcache)
-		return
+		render1D(res, ids, fracs, *rows)
+	} else {
+		render2D(res, ids, fracs, *relative)
 	}
+	if local != nil && *cache != 0 {
+		st := local.CacheStats()
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d evictions, %d entries\n",
+			st.Hits, st.Misses, st.Evictions, st.Size)
+	}
+}
 
+// render1D prints the line chart and per-plan curve summaries.
+func render1D(res *service.Result, ids []string, fracs []float64, rows int64) {
+	m, mesh := res.Map1D, res.Mesh1D
+	if mesh != nil {
+		fmt.Fprintf(os.Stderr, "adaptive: measured %d of %d cells (%.0f%%)\n",
+			mesh.MeasuredCells, mesh.TotalCells, mesh.MeasuredFraction()*100)
+	}
+	series := map[string][]time.Duration{}
+	for _, id := range ids {
+		series[id] = m.Series(id)
+	}
+	fmt.Println(vis.LineChartASCII(fracs, series, 72, 20,
+		fmt.Sprintf("1-D sweep, %d rows", rows)))
+	for _, id := range ids {
+		st := core.SummarizeCurve(m.Rows, m.Series(id))
+		fmt.Printf("%-12s min=%v max=%v max/min=%.1f landmarks=%d\n",
+			id, st.Min, st.Max, st.MaxOverMin, st.Landmarks)
+	}
+}
+
+// render2D prints the heat map (absolute or relative) and, for adaptive
+// sweeps, the refinement mesh.
+func render2D(res *service.Result, ids []string, fracs []float64, relative bool) {
 	m, mesh := res.Map2D, res.Mesh2D
 	if mesh != nil {
 		fmt.Fprintf(os.Stderr, "adaptive: measured %d of %d cells (%.0f%%; refine %d, landmark %d, guard %d)\n",
@@ -201,7 +168,7 @@ func main() {
 	}
 	labels := experiments.FractionLabels(fracs)
 	first := ids[0]
-	if *relative {
+	if relative {
 		rel := m.RelativeGrid(first)
 		bins := core.BinGridRelative(rel, core.DefaultRelativeBins())
 		fmt.Println(vis.HeatMapASCII(bins, vis.GlyphsRelative, labels, labels,
@@ -219,17 +186,6 @@ func main() {
 		fmt.Println(vis.RegionASCII(mesh.Points, labels,
 			"refinement mesh: measured points (#) vs interpolated (.)"))
 	}
-	reportCache(mcache)
-}
-
-// reportCache prints cache effectiveness when a cache was configured.
-func reportCache(c *core.MeasureCache) {
-	if c == nil {
-		return
-	}
-	st := c.Stats()
-	fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d evictions, %d entries\n",
-		st.Hits, st.Misses, st.Evictions, st.Size)
 }
 
 func absLabels() []string {

@@ -1,5 +1,7 @@
 // Quickstart: build a small database system, run two fixed plans over a
-// range of selectivities, and print a robustness map.
+// range of selectivities, and print a robustness map — first as a
+// direct in-process sweep, then the same study submitted as a job
+// through the service API, proving both paths produce the same map.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,8 +10,10 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"reflect"
 	"time"
 
+	"robustmap"
 	"robustmap/internal/core"
 	"robustmap/internal/engine"
 	"robustmap/internal/plan"
@@ -34,12 +38,9 @@ func main() {
 	// Sweep selectivities 2^-14 .. 2^0 and measure both plans. (The sweep
 	// must reach fractions where a handful of point fetches beats reading
 	// every page — below roughly seek/transfer ≈ 2^-12 of the table.)
-	var fractions []float64
-	var thresholds []int64
-	for k := 14; k >= 0; k-- {
-		fractions = append(fractions, 1/float64(int64(1)<<uint(k)))
-		thresholds = append(thresholds, cfg.Rows>>uint(k))
-	}
+	// SweepAxis is the same construction job requests use, which is what
+	// makes part 2's byte-identity comparison below airtight.
+	fractions, thresholds := core.SweepAxis(cfg.Rows, 14)
 	src := func(p plan.Plan) core.PlanSource {
 		return core.PlanSource{ID: p.ID, Measure: func(ta, tb int64) core.Measurement {
 			r := sys.Run(p, plan.Query{TA: ta, TB: tb})
@@ -70,4 +71,46 @@ func main() {
 	fmt.Println("\nThe table scan is flat; the improved index scan wins at low")
 	fmt.Println("selectivities and degrades to a bounded factor at high ones —")
 	fmt.Println("Figure 1 of the paper, regenerated.")
+
+	// Part 2: the same study submitted as a job through the service API.
+	// A Service turns the blocking sweep above into Submit / Status /
+	// Result; robustmap.NewRemoteService("http://...") would run the
+	// identical code against a robustmapd daemon.
+	svc := robustmap.NewLocalService(robustmap.LocalServiceConfig{Workers: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = svc.Close(ctx)
+	}()
+
+	id, err := svc.Submit(context.Background(), robustmap.JobRequest{
+		Plans:  []string{"A1", "A2"},
+		Rows:   cfg.Rows,
+		MaxExp: 14,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsubmitted the same sweep as job %s; polling...\n", id)
+	var st robustmap.JobStatus
+	for {
+		if st, err = svc.Status(context.Background(), id); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  state=%-9s measured %d/%d cells\n",
+			st.State, st.Progress.MeasuredCells, st.Progress.TotalCells)
+		if st.State.Terminal() {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if st.State != robustmap.JobSucceeded {
+		log.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	jobRes, err := svc.Result(context.Background(), id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job map identical to the direct sweep: %v\n",
+		reflect.DeepEqual(jobRes.Map1D.Times, m.Times))
 }

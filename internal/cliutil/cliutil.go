@@ -7,7 +7,9 @@ package cliutil
 import (
 	"fmt"
 	"io"
+	"os"
 	"sync"
+	"time"
 
 	"robustmap/internal/core"
 )
@@ -56,43 +58,73 @@ func ValidateCacheSize(cache int) error {
 	return nil
 }
 
-// SweepAxis returns the selectivity fractions 2^-maxExp .. 2^0 and the
-// matching predicate thresholds over a table of the given cardinality
-// (thresholds are floored at 1 so every point selects something).
-func SweepAxis(rows int64, maxExp int) (fractions []float64, thresholds []int64) {
-	for k := maxExp; k >= 0; k-- {
-		fractions = append(fractions, 1/float64(int64(1)<<uint(k)))
-		t := rows >> uint(k)
-		if t < 1 {
-			t = 1
-		}
-		thresholds = append(thresholds, t)
-	}
-	return fractions, thresholds
-}
-
 // ProgressLine returns a core.ProgressFunc that renders a live
-// carriage-return cell-count line to w, e.g.
+// cell-count line to w, e.g.
 //
 //	sweep: 1234/4096 cells measured
 //
 // and finishes the line (with the interpolated count, when the sweep
-// interpolated) on the final report. Safe for the sweep's worker
-// goroutines; writes are serialized.
+// interpolated) on the final report. When w is a terminal the line is
+// rewritten in place with carriage returns; otherwise — CI logs, pipes,
+// redirected files — each update is a plain newline-terminated line,
+// throttled to about one per second so logs stay readable. Safe for
+// the sweep's worker goroutines; writes are serialized.
 func ProgressLine(w io.Writer) core.ProgressFunc {
-	var mu sync.Mutex
+	return ProgressLineMode(w, IsTerminal(w))
+}
+
+// nonTTYThrottle spaces out plain-line progress updates: a rewritten
+// terminal line costs nothing, but every non-TTY update is a log line
+// of its own.
+const nonTTYThrottle = time.Second
+
+// ProgressLineMode is ProgressLine with the terminal detection pinned —
+// exposed for tests and for callers that know better than Stat (e.g. a
+// pseudo-terminal behind a pipe).
+func ProgressLineMode(w io.Writer, tty bool) core.ProgressFunc {
+	var (
+		mu       sync.Mutex
+		lastLine time.Time
+	)
 	return func(p core.Progress) {
 		mu.Lock()
 		defer mu.Unlock()
+		if tty {
+			if !p.Done {
+				fmt.Fprintf(w, "\rsweep: %d/%d cells measured", p.MeasuredCells, p.TotalCells)
+				return
+			}
+			fmt.Fprintf(w, "\rsweep: %s\n", finalCounts(p))
+			return
+		}
 		if !p.Done {
-			fmt.Fprintf(w, "\rsweep: %d/%d cells measured", p.MeasuredCells, p.TotalCells)
+			if time.Since(lastLine) < nonTTYThrottle {
+				return
+			}
+			lastLine = time.Now()
+			fmt.Fprintf(w, "sweep: %d/%d cells measured\n", p.MeasuredCells, p.TotalCells)
 			return
 		}
-		if p.InterpolatedCells > 0 {
-			fmt.Fprintf(w, "\rsweep: %d/%d cells measured, %d interpolated\n",
-				p.MeasuredCells, p.TotalCells, p.InterpolatedCells)
-			return
-		}
-		fmt.Fprintf(w, "\rsweep: %d/%d cells measured\n", p.MeasuredCells, p.TotalCells)
+		fmt.Fprintf(w, "sweep: %s\n", finalCounts(p))
 	}
+}
+
+// finalCounts renders the Done report's cell counts.
+func finalCounts(p core.Progress) string {
+	if p.InterpolatedCells > 0 {
+		return fmt.Sprintf("%d/%d cells measured, %d interpolated",
+			p.MeasuredCells, p.TotalCells, p.InterpolatedCells)
+	}
+	return fmt.Sprintf("%d/%d cells measured", p.MeasuredCells, p.TotalCells)
+}
+
+// IsTerminal reports whether w is a character device — a real terminal
+// rather than a pipe, file, or in-memory buffer.
+func IsTerminal(w io.Writer) bool {
+	f, ok := w.(*os.File)
+	if !ok {
+		return false
+	}
+	st, err := f.Stat()
+	return err == nil && st.Mode()&os.ModeCharDevice != 0
 }

@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"os"
 	"strings"
 	"testing"
 
@@ -52,41 +53,81 @@ func TestFlagValidation(t *testing.T) {
 	}
 }
 
-func TestSweepAxis(t *testing.T) {
-	fr, th := SweepAxis(1<<10, 4)
-	if len(fr) != 5 || len(th) != 5 {
-		t.Fatalf("axis lengths = %d, %d, want 5", len(fr), len(th))
-	}
-	wantFr := []float64{1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2, 1}
-	wantTh := []int64{64, 128, 256, 512, 1024}
-	for i := range fr {
-		if fr[i] != wantFr[i] || th[i] != wantTh[i] {
-			t.Fatalf("axis[%d] = (%g, %d), want (%g, %d)", i, fr[i], th[i], wantFr[i], wantTh[i])
-		}
-	}
-	// Thresholds floor at 1 when the fraction selects less than a row.
-	_, th = SweepAxis(4, 4)
-	if th[0] != 1 {
-		t.Fatalf("threshold floor = %d, want 1", th[0])
-	}
-}
-
 func TestProgressLine(t *testing.T) {
+	// A strings.Builder is not a terminal, so ProgressLine autodetects
+	// plain-line mode: newline-terminated lines, no \r rewriting.
 	var b strings.Builder
 	fn := ProgressLine(&b)
 	fn(core.Progress{MeasuredCells: 3, TotalCells: 10})
 	fn(core.Progress{MeasuredCells: 10, TotalCells: 10, Done: true})
 	out := b.String()
-	if !strings.Contains(out, "3/10 cells measured") {
+	if !strings.Contains(out, "3/10 cells measured\n") {
 		t.Errorf("missing interim line: %q", out)
 	}
 	if !strings.Contains(out, "10/10 cells measured\n") {
 		t.Errorf("final line not terminated: %q", out)
+	}
+	if strings.Contains(out, "\r") {
+		t.Errorf("non-TTY output rewrites with \\r: %q", out)
 	}
 
 	b.Reset()
 	ProgressLine(&b)(core.Progress{MeasuredCells: 4, InterpolatedCells: 6, TotalCells: 10, Done: true})
 	if !strings.Contains(b.String(), "6 interpolated") {
 		t.Errorf("adaptive final line missing interpolated count: %q", b.String())
+	}
+}
+
+func TestProgressLineNonTTYThrottle(t *testing.T) {
+	// Rapid interim reports collapse to the first line (plus the final
+	// report, which always prints) so CI logs stay readable.
+	var b strings.Builder
+	fn := ProgressLineMode(&b, false)
+	for i := 1; i <= 100; i++ {
+		fn(core.Progress{MeasuredCells: i, TotalCells: 100})
+	}
+	fn(core.Progress{MeasuredCells: 100, TotalCells: 100, Done: true})
+	lines := strings.Count(b.String(), "\n")
+	if lines != 2 {
+		t.Errorf("rapid updates produced %d lines, want 2 (first interim + final):\n%s",
+			lines, b.String())
+	}
+}
+
+func TestProgressLineTTYMode(t *testing.T) {
+	// Terminal mode rewrites the line in place and terminates it only on
+	// the final report.
+	var b strings.Builder
+	fn := ProgressLineMode(&b, true)
+	fn(core.Progress{MeasuredCells: 3, TotalCells: 10})
+	fn(core.Progress{MeasuredCells: 7, TotalCells: 10})
+	fn(core.Progress{MeasuredCells: 10, TotalCells: 10, Done: true})
+	out := b.String()
+	if want := "\rsweep: 3/10 cells measured\rsweep: 7/10 cells measured\rsweep: 10/10 cells measured\n"; out != want {
+		t.Errorf("tty output = %q, want %q", out, want)
+	}
+}
+
+func TestIsTerminal(t *testing.T) {
+	var b strings.Builder
+	if IsTerminal(&b) {
+		t.Error("strings.Builder detected as a terminal")
+	}
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if IsTerminal(f) {
+		t.Error("regular file detected as a terminal")
+	}
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	defer w.Close()
+	if IsTerminal(w) {
+		t.Error("pipe detected as a terminal")
 	}
 }

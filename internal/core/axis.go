@@ -1,0 +1,20 @@
+package core
+
+// SweepAxis returns the standard selectivity axis: fractions
+// 2^-maxExp .. 2^0 and the matching predicate thresholds over a table
+// of the given cardinality (thresholds are floored at 1 so every point
+// selects something). It is the one construction behind study grids,
+// CLI grids, and service job requests, so none of them can silently
+// diverge — for a job request it *defines* what MaxExp means on the
+// wire.
+func SweepAxis(rows int64, maxExp int) (fractions []float64, thresholds []int64) {
+	for k := maxExp; k >= 0; k-- {
+		fractions = append(fractions, 1/float64(int64(1)<<uint(k)))
+		t := rows >> uint(k)
+		if t < 1 {
+			t = 1
+		}
+		thresholds = append(thresholds, t)
+	}
+	return fractions, thresholds
+}

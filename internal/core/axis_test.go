@@ -1,0 +1,22 @@
+package core
+
+import "testing"
+
+func TestSweepAxis(t *testing.T) {
+	fr, th := SweepAxis(1<<10, 4)
+	if len(fr) != 5 || len(th) != 5 {
+		t.Fatalf("axis lengths = %d, %d, want 5", len(fr), len(th))
+	}
+	wantFr := []float64{1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2, 1}
+	wantTh := []int64{64, 128, 256, 512, 1024}
+	for i := range fr {
+		if fr[i] != wantFr[i] || th[i] != wantTh[i] {
+			t.Fatalf("axis[%d] = (%g, %d), want (%g, %d)", i, fr[i], th[i], wantFr[i], wantTh[i])
+		}
+	}
+	// Thresholds floor at 1 when the fraction selects less than a row.
+	_, th = SweepAxis(4, 4)
+	if th[0] != 1 {
+		t.Fatalf("threshold floor = %d, want 1", th[0])
+	}
+}

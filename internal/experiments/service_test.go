@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"robustmap/internal/core"
+	"robustmap/internal/plan"
+	"robustmap/internal/service"
+)
+
+// TestStudyRunsAgainstService pins the re-plumbed study: with
+// StudyConfig.Service set, the standard 1-D figure sweeps and the
+// shared 13-plan 2-D map are submitted as jobs, and the maps that come
+// back are identical to the in-process study's — same request, same
+// map, any transport.
+func TestStudyRunsAgainstService(t *testing.T) {
+	svc := service.NewLocal(service.LocalConfig{Workers: 2, CacheSize: -1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := svc.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+
+	direct := tinyRequestStudy(t)
+	served := tinyRequestStudy(t)
+	served.Cfg.Service = svc
+
+	// 1-D: the default RunSweep path goes through the service.
+	dres, err := direct.RunSweep(context.Background(), plan.Figure1Plans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := served.RunSweep(context.Background(), plan.Figure1Plans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalMap1D(dres.Map1D, sres.Map1D) {
+		t.Error("service-backed RunSweep differs from in-process RunSweep")
+	}
+
+	// 2-D: the shared study map goes through the service, winner and
+	// row grids byte-identical.
+	dm, _, err := direct.Map2DContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, _, err := served.Map2DContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sm.Plans, dm.Plans) {
+		t.Fatalf("plan order differs: %v vs %v", sm.Plans, dm.Plans)
+	}
+	if !reflect.DeepEqual(sm.WinnerGrid(), dm.WinnerGrid()) {
+		t.Error("service-backed winner grid differs")
+	}
+	if !reflect.DeepEqual(sm.Rows, dm.Rows) {
+		t.Error("service-backed row-count grid differs")
+	}
+	if !reflect.DeepEqual(sm.Times, dm.Times) {
+		t.Error("service-backed time grids differ")
+	}
+
+	// A figure built on the shared map renders identically.
+	ddef, _ := Lookup("fig10")
+	dart, err := ddef.RunContext(context.Background(), direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sart, err := ddef.RunContext(context.Background(), served)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dart.CSV != sart.CSV || dart.ASCII != sart.ASCII {
+		t.Error("fig10 artifacts differ between direct and service-backed studies")
+	}
+}
+
+// TestStudyServiceCancellation cancels a service-backed study sweep and
+// requires the ctx error back, the job cancelled, and the study
+// retryable — the same contract as the in-process path.
+func TestStudyServiceCancellation(t *testing.T) {
+	svc := service.NewLocal(service.LocalConfig{Workers: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := svc.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+
+	s := tinyRequestStudy(t)
+	s.Cfg.Service = svc
+	ctx, cancel := context.WithCancel(context.Background())
+	s.Cfg.Progress = func(core.Progress) { cancel() }
+
+	if _, _, err := s.Map2DContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Map2DContext err = %v, want context.Canceled", err)
+	}
+	// Retry under a live context succeeds.
+	s.Cfg.Progress = nil
+	if _, _, err := s.Map2DContext(context.Background()); err != nil {
+		t.Fatalf("retry after cancellation: %v", err)
+	}
+}
+
+// submitCounter is a Service stub that only counts submissions — its
+// Submit error also stops RunSweep before any waiting.
+type submitCounter struct{ submits int }
+
+func (s *submitCounter) Submit(context.Context, service.Request) (service.JobID, error) {
+	s.submits++
+	return "", errors.New("submitCounter: stop here")
+}
+func (s *submitCounter) Status(context.Context, service.JobID) (service.JobStatus, error) {
+	return service.JobStatus{}, nil
+}
+func (s *submitCounter) Result(context.Context, service.JobID) (*service.Result, error) {
+	return nil, nil
+}
+func (s *submitCounter) Cancel(context.Context, service.JobID) error { return nil }
+func (s *submitCounter) Watch(context.Context, service.JobID) (<-chan service.Event, error) {
+	return nil, nil
+}
+
+// TestStudyServiceNonSystemAPlansStayInProcess pins RunSweep's routing
+// guard: the in-process contract measures every listed plan on System
+// A, while a service resolves plans to their catalog systems — so only
+// all-System-A lists may be submitted. A list containing a System B
+// plan must never reach the service (in process it panics on System
+// A's missing index — the legacy behavior, preserved unchanged).
+func TestStudyServiceNonSystemAPlansStayInProcess(t *testing.T) {
+	stub := &submitCounter{}
+	s := tinyRequestStudy(t)
+	s.Cfg.Service = stub
+
+	// A System-A list routes to the service; the stub's submit error is
+	// not cancellation, so the sweep degrades to in-process and still
+	// succeeds.
+	res, err := s.RunSweep(context.Background(), plan.Figure1Plans())
+	if err != nil || res.Map1D == nil {
+		t.Fatalf("RunSweep with a failing service = (%+v, %v), want in-process fallback", res, err)
+	}
+	if stub.submits != 1 {
+		t.Fatalf("submits = %d, want 1", stub.submits)
+	}
+
+	// A mixed list stays in process: the stub sees nothing, and the
+	// legacy panic (System A cannot run a B plan) is unchanged.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("in-process sweep of a B plan on System A no longer panics")
+			}
+		}()
+		_, _ = s.RunSweep(context.Background(), []plan.Plan{plan.SystemBPlans()[0]})
+	}()
+	if stub.submits != 1 {
+		t.Fatalf("non-System-A sweep reached the service (submits = %d)", stub.submits)
+	}
+}
+
+// TestStudyServiceCustomEngineStaysInProcess pins serviceEligible: a
+// request carries no engine profile, so a study with a customized
+// Engine (or RefineConfig) must keep measuring in process instead of
+// silently returning maps from the service's default machine model.
+func TestStudyServiceCustomEngineStaysInProcess(t *testing.T) {
+	stub := &submitCounter{}
+	cfg := SmallStudyConfig()
+	cfg.Rows = 1 << 14
+	cfg.Engine.Rows = cfg.Rows
+	cfg.MaxExp1D = 4
+	cfg.Engine.PoolPages *= 2 // any non-default engine knob
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cfg.Service = stub
+
+	if _, err := s.RunSweep(context.Background(), plan.Figure1Plans()); err != nil {
+		t.Fatalf("in-process fallback failed: %v", err)
+	}
+	if stub.submits != 0 {
+		t.Fatalf("custom-engine study submitted to the service (submits = %d)", stub.submits)
+	}
+
+	refined := tinyRequestStudy(t)
+	refined.Cfg.Service = stub
+	refined.Cfg.Refine = true
+	refined.Cfg.RefineConfig = &core.AdaptiveConfig{}
+	if _, _, err := refined.Map2DContext(context.Background()); err != nil {
+		t.Fatalf("custom-refine fallback failed: %v", err)
+	}
+	if stub.submits != 0 {
+		t.Fatalf("custom-refine study submitted to the service (submits = %d)", stub.submits)
+	}
+}

@@ -9,12 +9,14 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"os"
+	"reflect"
 	"time"
 
-	"robustmap/internal/cliutil"
 	"robustmap/internal/core"
 	"robustmap/internal/engine"
 	"robustmap/internal/plan"
+	"robustmap/internal/service"
 )
 
 // StudyConfig scales the whole study.
@@ -56,6 +58,23 @@ type StudyConfig struct {
 	// counts) plus a final report per sweep. Purely observational — map
 	// contents are unaffected.
 	Progress core.ProgressFunc
+	// Service, when set, executes the study's standard-axis sweeps — the
+	// shared 13-plan 2-D map and the default 1-D figure sweeps — as
+	// submitted jobs on that service instead of measuring in process: an
+	// in-process service (service.NewLocal), or a remote robustmapd via
+	// the httpapi client, interchangeably. Requests carry the study's
+	// Rows, axis, Parallelism, and Refine; the service measures on its
+	// own engine at the default profile — the profile DefaultStudyConfig
+	// and SmallStudyConfig use — and determinism makes the returned maps
+	// bit-identical to in-process sweeps. Sweeps a request cannot
+	// express faithfully stay in process automatically: studies with a
+	// customized Engine or RefineConfig, experiments with bespoke
+	// parameter spaces (memory sweeps, sort-spill curves), and 1-D plan
+	// lists from outside System A. A service failure other than the
+	// sweep's own cancellation also degrades to in-process measurement —
+	// a down daemon slows a study, never fails or crashes it. Cancelling
+	// the sweep context cancels the submitted job, not just the wait.
+	Service service.Service
 	// Engine carries pool size, memory budget, and the I/O profile.
 	Engine engine.Config
 }
@@ -221,10 +240,10 @@ func (s *Study) AllSources() []core.PlanSource {
 }
 
 // axis returns the fractions 2^-maxExp … 2^0 and the matching thresholds
-// — the same construction the CLIs use, so study grids and ad-hoc CLI
-// grids can never silently diverge.
+// — the shared core construction behind CLI grids and service requests,
+// so study grids can never silently diverge from either.
 func axis(rows int64, maxExp int) (fractions []float64, thresholds []int64) {
-	return cliutil.SweepAxis(rows, maxExp)
+	return core.SweepAxis(rows, maxExp)
 }
 
 // sweepOptions assembles the study-wide options every sweep shares: the
@@ -239,15 +258,104 @@ func (s *Study) sweepOptions() []core.SweepOption {
 	return opts
 }
 
+// serviceEligible reports whether the study's sweeps mean the same
+// thing on a service: a job request carries Rows/MaxExp/Parallelism/
+// Refine but no engine profile (the service measures on its own engine
+// at the default profile), so a study with a customized Engine must
+// keep measuring in process rather than silently return maps from a
+// different machine model.
+func (s *Study) serviceEligible() bool {
+	if s.Cfg.Service == nil {
+		return false
+	}
+	if s.Cfg.RefineConfig != nil {
+		// Custom adaptive tuning cannot be serialized either; the
+		// service refines with the default configuration.
+		return false
+	}
+	cfg := s.Cfg.Engine
+	def := engine.DefaultConfig()
+	cfg.Rows = def.Rows // Rows travels in the request
+	return reflect.DeepEqual(cfg, def)
+}
+
+// serviceFallback decides — in one place, for every submitted study
+// sweep — whether a service error should degrade to in-process
+// measurement: yes for anything except the sweep's own cancellation
+// (unreachable daemon, refused admission), with a stderr note so a
+// user who pointed the study at a daemon (e.g. a mistyped -server URL)
+// sees that the work ran locally. Determinism makes the fallback maps
+// identical, and the legacy panic-discipline entry points (Sweep1D,
+// Map2D, RunExperiment) predate error returns, so a down daemon must
+// not start crashing them.
+func serviceFallback(ctx context.Context, err error) bool {
+	if err == nil || ctx.Err() != nil {
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "robustmap: study service sweep failed (%v); measuring in process\n", err)
+	return true
+}
+
+// allSystemA reports whether every plan belongs to System A — the
+// precondition for a 1-D study sweep to mean the same thing in process
+// (where RunSweep measures on SysA) and on a service (where plans
+// resolve to their catalog systems).
+func allSystemA(plans []plan.Plan) bool {
+	for _, p := range plans {
+		if p.System != "A" {
+			return false
+		}
+	}
+	return true
+}
+
+// submit runs one standard-axis sweep as a job on the study's Service;
+// see StudyConfig.Service for the contract.
+func (s *Study) submit(ctx context.Context, ids []string, grid2D bool,
+	maxExp int, refine bool) (*core.SweepResult, error) {
+	res, err := service.Run(ctx, s.Cfg.Service, service.Request{
+		Plans:       ids,
+		Rows:        s.Cfg.Rows,
+		MaxExp:      maxExp,
+		Grid2D:      grid2D,
+		Parallelism: s.Cfg.Parallelism,
+		Refine:      refine,
+	}, s.Cfg.Progress)
+	if err != nil {
+		return nil, err
+	}
+	return &core.SweepResult{
+		Map1D: res.Map1D, Mesh1D: res.Mesh1D,
+		Map2D: res.Map2D, Mesh2D: res.Mesh2D,
+	}, nil
+}
+
 // RunSweep runs an ad-hoc sweep of the given plans through the unified
 // options API, under ctx: by default a 1-D sweep of System A's plans over
 // the study's 1-D axis on the study's executor, with any of the defaults
 // overridable by trailing options (e.g. core.Grid2D for a custom grid, or
 // core.WithAdaptive to refine). Sources are cache-wrapped when the study
 // has a measurement cache. Cancelling ctx returns ctx.Err() with no
-// partial map.
+// partial map. On a study with a Service, the no-options form of a
+// System-A plan list submits the sweep as a job instead; anything else
+// stays in process — trailing options carry function values no request
+// can serialize, and the in-process contract measures every listed plan
+// on System A while a service resolves plans to their catalog systems,
+// so only System-A lists (every 1-D figure sweep) mean the same thing
+// on both paths.
 func (s *Study) RunSweep(ctx context.Context, plans []plan.Plan,
 	opts ...core.SweepOption) (*core.SweepResult, error) {
+	if s.serviceEligible() && len(opts) == 0 && allSystemA(plans) {
+		ids := make([]string, len(plans))
+		for i, p := range plans {
+			ids[i] = p.ID
+		}
+		res, err := s.submit(ctx, ids, false, s.Cfg.MaxExp1D, false)
+		if !serviceFallback(ctx, err) {
+			return res, err
+		}
+		// Degraded: measure in process below.
+	}
 	fr, th := axis(s.Cfg.Rows, s.Cfg.MaxExp1D)
 	var sources []core.PlanSource
 	for _, p := range plans {
@@ -284,12 +392,27 @@ func (s *Study) Map2DContext(ctx context.Context) (*core.Map2D, *core.Mesh2D, er
 		return nil, nil, err
 	}
 	if s.map2D == nil {
-		fr, th := axis(s.Cfg.Rows, s.Cfg.MaxExp2D)
-		opts := append([]core.SweepOption{core.Grid2D(fr, fr, th, th)}, s.sweepOptions()...)
-		if s.Cfg.Refine {
-			opts = append(opts, core.WithAdaptive(s.adaptiveConfig()))
+		var (
+			res *core.SweepResult
+			err error
+		)
+		submitted := false
+		if s.serviceEligible() {
+			var ids []string
+			for _, p := range plan.AllPlans() {
+				ids = append(ids, p.ID)
+			}
+			submitted = true
+			res, err = s.submit(ctx, ids, true, s.Cfg.MaxExp2D, s.Cfg.Refine)
 		}
-		res, err := core.NewSweep(s.AllSources(), opts...).Run(ctx)
+		if !submitted || serviceFallback(ctx, err) {
+			fr, th := axis(s.Cfg.Rows, s.Cfg.MaxExp2D)
+			opts := append([]core.SweepOption{core.Grid2D(fr, fr, th, th)}, s.sweepOptions()...)
+			if s.Cfg.Refine {
+				opts = append(opts, core.WithAdaptive(s.adaptiveConfig()))
+			}
+			res, err = core.NewSweep(s.AllSources(), opts...).Run(ctx)
+		}
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,0 +1,218 @@
+package httpapi
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"robustmap/internal/service"
+)
+
+// Client talks to a robustmapd daemon and implements service.Service,
+// so code written against the Service interface runs unchanged against
+// a remote daemon: submit, poll, stream, cancel — same methods, same
+// sentinel errors (translated from the wire codes), same byte-identical
+// maps (the JSON shapes round-trip exactly).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (default
+// http.DefaultClient). Watch holds one connection open per stream, so
+// a client with aggressive timeouts should leave headroom for that.
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
+}
+
+// NewClient returns a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8421").
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// decodeError turns a non-2xx response into the matching service
+// sentinel (or a plain error when the body isn't the wire shape).
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err == nil && eb.Code != "" {
+		if sentinel := codeErr(eb.Code); sentinel != nil {
+			return fmt.Errorf("%w: %s", sentinel, eb.Message)
+		}
+		return fmt.Errorf("httpapi: server error %s: %s", eb.Code, eb.Message)
+	}
+	return fmt.Errorf("httpapi: unexpected status %s: %s", resp.Status, bytes.TrimSpace(body))
+}
+
+// do issues one request and decodes a 2xx JSON body into out.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("httpapi: encode request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("httpapi: build request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("httpapi: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("httpapi: decode response: %w", err)
+	}
+	return nil
+}
+
+// Submit implements service.Service.
+func (c *Client) Submit(ctx context.Context, req service.Request) (service.JobID, error) {
+	var sr submitResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &sr); err != nil {
+		return "", err
+	}
+	return sr.ID, nil
+}
+
+// Status implements service.Service.
+func (c *Client) Status(ctx context.Context, id service.JobID) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+string(id), nil, &st)
+	return st, err
+}
+
+// Result implements service.Service.
+func (c *Client) Result(ctx context.Context, id service.JobID) (*service.Result, error) {
+	var res service.Result
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+string(id)+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Cancel implements service.Service.
+func (c *Client) Cancel(ctx context.Context, id service.JobID) error {
+	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+string(id), nil, nil)
+}
+
+// Health probes /healthz, returning nil when the daemon is up.
+func (c *Client) Health(ctx context.Context) error {
+	var hr healthResponse
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &hr); err != nil {
+		return err
+	}
+	if hr.Status != "ok" {
+		return fmt.Errorf("httpapi: daemon unhealthy: %q", hr.Status)
+	}
+	return nil
+}
+
+// watchIdleTimeout bounds how long the Watch pump tolerates a silent
+// stream: the server emits keepalive comments every keepaliveInterval,
+// so a connection quiet for this long is dead (half-open TCP after a
+// partition or power loss), and the pump aborts it rather than hang a
+// background-context caller forever — service.Wait then re-attaches or
+// surfaces the connection error via Status. A variable so tests can
+// compress it.
+var watchIdleTimeout = 45 * time.Second
+
+// Watch implements service.Service: it consumes the daemon's SSE stream
+// and replays it as the same event channel Local produces. The channel
+// closes when the job goes terminal or ctx is cancelled; as with the
+// in-process service, detaching never disturbs the job.
+func (c *Client) Watch(ctx context.Context, id service.JobID) (<-chan service.Event, error) {
+	// Snapshot the timeout on the caller's goroutine so the pump never
+	// touches the package variable (tests mutate it between tests).
+	idleTimeout := watchIdleTimeout
+	// The request context is ours, not the caller's directly: the idle
+	// watchdog below needs to be able to kill a dead connection.
+	rctx, rcancel := context.WithCancel(ctx)
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet,
+		c.base+"/v1/jobs/"+string(id)+"/watch", nil)
+	if err != nil {
+		rcancel()
+		return nil, fmt.Errorf("httpapi: build request: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		rcancel()
+		return nil, fmt.Errorf("httpapi: watch %s: %w", id, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer rcancel()
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	ch := make(chan service.Event, 64)
+	go func() {
+		defer close(ch)
+		defer resp.Body.Close()
+		defer rcancel()
+		// Any traffic — events or the server's keepalive comments —
+		// feeds the watchdog; a stream silent past the timeout is a
+		// dead connection and gets cut.
+		idle := time.AfterFunc(idleTimeout, rcancel)
+		defer idle.Stop()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64<<10), 1<<20)
+		for sc.Scan() {
+			idle.Reset(idleTimeout)
+			data, ok := strings.CutPrefix(sc.Text(), "data: ")
+			if !ok {
+				continue // blank separators and non-data fields
+			}
+			var ev service.Event
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				continue // skip malformed frames rather than wedge the stream
+			}
+			// Same discipline as the in-process service: never park on
+			// a slow or abandoned consumer — drop the oldest buffered
+			// tick instead. This goroutine is the only sender, so after
+			// freeing a slot the send cannot block. (Cancelling ctx
+			// kills the body read above, which is what ends the pump.)
+			select {
+			case ch <- ev:
+			default:
+				select {
+				case <-ch:
+				default:
+				}
+				ch <- ev
+			}
+		}
+		// Scanner errors (including a cancelled ctx killing the body)
+		// end the stream; the caller falls back to Status/Result,
+		// exactly as with a slow in-process watcher.
+	}()
+	return ch, nil
+}
+
+var _ service.Service = (*Client)(nil)

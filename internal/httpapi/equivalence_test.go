@@ -1,0 +1,93 @@
+package httpapi
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"robustmap/internal/core"
+	"robustmap/internal/engine"
+	"robustmap/internal/service"
+)
+
+// TestThreeWaySubmissionEquivalence is the PR's acceptance pin: the
+// same small study submitted three ways — direct core.Sweep.Run, the
+// in-process Service, and the HTTP client against a robustmapd-shaped
+// server — yields byte-identical winner grids, row-count grids, and
+// landmark sets. Each path builds its own systems; determinism of the
+// virtual-time engine is what makes the maps identical.
+func TestThreeWaySubmissionEquivalence(t *testing.T) {
+	ctx := context.Background()
+	req := service.Request{
+		Plans:  []string{"A1", "A2", "B1", "C1"},
+		Rows:   1 << 12,
+		MaxExp: 4,
+		Grid2D: true,
+	}
+
+	// Way 1: the synchronous shim — resolve the request by hand and run
+	// the sweep directly, as pre-service callers do.
+	rs, err := service.NewEngineResolver(engine.DefaultConfig()).Resolve(req)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	direct, err := core.NewSweep(rs.Sources,
+		core.Grid2D(rs.Fractions, rs.Fractions, rs.Thresholds, rs.Thresholds)).Run(ctx)
+	if err != nil {
+		t.Fatalf("direct Sweep.Run: %v", err)
+	}
+
+	// Way 2: the in-process Service.
+	l := service.NewLocal(service.LocalConfig{Workers: 1})
+	lres, err := service.Run(ctx, l, req, nil)
+	if err != nil {
+		t.Fatalf("in-process service Run: %v", err)
+	}
+
+	// Way 3: the HTTP client against a served Local.
+	ts, _, stop := startServer(t, nil, 1)
+	c := NewClient(ts.URL, WithHTTPClient(ts.Client()))
+	hres, err := service.Run(ctx, c, req, nil)
+	if err != nil {
+		t.Fatalf("HTTP service Run: %v", err)
+	}
+
+	maps := map[string]*core.Map2D{
+		"direct": direct.Map2D,
+		"local":  lres.Map2D,
+		"http":   hres.Map2D,
+	}
+	for name, m := range maps {
+		if m == nil {
+			t.Fatalf("%s produced no 2-D map", name)
+		}
+	}
+	lcfg := core.MapLandmarkConfig()
+	for _, other := range []string{"local", "http"} {
+		m := maps[other]
+		if !reflect.DeepEqual(m.WinnerGrid(), maps["direct"].WinnerGrid()) {
+			t.Errorf("%s winner grid differs from direct", other)
+		}
+		if !reflect.DeepEqual(m.Rows, maps["direct"].Rows) {
+			t.Errorf("%s row-count grid differs from direct", other)
+		}
+		for _, p := range req.Plans {
+			if !reflect.DeepEqual(m.LandmarkGrid(p, lcfg), maps["direct"].LandmarkGrid(p, lcfg)) {
+				t.Errorf("%s landmark set for plan %s differs from direct", other, p)
+			}
+		}
+		// Beyond the headline grids: the full maps agree to the byte in
+		// their canonical JSON encoding.
+		if !jsonEqual(t, m, maps["direct"]) {
+			t.Errorf("%s full map differs from direct", other)
+		}
+	}
+
+	stop()
+	cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := l.Close(cctx); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}

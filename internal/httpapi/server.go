@@ -1,0 +1,261 @@
+// Package httpapi serves a service.Service over JSON REST — the
+// transport behind cmd/robustmapd — and provides an HTTP client that
+// satisfies service.Service again, so remote and in-process use are
+// literally the same API.
+//
+// Endpoints (all JSON):
+//
+//	POST   /v1/jobs             submit a service.Request → 202 {"id": ...}
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result succeeded job's maps
+//	GET    /v1/jobs/{id}/watch  Server-Sent Events progress stream
+//	DELETE /v1/jobs/{id}        cancel (idempotent on terminal jobs)
+//	GET    /healthz             liveness probe
+//
+// Errors are a single JSON shape, {"code": "...", "message": "..."},
+// with codes mirroring the service error vocabulary (invalid_request,
+// not_found, not_ready, cancelled, failed, draining, queue_full), so
+// the client can translate them back into the same sentinel errors the
+// in-process service returns.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"robustmap/internal/service"
+)
+
+// errorBody is the one JSON error shape every endpoint speaks.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// submitResponse answers POST /v1/jobs.
+type submitResponse struct {
+	ID service.JobID `json:"id"`
+}
+
+// healthResponse answers GET /healthz.
+type healthResponse struct {
+	Status string `json:"status"`
+}
+
+// The wire error codes, mapped 1:1 onto the service sentinels.
+const (
+	codeInvalidRequest = "invalid_request"
+	codeNotFound       = "not_found"
+	codeNotReady       = "not_ready"
+	codeCancelled      = "cancelled"
+	codeFailed         = "failed"
+	codeDraining       = "draining"
+	codeQueueFull      = "queue_full"
+	codeInternal       = "internal"
+)
+
+// errCode classifies a service error into (HTTP status, wire code).
+func errCode(err error) (int, string) {
+	switch {
+	case errors.Is(err, service.ErrInvalidRequest):
+		return http.StatusBadRequest, codeInvalidRequest
+	case errors.Is(err, service.ErrUnknownJob):
+		return http.StatusNotFound, codeNotFound
+	case errors.Is(err, service.ErrJobNotDone):
+		return http.StatusConflict, codeNotReady
+	case errors.Is(err, service.ErrJobCancelled):
+		return http.StatusConflict, codeCancelled
+	case errors.Is(err, service.ErrJobFailed):
+		return http.StatusConflict, codeFailed
+	case errors.Is(err, service.ErrDraining):
+		return http.StatusServiceUnavailable, codeDraining
+	case errors.Is(err, service.ErrQueueFull):
+		return http.StatusTooManyRequests, codeQueueFull
+	default:
+		return http.StatusInternalServerError, codeInternal
+	}
+}
+
+// codeErr is errCode's inverse, used by the client: wire code → sentinel.
+func codeErr(code string) error {
+	switch code {
+	case codeInvalidRequest:
+		return service.ErrInvalidRequest
+	case codeNotFound:
+		return service.ErrUnknownJob
+	case codeNotReady:
+		return service.ErrJobNotDone
+	case codeCancelled:
+		return service.ErrJobCancelled
+	case codeFailed:
+		return service.ErrJobFailed
+	case codeDraining:
+		return service.ErrDraining
+	case codeQueueFull:
+		return service.ErrQueueFull
+	default:
+		return nil
+	}
+}
+
+// Server serves a service.Service over HTTP. It implements
+// http.Handler; mount it directly or under a mux.
+type Server struct {
+	svc  service.Service
+	mux  *http.ServeMux
+	logf func(format string, args ...any)
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithLogger routes request logging to logf (default: the standard
+// logger; pass a no-op func to silence).
+func WithLogger(logf func(format string, args ...any)) ServerOption {
+	return func(s *Server) { s.logf = logf }
+}
+
+// NewServer wraps the service with the /v1 REST surface.
+func NewServer(svc service.Service, opts ...ServerOption) *Server {
+	s := &Server{svc: svc, mux: http.NewServeMux(), logf: log.Printf}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/watch", s.handleWatch)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON writes v with the given status.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logf("httpapi: encode response: %v", err)
+	}
+}
+
+// writeError maps a service error onto the wire shape.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status, code := errCode(err)
+	if status == http.StatusInternalServerError {
+		s.logf("httpapi: internal error: %v", err)
+	}
+	s.writeJSON(w, status, errorBody{Code: code, Message: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req service.Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, fmt.Errorf("%w: decoding body: %v", service.ErrInvalidRequest, err))
+		return
+	}
+	id, err := s.svc.Submit(r.Context(), req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.logf("httpapi: submitted %s: plans=%v max_exp=%d grid2d=%v refine=%v",
+		id, req.Plans, req.MaxExp, req.Grid2D, req.Refine)
+	s.writeJSON(w, http.StatusAccepted, submitResponse{ID: id})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.svc.Status(r.Context(), service.JobID(r.PathValue("id")))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, err := s.svc.Result(r.Context(), service.JobID(r.PathValue("id")))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := service.JobID(r.PathValue("id"))
+	if err := s.svc.Cancel(r.Context(), id); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.logf("httpapi: cancelled %s", id)
+	s.writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// keepaliveInterval paces the SSE comment frames handleWatch emits
+// between events, so clients can tell a quiet stream from a dead
+// connection (see watchIdleTimeout in the client). A variable so tests
+// can compress it.
+var keepaliveInterval = 10 * time.Second
+
+// handleWatch streams the job's events as Server-Sent Events: one
+// `data: {Event JSON}` frame per event, a `: keepalive` comment during
+// quiet stretches, ending when the job goes terminal or the client
+// disconnects.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, errors.New("streaming unsupported by this connection"))
+		return
+	}
+	// r.Context() ends when the client disconnects, detaching the
+	// watcher server-side (the job itself is unaffected).
+	ch, err := s.svc.Watch(r.Context(), service.JobID(r.PathValue("id")))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	tick := time.NewTicker(keepaliveInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			b, err := json.Marshal(ev)
+			if err != nil {
+				s.logf("httpapi: encode event: %v", err)
+				return
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", b); err != nil {
+				return // client went away
+			}
+			fl.Flush()
+		case <-tick.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, healthResponse{Status: "ok"})
+}

@@ -1,0 +1,557 @@
+package httpapi
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"robustmap/internal/core"
+	"robustmap/internal/service"
+)
+
+// synthResolver resolves requests to fast analytic plans; a plan named
+// "gate" blocks its measurements until the gate channel is closed.
+type synthResolver struct {
+	delay time.Duration
+	gate  chan struct{}
+}
+
+func (r synthResolver) Check(req service.Request) error { return req.Validate() }
+
+func (r synthResolver) Resolve(req service.Request) (*service.ResolvedSweep, error) {
+	rows := req.Rows
+	if rows == 0 {
+		rows = 1 << 10
+	}
+	rs := &service.ResolvedSweep{}
+	rs.Fractions, rs.Thresholds = core.SweepAxis(rows, req.MaxExp)
+	for i, id := range req.Plans {
+		id := id
+		scale := time.Duration(i + 1)
+		rs.Sources = append(rs.Sources, core.PlanSource{
+			ID: id,
+			Measure: func(ta, tb int64) core.Measurement {
+				if id == "gate" {
+					<-r.gate
+				}
+				if r.delay > 0 {
+					time.Sleep(r.delay)
+				}
+				t := time.Duration(ta+1) * scale * time.Microsecond
+				if tb >= 0 {
+					t += time.Duration(tb+1) * scale * time.Nanosecond
+				}
+				return core.Measurement{Time: t, Rows: ta + tb + 1}
+			},
+		})
+		rs.Scopes = append(rs.Scopes, "synth")
+	}
+	return rs, nil
+}
+
+// startServer wires synthetic resolver → Local → Server → httptest.
+// The returned stop func shuts both down; it is idempotent and also
+// registered as a cleanup, so leak-checking tests can call it before
+// their final goroutine count.
+func startServer(t *testing.T, r service.Resolver, workers int) (*httptest.Server, *service.Local, func()) {
+	t.Helper()
+	l := service.NewLocal(service.LocalConfig{Workers: workers, Resolver: r})
+	srv := NewServer(l, WithLogger(func(string, ...any) {}))
+	ts := httptest.NewServer(srv)
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := l.Close(ctx); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		})
+	}
+	t.Cleanup(stop)
+	return ts, l, stop
+}
+
+// startLeakCheck snapshots the goroutine count and returns a func that
+// fails the test if the count has not returned to it shortly after.
+func startLeakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > before {
+			if time.Now().After(deadline) {
+				var buf strings.Builder
+				_ = pprof.Lookup("goroutine").WriteTo(&buf, 1)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf.String())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// wireError decodes the JSON error shape and asserts its code.
+func wireError(t *testing.T, resp *http.Response, wantStatus int, wantCode string) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, wantStatus)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error Content-Type = %q, want application/json", ct)
+	}
+	var eb struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	if eb.Code != wantCode || eb.Message == "" {
+		t.Fatalf("error body = %+v, want code %q with a message", eb, wantCode)
+	}
+}
+
+// TestEndpointsRoundTrip exercises every /v1 endpoint plus /healthz at
+// the wire level: status codes, JSON shapes, the SSE stream, and the
+// error shape of each failure mode.
+func TestEndpointsRoundTrip(t *testing.T) {
+	ts, _, _ := startServer(t, synthResolver{}, 2)
+	hc := ts.Client()
+
+	// Health.
+	resp, err := hc.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	var hr struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil || hr.Status != "ok" {
+		t.Fatalf("healthz body = %+v err = %v, want status ok", hr, err)
+	}
+	resp.Body.Close()
+
+	// Submit: malformed JSON.
+	resp, err = hc.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireError(t, resp, http.StatusBadRequest, "invalid_request")
+
+	// Submit: unknown field.
+	resp, err = hc.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"plans":["p"],"max_exp":2,"bogus":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireError(t, resp, http.StatusBadRequest, "invalid_request")
+
+	// Submit: structurally invalid request.
+	resp, err = hc.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"plans":[],"max_exp":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireError(t, resp, http.StatusBadRequest, "invalid_request")
+
+	// Submit: valid.
+	resp, err = hc.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"plans":["p1","p2"],"max_exp":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	var sr struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil || sr.ID == "" {
+		t.Fatalf("submit body err = %v id = %q, want an id", err, sr.ID)
+	}
+	resp.Body.Close()
+
+	// Watch the job to completion over SSE.
+	resp, err = hc.Get(ts.URL + "/v1/jobs/" + sr.ID + "/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("watch Content-Type = %q, want text/event-stream", ct)
+	}
+	var events []service.Event
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+			var ev service.Event
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				t.Fatalf("bad SSE frame %q: %v", data, err)
+			}
+			events = append(events, ev)
+		}
+	}
+	resp.Body.Close()
+	if len(events) == 0 || events[len(events)-1].State != service.JobSucceeded {
+		t.Fatalf("SSE events = %+v, want a terminal succeeded event", events)
+	}
+
+	// Status of the finished job.
+	resp, err = hc.Get(ts.URL + "/v1/jobs/" + sr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	resp.Body.Close()
+	if st.State != service.JobSucceeded || string(st.ID) != sr.ID ||
+		len(st.Request.Plans) != 2 || !st.Progress.Done {
+		t.Fatalf("status = %+v, want succeeded with echoed request and final progress", st)
+	}
+
+	// Result of the finished job: a 1-D map with both plans.
+	resp, err = hc.Get(ts.URL + "/v1/jobs/" + sr.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res service.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	resp.Body.Close()
+	if res.Map1D == nil || len(res.Map1D.Plans) != 2 || len(res.Map1D.Thresholds) != 5 {
+		t.Fatalf("result = %+v, want a 2-plan 5-point Map1D", res)
+	}
+
+	// Cancel (DELETE) on a terminal job: idempotent 200.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+sr.ID, nil)
+	resp, err = hc.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Unknown-job errors on every job endpoint.
+	for _, probe := range []struct {
+		method, path string
+	}{
+		{http.MethodGet, "/v1/jobs/ghost"},
+		{http.MethodGet, "/v1/jobs/ghost/result"},
+		{http.MethodGet, "/v1/jobs/ghost/watch"},
+		{http.MethodDelete, "/v1/jobs/ghost"},
+	} {
+		req, _ := http.NewRequest(probe.method, ts.URL+probe.path, nil)
+		resp, err := hc.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wireError(t, resp, http.StatusNotFound, "not_found")
+	}
+}
+
+// TestResultNotReady pins the 409 error shapes: not_ready while
+// running, cancelled after a cancel.
+func TestResultNotReady(t *testing.T) {
+	gate := make(chan struct{})
+	ts, _, _ := startServer(t, synthResolver{gate: gate}, 1)
+	hc := ts.Client()
+
+	resp, err := hc.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"plans":["gate"],"max_exp":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = hc.Get(ts.URL + "/v1/jobs/" + sr.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireError(t, resp, http.StatusConflict, "not_ready")
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+sr.ID, nil)
+	if resp, err = hc.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	close(gate)
+
+	// The job goes terminal as cancelled; result then answers 409
+	// cancelled.
+	c := NewClient(ts.URL, WithHTTPClient(hc))
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := c.Status(context.Background(), service.JobID(sr.ID))
+		if err != nil {
+			t.Fatalf("Status: %v", err)
+		}
+		if st.State.Terminal() {
+			if st.State != service.JobCancelled {
+				t.Fatalf("state = %s, want cancelled", st.State)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never went terminal after cancel")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err = hc.Get(ts.URL + "/v1/jobs/" + sr.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireError(t, resp, http.StatusConflict, "cancelled")
+}
+
+// TestClientIsAService drives the full lifecycle through the HTTP
+// client alone — the same calls a Local caller makes — and checks the
+// sentinel errors survive the wire.
+func TestClientIsAService(t *testing.T) {
+	check := startLeakCheck(t)
+	ts, l, stop := startServer(t, synthResolver{}, 2)
+	c := NewClient(ts.URL, WithHTTPClient(ts.Client()))
+	ctx := context.Background()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+
+	req := service.Request{Plans: []string{"p1", "p2"}, MaxExp: 5, Grid2D: true}
+	var progressed bool
+	res, err := service.Run(ctx, c, req, func(core.Progress) { progressed = true })
+	if err != nil {
+		t.Fatalf("Run over HTTP: %v", err)
+	}
+	if res.Map2D == nil || len(res.Map2D.Plans) != 2 {
+		t.Fatalf("remote result = %+v, want a 2-plan Map2D", res)
+	}
+	_ = progressed // progress frames are timing-dependent; presence not asserted
+
+	// The remote result equals the in-process result for the same
+	// request, field for field, through the JSON round trip.
+	lres, err := service.Run(ctx, l, req, nil)
+	if err != nil {
+		t.Fatalf("Run in process: %v", err)
+	}
+	if !jsonEqual(t, res, lres) {
+		t.Fatal("remote and in-process results differ")
+	}
+
+	// Sentinel translation.
+	if _, err := c.Status(ctx, "ghost"); !errors.Is(err, service.ErrUnknownJob) {
+		t.Fatalf("Status(ghost) err = %v, want ErrUnknownJob", err)
+	}
+	if _, err := c.Submit(ctx, service.Request{}); !errors.Is(err, service.ErrInvalidRequest) {
+		t.Fatalf("Submit(zero) err = %v, want ErrInvalidRequest", err)
+	}
+
+	stop()
+	check()
+}
+
+// TestCancelPropagatesOverHTTP is the acceptance pin: DELETE on a
+// running job propagates context cancellation into the sweep, the job
+// reaches cancelled, and nothing leaks — all through the remote client.
+func TestCancelPropagatesOverHTTP(t *testing.T) {
+	check := startLeakCheck(t)
+	ts, l, stop := startServer(t, synthResolver{delay: 500 * time.Microsecond}, 1)
+	c := NewClient(ts.URL, WithHTTPClient(ts.Client()))
+	ctx := context.Background()
+
+	// 2 plans × 33² points at 500µs/cell: runs for ~a minute unless
+	// cancelled.
+	id, err := c.Submit(ctx, service.Request{Plans: []string{"p1", "p2"}, MaxExp: 32, Grid2D: true})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ch, err := c.Watch(ctx, id)
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	// Wait until it is measurably running, then cancel remotely.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			t.Fatalf("Status: %v", err)
+		}
+		if st.State == service.JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := c.Cancel(ctx, id); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	var last service.Event
+	for ev := range ch {
+		last = ev
+	}
+	if last.State != service.JobCancelled {
+		t.Fatalf("final SSE event = %+v, want cancelled", last)
+	}
+	if _, err := c.Result(ctx, id); !errors.Is(err, service.ErrJobCancelled) {
+		t.Fatalf("Result err = %v, want ErrJobCancelled", err)
+	}
+	// The in-process job record agrees with the remote view.
+	st, err := l.Status(ctx, id)
+	if err != nil || st.State != service.JobCancelled {
+		t.Fatalf("local status = %+v err = %v, want cancelled", st, err)
+	}
+	stop()
+	check()
+}
+
+// jsonEqual compares two values by their canonical JSON encoding —
+// "byte-identical over the wire" made literal.
+func jsonEqual(t *testing.T, a, b any) bool {
+	t.Helper()
+	ab, err := json.Marshal(a)
+	if err != nil {
+		t.Fatalf("marshal a: %v", err)
+	}
+	bb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatalf("marshal b: %v", err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Logf("a: %.200s", ab)
+		t.Logf("b: %.200s", bb)
+		return false
+	}
+	return true
+}
+
+// TestClientWatchAbandonedConsumerDoesNotLeak: a caller that watches
+// under a non-cancellable ctx and then walks away must not leak the
+// pump goroutine or its connection — the pump never parks on the
+// abandoned channel (same drop-oldest discipline as the in-process
+// service) and exits when the server ends the stream.
+func TestClientWatchAbandonedConsumerDoesNotLeak(t *testing.T) {
+	check := startLeakCheck(t)
+	ts, _, stop := startServer(t, synthResolver{}, 1)
+	c := NewClient(ts.URL, WithHTTPClient(ts.Client()))
+	ctx := context.Background()
+
+	id, err := c.Submit(ctx, service.Request{Plans: []string{"p1", "p2"}, MaxExp: 6})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := c.Watch(ctx, id); err != nil { // never read, never cancelled
+		t.Fatalf("Watch: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			t.Fatalf("Status: %v", err)
+		}
+		if st.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	check()
+}
+
+// TestWatchKeepalivesAndIdleWatchdog pins the dead-connection defenses:
+// the server emits keepalive comments on a quiet stream, and the client
+// pump cuts a stream that stays silent past watchIdleTimeout instead of
+// hanging a background-context caller forever.
+func TestWatchKeepalivesAndIdleWatchdog(t *testing.T) {
+	oldKA := keepaliveInterval
+	keepaliveInterval = 20 * time.Millisecond
+	defer func() { keepaliveInterval = oldKA }()
+
+	gate := make(chan struct{})
+	ts, _, _ := startServer(t, synthResolver{gate: gate}, 1)
+	hc := ts.Client()
+	resp, err := hc.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"plans":["gate"],"max_exp":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Raw SSE: the gated job emits no events, so only keepalives flow.
+	resp, err = hc.Get(ts.URL + "/v1/jobs/" + sr.ID + "/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sawKeepalive := false
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), ": keepalive") {
+			sawKeepalive = true
+			break
+		}
+	}
+	resp.Body.Close()
+	if !sawKeepalive {
+		t.Fatal("quiet watch stream carried no keepalive comments")
+	}
+	close(gate)
+
+	// Watchdog: a server that sends nothing at all (no keepalives, no
+	// events) must not hang the client pump.
+	oldIdle := watchIdleTimeout
+	watchIdleTimeout = 50 * time.Millisecond
+	defer func() { watchIdleTimeout = oldIdle }()
+	silent := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		<-r.Context().Done()
+	}))
+	defer silent.Close()
+	c := NewClient(silent.URL, WithHTTPClient(silent.Client()))
+	ch, err := c.Watch(context.Background(), "whatever")
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Fatal("silent stream produced an event")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client pump hung on a silent stream past the idle timeout")
+	}
+}

@@ -1,0 +1,569 @@
+package service
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"robustmap/internal/core"
+	"robustmap/internal/engine"
+)
+
+// LocalConfig parameterizes the in-process scheduler.
+type LocalConfig struct {
+	// Workers bounds how many jobs run concurrently: n > 0 that many,
+	// 0 one, -1 all CPUs. (Each job may additionally fan its cells out
+	// per its Request.Parallelism.)
+	Workers int
+	// QueueLimit bounds the admission queue (queued, not yet running);
+	// Submit fails with ErrQueueFull beyond it. 0 means unbounded.
+	QueueLimit int
+	// TTL retains terminal jobs (status and result) for this long
+	// before garbage collection; 0 retains them forever.
+	TTL time.Duration
+	// CacheSize enables the shared measurement cache reused across all
+	// jobs, keyed by (system, plan, point): positive bounds the entry
+	// count with LRU eviction, -1 means unbounded, 0 disables.
+	CacheSize int
+	// Engine overrides the base engine configuration of the default
+	// resolver (nil means engine.DefaultConfig()). Ignored when
+	// Resolver is set.
+	Engine *engine.Config
+	// Resolver overrides how Requests become measurable sweeps; nil
+	// means NewEngineResolver over the Engine configuration.
+	Resolver Resolver
+
+	// gcInterval overrides the janitor period (tests); 0 derives it
+	// from TTL.
+	gcInterval time.Duration
+}
+
+// Local is the in-process Service: a bounded worker pool over a
+// FIFO-within-priority admission queue, per-job contexts, TTL-based job
+// GC, and one measurement cache shared by every job. Create it with
+// NewLocal and release it with Close.
+type Local struct {
+	resolver Resolver
+	cache    *core.MeasureCache
+	ttl      time.Duration
+	qlimit   int
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signals workers: queue non-empty or stopping
+	jobs     map[JobID]*job
+	queue    jobQueue
+	seq      int64
+	draining bool // Submit refused
+	stopping bool // workers exit once the queue is empty
+
+	wg       sync.WaitGroup // workers + janitor
+	stopGC   chan struct{}
+	gcPeriod time.Duration
+}
+
+// job is one submitted job's record. All mutable fields are guarded by
+// Local.mu.
+type job struct {
+	id  JobID
+	seq int64 // admission order; FIFO tiebreak within a priority
+	req Request
+
+	state     JobState
+	progress  core.Progress
+	err       error
+	result    *Result
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	// cancel aborts the job's run context; requested remembers an
+	// explicit Cancel so the runner can tell cancellation from an
+	// internal failure.
+	cancel    context.CancelFunc
+	ctx       context.Context
+	requested bool
+
+	watchers []chan Event
+	done     chan struct{} // closed on the terminal transition
+
+	heapIndex int // position in Local.queue while queued, else -1
+}
+
+// jobQueue is the admission queue: a max-heap on (priority, -seq), so
+// higher priorities run first and equal priorities run FIFO.
+type jobQueue []*job
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].req.Priority != q[j].req.Priority {
+		return q[i].req.Priority > q[j].req.Priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q jobQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].heapIndex, q[j].heapIndex = i, j
+}
+func (q *jobQueue) Push(x any) {
+	j := x.(*job)
+	j.heapIndex = len(*q)
+	*q = append(*q, j)
+}
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIndex = -1
+	*q = old[:n-1]
+	return j
+}
+
+// NewLocal starts an in-process service: its workers are running and
+// ready for Submit when NewLocal returns. Release it with Close.
+func NewLocal(cfg LocalConfig) *Local {
+	workers := cfg.Workers
+	switch {
+	case workers < 0:
+		workers = runtime.NumCPU()
+	case workers == 0:
+		workers = 1
+	}
+	resolver := cfg.Resolver
+	if resolver == nil {
+		base := engine.DefaultConfig()
+		if cfg.Engine != nil {
+			base = *cfg.Engine
+		}
+		resolver = NewEngineResolver(base)
+	}
+	l := &Local{
+		resolver: resolver,
+		ttl:      cfg.TTL,
+		qlimit:   cfg.QueueLimit,
+		jobs:     make(map[JobID]*job),
+		stopGC:   make(chan struct{}),
+	}
+	if cfg.CacheSize != 0 {
+		// NewMeasureCache treats negative capacities as unbounded.
+		l.cache = core.NewMeasureCache(cfg.CacheSize)
+	}
+	l.cond = sync.NewCond(&l.mu)
+	l.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go l.worker()
+	}
+	if cfg.TTL > 0 {
+		l.gcPeriod = cfg.gcInterval
+		if l.gcPeriod <= 0 {
+			l.gcPeriod = cfg.TTL / 4
+			if l.gcPeriod < time.Second {
+				l.gcPeriod = time.Second
+			}
+			if l.gcPeriod > time.Minute {
+				l.gcPeriod = time.Minute
+			}
+		}
+		l.wg.Add(1)
+		go l.janitor()
+	}
+	return l
+}
+
+// CacheStats reports the shared measurement cache's counters; the zero
+// value when no cache is configured.
+func (l *Local) CacheStats() core.CacheStats {
+	if l.cache == nil {
+		return core.CacheStats{}
+	}
+	return l.cache.Stats()
+}
+
+// Submit implements Service.
+func (l *Local) Submit(_ context.Context, req Request) (JobID, error) {
+	if err := l.resolver.Check(req); err != nil {
+		return "", err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.draining {
+		return "", ErrDraining
+	}
+	if l.qlimit > 0 && l.queue.Len() >= l.qlimit {
+		return "", ErrQueueFull
+	}
+	l.seq++
+	j := &job{
+		id:        JobID(fmt.Sprintf("job-%06d", l.seq)),
+		seq:       l.seq,
+		req:       req,
+		state:     JobQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+		heapIndex: -1,
+	}
+	// The job's context is rooted in Background, not the Submit ctx:
+	// the job outlives the submission call by design.
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	l.jobs[j.id] = j
+	heap.Push(&l.queue, j)
+	l.cond.Signal()
+	return j.id, nil
+}
+
+// lookupLocked fetches a job under l.mu.
+func (l *Local) lookupLocked(id JobID) (*job, error) {
+	j, ok := l.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Status implements Service.
+func (l *Local) Status(_ context.Context, id JobID) (JobStatus, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	j, err := l.lookupLocked(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return j.statusLocked(), nil
+}
+
+func (j *job) statusLocked() JobStatus {
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Request:     j.req,
+		Progress:    j.progress,
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Result implements Service.
+func (l *Local) Result(_ context.Context, id JobID) (*Result, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	j, err := l.lookupLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	switch j.state {
+	case JobSucceeded:
+		return j.result, nil
+	case JobCancelled:
+		return nil, fmt.Errorf("%w: %q", ErrJobCancelled, id)
+	case JobFailed:
+		return nil, fmt.Errorf("%w: %q: %s", ErrJobFailed, id, j.err)
+	default:
+		return nil, fmt.Errorf("%w: %q is %s", ErrJobNotDone, id, j.state)
+	}
+}
+
+// Cancel implements Service.
+func (l *Local) Cancel(_ context.Context, id JobID) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	j, err := l.lookupLocked(id)
+	if err != nil {
+		return err
+	}
+	return l.cancelLocked(j)
+}
+
+func (l *Local) cancelLocked(j *job) error {
+	switch j.state {
+	case JobQueued:
+		// Still in the admission queue: go terminal directly.
+		if j.heapIndex >= 0 {
+			heap.Remove(&l.queue, j.heapIndex)
+		}
+		j.cancel()
+		l.finishLocked(j, JobCancelled, nil, nil)
+	case JobRunning:
+		// The runner observes the context at the next cell boundary and
+		// finishes the job as cancelled.
+		j.requested = true
+		j.cancel()
+	}
+	// Cancelling a terminal job is an idempotent no-op.
+	return nil
+}
+
+// Watch implements Service.
+func (l *Local) Watch(ctx context.Context, id JobID) (<-chan Event, error) {
+	l.mu.Lock()
+	j, err := l.lookupLocked(id)
+	if err != nil {
+		l.mu.Unlock()
+		return nil, err
+	}
+	// Generous buffer: progress ticks are throttled, and a watcher that
+	// still falls behind loses ticks, never the terminal event (which
+	// is the last send before close).
+	ch := make(chan Event, 64)
+	if j.state.Terminal() {
+		ch <- j.eventLocked()
+		close(ch)
+		l.mu.Unlock()
+		return ch, nil
+	}
+	j.watchers = append(j.watchers, ch)
+	done := j.done
+	l.mu.Unlock()
+
+	go func() {
+		select {
+		case <-ctx.Done():
+			// Detach: remove the watcher if the job hasn't closed it.
+			l.mu.Lock()
+			for i, w := range j.watchers {
+				if w == ch {
+					j.watchers = append(j.watchers[:i], j.watchers[i+1:]...)
+					close(ch)
+					break
+				}
+			}
+			l.mu.Unlock()
+		case <-done:
+			// The terminal transition closed every watcher channel.
+		}
+	}()
+	return ch, nil
+}
+
+func (j *job) eventLocked() Event {
+	ev := Event{State: j.state, Progress: j.progress}
+	if j.err != nil {
+		ev.Error = j.err.Error()
+	}
+	return ev
+}
+
+// publishLocked fans the job's current event out to its watchers;
+// non-blocking, so a stalled watcher drops ticks instead of stalling a
+// sweep worker.
+func (l *Local) publishLocked(j *job) {
+	ev := j.eventLocked()
+	for _, ch := range j.watchers {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// finishLocked performs the terminal transition: state, result, stamps,
+// the terminal event (guaranteed delivered, per the Watch contract:
+// slow watchers lose ticks, never the terminal event), and the done
+// broadcast.
+func (l *Local) finishLocked(j *job, state JobState, res *Result, err error) {
+	j.state = state
+	j.result = res
+	j.err = err
+	j.finished = time.Now()
+	ev := j.eventLocked()
+	for _, ch := range j.watchers {
+		select {
+		case ch <- ev:
+		default:
+			// The buffer is full of stale progress ticks. Publishers
+			// all hold l.mu, so we are the only sender: freeing one
+			// slot (or finding a receiver beat us to it) guarantees the
+			// terminal send cannot block.
+			select {
+			case <-ch:
+			default:
+			}
+			ch <- ev
+		}
+		close(ch)
+	}
+	j.watchers = nil
+	close(j.done)
+}
+
+// worker runs jobs popped from the admission queue until Close drains
+// the service.
+func (l *Local) worker() {
+	defer l.wg.Done()
+	for {
+		l.mu.Lock()
+		for l.queue.Len() == 0 && !l.stopping {
+			l.cond.Wait()
+		}
+		if l.queue.Len() == 0 {
+			l.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&l.queue).(*job)
+		j.state = JobRunning
+		j.started = time.Now()
+		l.publishLocked(j)
+		l.mu.Unlock()
+		l.runJob(j)
+	}
+}
+
+// runJob resolves and runs one job on the calling worker goroutine.
+func (l *Local) runJob(j *job) {
+	res, err := l.execute(j)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case err == nil:
+		l.finishLocked(j, JobSucceeded, res, nil)
+	case errors.Is(err, context.Canceled) && (j.requested || j.ctx.Err() != nil):
+		l.finishLocked(j, JobCancelled, nil, nil)
+	default:
+		l.finishLocked(j, JobFailed, nil, err)
+	}
+}
+
+// execute builds the sweep a job's request describes and runs it under
+// the job's context.
+func (l *Local) execute(j *job) (res *Result, err error) {
+	// A broken plan's row-count cross-check panics in the sweep core;
+	// a job server must outlive it, so it lands as a failed job.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("service: job panicked: %v", r)
+		}
+	}()
+	rs, err := l.resolver.Resolve(j.req)
+	if err != nil {
+		return nil, err
+	}
+	sources := make([]core.PlanSource, len(rs.Sources))
+	for i, src := range rs.Sources {
+		scope := ""
+		if i < len(rs.Scopes) {
+			scope = rs.Scopes[i]
+		}
+		// Wrap tolerates a nil cache (returns src unchanged).
+		sources[i] = l.cache.Wrap(scope, src)
+	}
+	opts := []core.SweepOption{
+		core.WithParallelism(j.req.Parallelism),
+		core.WithProgress(func(p core.Progress) {
+			l.mu.Lock()
+			j.progress = p
+			l.publishLocked(j)
+			l.mu.Unlock()
+		}),
+	}
+	if j.req.Grid2D {
+		opts = append(opts, core.Grid2D(rs.Fractions, rs.Fractions, rs.Thresholds, rs.Thresholds))
+	} else {
+		opts = append(opts, core.Grid1D(rs.Fractions, rs.Thresholds))
+	}
+	if j.req.Refine {
+		acfg := core.DefaultAdaptiveConfig()
+		acfg.ResultSize = rs.ResultSize
+		opts = append(opts, core.WithAdaptive(acfg))
+	}
+	sres, err := core.NewSweep(sources, opts...).Run(j.ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Map1D:  sres.Map1D,
+		Mesh1D: sres.Mesh1D,
+		Map2D:  sres.Map2D,
+		Mesh2D: sres.Mesh2D,
+	}, nil
+}
+
+// janitor garbage-collects terminal jobs past their TTL.
+func (l *Local) janitor() {
+	defer l.wg.Done()
+	t := time.NewTicker(l.gcPeriod)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopGC:
+			return
+		case <-t.C:
+			l.gc()
+		}
+	}
+}
+
+// gc drops terminal jobs whose TTL elapsed. A GC'd job id answers
+// ErrUnknownJob from then on.
+func (l *Local) gc() {
+	if l.ttl <= 0 {
+		return
+	}
+	cutoff := time.Now().Add(-l.ttl)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for id, j := range l.jobs {
+		if j.state.Terminal() && j.finished.Before(cutoff) {
+			delete(l.jobs, id)
+		}
+	}
+}
+
+// Drain refuses new submissions (Submit returns ErrDraining) while
+// letting admitted jobs proceed. It is the first half of Close, exposed
+// so a server can drain before its listener stops.
+func (l *Local) Drain() {
+	l.mu.Lock()
+	l.draining = true
+	l.mu.Unlock()
+}
+
+// Close shuts the service down gracefully: no new submissions, admitted
+// jobs run to completion, then the workers and janitor exit. If ctx
+// expires first, every remaining job is cancelled (queued ones go
+// terminal as cancelled, running ones stop at the next cell boundary)
+// and Close waits for the workers to finish the cancelled remains. The
+// returned error is ctx's error when the forced path was taken. Close
+// is idempotent and safe to call concurrently; every call waits for
+// the shutdown to complete.
+func (l *Local) Close(ctx context.Context) error {
+	l.mu.Lock()
+	l.draining = true
+	if !l.stopping {
+		l.stopping = true
+		close(l.stopGC)
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		l.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Forced drain: cancel everything still live and wait it out.
+	l.mu.Lock()
+	for _, j := range l.jobs {
+		if !j.state.Terminal() {
+			_ = l.cancelLocked(j)
+		}
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	<-done
+	return ctx.Err()
+}
+
+var _ Service = (*Local)(nil)

@@ -1,0 +1,832 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"robustmap/internal/core"
+	"robustmap/internal/engine"
+)
+
+// fakeResolver resolves requests to synthetic analytic plans, so
+// scheduler tests measure in microseconds instead of engine time. A
+// plan id of "block" gates its measurements on the release channel; any
+// id measures after an optional per-cell delay.
+type fakeResolver struct {
+	delay   time.Duration
+	release chan struct{} // gates "block" plans; nil blocks forever
+
+	mu       sync.Mutex
+	resolved []string // request plan lists, in Resolve order
+	started  []chan struct{}
+}
+
+func newFakeResolver(delay time.Duration) *fakeResolver {
+	return &fakeResolver{delay: delay, release: make(chan struct{})}
+}
+
+// onStart returns a channel closed when the next-resolved job measures
+// its first cell.
+func (r *fakeResolver) onStart() chan struct{} {
+	ch := make(chan struct{})
+	r.mu.Lock()
+	r.started = append(r.started, ch)
+	r.mu.Unlock()
+	return ch
+}
+
+func (r *fakeResolver) order() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.resolved...)
+}
+
+func (r *fakeResolver) Check(req Request) error { return req.Validate() }
+
+func (r *fakeResolver) Resolve(req Request) (*ResolvedSweep, error) {
+	r.mu.Lock()
+	r.resolved = append(r.resolved, strings.Join(req.Plans, ","))
+	var started chan struct{}
+	if len(r.started) > 0 {
+		started, r.started = r.started[0], r.started[1:]
+	}
+	r.mu.Unlock()
+
+	rows := req.Rows
+	if rows == 0 {
+		rows = 1 << 10
+	}
+	rs := &ResolvedSweep{}
+	rs.Fractions, rs.Thresholds = core.SweepAxis(rows, req.MaxExp)
+	var once sync.Once
+	for i, id := range req.Plans {
+		id := id
+		scale := time.Duration(i + 1)
+		rs.Sources = append(rs.Sources, core.PlanSource{
+			ID: id,
+			Measure: func(ta, tb int64) core.Measurement {
+				if started != nil {
+					once.Do(func() { close(started) })
+				}
+				if id == "block" {
+					<-r.release
+				}
+				if r.delay > 0 {
+					time.Sleep(r.delay)
+				}
+				t := time.Duration(ta+1) * scale * time.Microsecond
+				if tb >= 0 {
+					t += time.Duration(tb+1) * scale * time.Nanosecond
+				}
+				return core.Measurement{Time: t, Rows: ta + tb + 1}
+			},
+		})
+		rs.Scopes = append(rs.Scopes, "fake")
+	}
+	return rs, nil
+}
+
+// startLeakCheck snapshots the goroutine count and returns a func that
+// fails the test if the count has not returned to it shortly after.
+func startLeakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > before {
+			if time.Now().After(deadline) {
+				var buf strings.Builder
+				_ = pprof.Lookup("goroutine").WriteTo(&buf, 1)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf.String())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+func closeLocal(t *testing.T, l *Local) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := l.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestLocalLifecycle(t *testing.T) {
+	check := startLeakCheck(t)
+	fr := newFakeResolver(0)
+	l := NewLocal(LocalConfig{Workers: 2, Resolver: fr})
+	ctx := context.Background()
+
+	req := Request{Plans: []string{"p1", "p2"}, MaxExp: 6}
+	id, err := l.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	res, err := Wait(ctx, l, id, nil)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if res.Map1D == nil || res.Map2D != nil {
+		t.Fatalf("want a 1-D result, got %+v", res)
+	}
+
+	st, err := l.Status(ctx, id)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.State != JobSucceeded {
+		t.Fatalf("state = %s, want succeeded", st.State)
+	}
+	if st.SubmittedAt.IsZero() || st.StartedAt.IsZero() || st.FinishedAt.IsZero() {
+		t.Fatalf("missing lifecycle stamps: %+v", st)
+	}
+	if st.Progress.MeasuredCells != 2*7 || !st.Progress.Done {
+		t.Fatalf("final progress = %+v, want 14 measured cells and Done", st.Progress)
+	}
+	if !reflect.DeepEqual(st.Request, req) {
+		t.Fatalf("status echoes request %+v, want %+v", st.Request, req)
+	}
+
+	// The job's maps match a direct core run of the same sweep.
+	rs, _ := fr.Resolve(req)
+	direct, err := core.NewSweep(rs.Sources, core.Grid1D(rs.Fractions, rs.Thresholds)).
+		Run(ctx)
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	if !reflect.DeepEqual(res.Map1D, direct.Map1D) {
+		t.Fatalf("service map differs from direct map")
+	}
+
+	// A terminal watch replays the final event and closes.
+	ch, err := l.Watch(ctx, id)
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	ev, ok := <-ch
+	if !ok || ev.State != JobSucceeded {
+		t.Fatalf("terminal watch event = %+v ok=%v, want succeeded", ev, ok)
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("terminal watch channel not closed after final event")
+	}
+
+	closeLocal(t, l)
+	check()
+}
+
+func TestLocalValidation(t *testing.T) {
+	l := NewLocal(LocalConfig{Resolver: newFakeResolver(0)})
+	defer closeLocal(t, l)
+	ctx := context.Background()
+	for _, req := range []Request{
+		{},                                 // no plans
+		{Plans: []string{"p"}, MaxExp: 99}, // axis out of range
+		{Plans: []string{"p"}, Rows: -1},   // negative rows
+		{Plans: []string{"p"}, Parallelism: -7},
+	} {
+		if _, err := l.Submit(ctx, req); !errors.Is(err, ErrInvalidRequest) {
+			t.Errorf("Submit(%+v) err = %v, want ErrInvalidRequest", req, err)
+		}
+	}
+	if _, err := l.Status(ctx, "nope"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("Status(unknown) err = %v, want ErrUnknownJob", err)
+	}
+	if _, err := l.Result(ctx, "nope"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("Result(unknown) err = %v, want ErrUnknownJob", err)
+	}
+	if err := l.Cancel(ctx, "nope"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("Cancel(unknown) err = %v, want ErrUnknownJob", err)
+	}
+	if _, err := l.Watch(ctx, "nope"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("Watch(unknown) err = %v, want ErrUnknownJob", err)
+	}
+}
+
+func TestLocalPriorityAdmission(t *testing.T) {
+	check := startLeakCheck(t)
+	fr := newFakeResolver(0)
+	l := NewLocal(LocalConfig{Workers: 1, Resolver: fr})
+	ctx := context.Background()
+
+	blockerStarted := fr.onStart()
+	blocker, err := l.Submit(ctx, Request{Plans: []string{"block"}, MaxExp: 0})
+	if err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	<-blockerStarted // the single worker is now occupied
+
+	low, err := l.Submit(ctx, Request{Plans: []string{"low"}, MaxExp: 2})
+	if err != nil {
+		t.Fatalf("Submit low: %v", err)
+	}
+	high, err := l.Submit(ctx, Request{Plans: []string{"high"}, MaxExp: 2, Priority: 5})
+	if err != nil {
+		t.Fatalf("Submit high: %v", err)
+	}
+	low2, err := l.Submit(ctx, Request{Plans: []string{"low2"}, MaxExp: 2})
+	if err != nil {
+		t.Fatalf("Submit low2: %v", err)
+	}
+
+	close(fr.release)
+	for _, id := range []JobID{blocker, low, high, low2} {
+		if _, err := Wait(ctx, l, id, nil); err != nil {
+			t.Fatalf("Wait(%s): %v", id, err)
+		}
+	}
+	want := []string{"block", "high", "low", "low2"}
+	if got := fr.order(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("admission order = %v, want %v (priority first, FIFO within)", got, want)
+	}
+	closeLocal(t, l)
+	check()
+}
+
+func TestLocalCancelQueued(t *testing.T) {
+	check := startLeakCheck(t)
+	fr := newFakeResolver(0)
+	l := NewLocal(LocalConfig{Workers: 1, QueueLimit: 1, Resolver: fr})
+	ctx := context.Background()
+
+	blockerStarted := fr.onStart()
+	blocker, _ := l.Submit(ctx, Request{Plans: []string{"block"}, MaxExp: 0})
+	<-blockerStarted
+
+	queued, err := l.Submit(ctx, Request{Plans: []string{"q"}, MaxExp: 2})
+	if err != nil {
+		t.Fatalf("Submit queued: %v", err)
+	}
+	// The queue is at its limit of one.
+	if _, err := l.Submit(ctx, Request{Plans: []string{"overflow"}, MaxExp: 2}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit over limit err = %v, want ErrQueueFull", err)
+	}
+
+	if err := l.Cancel(ctx, queued); err != nil {
+		t.Fatalf("Cancel queued: %v", err)
+	}
+	st, _ := l.Status(ctx, queued)
+	if st.State != JobCancelled {
+		t.Fatalf("queued job state after cancel = %s, want cancelled", st.State)
+	}
+	if _, err := l.Result(ctx, queued); !errors.Is(err, ErrJobCancelled) {
+		t.Fatalf("Result(cancelled) err = %v, want ErrJobCancelled", err)
+	}
+	// Cancelling a terminal job is an idempotent no-op.
+	if err := l.Cancel(ctx, queued); err != nil {
+		t.Fatalf("second Cancel: %v", err)
+	}
+
+	close(fr.release)
+	if _, err := Wait(ctx, l, blocker, nil); err != nil {
+		t.Fatalf("Wait blocker: %v", err)
+	}
+	// The cancelled job never reached the resolver.
+	for _, plans := range fr.order() {
+		if plans == "q" {
+			t.Fatal("cancelled queued job was resolved anyway")
+		}
+	}
+	closeLocal(t, l)
+	check()
+}
+
+func TestLocalCancelRunning(t *testing.T) {
+	check := startLeakCheck(t)
+	fr := newFakeResolver(500 * time.Microsecond)
+	l := NewLocal(LocalConfig{Workers: 1, Resolver: fr})
+	ctx := context.Background()
+
+	started := fr.onStart()
+	// 2 plans × 33² points: far more cells than can finish before the
+	// cancel lands.
+	id, err := l.Submit(ctx, Request{Plans: []string{"p1", "p2"}, MaxExp: 32, Grid2D: true})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started
+	ch, err := l.Watch(ctx, id)
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	if err := l.Cancel(ctx, id); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	var last Event
+	for ev := range ch {
+		last = ev
+	}
+	if last.State != JobCancelled {
+		t.Fatalf("final watch event state = %s, want cancelled", last.State)
+	}
+	if _, err := l.Result(ctx, id); !errors.Is(err, ErrJobCancelled) {
+		t.Fatalf("Result err = %v, want ErrJobCancelled", err)
+	}
+	st, _ := l.Status(ctx, id)
+	if st.State != JobCancelled || st.FinishedAt.IsZero() {
+		t.Fatalf("status = %+v, want finished cancelled", st)
+	}
+	closeLocal(t, l)
+	check()
+}
+
+func TestLocalWatchDetach(t *testing.T) {
+	check := startLeakCheck(t)
+	fr := newFakeResolver(0)
+	l := NewLocal(LocalConfig{Workers: 1, Resolver: fr})
+	ctx := context.Background()
+
+	started := fr.onStart()
+	id, _ := l.Submit(ctx, Request{Plans: []string{"block"}, MaxExp: 0})
+	<-started
+
+	wctx, wcancel := context.WithCancel(ctx)
+	ch, err := l.Watch(wctx, id)
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	wcancel()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				goto detached
+			}
+		case <-deadline:
+			t.Fatal("watch channel not closed after its context was cancelled")
+		}
+	}
+detached:
+	// Detaching must not disturb the job.
+	if st, _ := l.Status(ctx, id); st.State != JobRunning {
+		t.Fatalf("job state after watcher detach = %s, want running", st.State)
+	}
+	close(fr.release)
+	if _, err := Wait(ctx, l, id, nil); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	closeLocal(t, l)
+	check()
+}
+
+func TestLocalTTLGC(t *testing.T) {
+	check := startLeakCheck(t)
+	fr := newFakeResolver(0)
+	l := NewLocal(LocalConfig{Workers: 1, Resolver: fr,
+		TTL: 30 * time.Millisecond, gcInterval: 5 * time.Millisecond})
+	ctx := context.Background()
+
+	id, _ := l.Submit(ctx, Request{Plans: []string{"p"}, MaxExp: 2})
+	if _, err := Wait(ctx, l, id, nil); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := l.Status(ctx, id)
+		if errors.Is(err, ErrUnknownJob) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job not garbage-collected after TTL; last err = %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	closeLocal(t, l)
+	check()
+}
+
+func TestLocalDrainAndClose(t *testing.T) {
+	check := startLeakCheck(t)
+	fr := newFakeResolver(0)
+	l := NewLocal(LocalConfig{Workers: 1, Resolver: fr})
+	ctx := context.Background()
+
+	id, _ := l.Submit(ctx, Request{Plans: []string{"p"}, MaxExp: 4})
+	l.Drain()
+	if _, err := l.Submit(ctx, Request{Plans: []string{"late"}, MaxExp: 2}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit while draining err = %v, want ErrDraining", err)
+	}
+	// Graceful close lets the admitted job finish.
+	closeLocal(t, l)
+	if st, err := l.Status(ctx, id); err != nil || st.State != JobSucceeded {
+		t.Fatalf("after graceful close: status = %+v err = %v, want succeeded", st, err)
+	}
+	check()
+}
+
+func TestLocalForcedClose(t *testing.T) {
+	check := startLeakCheck(t)
+	fr := newFakeResolver(500 * time.Microsecond)
+	l := NewLocal(LocalConfig{Workers: 1, Resolver: fr})
+	ctx := context.Background()
+
+	started := fr.onStart()
+	running, _ := l.Submit(ctx, Request{Plans: []string{"p1", "p2"}, MaxExp: 32, Grid2D: true})
+	<-started
+	queued, _ := l.Submit(ctx, Request{Plans: []string{"q"}, MaxExp: 2})
+
+	cctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if err := l.Close(cctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced Close err = %v, want DeadlineExceeded", err)
+	}
+	for _, id := range []JobID{running, queued} {
+		st, err := l.Status(ctx, id)
+		if err != nil || st.State != JobCancelled {
+			t.Fatalf("job %s after forced close: %+v err = %v, want cancelled", id, st, err)
+		}
+	}
+	check()
+}
+
+func TestRunCancelsJobWithCaller(t *testing.T) {
+	check := startLeakCheck(t)
+	fr := newFakeResolver(500 * time.Microsecond)
+	l := NewLocal(LocalConfig{Workers: 1, Resolver: fr})
+
+	started := fr.onStart()
+	rctx, rcancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := Run(rctx, l, Request{Plans: []string{"p1"}, MaxExp: 32, Grid2D: true}, nil)
+		errc <- err
+	}()
+	<-started
+	rcancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run err = %v, want context.Canceled", err)
+	}
+	closeLocal(t, l)
+	check()
+}
+
+func TestRunReportsProgress(t *testing.T) {
+	fr := newFakeResolver(0)
+	l := NewLocal(LocalConfig{Workers: 1, Resolver: fr})
+	defer closeLocal(t, l)
+
+	var mu sync.Mutex
+	var snaps []core.Progress
+	res, err := Run(context.Background(), l,
+		Request{Plans: []string{"p1", "p2"}, MaxExp: 6}, func(p core.Progress) {
+			mu.Lock()
+			snaps = append(snaps, p)
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Map1D == nil {
+		t.Fatal("no map")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots forwarded")
+	}
+	last := snaps[len(snaps)-1]
+	if !last.Done || last.MeasuredCells != 14 {
+		t.Fatalf("final snapshot = %+v, want Done with 14 cells", last)
+	}
+}
+
+func TestLocalFailedJob(t *testing.T) {
+	fr := newFakeResolver(0)
+	l := NewLocal(LocalConfig{Workers: 1, Resolver: failingResolver{fr}})
+	defer closeLocal(t, l)
+	ctx := context.Background()
+
+	id, err := l.Submit(ctx, Request{Plans: []string{"p"}, MaxExp: 2})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := Wait(ctx, l, id, nil); !errors.Is(err, ErrJobFailed) {
+		t.Fatalf("Wait err = %v, want ErrJobFailed", err)
+	}
+	st, _ := l.Status(ctx, id)
+	if st.State != JobFailed || st.Error == "" {
+		t.Fatalf("status = %+v, want failed with error text", st)
+	}
+}
+
+// failingResolver passes Check but fails Resolve, modeling a request
+// that is well-formed yet unrunnable.
+type failingResolver struct{ Resolver }
+
+func (failingResolver) Resolve(Request) (*ResolvedSweep, error) {
+	return nil, fmt.Errorf("resolver exploded")
+}
+
+// TestLocalEngineResolver runs one small request through the real
+// engine-backed resolver and pins it against a direct core sweep over
+// freshly built systems — the in-process half of the "same request,
+// same map, any transport" contract.
+func TestLocalEngineResolver(t *testing.T) {
+	l := NewLocal(LocalConfig{Workers: 1, CacheSize: -1})
+	defer closeLocal(t, l)
+	ctx := context.Background()
+
+	req := Request{Plans: []string{"A1", "A2"}, Rows: 1 << 12, MaxExp: 4}
+	res, err := Run(ctx, l, req, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	rs, err := NewEngineResolver(engine.DefaultConfig()).Resolve(req)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	direct, err := core.NewSweep(rs.Sources, core.Grid1D(rs.Fractions, rs.Thresholds)).
+		Run(ctx)
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	if !reflect.DeepEqual(res.Map1D, direct.Map1D) {
+		t.Fatal("service map differs from direct engine sweep")
+	}
+
+	// Unknown plans are rejected at Submit by the engine resolver.
+	if _, err := l.Submit(ctx, Request{Plans: []string{"ZZ"}, MaxExp: 2}); !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("Submit unknown plan err = %v, want ErrInvalidRequest", err)
+	}
+	// 2-D grids reject single-predicate extras.
+	if _, err := l.Submit(ctx, Request{Plans: []string{"F1-trad"}, MaxExp: 2, Grid2D: true}); !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("Submit 1-pred plan on 2-D grid err = %v, want ErrInvalidRequest", err)
+	}
+}
+
+// TestWatchSlowWatcherGetsTerminalEvent pins the Watch guarantee: a
+// watcher whose buffer is full of stale progress ticks still receives
+// the terminal event before its channel closes.
+func TestWatchSlowWatcherGetsTerminalEvent(t *testing.T) {
+	check := startLeakCheck(t)
+	fr := newFakeResolver(0)
+	l := NewLocal(LocalConfig{Workers: 1, Resolver: fr})
+	ctx := context.Background()
+
+	started := fr.onStart()
+	id, err := l.Submit(ctx, Request{Plans: []string{"block"}, MaxExp: 0})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started
+	ch, err := l.Watch(ctx, id)
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	// Flood the watcher with more progress events than its buffer
+	// holds, without draining any of them.
+	l.mu.Lock()
+	j := l.jobs[id]
+	for i := 0; i < 100; i++ {
+		j.progress = core.Progress{MeasuredCells: i, TotalCells: 100}
+		l.publishLocked(j)
+	}
+	l.mu.Unlock()
+
+	close(fr.release)
+	var last Event
+	for ev := range ch {
+		last = ev
+	}
+	if last.State != JobSucceeded {
+		t.Fatalf("last event = %+v, want the terminal succeeded event", last)
+	}
+	closeLocal(t, l)
+	check()
+}
+
+// TestLocalCloseIdempotent: Close may be called repeatedly and
+// concurrently; every call completes without panicking.
+func TestLocalCloseIdempotent(t *testing.T) {
+	l := NewLocal(LocalConfig{Workers: 1, Resolver: newFakeResolver(0), TTL: time.Hour})
+	ctx := context.Background()
+	if _, err := Run(ctx, l, Request{Plans: []string{"p"}, MaxExp: 2}, nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			defer cancel()
+			if err := l.Close(cctx); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	closeLocal(t, l) // one more after the fact
+}
+
+// unresponsiveService models a daemon that accepted a job and then
+// stopped answering: the watch stream never delivers a terminal event
+// (it closes only when the caller detaches, as the HTTP client's does)
+// and Cancel blocks until its context expires.
+type unresponsiveService struct{}
+
+func (unresponsiveService) Submit(context.Context, Request) (JobID, error) { return "stuck", nil }
+func (unresponsiveService) Status(context.Context, JobID) (JobStatus, error) {
+	return JobStatus{}, nil
+}
+func (unresponsiveService) Result(context.Context, JobID) (*Result, error) { return nil, ErrJobNotDone }
+func (unresponsiveService) Cancel(ctx context.Context, _ JobID) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+func (unresponsiveService) Watch(ctx context.Context, _ JobID) (<-chan Event, error) {
+	ch := make(chan Event)
+	go func() {
+		<-ctx.Done()
+		close(ch)
+	}()
+	return ch, nil
+}
+
+// TestRunDetachesFromUnresponsiveService pins Run's liveness: when the
+// caller cancels and the service stops responding, Run gives the
+// cancellation a bounded grace and then returns ctx.Err() instead of
+// hanging until SIGKILL.
+func TestRunDetachesFromUnresponsiveService(t *testing.T) {
+	check := startLeakCheck(t)
+	oldGrace := cancelGrace
+	cancelGrace = 50 * time.Millisecond
+	defer func() { cancelGrace = oldGrace }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, unresponsiveService{}, Request{Plans: []string{"p"}, MaxExp: 2}, nil)
+		errc <- err
+	}()
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run hung on an unresponsive service after cancellation")
+	}
+	check()
+}
+
+// flakyWatchService models a remote daemon whose first watch stream
+// drops mid-job (connection blip, listener restart): the stream ends
+// with no terminal event while the job is still running; a later watch
+// sees it finish.
+type flakyWatchService struct {
+	res *Result
+
+	mu      sync.Mutex
+	watches int
+}
+
+func (s *flakyWatchService) done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.watches >= 2
+}
+
+func (s *flakyWatchService) Submit(context.Context, Request) (JobID, error) { return "flaky", nil }
+
+func (s *flakyWatchService) Status(context.Context, JobID) (JobStatus, error) {
+	st := JobStatus{ID: "flaky", State: JobRunning}
+	if s.done() {
+		st.State = JobSucceeded
+	}
+	return st, nil
+}
+
+func (s *flakyWatchService) Result(context.Context, JobID) (*Result, error) {
+	if !s.done() {
+		return nil, ErrJobNotDone
+	}
+	return s.res, nil
+}
+
+func (s *flakyWatchService) Cancel(context.Context, JobID) error { return nil }
+
+func (s *flakyWatchService) Watch(context.Context, JobID) (<-chan Event, error) {
+	s.mu.Lock()
+	s.watches++
+	n := s.watches
+	s.mu.Unlock()
+	ch := make(chan Event, 2)
+	ch <- Event{State: JobRunning, Progress: core.Progress{MeasuredCells: n}}
+	if n >= 2 {
+		ch <- Event{State: JobSucceeded}
+	}
+	close(ch) // n == 1: the stream breaks with the job still running
+	return ch, nil
+}
+
+// TestWaitReattachesAfterBrokenStream pins that Wait treats a watch
+// stream ending on a non-terminal state as a broken connection to
+// re-attach, not as completion — previously it returned ErrJobNotDone
+// and orphaned the remote job.
+func TestWaitReattachesAfterBrokenStream(t *testing.T) {
+	oldDelay := watchRetryDelay
+	watchRetryDelay = 5 * time.Millisecond
+	defer func() { watchRetryDelay = oldDelay }()
+
+	want := &Result{Map1D: &core.Map1D{Plans: []string{"p"}}}
+	svc := &flakyWatchService{res: want}
+	res, err := Wait(context.Background(), svc, "flaky", nil)
+	if err != nil {
+		t.Fatalf("Wait across a broken stream: %v", err)
+	}
+	if !reflect.DeepEqual(res, want) {
+		t.Fatalf("result = %+v, want %+v", res, want)
+	}
+	if got := func() int { svc.mu.Lock(); defer svc.mu.Unlock(); return svc.watches }(); got != 2 {
+		t.Fatalf("watch attempts = %d, want 2 (initial + one re-attach)", got)
+	}
+}
+
+// slowSubmitService blocks Submit until released — the window where a
+// remote POST is in flight — and records cancellations.
+type slowSubmitService struct {
+	release chan struct{}
+
+	mu        sync.Mutex
+	cancelled []JobID
+}
+
+func (s *slowSubmitService) Submit(ctx context.Context, _ Request) (JobID, error) {
+	select {
+	case <-s.release:
+		return "slow-1", nil
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+}
+func (s *slowSubmitService) Status(context.Context, JobID) (JobStatus, error) {
+	return JobStatus{State: JobCancelled}, nil
+}
+func (s *slowSubmitService) Result(context.Context, JobID) (*Result, error) {
+	return nil, ErrJobCancelled
+}
+func (s *slowSubmitService) Cancel(_ context.Context, id JobID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cancelled = append(s.cancelled, id)
+	return nil
+}
+func (s *slowSubmitService) Watch(context.Context, JobID) (<-chan Event, error) {
+	ch := make(chan Event)
+	close(ch)
+	return ch, nil
+}
+
+// TestRunCancelDuringSubmitStillCancelsJob pins the submit window of
+// Run's cancellation contract: ctx cancelled while the submission is
+// in flight must not orphan the job — Run waits out the grace for the
+// id and cancels it.
+func TestRunCancelDuringSubmitStillCancelsJob(t *testing.T) {
+	oldGrace := cancelGrace
+	cancelGrace = 2 * time.Second
+	defer func() { cancelGrace = oldGrace }()
+
+	svc := &slowSubmitService{release: make(chan struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, svc, Request{Plans: []string{"p"}, MaxExp: 2}, nil)
+		errc <- err
+	}()
+	cancel()                          // caller interrupted mid-POST
+	time.Sleep(10 * time.Millisecond) // let Run enter the grace wait
+	close(svc.release)                // the POST response finally lands
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run err = %v, want context.Canceled", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		svc.mu.Lock()
+		n := len(svc.cancelled)
+		ok := n == 1 && svc.cancelled[0] == "slow-1"
+		svc.mu.Unlock()
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submitted job was not cancelled (cancelled=%d)", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,232 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"robustmap/internal/core"
+	"robustmap/internal/engine"
+	"robustmap/internal/plan"
+)
+
+// ResolvedSweep is a Request made measurable: the bound plan sources,
+// their cache scopes, the axis, and the adaptive sweeper's result-size
+// oracle.
+type ResolvedSweep struct {
+	// Sources are the measurable plans, in request order. They must be
+	// safe for concurrent sweep workers.
+	Sources []core.PlanSource
+	// Scopes[i] names the system behind Sources[i] for measurement-cache
+	// keys (one shared cache serves several systems without collisions).
+	Scopes []string
+	// Fractions and Thresholds are the request's selectivity axis (used
+	// for both axes of a 2-D grid).
+	Fractions  []float64
+	Thresholds []int64
+	// ResultSize, when non-nil, is the exact result-size oracle handed
+	// to adaptive sweeps.
+	ResultSize func(ta, tb int64) int64
+}
+
+// Resolver turns Requests into measurable sweeps. Check runs at Submit
+// and must be cheap (plan-id validation); Resolve runs on a worker
+// goroutine when the job starts and may build engine systems. Resolvers
+// must be safe for concurrent use.
+type Resolver interface {
+	Check(req Request) error
+	Resolve(req Request) (*ResolvedSweep, error)
+}
+
+// maxCachedSystems bounds the resolver's built-system cache: three
+// systems at a few distinct row counts covers every workload the CLIs
+// and studies generate, and eviction (least recently used) keeps a
+// daemon fed adversarial per-request row counts at a bounded footprint.
+// An evicted system is simply rebuilt on next use; jobs holding it keep
+// measuring on their reference.
+const maxCachedSystems = 9
+
+// EngineResolver is the default Resolver: it resolves plan ids against
+// the paper's plan catalog and measures them on the simulated systems
+// A, B, and C, building each (system, rows) pair once and reusing it
+// across jobs — systems are immutable after build and measure through
+// their session pools, so any number of concurrent jobs can share one.
+// Builds of distinct systems run concurrently; only same-key callers
+// wait on each other.
+type EngineResolver struct {
+	base engine.Config
+
+	mu      sync.Mutex
+	systems map[sysKey]*sysEntry
+}
+
+type sysKey struct {
+	name string
+	rows int64
+}
+
+// sysEntry is one cached build: the once gates the expensive build so
+// the resolver mutex is never held across it.
+type sysEntry struct {
+	once     sync.Once
+	sys      *engine.System
+	err      error
+	lastUsed time.Time
+}
+
+// NewEngineResolver returns a resolver measuring on systems built from
+// the given base configuration (rows are overridden per request).
+func NewEngineResolver(base engine.Config) *EngineResolver {
+	return &EngineResolver{base: base, systems: make(map[sysKey]*sysEntry)}
+}
+
+// catalog maps every known plan id to its plan; twoPred marks the plans
+// of the two-predicate study (the only ones a 2-D grid accepts).
+var catalog, twoPred = func() (map[string]plan.Plan, map[string]bool) {
+	all := map[string]plan.Plan{}
+	two := map[string]bool{}
+	for _, p := range plan.AllPlans() {
+		all[p.ID] = p
+		two[p.ID] = true
+	}
+	for _, p := range plan.Figure2Plans() {
+		if _, ok := all[p.ID]; !ok {
+			all[p.ID] = p
+		}
+	}
+	return all, two
+}()
+
+// KnownPlanIDs lists every plan id a Request may name, sorted.
+func KnownPlanIDs() []string {
+	out := make([]string, 0, len(catalog))
+	for id := range catalog {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Check validates the request's plan ids against the catalog.
+func (r *EngineResolver) Check(req Request) error {
+	if err := req.Validate(); err != nil {
+		return err
+	}
+	for _, id := range req.Plans {
+		p, ok := catalog[id]
+		if !ok {
+			return fmt.Errorf("%w: unknown plan %q (known: %s)",
+				ErrInvalidRequest, id, strings.Join(KnownPlanIDs(), ", "))
+		}
+		if req.Grid2D && !twoPred[p.ID] {
+			return fmt.Errorf("%w: plan %q is a single-predicate Figure 1/2 extra; 2-D grids take the two-predicate study plans",
+				ErrInvalidRequest, id)
+		}
+	}
+	return nil
+}
+
+// system returns the built system for (name, rows), building it on
+// first use. The mutex guards only the cache map; the build itself
+// runs under the entry's once, so concurrent jobs needing different
+// systems build in parallel and same-key callers share one build.
+func (r *EngineResolver) system(name string, rows int64) (*engine.System, error) {
+	k := sysKey{name: name, rows: rows}
+	r.mu.Lock()
+	e, ok := r.systems[k]
+	if !ok {
+		e = &sysEntry{}
+		r.systems[k] = e
+		r.evictLocked(k)
+	}
+	e.lastUsed = time.Now()
+	r.mu.Unlock()
+
+	e.once.Do(func() {
+		cfg := r.base
+		cfg.Rows = rows
+		switch name {
+		case "A":
+			e.sys, e.err = engine.SystemA(cfg)
+		case "B":
+			e.sys, e.err = engine.SystemB(cfg)
+		case "C":
+			e.sys, e.err = engine.SystemC(cfg)
+		default:
+			e.err = fmt.Errorf("service: plan catalog names unknown system %q", name)
+		}
+	})
+	return e.sys, e.err
+}
+
+// evictLocked drops the least-recently-used cached system beyond the
+// capacity, never the entry just inserted.
+func (r *EngineResolver) evictLocked(justAdded sysKey) {
+	for len(r.systems) > maxCachedSystems {
+		var (
+			oldest   sysKey
+			oldestAt time.Time
+			found    bool
+		)
+		for k, e := range r.systems {
+			if k == justAdded {
+				continue
+			}
+			if !found || e.lastUsed.Before(oldestAt) {
+				oldest, oldestAt, found = k, e.lastUsed, true
+			}
+		}
+		if !found {
+			return
+		}
+		delete(r.systems, oldest)
+	}
+}
+
+// Resolve binds the request's plans to their systems. The first plan's
+// system answers the result-size oracle (all systems share one
+// dataset).
+func (r *EngineResolver) Resolve(req Request) (*ResolvedSweep, error) {
+	if err := r.Check(req); err != nil {
+		return nil, err
+	}
+	rows := req.Rows
+	if rows == 0 {
+		rows = r.base.Rows
+	}
+	rs := &ResolvedSweep{}
+	rs.Fractions, rs.Thresholds = core.SweepAxis(rows, req.MaxExp)
+	var oracle *engine.System
+	for _, id := range req.Plans {
+		p := catalog[id]
+		sys, err := r.system(p.System, rows)
+		if err != nil {
+			return nil, err
+		}
+		if oracle == nil {
+			oracle = sys
+		}
+		pp := p
+		rs.Sources = append(rs.Sources, core.PlanSource{
+			ID: pp.ID,
+			Measure: func(ta, tb int64) core.Measurement {
+				res := sys.RunShared(pp, plan.Query{TA: ta, TB: tb})
+				return core.Measurement{Time: res.Time, Rows: res.Rows}
+			},
+		})
+		// The scope carries the row count, not just the system name: one
+		// daemon cache serves jobs of different cardinalities, and the
+		// same (plan, ta, tb) cell measures differently on a 2^14-row
+		// table than on a 2^15-row one.
+		rs.Scopes = append(rs.Scopes, fmt.Sprintf("%s/%d", sys.Name, rows))
+	}
+	if oracle != nil {
+		sys := oracle
+		rs.ResultSize = func(ta, tb int64) int64 {
+			return sys.ResultSize(plan.Query{TA: ta, TB: tb})
+		}
+	}
+	return rs, nil
+}

@@ -1,0 +1,369 @@
+// Package service puts robustness-map sweeps behind a job lifecycle: a
+// sweep is no longer a function call that blocks the caller, but a
+// submitted job with an id, a state machine, streamed progress, and a
+// fetchable result.
+//
+// The Service interface is transport-agnostic: Local runs jobs in
+// process on a bounded worker pool, and the httpapi package serves the
+// same interface over JSON REST (cmd/robustmapd) with an HTTP client
+// that satisfies Service again — so user code, the CLIs, and
+// experiments.Study run against either implementation without change,
+// the way OPA's rego API is the same embedded or behind opa run --server.
+//
+// A Request is a declarative, JSON-serializable description of one
+// sweep (plan ids, table size, axis, grid shape, parallelism,
+// adaptivity); the service resolves it to measurable plan sources.
+// Measurements are deterministic, so a request yields bit-identical
+// maps wherever it runs — in process, on a daemon, today or tomorrow.
+//
+// Job lifecycle:
+//
+//	queued ──▶ running ──▶ succeeded
+//	   │          │    └──▶ failed
+//	   └──────────┴───────▶ cancelled
+//
+// Submit admits the job to a FIFO-within-priority queue; a worker pool
+// of configurable width runs jobs under per-job contexts; Cancel
+// cancels a queued or running job (running jobs stop at the next cell
+// boundary, exactly like cancelling core.Sweep.Run); terminal jobs are
+// retained for a TTL and then garbage-collected.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"robustmap/internal/core"
+)
+
+// JobID identifies one submitted job within a service.
+type JobID string
+
+// JobState is one point of the job lifecycle.
+type JobState string
+
+// The job states. Succeeded, Failed, and Cancelled are terminal.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobSucceeded JobState = "succeeded"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final: no further transitions,
+// events, or progress.
+func (s JobState) Terminal() bool {
+	switch s {
+	case JobSucceeded, JobFailed, JobCancelled:
+		return true
+	}
+	return false
+}
+
+// Request declares one sweep job. It is the serializable counterpart of
+// a core.Sweep: plans are named by id and resolved by the service, the
+// grid is the standard selectivity axis 2^-MaxExp .. 2^0 (the same
+// construction the CLIs and the study use), and every field survives a
+// JSON round trip, so the same request means the same job locally and
+// over HTTP.
+type Request struct {
+	// Plans lists the plan ids to sweep (A1..A7, B1..B4, C1..C2, and
+	// the Figure 1/2 extras; see the plan package).
+	Plans []string `json:"plans"`
+	// Rows is the table cardinality; 0 means the service's engine
+	// default (2^17). Bounded by MaxRows — a daemon builds a
+	// dataset-scale system per distinct (system, rows), so unbounded
+	// client-chosen cardinalities would be a memory grenade.
+	Rows int64 `json:"rows,omitempty"`
+	// MaxExp sets the axis: selectivity fractions 2^-MaxExp .. 2^0.
+	MaxExp int `json:"max_exp"`
+	// Grid2D sweeps the two-predicate (ta, tb) grid instead of the 1-D
+	// axis; it requires two-predicate plans.
+	Grid2D bool `json:"grid_2d,omitempty"`
+	// Parallelism is the sweep worker count inside the job: 0 or 1
+	// serial, n > 1 that many goroutines, -1 all CPUs. Map contents are
+	// identical at every setting.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Refine switches the job to the adaptive multi-resolution sweeper
+	// (measured cells bit-identical to the exhaustive sweep's).
+	Refine bool `json:"refine,omitempty"`
+	// Priority orders admission: higher-priority jobs start first;
+	// equal priorities run in submission order (FIFO).
+	Priority int `json:"priority,omitempty"`
+}
+
+// MaxRows caps Request.Rows: four times the paper's 60M-row study, and
+// far above the 2^17 default — room for any sensible experiment while
+// keeping one job's dataset build bounded.
+const MaxRows = 1 << 28
+
+// Validate checks the structural constraints shared by every resolver:
+// a non-empty plan list, a sane axis, and a meaningful parallelism.
+// Plan-id existence is the resolver's concern (see Resolver.Check).
+func (r Request) Validate() error {
+	if len(r.Plans) == 0 {
+		return fmt.Errorf("%w: no plans", ErrInvalidRequest)
+	}
+	if r.Rows < 0 {
+		return fmt.Errorf("%w: rows must be positive (or 0 for the default), got %d",
+			ErrInvalidRequest, r.Rows)
+	}
+	if r.Rows > MaxRows {
+		return fmt.Errorf("%w: rows must be at most %d, got %d",
+			ErrInvalidRequest, int64(MaxRows), r.Rows)
+	}
+	if r.MaxExp < 0 || r.MaxExp > 40 {
+		return fmt.Errorf("%w: max_exp must be between 0 and 40, got %d",
+			ErrInvalidRequest, r.MaxExp)
+	}
+	if r.Parallelism < -1 {
+		return fmt.Errorf("%w: parallelism must be -1 (all CPUs) or at least 0, got %d",
+			ErrInvalidRequest, r.Parallelism)
+	}
+	return nil
+}
+
+// Result is what a succeeded job produced: the same maps core.SweepResult
+// carries, in a JSON shape that round-trips exactly (durations are
+// integral nanoseconds, fractions round-trip through Go's shortest
+// float encoding), so a remote result is byte-identical to a local one.
+type Result struct {
+	Map1D  *core.Map1D  `json:"map_1d,omitempty"`
+	Mesh1D *core.Mesh1D `json:"mesh_1d,omitempty"`
+	Map2D  *core.Map2D  `json:"map_2d,omitempty"`
+	Mesh2D *core.Mesh2D `json:"mesh_2d,omitempty"`
+}
+
+// JobStatus is a point-in-time snapshot of one job.
+type JobStatus struct {
+	ID      JobID    `json:"id"`
+	State   JobState `json:"state"`
+	Request Request  `json:"request"`
+	// Progress is the job's latest sweep progress snapshot (zero until
+	// the job starts measuring).
+	Progress core.Progress `json:"progress"`
+	// Error is set for failed jobs.
+	Error string `json:"error,omitempty"`
+	// SubmittedAt, StartedAt, and FinishedAt stamp the lifecycle
+	// transitions (zero when not yet reached).
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+}
+
+// Event is one observation on a Watch stream: a state transition or a
+// progress tick. The stream closes after the terminal event.
+type Event struct {
+	State    JobState      `json:"state"`
+	Progress core.Progress `json:"progress"`
+	// Error is set on the terminal event of a failed job.
+	Error string `json:"error,omitempty"`
+}
+
+// Service is the transport-agnostic job API. Implementations: Local
+// (in-process scheduler) and httpapi.Client (the robustmapd client).
+// All methods are safe for concurrent use.
+type Service interface {
+	// Submit validates and admits a job, returning its id. The job runs
+	// asynchronously; ctx bounds only the submission itself.
+	Submit(ctx context.Context, req Request) (JobID, error)
+	// Status reports the job's current state and progress.
+	Status(ctx context.Context, id JobID) (JobStatus, error)
+	// Result returns a succeeded job's maps. It fails with ErrJobNotDone
+	// while the job is queued or running, ErrJobCancelled after
+	// cancellation, and ErrJobFailed (carrying the job's error) after a
+	// failure.
+	Result(ctx context.Context, id JobID) (*Result, error)
+	// Cancel cancels a queued or running job: queued jobs go terminal
+	// immediately, running jobs stop at the next measurement-cell
+	// boundary with no partial result. Cancelling a terminal job is a
+	// no-op.
+	Cancel(ctx context.Context, id JobID) error
+	// Watch streams the job's events: progress ticks while running,
+	// then the terminal event, then the channel closes. Cancelling ctx
+	// detaches the watcher (the job itself is unaffected). Watching a
+	// terminal job yields its final event and an immediate close. Slow
+	// watchers may miss intermediate progress ticks, never the terminal
+	// event.
+	Watch(ctx context.Context, id JobID) (<-chan Event, error)
+}
+
+// The service error vocabulary. Implementations wrap these sentinels so
+// errors.Is works identically in process and across HTTP.
+var (
+	// ErrInvalidRequest rejects a malformed Request at Submit.
+	ErrInvalidRequest = errors.New("invalid request")
+	// ErrUnknownJob names a job id the service does not hold (never
+	// submitted, or garbage-collected after its TTL).
+	ErrUnknownJob = errors.New("unknown job")
+	// ErrJobNotDone rejects Result on a queued or running job.
+	ErrJobNotDone = errors.New("job not done")
+	// ErrJobCancelled rejects Result on a cancelled job.
+	ErrJobCancelled = errors.New("job cancelled")
+	// ErrJobFailed rejects Result on a failed job.
+	ErrJobFailed = errors.New("job failed")
+	// ErrDraining rejects Submit on a service that is shutting down.
+	ErrDraining = errors.New("service draining")
+	// ErrQueueFull rejects Submit when the admission queue is at its
+	// configured limit.
+	ErrQueueFull = errors.New("admission queue full")
+)
+
+// watchRetryDelay spaces out Wait's re-attach attempts after a watch
+// stream ends without a terminal event (a dropped connection, a
+// draining server). A variable so tests can compress it.
+var watchRetryDelay = time.Second
+
+// Wait blocks until the job reaches a terminal state, forwarding
+// progress snapshots to onProgress (which may be nil), and returns the
+// result. A watch stream that ends while the job is still live — a
+// dropped remote connection, say — is re-attached rather than mistaken
+// for completion. Wait returns ctx.Err() if ctx is cancelled first —
+// the job itself keeps running; pair with Cancel (or use Run) to tie
+// the job's lifetime to the caller's.
+func Wait(ctx context.Context, svc Service, id JobID, onProgress core.ProgressFunc) (*Result, error) {
+	doneSeen := false
+	for {
+		ch, err := svc.Watch(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		for ev := range ch {
+			if onProgress == nil {
+				continue
+			}
+			switch {
+			case ev.State == JobRunning:
+				if ev.Progress.TotalCells == 0 {
+					// The queued→running transition event carries no
+					// sweep report yet; observers expect only real
+					// measured/total snapshots.
+					continue
+				}
+				doneSeen = doneSeen || ev.Progress.Done
+				onProgress(ev.Progress)
+			case ev.State == JobSucceeded && ev.Progress.Done && !doneSeen:
+				// A watcher that attached after the sweep's final
+				// report — or missed it to a full buffer — still gets
+				// the completion snapshot, exactly once, so progress
+				// lines always terminate.
+				doneSeen = true
+				onProgress(ev.Progress)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		st, err := svc.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State.Terminal() {
+			return svc.Result(ctx, id)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(watchRetryDelay):
+		}
+	}
+}
+
+// cancelGrace bounds how long Run stays attached after its context is
+// cancelled: long enough for a healthy service to confirm the job's
+// cancellation, short enough that an unresponsive daemon cannot hold an
+// interrupted caller hostage. A variable so tests can compress it.
+var cancelGrace = 5 * time.Second
+
+// Run is the one-call synchronous form over any Service — the service
+// equivalent of core.Sweep.Run: submit the request, stream progress,
+// wait for the terminal state, and return the result. Cancelling ctx
+// cancels the job (not merely the wait) and returns ctx.Err(), so a
+// remote job cannot outlive an interrupted caller; if the service stops
+// responding, Run gives the cancellation cancelGrace to land and then
+// detaches rather than hang.
+func Run(ctx context.Context, svc Service, req Request, onProgress core.ProgressFunc) (*Result, error) {
+	// Submission runs detached from ctx: over HTTP, cancelling mid-POST
+	// would lose the response — and with it the only handle on a job
+	// the server may already have admitted, orphaning it. Instead the
+	// submit completes on its own (sctx exists only to abort it if the
+	// service is unresponsive past the grace), and a caller who
+	// cancelled meanwhile gets the id in time to cancel the job.
+	sctx, scancel := context.WithCancel(context.WithoutCancel(ctx))
+	defer scancel()
+	type submitted struct {
+		id  JobID
+		err error
+	}
+	subc := make(chan submitted, 1)
+	go func() {
+		id, err := svc.Submit(sctx, req)
+		subc <- submitted{id, err}
+	}()
+	var id JobID
+	select {
+	case sub := <-subc:
+		if sub.err != nil {
+			return nil, sub.err
+		}
+		id = sub.id
+	case <-ctx.Done():
+		// Cancelled mid-submit: the job may still land server-side.
+		// Wait out the grace for its id so it can be cancelled rather
+		// than orphaned; past that, scancel (deferred) aborts the
+		// attempt.
+		select {
+		case sub := <-subc:
+			if sub.err == nil {
+				cctx, ccancel := context.WithTimeout(context.WithoutCancel(ctx), cancelGrace)
+				defer ccancel()
+				_ = svc.Cancel(cctx, sub.id)
+			}
+		case <-time.After(cancelGrace):
+		}
+		return nil, ctx.Err()
+	}
+	// The wait runs under its own context so a cancelled caller can
+	// first let the job reach its cancelled state (the watch stream
+	// closing is what ends Wait) and still detach from a dead service.
+	wctx, wcancel := context.WithCancel(context.WithoutCancel(ctx))
+	defer wcancel()
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := Wait(wctx, svc, id, onProgress)
+		done <- outcome{res, err}
+	}()
+	select {
+	case out := <-done:
+		if out.err != nil && ctx.Err() != nil {
+			// Prefer the caller's cancellation over the induced
+			// ErrJobCancelled, matching core.Sweep.Run's contract.
+			return nil, ctx.Err()
+		}
+		return out.res, out.err
+	case <-ctx.Done():
+	}
+	// The caller cancelled: cancel the job (bounded — the service may
+	// be unreachable) while waiting for the terminal event, and detach
+	// once the shared grace elapses, so the total stall against an
+	// unresponsive service is one cancelGrace, not two.
+	cctx, ccancel := context.WithTimeout(context.WithoutCancel(ctx), cancelGrace)
+	go func() {
+		defer ccancel()
+		_ = svc.Cancel(cctx, id) // best-effort: the job may already be terminal
+	}()
+	select {
+	case <-done:
+	case <-time.After(cancelGrace):
+		wcancel()
+		<-done
+	}
+	return nil, ctx.Err()
+}

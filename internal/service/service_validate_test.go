@@ -1,0 +1,134 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"robustmap/internal/core"
+	"robustmap/internal/engine"
+)
+
+// TestRequestRowsBound pins the MaxRows cap: a daemon builds a
+// dataset-scale system per distinct (system, rows), so unbounded
+// client cardinalities must be rejected at validation.
+func TestRequestRowsBound(t *testing.T) {
+	req := Request{Plans: []string{"A1"}, MaxExp: 2, Rows: MaxRows}
+	if err := req.Validate(); err != nil {
+		t.Fatalf("Rows == MaxRows rejected: %v", err)
+	}
+	req.Rows = MaxRows + 1
+	if err := req.Validate(); !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("Rows > MaxRows err = %v, want ErrInvalidRequest", err)
+	}
+}
+
+// TestEngineResolverEviction pins the built-system cache bound: many
+// distinct row counts never hold more than maxCachedSystems systems.
+func TestEngineResolverEviction(t *testing.T) {
+	r := NewEngineResolver(engine.DefaultConfig())
+	for i := 0; i < maxCachedSystems+5; i++ {
+		if _, err := r.system("A", int64(1024+i)); err != nil {
+			t.Fatalf("build %d: %v", i, err)
+		}
+	}
+	r.mu.Lock()
+	n := len(r.systems)
+	r.mu.Unlock()
+	if n > maxCachedSystems {
+		t.Fatalf("cache holds %d systems, want <= %d", n, maxCachedSystems)
+	}
+	// A re-requested evictee is rebuilt transparently.
+	if _, err := r.system("A", 1024); err != nil {
+		t.Fatalf("rebuild after eviction: %v", err)
+	}
+}
+
+// TestEngineResolverConcurrentBuilds: same-key callers share one build,
+// distinct keys build without serializing on a global lock, and every
+// caller sees the identical *System for its key.
+func TestEngineResolverConcurrentBuilds(t *testing.T) {
+	r := NewEngineResolver(engine.DefaultConfig())
+	const per = 4
+	var wg sync.WaitGroup
+	systems := make([]*engine.System, 2*per)
+	for i := 0; i < 2*per; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := "A"
+			if i >= per {
+				name = "B"
+			}
+			s, err := r.system(name, 2048)
+			if err != nil {
+				t.Errorf("system(%s): %v", name, err)
+				return
+			}
+			systems[i] = s
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < per; i++ {
+		if systems[i] != systems[0] {
+			t.Fatal("same-key callers got distinct systems")
+		}
+		if systems[per+i] != systems[per] {
+			t.Fatal("same-key callers got distinct systems (B)")
+		}
+	}
+	if systems[0] == systems[per] {
+		t.Fatal("distinct keys shared one system")
+	}
+}
+
+// TestSharedCacheScopedByRows is the regression pin for a reproduced
+// bug: with one cache shared across jobs, two requests at different
+// cardinalities produce overlapping (plan, ta, tb) keys, and a scope
+// of just the system name let the second job read the first job's
+// cells. The scope must carry the row count.
+func TestSharedCacheScopedByRows(t *testing.T) {
+	l := NewLocal(LocalConfig{Workers: 1, CacheSize: -1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := l.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	ctx := context.Background()
+
+	// Thresholds overlap: rows=16384 gives {4096, 8192, 16384},
+	// rows=32768 gives {8192, 16384, 32768}.
+	small, err := Run(ctx, l, Request{Plans: []string{"A1"}, Rows: 1 << 14, MaxExp: 2}, nil)
+	if err != nil {
+		t.Fatalf("small job: %v", err)
+	}
+	big, err := Run(ctx, l, Request{Plans: []string{"A1"}, Rows: 1 << 15, MaxExp: 2}, nil)
+	if err != nil {
+		t.Fatalf("big job: %v", err)
+	}
+
+	// Ground truth from a cache-free resolver.
+	rs, err := NewEngineResolver(engine.DefaultConfig()).Resolve(
+		Request{Plans: []string{"A1"}, Rows: 1 << 15, MaxExp: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := core.NewSweep(rs.Sources, core.Grid1D(rs.Fractions, rs.Thresholds)).
+		Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(big.Map1D, truth.Map1D) {
+		t.Fatalf("cache-shared big-job map differs from ground truth:\n got %v\nwant %v",
+			big.Map1D.Times, truth.Map1D.Times)
+	}
+	// And the two jobs really did measure different tables.
+	if reflect.DeepEqual(small.Map1D.Times, big.Map1D.Times) {
+		t.Fatal("16384-row and 32768-row maps are identical — cache poisoning")
+	}
+}

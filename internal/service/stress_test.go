@@ -1,0 +1,129 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLocalStress hammers one Local with concurrent Submit / Cancel /
+// Watch / Status from many goroutines — the satellite stress test run
+// under -race in CI. It pins three invariants: every job reaches a
+// terminal state, no job yields a partial result (succeeded jobs have
+// maps, cancelled and failed jobs have none), and the service cleans up
+// every goroutine it started.
+func TestLocalStress(t *testing.T) {
+	check := startLeakCheck(t)
+	fr := newFakeResolver(50 * time.Microsecond)
+	close(fr.release) // no gated plans in this test
+	l := NewLocal(LocalConfig{Workers: 4, Resolver: fr,
+		TTL: time.Hour /* janitor on, but nothing expires mid-test */})
+
+	const (
+		clients       = 8
+		jobsPerClient = 12
+	)
+	var (
+		mu  sync.Mutex
+		ids []JobID
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			ctx := context.Background()
+			for i := 0; i < jobsPerClient; i++ {
+				req := Request{
+					Plans:    []string{fmt.Sprintf("c%d-p1", c), fmt.Sprintf("c%d-p2", c)},
+					MaxExp:   8 + rng.Intn(8),
+					Grid2D:   rng.Intn(2) == 0,
+					Priority: rng.Intn(3),
+				}
+				id, err := l.Submit(ctx, req)
+				if err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+				mu.Lock()
+				ids = append(ids, id)
+				mu.Unlock()
+
+				switch rng.Intn(3) {
+				case 0:
+					// Watch to completion (or detach partway through).
+					wctx, wcancel := context.WithCancel(ctx)
+					ch, err := l.Watch(wctx, id)
+					if err != nil {
+						t.Errorf("Watch: %v", err)
+						wcancel()
+						return
+					}
+					if rng.Intn(2) == 0 {
+						wcancel() // detach immediately
+					}
+					for range ch {
+					}
+					wcancel()
+				case 1:
+					// Cancel after a beat, racing the job's own progress.
+					time.Sleep(time.Duration(rng.Intn(2000)) * time.Microsecond)
+					if err := l.Cancel(ctx, id); err != nil && !errors.Is(err, ErrUnknownJob) {
+						t.Errorf("Cancel: %v", err)
+						return
+					}
+				default:
+					if _, err := l.Status(ctx, id); err != nil {
+						t.Errorf("Status: %v", err)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Everything admitted must reach a terminal state; graceful Close
+	// waits for exactly that.
+	closeLocal(t, l)
+
+	ctx := context.Background()
+	states := map[JobState]int{}
+	for _, id := range ids {
+		st, err := l.Status(ctx, id)
+		if err != nil {
+			t.Fatalf("Status(%s) after close: %v", id, err)
+		}
+		if !st.State.Terminal() {
+			t.Fatalf("job %s not terminal after close: %s", id, st.State)
+		}
+		states[st.State]++
+		res, err := l.Result(ctx, id)
+		switch st.State {
+		case JobSucceeded:
+			if err != nil || res == nil || (res.Map1D == nil && res.Map2D == nil) {
+				t.Fatalf("succeeded job %s has no map (err=%v)", id, err)
+			}
+			if res.Map1D != nil && res.Map2D != nil {
+				t.Fatalf("job %s has both 1-D and 2-D maps", id)
+			}
+		case JobCancelled:
+			if !errors.Is(err, ErrJobCancelled) || res != nil {
+				t.Fatalf("cancelled job %s: res=%v err=%v, want ErrJobCancelled and no partial result", id, res, err)
+			}
+		case JobFailed:
+			t.Fatalf("job %s failed unexpectedly: %s", id, st.Error)
+		}
+	}
+	if states[JobSucceeded] == 0 {
+		t.Fatal("stress run completed no jobs")
+	}
+	t.Logf("stress: %d jobs (%d succeeded, %d cancelled)",
+		len(ids), states[JobSucceeded], states[JobCancelled])
+	check()
+}

@@ -51,6 +51,15 @@
 // goroutines, and WithProgress observes measured/interpolated/total cell
 // counts as the sweep runs.
 //
+// Beyond the synchronous Run, sweeps also run as submitted jobs behind
+// the transport-agnostic Service interface: Submit/Status/Result/
+// Cancel/Watch over a serializable JobRequest, implemented in process
+// (NewLocalService — bounded worker pool, priority admission, shared
+// measurement cache, job TTL) and over JSON REST (NewRemoteService,
+// against the cmd/robustmapd daemon), with bit-identical maps either
+// way. A Study configured with StudyConfig.Service runs its standard
+// sweeps through any Service.
+//
 // The positional entry points (Sweep1D … AdaptiveSweep2DWith) predate the
 // request API and remain as deprecated one-line shims over it.
 //
@@ -66,8 +75,10 @@ import (
 	"robustmap/internal/engine"
 	"robustmap/internal/exec"
 	"robustmap/internal/experiments"
+	"robustmap/internal/httpapi"
 	"robustmap/internal/iomodel"
 	"robustmap/internal/plan"
+	"robustmap/internal/service"
 	"robustmap/internal/vis"
 )
 
@@ -455,6 +466,96 @@ func PlanSourceFor(sys *System, p Plan) PlanSource {
 			return Measurement{Time: r.Time, Rows: r.Rows}
 		},
 	}
+}
+
+// The job service API ---------------------------------------------------------
+//
+// A Service turns sweeps from blocking function calls into submitted
+// jobs: Submit returns a JobID immediately, Status/Watch observe the
+// job, Result fetches the maps, Cancel aborts. The interface is
+// transport-agnostic — NewLocalService schedules jobs in process on a
+// bounded worker pool, NewRemoteService talks to a robustmapd daemon
+// over JSON REST — so the same code serves both, and determinism makes
+// the maps bit-identical either way. Sweep.Run remains as the one-job
+// synchronous path; RunJob is its service-shaped equivalent.
+
+// Service is the transport-agnostic job API over robustness-map sweeps.
+type Service = service.Service
+
+// JobRequest declares one sweep job: plan ids, table size, the standard
+// selectivity axis, grid shape, parallelism, adaptivity, and admission
+// priority. It serializes to JSON, so the same request means the same
+// job locally and over HTTP.
+type JobRequest = service.Request
+
+// JobResult carries a succeeded job's maps (Map1D/Mesh1D or
+// Map2D/Mesh2D, exactly as core.SweepResult would).
+type JobResult = service.Result
+
+// JobID identifies one submitted job within a service.
+type JobID = service.JobID
+
+// JobState is one point of the job lifecycle:
+// queued → running → succeeded | failed | cancelled.
+type JobState = service.JobState
+
+// The job states. Succeeded, Failed, and Cancelled are terminal.
+const (
+	JobQueued    = service.JobQueued
+	JobRunning   = service.JobRunning
+	JobSucceeded = service.JobSucceeded
+	JobFailed    = service.JobFailed
+	JobCancelled = service.JobCancelled
+)
+
+// JobStatus is a point-in-time snapshot of one job: state, echoed
+// request, latest progress, error text, and lifecycle stamps.
+type JobStatus = service.JobStatus
+
+// JobEvent is one observation on a Watch stream.
+type JobEvent = service.Event
+
+// LocalService is the in-process Service: a bounded worker pool over a
+// FIFO-within-priority admission queue, per-job contexts, TTL job GC,
+// and one measurement cache shared across jobs.
+type LocalService = service.Local
+
+// LocalServiceConfig parameterizes NewLocalService.
+type LocalServiceConfig = service.LocalConfig
+
+// The service error vocabulary; errors.Is works identically against a
+// local service and across HTTP.
+var (
+	ErrInvalidJobRequest = service.ErrInvalidRequest
+	ErrUnknownJob        = service.ErrUnknownJob
+	ErrJobNotDone        = service.ErrJobNotDone
+	ErrJobCancelled      = service.ErrJobCancelled
+	ErrJobFailed         = service.ErrJobFailed
+	ErrServiceDraining   = service.ErrDraining
+	ErrJobQueueFull      = service.ErrQueueFull
+)
+
+// NewLocalService starts an in-process job service; its workers are
+// ready when it returns. Release it with Close.
+func NewLocalService(cfg LocalServiceConfig) *LocalService { return service.NewLocal(cfg) }
+
+// NewRemoteService returns a Service backed by the robustmapd daemon at
+// baseURL (e.g. "http://127.0.0.1:8421") — the same API as
+// NewLocalService, over JSON REST with SSE progress streams.
+func NewRemoteService(baseURL string) Service { return httpapi.NewClient(baseURL) }
+
+// WaitJob blocks until the job reaches a terminal state, forwarding
+// progress to onProgress (may be nil), and returns its result. The job
+// keeps running if ctx is cancelled first; see RunJob for tied
+// lifetimes.
+func WaitJob(ctx context.Context, svc Service, id JobID, onProgress ProgressFunc) (*JobResult, error) {
+	return service.Wait(ctx, svc, id, onProgress)
+}
+
+// RunJob is the one-call synchronous form over any Service: submit,
+// stream progress, wait, fetch. Cancelling ctx cancels the job itself.
+func RunJob(ctx context.Context, svc Service, req JobRequest, onProgress ProgressFunc) (*JobResult, error) {
+	return service.Run(ctx, svc, req, onProgress)
 }
 
 // Rendering -----------------------------------------------------------------

@@ -155,3 +155,58 @@ func TestFacadeIOProfiles(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFacadeJobService drives the job lifecycle through the public
+// facade alone: NewLocalService, Submit, Status polling, WaitJob, and
+// the error vocabulary — the downstream view of the service API.
+func TestFacadeJobService(t *testing.T) {
+	svc := NewLocalService(LocalServiceConfig{Workers: 1, CacheSize: -1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := svc.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	ctx := context.Background()
+
+	req := JobRequest{Plans: []string{"A1", "A2"}, Rows: 1 << 12, MaxExp: 4}
+	id, err := svc.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st, err := svc.Status(ctx, id)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.State.Terminal() && st.State != JobSucceeded {
+		t.Fatalf("fresh job state = %s", st.State)
+	}
+	res, err := WaitJob(ctx, svc, id, nil)
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if res.Map1D == nil || !reflect.DeepEqual(res.Map1D.Plans, []string{"A1", "A2"}) {
+		t.Fatalf("result = %+v, want an A1/A2 Map1D", res)
+	}
+
+	// RunJob submits and waits in one call; with the shared cache warm,
+	// it re-measures nothing and returns the identical map.
+	res2, err := RunJob(ctx, svc, req, nil)
+	if err != nil {
+		t.Fatalf("RunJob: %v", err)
+	}
+	if !reflect.DeepEqual(res.Map1D, res2.Map1D) {
+		t.Error("repeated job returned a different map")
+	}
+	if stats := svc.CacheStats(); stats.Hits == 0 {
+		t.Errorf("shared cache saw no hits across jobs: %+v", stats)
+	}
+
+	if _, err := svc.Status(ctx, "ghost"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("Status(ghost) err = %v, want ErrUnknownJob", err)
+	}
+	if _, err := svc.Submit(ctx, JobRequest{}); !errors.Is(err, ErrInvalidJobRequest) {
+		t.Errorf("Submit(zero) err = %v, want ErrInvalidJobRequest", err)
+	}
+}
