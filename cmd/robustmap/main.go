@@ -6,6 +6,7 @@
 //	robustmap -exp fig1 [-out DIR] [-rows N] [-small]
 //	robustmap -all [-out DIR]
 //	robustmap -exp fig7 -server http://127.0.0.1:8421   # sweeps on a daemon
+//	robustmap -workload scenario.json [-out DIR]        # custom workload map
 //
 // Each experiment writes its artifacts (summary.txt, data.csv, map.txt,
 // map.svg, and map.ppm where applicable) under DIR/<id>/ and prints the
@@ -24,11 +25,18 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
+	"time"
 
 	"robustmap/internal/cliutil"
+	"robustmap/internal/core"
+	"robustmap/internal/engine"
 	"robustmap/internal/experiments"
 	"robustmap/internal/httpapi"
+	"robustmap/internal/service"
+	"robustmap/internal/spec"
+	"robustmap/internal/vis"
 )
 
 func main() {
@@ -44,6 +52,7 @@ func main() {
 		cache    = flag.Int("cache", 0, "measurement cache entries shared across sweeps (0 = off, -1 = unbounded)")
 		progress = flag.Bool("progress", false, "render a live measured-cell count line on stderr for every sweep")
 		server   = flag.String("server", "", "run the study's standard sweeps as jobs on the robustmapd at this base URL (local experiments still render the artifacts)")
+		workload = flag.String("workload", "", "render a robustness map for a declarative workload spec (JSON file) instead of a paper experiment")
 	)
 	flag.Parse()
 	fatalf := func(format string, args ...any) {
@@ -58,10 +67,6 @@ func main() {
 		}
 		return
 	}
-	if !*all && *exp == "" {
-		flag.Usage()
-		os.Exit(2)
-	}
 	for _, err := range []error{
 		cliutil.ValidateRowsOverride(*rows),
 		cliutil.ValidateParallelism(*parallel),
@@ -70,6 +75,17 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
+	}
+	if *workload != "" {
+		if *all || *exp != "" || *small {
+			fatalf("-workload runs a workload spec instead of a paper experiment; drop -exp/-all/-small")
+		}
+		runWorkload(*workload, *out, *rows, *parallel, *refine, *cache, *server, *progress, fatalf)
+		return
+	}
+	if !*all && *exp == "" {
+		flag.Usage()
+		os.Exit(2)
 	}
 
 	// Resolve experiment ids before paying for the system build, so an
@@ -179,4 +195,150 @@ func writeArtifacts(dir string, art *experiments.Artifacts) error {
 		}
 	}
 	return nil
+}
+
+// runWorkload renders a robustness map for a declarative workload spec:
+// the workload is submitted as a job (locally, or to -server), and the
+// resulting maps are written as the usual artifact set under
+// out/<workload name>/. This is the "any scenario without recompiling"
+// path — the same spec file drives cmd/sweep, the service API, and a
+// remote daemon with identical results.
+func runWorkload(path, out string, rows int64, parallel int, refine bool,
+	cache int, server string, progress bool, fatalf func(string, ...any)) {
+
+	ws, err := spec.LoadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	req := service.Request{
+		Workload:    ws,
+		Rows:        rows, // already validated non-negative; 0 defers to the workload
+		Parallelism: parallel,
+		Refine:      refine,
+	}
+	if err := req.Validate(); err != nil {
+		fatalf("%v", err)
+	}
+
+	var (
+		svc   service.Service
+		local *service.Local
+	)
+	if server != "" {
+		if cache != 0 {
+			fmt.Fprintln(os.Stderr, "note: -cache is ignored with -server; the daemon manages its own cache")
+		}
+		svc = httpapi.NewClient(server)
+	} else {
+		local = service.NewLocal(service.LocalConfig{Workers: 1, CacheSize: cache})
+		defer func() {
+			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = local.Close(cctx)
+		}()
+		svc = local
+	}
+	var onProgress core.ProgressFunc
+	if progress {
+		onProgress = cliutil.ProgressLine(os.Stderr)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "running workload %q (%d plans)...\n", ws.Name, len(req.EffectivePlans()))
+	res, err := service.Run(ctx, svc, req, onProgress)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "\ninterrupted: workload %q cancelled, no artifacts written\n", ws.Name)
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	art := workloadArtifacts(ws, req, res)
+	fmt.Println(art.Summary)
+	if err := writeArtifacts(out, art); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", filepath.Join(out, art.ID))
+}
+
+// artifactDirName maps a workload name onto a safe single path
+// element: anything outside [A-Za-z0-9._-] becomes '-', and names that
+// would resolve to the current or parent directory fall back to
+// "workload".
+func artifactDirName(name string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, name)
+	if strings.Trim(safe, ".-") == "" {
+		return "workload"
+	}
+	return safe
+}
+
+// workloadArtifacts renders a workload job's maps into the standard
+// artifact set.
+func workloadArtifacts(ws *spec.WorkloadSpec, req service.Request, res *service.Result) *experiments.Artifacts {
+	ids := req.EffectivePlans()
+	renderRows := req.EffectiveRows(engine.DefaultConfig().Rows)
+	fracs, _ := core.SweepAxis(renderRows, req.EffectiveMaxExp())
+	labels := experiments.FractionLabels(fracs)
+	art := &experiments.Artifacts{
+		// The spec name is untrusted input about to become a directory
+		// under -out; sanitize it so a hostile or merely creative name
+		// cannot escape the output tree.
+		ID:    artifactDirName(ws.Name),
+		Title: fmt.Sprintf("workload %s", ws.Name),
+	}
+	var sum strings.Builder
+	fmt.Fprintf(&sum, "workload %s: %d plans, %d rows, axis 2^-%d..1\n",
+		ws.Name, len(ids), renderRows, req.EffectiveMaxExp())
+	if res.Map2D != nil {
+		first := ids[0]
+		bins := core.BinGridAbsolute(res.Map2D.PlanGrid(first), core.DefaultAbsoluteBins())
+		binLabels := core.DefaultAbsoluteBins().Labels()
+		title := fmt.Sprintf("workload %s: plan %s absolute cost", ws.Name, first)
+		art.ASCII = vis.HeatMapASCII(bins, vis.GlyphsAbsolute, labels, labels,
+			title, "absolute time", binLabels)
+		art.SVG = vis.HeatMapSVG(bins, vis.PaletteAbsolute, labels, labels,
+			title, "selectivity a", "selectivity b", binLabels)
+		art.PPM = vis.HeatMapPPM(bins, vis.PaletteAbsolute, 8)
+		winners := res.Map2D.WinnerGrid()
+		counts := map[string]int{}
+		total := 0
+		for _, row := range winners {
+			for _, w := range row {
+				counts[res.Map2D.Plans[w]]++
+				total++
+			}
+		}
+		for _, id := range ids {
+			if n := counts[id]; n > 0 {
+				fmt.Fprintf(&sum, "  %-12s wins %5.1f%% of the grid\n",
+					id, 100*float64(n)/float64(total))
+			}
+		}
+	} else if res.Map1D != nil {
+		series := map[string][]time.Duration{}
+		for _, id := range ids {
+			series[id] = res.Map1D.Series(id)
+		}
+		art.ASCII = vis.LineChartASCII(fracs, series, 72, 20,
+			fmt.Sprintf("workload %s, %d rows", ws.Name, renderRows))
+		art.SVG = vis.LineChartSVG(fracs, series,
+			fmt.Sprintf("workload %s, %d rows", ws.Name, renderRows),
+			"selectivity fraction", "execution time")
+		sum.WriteString(experiments.CurveSummary(res.Map1D, ids))
+	}
+	art.Summary = sum.String()
+	return art
 }

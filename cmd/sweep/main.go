@@ -8,9 +8,19 @@
 //	sweep -plans A1,A2,A4,B1,C1 -rows 65536 -max-exp 8 -grid    # 2-D
 //	sweep -plans A1,B1,C1 -grid -refine -parallel -1 -progress  # adaptive
 //	sweep -server http://127.0.0.1:8421 -plans A1,A2            # remote
+//	sweep -workload my-scenario.json                            # custom
 //
 // Plan ids: A1..A7 (System A), B1..B4 (System B), C1..C2 (System C),
 // F1-trad, F2-merge-ab, F2-merge-ba, F2-hash-ab, F2-hash-ba.
+//
+// With -workload, the sweep runs a declarative workload spec (a JSON
+// file: catalog, plan trees, sweep axes — see DESIGN.md "Workload
+// specs") instead of the built-in plans; -plans/-rows/-max-exp then
+// override the workload's own sweep section when given explicitly, and
+// -grid can force a 2-D grid over a 1-D workload (a 2-D workload stays
+// 2-D — edit its sweep section to change shape). The workload travels
+// inside the job request, so -server sweeps it on a daemon that has
+// never seen it — no recompilation anywhere.
 //
 // Every sweep is a job submitted through the robustmap service API: by
 // default to an in-process service (same engine, same scheduling as the
@@ -33,9 +43,11 @@ import (
 
 	"robustmap/internal/cliutil"
 	"robustmap/internal/core"
+	"robustmap/internal/engine"
 	"robustmap/internal/experiments"
 	"robustmap/internal/httpapi"
 	"robustmap/internal/service"
+	"robustmap/internal/spec"
 	"robustmap/internal/vis"
 )
 
@@ -51,6 +63,7 @@ func main() {
 		cache    = flag.Int("cache", 0, "measurement cache entries (0 = off, -1 = unbounded); repeated cells are never re-measured (in-process sweeps; a daemon manages its own cache)")
 		progress = flag.Bool("progress", false, "render a live measured-cell count line on stderr")
 		server   = flag.String("server", "", "submit to a robustmapd at this base URL instead of sweeping in process")
+		workload = flag.String("workload", "", "sweep a declarative workload spec (JSON file) instead of the built-in plans")
 	)
 	flag.Parse()
 	fatalf := func(format string, args ...any) {
@@ -81,6 +94,33 @@ func main() {
 		Parallelism: *parallel,
 		Refine:      *refine,
 	}
+	if *workload != "" {
+		ws, err := spec.LoadFile(*workload)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		req.Workload = ws
+		// The workload's own sweep section provides the defaults; an
+		// explicitly passed flag still overrides it (except the
+		// degenerate -max-exp 0, which defers to the workload — edit
+		// its sweep section for a single-point axis).
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["plans"] {
+			req.Plans = nil
+		}
+		if !set["rows"] {
+			req.Rows = 0
+		}
+		if !set["max-exp"] {
+			req.MaxExp = 0
+		}
+	}
+	if err := req.Validate(); err != nil {
+		fatalf("%v", err)
+	}
+	ids = req.EffectivePlans()
+	grid2d := req.EffectiveGrid2D()
 
 	// The sweep runs as a submitted job either way; only the service
 	// behind the submission differs.
@@ -124,9 +164,10 @@ func main() {
 		}
 	}
 
-	fracs, _ := core.SweepAxis(*rows, *maxExp)
-	if !*grid {
-		render1D(res, ids, fracs, *rows)
+	renderRows := req.EffectiveRows(engine.DefaultConfig().Rows)
+	fracs, _ := core.SweepAxis(renderRows, req.EffectiveMaxExp())
+	if !grid2d {
+		render1D(res, ids, fracs, renderRows)
 	} else {
 		render2D(res, ids, fracs, *relative)
 	}
@@ -150,11 +191,7 @@ func render1D(res *service.Result, ids []string, fracs []float64, rows int64) {
 	}
 	fmt.Println(vis.LineChartASCII(fracs, series, 72, 20,
 		fmt.Sprintf("1-D sweep, %d rows", rows)))
-	for _, id := range ids {
-		st := core.SummarizeCurve(m.Rows, m.Series(id))
-		fmt.Printf("%-12s min=%v max=%v max/min=%.1f landmarks=%d\n",
-			id, st.Min, st.Max, st.MaxOverMin, st.Landmarks)
-	}
+	fmt.Print(experiments.CurveSummary(m, ids))
 }
 
 // render2D prints the heat map (absolute or relative) and, for adaptive
@@ -173,35 +210,18 @@ func render2D(res *service.Result, ids []string, fracs []float64, relative bool)
 		bins := core.BinGridRelative(rel, core.DefaultRelativeBins())
 		fmt.Println(vis.HeatMapASCII(bins, vis.GlyphsRelative, labels, labels,
 			fmt.Sprintf("plan %s relative to best of %v", first, ids),
-			"relative factor", relLabels()))
+			"relative factor", core.DefaultRelativeBins().Labels()))
 		sum := core.SummarizeRelative(rel)
 		fmt.Printf("optimal %.0f%%, within 10x %.0f%%, worst %.0f, p95 %.0f\n",
 			sum.OptimalFraction*100, sum.WithinFactor10*100, sum.Worst, sum.P95)
 	} else {
 		bins := core.BinGridAbsolute(m.PlanGrid(first), core.DefaultAbsoluteBins())
 		fmt.Println(vis.HeatMapASCII(bins, vis.GlyphsAbsolute, labels, labels,
-			fmt.Sprintf("plan %s absolute cost", first), "absolute time", absLabels()))
+			fmt.Sprintf("plan %s absolute cost", first), "absolute time",
+			core.DefaultAbsoluteBins().Labels()))
 	}
 	if mesh != nil {
 		fmt.Println(vis.RegionASCII(mesh.Points, labels,
 			"refinement mesh: measured points (#) vs interpolated (.)"))
 	}
-}
-
-func absLabels() []string {
-	b := core.DefaultAbsoluteBins()
-	out := make([]string, b.Count)
-	for i := range out {
-		out[i] = b.Label(i)
-	}
-	return out
-}
-
-func relLabels() []string {
-	b := core.DefaultRelativeBins()
-	out := make([]string, b.Count)
-	for i := range out {
-		out[i] = b.Label(i)
-	}
-	return out
 }

@@ -47,6 +47,16 @@ func (b AbsoluteBins) Label(bin int) string {
 	return fmt.Sprintf("%g-%g seconds", lo, lo*10)
 }
 
+// Labels renders every bin label in order — the legend column the
+// renderers take.
+func (b AbsoluteBins) Labels() []string {
+	out := make([]string, b.Count)
+	for i := range out {
+		out[i] = b.Label(i)
+	}
+	return out
+}
+
 // RelativeBins is the Figure 6 scale: factor 1 is its own bin, then one
 // bin per order of magnitude of the quotient against the best plan
 // (1–10, 10–100, …, 10,000–100,000).
@@ -91,6 +101,15 @@ func (b RelativeBins) Label(bin int) string {
 	}
 	lo := math.Pow(10, float64(bin-1))
 	return fmt.Sprintf("factor %g-%g", lo, lo*10)
+}
+
+// Labels renders every bin label in order.
+func (b RelativeBins) Labels() []string {
+	out := make([]string, b.Count)
+	for i := range out {
+		out[i] = b.Label(i)
+	}
+	return out
 }
 
 // BinGridAbsolute bins a time grid with the absolute scale.

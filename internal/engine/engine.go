@@ -52,11 +52,58 @@ type Config struct {
 	// Versioned adds MVCC headers to base rows (System B).
 	Versioned bool
 	// Indexes lists which secondary indexes to build: any of "a", "b",
-	// "ab", "ba".
+	// "ab", "ba" — shorthand for the conventional IndexDefs of the
+	// paper's study. Ignored when IndexDefs is set.
 	Indexes []string
+	// IndexDefs generalizes Indexes: arbitrary named secondary indexes
+	// over schema columns, in key order. Workload-spec systems build
+	// through this.
+	IndexDefs []IndexDef
+	// TableName overrides the base table's name; empty means the
+	// conventional plan.TableName ("lineitem").
+	TableName string
 	// ZipfA and ZipfB skew the predicate columns (see datagen.Spec); zero
 	// keeps the exact-selectivity permutations. Used by the skew ablation.
 	ZipfA, ZipfB float64
+}
+
+// IndexDef names one secondary index to build: its key columns, in
+// order.
+type IndexDef struct {
+	Name    string
+	Columns []string
+}
+
+// tableName resolves the configured base-table name.
+func (c Config) tableName() string {
+	if c.TableName != "" {
+		return c.TableName
+	}
+	return plan.TableName
+}
+
+// indexDefs resolves the configured index set: IndexDefs verbatim, or
+// the Indexes shorthand mapped onto the conventional definitions.
+func (c Config) indexDefs() ([]IndexDef, error) {
+	if len(c.IndexDefs) > 0 {
+		return c.IndexDefs, nil
+	}
+	defs := make([]IndexDef, 0, len(c.Indexes))
+	for _, s := range c.Indexes {
+		switch s {
+		case "a":
+			defs = append(defs, IndexDef{Name: plan.IdxA, Columns: []string{"a"}})
+		case "b":
+			defs = append(defs, IndexDef{Name: plan.IdxB, Columns: []string{"b"}})
+		case "ab":
+			defs = append(defs, IndexDef{Name: plan.IdxAB, Columns: []string{"a", "b"}})
+		case "ba":
+			defs = append(defs, IndexDef{Name: plan.IdxBA, Columns: []string{"b", "a"}})
+		default:
+			return nil, fmt.Errorf("engine: unknown index spec %q", s)
+		}
+	}
+	return defs, nil
 }
 
 // DefaultConfig returns the experiment defaults: 2^17 rows (the sweeps use
@@ -94,6 +141,7 @@ type System struct {
 
 	disk      *storage.Disk
 	schema    *record.Schema
+	tableName string
 	heapFile  storage.FileID
 	heapRows  int64
 	versioned bool
@@ -146,16 +194,34 @@ func BuildSystem(name string, cfg Config) (*System, error) {
 	// pools are sized by cfg.PoolPages.
 	pool := storage.NewPool(disk, dev, loadClock, 4096)
 
+	defs, err := cfg.indexDefs()
+	if err != nil {
+		return nil, err
+	}
 	sys := &System{
-		Name:    name,
-		cfg:     cfg,
-		disk:    disk,
-		schema:  datagen.Schema(),
-		indexes: make(map[string]indexMeta),
+		Name:      name,
+		cfg:       cfg,
+		disk:      disk,
+		schema:    datagen.Schema(),
+		tableName: cfg.tableName(),
+		indexes:   make(map[string]indexMeta),
+	}
+	for _, def := range defs {
+		if def.Name == "" {
+			return nil, fmt.Errorf("engine: index definition with no name")
+		}
+		if len(def.Columns) == 0 {
+			return nil, fmt.Errorf("engine: index %q has no columns", def.Name)
+		}
+		for _, col := range def.Columns {
+			if sys.schema.Ordinal(col) < 0 {
+				return nil, fmt.Errorf("engine: index %q references unknown column %q", def.Name, col)
+			}
+		}
 	}
 
 	heap := storage.CreateHeap(pool)
-	tbl := &catalog.Table{Name: plan.TableName, Schema: sys.schema, Heap: heap}
+	tbl := &catalog.Table{Name: sys.tableName, Schema: sys.schema, Heap: heap}
 
 	var store *mvcc.Store
 	var txn mvcc.TxnID
@@ -174,7 +240,7 @@ func BuildSystem(name string, cfg Config) (*System, error) {
 	ordB := sys.schema.MustOrdinal("b")
 	sys.abPairs = make([][2]int64, 0, cfg.Rows)
 	var encodeBuf []byte
-	err := datagen.Generate(spec, func(row []record.Value) error {
+	err = datagen.Generate(spec, func(row []record.Value) error {
 		sys.abPairs = append(sys.abPairs, [2]int64{row[ordA].AsInt(), row[ordB].AsInt()})
 		encodeBuf = encodeBuf[:0]
 		var err error
@@ -196,28 +262,14 @@ func BuildSystem(name string, cfg Config) (*System, error) {
 	sys.heapRows = heap.NumRows()
 
 	loader := catalog.Loader(pool, loadClock)
-	for _, spec := range cfg.Indexes {
-		var name string
-		var cols []string
-		switch spec {
-		case "a":
-			name, cols = plan.IdxA, []string{"a"}
-		case "b":
-			name, cols = plan.IdxB, []string{"b"}
-		case "ab":
-			name, cols = plan.IdxAB, []string{"a", "b"}
-		case "ba":
-			name, cols = plan.IdxBA, []string{"b", "a"}
-		default:
-			return nil, fmt.Errorf("engine: unknown index spec %q", spec)
-		}
+	for _, def := range defs {
 		covering := !cfg.Versioned // MVCC on base rows only: never covering
-		ix, err := catalog.BuildIndex(name, tbl, loader, covering, cols...)
+		ix, err := catalog.BuildIndex(def.Name, tbl, loader, covering, def.Columns...)
 		if err != nil {
 			return nil, err
 		}
-		sys.indexes[name] = indexMeta{
-			name: name, columns: cols, covering: covering, meta: btree.MetaOf(ix.Tree),
+		sys.indexes[def.Name] = indexMeta{
+			name: def.Name, columns: def.Columns, covering: covering, meta: btree.MetaOf(ix.Tree),
 		}
 	}
 	pool.FlushAll()
@@ -256,7 +308,7 @@ func (s *System) Rows() int64 { return s.heapRows }
 func (s *System) openCatalog(pool *storage.Pool, clock *simclock.Clock) *catalog.Catalog {
 	c := catalog.New()
 	heap := storage.OpenHeap(pool, s.heapFile, s.heapRows)
-	tbl := &catalog.Table{Name: plan.TableName, Schema: s.schema, Heap: heap}
+	tbl := &catalog.Table{Name: s.tableName, Schema: s.schema, Heap: heap}
 	if s.versioned {
 		tbl.Versioned = mvcc.NewStore(heap)
 	}
@@ -308,7 +360,7 @@ func (s *System) ResultSize(q plan.Query) int64 {
 // access is the pool's own; this accessor exposes the heap only.
 func (s *System) OpenTable(pool *storage.Pool) *catalog.Table {
 	heap := storage.OpenHeap(pool, s.heapFile, s.heapRows)
-	tbl := &catalog.Table{Name: plan.TableName, Schema: s.schema, Heap: heap}
+	tbl := &catalog.Table{Name: s.tableName, Schema: s.schema, Heap: heap}
 	if s.versioned {
 		tbl.Versioned = mvcc.NewStore(heap)
 	}

@@ -103,18 +103,24 @@ func (s *Sort) build() {
 		return w.finish()
 	}
 
-	// Phase 1: fill memory.
+	// Phase 1: fill memory. Once the input reports exhaustion it must
+	// not see another Next (scan operators treat that as a contract
+	// violation), so the overflow probe runs only on a full buffer.
 	buf := make([]Row, 0, 1024)
 	overflowRow, overflowed := Row(nil), false
+	exhausted := false
 	for int64(len(buf)) < maxRows {
 		row, ok := s.input.Next()
 		if !ok {
+			exhausted = true
 			break
 		}
 		buf = append(buf, copyRow(row))
 	}
-	if r, ok := s.input.Next(); ok {
-		overflowRow, overflowed = copyRow(r), true
+	if !exhausted {
+		if r, ok := s.input.Next(); ok {
+			overflowRow, overflowed = copyRow(r), true
+		}
 	}
 	if !overflowed {
 		s.sortRows(buf)

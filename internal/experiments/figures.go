@@ -340,23 +340,9 @@ func relative2D(s *Study, id, title, planID string, check func(m *core.Map2D) []
 	}
 }
 
-func legendLabelsAbsolute() []string {
-	b := core.DefaultAbsoluteBins()
-	out := make([]string, b.Count)
-	for i := range out {
-		out[i] = b.Label(i)
-	}
-	return out
-}
+func legendLabelsAbsolute() []string { return core.DefaultAbsoluteBins().Labels() }
 
-func legendLabelsRelative() []string {
-	b := core.DefaultRelativeBins()
-	out := make([]string, b.Count)
-	for i := range out {
-		out[i] = b.Label(i)
-	}
-	return out
-}
+func legendLabelsRelative() []string { return core.DefaultRelativeBins().Labels() }
 
 // Figure4 is the two-predicate single-index plan, absolute.
 func Figure4(s *Study) *Artifacts {

@@ -3,7 +3,21 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"robustmap/internal/core"
 )
+
+// CurveSummary renders the per-plan statistics block both CLIs print
+// for 1-D maps: one "id min max max/min landmarks" line per plan.
+func CurveSummary(m *core.Map1D, ids []string) string {
+	var b strings.Builder
+	for _, id := range ids {
+		st := core.SummarizeCurve(m.Rows, m.Series(id))
+		fmt.Fprintf(&b, "%-12s min=%v max=%v max/min=%.1f landmarks=%d\n",
+			id, st.Min, st.Max, st.MaxOverMin, st.Landmarks)
+	}
+	return b.String()
+}
 
 // HTMLReport renders a set of artifacts as one self-contained HTML page
 // with inline SVG maps — the "robustness report" a database team would

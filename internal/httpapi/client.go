@@ -122,6 +122,17 @@ func (c *Client) Cancel(ctx context.Context, id service.JobID) error {
 	return c.do(ctx, http.MethodDelete, "/v1/jobs/"+string(id), nil, nil)
 }
 
+// Plans fetches the daemon's built-in plan catalog (ids, systems,
+// descriptions) — what a Request without a workload spec may name in
+// Plans.
+func (c *Client) Plans(ctx context.Context) ([]service.PlanInfo, error) {
+	var pr plansResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/plans", nil, &pr); err != nil {
+		return nil, err
+	}
+	return pr.Plans, nil
+}
+
 // Health probes /healthz, returning nil when the daemon is up.
 func (c *Client) Health(ctx context.Context) error {
 	var hr healthResponse

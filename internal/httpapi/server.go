@@ -10,7 +10,12 @@
 //	GET    /v1/jobs/{id}/result succeeded job's maps
 //	GET    /v1/jobs/{id}/watch  Server-Sent Events progress stream
 //	DELETE /v1/jobs/{id}        cancel (idempotent on terminal jobs)
+//	GET    /v1/plans            built-in plan ids, systems, descriptions
 //	GET    /healthz             liveness probe
+//
+// A Request may carry a full workload spec ("workload": {...}) instead
+// of naming built-in plans; it rides the same POST body and is
+// validated at submission like any other request field.
 //
 // Errors are a single JSON shape, {"code": "...", "message": "..."},
 // with codes mirroring the service error vocabulary (invalid_request,
@@ -25,6 +30,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"sort"
 	"time"
 
 	"robustmap/internal/service"
@@ -44,6 +50,13 @@ type submitResponse struct {
 // healthResponse answers GET /healthz.
 type healthResponse struct {
 	Status string `json:"status"`
+}
+
+// plansResponse answers GET /v1/plans: the built-in plan catalog, so
+// clients can discover valid Request.Plans values instead of guessing.
+type plansResponse struct {
+	Plans   []service.PlanInfo `json:"plans"`
+	Systems []string           `json:"systems"`
 }
 
 // The wire error codes, mapped 1:1 onto the service sentinels.
@@ -130,6 +143,7 @@ func NewServer(svc service.Service, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/watch", s.handleWatch)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/plans", s.handlePlans)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
 }
@@ -170,8 +184,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	s.logf("httpapi: submitted %s: plans=%v max_exp=%d grid2d=%v refine=%v",
-		id, req.Plans, req.MaxExp, req.Grid2D, req.Refine)
+	if req.Workload != nil {
+		s.logf("httpapi: submitted %s: workload=%s/%s plans=%v max_exp=%d grid2d=%v refine=%v",
+			id, req.Workload.Name, req.Workload.Hash(), req.EffectivePlans(),
+			req.EffectiveMaxExp(), req.EffectiveGrid2D(), req.Refine)
+	} else {
+		s.logf("httpapi: submitted %s: plans=%v max_exp=%d grid2d=%v refine=%v",
+			id, req.Plans, req.MaxExp, req.Grid2D, req.Refine)
+	}
 	s.writeJSON(w, http.StatusAccepted, submitResponse{ID: id})
 }
 
@@ -258,4 +278,21 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, healthResponse{Status: "ok"})
+}
+
+// handlePlans serves the built-in plan catalog. The listing is a
+// property of the engine build, not of any job, so it is served
+// directly rather than through the Service interface.
+func (s *Server) handlePlans(w http.ResponseWriter, _ *http.Request) {
+	plans := service.BuiltinPlans()
+	seen := map[string]bool{}
+	var systems []string
+	for _, p := range plans {
+		if !seen[p.System] {
+			seen[p.System] = true
+			systems = append(systems, p.System)
+		}
+	}
+	sort.Strings(systems)
+	s.writeJSON(w, http.StatusOK, plansResponse{Plans: plans, Systems: systems})
 }

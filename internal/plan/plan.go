@@ -14,15 +14,24 @@
 // Thirteen distinct plans cover the three systems, matching the paper's
 // count ("a total of 13 distinct plans across all systems"): seven in
 // System A, four more in System B, and two in System C.
+//
+// The plans are no longer hand-written Go: they are declared once, as a
+// workload spec (paper_workload.json, embedded below), and compiled
+// through the same operator registry (compile.go) that serves
+// user-supplied workload files. The PlanA1TableScan()-style constructors
+// remain as thin wrappers over that compiled catalog, pinned
+// byte-identical to the original hand-built versions by the equivalence
+// tests.
 package plan
 
 import (
+	_ "embed"
 	"fmt"
+	"sync"
 
 	"robustmap/internal/catalog"
 	"robustmap/internal/exec"
-	"robustmap/internal/mdam"
-	"robustmap/internal/record"
+	"robustmap/internal/spec"
 )
 
 // Conventional object names shared by all systems.
@@ -70,145 +79,66 @@ type Plan struct {
 	Build BuildFunc
 }
 
-// ridRowAdapter drains a RID iterator as rows of one dummy column — used
-// when a plan's result is consumed only for counting.
-// (Not needed today: all plans end in row-producing operators.)
+// --- The embedded paper workload ------------------------------------------
 
-// aPreds returns the residual predicate a < ta against the table schema.
-func aPred(c *catalog.Catalog, ta int64) exec.ColPred {
-	t := c.Table(TableName)
-	return exec.ColPred{Col: t.Schema.MustOrdinal("a"), Hi: record.Int(ta)}
-}
+//go:embed paper_workload.json
+var paperWorkloadJSON []byte
 
-func bPred(c *catalog.Catalog, tb int64) exec.ColPred {
-	t := c.Table(TableName)
-	return exec.ColPred{Col: t.Schema.MustOrdinal("b"), Hi: record.Int(tb)}
-}
-
-// scanRange builds the [0, t) bound pair for a single-column index.
-func scanRange(ix *catalog.Index, t int64) (lo, hi []byte) {
-	return nil, ix.PrefixFor(record.Int(t))
-}
-
-// tablePreds assembles the predicates for a full-row plan.
-func tablePreds(c *catalog.Catalog, q Query) []exec.ColPred {
-	preds := []exec.ColPred{aPred(c, q.TA)}
-	if !q.OnlyA() {
-		preds = append(preds, bPred(c, q.TB))
+// PaperWorkload returns the paper's full study — catalog, the 13 study
+// plans plus the Figure 1/2 extras grouped into systems A/B/C, and the
+// standard 2-D sweep — as a workload spec. The returned spec is a fresh
+// decode on every call, so callers may modify it freely (it is the
+// natural starting point for custom workload files).
+func PaperWorkload() *spec.WorkloadSpec {
+	w, err := spec.Parse(paperWorkloadJSON)
+	if err != nil {
+		panic(fmt.Sprintf("plan: embedded paper workload is invalid: %v", err))
 	}
-	return preds
+	return w
+}
+
+// paperCompiled compiles the embedded workload once; every constructor
+// below serves from it.
+var paperCompiled = sync.OnceValue(func() *CompiledWorkload {
+	cw, err := CompileWorkload(PaperWorkload())
+	if err != nil {
+		panic(fmt.Sprintf("plan: embedded paper workload does not compile: %v", err))
+	}
+	return cw
+})
+
+// paperPlan fetches one compiled paper plan by id.
+func paperPlan(id string) Plan {
+	p, ok := paperCompiled().Plan(id)
+	if !ok {
+		panic(fmt.Sprintf("plan: embedded paper workload has no plan %q", id))
+	}
+	return p
 }
 
 // --- System A plans (seven, for the two-predicate query) ---------------
 
 // PlanA1TableScan scans the base table and filters.
-func PlanA1TableScan() Plan {
-	return Plan{
-		ID: "A1", System: "A",
-		Description: "table scan, all predicates applied to every row",
-		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
-			return exec.NewTableScan(ctx, c.Table(TableName), tablePreds(c, q))
-		},
-	}
-}
+func PlanA1TableScan() Plan { return paperPlan("A1") }
 
 // PlanA2IdxAImproved scans idx(a) and fetches rows with the improved
 // (sorted, gap-streaming) fetch; the b predicate is residual.
-func PlanA2IdxAImproved() Plan {
-	return Plan{
-		ID: "A2", System: "A",
-		Description: "idx(a) range scan, improved fetch, residual b predicate",
-		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
-			ix := c.Index(IdxA)
-			lo, hi := scanRange(ix, q.TA)
-			var residual []exec.ColPred
-			if !q.OnlyA() {
-				residual = []exec.ColPred{bPred(c, q.TB)}
-			}
-			return exec.NewImprovedFetch(ctx, c.Table(TableName),
-				exec.NewIndexRangeScan(ctx, ix, lo, hi), residual, 0)
-		},
-	}
-}
+func PlanA2IdxAImproved() Plan { return paperPlan("A2") }
 
 // PlanA3IdxBImproved is the symmetric plan on idx(b).
-func PlanA3IdxBImproved() Plan {
-	return Plan{
-		ID: "A3", System: "A",
-		Description: "idx(b) range scan, improved fetch, residual a predicate",
-		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
-			if q.OnlyA() {
-				panic("plan A3 requires a two-predicate query")
-			}
-			ix := c.Index(IdxB)
-			lo, hi := scanRange(ix, q.TB)
-			return exec.NewImprovedFetch(ctx, c.Table(TableName),
-				exec.NewIndexRangeScan(ctx, ix, lo, hi),
-				[]exec.ColPred{aPred(c, q.TA)}, 0)
-		},
-	}
-}
-
-// intersectionInputs builds the two index range scans of the 2-D query.
-func intersectionInputs(ctx *exec.Ctx, c *catalog.Catalog, q Query) (sa, sb exec.RIDIter) {
-	ixA, ixB := c.Index(IdxA), c.Index(IdxB)
-	loA, hiA := scanRange(ixA, q.TA)
-	loB, hiB := scanRange(ixB, q.TB)
-	return exec.NewIndexRangeScan(ctx, ixA, loA, hiA),
-		exec.NewIndexRangeScan(ctx, ixB, loB, hiB)
-}
+func PlanA3IdxBImproved() Plan { return paperPlan("A3") }
 
 // PlanA4MergeAB intersects idx(a) with idx(b) by merge join, then fetches.
-func PlanA4MergeAB() Plan {
-	return Plan{
-		ID: "A4", System: "A",
-		Description: "merge-join intersection idx(a) ⋂ idx(b), improved fetch",
-		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
-			sa, sb := intersectionInputs(ctx, c, q)
-			j := exec.NewRIDMergeIntersect(ctx, sa, sb)
-			return exec.NewImprovedFetch(ctx, c.Table(TableName), j, nil, 0)
-		},
-	}
-}
+func PlanA4MergeAB() Plan { return paperPlan("A4") }
 
 // PlanA5MergeBA is the merge intersection in the other join order.
-func PlanA5MergeBA() Plan {
-	return Plan{
-		ID: "A5", System: "A",
-		Description: "merge-join intersection idx(b) ⋂ idx(a), improved fetch",
-		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
-			sa, sb := intersectionInputs(ctx, c, q)
-			j := exec.NewRIDMergeIntersect(ctx, sb, sa)
-			return exec.NewImprovedFetch(ctx, c.Table(TableName), j, nil, 0)
-		},
-	}
-}
+func PlanA5MergeBA() Plan { return paperPlan("A5") }
 
 // PlanA6HashAB hash-intersects with idx(a) as the build side.
-func PlanA6HashAB() Plan {
-	return Plan{
-		ID: "A6", System: "A",
-		Description: "hash intersection, build idx(a), probe idx(b), improved fetch",
-		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
-			sa, sb := intersectionInputs(ctx, c, q)
-			j := exec.NewRIDHashIntersect(ctx, sa, sb)
-			return exec.NewImprovedFetch(ctx, c.Table(TableName), j, nil, 0)
-		},
-	}
-}
+func PlanA6HashAB() Plan { return paperPlan("A6") }
 
 // PlanA7HashBA hash-intersects with idx(b) as the build side.
-func PlanA7HashBA() Plan {
-	return Plan{
-		ID: "A7", System: "A",
-		Description: "hash intersection, build idx(b), probe idx(a), improved fetch",
-		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
-			sa, sb := intersectionInputs(ctx, c, q)
-			j := exec.NewRIDHashIntersect(ctx, sb, sa)
-			return exec.NewImprovedFetch(ctx, c.Table(TableName), j, nil, 0)
-		},
-	}
-}
+func PlanA7HashBA() Plan { return paperPlan("A7") }
 
 // --- System B plans (four) ----------------------------------------------
 //
@@ -218,130 +148,32 @@ func PlanA7HashBA() Plan {
 
 // PlanB1IdxABBitmap scans idx(a,b) with both predicates on the entries,
 // then bitmap-fetches the full rows (visibility forces the fetch).
-func PlanB1IdxABBitmap() Plan {
-	return Plan{
-		ID: "B1", System: "B",
-		Description: "idx(a,b) entry filter, bitmap-sorted fetch of base rows",
-		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
-			ix := c.Index(IdxAB)
-			lo, hi := scanRange(ix, q.TA) // range on leading column a
-			var entryPreds []exec.ColPred
-			if !q.OnlyA() {
-				entryPreds = []exec.ColPred{{Col: 1, Hi: record.Int(q.TB)}}
-			}
-			rids := exec.NewIndexKeyFilterScan(ctx, ix, lo, hi, entryPreds)
-			return exec.NewBitmapFetch(ctx, c.Table(TableName), rids, nil)
-		},
-	}
-}
+func PlanB1IdxABBitmap() Plan { return paperPlan("B1") }
 
 // PlanB2IdxBABitmap is the symmetric plan over idx(b,a).
-func PlanB2IdxBABitmap() Plan {
-	return Plan{
-		ID: "B2", System: "B",
-		Description: "idx(b,a) entry filter, bitmap-sorted fetch of base rows",
-		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
-			if q.OnlyA() {
-				panic("plan B2 requires a two-predicate query")
-			}
-			ix := c.Index(IdxBA)
-			lo, hi := scanRange(ix, q.TB) // leading column is b
-			entryPreds := []exec.ColPred{{Col: 1, Hi: record.Int(q.TA)}}
-			rids := exec.NewIndexKeyFilterScan(ctx, ix, lo, hi, entryPreds)
-			return exec.NewBitmapFetch(ctx, c.Table(TableName), rids, nil)
-		},
-	}
-}
+func PlanB2IdxBABitmap() Plan { return paperPlan("B2") }
 
 // PlanB3IdxABitmap scans single-column idx(a) and bitmap-fetches.
-func PlanB3IdxABitmap() Plan {
-	return Plan{
-		ID: "B3", System: "B",
-		Description: "idx(a) range scan, bitmap-sorted fetch, residual b predicate",
-		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
-			ix := c.Index(IdxA)
-			lo, hi := scanRange(ix, q.TA)
-			var residual []exec.ColPred
-			if !q.OnlyA() {
-				residual = []exec.ColPred{bPred(c, q.TB)}
-			}
-			return exec.NewBitmapFetch(ctx, c.Table(TableName),
-				exec.NewIndexRangeScan(ctx, ix, lo, hi), residual)
-		},
-	}
-}
+func PlanB3IdxABitmap() Plan { return paperPlan("B3") }
 
 // PlanB4IdxBBitmap is the symmetric plan on idx(b).
-func PlanB4IdxBBitmap() Plan {
-	return Plan{
-		ID: "B4", System: "B",
-		Description: "idx(b) range scan, bitmap-sorted fetch, residual a predicate",
-		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
-			if q.OnlyA() {
-				panic("plan B4 requires a two-predicate query")
-			}
-			ix := c.Index(IdxB)
-			lo, hi := scanRange(ix, q.TB)
-			return exec.NewBitmapFetch(ctx, c.Table(TableName),
-				exec.NewIndexRangeScan(ctx, ix, lo, hi),
-				[]exec.ColPred{aPred(c, q.TA)})
-		},
-	}
-}
+func PlanB4IdxBBitmap() Plan { return paperPlan("B4") }
 
 // --- System C plans (two) -----------------------------------------------
 
 // PlanC1MDAMAB answers the query index-only via MDAM over idx(a,b).
-func PlanC1MDAMAB() Plan {
-	return Plan{
-		ID: "C1", System: "C",
-		Description: "MDAM over covering idx(a,b), index-only",
-		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
-			second := mdam.All()
-			if !q.OnlyA() {
-				second = mdam.LessThan(record.Int(q.TB))
-			}
-			return exec.NewMDAMScan(ctx, c.Index(IdxAB),
-				mdam.LessThan(record.Int(q.TA)), second)
-		},
-	}
-}
+func PlanC1MDAMAB() Plan { return paperPlan("C1") }
 
-// PlanC2MDAMBA answers the query index-only via MDAM over idx(b,a).
-func PlanC2MDAMBA() Plan {
-	return Plan{
-		ID: "C2", System: "C",
-		Description: "MDAM over covering idx(b,a), index-only",
-		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
-			if q.OnlyA() {
-				// With no b predicate the leading column is unrestricted:
-				// MDAM degrades to a full index sweep with an a filter —
-				// still a legal fixed plan.
-				return exec.NewMDAMScan(ctx, c.Index(IdxBA),
-					mdam.All(), mdam.LessThan(record.Int(q.TA)))
-			}
-			return exec.NewMDAMScan(ctx, c.Index(IdxBA),
-				mdam.LessThan(record.Int(q.TB)), mdam.LessThan(record.Int(q.TA)))
-		},
-	}
-}
+// PlanC2MDAMBA answers the query index-only via MDAM over idx(b,a). With
+// no b predicate the leading column is unrestricted and MDAM degrades to
+// a full index sweep with an a filter — still a legal fixed plan.
+func PlanC2MDAMBA() Plan { return paperPlan("C2") }
 
 // --- Figure 1 / Figure 2 plan sets (single-predicate query) --------------
 
 // PlanFig1Traditional is the traditional index scan of Figure 1: idx(a)
 // range scan with row-at-a-time fetch in key order.
-func PlanFig1Traditional() Plan {
-	return Plan{
-		ID: "F1-trad", System: "A",
-		Description: "idx(a) range scan, traditional row-at-a-time fetch",
-		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
-			ix := c.Index(IdxA)
-			lo, hi := scanRange(ix, q.TA)
-			return exec.NewTraditionalFetch(ctx, c.Table(TableName),
-				exec.NewIndexRangeScan(ctx, ix, lo, hi), nil)
-		},
-	}
-}
+func PlanFig1Traditional() Plan { return paperPlan("F1-trad") }
 
 // PlanFig2IndexJoin joins idx(a)'s qualifying range against the full
 // idx(b) on RID, covering the (a, b) output without touching the table —
@@ -349,39 +181,13 @@ func PlanFig1Traditional() Plan {
 // the join result covers the query". algo selects merge or hash; buildA
 // selects the join order.
 func PlanFig2IndexJoin(algo string, buildA bool) Plan {
-	id := fmt.Sprintf("F2-%s-%s", algo, map[bool]string{true: "ab", false: "ba"}[buildA])
-	return Plan{
-		ID: id, System: "A",
-		Description: fmt.Sprintf("covering index join idx(a)⨝idx(b) on RID (%s, build-%s)",
-			algo, map[bool]string{true: "a", false: "b"}[buildA]),
-		Build: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
-			ixA, ixB := c.Index(IdxA), c.Index(IdxB)
-			loA, hiA := scanRange(ixA, q.TA)
-			sa := exec.NewIndexRangeScan(ctx, ixA, loA, hiA)
-			sb := exec.NewIndexRangeScan(ctx, ixB, nil, nil) // full idx(b)
-			var j exec.RIDIter
-			switch {
-			case algo == "merge":
-				if buildA {
-					j = exec.NewRIDMergeIntersect(ctx, sa, sb)
-				} else {
-					j = exec.NewRIDMergeIntersect(ctx, sb, sa)
-				}
-			case buildA:
-				j = exec.NewRIDHashIntersect(ctx, sa, sb)
-			default:
-				j = exec.NewRIDHashIntersect(ctx, sb, sa)
-			}
-			// The join result covers (a, b): emit one row per RID without
-			// fetching. Row content is not needed for the cost study; a
-			// count-shaped row stands in for the covered columns.
-			return &ridsAsRows{inner: j}
-		},
-	}
+	return paperPlan(fmt.Sprintf("F2-%s-%s", algo, map[bool]string{true: "ab", false: "ba"}[buildA]))
 }
 
 // ridsAsRows adapts a RID stream to a RowIter emitting one empty row per
-// RID (the covered columns are already paid for by the index scans).
+// RID — the rids_as_rows operator. Figure 2's covering index joins end in
+// it: the joined (a, b) columns are already paid for by the index scans,
+// so the result is consumed only for counting and no fetch is needed.
 type ridsAsRows struct {
 	inner exec.RIDIter
 	row   exec.Row
@@ -403,25 +209,29 @@ func (r *ridsAsRows) Close() { r.inner.Close() }
 
 // --- Plan sets ------------------------------------------------------------
 
+// plansByID fetches compiled paper plans in the given id order.
+func plansByID(ids ...string) []Plan {
+	out := make([]Plan, len(ids))
+	for i, id := range ids {
+		out[i] = paperPlan(id)
+	}
+	return out
+}
+
 // SystemAPlans returns System A's seven two-predicate plans, the set whose
 // best-of defines the relative maps of Figures 7 and 10.
 func SystemAPlans() []Plan {
-	return []Plan{
-		PlanA1TableScan(), PlanA2IdxAImproved(), PlanA3IdxBImproved(),
-		PlanA4MergeAB(), PlanA5MergeBA(), PlanA6HashAB(), PlanA7HashBA(),
-	}
+	return plansByID("A1", "A2", "A3", "A4", "A5", "A6", "A7")
 }
 
 // SystemBPlans returns System B's four additional plans.
 func SystemBPlans() []Plan {
-	return []Plan{
-		PlanB1IdxABBitmap(), PlanB2IdxBABitmap(), PlanB3IdxABitmap(), PlanB4IdxBBitmap(),
-	}
+	return plansByID("B1", "B2", "B3", "B4")
 }
 
 // SystemCPlans returns System C's two MDAM plans.
 func SystemCPlans() []Plan {
-	return []Plan{PlanC1MDAMAB(), PlanC2MDAMBA()}
+	return plansByID("C1", "C2")
 }
 
 // AllPlans returns all thirteen distinct plans of the study.
@@ -434,16 +244,14 @@ func AllPlans() []Plan {
 
 // Figure1Plans returns the three plans of Figure 1 (single-predicate).
 func Figure1Plans() []Plan {
-	return []Plan{PlanA1TableScan(), PlanFig1Traditional(), PlanA2IdxAImproved()}
+	return plansByID("A1", "F1-trad", "A2")
 }
 
 // Figure2Plans returns Figure 2's advanced selection plans: Figure 1's
 // three plus the four covering index joins.
 func Figure2Plans() []Plan {
 	return append(Figure1Plans(),
-		PlanFig2IndexJoin("merge", true), PlanFig2IndexJoin("merge", false),
-		PlanFig2IndexJoin("hash", true), PlanFig2IndexJoin("hash", false),
-	)
+		plansByID("F2-merge-ab", "F2-merge-ba", "F2-hash-ab", "F2-hash-ba")...)
 }
 
 // ByID returns the plan with the given id from a set; missing ids panic

@@ -463,7 +463,7 @@ func (l *Local) execute(j *job) (res *Result, err error) {
 			l.mu.Unlock()
 		}),
 	}
-	if j.req.Grid2D {
+	if j.req.EffectiveGrid2D() {
 		opts = append(opts, core.Grid2D(rs.Fractions, rs.Fractions, rs.Thresholds, rs.Thresholds))
 	} else {
 		opts = append(opts, core.Grid1D(rs.Fractions, rs.Thresholds))

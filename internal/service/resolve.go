@@ -10,6 +10,7 @@ import (
 	"robustmap/internal/core"
 	"robustmap/internal/engine"
 	"robustmap/internal/plan"
+	"robustmap/internal/spec"
 )
 
 // ResolvedSweep is a Request made measurable: the bound plan sources,
@@ -109,9 +110,35 @@ func KnownPlanIDs() []string {
 	return out
 }
 
-// Check validates the request's plan ids against the catalog.
+// PlanInfo describes one built-in plan — the discovery shape served by
+// GET /v1/plans so clients can learn valid Request.Plans values.
+type PlanInfo struct {
+	ID          string `json:"id"`
+	System      string `json:"system"`
+	Description string `json:"description"`
+}
+
+// BuiltinPlans lists every plan a workload-less Request may name,
+// sorted by id.
+func BuiltinPlans() []PlanInfo {
+	out := make([]PlanInfo, 0, len(catalog))
+	for _, id := range KnownPlanIDs() {
+		p := catalog[id]
+		out = append(out, PlanInfo{ID: p.ID, System: p.System, Description: p.Description})
+	}
+	return out
+}
+
+// Check validates the request's plan ids — against the built-in catalog,
+// or against its workload spec, whose plan trees are fully compiled
+// (operator vocabulary, schema ordinals, index references) so a bad
+// workload is rejected at Submit, not when the job starts.
 func (r *EngineResolver) Check(req Request) error {
 	if err := req.Validate(); err != nil {
+		return err
+	}
+	if req.Workload != nil {
+		_, err := compileWorkloadRequest(req)
 		return err
 	}
 	for _, id := range req.Plans {
@@ -128,12 +155,39 @@ func (r *EngineResolver) Check(req Request) error {
 	return nil
 }
 
-// system returns the built system for (name, rows), building it on
-// first use. The mutex guards only the cache map; the build itself
-// runs under the entry's once, so concurrent jobs needing different
-// systems build in parallel and same-key callers share one build.
-func (r *EngineResolver) system(name string, rows int64) (*engine.System, error) {
-	k := sysKey{name: name, rows: rows}
+// compileWorkloadRequest compiles a workload-carrying request's spec
+// and checks its plan references — shared by Check (Submit-time
+// rejection) and Resolve (which keeps the compiled result, so a job
+// compiles once when it runs).
+func compileWorkloadRequest(req Request) (*plan.CompiledWorkload, error) {
+	cw, err := plan.CompileWorkload(req.Workload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+	}
+	for _, id := range req.EffectivePlans() {
+		if _, ok := cw.Plan(id); !ok {
+			return nil, fmt.Errorf("%w: workload %q has no plan %q (declared: %s)",
+				ErrInvalidRequest, req.Workload.Name, id,
+				strings.Join(req.Workload.PlanIDs(), ", "))
+		}
+		// A plan that needs the b threshold — flagged requires_tb, or
+		// referencing param "tb" without an if_param/absent_all guard —
+		// would panic or quietly measure empty ranges at 1-D points;
+		// reject the mismatch at admission instead.
+		if ps, _ := req.Workload.Plan(id); ps != nil && ps.NeedsTB() && !req.EffectiveGrid2D() {
+			return nil, fmt.Errorf("%w: workload plan %q requires a two-predicate query; sweep it on a 2-D grid (grid_2d)",
+				ErrInvalidRequest, id)
+		}
+	}
+	return cw, nil
+}
+
+// system returns the built system cached under key, building it with
+// build on first use. The mutex guards only the cache map; the build
+// itself runs under the entry's once, so concurrent jobs needing
+// different systems build in parallel and same-key callers share one
+// build.
+func (r *EngineResolver) system(k sysKey, build func() (*engine.System, error)) (*engine.System, error) {
 	r.mu.Lock()
 	e, ok := r.systems[k]
 	if !ok {
@@ -144,21 +198,58 @@ func (r *EngineResolver) system(name string, rows int64) (*engine.System, error)
 	e.lastUsed = time.Now()
 	r.mu.Unlock()
 
-	e.once.Do(func() {
+	e.once.Do(func() { e.sys, e.err = build() })
+	return e.sys, e.err
+}
+
+// builtinSystem builds one of the paper's systems A, B, or C at the
+// given cardinality.
+func (r *EngineResolver) builtinSystem(name string, rows int64) (*engine.System, error) {
+	return r.system(sysKey{name: name, rows: rows}, func() (*engine.System, error) {
 		cfg := r.base
 		cfg.Rows = rows
 		switch name {
 		case "A":
-			e.sys, e.err = engine.SystemA(cfg)
+			return engine.SystemA(cfg)
 		case "B":
-			e.sys, e.err = engine.SystemB(cfg)
+			return engine.SystemB(cfg)
 		case "C":
-			e.sys, e.err = engine.SystemC(cfg)
+			return engine.SystemC(cfg)
 		default:
-			e.err = fmt.Errorf("service: plan catalog names unknown system %q", name)
+			return nil, fmt.Errorf("service: plan catalog names unknown system %q", name)
 		}
 	})
-	return e.sys, e.err
+}
+
+// workloadSystem builds one workload-spec system. The cache key carries
+// the workload's content hash, so two workloads that happen to share a
+// system name (or a workload shadowing the built-in "A") can never
+// share a built dataset.
+func (r *EngineResolver) workloadSystem(ws *spec.WorkloadSpec, hash string,
+	sys *spec.SystemSpec, rows int64) (*engine.System, error) {
+
+	return r.system(sysKey{name: "w/" + hash + "/" + sys.Name, rows: rows}, func() (*engine.System, error) {
+		t := ws.Catalog.Table()
+		cfg := r.base
+		cfg.Rows = rows
+		cfg.Versioned = sys.Versioned
+		cfg.TableName = t.Name
+		cfg.ZipfA, cfg.ZipfB = t.ZipfA, t.ZipfB
+		if t.Seed != 0 {
+			cfg.Seed = t.Seed
+		}
+		if t.PayloadBytes != 0 {
+			cfg.PayloadBytes = t.PayloadBytes
+		}
+		cfg.IndexDefs = nil
+		for _, name := range sys.Indexes {
+			def := ws.Catalog.Index(name)
+			cfg.IndexDefs = append(cfg.IndexDefs,
+				engine.IndexDef{Name: def.Name, Columns: def.Columns})
+		}
+		cfg.Indexes = nil
+		return engine.BuildSystem(sys.Name, cfg)
+	})
 }
 
 // evictLocked drops the least-recently-used cached system beyond the
@@ -189,26 +280,67 @@ func (r *EngineResolver) evictLocked(justAdded sysKey) {
 // system answers the result-size oracle (all systems share one
 // dataset).
 func (r *EngineResolver) Resolve(req Request) (*ResolvedSweep, error) {
-	if err := r.Check(req); err != nil {
+	// The workload branch validates through compileWorkloadRequest
+	// directly (rather than via Check) so the compiled plans are kept —
+	// a job's spec compiles once when it runs, not once to check and
+	// again to bind.
+	var cw *plan.CompiledWorkload
+	if req.Workload != nil {
+		if err := req.Validate(); err != nil {
+			return nil, err
+		}
+		var err error
+		if cw, err = compileWorkloadRequest(req); err != nil {
+			return nil, err
+		}
+	} else if err := r.Check(req); err != nil {
 		return nil, err
 	}
-	rows := req.Rows
-	if rows == 0 {
-		rows = r.base.Rows
-	}
+	rows := req.EffectiveRows(r.base.Rows)
 	rs := &ResolvedSweep{}
-	rs.Fractions, rs.Thresholds = core.SweepAxis(rows, req.MaxExp)
+	rs.Fractions, rs.Thresholds = core.SweepAxis(rows, req.EffectiveMaxExp())
+
+	// lookup maps a plan id to its Plan and built system; scope names
+	// the (dataset, system, cardinality) behind it for measurement-cache
+	// keys. Workload scopes carry the spec's content hash, so a custom
+	// workload can never poison the built-in catalog's cache entries
+	// (or another workload's).
+	var lookup func(id string) (plan.Plan, *engine.System, string, error)
+	if ws := req.Workload; ws != nil {
+		hash := ws.Hash()
+		lookup = func(id string) (plan.Plan, *engine.System, string, error) {
+			p, _ := cw.Plan(id)
+			_, sysSpec := ws.Plan(id)
+			sys, err := r.workloadSystem(ws, hash, sysSpec, rows)
+			if err != nil {
+				return plan.Plan{}, nil, "", err
+			}
+			return p, sys, fmt.Sprintf("w/%s/%s/%d", hash, sysSpec.Name, rows), nil
+		}
+	} else {
+		lookup = func(id string) (plan.Plan, *engine.System, string, error) {
+			p := catalog[id]
+			sys, err := r.builtinSystem(p.System, rows)
+			if err != nil {
+				return plan.Plan{}, nil, "", err
+			}
+			// The scope carries the row count, not just the system name:
+			// one daemon cache serves jobs of different cardinalities,
+			// and the same (plan, ta, tb) cell measures differently on a
+			// 2^14-row table than on a 2^15-row one.
+			return p, sys, fmt.Sprintf("%s/%d", sys.Name, rows), nil
+		}
+	}
+
 	var oracle *engine.System
-	for _, id := range req.Plans {
-		p := catalog[id]
-		sys, err := r.system(p.System, rows)
+	for _, id := range req.EffectivePlans() {
+		pp, sys, scope, err := lookup(id)
 		if err != nil {
 			return nil, err
 		}
 		if oracle == nil {
 			oracle = sys
 		}
-		pp := p
 		rs.Sources = append(rs.Sources, core.PlanSource{
 			ID: pp.ID,
 			Measure: func(ta, tb int64) core.Measurement {
@@ -216,11 +348,7 @@ func (r *EngineResolver) Resolve(req Request) (*ResolvedSweep, error) {
 				return core.Measurement{Time: res.Time, Rows: res.Rows}
 			},
 		})
-		// The scope carries the row count, not just the system name: one
-		// daemon cache serves jobs of different cardinalities, and the
-		// same (plan, ta, tb) cell measures differently on a 2^14-row
-		// table than on a 2^15-row one.
-		rs.Scopes = append(rs.Scopes, fmt.Sprintf("%s/%d", sys.Name, rows))
+		rs.Scopes = append(rs.Scopes, scope)
 	}
 	if oracle != nil {
 		sys := oracle

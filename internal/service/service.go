@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"robustmap/internal/core"
+	"robustmap/internal/spec"
 )
 
 // JobID identifies one submitted job within a service.
@@ -71,8 +72,18 @@ func (s JobState) Terminal() bool {
 // over HTTP.
 type Request struct {
 	// Plans lists the plan ids to sweep (A1..A7, B1..B4, C1..C2, and
-	// the Figure 1/2 extras; see the plan package).
-	Plans []string `json:"plans"`
+	// the Figure 1/2 extras; see the plan package). With a Workload set,
+	// the ids name that workload's plans instead, and an empty list
+	// means the workload's own sweep plan list (or every plan it
+	// declares).
+	Plans []string `json:"plans,omitempty"`
+	// Workload, when set, replaces the built-in plan catalog with a
+	// declarative workload spec: its catalog decides the dataset, its
+	// plan trees are compiled by the plan registry, and its sweep
+	// section provides defaults for Plans, MaxExp, and Grid2D. The spec
+	// is validated and compiled at Submit; systems are built (and cached
+	// under the spec's content hash) when the job starts.
+	Workload *spec.WorkloadSpec `json:"workload,omitempty"`
 	// Rows is the table cardinality; 0 means the service's engine
 	// default (2^17). Bounded by MaxRows — a daemon builds a
 	// dataset-scale system per distinct (system, rows), so unbounded
@@ -101,19 +112,26 @@ type Request struct {
 const MaxRows = 1 << 28
 
 // Validate checks the structural constraints shared by every resolver:
-// a non-empty plan list, a sane axis, and a meaningful parallelism.
-// Plan-id existence is the resolver's concern (see Resolver.Check).
+// a non-empty (effective) plan list, a sane axis, a meaningful
+// parallelism, and — when a workload spec rides along — the spec's own
+// structural rules. Plan-id existence and operator semantics are the
+// resolver's concern (see Resolver.Check).
 func (r Request) Validate() error {
-	if len(r.Plans) == 0 {
+	if r.Workload != nil {
+		if err := r.Workload.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+		}
+	}
+	if len(r.EffectivePlans()) == 0 {
 		return fmt.Errorf("%w: no plans", ErrInvalidRequest)
 	}
 	if r.Rows < 0 {
 		return fmt.Errorf("%w: rows must be positive (or 0 for the default), got %d",
 			ErrInvalidRequest, r.Rows)
 	}
-	if r.Rows > MaxRows {
+	if rows := r.EffectiveRows(0); rows > MaxRows {
 		return fmt.Errorf("%w: rows must be at most %d, got %d",
-			ErrInvalidRequest, int64(MaxRows), r.Rows)
+			ErrInvalidRequest, int64(MaxRows), rows)
 	}
 	if r.MaxExp < 0 || r.MaxExp > 40 {
 		return fmt.Errorf("%w: max_exp must be between 0 and 40, got %d",
@@ -124,6 +142,52 @@ func (r Request) Validate() error {
 			ErrInvalidRequest, r.Parallelism)
 	}
 	return nil
+}
+
+// EffectivePlans resolves the plan ids the request sweeps: the explicit
+// Plans list, else the workload's sweep plan list, else every plan the
+// workload declares. Nil for a built-in request with no plans (invalid).
+func (r Request) EffectivePlans() []string {
+	if len(r.Plans) > 0 {
+		return r.Plans
+	}
+	if r.Workload != nil {
+		return r.Workload.SweepPlans()
+	}
+	return nil
+}
+
+// EffectiveMaxExp resolves the sweep axis depth: the explicit MaxExp if
+// positive, else the workload's. With a workload present, MaxExp 0
+// always defers to the workload — the degenerate single-point axis
+// (max_exp 0) is expressed in the workload's own sweep section, not as
+// a request override.
+func (r Request) EffectiveMaxExp() int {
+	if r.MaxExp == 0 && r.Workload != nil {
+		return r.Workload.Sweep.MaxExp
+	}
+	return r.MaxExp
+}
+
+// EffectiveGrid2D resolves the grid shape: 2-D when the request or the
+// workload's sweep says so.
+func (r Request) EffectiveGrid2D() bool {
+	return r.Grid2D || (r.Workload != nil && r.Workload.Sweep.Grid2D)
+}
+
+// EffectiveRows resolves the table cardinality: the explicit Rows if
+// positive, else the workload catalog's, else the given service
+// default.
+func (r Request) EffectiveRows(def int64) int64 {
+	if r.Rows > 0 {
+		return r.Rows
+	}
+	if r.Workload != nil {
+		if t := r.Workload.Catalog.Table(); t != nil && t.Rows > 0 {
+			return t.Rows
+		}
+	}
+	return def
 }
 
 // Result is what a succeeded job produced: the same maps core.SweepResult

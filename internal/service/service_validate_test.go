@@ -31,7 +31,7 @@ func TestRequestRowsBound(t *testing.T) {
 func TestEngineResolverEviction(t *testing.T) {
 	r := NewEngineResolver(engine.DefaultConfig())
 	for i := 0; i < maxCachedSystems+5; i++ {
-		if _, err := r.system("A", int64(1024+i)); err != nil {
+		if _, err := r.builtinSystem("A", int64(1024+i)); err != nil {
 			t.Fatalf("build %d: %v", i, err)
 		}
 	}
@@ -42,7 +42,7 @@ func TestEngineResolverEviction(t *testing.T) {
 		t.Fatalf("cache holds %d systems, want <= %d", n, maxCachedSystems)
 	}
 	// A re-requested evictee is rebuilt transparently.
-	if _, err := r.system("A", 1024); err != nil {
+	if _, err := r.builtinSystem("A", 1024); err != nil {
 		t.Fatalf("rebuild after eviction: %v", err)
 	}
 }
@@ -63,7 +63,7 @@ func TestEngineResolverConcurrentBuilds(t *testing.T) {
 			if i >= per {
 				name = "B"
 			}
-			s, err := r.system(name, 2048)
+			s, err := r.builtinSystem(name, 2048)
 			if err != nil {
 				t.Errorf("system(%s): %v", name, err)
 				return

@@ -1,0 +1,169 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"robustmap/internal/core"
+	"robustmap/internal/engine"
+	"robustmap/internal/plan"
+	"robustmap/internal/spec"
+)
+
+// zipfWorkload returns a workload whose plan ids shadow the built-in
+// catalog ("A1") but measure different data — the adversarial shape for
+// cache scoping.
+func zipfWorkload(rows int64) *spec.WorkloadSpec {
+	return &spec.WorkloadSpec{
+		Name: "zipf-shadow",
+		Catalog: spec.CatalogSpec{
+			Tables:  []spec.TableSpec{{Name: "lineitem", Rows: rows, ZipfA: 1.5}},
+			Indexes: []spec.IndexSpec{{Name: "idx_a", Columns: []string{"a"}}},
+		},
+		Systems: []spec.SystemSpec{{
+			Name:    "A",
+			Indexes: []string{"idx_a"},
+			Plans: []spec.PlanSpec{{
+				ID:          "A1",
+				Description: "table scan over zipf-skewed a",
+				Root: &spec.PlanNode{Op: "table_scan", Table: "lineitem",
+					Preds: []spec.PredSpec{
+						{Column: "a", Hi: &spec.ValueSpec{Param: "ta"}},
+						{Column: "b", Hi: &spec.ValueSpec{Param: "tb"}, IfParam: "tb"},
+					}},
+			}},
+		}},
+		Sweep: spec.SweepSpec{MaxExp: 2},
+	}
+}
+
+// TestWorkloadSubmitValidation pins that a bad workload is rejected at
+// Submit — spec structure, operator vocabulary, and plan references all
+// map onto ErrInvalidRequest.
+func TestWorkloadSubmitValidation(t *testing.T) {
+	l := NewLocal(LocalConfig{Workers: 1})
+	defer closeLocal(t, l)
+	ctx := context.Background()
+
+	cases := []struct {
+		name   string
+		mutate func(*Request)
+	}{
+		{"structurally invalid spec", func(r *Request) { r.Workload.Systems = nil }},
+		{"unknown op", func(r *Request) {
+			r.Workload.Systems[0].Plans[0].Root.Op = "quantum_scan"
+		}},
+		{"plan id not in workload", func(r *Request) { r.Plans = []string{"Z9"} }},
+		{"requires_tb plan on a 1-D sweep", func(r *Request) {
+			r.Workload.Systems[0].Plans[0].RequiresTB = true
+		}},
+		{"unguarded tb reference on a 1-D sweep", func(r *Request) {
+			// Drop the if_param guard: the b predicate now references tb
+			// unconditionally, which a tb=-1 sweep point cannot satisfy.
+			r.Workload.Systems[0].Plans[0].Root.Preds[1].IfParam = ""
+		}},
+		{"workload rows beyond cap", func(r *Request) {
+			r.Workload.Catalog.Tables[0].Rows = MaxRows + 1
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := Request{Workload: zipfWorkload(1 << 10)}
+			tc.mutate(&req)
+			if _, err := l.Submit(ctx, req); !errors.Is(err, ErrInvalidRequest) {
+				t.Fatalf("Submit err = %v, want ErrInvalidRequest", err)
+			}
+		})
+	}
+
+	// And the request defaults resolve from the workload's sweep section.
+	req := Request{Workload: zipfWorkload(1 << 10)}
+	if got := req.EffectivePlans(); len(got) != 1 || got[0] != "A1" {
+		t.Fatalf("EffectivePlans = %v, want [A1] from the workload", got)
+	}
+	if req.EffectiveMaxExp() != 2 {
+		t.Fatalf("EffectiveMaxExp = %d, want 2 from the workload", req.EffectiveMaxExp())
+	}
+	if req.EffectiveRows(0) != 1<<10 {
+		t.Fatalf("EffectiveRows = %d, want the workload's 1024", req.EffectiveRows(0))
+	}
+}
+
+// TestWorkloadCacheScopesCarrySpecHash is the poisoning pin: a custom
+// workload that reuses a built-in plan id and cardinality shares the
+// daemon's measurement cache, and only the spec-hash scope keeps its
+// cells apart from the built-in catalog's.
+func TestWorkloadCacheScopesCarrySpecHash(t *testing.T) {
+	const rows = 1 << 13
+	l := NewLocal(LocalConfig{Workers: 1, CacheSize: -1})
+	defer closeLocal(t, l)
+	ctx := context.Background()
+
+	builtin, err := Run(ctx, l, Request{Plans: []string{"A1"}, Rows: rows, MaxExp: 2}, nil)
+	if err != nil {
+		t.Fatalf("builtin job: %v", err)
+	}
+	custom, err := Run(ctx, l, Request{Workload: zipfWorkload(rows)}, nil)
+	if err != nil {
+		t.Fatalf("workload job: %v", err)
+	}
+
+	// Ground truth for the workload from a cache-free resolver.
+	rs, err := NewEngineResolver(engine.DefaultConfig()).Resolve(Request{Workload: zipfWorkload(rows)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := core.NewSweep(rs.Sources, core.Grid1D(rs.Fractions, rs.Thresholds)).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(custom.Map1D, truth.Map1D) {
+		t.Fatalf("cache-shared workload map differs from ground truth:\n got %v\nwant %v",
+			custom.Map1D.Times, truth.Map1D.Times)
+	}
+	// The zipf table really measures differently from the built-in one —
+	// identical curves would mean the workload read the built-in scope.
+	if reflect.DeepEqual(builtin.Map1D.Times, custom.Map1D.Times) {
+		t.Fatal("built-in and zipf-workload curves are identical — spec-hash cache scoping failed")
+	}
+	// Two runs of the same workload share a scope (cache hits, same map).
+	again, err := Run(ctx, l, Request{Workload: zipfWorkload(rows)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Map1D, custom.Map1D) {
+		t.Fatal("repeated workload job produced a different map")
+	}
+	if st := l.CacheStats(); st.Hits == 0 {
+		t.Errorf("repeated workload job hit the cache 0 times, want > 0")
+	}
+}
+
+// TestPaperWorkloadMatchesBuiltinPath pins the resolver translation:
+// the embedded paper workload, submitted as a custom workload, builds
+// systems and plans that measure identically to the built-in catalog
+// path (same engine, different construction route).
+func TestPaperWorkloadMatchesBuiltinPath(t *testing.T) {
+	const rows = 1 << 12
+	l := NewLocal(LocalConfig{Workers: 1})
+	defer closeLocal(t, l)
+	ctx := context.Background()
+
+	plans := []string{"A1", "A2", "B1", "C1"}
+	builtin, err := Run(ctx, l, Request{Plans: plans, Rows: rows, MaxExp: 3, Grid2D: true}, nil)
+	if err != nil {
+		t.Fatalf("builtin job: %v", err)
+	}
+	viaSpec, err := Run(ctx, l, Request{
+		Workload: plan.PaperWorkload(),
+		Plans:    plans, Rows: rows, MaxExp: 3, Grid2D: true,
+	}, nil)
+	if err != nil {
+		t.Fatalf("workload job: %v", err)
+	}
+	if !reflect.DeepEqual(builtin.Map2D, viaSpec.Map2D) {
+		t.Fatal("paper workload submitted as a spec differs from the built-in catalog path")
+	}
+}

@@ -1,0 +1,55 @@
+package spec
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzWorkloadRoundTrip drives arbitrary bytes through the decoder and
+// holds the package's core contract: any input that decodes and
+// validates must encode canonically — Encode is accepted by Decode,
+// re-encodes to the identical bytes, and hashes identically. The
+// committed seed corpus (testdata/fuzz/FuzzWorkloadRoundTrip) includes
+// the embedded paper workload and the example custom workload; CI runs
+// a short -fuzztime smoke on top of the seeds.
+func FuzzWorkloadRoundTrip(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add(valid().Encode())
+	// Seed with every committed workload file in the repository, so the
+	// fuzzer starts from real shapes.
+	for _, dir := range []string{"../plan", "../../examples/workloads"} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if filepath.Ext(e.Name()) != ".json" {
+				continue
+			}
+			if b, err := os.ReadFile(filepath.Join(dir, e.Name())); err == nil {
+				f.Add(b)
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := Parse(data)
+		if err != nil {
+			return // malformed input must error, never panic
+		}
+		enc := w.Encode()
+		w2, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("Encode produced undecodable output: %v\n%s", err, enc)
+		}
+		enc2 := w2.Encode()
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encode not canonical:\n%s\nvs\n%s", enc, enc2)
+		}
+		if w.Hash() != w2.Hash() {
+			t.Fatalf("hash not stable across round trip")
+		}
+	})
+}

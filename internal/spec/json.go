@@ -1,0 +1,73 @@
+package spec
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Decode reads one WorkloadSpec from JSON, rejecting unknown fields
+// (misspelled keys must fail loudly, not silently change the sweep),
+// and validates it.
+func Decode(r io.Reader) (*WorkloadSpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var w WorkloadSpec
+	if err := dec.Decode(&w); err != nil {
+		return nil, fmt.Errorf("spec: decode workload: %w", err)
+	}
+	// Trailing garbage after the document is a malformed file, not an
+	// extra workload.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("spec: decode workload: trailing data after JSON document")
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return &w, nil
+}
+
+// Parse decodes a WorkloadSpec from bytes; see Decode.
+func Parse(data []byte) (*WorkloadSpec, error) {
+	return Decode(bytes.NewReader(data))
+}
+
+// LoadFile reads and validates a workload file.
+func LoadFile(path string) (*WorkloadSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	defer f.Close()
+	w, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return w, nil
+}
+
+// Encode renders the workload as indented JSON — the canonical file
+// form. Encode(Decode(x)) is stable: decoding its output and encoding
+// again reproduces the same bytes.
+func (w *WorkloadSpec) Encode() []byte {
+	b, err := json.MarshalIndent(w, "", "  ")
+	if err != nil {
+		// Every field is a plain value; marshalling cannot fail.
+		panic(fmt.Sprintf("spec: encode workload: %v", err))
+	}
+	return append(b, '\n')
+}
+
+// Hash names the workload's content: the hex-truncated SHA-256 of its
+// canonical encoding. Two specs hash equal exactly when they encode
+// equal, so the hash scopes measurement-cache keys and built-system
+// caches — a custom workload can never collide with the built-in
+// catalog or with a different custom workload.
+func (w *WorkloadSpec) Hash() string {
+	sum := sha256.Sum256(w.Encode())
+	return hex.EncodeToString(sum[:8])
+}

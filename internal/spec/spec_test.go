@@ -1,0 +1,186 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// valid returns a minimal valid workload.
+func valid() *WorkloadSpec {
+	return &WorkloadSpec{
+		Name: "w",
+		Catalog: CatalogSpec{
+			Tables:  []TableSpec{{Name: "lineitem"}},
+			Indexes: []IndexSpec{{Name: "idx_a", Columns: []string{"a"}}},
+		},
+		Systems: []SystemSpec{{
+			Name:    "S",
+			Indexes: []string{"idx_a"},
+			Plans: []PlanSpec{{
+				ID:   "p",
+				Root: &PlanNode{Op: "table_scan", Table: "lineitem"},
+			}},
+		}},
+		Sweep: SweepSpec{MaxExp: 4},
+	}
+}
+
+func TestValidateAcceptsMinimal(t *testing.T) {
+	if err := valid().Validate(); err != nil {
+		t.Fatalf("valid workload rejected: %v", err)
+	}
+}
+
+// TestValidateErrors pins the structural rules and their stable
+// messages.
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*WorkloadSpec)
+		wantErr string
+	}{
+		{"no name", func(w *WorkloadSpec) { w.Name = "" },
+			"spec: workload name must not be empty"},
+		{"no tables", func(w *WorkloadSpec) { w.Catalog.Tables = nil },
+			"spec: catalog must declare exactly one table"},
+		{"two tables", func(w *WorkloadSpec) {
+			w.Catalog.Tables = append(w.Catalog.Tables, TableSpec{Name: "x"})
+		}, "spec: catalog must declare exactly one table"},
+		{"negative rows", func(w *WorkloadSpec) { w.Catalog.Tables[0].Rows = -1 },
+			`rows must not be negative`},
+		{"bad zipf", func(w *WorkloadSpec) { w.Catalog.Tables[0].ZipfA = 0.5 },
+			`zipf_a must be > 1`},
+		{"bad column type", func(w *WorkloadSpec) {
+			w.Catalog.Tables[0].Columns = []ColumnSpec{{Name: "a", Type: "decimal"}}
+		}, `unknown type "decimal"`},
+		{"duplicate index", func(w *WorkloadSpec) {
+			w.Catalog.Indexes = append(w.Catalog.Indexes, IndexSpec{Name: "idx_a", Columns: []string{"b"}})
+		}, `spec: duplicate index "idx_a"`},
+		{"index no columns", func(w *WorkloadSpec) { w.Catalog.Indexes[0].Columns = nil },
+			`spec: index "idx_a" declares no columns`},
+		{"index bad table", func(w *WorkloadSpec) { w.Catalog.Indexes[0].Table = "orders" },
+			`spec: index "idx_a" references unknown table "orders"`},
+		{"no systems", func(w *WorkloadSpec) { w.Systems = nil },
+			`spec: workload "w" declares no systems`},
+		{"duplicate system", func(w *WorkloadSpec) {
+			w.Systems = append(w.Systems, w.Systems[0])
+		}, `spec: duplicate system "S"`},
+		{"duplicate plan id", func(w *WorkloadSpec) {
+			dup := w.Systems[0]
+			dup.Name = "T"
+			w.Systems = append(w.Systems, dup)
+		}, `spec: duplicate plan id "p"`},
+		{"undefined index ref", func(w *WorkloadSpec) { w.Systems[0].Indexes = []string{"idx_z"} },
+			`spec: system "S" references undefined index "idx_z"`},
+		{"no plans", func(w *WorkloadSpec) { w.Systems[0].Plans = nil },
+			`spec: system "S" declares no plans`},
+		{"plan no root", func(w *WorkloadSpec) { w.Systems[0].Plans[0].Root = nil },
+			`spec: plan "p" has no root node`},
+		{"node no op", func(w *WorkloadSpec) { w.Systems[0].Plans[0].Root.Op = "" },
+			`spec: plan "p" contains a node with no op`},
+		{"value both", func(w *WorkloadSpec) {
+			c := int64(1)
+			w.Systems[0].Plans[0].Root.Preds = []PredSpec{
+				{Column: "a", Hi: &ValueSpec{Param: "ta", Const: &c}}}
+		}, `value sets both param and const`},
+		{"value neither", func(w *WorkloadSpec) {
+			w.Systems[0].Plans[0].Root.Preds = []PredSpec{{Column: "a", Hi: &ValueSpec{}}}
+		}, `value sets neither param nor const`},
+		{"bad param", func(w *WorkloadSpec) {
+			w.Systems[0].Plans[0].Root.Preds = []PredSpec{{Column: "a", Hi: &ValueSpec{Param: "tc"}}}
+		}, `unknown param "tc"`},
+		{"pred no bounds", func(w *WorkloadSpec) {
+			w.Systems[0].Plans[0].Root.Preds = []PredSpec{{Column: "a"}}
+		}, `predicate on "a" has no bounds`},
+		{"bad if_param", func(w *WorkloadSpec) {
+			w.Systems[0].Plans[0].Root.Preds = []PredSpec{
+				{Column: "a", Hi: &ValueSpec{Param: "ta"}, IfParam: "tz"}}
+		}, `if_param "tz" is not a query param`},
+		{"bad mdam op", func(w *WorkloadSpec) {
+			w.Systems[0].Plans[0].Root.Lead = &MDAMSetSpec{Op: "between"}
+		}, `unknown mdam set op "between"`},
+		{"mdam lt no value", func(w *WorkloadSpec) {
+			w.Systems[0].Plans[0].Root.Lead = &MDAMSetSpec{Op: "lt"}
+		}, `mdam set "lt" needs a value`},
+		{"sweep unknown plan", func(w *WorkloadSpec) { w.Sweep.Plans = []string{"ghost"} },
+			`spec: sweep references undeclared plan "ghost"`},
+		{"sweep bad max_exp", func(w *WorkloadSpec) { w.Sweep.MaxExp = 41 },
+			`spec: sweep max_exp must be between 0 and 40`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := valid()
+			tc.mutate(w)
+			err := w.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %q, want it to contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestEncodeDecodeStable pins the canonical-form round trip: decoding
+// Encode's output and encoding again reproduces the same bytes, and the
+// hash is a pure function of those bytes.
+func TestEncodeDecodeStable(t *testing.T) {
+	w := valid()
+	first := w.Encode()
+	w2, err := Parse(first)
+	if err != nil {
+		t.Fatalf("Parse(Encode): %v", err)
+	}
+	second := w2.Encode()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("Encode not stable:\n%s\nvs\n%s", first, second)
+	}
+	if w.Hash() != w2.Hash() {
+		t.Fatalf("hash changed across a round trip: %s vs %s", w.Hash(), w2.Hash())
+	}
+	w2.Catalog.Tables[0].Rows = 999
+	if w.Hash() == w2.Hash() {
+		t.Fatal("distinct specs share a hash")
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"unknown field", `{"name":"w","catalogue":{}}`, "unknown field"},
+		{"trailing data", string(valid().Encode()) + "{}", "trailing data"},
+		{"not json", "pick a plan, any plan", "decode workload"},
+		{"invalid content", `{"name":""}`, "workload name must not be empty"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.body))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Parse error = %v, want it to contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSweepPlansAndLookups(t *testing.T) {
+	w := valid()
+	w.Systems[0].Plans = append(w.Systems[0].Plans, PlanSpec{
+		ID: "q", Root: &PlanNode{Op: "table_scan", Table: "lineitem"}})
+	if got := w.SweepPlans(); len(got) != 2 || got[0] != "p" || got[1] != "q" {
+		t.Fatalf("SweepPlans = %v, want [p q]", got)
+	}
+	w.Sweep.Plans = []string{"q"}
+	if got := w.SweepPlans(); len(got) != 1 || got[0] != "q" {
+		t.Fatalf("SweepPlans with explicit list = %v, want [q]", got)
+	}
+	p, sys := w.Plan("q")
+	if p == nil || sys == nil || p.ID != "q" || sys.Name != "S" {
+		t.Fatalf("Plan(q) = %v, %v", p, sys)
+	}
+	if p, sys := w.Plan("ghost"); p != nil || sys != nil {
+		t.Fatal("Plan(ghost) found something")
+	}
+}

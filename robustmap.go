@@ -70,6 +70,7 @@ package robustmap
 
 import (
 	"context"
+	"time"
 
 	"robustmap/internal/core"
 	"robustmap/internal/engine"
@@ -79,6 +80,7 @@ import (
 	"robustmap/internal/iomodel"
 	"robustmap/internal/plan"
 	"robustmap/internal/service"
+	"robustmap/internal/spec"
 	"robustmap/internal/vis"
 )
 
@@ -556,6 +558,64 @@ func WaitJob(ctx context.Context, svc Service, id JobID, onProgress ProgressFunc
 // stream progress, wait, fetch. Cancelling ctx cancels the job itself.
 func RunJob(ctx context.Context, svc Service, req JobRequest, onProgress ProgressFunc) (*JobResult, error) {
 	return service.Run(ctx, svc, req, onProgress)
+}
+
+// Declarative workload specs --------------------------------------------------
+//
+// A WorkloadSpec is a JSON-serializable scenario: a catalog (table,
+// value distributions, indexes), plans as operator trees over the
+// execution operators, and sweep axes. Specs travel inside JobRequest,
+// so any scenario — including ones the paper never drew — sweeps
+// identically in process, through a Service, or against a remote
+// daemon, without recompiling anything. The paper's own 13-plan study
+// is itself one embedded spec (PaperWorkload) compiled through the same
+// registry.
+
+// WorkloadSpec is one declarative, sweepable scenario.
+type WorkloadSpec = spec.WorkloadSpec
+
+// CatalogSpec declares a workload's dataset: table, row count, value
+// distributions, and index definitions (incl. multi-column).
+type CatalogSpec = spec.CatalogSpec
+
+// PlanSpec is one fixed physical plan as an operator tree.
+type PlanSpec = spec.PlanSpec
+
+// PlanNode is one operator of a plan tree; see the spec package for the
+// operator vocabulary.
+type PlanNode = spec.PlanNode
+
+// SystemSpec declares one engine configuration of a workload: index
+// set, versioning, and plans.
+type SystemSpec = spec.SystemSpec
+
+// LoadWorkload reads and validates a workload spec file.
+func LoadWorkload(path string) (*WorkloadSpec, error) { return spec.LoadFile(path) }
+
+// ParseWorkload decodes and validates a workload spec from JSON bytes.
+func ParseWorkload(data []byte) (*WorkloadSpec, error) { return spec.Parse(data) }
+
+// PaperWorkload returns the paper's full study (catalog, 13 plans plus
+// the Figure 1/2 extras, standard sweep) as a workload spec — the
+// natural starting point for custom workload files.
+func PaperWorkload() *WorkloadSpec { return plan.PaperWorkload() }
+
+// SweepWorkload runs a workload spec's sweep through a Service and
+// returns its maps. A nil svc runs it on an ephemeral in-process
+// service. Cancelling ctx cancels the job itself. The request uses the
+// workload's own sweep section (plans, axis, grid shape); build a
+// JobRequest with the Workload field instead for per-call overrides.
+func SweepWorkload(ctx context.Context, svc Service, ws *WorkloadSpec, onProgress ProgressFunc) (*JobResult, error) {
+	if svc == nil {
+		local := service.NewLocal(service.LocalConfig{Workers: 1})
+		defer func() {
+			cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+			defer cancel()
+			_ = local.Close(cctx)
+		}()
+		svc = local
+	}
+	return service.Run(ctx, svc, JobRequest{Workload: ws}, onProgress)
 }
 
 // Rendering -----------------------------------------------------------------
