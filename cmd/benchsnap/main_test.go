@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: robustmap/internal/plan
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCompiledPlanCell/spec         	   19402	    125642 ns/op	   45109 B/op	      31 allocs/op
+BenchmarkCompiledPlanCell/legacy       	   18514	    133560 ns/op	   45109 B/op	      31 allocs/op
+PASS
+ok  	robustmap/internal/plan	7.492s
+pkg: robustmap/internal/exec
+BenchmarkTableScanCell 	     297	   4330815.5 ns/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	snap, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.GOOS != "linux" || snap.GOARCH != "amd64" {
+		t.Fatalf("env: %q/%q", snap.GOOS, snap.GOARCH)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	b := snap.Benchmarks[0]
+	if b.Name != "BenchmarkCompiledPlanCell/spec" || b.Package != "robustmap/internal/plan" {
+		t.Fatalf("first benchmark: %+v", b)
+	}
+	if b.Iterations != 19402 || b.NsPerOp != 125642 || b.BytesPerOp != 45109 || b.AllocsPerOp != 31 {
+		t.Fatalf("first benchmark values: %+v", b)
+	}
+	last := snap.Benchmarks[2]
+	if last.Package != "robustmap/internal/exec" || last.BytesPerOp != 0 {
+		t.Fatalf("last benchmark: %+v", last)
+	}
+	if last.NsPerOp != 4330815.5 {
+		t.Fatalf("fractional ns/op lost: %+v", last)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	snap, err := Parse(strings.NewReader("BenchmarkBroken abc\nnothing here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 0 {
+		t.Fatalf("got %+v, want none", snap.Benchmarks)
+	}
+}

@@ -64,6 +64,8 @@ func main() {
 		progress = flag.Bool("progress", false, "render a live measured-cell count line on stderr")
 		server   = flag.String("server", "", "submit to a robustmapd at this base URL instead of sweeping in process")
 		workload = flag.String("workload", "", "sweep a declarative workload spec (JSON file) instead of the built-in plans")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of this process to the file (covers the whole sweep; with -server it profiles only the client)")
+		memprof  = flag.String("memprofile", "", "write an allocation profile of this process to the file on exit")
 	)
 	flag.Parse()
 	fatalf := func(format string, args ...any) {
@@ -75,11 +77,33 @@ func main() {
 		cliutil.ValidateMaxExp(*maxExp),
 		cliutil.ValidateParallelism(*parallel),
 		cliutil.ValidateCacheSize(*cache),
+		cliutil.ValidateProfilePath("-cpuprofile", *cpuprof),
+		cliutil.ValidateProfilePath("-memprofile", *memprof),
 	} {
 		if err != nil {
 			fatalf("%v", err)
 		}
 	}
+	stopCPUProfile, err := cliutil.StartCPUProfile(*cpuprof)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	// Profiles must survive the os.Exit error paths below, which skip
+	// deferred calls; finishProfiles is idempotent so the explicit calls
+	// and the defer can coexist.
+	finishProfiles := func() {
+		stopCPUProfile()
+		if err := cliutil.WriteMemProfile(*memprof); err != nil {
+			fmt.Fprintln(os.Stderr, "warning:", err)
+		}
+	}
+	profilesDone := false
+	defer func() {
+		if !profilesDone {
+			finishProfiles()
+		}
+	}()
+
 	var ids []string
 	for _, id := range strings.Split(*planList, ",") {
 		if id = strings.TrimSpace(id); id != "" {
@@ -152,6 +176,8 @@ func main() {
 	defer stop()
 	res, err := service.Run(ctx, svc, req, onProgress)
 	if err != nil {
+		finishProfiles()
+		profilesDone = true
 		switch {
 		case errors.Is(err, context.Canceled):
 			fmt.Fprintln(os.Stderr, "\ninterrupted: sweep cancelled, no map produced")

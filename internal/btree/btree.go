@@ -26,7 +26,21 @@ type Tree struct {
 	root    storage.PageNo
 	height  int   // 1 = root is a leaf
 	entries int64 // live leaf entries
+
+	// cache holds decoded nodes so repeated visits skip re-parsing the
+	// page. The page itself is still pinned and unpinned on every visit,
+	// so buffer-pool state, I/O charges, and latch charges are exactly
+	// those of an uncached tree — the cache saves wall-clock time only.
+	// Entries are dropped when their page is re-encoded (writeNode).
+	// Trees are per-session objects (never shared across goroutines), so
+	// the map needs no locking.
+	cache map[storage.PageNo]*node
 }
+
+// nodeCacheMax bounds the decoded-node cache. When full the whole cache is
+// dropped — crude, but eviction choice cannot matter for correctness and
+// trees touched by sweeps refill the hot set within one run.
+const nodeCacheMax = 1 << 15
 
 // New creates an empty tree in a fresh file.
 func New(pool *storage.Pool, clock *simclock.Clock) *Tree {
@@ -77,7 +91,16 @@ func (t *Tree) NumPages() storage.PageNo { return t.pool.Disk().NumPages(t.file)
 // page memory that remains valid because the disk shares backing arrays.
 func (t *Tree) readNode(pg storage.PageNo) *node {
 	data := t.pool.Get(t.file, pg)
-	n := decodeNode(data)
+	n, ok := t.cache[pg]
+	if !ok {
+		n = decodeNode(data)
+		if t.cache == nil {
+			t.cache = make(map[storage.PageNo]*node)
+		} else if len(t.cache) >= nodeCacheMax {
+			clear(t.cache)
+		}
+		t.cache[pg] = n
+	}
 	t.pool.Unpin(t.file, pg)
 	t.clock.Advance(simclock.AccountCPU, decodeCost*time.Duration(1+len(n.entries)/16))
 	return n
@@ -85,6 +108,7 @@ func (t *Tree) readNode(pg storage.PageNo) *node {
 
 // writeNode encodes a node back to its page.
 func (t *Tree) writeNode(pg storage.PageNo, n *node) {
+	delete(t.cache, pg)
 	data := t.pool.Get(t.file, pg)
 	encodeNode(data, n)
 	t.pool.MarkDirty(t.file, pg)

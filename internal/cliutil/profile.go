@@ -1,0 +1,78 @@
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ValidateProfilePath checks a -cpuprofile/-memprofile flag value. The
+// empty string disables profiling and is always valid; otherwise the
+// path must be creatable: its parent directory must exist and the path
+// itself must not name a directory. flagName appears in the error so
+// the message points at the offending flag.
+func ValidateProfilePath(flagName, path string) error {
+	if path == "" {
+		return nil
+	}
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return fmt.Errorf("%s: %q is a directory", flagName, path)
+	}
+	dir := filepath.Dir(path)
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return fmt.Errorf("%s: directory %q does not exist", flagName, dir)
+	}
+	if !fi.IsDir() {
+		return fmt.Errorf("%s: %q is not a directory", flagName, dir)
+	}
+	return nil
+}
+
+// StartCPUProfile begins writing a CPU profile to path and returns a
+// stop function that flushes and closes it. An empty path is a no-op:
+// the returned stop does nothing. The stop function is idempotent, so
+// it can be both deferred and called explicitly before os.Exit.
+func StartCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteMemProfile writes an allocation profile to path, running a GC
+// first so the profile reflects the live heap rather than collectable
+// garbage. An empty path is a no-op.
+func WriteMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}

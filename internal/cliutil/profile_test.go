@@ -1,0 +1,107 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestValidateProfilePath(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "sub")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	plain := filepath.Join(dir, "plain.txt")
+	if err := os.WriteFile(plain, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		path    string
+		wantErr string
+	}{
+		{"empty disables", "", ""},
+		{"fresh file in existing dir", filepath.Join(dir, "cpu.out"), ""},
+		{"overwrite existing file", plain, ""},
+		{"path is a directory", sub, "is a directory"},
+		{"missing parent dir", filepath.Join(dir, "no-such", "cpu.out"), "does not exist"},
+		{"parent is a file", filepath.Join(plain, "cpu.out"), "is not a directory"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := ValidateProfilePath("-cpuprofile", c.path)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("got %v, want error containing %q", err, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), "-cpuprofile") {
+				t.Fatalf("error %v does not name the flag", err)
+			}
+		})
+	}
+}
+
+func TestStartCPUProfileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.out")
+	stop, err := StartCPUProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the profile has something to flush.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	stop()
+	stop() // idempotent: second call must not panic or re-stop
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("CPU profile file is empty")
+	}
+}
+
+func TestStartCPUProfileNoOp(t *testing.T) {
+	stop, err := StartCPUProfile("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop() // must be callable
+}
+
+func TestStartCPUProfileBadPath(t *testing.T) {
+	if _, err := StartCPUProfile(filepath.Join(t.TempDir(), "missing", "cpu.out")); err == nil {
+		t.Fatal("expected error for uncreatable path")
+	}
+}
+
+func TestWriteMemProfile(t *testing.T) {
+	if err := WriteMemProfile(""); err != nil {
+		t.Fatalf("empty path must be a no-op, got %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "mem.out")
+	if err := WriteMemProfile(path); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("heap profile file is empty")
+	}
+	if err := WriteMemProfile(filepath.Join(t.TempDir(), "missing", "mem.out")); err == nil {
+		t.Fatal("expected error for uncreatable path")
+	}
+}

@@ -1,0 +1,260 @@
+package exec
+
+import (
+	"sync"
+	"time"
+
+	"robustmap/internal/record"
+	"robustmap/internal/simclock"
+	"robustmap/internal/storage"
+)
+
+// Batch-at-a-time execution (the MonetDB/X100 vectorization idiom).
+//
+// Operators that implement BatchOperator exchange fixed-capacity row
+// batches instead of single rows, amortizing interface dispatch and clock
+// charges across BatchCapacity rows. The virtual cost model is unchanged:
+// per-row CPU charges are summed per batch (addition is commutative, so the
+// clock totals are bit-identical to row-at-a-time execution), and the
+// sequence of buffer-pool and device operations — the stateful part of the
+// cost model — is exactly the per-row sequence. Plans therefore measure
+// byte-identical virtual times in either mode; batching only reduces the
+// wall-clock cost of measuring them.
+//
+// Every batch-capable operator remains a RowIter. Mode is chosen by the
+// consumer: a consumer that calls NextBatch drives its subtree in batch
+// mode; one that calls Next drives it row-at-a-time. Operators whose I/O
+// interleaves with their consumer's I/O in row mode (Sort's spill, the
+// equality joins, MDAM) deliberately stay row-only, so a tree containing
+// them degrades to row-at-a-time below that point and the I/O interleaving
+// the cost model observes is preserved.
+
+// BatchCapacity is the number of rows exchanged per NextBatch call.
+const BatchCapacity = 1024
+
+// Batch is a vector of rows with an optional selection vector.
+//
+// Ownership rules:
+//   - A batch returned by NextBatch belongs to the producer and is valid
+//     only until the producer's next NextBatch (or Close) call.
+//   - Values in a batch may alias the batch's arena (see
+//     record.Schema.DecodeArena); retain them only via record.Value.Clone.
+//   - A consumer may install its own selection vector on the batch it
+//     received (that is how Filter narrows a batch without copying) but
+//     must not grow or reorder the underlying rows.
+type Batch struct {
+	rows [][]record.Value
+	n    int     // physical rows filled
+	sel  []int32 // live physical row indices; nil means all n rows
+	// arena backs variable-length values of rows decoded into this batch.
+	arena []byte
+}
+
+// Len returns the number of live (selected) rows.
+func (b *Batch) Len() int {
+	if b.sel != nil {
+		return len(b.sel)
+	}
+	return b.n
+}
+
+// Row returns the i-th live row.
+func (b *Batch) Row(i int) Row {
+	if b.sel != nil {
+		return b.rows[b.sel[i]]
+	}
+	return b.rows[i]
+}
+
+// reset empties the batch for refilling, keeping row and arena capacity.
+func (b *Batch) reset() {
+	b.n = 0
+	b.sel = nil
+	b.arena = b.arena[:0]
+}
+
+// rowBuf returns the next writable row storage, length 0 with whatever
+// capacity previous fills left behind.
+func (b *Batch) rowBuf() Row {
+	if b.n == len(b.rows) {
+		b.rows = append(b.rows, nil)
+	}
+	return b.rows[b.n][:0]
+}
+
+// store writes back a (possibly re-allocated) row buffer without emitting
+// it; the next rowBuf call reuses the same slot. Used for rows that were
+// decoded but rejected by a predicate.
+func (b *Batch) store(r Row) { b.rows[b.n] = r }
+
+// commit emits the row filled into rowBuf.
+func (b *Batch) commit(r Row) {
+	b.rows[b.n] = r
+	b.n++
+}
+
+// fillFromRows fills the batch from a row-mode pull function, copying value
+// structs (safe: row-mode producers back variable-length payloads on the
+// heap). It reports whether the source was exhausted; a full batch returns
+// false without probing further, so the source's Next is never called after
+// it has reported exhaustion.
+func (b *Batch) fillFromRows(next func() (Row, bool)) (exhausted bool) {
+	b.reset()
+	for b.n < BatchCapacity {
+		row, ok := next()
+		if !ok {
+			return true
+		}
+		b.commit(append(b.rowBuf(), row...))
+	}
+	return false
+}
+
+// BatchOperator is the batch-at-a-time iterator. NextBatch returns the next
+// non-empty batch, or (nil, false) when exhausted; it must not be called
+// again after returning false. Open and Close are shared with RowIter — all
+// batch-capable operators implement both interfaces.
+type BatchOperator interface {
+	Open()
+	NextBatch() (*Batch, bool)
+	Close()
+}
+
+// RIDBatcher is a RIDIter that can also deliver RIDs in bounded batches.
+// NextRIDBatch returns between 1 and max RIDs (the slice is valid until the
+// next call), or (nil, false) when exhausted; it must not be called again
+// after returning false. The bound matters for equivalence: a budgeted
+// consumer (ImprovedFetch's refill) stops the producer's index I/O at
+// exactly the entry where row-at-a-time consumption would have stopped.
+type RIDBatcher interface {
+	RIDIter
+	NextRIDBatch(max int) ([]storage.RID, bool)
+}
+
+// ridBatchCap bounds a single NextRIDBatch result.
+const ridBatchCap = BatchCapacity
+
+// batchPool recycles batch buffers across queries and sessions so
+// steady-state execution allocates nothing per row (and, once warm, nothing
+// per query either).
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+func getBatch() *Batch {
+	b := batchPool.Get().(*Batch)
+	b.reset()
+	return b
+}
+
+func putBatch(b *Batch) {
+	if b != nil {
+		batchPool.Put(b)
+	}
+}
+
+// matchesAllTally evaluates a predicate conjunction with short-circuiting,
+// accumulating the predicate CPU cost into cpu instead of charging the
+// clock per predicate. The count of evaluated predicates — and therefore
+// the accumulated cost — is identical to MatchesAll's.
+func matchesAllTally(preds []ColPred, row Row, cpu *time.Duration) bool {
+	for _, p := range preds {
+		*cpu += CostPredicate
+		if !p.Matches(row) {
+			return false
+		}
+	}
+	return true
+}
+
+// chargeDur flushes an accumulated duration to the clock as one advance.
+func (c *Ctx) chargeDur(acct simclock.Account, d time.Duration) {
+	if d > 0 {
+		c.Clock.Advance(acct, d)
+	}
+}
+
+// AsBatchOperator adapts any RowIter to a BatchOperator. Native batch
+// operators are returned unchanged; row-only iterators are wrapped in an
+// adapter that copies rows into batches. The adapter preserves cost-model
+// equivalence: copying charges nothing, and the wrapped iterator performs
+// its I/O in the same order it would under row-at-a-time consumption.
+func AsBatchOperator(it RowIter) BatchOperator {
+	if bo, ok := it.(BatchOperator); ok {
+		return bo
+	}
+	return &rowBatchAdapter{inner: it}
+}
+
+// rowBatchAdapter lifts a row-only iterator into the batch interface.
+type rowBatchAdapter struct {
+	inner RowIter
+	batch *Batch
+	eof   bool
+}
+
+func (a *rowBatchAdapter) Open() { a.inner.Open() }
+
+func (a *rowBatchAdapter) Next() (Row, bool) { return a.inner.Next() }
+
+func (a *rowBatchAdapter) NextBatch() (*Batch, bool) {
+	if a.eof {
+		return nil, false
+	}
+	if a.batch == nil {
+		a.batch = getBatch()
+	}
+	a.eof = a.batch.fillFromRows(a.inner.Next)
+	if a.batch.n == 0 {
+		return nil, false
+	}
+	return a.batch, true
+}
+
+func (a *rowBatchAdapter) Close() {
+	a.inner.Close()
+	putBatch(a.batch)
+	a.batch = nil
+}
+
+// AsRowIter adapts a BatchOperator to a RowIter, serving rows out of each
+// batch in order. Rows handed out may alias the current batch (including
+// its arena); consumers that retain values across Next calls must Clone
+// them — the same contract RowIter already states for reused rows.
+func AsRowIter(op BatchOperator) RowIter {
+	if it, ok := op.(RowIter); ok {
+		return it
+	}
+	return &batchRowAdapter{inner: op}
+}
+
+// batchRowAdapter serves rows one at a time from a batch producer.
+type batchRowAdapter struct {
+	inner BatchOperator
+	b     *Batch
+	pos   int
+	eof   bool
+}
+
+func (a *batchRowAdapter) Open() { a.inner.Open() }
+
+func (a *batchRowAdapter) Next() (Row, bool) {
+	for {
+		if a.b != nil && a.pos < a.b.Len() {
+			row := a.b.Row(a.pos)
+			a.pos++
+			return row, true
+		}
+		if a.eof {
+			return nil, false
+		}
+		b, ok := a.inner.NextBatch()
+		if !ok {
+			a.eof = true
+			a.b = nil
+			return nil, false
+		}
+		a.b = b
+		a.pos = 0
+	}
+}
+
+func (a *batchRowAdapter) Close() { a.inner.Close() }

@@ -1,0 +1,294 @@
+package exec
+
+import (
+	"testing"
+
+	"robustmap/internal/record"
+	"robustmap/internal/simclock"
+)
+
+// stubBatcher serves pre-built row groups as batches (and, via Next, as
+// rows), standing in for a native batched producer in edge-case tests.
+type stubBatcher struct {
+	groups [][]Row
+	gi     int
+	b      *Batch
+
+	flat []Row
+	pos  int
+}
+
+func newStubBatcher(groups [][]Row) *stubBatcher {
+	s := &stubBatcher{groups: groups}
+	for _, g := range groups {
+		s.flat = append(s.flat, g...)
+	}
+	return s
+}
+
+func (s *stubBatcher) Open()  {}
+func (s *stubBatcher) Close() { putBatch(s.b); s.b = nil }
+
+func (s *stubBatcher) Next() (Row, bool) {
+	if s.pos >= len(s.flat) {
+		return nil, false
+	}
+	r := s.flat[s.pos]
+	s.pos++
+	return r, true
+}
+
+func (s *stubBatcher) NextBatch() (*Batch, bool) {
+	if s.gi >= len(s.groups) {
+		return nil, false
+	}
+	g := s.groups[s.gi]
+	s.gi++
+	if s.b == nil {
+		s.b = getBatch()
+	}
+	s.b.reset()
+	for _, r := range g {
+		buf := append(s.b.rowBuf(), r...)
+		s.b.commit(buf)
+	}
+	return s.b, true
+}
+
+// batchOnly hides a stub's row interface so AsRowIter must interpose the
+// batch→row adapter.
+type batchOnly struct {
+	inner *stubBatcher
+}
+
+func (b *batchOnly) Open()                     { b.inner.Open() }
+func (b *batchOnly) NextBatch() (*Batch, bool) { return b.inner.NextBatch() }
+func (b *batchOnly) Close()                    { b.inner.Close() }
+
+func intRows(vals ...int64) []Row {
+	rows := make([]Row, len(vals))
+	for i, v := range vals {
+		rows[i] = Row{record.Int(v)}
+	}
+	return rows
+}
+
+func stubCtx() *Ctx {
+	return &Ctx{Clock: simclock.New(), MemoryBudget: 1 << 30}
+}
+
+func drainBatched(t *testing.T, op BatchOperator) []int64 {
+	t.Helper()
+	op.Open()
+	defer op.Close()
+	var out []int64
+	for {
+		b, ok := op.NextBatch()
+		if !ok {
+			return out
+		}
+		if b.Len() == 0 {
+			t.Fatal("operator emitted an empty batch, violating the NextBatch contract")
+		}
+		for i := 0; i < b.Len(); i++ {
+			out = append(out, b.Row(i)[0].AsInt())
+		}
+	}
+}
+
+// TestFilterSkipsFullyEliminatedBatches drives a Filter whose middle
+// input batch fails the predicate entirely: the filter must keep pulling
+// rather than emit an empty batch or report premature exhaustion.
+func TestFilterSkipsFullyEliminatedBatches(t *testing.T) {
+	src := newStubBatcher([][]Row{
+		intRows(1, 2, 99),
+		intRows(80, 90, 95), // eliminated wholesale
+		intRows(3, 97, 4),
+	})
+	f := NewFilter(stubCtx(), src, []ColPred{{Col: 0, Hi: record.Int(50)}})
+	got := drainBatched(t, f)
+	want := []int64{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v rows %v, want %v", len(got), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFilterAllEliminated covers the everything-filtered case: NextBatch
+// must return false, not loop or emit empties.
+func TestFilterAllEliminated(t *testing.T) {
+	src := newStubBatcher([][]Row{intRows(60, 70), intRows(80)})
+	f := NewFilter(stubCtx(), src, []ColPred{{Col: 0, Hi: record.Int(50)}})
+	if got := drainBatched(t, f); len(got) != 0 {
+		t.Fatalf("got %v, want no rows", got)
+	}
+}
+
+// TestLimitCutsMidBatch checks the selection-vector truncation when the
+// limit lands inside a batch, and that the operator reports exhaustion
+// immediately afterwards.
+func TestLimitCutsMidBatch(t *testing.T) {
+	src := newStubBatcher([][]Row{
+		intRows(0, 1, 2, 3),
+		intRows(4, 5, 6, 7),
+		intRows(8, 9),
+	})
+	l := NewLimit(src, 6)
+	got := drainBatched(t, l)
+	if len(got) != 6 {
+		t.Fatalf("limit 6 returned %d rows: %v", len(got), got)
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("row %d: got %d, want %d", i, v, i)
+		}
+	}
+}
+
+// TestLimitCutsMidSelectedBatch is the same cut through a batch that
+// already carries a selection vector (filter upstream of limit).
+func TestLimitCutsMidSelectedBatch(t *testing.T) {
+	src := newStubBatcher([][]Row{
+		intRows(0, 100, 1, 101, 2, 102),
+		intRows(3, 103, 4, 104),
+	})
+	f := NewFilter(stubCtx(), src, []ColPred{{Col: 0, Hi: record.Int(50)}})
+	l := NewLimit(f, 3)
+	got := drainBatched(t, l)
+	want := []int64{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestAdapterRoundTrip wraps a row-only source as a batch operator and
+// back, including the zero-row case, and checks nothing is lost, added,
+// or served as an empty batch.
+func TestAdapterRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, BatchCapacity, BatchCapacity + 1, 2*BatchCapacity + 7} {
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(i)
+		}
+		src := &SliceRows{Rows: intRows(vals...)}
+		it := AsRowIter(asAdaptedBatch(t, src))
+		it.Open()
+		count := int64(0)
+		for {
+			r, ok := it.Next()
+			if !ok {
+				break
+			}
+			if r[0].AsInt() != count {
+				t.Fatalf("n=%d: row %d has value %d", n, count, r[0].AsInt())
+			}
+			count++
+		}
+		it.Close()
+		if count != int64(n) {
+			t.Fatalf("n=%d: round trip returned %d rows", n, count)
+		}
+	}
+}
+
+// asAdaptedBatch forces the rowBatchAdapter path even though many
+// operators are natively batch-capable.
+func asAdaptedBatch(t *testing.T, it RowIter) BatchOperator {
+	t.Helper()
+	bo := AsBatchOperator(it)
+	if _, native := it.(BatchOperator); native {
+		t.Fatal("test wants a row-only source")
+	}
+	return bo
+}
+
+// TestSortSpillInputEndsOnBatchBoundary runs the spilling sort with an
+// input whose row count is an exact multiple of BatchCapacity, delivered
+// through the batch→row adapter — the boundary where an off-by-one in
+// adapter exhaustion would hand Sort a phantom row or drop the last one.
+func TestSortSpillInputEndsOnBatchBoundary(t *testing.T) {
+	e := newTestEnv(t, 101)
+	n := 2 * BatchCapacity
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64((i * 2654435761) % n) // scrambled but distinct
+	}
+	groups := [][]Row{
+		intRows(vals[:BatchCapacity]...),
+		intRows(vals[BatchCapacity:]...),
+	}
+	sch := record.NewSchema(record.Column{Name: "v", Type: record.TypeInt64})
+
+	ctx := *e.ctx
+	ctx.MemoryBudget = 4096 // a few pages: forces run spills
+	// batchOnly is not a RowIter, so AsRowIter must interpose the adapter.
+	input := AsRowIter(&batchOnly{inner: newStubBatcher(groups)})
+	s := NewSort(&ctx, input, sch, []int{0}, PolicyGraceful)
+	s.Open()
+	defer s.Close()
+	var got []int64
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		got = append(got, r[0].AsInt())
+	}
+	if len(got) != n {
+		t.Fatalf("sort returned %d rows, want %d", len(got), n)
+	}
+	for i := range got {
+		if got[i] != int64(i) {
+			t.Fatalf("position %d: got %d, want %d", i, got[i], i)
+		}
+	}
+}
+
+// TestAdaptersAroundJoins feeds both sides of the row-only joins through
+// batch→row adapters and drains the join through the row→batch adapter,
+// checking the sandwich returns exactly the rows of a direct row run.
+func TestAdaptersAroundJoins(t *testing.T) {
+	left := intRows(1, 2, 3, 5, 8)
+	right := intRows(2, 3, 5, 7)
+	sch := record.NewSchema(record.Column{Name: "v", Type: record.TypeInt64})
+
+	mk := func(rows []Row) RowIter {
+		return AsRowIter(&batchOnly{inner: newStubBatcher([][]Row{rows})})
+	}
+
+	countBatched := func(t *testing.T, op BatchOperator) int {
+		t.Helper()
+		op.Open()
+		defer op.Close()
+		n := 0
+		for {
+			b, ok := op.NextBatch()
+			if !ok {
+				return n
+			}
+			n += b.Len()
+		}
+	}
+
+	t.Run("merge", func(t *testing.T) {
+		j := NewMergeJoinRows(stubCtx(), mk(left), mk(right), []int{0}, []int{0})
+		if n := countBatched(t, AsBatchOperator(j)); n != 3 {
+			t.Fatalf("merge join matched %d rows, want 3", n)
+		}
+	})
+	t.Run("hash", func(t *testing.T) {
+		j := NewHashJoinRows(stubCtx(), mk(left), mk(right), sch, sch, []int{0}, []int{0})
+		if n := countBatched(t, AsBatchOperator(j)); n != 3 {
+			t.Fatalf("hash join matched %d rows, want 3", n)
+		}
+	})
+}

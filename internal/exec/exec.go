@@ -87,6 +87,19 @@ type RIDIter interface {
 func Drain(it RowIter) int64 {
 	it.Open()
 	defer it.Close()
+	if bo, ok := it.(BatchOperator); ok {
+		// Batch-capable root: drive the whole tree batch-at-a-time. The
+		// virtual time measured is byte-identical to row-at-a-time
+		// iteration (see batch.go); only the wall-clock cost drops.
+		var n int64
+		for {
+			b, ok := bo.NextBatch()
+			if !ok {
+				return n
+			}
+			n += int64(b.Len())
+		}
+	}
 	var n int64
 	for {
 		if _, ok := it.Next(); !ok {

@@ -2,7 +2,7 @@ package exec
 
 import (
 	"math/bits"
-	"sort"
+	"time"
 
 	"robustmap/internal/bitmap"
 	"robustmap/internal/catalog"
@@ -40,6 +40,39 @@ func fetchRow(ctx *Ctx, t *catalog.Table, rid storage.RID, preds []ColPred, row 
 	return row, true
 }
 
+// fetchRowBatch is fetchRow for batch mode: the row decodes into
+// batch-owned storage (arena-backed) and CPU costs accumulate into cpu
+// instead of being charged per row. The heap and buffer-pool access
+// sequence is identical to fetchRow's.
+func fetchRowBatch(ctx *Ctx, t *catalog.Table, rid storage.RID, preds []ColPred, b *Batch, cpu *time.Duration) bool {
+	rec, ok := t.Heap.Fetch(rid)
+	if !ok {
+		return false
+	}
+	payload := rec
+	if t.Versioned != nil {
+		h, p := mvcc.DecodeHeader(rec)
+		if !ctx.Snap.Visible(h) {
+			return false
+		}
+		payload = p
+	}
+	*cpu += CostRowDecode
+	row := b.rowBuf()
+	var err error
+	row, b.arena, _, err = t.Schema.DecodeArena(payload, row, b.arena)
+	if err != nil {
+		panic("exec: corrupt row during fetch: " + err.Error())
+	}
+	if !matchesAllTally(preds, row, cpu) {
+		b.store(row)
+		return false
+	}
+	*cpu += CostEmit
+	b.commit(row)
+	return true
+}
+
 // TraditionalFetch resolves RIDs in their arrival order — the index's key
 // order, which is physically scattered. Every fetch is a random page
 // access; the cost grows linearly with the number of fetched rows. This is
@@ -51,6 +84,8 @@ type TraditionalFetch struct {
 	input RIDIter
 	preds []ColPred
 	row   Row
+	batch *Batch
+	eof   bool
 }
 
 // NewTraditionalFetch constructs the row-at-a-time fetch.
@@ -76,8 +111,41 @@ func (f *TraditionalFetch) Next() (Row, bool) {
 	}
 }
 
+// NextBatch returns the next batch of qualifying rows. RIDs are still
+// pulled from the input one at a time — the defining property of the
+// traditional fetch is that its index I/O interleaves with its heap I/O
+// per row, and batching must not change that order.
+func (f *TraditionalFetch) NextBatch() (*Batch, bool) {
+	if f.eof {
+		return nil, false
+	}
+	if f.batch == nil {
+		f.batch = getBatch()
+	}
+	b := f.batch
+	b.reset()
+	var cpu time.Duration
+	for b.n < BatchCapacity {
+		rid, ok := f.input.Next()
+		if !ok {
+			f.eof = true
+			break
+		}
+		fetchRowBatch(f.ctx, f.table, rid, f.preds, b, &cpu)
+	}
+	f.ctx.chargeDur(simclock.AccountCPU, cpu)
+	if b.n == 0 {
+		return nil, false
+	}
+	return b, true
+}
+
 // Close closes the RID source.
-func (f *TraditionalFetch) Close() { f.input.Close() }
+func (f *TraditionalFetch) Close() {
+	f.input.Close()
+	putBatch(f.batch)
+	f.batch = nil
+}
 
 // ImprovedFetch is the paper's "improved index scan" fetch stage: it
 // accumulates a batch of RIDs, sorts them into physical order, and fetches
@@ -101,6 +169,12 @@ type ImprovedFetch struct {
 	exhausted bool
 	row       Row
 	lastPage  storage.PageNo
+
+	out      *Batch     // batch-mode output buffer
+	outEOF   bool       // batch mode reported exhaustion
+	driven   bool       // NextBatch drives this fetch; refill pulls RID batches
+	bsrc     RIDBatcher // batched RID source, if the input supports it
+	sortKeys []uint64   // scratch for the packed RID sort
 
 	// DisableGapStreaming turns off the stream-through-short-gaps
 	// optimization, paying a seek for every page change — the ablation
@@ -159,21 +233,38 @@ func (f *ImprovedFetch) Next() (Row, bool) {
 	}
 }
 
-// refill pulls the next batch of RIDs and sorts it physically.
+// refill pulls the next batch of RIDs and sorts it physically. In batch
+// mode RIDs arrive in bounded sub-batches whose budget stops the producer's
+// index I/O at exactly the entry row-at-a-time pulls would have stopped at;
+// either way the RID stream content and order are identical, so the sorted
+// batch — and every page access it drives — is too.
 func (f *ImprovedFetch) refill() {
 	f.batch = f.batch[:0]
 	f.batchPos = 0
-	for len(f.batch) < f.maxBatch {
-		rid, ok := f.input.Next()
-		if !ok {
-			f.exhausted = true
-			break
+	if f.driven && f.bsrc != nil {
+		for len(f.batch) < f.maxBatch {
+			rids, ok := f.bsrc.NextRIDBatch(f.maxBatch - len(f.batch))
+			if !ok {
+				f.exhausted = true
+				break
+			}
+			f.batch = append(f.batch, rids...)
 		}
-		f.batch = append(f.batch, rid)
+	} else {
+		for len(f.batch) < f.maxBatch {
+			rid, ok := f.input.Next()
+			if !ok {
+				f.exhausted = true
+				break
+			}
+			f.batch = append(f.batch, rid)
+		}
 	}
 	n := len(f.batch)
 	if n > 1 {
-		sort.Slice(f.batch, func(i, j int) bool { return f.batch[i].Less(f.batch[j]) })
+		// RIDs are unique, so any comparison sort yields the same
+		// permutation; the packed sort avoids per-comparison calls.
+		f.sortKeys = sortRIDsInPlace(f.batch, f.sortKeys)
 		// n log2 n comparisons.
 		f.ctx.ChargeCPU(simclock.AccountSort, CostRIDCompare,
 			int64(n)*int64(bits.Len(uint(n))))
@@ -211,8 +302,54 @@ func (f *ImprovedFetch) gapLimit() storage.PageNo {
 	return storage.PageNo(p.SeekLatency / p.PageTransfer)
 }
 
+// NextBatch returns the next batch of qualifying rows, refilling and
+// sorting RID batches as needed. The per-RID page positioning (stepTo) and
+// heap access sequence are identical to row-at-a-time Next.
+func (f *ImprovedFetch) NextBatch() (*Batch, bool) {
+	if f.outEOF {
+		return nil, false
+	}
+	if !f.driven {
+		f.driven = true
+		f.bsrc, _ = f.input.(RIDBatcher)
+	}
+	if f.out == nil {
+		f.out = getBatch()
+	}
+	b := f.out
+	b.reset()
+	var cpu time.Duration
+	for b.n < BatchCapacity {
+		if f.batchPos < len(f.batch) {
+			rid := f.batch[f.batchPos]
+			f.batchPos++
+			f.stepTo(rid.Page)
+			fetchRowBatch(f.ctx, f.table, rid, f.preds, b, &cpu)
+			continue
+		}
+		if f.exhausted {
+			f.outEOF = true
+			break
+		}
+		f.refill()
+		if len(f.batch) == 0 && f.exhausted {
+			f.outEOF = true
+			break
+		}
+	}
+	f.ctx.chargeDur(simclock.AccountCPU, cpu)
+	if b.n == 0 {
+		return nil, false
+	}
+	return b, true
+}
+
 // Close closes the RID source.
-func (f *ImprovedFetch) Close() { f.input.Close() }
+func (f *ImprovedFetch) Close() {
+	f.input.Close()
+	putBatch(f.out)
+	f.out = nil
+}
 
 // BitmapFetch accumulates all input RIDs into a bitmap, then fetches in
 // physical order exactly once per page — the System B strategy of Figure 8
@@ -230,6 +367,10 @@ type BitmapFetch struct {
 	row      Row
 	lastPage storage.PageNo
 	built    bool
+
+	out    *Batch
+	outEOF bool
+	driven bool
 }
 
 // NewBitmapFetch constructs the bitmap-driven fetch.
@@ -245,13 +386,31 @@ func (f *BitmapFetch) Open() {
 
 func (f *BitmapFetch) build() {
 	bm := bitmap.New(f.table.Heap.File())
-	for {
-		rid, ok := f.input.Next()
-		if !ok {
-			break
+	if bsrc, ok := f.input.(RIDBatcher); f.driven && ok {
+		// Batched gather: the whole input is drained either way, so the
+		// RID stream and its I/O order are unchanged; only the bitmap-op
+		// charges are summed per sub-batch.
+		var cpu time.Duration
+		for {
+			rids, ok := bsrc.NextRIDBatch(ridBatchCap)
+			if !ok {
+				break
+			}
+			cpu += CostBitmapOp * time.Duration(len(rids))
+			for _, rid := range rids {
+				bm.Add(rid)
+			}
 		}
-		f.ctx.ChargeCPU(simclock.AccountCPU, CostBitmapOp, 1)
-		bm.Add(rid)
+		f.ctx.chargeDur(simclock.AccountCPU, cpu)
+	} else {
+		for {
+			rid, ok := f.input.Next()
+			if !ok {
+				break
+			}
+			f.ctx.ChargeCPU(simclock.AccountCPU, CostBitmapOp, 1)
+			bm.Add(rid)
+		}
 	}
 	f.rids = make([]storage.RID, 0, bm.Len())
 	bm.Iterate(func(rid storage.RID) bool {
@@ -291,5 +450,40 @@ func (f *BitmapFetch) stepTo(page storage.PageNo) {
 	f.lastPage = page
 }
 
+// NextBatch returns the next batch of qualifying rows in physical order.
+func (f *BitmapFetch) NextBatch() (*Batch, bool) {
+	if f.outEOF {
+		return nil, false
+	}
+	f.driven = true
+	if !f.built {
+		f.build()
+	}
+	if f.out == nil {
+		f.out = getBatch()
+	}
+	b := f.out
+	b.reset()
+	var cpu time.Duration
+	for b.n < BatchCapacity && f.pos < len(f.rids) {
+		rid := f.rids[f.pos]
+		f.pos++
+		f.stepTo(rid.Page)
+		fetchRowBatch(f.ctx, f.table, rid, f.preds, b, &cpu)
+	}
+	if f.pos >= len(f.rids) {
+		f.outEOF = true
+	}
+	f.ctx.chargeDur(simclock.AccountCPU, cpu)
+	if b.n == 0 {
+		return nil, false
+	}
+	return b, true
+}
+
 // Close closes the RID source.
-func (f *BitmapFetch) Close() { f.input.Close() }
+func (f *BitmapFetch) Close() {
+	f.input.Close()
+	putBatch(f.out)
+	f.out = nil
+}

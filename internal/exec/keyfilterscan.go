@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"time"
+
 	"robustmap/internal/btree"
 	"robustmap/internal/catalog"
 	"robustmap/internal/record"
@@ -23,6 +25,9 @@ type IndexKeyFilterScan struct {
 	types []record.Type
 	preds []ColPred // ordinals refer to the index's column list
 	cur   *btree.Cursor
+
+	ridBuf  []storage.RID
+	scratch Row
 }
 
 // NewIndexKeyFilterScan constructs the filtering index scan.
@@ -54,6 +59,38 @@ func (s *IndexKeyFilterScan) Next() (rid storage.RID, ok bool) {
 		return catalog.DecodeRIDSuffix(key), true
 	}
 	return storage.RID{}, false
+}
+
+// NextRIDBatch returns up to max matching RIDs, summing the per-entry and
+// predicate CPU charges (with exact short-circuit counts) per batch and
+// reusing one scratch row for key decoding.
+func (s *IndexKeyFilterScan) NextRIDBatch(max int) ([]storage.RID, bool) {
+	if max <= 0 || max > ridBatchCap {
+		max = ridBatchCap
+	}
+	buf := s.ridBuf[:0]
+	var cpu time.Duration
+	for len(buf) < max && s.cur.Next() {
+		cpu += CostIndexEntry
+		key := s.cur.Key()
+		if len(s.preds) > 0 {
+			vals, err := record.DenormalizeAppend(s.scratch[:0], key[:len(key)-catalog.RIDSuffixLen], s.types)
+			if err != nil {
+				panic("exec: corrupt index key: " + err.Error())
+			}
+			s.scratch = vals
+			if !matchesAllTally(s.preds, vals, &cpu) {
+				continue
+			}
+		}
+		buf = append(buf, catalog.DecodeRIDSuffix(key))
+	}
+	s.ridBuf = buf
+	s.ctx.chargeDur(simclock.AccountCPU, cpu)
+	if len(buf) == 0 {
+		return nil, false
+	}
+	return buf, true
 }
 
 // Close releases the cursor.

@@ -2,7 +2,6 @@ package exec
 
 import (
 	"math/bits"
-	"sort"
 
 	"robustmap/internal/simclock"
 	"robustmap/internal/storage"
@@ -24,6 +23,7 @@ type RIDMergeIntersect struct {
 	out         []storage.RID
 	pos         int
 	built       bool
+	driven      bool // consumed via NextRIDBatch; gather inputs in batches
 }
 
 // NewRIDMergeIntersect constructs the merge-based intersection. The two
@@ -40,7 +40,19 @@ func (j *RIDMergeIntersect) Open() {
 	j.right.Open()
 }
 
-func gatherRIDs(it RIDIter) []storage.RID {
+func gatherRIDs(it RIDIter, batched bool) []storage.RID {
+	if b, ok := it.(RIDBatcher); batched && ok {
+		// Full drain either way: the producer's I/O order is unchanged,
+		// its per-entry charges are just summed per sub-batch.
+		var out []storage.RID
+		for {
+			rids, ok := b.NextRIDBatch(ridBatchCap)
+			if !ok {
+				return out
+			}
+			out = append(out, rids...)
+		}
+	}
 	var out []storage.RID
 	for {
 		rid, ok := it.Next()
@@ -52,8 +64,8 @@ func gatherRIDs(it RIDIter) []storage.RID {
 }
 
 func (j *RIDMergeIntersect) build() {
-	l := gatherRIDs(j.left)
-	r := gatherRIDs(j.right)
+	l := gatherRIDs(j.left, j.driven)
+	r := gatherRIDs(j.right, j.driven)
 	sortRIDs(j.ctx, l)
 	sortRIDs(j.ctx, r)
 	// Merge, charging one comparison per step.
@@ -79,7 +91,8 @@ func sortRIDs(ctx *Ctx, rids []storage.RID) {
 	if n <= 1 {
 		return
 	}
-	sort.Slice(rids, func(i, j int) bool { return rids[i].Less(rids[j]) })
+	// RIDs are unique, so any comparison sort yields the same permutation.
+	sortRIDsInPlace(rids, nil)
 	ctx.ChargeCPU(simclock.AccountSort, CostRIDCompare, int64(n)*int64(bits.Len(uint(n))))
 }
 
@@ -94,6 +107,29 @@ func (j *RIDMergeIntersect) Next() (storage.RID, bool) {
 	rid := j.out[j.pos]
 	j.pos++
 	return rid, true
+}
+
+// NextRIDBatch serves the materialized intersection in slices of up to max
+// RIDs. Emission charges nothing (matching Next); the intersection itself
+// was charged during build.
+func (j *RIDMergeIntersect) NextRIDBatch(max int) ([]storage.RID, bool) {
+	if !j.built {
+		j.driven = true
+		j.build()
+	}
+	if j.pos >= len(j.out) {
+		return nil, false
+	}
+	if max <= 0 || max > ridBatchCap {
+		max = ridBatchCap
+	}
+	end := j.pos + max
+	if end > len(j.out) {
+		end = len(j.out)
+	}
+	out := j.out[j.pos:end]
+	j.pos = end
+	return out, true
 }
 
 // Close closes both inputs.
@@ -119,6 +155,7 @@ type RIDHashIntersect struct {
 	out          []storage.RID
 	pos          int
 	built        bool
+	driven       bool
 }
 
 // ridHashFanOut is the grace-partitioning fan-out.
@@ -138,8 +175,8 @@ func (j *RIDHashIntersect) Open() {
 }
 
 func (j *RIDHashIntersect) run() {
-	b := gatherRIDs(j.build)
-	p := gatherRIDs(j.probe)
+	b := gatherRIDs(j.build, j.driven)
+	p := gatherRIDs(j.probe, j.driven)
 	j.intersect(b, p, 0)
 	j.built = true
 }
@@ -223,6 +260,28 @@ func (j *RIDHashIntersect) Next() (storage.RID, bool) {
 	rid := j.out[j.pos]
 	j.pos++
 	return rid, true
+}
+
+// NextRIDBatch serves the materialized intersection in slices of up to max
+// RIDs.
+func (j *RIDHashIntersect) NextRIDBatch(max int) ([]storage.RID, bool) {
+	if !j.built {
+		j.driven = true
+		j.run()
+	}
+	if j.pos >= len(j.out) {
+		return nil, false
+	}
+	if max <= 0 || max > ridBatchCap {
+		max = ridBatchCap
+	}
+	end := j.pos + max
+	if end > len(j.out) {
+		end = len(j.out)
+	}
+	out := j.out[j.pos:end]
+	j.pos = end
+	return out, true
 }
 
 // Close closes both inputs.

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"time"
+
 	"robustmap/internal/btree"
 	"robustmap/internal/catalog"
 	"robustmap/internal/mvcc"
@@ -25,6 +27,9 @@ type TableScan struct {
 	havePage   bool // sp is valid and pg is pinned
 	open       bool
 	row        Row
+
+	batch *Batch // batch-mode output buffer
+	eof   bool   // a partial final batch was emitted; next NextBatch ends
 }
 
 // NewTableScan constructs a table scan. Predicate ordinals refer to the
@@ -41,6 +46,7 @@ func (s *TableScan) Open() {
 	s.slot = -1
 	s.havePage = false
 	s.open = true
+	s.eof = false
 }
 
 // Next returns the next matching row.
@@ -108,6 +114,91 @@ func (s *TableScan) decodeAndFilter(rec []byte) (Row, bool) {
 	return s.row, true
 }
 
+// NextBatch returns the next batch of matching rows. The page-access
+// sequence (prefetch declarations, Get/Unpin pairs, pin lifetimes across
+// calls) is identical to row-at-a-time iteration; only the CPU charges are
+// summed per batch.
+func (s *TableScan) NextBatch() (*Batch, bool) {
+	if !s.open {
+		panic("exec: NextBatch on unopened TableScan")
+	}
+	if s.eof {
+		s.open = false
+		return nil, false
+	}
+	if s.batch == nil {
+		s.batch = getBatch()
+	}
+	b := s.batch
+	b.reset()
+	var cpu time.Duration
+	for b.n < BatchCapacity {
+		if s.havePage && s.slot+1 < s.sp.NumSlots() {
+			s.slot++
+			rec, ok := s.sp.Get(storage.Slot(s.slot))
+			if !ok {
+				continue
+			}
+			s.decodeAndFilterBatch(rec, b, &cpu)
+			continue
+		}
+		if s.havePage {
+			s.ctx.Pool.Unpin(s.table.Heap.File(), s.pg)
+			s.havePage = false
+		}
+		s.pg++
+		if s.pg >= s.pages {
+			s.eof = true
+			break
+		}
+		if s.pg >= s.prefetched {
+			k := storage.PageNo(s.ctx.Pool.PrefetchUnit())
+			if rem := s.pages - s.pg; rem < k {
+				k = rem
+			}
+			s.ctx.Pool.Prefetch(s.table.Heap.File(), s.pg, int(k))
+			s.prefetched = s.pg + k
+		}
+		data := s.ctx.Pool.Get(s.table.Heap.File(), s.pg)
+		s.sp = storage.AsSlotted(data)
+		s.havePage = true
+		s.slot = -1
+	}
+	s.ctx.chargeDur(simclock.AccountCPU, cpu)
+	if b.n == 0 {
+		s.open = false
+		return nil, false
+	}
+	return b, true
+}
+
+// decodeAndFilterBatch is decodeAndFilter for batch mode: the row is decoded
+// into the batch (arena-backed, allocation-free in steady state) and CPU
+// costs accumulate into cpu.
+func (s *TableScan) decodeAndFilterBatch(rec []byte, b *Batch, cpu *time.Duration) {
+	payload := rec
+	if s.table.Versioned != nil {
+		h, p := mvcc.DecodeHeader(rec)
+		if !s.ctx.Snap.Visible(h) {
+			return
+		}
+		payload = p
+	}
+	*cpu += CostRowDecode
+	row := b.rowBuf()
+	var err error
+	row, b.arena, _, err = s.table.Schema.DecodeArena(payload, row, b.arena)
+	if err != nil {
+		panic("exec: corrupt row in table scan: " + err.Error())
+	}
+	if !matchesAllTally(s.preds, row, cpu) {
+		b.store(row)
+		return
+	}
+	*cpu += CostEmit
+	b.commit(row)
+}
+
 // Close releases the current page pin.
 func (s *TableScan) Close() {
 	if s.open && s.havePage {
@@ -115,17 +206,20 @@ func (s *TableScan) Close() {
 		s.havePage = false
 	}
 	s.open = false
+	putBatch(s.batch)
+	s.batch = nil
 }
 
 // IndexRangeScan walks an index over the key range [lo, hi) and emits RIDs
 // in key order — physically scattered order, which is exactly what makes
 // the traditional fetch expensive.
 type IndexRangeScan struct {
-	ctx *Ctx
-	ix  *catalog.Index
-	lo  []byte
-	hi  []byte
-	cur *btree.Cursor
+	ctx    *Ctx
+	ix     *catalog.Index
+	lo     []byte
+	hi     []byte
+	cur    *btree.Cursor
+	ridBuf []storage.RID
 }
 
 // NewIndexRangeScan constructs a range scan. lo and hi are normalized key
@@ -146,6 +240,26 @@ func (s *IndexRangeScan) Next() (storage.RID, bool) {
 	return catalog.DecodeRIDSuffix(s.cur.Key()), true
 }
 
+// NextRIDBatch returns up to max RIDs in key order, charging the per-entry
+// CPU cost once per batch. The cursor performs its leaf-page I/O in the
+// same order as row-at-a-time Next calls; the bound lets budgeted consumers
+// stop that I/O at exactly the entry row-at-a-time consumption would.
+func (s *IndexRangeScan) NextRIDBatch(max int) ([]storage.RID, bool) {
+	if max <= 0 || max > ridBatchCap {
+		max = ridBatchCap
+	}
+	buf := s.ridBuf[:0]
+	for len(buf) < max && s.cur.Next() {
+		buf = append(buf, catalog.DecodeRIDSuffix(s.cur.Key()))
+	}
+	s.ridBuf = buf
+	if len(buf) == 0 {
+		return nil, false
+	}
+	s.ctx.ChargeCPU(simclock.AccountCPU, CostIndexEntry, int64(len(buf)))
+	return buf, true
+}
+
 // Close is a no-op (cursors hold no pins between calls).
 func (s *IndexRangeScan) Close() { s.cur = nil }
 
@@ -163,6 +277,8 @@ type CoveringIndexScan struct {
 	preds []ColPred // ordinals refer to the index's column list
 	cur   *btree.Cursor
 	row   Row
+	batch *Batch
+	eof   bool
 }
 
 // NewCoveringIndexScan constructs an index-only scan.
@@ -178,7 +294,10 @@ func NewCoveringIndexScan(ctx *Ctx, ix *catalog.Index, lo, hi []byte, preds []Co
 }
 
 // Open seeks to the start of the range.
-func (s *CoveringIndexScan) Open() { s.cur = s.ix.Tree.Seek(s.lo, s.hi) }
+func (s *CoveringIndexScan) Open() {
+	s.cur = s.ix.Tree.Seek(s.lo, s.hi)
+	s.eof = false
+}
 
 // Next returns the next matching index row (the key columns, in index
 // column order).
@@ -199,5 +318,46 @@ func (s *CoveringIndexScan) Next() (Row, bool) {
 	return nil, false
 }
 
+// NextBatch returns the next batch of matching index rows, denormalizing
+// key columns directly into the batch and summing CPU charges per batch.
+func (s *CoveringIndexScan) NextBatch() (*Batch, bool) {
+	if s.eof {
+		return nil, false
+	}
+	if s.batch == nil {
+		s.batch = getBatch()
+	}
+	b := s.batch
+	b.reset()
+	var cpu time.Duration
+	for b.n < BatchCapacity {
+		if !s.cur.Next() {
+			s.eof = true
+			break
+		}
+		cpu += CostIndexEntry
+		key := s.cur.Key()
+		row, err := record.DenormalizeAppend(b.rowBuf(), key[:len(key)-catalog.RIDSuffixLen], s.types)
+		if err != nil {
+			panic("exec: corrupt index key: " + err.Error())
+		}
+		if !matchesAllTally(s.preds, row, &cpu) {
+			b.store(row)
+			continue
+		}
+		cpu += CostEmit
+		b.commit(row)
+	}
+	s.ctx.chargeDur(simclock.AccountCPU, cpu)
+	if b.n == 0 {
+		return nil, false
+	}
+	return b, true
+}
+
 // Close is a no-op.
-func (s *CoveringIndexScan) Close() { s.cur = nil }
+func (s *CoveringIndexScan) Close() {
+	s.cur = nil
+	putBatch(s.batch)
+	s.batch = nil
+}

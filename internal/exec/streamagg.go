@@ -23,6 +23,8 @@ type StreamAggregate struct {
 	havePend  bool
 	exhausted bool
 	out       Row
+	batch     *Batch
+	eof       bool
 }
 
 // NewStreamAggregate constructs the streaming aggregate; the input must be
@@ -147,5 +149,27 @@ func (a *StreamAggregate) Next() (Row, bool) {
 	}
 }
 
+// NextBatch returns completed groups in batches. The input is consumed
+// row-at-a-time: the canonical input of a streaming aggregate is a Sort,
+// which is row-only, and per-group comparison charges must follow the exact
+// short-circuit counts of the row path anyway.
+func (a *StreamAggregate) NextBatch() (*Batch, bool) {
+	if a.eof {
+		return nil, false
+	}
+	if a.batch == nil {
+		a.batch = getBatch()
+	}
+	a.eof = a.batch.fillFromRows(func() (Row, bool) { return a.Next() })
+	if a.batch.n == 0 {
+		return nil, false
+	}
+	return a.batch, true
+}
+
 // Close closes the input.
-func (a *StreamAggregate) Close() { a.input.Close() }
+func (a *StreamAggregate) Close() {
+	a.input.Close()
+	putBatch(a.batch)
+	a.batch = nil
+}

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"robustmap/internal/record"
 	"robustmap/internal/simclock"
@@ -12,6 +13,12 @@ type Filter struct {
 	ctx   *Ctx
 	input RowIter
 	preds []ColPred
+
+	bsrc   BatchOperator // batch-mode input, nil if input is row-only
+	bInit  bool
+	batch  *Batch  // own buffer when adapting a row-only input
+	selBuf []int32 // selection storage installed on input batches
+	eof    bool
 }
 
 // NewFilter constructs a filter.
@@ -35,8 +42,68 @@ func (f *Filter) Next() (Row, bool) {
 	}
 }
 
+// NextBatch returns the next non-empty batch of matching rows. When the
+// input is batch-capable the filter installs a selection vector on the
+// input's batch (no row copies); batches whose rows are all eliminated are
+// skipped, so consumers never see an empty batch. Predicate charges use the
+// exact short-circuit counts of row-at-a-time evaluation.
+func (f *Filter) NextBatch() (*Batch, bool) {
+	if !f.bInit {
+		f.bsrc, _ = f.input.(BatchOperator)
+		f.bInit = true
+	}
+	if f.eof {
+		return nil, false
+	}
+	if f.bsrc == nil {
+		// Row-only input: the filter's own row path already applies the
+		// predicates; batch it up.
+		if f.batch == nil {
+			f.batch = getBatch()
+		}
+		f.eof = f.batch.fillFromRows(f.Next)
+		if f.batch.n == 0 {
+			return nil, false
+		}
+		return f.batch, true
+	}
+	for {
+		b, ok := f.bsrc.NextBatch()
+		if !ok {
+			f.eof = true
+			return nil, false
+		}
+		var cpu time.Duration
+		sel := f.selBuf[:0]
+		if b.sel == nil {
+			for i := 0; i < b.n; i++ {
+				if matchesAllTally(f.preds, b.rows[i], &cpu) {
+					sel = append(sel, int32(i))
+				}
+			}
+		} else {
+			for _, i := range b.sel {
+				if matchesAllTally(f.preds, b.rows[i], &cpu) {
+					sel = append(sel, i)
+				}
+			}
+		}
+		f.selBuf = sel
+		f.ctx.chargeDur(simclock.AccountCPU, cpu)
+		if len(sel) == 0 {
+			continue
+		}
+		b.sel = sel
+		return b, true
+	}
+}
+
 // Close closes the input.
-func (f *Filter) Close() { f.input.Close() }
+func (f *Filter) Close() {
+	f.input.Close()
+	putBatch(f.batch)
+	f.batch = nil
+}
 
 // Project narrows rows to the given column ordinals.
 type Project struct {
@@ -44,6 +111,11 @@ type Project struct {
 	input RowIter
 	cols  []int
 	out   Row
+
+	bsrc  BatchOperator
+	bInit bool
+	batch *Batch
+	eof   bool
 }
 
 // NewProject constructs a projection.
@@ -68,14 +140,73 @@ func (p *Project) Next() (Row, bool) {
 	return p.out, true
 }
 
+// NextBatch returns the next batch of projected rows. Projected values are
+// struct copies that may alias the input batch's arena; the input batch
+// stays valid until this operator's next NextBatch call, so the lifetimes
+// coincide.
+func (p *Project) NextBatch() (*Batch, bool) {
+	if !p.bInit {
+		p.bsrc, _ = p.input.(BatchOperator)
+		p.bInit = true
+	}
+	if p.eof {
+		return nil, false
+	}
+	if p.batch == nil {
+		p.batch = getBatch()
+	}
+	if p.bsrc == nil {
+		p.eof = p.batch.fillFromRows(p.Next)
+		if p.batch.n == 0 {
+			return nil, false
+		}
+		return p.batch, true
+	}
+	var in *Batch
+	for {
+		var ok bool
+		in, ok = p.bsrc.NextBatch()
+		if !ok {
+			p.eof = true
+			return nil, false
+		}
+		if in.Len() > 0 {
+			break
+		}
+	}
+	out := p.batch
+	out.reset()
+	n := in.Len()
+	for i := 0; i < n; i++ {
+		row := in.Row(i)
+		r := out.rowBuf()
+		for _, c := range p.cols {
+			r = append(r, row[c])
+		}
+		out.commit(r)
+	}
+	p.ctx.ChargeCPU(simclock.AccountCPU, CostEmit, int64(n))
+	return out, true
+}
+
 // Close closes the input.
-func (p *Project) Close() { p.input.Close() }
+func (p *Project) Close() {
+	p.input.Close()
+	putBatch(p.batch)
+	p.batch = nil
+}
 
 // Limit stops after n rows.
 type Limit struct {
 	input RowIter
 	n     int64
 	seen  int64
+
+	bsrc   BatchOperator
+	bInit  bool
+	batch  *Batch
+	selBuf []int32
+	eof    bool
 }
 
 // NewLimit constructs a limit.
@@ -84,6 +215,7 @@ func NewLimit(input RowIter, n int64) *Limit { return &Limit{input: input, n: n}
 // Open opens the input.
 func (l *Limit) Open() {
 	l.seen = 0
+	l.eof = false
 	l.input.Open()
 }
 
@@ -100,8 +232,62 @@ func (l *Limit) Next() (Row, bool) {
 	return row, true
 }
 
+// NextBatch returns the next batch, cutting the final batch mid-way when
+// the limit lands inside it (the cut truncates the selection vector; no
+// rows are copied). A batch-mode producer may have read ahead within the
+// batch the limit cuts — that read-ahead is real work the engine performed,
+// exactly as in any vectorized system; row-at-a-time consumption (Next)
+// remains available when demand-exact semantics matter.
+func (l *Limit) NextBatch() (*Batch, bool) {
+	if !l.bInit {
+		l.bsrc, _ = l.input.(BatchOperator)
+		l.bInit = true
+	}
+	if l.eof || l.seen >= l.n {
+		return nil, false
+	}
+	if l.bsrc == nil {
+		if l.batch == nil {
+			l.batch = getBatch()
+		}
+		l.eof = l.batch.fillFromRows(l.Next)
+		if l.batch.n == 0 {
+			return nil, false
+		}
+		return l.batch, true
+	}
+	b, ok := l.bsrc.NextBatch()
+	if !ok {
+		l.eof = true
+		return nil, false
+	}
+	remaining := l.n - l.seen
+	live := int64(b.Len())
+	if live <= remaining {
+		l.seen += live
+		return b, true
+	}
+	// Cut mid-batch: keep only the first `remaining` live rows.
+	if b.sel != nil {
+		b.sel = b.sel[:remaining]
+	} else {
+		sel := l.selBuf[:0]
+		for i := int64(0); i < remaining; i++ {
+			sel = append(sel, int32(i))
+		}
+		l.selBuf = sel
+		b.sel = sel
+	}
+	l.seen = l.n
+	return b, true
+}
+
 // Close closes the input.
-func (l *Limit) Close() { l.input.Close() }
+func (l *Limit) Close() {
+	l.input.Close()
+	putBatch(l.batch)
+	l.batch = nil
+}
 
 // SliceRows adapts an in-memory row slice to a RowIter (tests, examples).
 type SliceRows struct {
@@ -157,6 +343,8 @@ type HashAggregate struct {
 	pos    int
 	built  bool
 	out    Row
+	batch  *Batch
+	eof    bool
 }
 
 type aggState struct {
@@ -221,6 +409,83 @@ func (a *HashAggregate) build() {
 	a.built = true
 }
 
+// buildBatched drains a batch-capable input. The input is fully consumed in
+// either mode, so its I/O order is unchanged; hash charges are summed per
+// batch. Retained values (group keys, MIN/MAX state) are cloned because
+// batch rows may alias their batch's arena.
+func (a *HashAggregate) buildBatched(src BatchOperator) {
+	a.groups = make(map[string]*aggState)
+	for {
+		b, ok := src.NextBatch()
+		if !ok {
+			break
+		}
+		var hash time.Duration
+		n := b.Len()
+		for r := 0; r < n; r++ {
+			row := b.Row(r)
+			hash += CostHashOp
+			key := keyString(row, a.groupBy)
+			st := a.groups[key]
+			if st == nil {
+				st = &aggState{
+					counts: make([]int64, len(a.aggs)),
+					sums:   make([]float64, len(a.aggs)),
+					mins:   make([]record.Value, len(a.aggs)),
+					maxs:   make([]record.Value, len(a.aggs)),
+				}
+				for _, g := range a.groupBy {
+					st.groupVals = append(st.groupVals, row[g].Clone())
+				}
+				a.groups[key] = st
+				a.order = append(a.order, key)
+			}
+			for i, spec := range a.aggs {
+				st.counts[i]++
+				switch spec.Kind {
+				case AggSum:
+					st.sums[i] += row[spec.Col].AsFloat()
+				case AggMin:
+					if st.mins[i].IsNull() || record.Compare(row[spec.Col], st.mins[i]) < 0 {
+						st.mins[i] = row[spec.Col].Clone()
+					}
+				case AggMax:
+					if st.maxs[i].IsNull() || record.Compare(row[spec.Col], st.maxs[i]) > 0 {
+						st.maxs[i] = row[spec.Col].Clone()
+					}
+				}
+			}
+		}
+		a.ctx.chargeDur(simclock.AccountHash, hash)
+	}
+	sortStrings(a.order)
+	a.built = true
+}
+
+// NextBatch returns group rows in batches. The build phase consumes the
+// input in batch mode when it supports it; emission reuses the row path
+// (group counts are small).
+func (a *HashAggregate) NextBatch() (*Batch, bool) {
+	if !a.built {
+		if src, ok := a.input.(BatchOperator); ok {
+			a.buildBatched(src)
+		} else {
+			a.build()
+		}
+	}
+	if a.eof {
+		return nil, false
+	}
+	if a.batch == nil {
+		a.batch = getBatch()
+	}
+	a.eof = a.batch.fillFromRows(a.Next)
+	if a.batch.n == 0 {
+		return nil, false
+	}
+	return a.batch, true
+}
+
 // Next returns the next group row.
 func (a *HashAggregate) Next() (Row, bool) {
 	if !a.built {
@@ -252,7 +517,11 @@ func (a *HashAggregate) Next() (Row, bool) {
 }
 
 // Close closes the input.
-func (a *HashAggregate) Close() { a.input.Close() }
+func (a *HashAggregate) Close() {
+	a.input.Close()
+	putBatch(a.batch)
+	a.batch = nil
+}
 
 func sortStrings(s []string) {
 	// Insertion sort is fine: group counts in experiments are small.

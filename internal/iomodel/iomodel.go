@@ -96,13 +96,21 @@ type Device struct {
 	// physically sequential access patterns are priced sequentially even
 	// without an explicit prefetch hint.
 	lastPage map[uint32]int64
-	// prefetched holds pages already paid for by an earlier prefetch unit.
-	prefetched map[pageAddr]struct{}
+	// prefetched holds pages already paid for by an earlier prefetch unit,
+	// keyed by packed address (uint64 keys hash much faster than structs
+	// on this per-page-read path).
+	prefetched map[uint64]struct{}
 }
 
-type pageAddr struct {
-	file uint32
-	page int64
+// packAddr packs a file/page pair into one uint64 map key: 24 bits of file,
+// 40 bits of page. The ranges are far beyond what any experiment allocates
+// (2^40 pages is 8 EiB of 8 KiB pages); the guard makes an overflow loud
+// rather than a silent key collision.
+func packAddr(file uint32, page int64) uint64 {
+	if file >= 1<<24 || page < 0 || page >= 1<<40 {
+		panic("iomodel: page address out of packable range")
+	}
+	return uint64(file)<<40 | uint64(page)
 }
 
 // NewDevice creates a Device charging the given clock. Invalid params panic:
@@ -119,7 +127,7 @@ func NewDevice(params Params, clock *simclock.Clock) *Device {
 		params:     params,
 		clock:      clock,
 		lastPage:   make(map[uint32]int64),
-		prefetched: make(map[pageAddr]struct{}),
+		prefetched: make(map[uint64]struct{}),
 	}
 }
 
@@ -146,7 +154,7 @@ func (d *Device) ResetPosition() {
 // continues the previous access's sequential run (or was covered by a
 // Prefetch), only transfer time is charged; otherwise a seek is charged too.
 func (d *Device) ReadPage(file uint32, page int64) {
-	addr := pageAddr{file, page}
+	addr := packAddr(file, page)
 	if _, ok := d.prefetched[addr]; ok {
 		delete(d.prefetched, addr)
 		d.stats.SequentialReads++
@@ -176,7 +184,7 @@ func (d *Device) ReadPage(file uint32, page int64) {
 // The buffer pool calls this once per logical prefetch request.
 func (d *Device) BeginReadAhead(file uint32) {
 	for addr := range d.prefetched {
-		if addr.file == file {
+		if addr>>40 == uint64(file) {
 			delete(d.prefetched, addr)
 		}
 	}
@@ -201,7 +209,7 @@ func (d *Device) Prefetch(file uint32, page int64, n int) {
 		d.clock.Advance(simclock.AccountSeqIO, cost)
 	}
 	for i := 0; i < n; i++ {
-		d.prefetched[pageAddr{file, page + int64(i)}] = struct{}{}
+		d.prefetched[packAddr(file, page+int64(i))] = struct{}{}
 	}
 	d.stats.PrefetchIssued++
 	d.lastPage[file] = page + int64(n) - 1

@@ -1,0 +1,104 @@
+package plan_test
+
+// The batch-execution pin: exec.Drain drives any batch-capable root
+// batch-at-a-time, and every batched operator gates its batched
+// internals on being driven that way. Wrapping a plan's root in a
+// row-only shim therefore forces the entire tree down the legacy
+// row-at-a-time code paths — the pre-vectorization engine, verbatim.
+// These tests sweep the full paper plan sets both ways and require the
+// complete maps (times, rows, winners, landmarks) to be identical, so
+// any batched code path that drifts from the row engine by even one
+// virtual nanosecond fails loudly.
+
+import (
+	"reflect"
+	"testing"
+
+	"robustmap/internal/catalog"
+	"robustmap/internal/core"
+	"robustmap/internal/exec"
+	"robustmap/internal/plan"
+)
+
+// rowOnly hides every interface of the wrapped iterator except RowIter,
+// in particular exec.BatchOperator, so exec.Drain falls back to Next().
+type rowOnly struct {
+	inner exec.RowIter
+}
+
+func (r *rowOnly) Open()                  { r.inner.Open() }
+func (r *rowOnly) Next() (exec.Row, bool) { return r.inner.Next() }
+func (r *rowOnly) Close()                 { r.inner.Close() }
+
+// rowForced returns a copy of the plan list whose roots are wrapped in
+// rowOnly shims.
+func rowForced(plans []plan.Plan) []plan.Plan {
+	out := make([]plan.Plan, len(plans))
+	for i, p := range plans {
+		build := p.Build
+		p.Build = func(ctx *exec.Ctx, c *catalog.Catalog, q plan.Query) exec.RowIter {
+			return &rowOnly{inner: build(ctx, c, q)}
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// TestBatchedGridsMatchRowEngine sweeps the 13-plan 2-D study once with
+// batch execution (the default) and once with every plan forced through
+// row-at-a-time iteration, and requires identical results.
+func TestBatchedGridsMatchRowEngine(t *testing.T) {
+	systems := buildEquivSystems(t)
+
+	fracs, ths := core.SweepAxis(equivRows, 4)
+	grid := core.Grid2D(fracs, fracs, ths, ths)
+
+	run := func(plans []plan.Plan) *core.Map2D {
+		res, err := core.NewSweep(sourcesFor(systems, plans), grid,
+			core.WithParallelism(2)).Run(t.Context())
+		if err != nil {
+			t.Fatalf("sweep: %v", err)
+		}
+		return res.Map2D
+	}
+	batched := run(plan.AllPlans())
+	rowed := run(rowForced(plan.AllPlans()))
+
+	if !reflect.DeepEqual(batched, rowed) {
+		t.Fatal("batched 2-D map differs from row-at-a-time execution")
+	}
+	if !reflect.DeepEqual(batched.WinnerGrid(), rowed.WinnerGrid()) {
+		t.Fatal("winner grids differ")
+	}
+	if !reflect.DeepEqual(batched.Rows, rowed.Rows) {
+		t.Fatal("rows grids differ")
+	}
+	cfg := core.MapLandmarkConfig()
+	for _, p := range plan.AllPlans() {
+		if !reflect.DeepEqual(batched.LandmarkGrid(p.ID, cfg), rowed.LandmarkGrid(p.ID, cfg)) {
+			t.Fatalf("plan %s: landmark grids differ", p.ID)
+		}
+	}
+}
+
+// TestBatched1DMatchesRowEngine covers the Figure 2 plan set, which
+// exercises the traditional fetch, rids_as_rows, and single-predicate
+// machinery under batch-vs-row execution.
+func TestBatched1DMatchesRowEngine(t *testing.T) {
+	systems := buildEquivSystems(t)
+
+	fracs, ths := core.SweepAxis(equivRows, 4)
+	grid := core.Grid1D(fracs, ths)
+
+	run := func(plans []plan.Plan) *core.Map1D {
+		res, err := core.NewSweep(sourcesFor(systems, plans), grid,
+			core.WithParallelism(2)).Run(t.Context())
+		if err != nil {
+			t.Fatalf("sweep: %v", err)
+		}
+		return res.Map1D
+	}
+	if batched, rowed := run(plan.Figure2Plans()), run(rowForced(plan.Figure2Plans())); !reflect.DeepEqual(batched, rowed) {
+		t.Fatal("batched 1-D map differs from row-at-a-time execution")
+	}
+}

@@ -1,0 +1,85 @@
+package record
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+)
+
+// DecodeArena parses a row previously produced by Encode, like Decode, but
+// backs variable-length values (strings, bytes) with the caller-supplied
+// arena instead of per-value heap allocations. It appends values to row and
+// bytes to arena, returning both extended slices and the number of encoded
+// bytes consumed.
+//
+// Ownership: values decoded this way alias the arena. They are valid only
+// until the caller truncates or reuses the arena — the batch-execution
+// contract (a batch's rows are valid until the next NextBatch call). Callers
+// that retain a value beyond that window must Clone it. If the arena's
+// backing array grows mid-decode, previously decoded values keep referencing
+// the old array, which the garbage collector keeps alive through them.
+func (s *Schema) DecodeArena(data []byte, row []Value, arena []byte) ([]Value, []byte, int, error) {
+	nbm := (len(s.cols) + 7) / 8
+	if len(data) < nbm {
+		return row, arena, 0, fmt.Errorf("record: truncated null bitmap")
+	}
+	bm := data[:nbm]
+	off := nbm
+	for i, c := range s.cols {
+		if bm[i/8]&(1<<(i%8)) != 0 {
+			row = append(row, Null)
+			continue
+		}
+		switch c.Type {
+		case TypeInt64, TypeDate:
+			v, n := varint(data[off:])
+			if n <= 0 {
+				return row, arena, 0, fmt.Errorf("record: bad varint in column %q", c.Name)
+			}
+			off += n
+			if c.Type == TypeDate {
+				row = append(row, Date(v))
+			} else {
+				row = append(row, Int(v))
+			}
+		case TypeFloat64:
+			if len(data[off:]) < 8 {
+				return row, arena, 0, fmt.Errorf("record: truncated float in column %q", c.Name)
+			}
+			u := binary.BigEndian.Uint64(data[off:])
+			off += 8
+			row = append(row, Float(Float64FromSortable(u)))
+		case TypeString:
+			ln, n := uvarint(data[off:])
+			if n <= 0 || uint64(len(data[off+n:])) < ln {
+				return row, arena, 0, fmt.Errorf("record: bad string in column %q", c.Name)
+			}
+			off += n
+			var sref string
+			if ln > 0 {
+				start := len(arena)
+				arena = append(arena, data[off:off+int(ln)]...)
+				sref = unsafe.String(&arena[start], int(ln))
+			}
+			row = append(row, String_(sref))
+			off += int(ln)
+		case TypeBytes:
+			ln, n := uvarint(data[off:])
+			if n <= 0 || uint64(len(data[off+n:])) < ln {
+				return row, arena, 0, fmt.Errorf("record: bad bytes in column %q", c.Name)
+			}
+			off += n
+			start := len(arena)
+			arena = append(arena, data[off:off+int(ln)]...)
+			row = append(row, Bytes(arena[start:start+int(ln):start+int(ln)]))
+			off += int(ln)
+		case TypeBool:
+			if off >= len(data) {
+				return row, arena, 0, fmt.Errorf("record: truncated bool in column %q", c.Name)
+			}
+			row = append(row, Bool(data[off] != 0))
+			off++
+		}
+	}
+	return row, arena, off, nil
+}

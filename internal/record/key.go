@@ -146,20 +146,26 @@ func DenormalizeValue(data []byte, typ Type) (Value, int, error) {
 
 // Denormalize decodes a composite key with the given column types.
 func Denormalize(data []byte, types []Type) ([]Value, error) {
-	out := make([]Value, 0, len(types))
+	return DenormalizeAppend(make([]Value, 0, len(types)), data, types)
+}
+
+// DenormalizeAppend is Denormalize appending into a caller-supplied slice,
+// so hot loops can reuse one buffer across keys instead of allocating a
+// fresh slice per entry.
+func DenormalizeAppend(dst []Value, data []byte, types []Type) ([]Value, error) {
 	off := 0
 	for _, t := range types {
 		v, n, err := DenormalizeValue(data[off:], t)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, v)
+		dst = append(dst, v)
 		off += n
 	}
 	if off != len(data) {
 		return nil, fmt.Errorf("record: %d trailing bytes in normalized key", len(data)-off)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // KeySuccessor returns the smallest normalized key strictly greater than any

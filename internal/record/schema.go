@@ -171,7 +171,7 @@ func (s *Schema) Decode(data []byte, row []Value) ([]Value, int, error) {
 		}
 		switch c.Type {
 		case TypeInt64, TypeDate:
-			v, n := binary.Varint(data[off:])
+			v, n := varint(data[off:])
 			if n <= 0 {
 				return row, 0, fmt.Errorf("record: bad varint in column %q", c.Name)
 			}
@@ -189,7 +189,7 @@ func (s *Schema) Decode(data []byte, row []Value) ([]Value, int, error) {
 			off += 8
 			row = append(row, Float(Float64FromSortable(u)))
 		case TypeString:
-			ln, n := binary.Uvarint(data[off:])
+			ln, n := uvarint(data[off:])
 			if n <= 0 || uint64(len(data[off+n:])) < ln {
 				return row, 0, fmt.Errorf("record: bad string in column %q", c.Name)
 			}
@@ -197,7 +197,7 @@ func (s *Schema) Decode(data []byte, row []Value) ([]Value, int, error) {
 			row = append(row, String_(string(data[off:off+int(ln)])))
 			off += int(ln)
 		case TypeBytes:
-			ln, n := binary.Uvarint(data[off:])
+			ln, n := uvarint(data[off:])
 			if n <= 0 || uint64(len(data[off+n:])) < ln {
 				return row, 0, fmt.Errorf("record: bad bytes in column %q", c.Name)
 			}

@@ -83,6 +83,20 @@ func Date(days int64) Value { return Value{typ: TypeDate, i: days} }
 // Bool returns a boolean value.
 func Bool(v bool) Value { return Value{typ: TypeBool, bool: v} }
 
+// Clone returns a copy of the value that shares no memory with arena-backed
+// storage: string and bytes payloads are copied onto the heap. Use it when
+// retaining a value taken from a batch (see Schema.DecodeArena) beyond the
+// batch's lifetime.
+func (v Value) Clone() Value {
+	switch v.typ {
+	case TypeString:
+		v.s = string(append([]byte(nil), v.s...))
+	case TypeBytes:
+		v.b = append([]byte(nil), v.b...)
+	}
+	return v
+}
+
 // IsNull reports whether the value is NULL.
 func (v Value) IsNull() bool { return v.typ == 0 }
 

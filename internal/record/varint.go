@@ -1,0 +1,28 @@
+package record
+
+import "encoding/binary"
+
+// uvarint is binary.Uvarint with inlined fast paths for the one- and
+// two-byte encodings that dominate row data (small lengths, small ints).
+func uvarint(data []byte) (uint64, int) {
+	if len(data) > 0 && data[0] < 0x80 {
+		return uint64(data[0]), 1
+	}
+	if len(data) > 1 && data[1] < 0x80 {
+		return uint64(data[0]&0x7f) | uint64(data[1])<<7, 2
+	}
+	return binary.Uvarint(data)
+}
+
+// varint is binary.Varint with the same fast paths.
+func varint(data []byte) (int64, int) {
+	u, n := uvarint(data)
+	if n <= 0 {
+		return 0, n
+	}
+	x := int64(u >> 1)
+	if u&1 != 0 {
+		x = ^x
+	}
+	return x, n
+}

@@ -44,6 +44,15 @@ type Clock struct {
 	now      time.Duration
 	accounts map[Account]time.Duration
 	frozen   bool
+
+	// Hot-account cache: consecutive charges to the same account (the
+	// common case — a burst of latch costs, a batch of CPU charges) are
+	// summed here and folded into the map only when the account changes or
+	// the accounts are read. This skips a map hash per Advance on the
+	// per-cell hot path without changing any observable total.
+	hotAcct Account
+	hotSum  time.Duration
+	hotSet  bool
 }
 
 // New returns a Clock at virtual time zero.
@@ -65,7 +74,21 @@ func (c *Clock) Advance(acct Account, d time.Duration) {
 		panic("simclock: advance on frozen clock")
 	}
 	c.now += d
-	c.accounts[acct] += d
+	if c.hotSet && acct == c.hotAcct {
+		c.hotSum += d
+		return
+	}
+	c.flushHot()
+	c.hotAcct, c.hotSum, c.hotSet = acct, d, true
+}
+
+// flushHot folds the cached hot-account sum into the accounts map.
+func (c *Clock) flushHot() {
+	if c.hotSet {
+		c.accounts[c.hotAcct] += c.hotSum
+		c.hotSum = 0
+		c.hotSet = false
+	}
 }
 
 // Freeze prevents further advances. Experiments freeze the clock after a
@@ -79,16 +102,22 @@ func (c *Clock) Frozen() bool { return c.frozen }
 func (c *Clock) Reset() {
 	c.now = 0
 	c.frozen = false
+	c.hotSum = 0
+	c.hotSet = false
 	for k := range c.accounts {
 		delete(c.accounts, k)
 	}
 }
 
 // Spent returns the time charged to a single account.
-func (c *Clock) Spent(acct Account) time.Duration { return c.accounts[acct] }
+func (c *Clock) Spent(acct Account) time.Duration {
+	c.flushHot()
+	return c.accounts[acct]
+}
 
 // Accounts returns a copy of all non-zero accounts.
 func (c *Clock) Accounts() map[Account]time.Duration {
+	c.flushHot()
 	out := make(map[Account]time.Duration, len(c.accounts))
 	for k, v := range c.accounts {
 		if v != 0 {
@@ -101,6 +130,7 @@ func (c *Clock) Accounts() map[Account]time.Duration {
 // Breakdown renders the accounts as a deterministic, human-readable summary
 // sorted by descending expenditure, e.g. for EXPLAIN ANALYZE-style output.
 func (c *Clock) Breakdown() string {
+	c.flushHot()
 	type kv struct {
 		k Account
 		v time.Duration

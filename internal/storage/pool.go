@@ -46,6 +46,28 @@ type Pool struct {
 	index  map[pageKey]int
 	hand   int
 	stats  PoolStats
+
+	// One-entry lookup cache: fetch-heavy operators touch the same page
+	// for Get and the immediately following Unpin (and often for runs of
+	// consecutive rows), so remembering the last resolved frame skips a
+	// map hash on the hot path. Purely an in-memory shortcut: hits still
+	// count as pool hits and charge the latch cost.
+	lastKey   pageKey
+	lastFrame int
+	haveLast  bool
+}
+
+// lookup resolves a page to its frame index, consulting the one-entry cache
+// before the index map. It caches successful resolutions.
+func (p *Pool) lookup(key pageKey) (int, bool) {
+	if p.haveLast && p.lastKey == key {
+		return p.lastFrame, true
+	}
+	fi, ok := p.index[key]
+	if ok {
+		p.lastKey, p.lastFrame, p.haveLast = key, fi, true
+	}
+	return fi, ok
 }
 
 type pageKey struct {
@@ -89,7 +111,7 @@ func (p *Pool) Device() *iomodel.Device { return p.dev }
 func (p *Pool) Get(file FileID, page PageNo) []byte {
 	p.clock.Advance(simclock.AccountLatch, latchCost)
 	key := pageKey{file, page}
-	if fi, ok := p.index[key]; ok {
+	if fi, ok := p.lookup(key); ok {
 		f := &p.frames[fi]
 		f.pins++
 		f.ref = true
@@ -108,6 +130,7 @@ func (p *Pool) Get(file FileID, page PageNo) []byte {
 	f.dirty = false
 	f.used = true
 	p.index[key] = fi
+	p.lastKey, p.lastFrame, p.haveLast = key, fi, true
 	p.stats.Pins++
 	return f.data
 }
@@ -115,7 +138,7 @@ func (p *Pool) Get(file FileID, page PageNo) []byte {
 // Unpin releases a pin taken by Get. Unpinning a page that is not pinned
 // panics: that is always an iterator lifecycle bug.
 func (p *Pool) Unpin(file FileID, page PageNo) {
-	fi, ok := p.index[pageKey{file, page}]
+	fi, ok := p.lookup(pageKey{file, page})
 	if !ok || p.frames[fi].pins == 0 {
 		panic(fmt.Sprintf("storage: unpin of unpinned page %d:%d", file, page))
 	}
@@ -125,7 +148,7 @@ func (p *Pool) Unpin(file FileID, page PageNo) {
 // MarkDirty records that the caller modified the page. Dirty pages charge a
 // write when evicted (or flushed), pricing spill and build activity.
 func (p *Pool) MarkDirty(file FileID, page PageNo) {
-	fi, ok := p.index[pageKey{file, page}]
+	fi, ok := p.lookup(pageKey{file, page})
 	if !ok {
 		panic(fmt.Sprintf("storage: MarkDirty of non-resident page %d:%d", file, page))
 	}
@@ -197,6 +220,9 @@ func (p *Pool) evict(i int) {
 		// Write-back: the disk already shares the backing array, so only
 		// the cost is charged.
 		p.dev.WritePage(uint32(f.file), int64(f.page))
+	}
+	if p.haveLast && p.lastKey == (pageKey{f.file, f.page}) {
+		p.haveLast = false
 	}
 	delete(p.index, pageKey{f.file, f.page})
 	p.stats.Evictions++
