@@ -1,0 +1,185 @@
+package robustmap
+
+// TestPublicAPISurface guards the facade: the exported surface of
+// package robustmap is rendered deterministically from source and
+// compared byte-for-byte against the committed baseline in
+// testdata/api/robustmap.txt. Any change — addition, removal, or
+// signature edit — fails until the baseline is regenerated with
+//
+//	go test -run TestPublicAPISurface -update-api .
+//
+// so API changes are always a deliberate, reviewable diff. CI runs
+// this test in place of a revision-pair apidiff: the baseline file is
+// the contract remote clients (scoreboards, regression harnesses, the
+// daemon's API consumers) build against.
+
+import (
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite testdata/api/robustmap.txt from the current source")
+
+const apiBaselinePath = "testdata/api/robustmap.txt"
+
+func TestPublicAPISurface(t *testing.T) {
+	got := apiSurface(t)
+	if *updateAPI {
+		if err := os.MkdirAll(filepath.Dir(apiBaselinePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiBaselinePath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("baseline updated: %s", apiBaselinePath)
+		return
+	}
+	want, err := os.ReadFile(apiBaselinePath)
+	if err != nil {
+		t.Fatalf("no committed API baseline: %v (run with -update-api to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exported API surface differs from %s.\n"+
+			"If the change is deliberate, regenerate with:\n"+
+			"\tgo test -run TestPublicAPISurface -update-api .\n%s",
+			apiBaselinePath, surfaceDiff(string(want), got))
+	}
+}
+
+// apiSurface renders every exported top-level declaration of the
+// package in this directory: funcs and methods without bodies, and
+// const/var/type specs one per entry, each comment-stripped and
+// gofmt-printed, sorted for stability.
+func apiSurface(t *testing.T) string {
+	t.Helper()
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(files)
+	fset := token.NewFileSet()
+	var entries []string
+	for _, name := range files {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, decl := range f.Decls {
+			entries = append(entries, renderDecl(t, fset, decl)...)
+		}
+	}
+	sort.Strings(entries)
+	return strings.Join(entries, "\n") + "\n"
+}
+
+func renderDecl(t *testing.T, fset *token.FileSet, decl ast.Decl) []string {
+	t.Helper()
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedRecv(d.Recv) {
+			return nil
+		}
+		fn := *d
+		fn.Body = nil
+		fn.Doc = nil
+		return []string{printNode(t, fset, &fn)}
+	case *ast.GenDecl:
+		var out []string
+		kw := d.Tok.String() // const, var, or type
+		for _, s := range d.Specs {
+			switch sp := s.(type) {
+			case *ast.TypeSpec:
+				if !sp.Name.IsExported() {
+					continue
+				}
+				cp := *sp
+				cp.Doc, cp.Comment = nil, nil
+				out = append(out, kw+" "+printNode(t, fset, &cp))
+			case *ast.ValueSpec:
+				if !anyExported(sp.Names) {
+					continue
+				}
+				cp := *sp
+				cp.Doc, cp.Comment = nil, nil
+				out = append(out, kw+" "+printNode(t, fset, &cp))
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+func exportedRecv(recv *ast.FieldList) bool {
+	if recv == nil || len(recv.List) == 0 {
+		return true // plain function
+	}
+	typ := recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr:
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func anyExported(names []*ast.Ident) bool {
+	for _, n := range names {
+		if n.IsExported() {
+			return true
+		}
+	}
+	return false
+}
+
+func printNode(t *testing.T, fset *token.FileSet, node any) string {
+	t.Helper()
+	var b strings.Builder
+	cfg := printer.Config{Mode: printer.UseSpaces | printer.TabIndent, Tabwidth: 8}
+	if err := cfg.Fprint(&b, fset, node); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// surfaceDiff reports the added and removed entries between two
+// rendered surfaces — a set diff, enough to see what changed without a
+// real diff tool.
+func surfaceDiff(want, got string) string {
+	wantSet := make(map[string]bool)
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := make(map[string]bool)
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			b.WriteString("- " + l + "\n")
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			b.WriteString("+ " + l + "\n")
+		}
+	}
+	return b.String()
+}

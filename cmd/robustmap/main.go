@@ -7,10 +7,20 @@
 //	robustmap -all [-out DIR]
 //	robustmap -exp fig7 -server http://127.0.0.1:8421   # sweeps on a daemon
 //	robustmap -workload scenario.json [-out DIR]        # custom workload map
+//	robustmap -query query.json [-out DIR]              # optimizer regret map
+//	robustmap -query query.json -explain [-sel-a F -sel-b F]
 //
 // Each experiment writes its artifacts (summary.txt, data.csv, map.txt,
-// map.svg, and map.ppm where applicable) under DIR/<id>/ and prints the
-// summary with the paper-claim checks to stdout.
+// map.svg, map.ppm, and grids.json where applicable) under DIR/<id>/ and
+// prints the summary with the paper-claim checks to stdout.
+//
+// -query plans a logical query spec instead of measuring hand-written
+// plans: the optimizer enumerates candidate plans over the query's
+// catalog, every candidate is measured across the sweep, and the
+// artifacts overlay the optimizer's estimated-cost pick against the
+// per-point oracle winner (the regret and non-robustness maps).
+// -explain skips the sweep and prints the candidates with their
+// estimated costs at one selectivity point.
 //
 // Experiments run under a signal-aware context: the first SIGINT/SIGTERM
 // cancels the sweep in flight (workers drain, no partial artifacts are
@@ -34,6 +44,8 @@ import (
 	"robustmap/internal/engine"
 	"robustmap/internal/experiments"
 	"robustmap/internal/httpapi"
+	"robustmap/internal/optimizer"
+	"robustmap/internal/plan"
 	"robustmap/internal/service"
 	"robustmap/internal/spec"
 	"robustmap/internal/vis"
@@ -53,6 +65,10 @@ func main() {
 		progress = flag.Bool("progress", false, "render a live measured-cell count line on stderr for every sweep")
 		server   = flag.String("server", "", "run the study's standard sweeps as jobs on the robustmapd at this base URL (local experiments still render the artifacts)")
 		workload = flag.String("workload", "", "render a robustness map for a declarative workload spec (JSON file) instead of a paper experiment")
+		query    = flag.String("query", "", "render an optimizer regret map for a logical query spec (JSON file) instead of a paper experiment")
+		explain  = flag.Bool("explain", false, "with -query: print the candidate plans and their estimated costs at one point instead of sweeping")
+		selA     = flag.Float64("sel-a", 0.01, "with -explain: selectivity fraction of predicate a, in (0,1]")
+		selB     = flag.Float64("sel-b", 0.01, "with -explain: selectivity fraction of predicate b, in (0,1]")
 	)
 	flag.Parse()
 	fatalf := func(format string, args ...any) {
@@ -75,6 +91,20 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
+	}
+	if *query != "" {
+		if *all || *exp != "" || *small || *workload != "" {
+			fatalf("-query plans a logical query instead of a paper experiment; drop -exp/-all/-small/-workload")
+		}
+		if *explain {
+			runExplain(*query, *rows, *selA, *selB, fatalf)
+			return
+		}
+		runQuery(*query, *out, *rows, *parallel, *refine, *cache, *server, *progress, fatalf)
+		return
+	}
+	if *explain {
+		fatalf("-explain requires -query")
 	}
 	if *workload != "" {
 		if *all || *exp != "" || *small {
@@ -186,6 +216,9 @@ func writeArtifacts(dir string, art *experiments.Artifacts) error {
 	if art.PPM != "" {
 		files["map.ppm"] = art.PPM
 	}
+	if art.JSON != "" {
+		files["grids.json"] = art.JSON
+	}
 	for name, content := range files {
 		if content == "" {
 			continue
@@ -209,6 +242,7 @@ func runWorkload(path, out string, rows int64, parallel int, refine bool,
 	ws, err := spec.LoadFile(path)
 	if err != nil {
 		fatalf("%v", err)
+		return
 	}
 	req := service.Request{
 		Workload:    ws,
@@ -216,8 +250,16 @@ func runWorkload(path, out string, rows int64, parallel int, refine bool,
 		Parallelism: parallel,
 		Refine:      refine,
 	}
+	// Validate the whole spec — structure AND compilability — before the
+	// command touches anything: a workload that cannot run must not
+	// leave an output directory behind, and must not reach a daemon.
 	if err := req.Validate(); err != nil {
 		fatalf("%v", err)
+		return
+	}
+	if _, err := plan.CompileWorkload(ws); err != nil {
+		fatalf("%v", err)
+		return
 	}
 
 	var (
@@ -263,6 +305,140 @@ func runWorkload(path, out string, rows int64, parallel int, refine bool,
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", filepath.Join(out, art.ID))
+}
+
+// loadQuery loads a query spec and plans it: enumeration plus a full
+// compile of every candidate, so an unusable query fails here — before
+// any output directory is created or a daemon contacted.
+func loadQuery(path string, fatalf func(string, ...any)) (*spec.QuerySpec, []optimizer.Candidate) {
+	q, err := spec.LoadQueryFile(path)
+	if err != nil {
+		fatalf("%v", err)
+		return nil, nil
+	}
+	cands, err := optimizer.Enumerate(q)
+	if err != nil {
+		fatalf("%v", err)
+		return nil, nil
+	}
+	if _, err := plan.CompileWorkload(optimizer.Workload(q, cands)); err != nil {
+		fatalf("%v", err)
+		return nil, nil
+	}
+	return q, cands
+}
+
+// runQuery plans a logical query spec and renders its optimizer regret
+// map: the enumerated candidates are measured across the sweep (locally
+// or on -server), and the artifacts overlay the per-point pick against
+// the oracle winner.
+func runQuery(path, out string, rows int64, parallel int, refine bool,
+	cache int, server string, progress bool, fatalf func(string, ...any)) {
+
+	q, cands := loadQuery(path, fatalf)
+	req := service.Request{
+		Query:       q,
+		Rows:        rows,
+		Parallelism: parallel,
+		Refine:      refine,
+	}
+	if err := req.Validate(); err != nil {
+		fatalf("%v", err)
+		return
+	}
+
+	var (
+		svc   service.Service
+		local *service.Local
+	)
+	if server != "" {
+		if cache != 0 {
+			fmt.Fprintln(os.Stderr, "note: -cache is ignored with -server; the daemon manages its own cache")
+		}
+		svc = httpapi.NewClient(server)
+	} else {
+		local = service.NewLocal(service.LocalConfig{Workers: 1, CacheSize: cache})
+		defer func() {
+			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = local.Close(cctx)
+		}()
+		svc = local
+	}
+	var onProgress core.ProgressFunc
+	if progress {
+		onProgress = cliutil.ProgressLine(os.Stderr)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "planning query %q (%d candidate plans)...\n", q.Name, len(cands))
+	res, err := service.Run(ctx, svc, req, onProgress)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "\ninterrupted: query %q cancelled, no artifacts written\n", q.Name)
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	art := experiments.QueryArtifacts(q, res)
+	art.ID = artifactDirName(q.Name)
+	fmt.Println(art.Summary)
+	if err := writeArtifacts(out, art); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", filepath.Join(out, art.ID))
+}
+
+// runExplain prints the optimizer's view of a query at one selectivity
+// point: every candidate plan with its estimated cost, the pick marked.
+// Pure cost-model arithmetic — nothing is measured, so it answers
+// "what would the optimizer do here?" instantly.
+func runExplain(path string, rows int64, selA, selB float64, fatalf func(string, ...any)) {
+	q, cands := loadQuery(path, fatalf)
+	for _, s := range []float64{selA, selB} {
+		if s <= 0 || s > 1 {
+			fatalf("-sel-a/-sel-b must be selectivity fractions in (0,1], got %g", s)
+			return
+		}
+	}
+	if rows == 0 {
+		rows = q.Catalog.Table().Rows
+		if rows == 0 {
+			rows = engine.DefaultConfig().Rows
+		}
+	}
+	ta := int64(selA * float64(rows))
+	tb := int64(-1)
+	if q.NeedsTB() {
+		tb = int64(selB * float64(rows))
+	}
+
+	model := optimizer.NewModel(q, rows)
+	ests := model.Explain(cands, ta, tb)
+	fmt.Printf("query %s over %d rows: a <= %d (%.4g of rows)", q.Name, rows, ta, selA)
+	if tb >= 0 {
+		fmt.Printf(", b <= %d (%.4g of rows)", tb, selB)
+	}
+	fmt.Printf("\n%d candidate plans, estimated costs (simclock units):\n\n", len(ests))
+	for _, e := range ests {
+		mark := "  "
+		switch {
+		case e.Picked:
+			mark = "=>"
+		case !e.Eligible:
+			mark = " -"
+		}
+		cost := fmt.Sprintf("%12v", e.Cost)
+		if !e.Eligible {
+			cost = "  ineligible"
+		}
+		fmt.Printf("%s %-18s %s  %s\n", mark, e.ID, cost, e.Description)
+	}
+	fmt.Printf("\n=> marks the optimizer's pick;  - marks plans ineligible at this point.\n")
 }
 
 // artifactDirName maps a workload name onto a safe single path

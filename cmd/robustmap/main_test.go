@@ -1,0 +1,88 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// badWorkload passes structural validation (the schema-less catalog
+// defers column checks) but fails plan compilation: the generator has
+// no column "zz". The regression below pins that such a spec is
+// rejected before the command touches the output directory.
+const badWorkload = `{
+  "name": "badcol",
+  "catalog": {"tables": [{"name": "t", "rows": 1024}]},
+  "systems": [{"name": "S", "plans": [{
+    "id": "p",
+    "root": {"op": "table_scan", "table": "t",
+             "preds": [{"column": "zz", "hi": {"param": "ta"}}]}
+  }]}],
+  "sweep": {"max_exp": 2}
+}`
+
+const badQuery = `{
+  "name": "badcol",
+  "catalog": {"tables": [{"name": "t", "rows": 1024}]},
+  "table": "t",
+  "predicates": [{"column": "zz", "hi": {"param": "ta"}}],
+  "sweep": {"max_exp": 2}
+}`
+
+// fatalfPanic stands in for the CLI's exiting fatalf so tests can
+// observe the rejection.
+func fatalfPanic(format string, args ...any) {
+	panic("fatalf: " + fmt.Sprintf(format, args...))
+}
+
+// expectFatalf asserts fn hits fatalf and that the output directory was
+// never created.
+func expectFatalf(t *testing.T, out string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected the command to reject the spec via fatalf")
+		}
+		if _, err := os.Stat(out); !os.IsNotExist(err) {
+			t.Errorf("output directory %s was created for a spec that cannot run", out)
+		}
+	}()
+	fn()
+}
+
+func TestWorkloadValidatesBeforeTouchingOutputDir(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(badWorkload), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out")
+	expectFatalf(t, out, func() {
+		runWorkload(path, out, 0, 1, false, 0, "", false, fatalfPanic)
+	})
+}
+
+func TestQueryValidatesBeforeTouchingOutputDir(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(badQuery), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out")
+	expectFatalf(t, out, func() {
+		runQuery(path, out, 0, 1, false, 0, "", false, fatalfPanic)
+	})
+}
+
+// TestExampleQuerySpecPlans pins the committed example query: it loads,
+// validates, and enumerates multiple candidate plans.
+func TestExampleQuerySpecPlans(t *testing.T) {
+	q, cands := loadQuery(filepath.Join("..", "..", "examples", "workloads", "skewed_query.json"), fatalfPanic)
+	if q.Name != "skewed-query" {
+		t.Fatalf("example query name = %q", q.Name)
+	}
+	if len(cands) < 8 {
+		t.Fatalf("example query enumerates %d candidates, want >= 8", len(cands))
+	}
+}

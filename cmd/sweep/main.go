@@ -9,6 +9,7 @@
 //	sweep -plans A1,B1,C1 -grid -refine -parallel -1 -progress  # adaptive
 //	sweep -server http://127.0.0.1:8421 -plans A1,A2            # remote
 //	sweep -workload my-scenario.json                            # custom
+//	sweep -query my-query.json                                  # optimizer
 //
 // Plan ids: A1..A7 (System A), B1..B4 (System B), C1..C2 (System C),
 // F1-trad, F2-merge-ab, F2-merge-ba, F2-hash-ab, F2-hash-ba.
@@ -21,6 +22,13 @@
 // 2-D — edit its sweep section to change shape). The workload travels
 // inside the job request, so -server sweeps it on a daemon that has
 // never seen it — no recompilation anywhere.
+//
+// With -query, the sweep runs a logical query spec instead: the
+// service's optimizer enumerates candidate plans over the query's
+// catalog, measures all of them, and the result carries the optimizer's
+// per-point pick scored against the oracle winner, summarized after the
+// map. A request names its plans exactly one way — -plans, -workload,
+// and -query are mutually exclusive.
 //
 // Every sweep is a job submitted through the robustmap service API: by
 // default to an in-process service (same engine, same scheduling as the
@@ -64,6 +72,7 @@ func main() {
 		progress = flag.Bool("progress", false, "render a live measured-cell count line on stderr")
 		server   = flag.String("server", "", "submit to a robustmapd at this base URL instead of sweeping in process")
 		workload = flag.String("workload", "", "sweep a declarative workload spec (JSON file) instead of the built-in plans")
+		query    = flag.String("query", "", "sweep a logical query spec (JSON file): the optimizer enumerates the plans and the result carries its pick/regret overlay")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of this process to the file (covers the whole sweep; with -server it profiles only the client)")
 		memprof  = flag.String("memprofile", "", "write an allocation profile of this process to the file on exit")
 	)
@@ -118,21 +127,45 @@ func main() {
 		Parallelism: *parallel,
 		Refine:      *refine,
 	}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *workload != "" && *query != "" {
+		fatalf("-workload and -query are mutually exclusive")
+	}
 	if *workload != "" {
 		ws, err := spec.LoadFile(*workload)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		req.Workload = ws
-		// The workload's own sweep section provides the defaults; an
-		// explicitly passed flag still overrides it (except the
-		// degenerate -max-exp 0, which defers to the workload — edit
-		// its sweep section for a single-point axis).
-		set := map[string]bool{}
-		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		if !set["plans"] {
-			req.Plans = nil
+		// A request names its plans exactly one way, so an explicit
+		// -plans override travels inside the workload's own sweep
+		// section rather than alongside it. The other sweep flags keep
+		// the same discipline: the workload provides the defaults, an
+		// explicitly passed flag overrides (except the degenerate
+		// -max-exp 0, which defers to the workload — edit its sweep
+		// section for a single-point axis).
+		if set["plans"] {
+			ws.Sweep.Plans = ids
 		}
+		req.Workload = ws
+		req.Plans = nil
+		if !set["rows"] {
+			req.Rows = 0
+		}
+		if !set["max-exp"] {
+			req.MaxExp = 0
+		}
+	}
+	if *query != "" {
+		if set["plans"] {
+			fatalf("-plans cannot narrow -query; the optimizer enumerates the plans")
+		}
+		q, err := spec.LoadQueryFile(*query)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		req.Query = q
+		req.Plans = nil
 		if !set["rows"] {
 			req.Rows = 0
 		}
@@ -190,6 +223,15 @@ func main() {
 		}
 	}
 
+	// A query request names no plans up front — the optimizer enumerated
+	// them service-side, and the measured map lists them.
+	if len(ids) == 0 {
+		if res.Map2D != nil {
+			ids = res.Map2D.Plans
+		} else if res.Map1D != nil {
+			ids = res.Map1D.Plans
+		}
+	}
 	renderRows := req.EffectiveRows(engine.DefaultConfig().Rows)
 	fracs, _ := core.SweepAxis(renderRows, req.EffectiveMaxExp())
 	if !grid2d {
@@ -197,10 +239,32 @@ func main() {
 	} else {
 		render2D(res, ids, fracs, *relative)
 	}
+	renderRegret(res)
 	if local != nil && *cache != 0 {
 		st := local.CacheStats()
 		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d evictions, %d entries\n",
 			st.Hits, st.Misses, st.Evictions, st.Size)
+	}
+}
+
+// renderRegret summarizes a query job's optimizer overlay after the
+// map: how the estimated-cost pick scored against the oracle winner.
+func renderRegret(res *service.Result) {
+	switch {
+	case res.Regret2D != nil:
+		r := res.Regret2D
+		fmt.Printf("optimizer: worst regret %.2f, non-robust at %.0f%% of points (threshold %.1fx)\n",
+			r.WorstRegret(), r.NonRobustFraction()*100, r.Threshold)
+	case res.Regret1D != nil:
+		r := res.Regret1D
+		flagged := 0
+		for _, nr := range r.NonRobust {
+			if nr {
+				flagged++
+			}
+		}
+		fmt.Printf("optimizer: non-robust at %d of %d points (threshold %.1fx)\n",
+			flagged, len(r.NonRobust), r.Threshold)
 	}
 }
 

@@ -1,0 +1,195 @@
+package core
+
+import "time"
+
+// DefaultRegretThreshold is the cost-ratio boundary above which a cell
+// counts as non-robust: the optimizer's pick ran more than this factor
+// slower than the oracle winner.
+const DefaultRegretThreshold = 2.0
+
+// RegretMap1D overlays an optimizer's per-cell plan picks on a measured
+// 1-D robustness map: Regret[i] is measured(pick) / measured(oracle
+// best) at threshold i (≥ 1 by construction), and NonRobust[i] flags
+// cells where the regret exceeds Threshold or the pick flips between
+// adjacent cells — the paper's "regions where plan choice matters".
+type RegretMap1D struct {
+	// Fractions and Thresholds mirror the underlying Map1D axis.
+	Fractions  []float64 `json:"fractions"`
+	Thresholds []int64   `json:"thresholds"`
+	// Plans are the candidate ids, indexed by Picks.
+	Plans []string `json:"plans"`
+	// Picks[i] is the optimizer's candidate index at threshold i; -1
+	// marks a cell with no eligible candidate.
+	Picks []int `json:"picks"`
+	// Regret[i] = measured(pick) / measured(best), clamped ≥ 1.
+	Regret []float64 `json:"regret"`
+	// NonRobust flags cells where regret exceeds Threshold or the pick
+	// differs from a neighbor's.
+	NonRobust []bool `json:"non_robust"`
+	// Threshold is the regret bound used for NonRobust.
+	Threshold float64 `json:"threshold"`
+}
+
+// RegretMap2D is the 2-D counterpart; grids are indexed [ia][ib] like
+// Map2D cells.
+type RegretMap2D struct {
+	FracA []float64 `json:"frac_a"`
+	FracB []float64 `json:"frac_b"`
+	TA    []int64   `json:"ta"`
+	TB    []int64   `json:"tb"`
+	Plans []string  `json:"plans"`
+	// Picks[ia][ib] is the optimizer's candidate index; -1 marks a cell
+	// with no eligible candidate.
+	Picks [][]int `json:"picks"`
+	// Regret[ia][ib] = measured(pick) / measured(best), clamped ≥ 1.
+	Regret [][]float64 `json:"regret"`
+	// NonRobust flags cells where regret exceeds Threshold or the pick
+	// differs from any 4-neighbor's.
+	NonRobust [][]bool `json:"non_robust"`
+	Threshold float64  `json:"threshold"`
+}
+
+// regretOf is measured(pick)/measured(best) with the quotient's
+// defensive zero handling, clamped to ≥ 1 (the pick can never beat the
+// oracle, but clamping keeps float noise out of the grids).
+func regretOf(picked, best time.Duration) float64 {
+	r := quotient(picked, best)
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+// NewRegretMap1D builds the regret overlay for a measured map and the
+// optimizer's picks (one per threshold, -1 for none). It panics if the
+// pick list does not match the map's axis — callers derive both from
+// the same sweep, so a mismatch is a programming error.
+func NewRegretMap1D(m *Map1D, picks []int, threshold float64) *RegretMap1D {
+	if len(picks) != len(m.Thresholds) {
+		panic("core: regret picks do not match map axis")
+	}
+	best := m.BestTimes()
+	r := &RegretMap1D{
+		Fractions:  m.Fractions,
+		Thresholds: m.Thresholds,
+		Plans:      m.Plans,
+		Picks:      picks,
+		Regret:     make([]float64, len(picks)),
+		NonRobust:  make([]bool, len(picks)),
+		Threshold:  threshold,
+	}
+	for i, p := range picks {
+		if p < 0 || p >= len(m.Plans) {
+			r.Regret[i] = 0
+			r.NonRobust[i] = true
+			continue
+		}
+		r.Regret[i] = regretOf(m.Times[p][i], best[i])
+		r.NonRobust[i] = r.Regret[i] > threshold
+	}
+	for i := range picks {
+		if !r.NonRobust[i] {
+			r.NonRobust[i] = (i > 0 && picks[i-1] != picks[i]) ||
+				(i+1 < len(picks) && picks[i+1] != picks[i])
+		}
+	}
+	return r
+}
+
+// NewRegretMap2D builds the 2-D regret overlay; picks is indexed
+// [ia][ib] like the map's cells.
+func NewRegretMap2D(m *Map2D, picks [][]int, threshold float64) *RegretMap2D {
+	if len(picks) != len(m.TA) {
+		panic("core: regret picks do not match map axis")
+	}
+	best := m.BestGrid()
+	r := &RegretMap2D{
+		FracA: m.FracA, FracB: m.FracB, TA: m.TA, TB: m.TB,
+		Plans:     m.Plans,
+		Picks:     picks,
+		Regret:    make([][]float64, len(picks)),
+		NonRobust: make([][]bool, len(picks)),
+		Threshold: threshold,
+	}
+	for i := range picks {
+		if len(picks[i]) != len(m.TB) {
+			panic("core: regret picks do not match map axis")
+		}
+		r.Regret[i] = make([]float64, len(picks[i]))
+		r.NonRobust[i] = make([]bool, len(picks[i]))
+		for j, p := range picks[i] {
+			if p < 0 || p >= len(m.Plans) {
+				r.NonRobust[i][j] = true
+				continue
+			}
+			r.Regret[i][j] = regretOf(m.Times[p][i][j], best[i][j])
+			r.NonRobust[i][j] = r.Regret[i][j] > threshold
+		}
+	}
+	for i := range picks {
+		for j := range picks[i] {
+			if r.NonRobust[i][j] {
+				continue
+			}
+			p := picks[i][j]
+			for _, n := range [][2]int{{i - 1, j}, {i + 1, j}, {i, j - 1}, {i, j + 1}} {
+				if n[0] >= 0 && n[0] < len(picks) && n[1] >= 0 && n[1] < len(picks[n[0]]) &&
+					picks[n[0]][n[1]] != p {
+					r.NonRobust[i][j] = true
+					break
+				}
+			}
+		}
+	}
+	return r
+}
+
+// PickFraction summarizes how often each plan was picked: a map from
+// plan id to its share of cells (picked cells only).
+func (r *RegretMap2D) PickFraction() map[string]float64 {
+	counts := map[string]int{}
+	total := 0
+	for i := range r.Picks {
+		for _, p := range r.Picks[i] {
+			if p >= 0 && p < len(r.Plans) {
+				counts[r.Plans[p]]++
+				total++
+			}
+		}
+	}
+	out := map[string]float64{}
+	for id, n := range counts {
+		out[id] = float64(n) / float64(total)
+	}
+	return out
+}
+
+// WorstRegret returns the maximum regret over the grid.
+func (r *RegretMap2D) WorstRegret() float64 {
+	worst := 0.0
+	for i := range r.Regret {
+		for _, v := range r.Regret[i] {
+			if v > worst {
+				worst = v
+			}
+		}
+	}
+	return worst
+}
+
+// NonRobustFraction is the share of cells flagged non-robust.
+func (r *RegretMap2D) NonRobustFraction() float64 {
+	flagged, total := 0, 0
+	for i := range r.NonRobust {
+		for _, v := range r.NonRobust[i] {
+			total++
+			if v {
+				flagged++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(flagged) / float64(total)
+}

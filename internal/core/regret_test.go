@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func regretFixture2D() *Map2D {
+	// Two plans on a 2x2 grid: plan 0 wins the left column, plan 1 the
+	// right, with a 3x gap everywhere.
+	return &Map2D{
+		FracA: []float64{0.5, 1}, FracB: []float64{0.5, 1},
+		TA: []int64{2, 4}, TB: []int64{2, 4},
+		Plans: []string{"p0", "p1"},
+		Times: [][][]time.Duration{
+			{{100, 300}, {100, 300}},
+			{{300, 100}, {300, 100}},
+		},
+	}
+}
+
+func TestRegretMap2D(t *testing.T) {
+	m := regretFixture2D()
+	picks := [][]int{{0, 0}, {0, 1}} // wrong at [0][1], right elsewhere
+	r := NewRegretMap2D(m, picks, DefaultRegretThreshold)
+	if got := r.Regret[0][0]; got != 1 {
+		t.Errorf("regret[0][0] = %v, want 1 (pick is the winner)", got)
+	}
+	if got := r.Regret[0][1]; got != 3 {
+		t.Errorf("regret[0][1] = %v, want 3 (pick is 3x the winner)", got)
+	}
+	if !r.NonRobust[0][1] {
+		t.Error("cell with regret 3 > threshold 2 must be non-robust")
+	}
+	// The pick flips along row 1 ([1][0]→[1][1]); both cells flag.
+	if !r.NonRobust[1][0] || !r.NonRobust[1][1] {
+		t.Error("cells adjacent to a pick flip must be non-robust")
+	}
+	// [0][0]'s neighbors all pick plan 0 and its regret is 1: robust.
+	if r.NonRobust[0][0] {
+		t.Error("cell [0][0] must be robust")
+	}
+	if got := r.WorstRegret(); got != 3 {
+		t.Errorf("WorstRegret = %v, want 3", got)
+	}
+	if got := r.NonRobustFraction(); got != 0.75 {
+		t.Errorf("NonRobustFraction = %v, want 0.75", got)
+	}
+	pf := r.PickFraction()
+	if pf["p0"] != 0.75 || pf["p1"] != 0.25 {
+		t.Errorf("PickFraction = %v, want p0 0.75 / p1 0.25", pf)
+	}
+}
+
+func TestRegretMap2DUniformPicksAreRobust(t *testing.T) {
+	m := regretFixture2D()
+	// Always picking plan 0: optimal on the left, 3x on the right; no
+	// pick flips anywhere.
+	r := NewRegretMap2D(m, [][]int{{0, 0}, {0, 0}}, DefaultRegretThreshold)
+	if r.NonRobust[0][0] || r.NonRobust[1][0] {
+		t.Error("optimal cells with a uniform pick must be robust")
+	}
+	if !r.NonRobust[0][1] || !r.NonRobust[1][1] {
+		t.Error("high-regret cells must be non-robust even with a uniform pick")
+	}
+}
+
+func TestRegretMap1D(t *testing.T) {
+	m := &Map1D{
+		Fractions:  []float64{0.25, 0.5, 1},
+		Thresholds: []int64{1, 2, 4},
+		Plans:      []string{"p0", "p1"},
+		Times: [][]time.Duration{
+			{100, 100, 400},
+			{200, 200, 100},
+		},
+	}
+	r := NewRegretMap1D(m, []int{0, 0, 1}, DefaultRegretThreshold)
+	want := []float64{1, 1, 1}
+	for i, w := range want {
+		if r.Regret[i] != w {
+			t.Errorf("regret[%d] = %v, want %v", i, r.Regret[i], w)
+		}
+	}
+	// The pick flips between cells 1 and 2: both are non-robust, cell 0
+	// is not.
+	if r.NonRobust[0] {
+		t.Error("cell 0 must be robust")
+	}
+	if !r.NonRobust[1] || !r.NonRobust[2] {
+		t.Error("cells around the pick flip must be non-robust")
+	}
+}
+
+func TestRegretMapNoPick(t *testing.T) {
+	m := &Map1D{
+		Fractions:  []float64{1},
+		Thresholds: []int64{4},
+		Plans:      []string{"p0"},
+		Times:      [][]time.Duration{{100}},
+	}
+	r := NewRegretMap1D(m, []int{-1}, DefaultRegretThreshold)
+	if !r.NonRobust[0] || r.Regret[0] != 0 {
+		t.Error("a cell with no eligible pick must be flagged with zero regret")
+	}
+}
+
+func TestRegretMapAxisMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched pick axis must panic")
+		}
+	}()
+	NewRegretMap2D(regretFixture2D(), [][]int{{0}}, DefaultRegretThreshold)
+}

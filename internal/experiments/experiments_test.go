@@ -23,7 +23,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	ids := IDs()
 	want := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "adaptive", "aggsweep", "joinsweep", "memsweep",
-		"parallel", "regions", "scoreboard", "sortspill", "systems", "worstmap"}
+		"parallel", "regions", "regret", "scoreboard", "sortspill", "systems", "worstmap"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d: %v", len(ids), len(want), ids)
 	}
@@ -138,6 +138,28 @@ func TestAggSweepChecksPass(t *testing.T) {
 	a := AggSweep(study(t))
 	if !a.Passed() {
 		t.Errorf("aggsweep checks failed:\n%s", a.Summary)
+	}
+}
+
+func TestRegretChecksPass(t *testing.T) {
+	a := RegretExperiment(study(t))
+	if !a.Passed() {
+		t.Errorf("regret checks failed:\n%s", a.Summary)
+	}
+	if !strings.Contains(a.CSV, "non_robust") {
+		t.Error("missing CSV header")
+	}
+	if !strings.Contains(a.JSON, "\"regret_2d\"") || !strings.Contains(a.JSON, "\"candidates\"") {
+		t.Error("grids JSON missing the regret overlay or the candidate list")
+	}
+	if !strings.Contains(a.ASCII, "non-robust cells") {
+		t.Error("missing non-robust region rendering")
+	}
+	if a.PPM == "" || a.SVG == "" {
+		t.Error("regret map must render as SVG and PPM")
+	}
+	if !strings.Contains(a.Summary, "pick share per candidate") {
+		t.Error("summary missing the pick ranking")
 	}
 }
 

@@ -27,6 +27,9 @@ type Artifacts struct {
 	SVG string
 	// PPM is the bitmap rendering (2-D maps only).
 	PPM string
+	// JSON carries machine-readable grids (picks, regret, non-robust
+	// cells) for experiments that produce them; empty otherwise.
+	JSON string
 	// Checks lists the outcome of each qualitative assertion.
 	Checks []Check
 }

@@ -61,6 +61,7 @@ var registry = map[string]Definition{
 	"systems":    {ID: "systems", Paper: "§3.3 unpursued opportunity: multi-system comparison", Run: SystemsCompare},
 	"parallel":   {ID: "parallel", Paper: "§4 roadmap: parallel plan robustness vs partition skew [SD89]", Run: ParallelSweep},
 	"regions":    {ID: "regions", Paper: "§3.4: per-plan optimality regions (size, shape, fragmentation)", Run: Regions},
+	"regret":     {ID: "regret", Paper: "§3.4 extension: optimizer pick vs oracle — regret and non-robustness maps", Run: RegretExperiment},
 	"scoreboard": {ID: "scoreboard", Paper: "§4 goal: the robustness benchmark (ranked plan scores)", Run: ScoreboardExperiment},
 	"memsweep":   {ID: "memsweep", Paper: "§3.2 resource dimension: cost vs available memory", Run: MemSweep},
 }

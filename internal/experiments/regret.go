@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"robustmap/internal/core"
+	"robustmap/internal/optimizer"
+	"robustmap/internal/service"
+	"robustmap/internal/spec"
+	"robustmap/internal/vis"
+)
+
+// RegretExperiment maps the optimizer against the oracle: the embedded
+// paper query is enumerated into candidate plans, the cost model picks
+// one per sweep point, and the measured map scores that pick against
+// the per-point winner. The regret map renders the quotient
+// measured(pick)/measured(best) on the paper's relative color scale;
+// the non-robustness map flags cells where the pick is risky (regret
+// over threshold, or the choice flips across a cell boundary — the
+// paper's §3.4 criterion that steep cliffs between neighboring regions
+// are where plan choices go wrong).
+func RegretExperiment(s *Study) *Artifacts {
+	q := optimizer.PaperQuery()
+	q.Sweep.MaxExp = s.Cfg.MaxExp2D
+	req := service.Request{
+		Query:       q,
+		Rows:        s.Cfg.Rows,
+		Parallelism: s.Cfg.Parallelism,
+		Refine:      s.Cfg.Refine,
+	}
+	ctx := s.Context()
+
+	// Query jobs always run through the service API — that is the only
+	// surface that carries the optimizer. A study service takes the job
+	// when its engine profile is the default one; otherwise (or when the
+	// daemon fails mid-study) an ephemeral in-process service measures
+	// the same request, deterministically identically.
+	var res *service.Result
+	var err error
+	if s.serviceEligible() {
+		res, err = service.Run(ctx, s.Cfg.Service, req, s.Cfg.Progress)
+		if serviceFallback(ctx, err) {
+			res, err = nil, nil
+		}
+	}
+	if res == nil && err == nil {
+		l := service.NewLocal(service.LocalConfig{Workers: 1})
+		res, err = service.Run(ctx, l, req, s.Cfg.Progress)
+		_ = l.Close(ctx)
+	}
+	if err != nil {
+		panic(studyInterrupt{err})
+	}
+
+	art := QueryArtifacts(q, res)
+	art.ID = "regret"
+	art.Checks = append([]Check{{
+		Claim: "the optimizer enumerates at least 8 candidate plans for the paper query",
+		Pass:  len(res.Candidates) >= 8,
+		Got:   fmt.Sprintf("%d candidates", len(res.Candidates)),
+	}}, art.Checks...)
+	return art
+}
+
+// QueryArtifacts renders a query job's optimizer overlay — the regret
+// map and the non-robustness map — as the standard artifact set. Shared
+// by the regret experiment (paper query) and cmd/robustmap -query
+// (any query spec file).
+func QueryArtifacts(q *spec.QuerySpec, res *service.Result) *Artifacts {
+	switch {
+	case res.Regret2D != nil:
+		return regretArtifacts2D(q, res)
+	case res.Regret1D != nil:
+		return regretArtifacts1D(q, res)
+	default:
+		// A query job always carries a regret overlay; reaching this
+		// with a plain result is a caller bug worth surfacing loudly.
+		panic("experiments: result carries no regret map — not a query job?")
+	}
+}
+
+// regretChecks are the overlay invariants shared by both axes.
+func regretChecks(badPicks int, minRegret, nonRobustFrac float64) []Check {
+	return []Check{
+		{
+			Claim: "every sweep point gets a pick from the candidate list",
+			Pass:  badPicks == 0,
+			Got:   fmt.Sprintf("%d cells without a valid pick", badPicks),
+		},
+		{
+			Claim: "regret is a quotient against the oracle, bounded below by 1",
+			Pass:  minRegret >= 1,
+			Got:   fmt.Sprintf("min regret %.3f", minRegret),
+		},
+		{
+			Claim: "the optimizer is robust somewhere (non-robust fraction < 1)",
+			Pass:  nonRobustFrac < 1,
+			Got:   fmt.Sprintf("non-robust fraction %.2f", nonRobustFrac),
+		},
+	}
+}
+
+// pickShareLines appends the pick ranking to a summary.
+func pickShareLines(b *strings.Builder, share map[string]float64) {
+	b.WriteString("pick share per candidate:\n")
+	order := make([]string, 0, len(share))
+	for id := range share {
+		order = append(order, id)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if share[order[i]] != share[order[j]] {
+			return share[order[i]] > share[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	for _, id := range order {
+		fmt.Fprintf(b, "  %-18s picked at %4.0f%% of points\n", id, share[id]*100)
+	}
+}
+
+// gridsJSON renders the machine-readable artifact: the query identity,
+// the candidate list, and whichever regret overlay the job produced.
+func gridsJSON(q *spec.QuerySpec, res *service.Result) string {
+	b, err := json.MarshalIndent(struct {
+		Query      string                  `json:"query"`
+		Hash       string                  `json:"hash"`
+		Candidates []service.CandidateInfo `json:"candidates"`
+		Regret2D   *core.RegretMap2D       `json:"regret_2d,omitempty"`
+		Regret1D   *core.RegretMap1D       `json:"regret_1d,omitempty"`
+	}{q.Name, q.Hash(), res.Candidates, res.Regret2D, res.Regret1D}, "", "  ")
+	if err != nil {
+		panic(studyInterrupt{err})
+	}
+	return string(b) + "\n"
+}
+
+func regretArtifacts2D(q *spec.QuerySpec, res *service.Result) *Artifacts {
+	r := res.Regret2D
+	bins := core.BinGridRelative(r.Regret, core.DefaultRelativeBins())
+	labels := FractionLabels(r.FracA)
+	colLabels := FractionLabels(r.FracB)
+
+	minRegret, badPicks := r.WorstRegret(), 0
+	for i := range r.Picks {
+		for j, p := range r.Picks[i] {
+			if p < 0 || p >= len(r.Plans) {
+				badPicks++
+			}
+			if r.Regret[i][j] < minRegret {
+				minRegret = r.Regret[i][j]
+			}
+		}
+	}
+	checks := regretChecks(badPicks, minRegret, r.NonRobustFraction())
+
+	title := fmt.Sprintf("query %s: optimizer pick vs measured oracle (regret map)", q.Name)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s", title, renderChecks(checks))
+	fmt.Fprintf(&b, "%d candidates, worst regret %.2f, non-robust at %.0f%% of points (threshold %.1fx)\n",
+		len(res.Candidates), r.WorstRegret(), r.NonRobustFraction()*100, r.Threshold)
+	pickShareLines(&b, r.PickFraction())
+
+	ascii := vis.HeatMapASCII(bins, vis.GlyphsRelative, labels, colLabels,
+		title, "regret (pick/best factor)", legendLabelsRelative()) +
+		"\n" + vis.RegionASCII(r.NonRobust, labels,
+		fmt.Sprintf("non-robust cells (regret > %.1fx or pick flips at a boundary)", r.Threshold))
+
+	return &Artifacts{
+		ID:      q.Name,
+		Title:   title,
+		Summary: b.String(),
+		CSV:     regretCSV2D(r),
+		ASCII:   ascii,
+		SVG: vis.HeatMapSVG(bins, vis.PaletteRelative, labels, colLabels,
+			title, "selectivity of b (fraction)", "selectivity of a (fraction)", legendLabelsRelative()),
+		PPM:    vis.HeatMapPPM(bins, vis.PaletteRelative, 12),
+		JSON:   gridsJSON(q, res),
+		Checks: checks,
+	}
+}
+
+func regretArtifacts1D(q *spec.QuerySpec, res *service.Result) *Artifacts {
+	r := res.Regret1D
+	minRegret, badPicks, flagged := 0.0, 0, 0
+	share := map[string]float64{}
+	if len(r.Picks) > 0 {
+		minRegret = r.Regret[0]
+	}
+	for i, p := range r.Picks {
+		if p < 0 || p >= len(r.Plans) {
+			badPicks++
+		} else {
+			share[r.Plans[p]] += 1 / float64(len(r.Picks))
+		}
+		if r.Regret[i] < minRegret {
+			minRegret = r.Regret[i]
+		}
+		if r.NonRobust[i] {
+			flagged++
+		}
+	}
+	nonRobustFrac := float64(flagged) / float64(max(len(r.Picks), 1))
+	checks := regretChecks(badPicks, minRegret, nonRobustFrac)
+
+	title := fmt.Sprintf("query %s: optimizer pick vs measured oracle (1-D regret)", q.Name)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s", title, renderChecks(checks))
+	fmt.Fprintf(&b, "%d candidates, non-robust at %.0f%% of points (threshold %.1fx)\n",
+		len(res.Candidates), nonRobustFrac*100, r.Threshold)
+	pickShareLines(&b, share)
+	b.WriteString("per-point picks:\n")
+	for i, p := range r.Picks {
+		plan := "(none)"
+		if p >= 0 && p < len(r.Plans) {
+			plan = r.Plans[p]
+		}
+		flag := ""
+		if r.NonRobust[i] {
+			flag = "  NON-ROBUST"
+		}
+		fmt.Fprintf(&b, "  %-8s %-18s regret %.2f%s\n",
+			FractionLabels(r.Fractions[i : i+1])[0], plan, r.Regret[i], flag)
+	}
+
+	// Render regret factors on the line-chart scale the relative
+	// figures use: the factor is plotted as seconds.
+	series := map[string][]time.Duration{"regret": factorSeries(r.Regret)}
+	return &Artifacts{
+		ID:      q.Name,
+		Title:   title,
+		Summary: b.String(),
+		CSV:     regretCSV1D(r),
+		ASCII: vis.LineChartASCII(r.Fractions, series, 72, 18,
+			title+" (y = factor, rendered as seconds)") +
+			"\n" + vis.RegionASCII([][]bool{r.NonRobust}, []string{"axis"},
+			fmt.Sprintf("non-robust cells (regret > %.1fx or pick flips)", r.Threshold)),
+		SVG: vis.LineChartSVG(r.Fractions, series, title,
+			"selectivity (fraction of rows)", "regret factor over oracle"),
+		JSON:   gridsJSON(q, res),
+		Checks: checks,
+	}
+}
+
+// factorSeries maps dimensionless factors onto the Duration axis the
+// line charts plot (1.0 → 1s), the same trick Figure 2 uses.
+func factorSeries(fs []float64) []time.Duration {
+	out := make([]time.Duration, len(fs))
+	for i, f := range fs {
+		out[i] = time.Duration(f * float64(time.Second))
+	}
+	return out
+}
+
+// regretCSV2D renders the regret map as long-form CSV: one row per
+// sweep cell with the pick, its regret, and the non-robustness flag.
+func regretCSV2D(r *core.RegretMap2D) string {
+	var b strings.Builder
+	b.WriteString("fracA,fracB,ta,tb,pick,plan,regret,non_robust\n")
+	for i := range r.Picks {
+		for j := range r.Picks[i] {
+			plan := ""
+			if p := r.Picks[i][j]; p >= 0 && p < len(r.Plans) {
+				plan = r.Plans[p]
+			}
+			fmt.Fprintf(&b, "%g,%g,%d,%d,%d,%s,%.4f,%v\n",
+				r.FracA[i], r.FracB[j], r.TA[i], r.TB[j],
+				r.Picks[i][j], plan, r.Regret[i][j], r.NonRobust[i][j])
+		}
+	}
+	return b.String()
+}
+
+// regretCSV1D is the 1-D counterpart of regretCSV2D.
+func regretCSV1D(r *core.RegretMap1D) string {
+	var b strings.Builder
+	b.WriteString("fraction,threshold,pick,plan,regret,non_robust\n")
+	for i, p := range r.Picks {
+		plan := ""
+		if p >= 0 && p < len(r.Plans) {
+			plan = r.Plans[p]
+		}
+		fmt.Fprintf(&b, "%g,%d,%d,%s,%.4f,%v\n",
+			r.Fractions[i], r.Thresholds[i], p, plan, r.Regret[i], r.NonRobust[i])
+	}
+	return b.String()
+}

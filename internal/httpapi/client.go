@@ -133,6 +133,17 @@ func (c *Client) Plans(ctx context.Context) ([]service.PlanInfo, error) {
 	return pr.Plans, nil
 }
 
+// QueryShapes fetches the plan shapes the daemon's optimizer can
+// enumerate from a Request.Query — the discovery surface of the query
+// API.
+func (c *Client) QueryShapes(ctx context.Context) ([]service.PlanShapeInfo, error) {
+	var pr plansResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/plans", nil, &pr); err != nil {
+		return nil, err
+	}
+	return pr.QueryShapes, nil
+}
+
 // Health probes /healthz, returning nil when the daemon is up.
 func (c *Client) Health(ctx context.Context) error {
 	var hr healthResponse

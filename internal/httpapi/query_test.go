@@ -1,0 +1,114 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"robustmap/internal/optimizer"
+	"robustmap/internal/service"
+)
+
+// TestQueryOverTheWire is the daemon-path acceptance pin for query
+// requests: the paper query submitted over HTTP produces the same
+// candidate list and regret grids as the local service, byte for byte.
+func TestQueryOverTheWire(t *testing.T) {
+	q := optimizer.PaperQuery()
+	q.Sweep.MaxExp = 3
+	req := service.Request{Query: q, Rows: 1 << 12}
+	ctx := context.Background()
+
+	l := service.NewLocal(service.LocalConfig{Workers: 1})
+	defer func() {
+		cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		if err := l.Close(cctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	lres, err := service.Run(ctx, l, req, nil)
+	if err != nil {
+		t.Fatalf("local query run: %v", err)
+	}
+
+	ts, _, stop := startServer(t, nil, 1)
+	defer stop()
+	c := NewClient(ts.URL, WithHTTPClient(ts.Client()))
+	hres, err := service.Run(ctx, c, req, nil)
+	if err != nil {
+		t.Fatalf("remote query run: %v", err)
+	}
+
+	if hres.Regret2D == nil || len(hres.Candidates) == 0 {
+		t.Fatal("remote query result lost the optimizer extras")
+	}
+	if !jsonEqual(t, hres, lres) {
+		t.Fatal("remote query result differs from the local service's")
+	}
+
+	// The request echo in Status round-trips the query spec itself.
+	id, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st, err := c.Status(ctx, id)
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.Request.Query == nil || st.Request.Query.Hash() != q.Hash() {
+		t.Fatal("status echo lost or altered the query spec")
+	}
+	if _, err := service.Wait(ctx, c, id, nil); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+}
+
+// TestQueryConflictRejectedOverTheWire pins the wire mapping of the
+// exactly-one-of rule: plans and a query in one request come back as
+// ErrInvalidRequest with the pinned message.
+func TestQueryConflictRejectedOverTheWire(t *testing.T) {
+	ts, _, stop := startServer(t, nil, 1)
+	defer stop()
+	c := NewClient(ts.URL, WithHTTPClient(ts.Client()))
+
+	q := optimizer.PaperQuery()
+	q.Sweep.MaxExp = 2
+	_, err := c.Submit(context.Background(),
+		service.Request{Plans: []string{"A1"}, Query: q, MaxExp: 2})
+	if !errors.Is(err, service.ErrInvalidRequest) {
+		t.Fatalf("Submit err = %v, want ErrInvalidRequest", err)
+	}
+	if !strings.Contains(err.Error(), "exactly one of plans, workload, or query") {
+		t.Fatalf("Submit err = %q, want the pinned conflict message", err)
+	}
+}
+
+// TestPlansEndpointListsQueryShapes pins the discovery extension: GET
+// /v1/plans now carries the optimizer-enumerable plan shapes.
+func TestPlansEndpointListsQueryShapes(t *testing.T) {
+	ts, _, stop := startServer(t, nil, 1)
+	defer stop()
+	c := NewClient(ts.URL, WithHTTPClient(ts.Client()))
+
+	shapes, err := c.QueryShapes(context.Background())
+	if err != nil {
+		t.Fatalf("client.QueryShapes: %v", err)
+	}
+	if len(shapes) == 0 {
+		t.Fatal("daemon lists no query shapes")
+	}
+	seen := map[string]bool{}
+	for _, s := range shapes {
+		if s.Shape == "" || s.Description == "" {
+			t.Errorf("undescribed shape: %+v", s)
+		}
+		seen[s.Shape] = true
+	}
+	for _, want := range []string{"scan", "mdam-<index>", "keyfilter-<index>"} {
+		if !seen[want] {
+			t.Errorf("shape listing missing %q", want)
+		}
+	}
+}

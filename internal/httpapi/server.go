@@ -53,10 +53,13 @@ type healthResponse struct {
 }
 
 // plansResponse answers GET /v1/plans: the built-in plan catalog, so
-// clients can discover valid Request.Plans values instead of guessing.
+// clients can discover valid Request.Plans values instead of guessing,
+// plus the plan shapes the optimizer can enumerate from a query
+// request (the discovery surface for Request.Query).
 type plansResponse struct {
-	Plans   []service.PlanInfo `json:"plans"`
-	Systems []string           `json:"systems"`
+	Plans       []service.PlanInfo      `json:"plans"`
+	Systems     []string                `json:"systems"`
+	QueryShapes []service.PlanShapeInfo `json:"query_shapes"`
 }
 
 // The wire error codes, mapped 1:1 onto the service sentinels.
@@ -294,5 +297,6 @@ func (s *Server) handlePlans(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	sort.Strings(systems)
-	s.writeJSON(w, http.StatusOK, plansResponse{Plans: plans, Systems: systems})
+	s.writeJSON(w, http.StatusOK, plansResponse{
+		Plans: plans, Systems: systems, QueryShapes: service.QueryPlanShapes()})
 }

@@ -1,0 +1,39 @@
+package optimizer
+
+import (
+	"sync"
+
+	"robustmap/internal/spec"
+)
+
+// Cache memoizes enumeration by query structure. Two queries that
+// differ only in their sweep sections plan identically, so the key is
+// spec.QuerySpec.StructureHash — the optimizer's plan-cache keying (the
+// SQL-optimizer idiom of hashing the query shape, not its parameters).
+type Cache struct {
+	mu sync.Mutex
+	m  map[string][]Candidate
+}
+
+// NewCache returns an empty plan cache.
+func NewCache() *Cache { return &Cache{m: map[string][]Candidate{}} }
+
+// Candidates returns the query's candidate list, enumerating on first
+// use. The cached slice is shared — callers must not mutate it.
+func (c *Cache) Candidates(q *spec.QuerySpec) ([]Candidate, error) {
+	key := q.StructureHash()
+	c.mu.Lock()
+	cands, ok := c.m[key]
+	c.mu.Unlock()
+	if ok {
+		return cands, nil
+	}
+	cands, err := Enumerate(q)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.m[key] = cands
+	c.mu.Unlock()
+	return cands, nil
+}

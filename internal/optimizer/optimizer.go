@@ -1,0 +1,515 @@
+// Package optimizer turns a logical spec.QuerySpec into physical plan
+// candidates and picks among them with a cost model, reproducing the
+// paper's framing: the interesting question is not which hand-written
+// plan wins where, but how the plan a cost-based optimizer would pick
+// compares to the oracle-best plan across the whole parameter space.
+//
+// Enumerate walks the rule set over the query's catalog — full scan,
+// single-index fetch in all three fetch disciplines, RID-intersection
+// (merge and hash, both orders), key-filter scan over composite
+// indexes, MDAM over covering indexes, and covering-index RID joins for
+// single-predicate queries — and emits spec.PlanSpec trees through the
+// exact same compile path as hand-written plans. A candidate whose tree
+// coincides with a hand-written spec is byte-identical to it, so it
+// measures byte-identically too (pinned by tests).
+//
+// Model estimates each candidate's cost in the same units the simulated
+// clock charges during measurement: I/O from iomodel.Params (seek,
+// transfer, prefetch) and CPU from internal/exec's per-row constants.
+// Estimates deliberately assume uniform value distributions — on skewed
+// (Zipf) data the model errs exactly the way a production optimizer's
+// uniformity assumption errs, which is what makes the regret maps
+// non-trivial.
+//
+// Everything here is pure computation over the spec: the same query and
+// catalog produce a byte-identical candidate list and identical picks
+// at any sweep parallelism.
+package optimizer
+
+import (
+	"fmt"
+
+	"robustmap/internal/plan"
+	"robustmap/internal/spec"
+)
+
+// Candidate is one enumerated physical plan for a query: the plan tree
+// (compilable by internal/plan exactly like a hand-written spec) plus
+// the private cost shape the Model estimates from.
+type Candidate struct {
+	Plan  spec.PlanSpec
+	shape costShape
+}
+
+// Enumerate lists the candidate plans for the query, deterministically:
+// the same query and catalog always produce the same candidates in the
+// same order. The order is fixed by rule — scan; per-predicate index
+// fetches (predicate order × catalog index order × traditional/
+// improved/bitmap); RID-merge intersections, then RID-hash, each in
+// both leg orders; key-filter scans over composite indexes; MDAM over
+// covering composite indexes; covering-index RID joins (single-
+// predicate queries only).
+func Enumerate(q *spec.QuerySpec) ([]Candidate, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	t := q.Catalog.Table()
+	if t == nil {
+		return nil, fmt.Errorf("optimizer: query %q has no catalog table", q.Name)
+	}
+	e := &enumerator{q: q, built: builtIndexes(q)}
+	e.scan()
+	e.fetches()
+	e.intersections()
+	e.keyFilters()
+	e.mdams()
+	e.coverJoins()
+	return e.out, nil
+}
+
+// enumerator accumulates candidates for one query.
+type enumerator struct {
+	q     *spec.QuerySpec
+	built []*spec.IndexSpec
+	out   []Candidate
+}
+
+// builtIndexes resolves the query's built index set to catalog
+// definitions, preserving catalog declaration order.
+func builtIndexes(q *spec.QuerySpec) []*spec.IndexSpec {
+	names := map[string]bool{}
+	for _, n := range q.EffectiveIndexes() {
+		names[n] = true
+	}
+	var out []*spec.IndexSpec
+	for i := range q.Catalog.Indexes {
+		if names[q.Catalog.Indexes[i].Name] {
+			out = append(out, &q.Catalog.Indexes[i])
+		}
+	}
+	return out
+}
+
+// singleOn lists the built single-column indexes on col, catalog order.
+func (e *enumerator) singleOn(col string) []*spec.IndexSpec {
+	var out []*spec.IndexSpec
+	for _, ix := range e.built {
+		if len(ix.Columns) == 1 && ix.Columns[0] == col {
+			out = append(out, ix)
+		}
+	}
+	return out
+}
+
+// predNeedsTB reports whether driving an index from p requires the tb
+// query parameter: either a bound references tb, or the predicate is
+// guarded on tb (the bound loses the guard, so the plan is only correct
+// where tb exists).
+func predNeedsTB(p *spec.PredSpec) bool {
+	isTB := func(v *spec.ValueSpec) bool { return v != nil && v.Param == spec.ParamTB }
+	return isTB(p.Lo) || isTB(p.Hi) || p.IfParam == spec.ParamTB
+}
+
+func cloneValue(v *spec.ValueSpec) *spec.ValueSpec {
+	if v == nil {
+		return nil
+	}
+	c := *v
+	if v.Const != nil {
+		n := *v.Const
+		c.Const = &n
+	}
+	return &c
+}
+
+// clonePreds copies predicates verbatim (guards included); an empty
+// input yields nil so the serialized tree omits the field.
+func clonePreds(ps []spec.PredSpec) []spec.PredSpec {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]spec.PredSpec, len(ps))
+	for i, p := range ps {
+		out[i] = spec.PredSpec{Column: p.Column, Lo: cloneValue(p.Lo), Hi: cloneValue(p.Hi), IfParam: p.IfParam}
+	}
+	return out
+}
+
+// add wraps the base tree with the query's order/limit/aggregate
+// requirements — uniformly across candidates, so every plan produces
+// identical per-cell row counts — and appends the candidate. natural is
+// the column order the base tree already emits (nil when unordered): a
+// candidate whose natural order satisfies the query's OrderBy skips the
+// sort, and with a Limit becomes the TopN-pushdown shape (limit with no
+// sort under it).
+func (e *enumerator) add(id, desc string, requiresTB bool, root *spec.PlanNode, natural []string, sh costShape) {
+	q := e.q
+	if len(q.Aggs) > 0 || len(q.GroupBy) > 0 {
+		sh.agg = true
+		root = &spec.PlanNode{Op: "hash_agg", Input: root, GroupBy: append([]string(nil), q.GroupBy...), Aggs: append([]spec.AggSpec(nil), q.Aggs...)}
+	} else {
+		if len(q.OrderBy) > 0 && !isPrefix(q.OrderBy, natural) {
+			sh.sort = true
+			root = &spec.PlanNode{Op: "sort", Input: root, Keys: append([]string(nil), q.OrderBy...)}
+		}
+		if q.Limit > 0 {
+			sh.limitPushed = !sh.sort
+			root = &spec.PlanNode{Op: "limit", Input: root, N: q.Limit}
+		}
+	}
+	e.out = append(e.out, Candidate{
+		Plan:  spec.PlanSpec{ID: id, Description: desc, RequiresTB: requiresTB, Root: root},
+		shape: sh,
+	})
+}
+
+// isPrefix reports whether want is a prefix of have.
+func isPrefix(want, have []string) bool {
+	if len(want) > len(have) {
+		return false
+	}
+	for i, w := range want {
+		if have[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// scan emits the one always-available plan: full table scan with every
+// predicate applied as a residual.
+func (e *enumerator) scan() {
+	q := e.q
+	root := &spec.PlanNode{Op: "table_scan", Table: q.Table, Preds: clonePreds(q.Predicates)}
+	e.add("scan", "full table scan, all predicates applied to every row", false, root, nil,
+		costShape{kind: shapeScan, residual: q.Predicates})
+}
+
+// indexScanFor builds the index_scan leg driven by p's bounds. The
+// predicate's guard does not travel: the bound applies wherever the
+// plan runs, which is why tb-guarded driving predicates mark the
+// candidate RequiresTB.
+func indexScanFor(ix *spec.IndexSpec, p *spec.PredSpec) *spec.PlanNode {
+	return &spec.PlanNode{Op: "index_scan", Index: ix.Name, Lo: cloneValue(p.Lo), Hi: cloneValue(p.Hi)}
+}
+
+var fetchKinds = []struct{ kind, short string }{
+	{"traditional", "trad"},
+	{"improved", "impr"},
+	{"bitmap", "bitmap"},
+}
+
+// fetches emits one candidate per (predicate, single-column index on
+// its column, fetch discipline): index range scan on the predicate's
+// bounds, base-row fetch, remaining predicates as residuals.
+func (e *enumerator) fetches() {
+	q := e.q
+	for pi := range q.Predicates {
+		p := &q.Predicates[pi]
+		if p.Lo == nil && p.Hi == nil {
+			continue
+		}
+		var residual []spec.PredSpec
+		for j, r := range q.Predicates {
+			if j != pi {
+				residual = append(residual, r)
+			}
+		}
+		for _, ix := range e.singleOn(p.Column) {
+			for _, fk := range fetchKinds {
+				root := &spec.PlanNode{Op: "fetch", Kind: fk.kind, Table: q.Table,
+					Preds: clonePreds(residual), Input: indexScanFor(ix, p)}
+				var natural []string
+				if fk.kind == "traditional" {
+					// A traditional fetch visits base rows in index key
+					// order, so its output is ordered by the index columns.
+					natural = ix.Columns
+				}
+				e.add(fmt.Sprintf("fetch-%s-%s", fk.short, ix.Name),
+					fmt.Sprintf("%s range scan, %s fetch", ix.Name, fk.kind),
+					predNeedsTB(p), root, natural,
+					costShape{kind: shapeFetch, fetchKind: fk.kind,
+						driving: []drive{{pred: p, width: len(ix.Columns)}}, residual: residual})
+			}
+		}
+	}
+}
+
+// intersections emits RID-intersection candidates for every ordered
+// pair of indexable predicates: merge intersections first (both leg
+// orders), then hash, matching the paper's A4-A7 sequence. The
+// intersection's rows come back through an improved fetch carrying any
+// predicates not consumed by the legs.
+func (e *enumerator) intersections() {
+	q := e.q
+	type leg struct {
+		p  *spec.PredSpec
+		ix *spec.IndexSpec
+	}
+	var legs []leg
+	for pi := range q.Predicates {
+		p := &q.Predicates[pi]
+		if p.Lo == nil && p.Hi == nil {
+			continue
+		}
+		if ixs := e.singleOn(p.Column); len(ixs) > 0 {
+			legs = append(legs, leg{p: p, ix: ixs[0]})
+		}
+	}
+	if len(legs) < 2 {
+		return
+	}
+	emit := func(hash bool) {
+		for i := range legs {
+			for j := range legs {
+				if i == j {
+					continue
+				}
+				var residual []spec.PredSpec
+				for pi := range q.Predicates {
+					p := &q.Predicates[pi]
+					if p != legs[i].p && p != legs[j].p {
+						residual = append(residual, *p)
+					}
+				}
+				inner := &spec.PlanNode{Op: "rid_merge",
+					Left: indexScanFor(legs[i].ix, legs[i].p), Right: indexScanFor(legs[j].ix, legs[j].p)}
+				id := fmt.Sprintf("merge-%s-%s", legs[i].ix.Name, legs[j].ix.Name)
+				desc := fmt.Sprintf("RID merge intersection %s ⋂ %s, improved fetch", legs[i].ix.Name, legs[j].ix.Name)
+				if hash {
+					inner = &spec.PlanNode{Op: "rid_hash",
+						Build: indexScanFor(legs[i].ix, legs[i].p), Probe: indexScanFor(legs[j].ix, legs[j].p)}
+					id = fmt.Sprintf("hash-%s-%s", legs[i].ix.Name, legs[j].ix.Name)
+					desc = fmt.Sprintf("RID hash intersection %s ⋂ %s, improved fetch", legs[i].ix.Name, legs[j].ix.Name)
+				}
+				root := &spec.PlanNode{Op: "fetch", Kind: "improved", Table: q.Table,
+					Preds: clonePreds(residual), Input: inner}
+				e.add(id, desc, false, root, nil,
+					costShape{kind: shapeIntersect, hash: hash,
+						driving: []drive{
+							{pred: legs[i].p, width: len(legs[i].ix.Columns)},
+							{pred: legs[j].p, width: len(legs[j].ix.Columns)},
+						},
+						residual: residual})
+			}
+		}
+	}
+	emit(false)
+	emit(true)
+}
+
+// keyFilters emits one candidate per composite index whose leading
+// column has a bounded predicate: a key_filter_scan driven by the lead
+// predicate's bounds, with predicates on the index's other key columns
+// applied as in-index entry predicates, and a bitmap fetch of the
+// surviving rows carrying predicates on non-index columns.
+func (e *enumerator) keyFilters() {
+	q := e.q
+	for _, ix := range e.built {
+		if len(ix.Columns) < 2 {
+			continue
+		}
+		var lead *spec.PredSpec
+		for pi := range q.Predicates {
+			if q.Predicates[pi].Column == ix.Columns[0] {
+				lead = &q.Predicates[pi]
+				break
+			}
+		}
+		if lead == nil || (lead.Lo == nil && lead.Hi == nil) {
+			continue
+		}
+		inKey := map[string]bool{}
+		for _, c := range ix.Columns[1:] {
+			inKey[c] = true
+		}
+		var entry, residual []spec.PredSpec
+		for pi := range q.Predicates {
+			p := &q.Predicates[pi]
+			switch {
+			case p == lead:
+			case inKey[p.Column]:
+				entry = append(entry, *p)
+			default:
+				residual = append(residual, *p)
+			}
+		}
+		node := &spec.PlanNode{Op: "key_filter_scan", Index: ix.Name,
+			Lo: cloneValue(lead.Lo), Hi: cloneValue(lead.Hi), Preds: clonePreds(entry)}
+		root := &spec.PlanNode{Op: "fetch", Kind: "bitmap", Table: q.Table,
+			Preds: clonePreds(residual), Input: node}
+		e.add("keyfilter-"+ix.Name,
+			fmt.Sprintf("%s entry filter, bitmap fetch", ix.Name),
+			predNeedsTB(lead), root, nil,
+			costShape{kind: shapeKeyFilter,
+				driving: []drive{{pred: lead, width: len(ix.Columns)}},
+				entry:   entry, residual: residual})
+	}
+}
+
+// mdams emits index-only MDAM candidates over two-column covering
+// indexes: legal only on non-versioned systems, when the projection is
+// covered by the index key and every predicate lands on a key column as
+// an upper bound. A tb-valued bound becomes an "lt" set with absent_all,
+// so the same plan answers single-predicate points with that column
+// unrestricted — no RequiresTB needed.
+func (e *enumerator) mdams() {
+	q := e.q
+	if q.Versioned || len(q.Columns) == 0 {
+		return
+	}
+	for _, ix := range e.built {
+		if len(ix.Columns) != 2 {
+			continue
+		}
+		if !covers(ix, q.Columns) {
+			continue
+		}
+		ok := true
+		byCol := map[string]*spec.PredSpec{}
+		for pi := range q.Predicates {
+			p := &q.Predicates[pi]
+			if !contains(ix.Columns, p.Column) || p.Lo != nil || p.Hi == nil {
+				ok = false
+				break
+			}
+			if p.IfParam == spec.ParamTB && p.Hi.Param != spec.ParamTB {
+				// A tb-guarded constant bound has no absent_all encoding;
+				// the MDAM plan would misapply it at 1-D points.
+				ok = false
+				break
+			}
+			byCol[p.Column] = p
+		}
+		if !ok {
+			continue
+		}
+		mkSet := func(col string) (*spec.MDAMSetSpec, *spec.PredSpec) {
+			p := byCol[col]
+			if p == nil {
+				return &spec.MDAMSetSpec{Op: "all"}, nil
+			}
+			return &spec.MDAMSetSpec{Op: "lt", Value: cloneValue(p.Hi),
+				AbsentAll: p.Hi.Param == spec.ParamTB}, p
+		}
+		lead, leadPred := mkSet(ix.Columns[0])
+		second, secondPred := mkSet(ix.Columns[1])
+		root := &spec.PlanNode{Op: "mdam_scan", Index: ix.Name, Lead: lead, Second: second}
+		e.add("mdam-"+ix.Name,
+			fmt.Sprintf("MDAM over covering %s, index-only", ix.Name),
+			false, root, ix.Columns,
+			costShape{kind: shapeMDAM,
+				driving: []drive{{pred: leadPred, width: 2}, {pred: secondPred, width: 2}}})
+	}
+}
+
+// covers reports whether the projection is contained in the index key.
+func covers(ix *spec.IndexSpec, cols []string) bool {
+	for _, c := range cols {
+		if !contains(ix.Columns, c) {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// coverJoins emits the paper's covering-index RID join shapes (F2):
+// intersect a bounded single-column index with a full scan of another
+// single-column index and emit the surviving RIDs as rows — no base
+// table access at all. Only meaningful for single-predicate queries
+// with no projection, ordering, or aggregation (the output rows are
+// synthesized from RIDs) on non-versioned systems.
+func (e *enumerator) coverJoins() {
+	q := e.q
+	if q.Versioned || len(q.Predicates) != 1 || len(q.Columns) > 0 ||
+		len(q.OrderBy) > 0 || len(q.Aggs) > 0 || len(q.GroupBy) > 0 {
+		return
+	}
+	p := &q.Predicates[0]
+	if p.Lo == nil && p.Hi == nil {
+		return
+	}
+	for _, bix := range e.singleOn(p.Column) {
+		for _, uix := range e.built {
+			if len(uix.Columns) != 1 || uix.Columns[0] == p.Column {
+				continue
+			}
+			bounded := func() *spec.PlanNode { return indexScanFor(bix, p) }
+			unbounded := func() *spec.PlanNode { return &spec.PlanNode{Op: "index_scan", Index: uix.Name} }
+			shape := func(hash bool) costShape {
+				return costShape{kind: shapeCoverJoin, hash: hash,
+					driving: []drive{{pred: p, width: 1}, {pred: nil, width: 1}}}
+			}
+			wrap := func(inner *spec.PlanNode) *spec.PlanNode {
+				return &spec.PlanNode{Op: "rids_as_rows", Input: inner}
+			}
+			e.add(fmt.Sprintf("cover-merge-%s-%s", bix.Name, uix.Name),
+				fmt.Sprintf("covering RID join %s ⨝ %s (merge)", bix.Name, uix.Name),
+				predNeedsTB(p), wrap(&spec.PlanNode{Op: "rid_merge", Left: bounded(), Right: unbounded()}),
+				nil, shape(false))
+			e.add(fmt.Sprintf("cover-merge-%s-%s", uix.Name, bix.Name),
+				fmt.Sprintf("covering RID join %s ⨝ %s (merge)", uix.Name, bix.Name),
+				predNeedsTB(p), wrap(&spec.PlanNode{Op: "rid_merge", Left: unbounded(), Right: bounded()}),
+				nil, shape(false))
+			e.add(fmt.Sprintf("cover-hash-%s-%s", bix.Name, uix.Name),
+				fmt.Sprintf("covering RID join %s ⨝ %s (hash, build %s)", bix.Name, uix.Name, bix.Name),
+				predNeedsTB(p), wrap(&spec.PlanNode{Op: "rid_hash", Build: bounded(), Probe: unbounded()}),
+				nil, shape(true))
+			e.add(fmt.Sprintf("cover-hash-%s-%s", uix.Name, bix.Name),
+				fmt.Sprintf("covering RID join %s ⨝ %s (hash, build %s)", uix.Name, bix.Name, uix.Name),
+				predNeedsTB(p), wrap(&spec.PlanNode{Op: "rid_hash", Build: unbounded(), Probe: bounded()}),
+				nil, shape(true))
+		}
+	}
+}
+
+// Workload synthesizes a one-system WorkloadSpec carrying the query's
+// candidates, so the existing measurement pipeline (compile → engine →
+// sweep) runs them unchanged. The system mirrors the query's physical
+// context: its built indexes and versioning.
+func Workload(q *spec.QuerySpec, cands []Candidate) *spec.WorkloadSpec {
+	plans := make([]spec.PlanSpec, len(cands))
+	for i, c := range cands {
+		plans[i] = c.Plan
+	}
+	return &spec.WorkloadSpec{
+		Name:    "query:" + q.Name,
+		Catalog: q.Catalog,
+		Systems: []spec.SystemSpec{{
+			Name:      "opt",
+			Versioned: q.Versioned,
+			Indexes:   q.EffectiveIndexes(),
+			Plans:     plans,
+		}},
+		Sweep: spec.SweepSpec{MaxExp: q.Sweep.MaxExp, Grid2D: q.Sweep.Grid2D},
+	}
+}
+
+// PaperQuery is the embedded paper study expressed as a logical query:
+// SELECT a, b FROM lineitem WHERE a < ta AND b < tb over the paper
+// catalog with all four indexes built. Enumerate over it yields 15
+// candidates, 13 of which are byte-identical to the hand-written plans
+// A1-A7, B1-B4, C1, C2 (pinned by tests).
+func PaperQuery() *spec.QuerySpec {
+	pw := plan.PaperWorkload()
+	return &spec.QuerySpec{
+		Name:    "paper",
+		Catalog: pw.Catalog,
+		Table:   pw.Catalog.Table().Name,
+		Predicates: []spec.PredSpec{
+			{Column: "a", Hi: &spec.ValueSpec{Param: spec.ParamTA}},
+			{Column: "b", Hi: &spec.ValueSpec{Param: spec.ParamTB}, IfParam: spec.ParamTB},
+		},
+		Columns: []string{"a", "b"},
+		Sweep:   spec.SweepSpec{MaxExp: 10, Grid2D: true},
+	}
+}

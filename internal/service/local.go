@@ -477,12 +477,18 @@ func (l *Local) execute(j *job) (res *Result, err error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	res = &Result{
 		Map1D:  sres.Map1D,
 		Mesh1D: sres.Mesh1D,
 		Map2D:  sres.Map2D,
 		Mesh2D: sres.Mesh2D,
-	}, nil
+	}
+	if rs.Finish != nil {
+		if err := rs.Finish(res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
 }
 
 // janitor garbage-collects terminal jobs past their TTL.

@@ -1,0 +1,168 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"robustmap/internal/optimizer"
+	"robustmap/internal/spec"
+)
+
+// smallPaperQuery is the embedded paper query at test scale.
+func smallPaperQuery(maxExp int) *spec.QuerySpec {
+	q := optimizer.PaperQuery()
+	q.Sweep.MaxExp = maxExp
+	return q
+}
+
+// TestRequestPlanSourceConflicts pins the exactly-one-of rule and its
+// message: a request names its plans exactly one way.
+func TestRequestPlanSourceConflicts(t *testing.T) {
+	const wantMsg = "exactly one of plans, workload, or query must be set"
+	q := smallPaperQuery(2)
+	ws := zipfWorkload(1 << 10)
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"none", Request{MaxExp: 2}},
+		{"plans+workload", Request{Plans: []string{"A1"}, Workload: ws, MaxExp: 2}},
+		{"plans+query", Request{Plans: []string{"A1"}, Query: q}},
+		{"workload+query", Request{Workload: ws, Query: q}},
+		{"all three", Request{Plans: []string{"A1"}, Workload: ws, Query: q}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.req.Validate()
+			if !errors.Is(err, ErrInvalidRequest) {
+				t.Fatalf("Validate err = %v, want ErrInvalidRequest", err)
+			}
+			if !strings.Contains(err.Error(), wantMsg) {
+				t.Fatalf("Validate err = %q, want it to contain %q", err, wantMsg)
+			}
+		})
+	}
+	// Each source alone stays valid.
+	for _, req := range []Request{
+		{Plans: []string{"A1"}, MaxExp: 2},
+		{Workload: ws},
+		{Query: q},
+	} {
+		if err := req.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", req, err)
+		}
+	}
+}
+
+// TestQueryJobProducesRegretMaps runs the paper query end to end and
+// pins the query extras: the candidate list, the regret overlay, and
+// determinism — the same request yields a byte-identical result at any
+// parallelism.
+func TestQueryJobProducesRegretMaps(t *testing.T) {
+	l := NewLocal(LocalConfig{Workers: 2})
+	defer closeLocal(t, l)
+	ctx := context.Background()
+
+	run := func(parallelism int) *Result {
+		t.Helper()
+		res, err := Run(ctx, l, Request{Query: smallPaperQuery(3), Rows: 1 << 12, Parallelism: parallelism}, nil)
+		if err != nil {
+			t.Fatalf("query job (parallelism %d): %v", parallelism, err)
+		}
+		return res
+	}
+	serial := run(1)
+
+	if len(serial.Candidates) != 15 {
+		t.Fatalf("result carries %d candidates, want 15", len(serial.Candidates))
+	}
+	if serial.Map2D == nil || serial.Regret2D == nil {
+		t.Fatal("query job must produce the measured map and the regret overlay")
+	}
+	if serial.Regret1D != nil {
+		t.Error("a 2-D query job must not carry a 1-D regret map")
+	}
+	r := serial.Regret2D
+	if len(r.Plans) != 15 || len(r.Picks) != len(serial.Map2D.TA) {
+		t.Fatalf("regret grid shape: %d plans, %d pick rows", len(r.Plans), len(r.Picks))
+	}
+	for i := range r.Picks {
+		for j, p := range r.Picks[i] {
+			if p < 0 || p >= len(r.Plans) {
+				t.Fatalf("pick [%d][%d] = %d out of range", i, j, p)
+			}
+			if r.Regret[i][j] < 1 {
+				t.Fatalf("regret [%d][%d] = %v < 1", i, j, r.Regret[i][j])
+			}
+		}
+	}
+
+	parallel := run(-1)
+	a, _ := json.Marshal(serial)
+	b, _ := json.Marshal(parallel)
+	if string(a) != string(b) {
+		t.Fatal("query job result differs between parallelism 1 and -1")
+	}
+}
+
+// TestQueryJob1D pins the 1-D path: a single-predicate query sweeps the
+// 1-D axis and gets a 1-D regret overlay.
+func TestQueryJob1D(t *testing.T) {
+	l := NewLocal(LocalConfig{Workers: 1})
+	defer closeLocal(t, l)
+	ctx := context.Background()
+
+	q := smallPaperQuery(3)
+	q.Predicates = q.Predicates[:1]
+	q.Columns = nil
+	q.Sweep = spec.SweepSpec{MaxExp: 3}
+	res, err := Run(ctx, l, Request{Query: q, Rows: 1 << 12}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Map1D == nil || res.Regret1D == nil {
+		t.Fatal("1-D query job must produce Map1D and Regret1D")
+	}
+	if len(res.Candidates) == 0 {
+		t.Fatal("result carries no candidates")
+	}
+	for i, p := range res.Regret1D.Picks {
+		if p < 0 || p >= len(res.Regret1D.Plans) {
+			t.Fatalf("pick %d = %d out of range", i, p)
+		}
+	}
+}
+
+// TestQueryRejectedAtSubmit pins admission: a query whose enumerated
+// plans cannot compile (schema mismatch against the generator) fails at
+// Submit with ErrInvalidRequest, and so does a structurally invalid
+// query.
+func TestQueryRejectedAtSubmit(t *testing.T) {
+	l := NewLocal(LocalConfig{Workers: 1})
+	defer closeLocal(t, l)
+	ctx := context.Background()
+
+	// Structurally fine (the schema-less catalog defers column checks),
+	// but the generator has no column "zz", so compilation fails.
+	bad := &spec.QuerySpec{
+		Name: "bad-column",
+		Catalog: spec.CatalogSpec{
+			Tables: []spec.TableSpec{{Name: "lineitem", Rows: 1 << 10}},
+		},
+		Table:      "lineitem",
+		Predicates: []spec.PredSpec{{Column: "zz", Hi: &spec.ValueSpec{Param: "ta"}}},
+		Sweep:      spec.SweepSpec{MaxExp: 2},
+	}
+	if _, err := l.Submit(ctx, Request{Query: bad}); !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("Submit(bad column) err = %v, want ErrInvalidRequest", err)
+	}
+
+	invalid := smallPaperQuery(2)
+	invalid.Table = "nope"
+	if _, err := l.Submit(ctx, Request{Query: invalid}); !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("Submit(invalid query) err = %v, want ErrInvalidRequest", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"robustmap/internal/core"
 	"robustmap/internal/engine"
+	"robustmap/internal/optimizer"
 	"robustmap/internal/plan"
 	"robustmap/internal/spec"
 )
@@ -30,6 +31,12 @@ type ResolvedSweep struct {
 	// ResultSize, when non-nil, is the exact result-size oracle handed
 	// to adaptive sweeps.
 	ResultSize func(ta, tb int64) int64
+	// Finish, when non-nil, post-processes the assembled Result before
+	// the job succeeds — query requests use it to overlay the
+	// optimizer's picks and the regret grids on the measured maps. It
+	// is pure computation over the maps, so results stay deterministic
+	// at any parallelism.
+	Finish func(res *Result) error
 }
 
 // Resolver turns Requests into measurable sweeps. Check runs at Submit
@@ -59,6 +66,10 @@ const maxCachedSystems = 9
 type EngineResolver struct {
 	base engine.Config
 
+	// queries is the optimizer's plan cache: candidate lists memoized by
+	// query structure hash, shared across jobs.
+	queries *optimizer.Cache
+
 	mu      sync.Mutex
 	systems map[sysKey]*sysEntry
 }
@@ -80,7 +91,8 @@ type sysEntry struct {
 // NewEngineResolver returns a resolver measuring on systems built from
 // the given base configuration (rows are overridden per request).
 func NewEngineResolver(base engine.Config) *EngineResolver {
-	return &EngineResolver{base: base, systems: make(map[sysKey]*sysEntry)}
+	return &EngineResolver{base: base, queries: optimizer.NewCache(),
+		systems: make(map[sysKey]*sysEntry)}
 }
 
 // catalog maps every known plan id to its plan; twoPred marks the plans
@@ -129,6 +141,32 @@ func BuiltinPlans() []PlanInfo {
 	return out
 }
 
+// PlanShapeInfo describes one plan shape the optimizer can enumerate
+// from a query request — the query API's counterpart of PlanInfo.
+// Shape is the candidate-id pattern the shape produces.
+type PlanShapeInfo struct {
+	Shape       string `json:"shape"`
+	Description string `json:"description"`
+}
+
+// QueryPlanShapes lists the optimizer's enumerable plan shapes, served
+// by GET /v1/plans so HTTP clients can discover the query surface.
+func QueryPlanShapes() []PlanShapeInfo {
+	return []PlanShapeInfo{
+		{Shape: "scan", Description: "full table scan, all predicates as residuals"},
+		{Shape: "fetch-trad-<index>", Description: "single-column index range scan, traditional row-at-a-time fetch"},
+		{Shape: "fetch-impr-<index>", Description: "single-column index range scan, improved (RID-sorted) fetch"},
+		{Shape: "fetch-bitmap-<index>", Description: "single-column index range scan, bitmap fetch"},
+		{Shape: "merge-<index>-<index>", Description: "RID merge intersection of two index range scans, improved fetch"},
+		{Shape: "hash-<index>-<index>", Description: "RID hash intersection of two index range scans, improved fetch"},
+		{Shape: "keyfilter-<index>", Description: "composite-index range scan with in-index entry predicates, bitmap fetch"},
+		{Shape: "mdam-<index>", Description: "MDAM over a covering composite index, index-only"},
+		{Shape: "cover-merge-<index>-<index>", Description: "covering RID join of two single-column indexes (merge), no base access"},
+		{Shape: "cover-hash-<index>-<index>", Description: "covering RID join of two single-column indexes (hash), no base access"},
+		{Shape: "sort / limit / hash_agg wrappers", Description: "order_by adds a sort unless the candidate's natural order covers it; limit rides on top (TopN pushdown on ordered candidates); group_by/aggs add a hash aggregation"},
+	}
+}
+
 // Check validates the request's plan ids — against the built-in catalog,
 // or against its workload spec, whose plan trees are fully compiled
 // (operator vocabulary, schema ordinals, index references) so a bad
@@ -139,6 +177,10 @@ func (r *EngineResolver) Check(req Request) error {
 	}
 	if req.Workload != nil {
 		_, err := compileWorkloadRequest(req)
+		return err
+	}
+	if req.Query != nil {
+		_, _, err := r.planQuery(req.Query)
 		return err
 	}
 	for _, id := range req.Plans {
@@ -180,6 +222,31 @@ func compileWorkloadRequest(req Request) (*plan.CompiledWorkload, error) {
 		}
 	}
 	return cw, nil
+}
+
+// planQuery runs the optimizer over a query request: enumerate the
+// candidate plans (memoized by query structure), synthesize the
+// one-system workload that measures them, and compile it through the
+// same registry as hand-written specs — so a query whose enumerated
+// trees cannot compile (schema mismatch against the generator, say) is
+// rejected at Submit like any bad workload.
+func (r *EngineResolver) planQuery(q *spec.QuerySpec) ([]optimizer.Candidate, *queryPlan, error) {
+	cands, err := r.queries.Candidates(q)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+	}
+	ws := optimizer.Workload(q, cands)
+	cw, err := plan.CompileWorkload(ws)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+	}
+	return cands, &queryPlan{ws: ws, cw: cw}, nil
+}
+
+// queryPlan is a query request's synthesized measurement workload.
+type queryPlan struct {
+	ws *spec.WorkloadSpec
+	cw *plan.CompiledWorkload
 }
 
 // system returns the built system cached under key, building it with
@@ -284,8 +351,15 @@ func (r *EngineResolver) Resolve(req Request) (*ResolvedSweep, error) {
 	// directly (rather than via Check) so the compiled plans are kept —
 	// a job's spec compiles once when it runs, not once to check and
 	// again to bind.
-	var cw *plan.CompiledWorkload
-	if req.Workload != nil {
+	var (
+		cw    *plan.CompiledWorkload
+		cands []optimizer.Candidate
+	)
+	// A query request resolves exactly like a workload request over the
+	// optimizer's synthesized workload, plus a Finish overlay below.
+	ws, ids := req.Workload, req.EffectivePlans()
+	switch {
+	case req.Workload != nil:
 		if err := req.Validate(); err != nil {
 			return nil, err
 		}
@@ -293,8 +367,23 @@ func (r *EngineResolver) Resolve(req Request) (*ResolvedSweep, error) {
 		if cw, err = compileWorkloadRequest(req); err != nil {
 			return nil, err
 		}
-	} else if err := r.Check(req); err != nil {
-		return nil, err
+	case req.Query != nil:
+		if err := req.Validate(); err != nil {
+			return nil, err
+		}
+		var (
+			qp  *queryPlan
+			err error
+		)
+		if cands, qp, err = r.planQuery(req.Query); err != nil {
+			return nil, err
+		}
+		ws, cw = qp.ws, qp.cw
+		ids = ws.SweepPlans()
+	default:
+		if err := r.Check(req); err != nil {
+			return nil, err
+		}
 	}
 	rows := req.EffectiveRows(r.base.Rows)
 	rs := &ResolvedSweep{}
@@ -306,7 +395,7 @@ func (r *EngineResolver) Resolve(req Request) (*ResolvedSweep, error) {
 	// workload can never poison the built-in catalog's cache entries
 	// (or another workload's).
 	var lookup func(id string) (plan.Plan, *engine.System, string, error)
-	if ws := req.Workload; ws != nil {
+	if ws != nil {
 		hash := ws.Hash()
 		lookup = func(id string) (plan.Plan, *engine.System, string, error) {
 			p, _ := cw.Plan(id)
@@ -333,7 +422,7 @@ func (r *EngineResolver) Resolve(req Request) (*ResolvedSweep, error) {
 	}
 
 	var oracle *engine.System
-	for _, id := range req.EffectivePlans() {
+	for _, id := range ids {
 		pp, sys, scope, err := lookup(id)
 		if err != nil {
 			return nil, err
@@ -354,6 +443,30 @@ func (r *EngineResolver) Resolve(req Request) (*ResolvedSweep, error) {
 		sys := oracle
 		rs.ResultSize = func(ta, tb int64) int64 {
 			return sys.ResultSize(plan.Query{TA: ta, TB: tb})
+		}
+	}
+	if q := req.Query; q != nil {
+		model := optimizer.NewModel(q, rows)
+		rs.Finish = func(res *Result) error {
+			for _, c := range cands {
+				res.Candidates = append(res.Candidates, CandidateInfo{
+					ID:          c.Plan.ID,
+					Description: c.Plan.Description,
+					RequiresTB:  c.Plan.RequiresTB || c.Plan.NeedsTB(),
+				})
+			}
+			// Picks come from the estimated cost model alone (pure
+			// computation), regret from the measured map — both
+			// independent of how the sweep was parallelized.
+			switch {
+			case res.Map2D != nil:
+				picks := model.Picks2D(cands, res.Map2D.TA, res.Map2D.TB)
+				res.Regret2D = core.NewRegretMap2D(res.Map2D, picks, core.DefaultRegretThreshold)
+			case res.Map1D != nil:
+				picks := model.Picks1D(cands, res.Map1D.Thresholds)
+				res.Regret1D = core.NewRegretMap1D(res.Map1D, picks, core.DefaultRegretThreshold)
+			}
+			return nil
 		}
 	}
 	return rs, nil

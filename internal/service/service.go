@@ -84,6 +84,13 @@ type Request struct {
 	// is validated and compiled at Submit; systems are built (and cached
 	// under the spec's content hash) when the job starts.
 	Workload *spec.WorkloadSpec `json:"workload,omitempty"`
+	// Query, when set, submits a logical query instead of explicit
+	// plans: the service's optimizer enumerates the candidate plans over
+	// the query's catalog, sweeps all of them, and the result carries
+	// the candidate list plus regret and non-robustness maps (the
+	// optimizer's per-cell pick against the oracle winner). Exactly one
+	// of Plans, Workload, or Query must be set.
+	Query *spec.QuerySpec `json:"query,omitempty"`
 	// Rows is the table cardinality; 0 means the service's engine
 	// default (2^17). Bounded by MaxRows — a daemon builds a
 	// dataset-scale system per distinct (system, rows), so unbounded
@@ -117,12 +124,30 @@ const MaxRows = 1 << 28
 // structural rules. Plan-id existence and operator semantics are the
 // resolver's concern (see Resolver.Check).
 func (r Request) Validate() error {
+	sources := 0
+	if len(r.Plans) > 0 {
+		sources++
+	}
+	if r.Workload != nil {
+		sources++
+	}
+	if r.Query != nil {
+		sources++
+	}
+	if sources != 1 {
+		return fmt.Errorf("%w: exactly one of plans, workload, or query must be set", ErrInvalidRequest)
+	}
 	if r.Workload != nil {
 		if err := r.Workload.Validate(); err != nil {
 			return fmt.Errorf("%w: %v", ErrInvalidRequest, err)
 		}
 	}
-	if len(r.EffectivePlans()) == 0 {
+	if r.Query != nil {
+		if err := r.Query.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidRequest, err)
+		}
+	}
+	if r.Query == nil && len(r.EffectivePlans()) == 0 {
 		return fmt.Errorf("%w: no plans", ErrInvalidRequest)
 	}
 	if r.Rows < 0 {
@@ -146,7 +171,9 @@ func (r Request) Validate() error {
 
 // EffectivePlans resolves the plan ids the request sweeps: the explicit
 // Plans list, else the workload's sweep plan list, else every plan the
-// workload declares. Nil for a built-in request with no plans (invalid).
+// workload declares. Nil for a query request (the resolver's optimizer
+// enumerates the plans) and for a built-in request with no plans
+// (invalid).
 func (r Request) EffectivePlans() []string {
 	if len(r.Plans) > 0 {
 		return r.Plans
@@ -158,32 +185,46 @@ func (r Request) EffectivePlans() []string {
 }
 
 // EffectiveMaxExp resolves the sweep axis depth: the explicit MaxExp if
-// positive, else the workload's. With a workload present, MaxExp 0
-// always defers to the workload — the degenerate single-point axis
-// (max_exp 0) is expressed in the workload's own sweep section, not as
-// a request override.
+// positive, else the workload's or query's. With a workload or query
+// present, MaxExp 0 always defers to the spec — the degenerate
+// single-point axis (max_exp 0) is expressed in the spec's own sweep
+// section, not as a request override.
 func (r Request) EffectiveMaxExp() int {
-	if r.MaxExp == 0 && r.Workload != nil {
-		return r.Workload.Sweep.MaxExp
+	if r.MaxExp == 0 {
+		if r.Workload != nil {
+			return r.Workload.Sweep.MaxExp
+		}
+		if r.Query != nil {
+			return r.Query.Sweep.MaxExp
+		}
 	}
 	return r.MaxExp
 }
 
 // EffectiveGrid2D resolves the grid shape: 2-D when the request or the
-// workload's sweep says so.
+// carried spec's sweep says so.
 func (r Request) EffectiveGrid2D() bool {
-	return r.Grid2D || (r.Workload != nil && r.Workload.Sweep.Grid2D)
+	return r.Grid2D ||
+		(r.Workload != nil && r.Workload.Sweep.Grid2D) ||
+		(r.Query != nil && r.Query.Sweep.Grid2D)
 }
 
 // EffectiveRows resolves the table cardinality: the explicit Rows if
-// positive, else the workload catalog's, else the given service
+// positive, else the carried spec's catalog's, else the given service
 // default.
 func (r Request) EffectiveRows(def int64) int64 {
 	if r.Rows > 0 {
 		return r.Rows
 	}
-	if r.Workload != nil {
-		if t := r.Workload.Catalog.Table(); t != nil && t.Rows > 0 {
+	var cat *spec.CatalogSpec
+	switch {
+	case r.Workload != nil:
+		cat = &r.Workload.Catalog
+	case r.Query != nil:
+		cat = &r.Query.Catalog
+	}
+	if cat != nil {
+		if t := cat.Table(); t != nil && t.Rows > 0 {
 			return t.Rows
 		}
 	}
@@ -199,6 +240,21 @@ type Result struct {
 	Mesh1D *core.Mesh1D `json:"mesh_1d,omitempty"`
 	Map2D  *core.Map2D  `json:"map_2d,omitempty"`
 	Mesh2D *core.Mesh2D `json:"mesh_2d,omitempty"`
+	// Query-request extras: the optimizer's enumerated candidates (in
+	// pick-index order) and the regret/non-robustness overlay of its
+	// per-cell pick against the oracle winner.
+	Candidates []CandidateInfo   `json:"candidates,omitempty"`
+	Regret1D   *core.RegretMap1D `json:"regret_1d,omitempty"`
+	Regret2D   *core.RegretMap2D `json:"regret_2d,omitempty"`
+}
+
+// CandidateInfo describes one optimizer-enumerated plan in a query
+// job's result.
+type CandidateInfo struct {
+	ID          string `json:"id"`
+	Description string `json:"description,omitempty"`
+	// RequiresTB marks candidates that only exist on the 2-D grid.
+	RequiresTB bool `json:"requires_tb,omitempty"`
 }
 
 // JobStatus is a point-in-time snapshot of one job.

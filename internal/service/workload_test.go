@@ -55,7 +55,8 @@ func TestWorkloadSubmitValidation(t *testing.T) {
 		{"unknown op", func(r *Request) {
 			r.Workload.Systems[0].Plans[0].Root.Op = "quantum_scan"
 		}},
-		{"plan id not in workload", func(r *Request) { r.Plans = []string{"Z9"} }},
+		{"plan id not in workload", func(r *Request) { r.Workload.Sweep.Plans = []string{"Z9"} }},
+		{"plans alongside workload", func(r *Request) { r.Plans = []string{"A1"} }},
 		{"requires_tb plan on a 1-D sweep", func(r *Request) {
 			r.Workload.Systems[0].Plans[0].RequiresTB = true
 		}},
@@ -156,9 +157,12 @@ func TestPaperWorkloadMatchesBuiltinPath(t *testing.T) {
 	if err != nil {
 		t.Fatalf("builtin job: %v", err)
 	}
+	// A request carries exactly one plan source, so the subset is
+	// expressed in the workload's own sweep section.
+	ws := plan.PaperWorkload()
+	ws.Sweep.Plans = plans
 	viaSpec, err := Run(ctx, l, Request{
-		Workload: plan.PaperWorkload(),
-		Plans:    plans, Rows: rows, MaxExp: 3, Grid2D: true,
+		Workload: ws, Rows: rows, MaxExp: 3, Grid2D: true,
 	}, nil)
 	if err != nil {
 		t.Fatalf("workload job: %v", err)

@@ -1,0 +1,72 @@
+package spec
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// validQuery is a minimal QuerySpec that parses and validates — the
+// structured seed for the round-trip fuzzer.
+func validQuery() *QuerySpec {
+	return &QuerySpec{
+		Name: "seed",
+		Catalog: CatalogSpec{
+			Tables:  []TableSpec{{Name: "t", Rows: 1 << 10}},
+			Indexes: []IndexSpec{{Name: "idx_a", Columns: []string{"a"}}},
+		},
+		Table: "t",
+		Predicates: []PredSpec{
+			{Column: "a", Hi: &ValueSpec{Param: "ta"}},
+		},
+		Sweep: SweepSpec{MaxExp: 4},
+	}
+}
+
+// FuzzQueryRoundTrip holds the same contract for logical query specs
+// that FuzzWorkloadRoundTrip holds for workload specs: any input that
+// decodes and validates must encode canonically — Encode is accepted
+// by ParseQuery, re-encodes to the identical bytes, and hashes stably
+// (both the full hash and the plan-cache StructureHash). The committed
+// seed corpus lives in testdata/fuzz/FuzzQueryRoundTrip; CI runs a
+// short -fuzztime smoke on top of the seeds.
+func FuzzQueryRoundTrip(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add(validQuery().Encode())
+	// Seed with the committed example query specs so the fuzzer starts
+	// from real shapes.
+	entries, err := os.ReadDir("../../examples/workloads")
+	if err == nil {
+		for _, e := range entries {
+			if filepath.Ext(e.Name()) != ".json" {
+				continue
+			}
+			if b, err := os.ReadFile(filepath.Join("../../examples/workloads", e.Name())); err == nil {
+				f.Add(b)
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := ParseQuery(data)
+		if err != nil {
+			return // malformed input must error, never panic
+		}
+		enc := q.Encode()
+		q2, err := ParseQuery(enc)
+		if err != nil {
+			t.Fatalf("Encode produced undecodable output: %v\n%s", err, enc)
+		}
+		enc2 := q2.Encode()
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encode not canonical:\n%s\nvs\n%s", enc, enc2)
+		}
+		if q.Hash() != q2.Hash() {
+			t.Fatalf("hash not stable across round trip")
+		}
+		if q.StructureHash() != q2.StructureHash() {
+			t.Fatalf("structure hash not stable across round trip")
+		}
+	})
+}

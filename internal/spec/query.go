@@ -1,0 +1,248 @@
+package spec
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// QuerySpec is the logical counterpart of a PlanSpec: instead of one
+// fixed operator tree, it declares what the query asks for — a table,
+// interval predicates over it, an optional projection, order/limit, and
+// aggregates — plus the physical context the optimizer plans against
+// (the catalog, which of its indexes exist, whether base rows carry
+// version headers). The optimizer package enumerates candidate plan
+// trees from it; the service measures all of them and reports the
+// optimizer's per-cell pick against the oracle winner (the regret map).
+//
+// Like WorkloadSpec it is self-contained and canonical: DecodeQuery
+// rejects unknown fields, Encode is byte-stable, and Hash names the
+// content for cache scoping.
+type QuerySpec struct {
+	// Name identifies the query in output and artifacts.
+	Name string `json:"name"`
+	// Catalog is the dataset the query runs over (one table plus the
+	// index definitions the optimizer may choose from).
+	Catalog CatalogSpec `json:"catalog"`
+	// Versioned adds MVCC headers to base rows; versioned systems must
+	// fetch base rows for visibility, so no index-only plan is legal.
+	Versioned bool `json:"versioned,omitempty"`
+	// Indexes names the catalog indexes actually built; empty means all
+	// of them. The optimizer only enumerates plans over built indexes.
+	Indexes []string `json:"indexes,omitempty"`
+	// Table names the queried table (the catalog's only table).
+	Table string `json:"table"`
+	// Predicates are the query's interval predicates. Values may
+	// reference the sweep params "ta"/"tb" or be constants; a predicate
+	// referencing "tb" should set if_param so 1-D points drop it.
+	Predicates []PredSpec `json:"predicates"`
+	// Columns is the projection, by column name; empty means all
+	// columns. Index-only plans are legal only when the projection is
+	// covered by the index's key columns.
+	Columns []string `json:"columns,omitempty"`
+	// OrderBy requests output order; plans whose natural order already
+	// satisfies it skip the sort (sort-vs-index-order).
+	OrderBy []string `json:"order_by,omitempty"`
+	// Limit bounds the result; 0 means unlimited. With OrderBy it is a
+	// TopN: plans that avoid the sort push the limit below it.
+	Limit int64 `json:"limit,omitempty"`
+	// GroupBy and Aggs request aggregation on top of the selection.
+	GroupBy []string  `json:"group_by,omitempty"`
+	Aggs    []AggSpec `json:"aggs,omitempty"`
+	// Sweep declares the sweep axes. Its plan list must be empty — the
+	// optimizer enumerates the plans.
+	Sweep SweepSpec `json:"sweep"`
+}
+
+// Validate checks the query's structural rules, with the same division
+// of labor as WorkloadSpec.Validate: names present, references
+// resolvable, values well-formed. Whether an enumerated plan tree is
+// executable is the plan compiler's concern.
+func (q *QuerySpec) Validate() error {
+	if q.Name == "" {
+		return fmt.Errorf("spec: query name must not be empty")
+	}
+	if err := q.Catalog.validate(); err != nil {
+		return err
+	}
+	t := q.Catalog.Table()
+	if q.Table == "" {
+		return fmt.Errorf("spec: query %q names no table", q.Name)
+	}
+	if q.Table != t.Name {
+		return fmt.Errorf("spec: query %q references unknown table %q (catalog table is %q)", q.Name, q.Table, t.Name)
+	}
+	seenIx := map[string]bool{}
+	for _, ix := range q.Indexes {
+		if q.Catalog.Index(ix) == nil {
+			return fmt.Errorf("spec: query %q references undefined index %q", q.Name, ix)
+		}
+		if seenIx[ix] {
+			return fmt.Errorf("spec: query %q lists index %q twice", q.Name, ix)
+		}
+		seenIx[ix] = true
+	}
+	if len(q.Predicates) == 0 {
+		return fmt.Errorf("spec: query %q declares no predicates", q.Name)
+	}
+	cols := map[string]bool{}
+	for _, c := range t.Columns {
+		cols[c.Name] = true
+	}
+	// A schema-less catalog defers column checks to the plan compiler.
+	known := func(col string) bool { return len(t.Columns) == 0 || cols[col] }
+	seenPred := map[string]bool{}
+	for _, p := range q.Predicates {
+		if err := p.validate(fmt.Sprintf("query %q", q.Name)); err != nil {
+			return err
+		}
+		if !known(p.Column) {
+			return fmt.Errorf("spec: query %q predicate references unknown column %q", q.Name, p.Column)
+		}
+		if seenPred[p.Column] {
+			return fmt.Errorf("spec: query %q has two predicates on column %q", q.Name, p.Column)
+		}
+		seenPred[p.Column] = true
+	}
+	for _, list := range []struct {
+		what string
+		cols []string
+	}{
+		{"projection", q.Columns},
+		{"order_by", q.OrderBy},
+		{"group_by", q.GroupBy},
+	} {
+		seen := map[string]bool{}
+		for _, col := range list.cols {
+			if col == "" {
+				return fmt.Errorf("spec: query %q %s names an empty column", q.Name, list.what)
+			}
+			if !known(col) {
+				return fmt.Errorf("spec: query %q %s references unknown column %q", q.Name, list.what, col)
+			}
+			if seen[col] {
+				return fmt.Errorf("spec: query %q %s lists column %q twice", q.Name, list.what, col)
+			}
+			seen[col] = true
+		}
+	}
+	if q.Limit < 0 {
+		return fmt.Errorf("spec: query %q limit must not be negative, got %d", q.Name, q.Limit)
+	}
+	for _, a := range q.Aggs {
+		if a.Fn == "" {
+			return fmt.Errorf("spec: query %q declares an aggregate with no fn", q.Name)
+		}
+		if a.Column != "" && !known(a.Column) {
+			return fmt.Errorf("spec: query %q aggregate references unknown column %q", q.Name, a.Column)
+		}
+	}
+	if len(q.Aggs) > 0 && (len(q.OrderBy) > 0 || q.Limit > 0) {
+		return fmt.Errorf("spec: query %q combines aggregates with order_by/limit (not supported)", q.Name)
+	}
+	if len(q.Sweep.Plans) > 0 {
+		return fmt.Errorf("spec: query %q sweep must not name plans (the optimizer enumerates them)", q.Name)
+	}
+	if q.Sweep.MaxExp < 0 || q.Sweep.MaxExp > 40 {
+		return fmt.Errorf("spec: sweep max_exp must be between 0 and 40, got %d", q.Sweep.MaxExp)
+	}
+	if q.NeedsTB() && !q.Sweep.Grid2D {
+		return fmt.Errorf("spec: query %q references param %q; its sweep must set grid_2d", q.Name, ParamTB)
+	}
+	return nil
+}
+
+// NeedsTB reports whether any predicate references the tb query
+// parameter (by value or guard) — such a query only sweeps on a 2-D
+// grid, where tb exists.
+func (q *QuerySpec) NeedsTB() bool {
+	isTB := func(v *ValueSpec) bool { return v != nil && v.Param == ParamTB }
+	for _, p := range q.Predicates {
+		if isTB(p.Lo) || isTB(p.Hi) || p.IfParam == ParamTB {
+			return true
+		}
+	}
+	return false
+}
+
+// EffectiveIndexes resolves the built index set: the explicit list, or
+// every catalog index.
+func (q *QuerySpec) EffectiveIndexes() []string {
+	if len(q.Indexes) > 0 {
+		return append([]string(nil), q.Indexes...)
+	}
+	var out []string
+	for i := range q.Catalog.Indexes {
+		out = append(out, q.Catalog.Indexes[i].Name)
+	}
+	return out
+}
+
+// DecodeQuery reads one QuerySpec from JSON, rejecting unknown fields
+// and trailing data, and validates it — the same strictness as Decode.
+func DecodeQuery(r io.Reader) (*QuerySpec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var q QuerySpec
+	if err := dec.Decode(&q); err != nil {
+		return nil, fmt.Errorf("spec: decode query: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("spec: decode query: trailing data after JSON document")
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return &q, nil
+}
+
+// ParseQuery decodes a QuerySpec from bytes; see DecodeQuery.
+func ParseQuery(data []byte) (*QuerySpec, error) {
+	return DecodeQuery(bytes.NewReader(data))
+}
+
+// LoadQueryFile reads and validates a query file.
+func LoadQueryFile(path string) (*QuerySpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	defer f.Close()
+	q, err := DecodeQuery(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return q, nil
+}
+
+// Encode renders the query as indented JSON — the canonical file form,
+// stable under Decode/Encode round trips like WorkloadSpec.Encode.
+func (q *QuerySpec) Encode() []byte {
+	b, err := json.MarshalIndent(q, "", "  ")
+	if err != nil {
+		// Every field is a plain value; marshalling cannot fail.
+		panic(fmt.Sprintf("spec: encode query: %v", err))
+	}
+	return append(b, '\n')
+}
+
+// Hash names the query's content: the hex-truncated SHA-256 of its
+// canonical encoding, scoping caches exactly like WorkloadSpec.Hash.
+func (q *QuerySpec) Hash() string {
+	sum := sha256.Sum256(q.Encode())
+	return hex.EncodeToString(sum[:8])
+}
+
+// StructureHash names the query minus its sweep section: two queries
+// that differ only in sweep axes plan identically, so this is the
+// optimizer's plan-cache key.
+func (q *QuerySpec) StructureHash() string {
+	c := *q
+	c.Sweep = SweepSpec{}
+	sum := sha256.Sum256(c.Encode())
+	return hex.EncodeToString(sum[:8])
+}

@@ -420,13 +420,14 @@ func validateNodes(planID string, n *PlanNode) error {
 	if n.Op == "" {
 		return fmt.Errorf("spec: plan %q contains a node with no op", planID)
 	}
+	ctx := fmt.Sprintf("plan %q %s", planID, n.Op)
 	for _, v := range []*ValueSpec{n.Lo, n.Hi} {
-		if err := v.validate(planID, n.Op); err != nil {
+		if err := v.validate(ctx); err != nil {
 			return err
 		}
 	}
 	for _, p := range n.Preds {
-		if err := p.validate(planID, n.Op); err != nil {
+		if err := p.validate(ctx); err != nil {
 			return err
 		}
 	}
@@ -434,7 +435,7 @@ func validateNodes(planID string, n *PlanNode) error {
 		if s == nil {
 			continue
 		}
-		if err := s.validate(planID, n.Op); err != nil {
+		if err := s.validate(ctx); err != nil {
 			return err
 		}
 	}
@@ -446,56 +447,58 @@ func validateNodes(planID string, n *PlanNode) error {
 	return nil
 }
 
-func (p *PredSpec) validate(planID, op string) error {
+// validate checks one predicate; ctx prefixes errors with where it sits
+// ("plan \"A2\" fetch", "query \"q\"").
+func (p *PredSpec) validate(ctx string) error {
 	if p.Column == "" {
-		return fmt.Errorf("spec: plan %q %s: predicate has no column", planID, op)
+		return fmt.Errorf("spec: %s: predicate has no column", ctx)
 	}
 	if p.Lo == nil && p.Hi == nil {
-		return fmt.Errorf("spec: plan %q %s: predicate on %q has no bounds", planID, op, p.Column)
+		return fmt.Errorf("spec: %s: predicate on %q has no bounds", ctx, p.Column)
 	}
 	for _, v := range []*ValueSpec{p.Lo, p.Hi} {
-		if err := v.validate(planID, op); err != nil {
+		if err := v.validate(ctx); err != nil {
 			return err
 		}
 	}
 	if p.IfParam != "" && !validParam(p.IfParam) {
-		return fmt.Errorf("spec: plan %q %s: if_param %q is not a query param (want %q or %q)",
-			planID, op, p.IfParam, ParamTA, ParamTB)
+		return fmt.Errorf("spec: %s: if_param %q is not a query param (want %q or %q)",
+			ctx, p.IfParam, ParamTA, ParamTB)
 	}
 	return nil
 }
 
-func (v *ValueSpec) validate(planID, op string) error {
+func (v *ValueSpec) validate(ctx string) error {
 	if v == nil {
 		return nil
 	}
 	switch {
 	case v.Param != "" && v.Const != nil:
-		return fmt.Errorf("spec: plan %q %s: value sets both param and const", planID, op)
+		return fmt.Errorf("spec: %s: value sets both param and const", ctx)
 	case v.Param == "" && v.Const == nil:
-		return fmt.Errorf("spec: plan %q %s: value sets neither param nor const", planID, op)
+		return fmt.Errorf("spec: %s: value sets neither param nor const", ctx)
 	case v.Param != "" && !validParam(v.Param):
-		return fmt.Errorf("spec: plan %q %s: unknown param %q (want %q or %q)",
-			planID, op, v.Param, ParamTA, ParamTB)
+		return fmt.Errorf("spec: %s: unknown param %q (want %q or %q)",
+			ctx, v.Param, ParamTA, ParamTB)
 	}
 	return nil
 }
 
-func (s *MDAMSetSpec) validate(planID, op string) error {
+func (s *MDAMSetSpec) validate(ctx string) error {
 	switch s.Op {
 	case "all":
 		if s.Value != nil {
-			return fmt.Errorf("spec: plan %q %s: mdam set \"all\" takes no value", planID, op)
+			return fmt.Errorf("spec: %s: mdam set \"all\" takes no value", ctx)
 		}
 	case "lt":
 		if s.Value == nil {
-			return fmt.Errorf("spec: plan %q %s: mdam set \"lt\" needs a value", planID, op)
+			return fmt.Errorf("spec: %s: mdam set \"lt\" needs a value", ctx)
 		}
-		if err := s.Value.validate(planID, op); err != nil {
+		if err := s.Value.validate(ctx); err != nil {
 			return err
 		}
 	default:
-		return fmt.Errorf("spec: plan %q %s: unknown mdam set op %q (want \"all\" or \"lt\")", planID, op, s.Op)
+		return fmt.Errorf("spec: %s: unknown mdam set op %q (want \"all\" or \"lt\")", ctx, s.Op)
 	}
 	return nil
 }

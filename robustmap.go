@@ -60,8 +60,12 @@
 // way. A Study configured with StudyConfig.Service runs its standard
 // sweeps through any Service.
 //
-// The positional entry points (Sweep1D … AdaptiveSweep2DWith) predate the
-// request API and remain as deprecated one-line shims over it.
+// Beyond hand-written plans, a QuerySpec declares what a query asks
+// for (table, predicates, projection, order/limit, aggregates) and the
+// optimizer enumerates, costs, and picks candidate plans over its
+// catalog; query jobs submitted through the Service carry the pick
+// scored against the per-point oracle winner as regret and
+// non-robustness maps (see EnumerateQueryPlans, RegretMap2D).
 //
 // See the examples directory for complete programs, README.md for the
 // quick start and plan table, and DESIGN.md for the system inventory and
@@ -78,6 +82,7 @@ import (
 	"robustmap/internal/experiments"
 	"robustmap/internal/httpapi"
 	"robustmap/internal/iomodel"
+	"robustmap/internal/optimizer"
 	"robustmap/internal/plan"
 	"robustmap/internal/service"
 	"robustmap/internal/spec"
@@ -153,6 +158,10 @@ var (
 	Regions        = experiments.Regions
 	ScoreboardExp  = experiments.ScoreboardExperiment
 	MemSweep       = experiments.MemSweep
+	// RegretExp runs the embedded paper query through the optimizer and
+	// renders the regret and non-robustness maps (the optimizer's
+	// estimated-cost pick scored against the measured oracle winner).
+	RegretExp = experiments.RegretExperiment
 	// AdaptiveExperiment contrasts the adaptive multi-resolution sweep
 	// with the exhaustive sweep on the full 13-plan study and renders the
 	// winner map with the refinement-mesh overlay.
@@ -338,38 +347,6 @@ type ParallelExecutor = core.ParallelExecutor
 // n > 1 that many workers, negative all CPUs.
 func NewExecutor(parallelism int) SweepExecutor { return core.NewExecutor(parallelism) }
 
-// Sweep1D measures plans across selectivity fractions, serially.
-//
-// Deprecated: use NewSweep with Grid1D.
-func Sweep1D(plans []PlanSource, fractions []float64, thresholds []int64) *Map1D {
-	return core.Sweep1D(plans, fractions, thresholds)
-}
-
-// Sweep1DWith is Sweep1D scheduled by the given executor. Parallel
-// executors require concurrency-safe plan sources; PlanSourceFor returns
-// such sources.
-//
-// Deprecated: use NewSweep with Grid1D and WithExecutor.
-func Sweep1DWith(ex SweepExecutor, plans []PlanSource, fractions []float64,
-	thresholds []int64) *Map1D {
-	return core.Sweep1DWith(ex, plans, fractions, thresholds)
-}
-
-// Sweep2D measures plans over a 2-D selectivity grid, serially.
-//
-// Deprecated: use NewSweep with Grid2D.
-func Sweep2D(plans []PlanSource, fracA, fracB []float64, ta, tb []int64) *Map2D {
-	return core.Sweep2D(plans, fracA, fracB, ta, tb)
-}
-
-// Sweep2DWith is Sweep2D scheduled by the given executor.
-//
-// Deprecated: use NewSweep with Grid2D and WithExecutor.
-func Sweep2DWith(ex SweepExecutor, plans []PlanSource, fracA, fracB []float64,
-	ta, tb []int64) *Map2D {
-	return core.Sweep2DWith(ex, plans, fracA, fracB, ta, tb)
-}
-
 // Adaptive multi-resolution sweeps ------------------------------------------
 
 // AdaptiveConfig tunes the adaptive sweeper: coarse-pass depth, guard
@@ -388,30 +365,6 @@ type Mesh2D = core.Mesh2D
 // DefaultAdaptiveConfig returns the adaptive-sweep tuning used by the
 // study (about 37% of the exhaustive cells on the 13-plan 2-D study).
 var DefaultAdaptiveConfig = core.DefaultAdaptiveConfig
-
-// AdaptiveSweep1D runs an adaptive 1-D sweep serially with defaults.
-//
-// Deprecated: use NewSweep with Grid1D and WithAdaptive.
-var AdaptiveSweep1D = core.AdaptiveSweep1D
-
-// AdaptiveSweep1DWith measures an adaptive 1-D sweep on the given
-// executor: coarse pass, winner-change and model-misfit bisection,
-// landmark/guard stabilization, model fill. Measured cells are
-// bit-identical to the exhaustive sweep's at any worker count.
-//
-// Deprecated: use NewSweep with Grid1D, WithExecutor, and WithAdaptive.
-var AdaptiveSweep1DWith = core.AdaptiveSweep1DWith
-
-// AdaptiveSweep2D runs an adaptive 2-D sweep serially with defaults.
-//
-// Deprecated: use NewSweep with Grid2D and WithAdaptive.
-var AdaptiveSweep2D = core.AdaptiveSweep2D
-
-// AdaptiveSweep2DWith is the 2-D adaptive sweep on the given executor;
-// see AdaptiveSweep1DWith for the contract.
-//
-// Deprecated: use NewSweep with Grid2D, WithExecutor, and WithAdaptive.
-var AdaptiveSweep2DWith = core.AdaptiveSweep2DWith
 
 // MeasureCache memoizes measurements across sweeps, keyed by
 // (system scope, plan, point), with LRU eviction and concurrent-safe
@@ -616,6 +569,95 @@ func SweepWorkload(ctx context.Context, svc Service, ws *WorkloadSpec, onProgres
 		svc = local
 	}
 	return service.Run(ctx, svc, JobRequest{Workload: ws}, onProgress)
+}
+
+// Logical queries and the optimizer -------------------------------------------
+//
+// A QuerySpec is the logical counterpart of a PlanSpec: it declares
+// what the query asks for, and the optimizer enumerates candidate
+// operator trees over the query's catalog (scan, index fetches,
+// RID intersections, key-filter scans, MDAM, covering joins; sort
+// elision and TopN pushdown as wrappers), costs them with the same
+// simclock charge vocabulary the engine measures in, and picks per
+// sweep point. A JobRequest carries a Query the same way it carries a
+// Workload — exactly one of Plans, Workload, or Query — and the job's
+// Result then includes the candidate list plus regret and
+// non-robustness maps scoring the pick against the oracle winner.
+
+// QuerySpec declares a logical query: catalog, table, interval
+// predicates, projection, order/limit, aggregates, and sweep axes.
+type QuerySpec = spec.QuerySpec
+
+// PlanCandidate is one optimizer-enumerated plan: the generated
+// PlanSpec plus the cost-model shape behind its estimates.
+type PlanCandidate = optimizer.Candidate
+
+// CostModel estimates candidate costs in simclock units; it shares the
+// charge vocabulary (seek, transfer, CPU per row/compare/hash) with the
+// engine, so estimated and measured cost are directly comparable.
+type CostModel = optimizer.Model
+
+// CostEstimate is one explained candidate: id, description, estimated
+// cost, eligibility at the point, and whether it was the pick.
+type CostEstimate = optimizer.CostEstimate
+
+// CandidateInfo is the result-carried summary of one candidate.
+type CandidateInfo = service.CandidateInfo
+
+// RegretMap1D overlays the optimizer's per-threshold picks on a
+// measured 1-D map: regret quotients against the oracle winner and
+// non-robustness flags.
+type RegretMap1D = core.RegretMap1D
+
+// RegretMap2D is the 2-D regret overlay; see RegretMap1D.
+type RegretMap2D = core.RegretMap2D
+
+// DefaultRegretThreshold is the regret factor above which a cell is
+// flagged non-robust.
+const DefaultRegretThreshold = core.DefaultRegretThreshold
+
+// LoadQuery reads and validates a query spec file.
+func LoadQuery(path string) (*QuerySpec, error) { return spec.LoadQueryFile(path) }
+
+// ParseQuery decodes and validates a query spec from JSON bytes.
+func ParseQuery(data []byte) (*QuerySpec, error) { return spec.ParseQuery(data) }
+
+// PaperQuery returns the embedded paper workload as a logical query:
+// the two-predicate selection the study's 13 hand-written plans answer,
+// ready for the optimizer.
+func PaperQuery() *QuerySpec { return optimizer.PaperQuery() }
+
+// EnumerateQueryPlans enumerates the optimizer's candidate plans for a
+// query — deterministically: the same query and catalog produce a
+// byte-identical candidate list.
+func EnumerateQueryPlans(q *QuerySpec) ([]PlanCandidate, error) { return optimizer.Enumerate(q) }
+
+// NewCostModel builds the cost model for a query over the given table
+// cardinality (rows <= 0 uses the query catalog's row count).
+func NewCostModel(q *QuerySpec, rows int64) CostModel { return optimizer.NewModel(q, rows) }
+
+// ExplainQuery costs every candidate at one point (ta, tb; tb < 0 for
+// single-predicate queries) and marks the pick — what `robustmap
+// -query q.json -explain` prints.
+func ExplainQuery(m CostModel, cands []PlanCandidate, ta, tb int64) []CostEstimate {
+	return m.Explain(cands, ta, tb)
+}
+
+// SweepQuery plans and measures a query spec through a Service and
+// returns its maps with the optimizer overlay (Candidates plus
+// Regret1D/Regret2D). A nil svc runs it on an ephemeral in-process
+// service. Cancelling ctx cancels the job itself.
+func SweepQuery(ctx context.Context, svc Service, q *QuerySpec, onProgress ProgressFunc) (*JobResult, error) {
+	if svc == nil {
+		local := service.NewLocal(service.LocalConfig{Workers: 1})
+		defer func() {
+			cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+			defer cancel()
+			_ = local.Close(cctx)
+		}()
+		svc = local
+	}
+	return service.Run(ctx, svc, JobRequest{Query: q}, onProgress)
 }
 
 // Rendering -----------------------------------------------------------------

@@ -30,7 +30,11 @@ func TestFacadeSweep1D(t *testing.T) {
 	}
 	fractions := []float64{1.0 / 1024, 1.0 / 32, 1}
 	thresholds := []int64{sys.Rows() / 1024, sys.Rows() / 32, sys.Rows()}
-	m := Sweep1D(plans, fractions, thresholds)
+	res, err := NewSweep(plans, Grid1D(fractions, thresholds)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Map1D
 	if len(m.Plans) != 2 {
 		t.Fatalf("plans = %v", m.Plans)
 	}
@@ -47,7 +51,7 @@ func TestFacadeSweep1D(t *testing.T) {
 
 // TestFacadeSweepRequest exercises the options API end to end through
 // the facade: grid + parallelism + cache + progress, equivalence with
-// the legacy shim, and context cancellation.
+// a serial run, and context cancellation.
 func TestFacadeSweepRequest(t *testing.T) {
 	sys := facadeSystem(t)
 	plans := []PlanSource{
@@ -72,8 +76,12 @@ func TestFacadeSweepRequest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(res.Map1D, Sweep1D(plans, fractions, thresholds)) {
-		t.Error("request API map differs from the legacy shim's")
+	serial, err := NewSweep(plans, Grid1D(fractions, thresholds)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Map1D, serial.Map1D) {
+		t.Error("parallel cached map differs from the serial run's")
 	}
 	want := len(plans) * len(thresholds)
 	if !final.Done || final.MeasuredCells != want {
@@ -84,6 +92,46 @@ func TestFacadeSweepRequest(t *testing.T) {
 	cancel()
 	if _, err := NewSweep(plans, Grid1D(fractions, thresholds)).Run(ctx); !errors.Is(err, context.Canceled) {
 		t.Errorf("cancelled Run err = %v", err)
+	}
+}
+
+// TestFacadeQueryOptimizer pins the query surface end to end: enumerate
+// the paper query, explain a point, and sweep it with the regret
+// overlay through an ephemeral service.
+func TestFacadeQueryOptimizer(t *testing.T) {
+	q := PaperQuery()
+	cands, err := EnumerateQueryPlans(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) < 8 {
+		t.Fatalf("paper query enumerates %d candidates, want >= 8", len(cands))
+	}
+
+	rows := int64(1 << 12)
+	ests := ExplainQuery(NewCostModel(q, rows), cands, rows/8, rows/8)
+	picked := 0
+	for _, e := range ests {
+		if e.Picked {
+			picked++
+		}
+	}
+	if picked != 1 {
+		t.Errorf("explain marked %d picks, want exactly 1", picked)
+	}
+
+	q.Catalog.Tables[0].Rows = rows
+	q.Sweep.MaxExp = 2
+	res, err := SweepQuery(context.Background(), nil, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regret2D == nil || len(res.Candidates) != len(cands) {
+		t.Fatalf("query sweep lost the optimizer overlay: regret=%v candidates=%d",
+			res.Regret2D != nil, len(res.Candidates))
+	}
+	if res.Regret2D.Threshold != DefaultRegretThreshold {
+		t.Errorf("regret threshold = %v", res.Regret2D.Threshold)
 	}
 }
 
@@ -110,7 +158,7 @@ func TestFacadeLandmarks(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 20 {
+	if len(ids) != 21 {
 		t.Fatalf("ExperimentIDs = %v", ids)
 	}
 	// Legends run without a study.
