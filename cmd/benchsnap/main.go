@@ -6,11 +6,18 @@
 // Usage:
 //
 //	go test -run NONE -bench . -benchmem ./internal/... | benchsnap -o BENCH.json
+//	benchsnap -diff old.json new.json -threshold 20
 //
 // The snapshot records, per benchmark: the package under test, the
 // benchmark name (with any -cpu suffix intact), iteration count, ns/op,
 // and — when -benchmem was given — B/op and allocs/op. Environment
 // lines (goos, goarch, cpu) are captured once as metadata.
+//
+// -diff compares two snapshots benchmark by benchmark and reports every
+// ns/op change beyond -threshold percent. It exits 0 when nothing
+// regressed, 1 when any shared benchmark slowed past the threshold, 2 on
+// bad input — so CI can gate on it. Benchmarks present on only one side
+// are listed but never fail the comparison (bench sets evolve).
 package main
 
 import (
@@ -43,6 +50,11 @@ type Snapshot struct {
 }
 
 func main() {
+	// -diff is its own mode with its own flags; dispatch before the
+	// snapshot flags parse.
+	if len(os.Args) > 1 && os.Args[1] == "-diff" {
+		os.Exit(runDiff(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -69,6 +81,167 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
 		os.Exit(1)
 	}
+}
+
+// Delta is one shared benchmark's ns/op movement between two snapshots.
+type Delta struct {
+	Package  string  `json:"package,omitempty"`
+	Name     string  `json:"name"`
+	OldNs    float64 `json:"old_ns_per_op"`
+	NewNs    float64 `json:"new_ns_per_op"`
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+// DiffReport is the outcome of comparing two snapshots: every ns/op
+// move beyond the threshold (positive = slower), plus membership
+// changes, which inform but never fail the comparison.
+type DiffReport struct {
+	ThresholdPct float64  `json:"threshold_pct"`
+	Shared       int      `json:"shared"`
+	Deltas       []Delta  `json:"deltas,omitempty"`
+	OnlyInOld    []string `json:"only_in_old,omitempty"`
+	OnlyInNew    []string `json:"only_in_new,omitempty"`
+}
+
+// Regressions counts deltas that got slower past the threshold.
+func (d *DiffReport) Regressions() int {
+	n := 0
+	for _, x := range d.Deltas {
+		if x.DeltaPct > d.ThresholdPct {
+			n++
+		}
+	}
+	return n
+}
+
+// Diff compares two snapshots keyed by (package, name). A delta is
+// reported when ns/op moved by more than thresholdPct in either
+// direction; only slowdowns count as regressions.
+func Diff(old, new *Snapshot, thresholdPct float64) *DiffReport {
+	key := func(r Result) string { return r.Package + "\x00" + r.Name }
+	olds := make(map[string]Result, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		olds[key(r)] = r
+	}
+	rep := &DiffReport{ThresholdPct: thresholdPct}
+	seen := make(map[string]bool, len(new.Benchmarks))
+	for _, r := range new.Benchmarks {
+		k := key(r)
+		seen[k] = true
+		o, ok := olds[k]
+		if !ok {
+			rep.OnlyInNew = append(rep.OnlyInNew, r.Package+" "+r.Name)
+			continue
+		}
+		rep.Shared++
+		if o.NsPerOp <= 0 {
+			continue
+		}
+		pct := (r.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		if pct > thresholdPct || pct < -thresholdPct {
+			rep.Deltas = append(rep.Deltas, Delta{
+				Package: r.Package, Name: r.Name,
+				OldNs: o.NsPerOp, NewNs: r.NsPerOp, DeltaPct: pct,
+			})
+		}
+	}
+	for _, r := range old.Benchmarks {
+		if !seen[key(r)] {
+			rep.OnlyInOld = append(rep.OnlyInOld, r.Package+" "+r.Name)
+		}
+	}
+	return rep
+}
+
+// runDiff implements `benchsnap -diff old.json new.json [-threshold P]`.
+// Flags and the two file operands may interleave in any order. Exit
+// codes: 0 no regression, 1 regression past threshold, 2 bad input.
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchsnap -diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 20, "ns/op regression threshold in percent")
+	jsonOut := fs.Bool("json", false, "emit the diff report as JSON")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: benchsnap -diff [-threshold PCT] [-json] old.json new.json")
+		fs.PrintDefaults()
+	}
+	// The stdlib parser stops at the first positional; loop so flags may
+	// follow the file operands (`-diff old.json new.json -threshold 20`).
+	var files []string
+	rest := args
+	for {
+		if err := fs.Parse(rest); err != nil {
+			return 2
+		}
+		if fs.NArg() == 0 {
+			break
+		}
+		files = append(files, fs.Arg(0))
+		rest = fs.Args()[1:]
+	}
+	if len(files) != 2 {
+		fs.Usage()
+		return 2
+	}
+	if *threshold < 0 {
+		fmt.Fprintln(stderr, "benchsnap: -threshold must not be negative")
+		return 2
+	}
+	load := func(path string) (*Snapshot, error) {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		s := &Snapshot{}
+		if err := json.Unmarshal(b, s); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if len(s.Benchmarks) == 0 {
+			return nil, fmt.Errorf("%s: no benchmarks in snapshot", path)
+		}
+		return s, nil
+	}
+	oldSnap, err := load(files[0])
+	if err != nil {
+		fmt.Fprintln(stderr, "benchsnap:", err)
+		return 2
+	}
+	newSnap, err := load(files[1])
+	if err != nil {
+		fmt.Fprintln(stderr, "benchsnap:", err)
+		return 2
+	}
+
+	rep := Diff(oldSnap, newSnap, *threshold)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "benchsnap:", err)
+			return 2
+		}
+	} else {
+		for _, d := range rep.Deltas {
+			dir := "slower"
+			if d.DeltaPct < 0 {
+				dir = "faster"
+			}
+			fmt.Fprintf(stdout, "%-12s %s %s: %.0f -> %.0f ns/op (%+.1f%%)\n",
+				dir, d.Package, d.Name, d.OldNs, d.NewNs, d.DeltaPct)
+		}
+		for _, n := range rep.OnlyInOld {
+			fmt.Fprintf(stdout, "only in old: %s\n", n)
+		}
+		for _, n := range rep.OnlyInNew {
+			fmt.Fprintf(stdout, "only in new: %s\n", n)
+		}
+		fmt.Fprintf(stdout, "%d shared benchmarks, %d beyond ±%.0f%%, %d regressions\n",
+			rep.Shared, len(rep.Deltas), rep.ThresholdPct, rep.Regressions())
+	}
+	if rep.Regressions() > 0 {
+		return 1
+	}
+	return 0
 }
 
 // Parse reads `go test -bench` output and collects benchmark lines.

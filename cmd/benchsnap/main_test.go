@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -42,6 +46,106 @@ func TestParse(t *testing.T) {
 	}
 	if last.NsPerOp != 4330815.5 {
 		t.Fatalf("fractional ns/op lost: %+v", last)
+	}
+}
+
+func snapOf(results ...Result) *Snapshot { return &Snapshot{Benchmarks: results} }
+
+func TestDiffThresholds(t *testing.T) {
+	old := snapOf(
+		Result{Package: "p", Name: "BenchmarkA", NsPerOp: 1000},
+		Result{Package: "p", Name: "BenchmarkB", NsPerOp: 1000},
+		Result{Package: "p", Name: "BenchmarkGone", NsPerOp: 50},
+	)
+	cur := snapOf(
+		Result{Package: "p", Name: "BenchmarkA", NsPerOp: 1300}, // +30%: regression
+		Result{Package: "p", Name: "BenchmarkB", NsPerOp: 1100}, // +10%: within threshold
+		Result{Package: "p", Name: "BenchmarkNew", NsPerOp: 75},
+	)
+	rep := Diff(old, cur, 20)
+	if rep.Shared != 2 {
+		t.Fatalf("shared = %d, want 2", rep.Shared)
+	}
+	if len(rep.Deltas) != 1 || rep.Deltas[0].Name != "BenchmarkA" {
+		t.Fatalf("deltas = %+v, want only BenchmarkA", rep.Deltas)
+	}
+	if got := rep.Deltas[0].DeltaPct; got < 29.9 || got > 30.1 {
+		t.Fatalf("delta pct = %g, want ~30", got)
+	}
+	if rep.Regressions() != 1 {
+		t.Fatalf("regressions = %d, want 1", rep.Regressions())
+	}
+	if len(rep.OnlyInOld) != 1 || !strings.Contains(rep.OnlyInOld[0], "BenchmarkGone") {
+		t.Fatalf("only-in-old = %v", rep.OnlyInOld)
+	}
+	if len(rep.OnlyInNew) != 1 || !strings.Contains(rep.OnlyInNew[0], "BenchmarkNew") {
+		t.Fatalf("only-in-new = %v", rep.OnlyInNew)
+	}
+}
+
+func TestDiffImprovementIsNotRegression(t *testing.T) {
+	old := snapOf(Result{Package: "p", Name: "BenchmarkA", NsPerOp: 1000})
+	cur := snapOf(Result{Package: "p", Name: "BenchmarkA", NsPerOp: 400})
+	rep := Diff(old, cur, 20)
+	if len(rep.Deltas) != 1 {
+		t.Fatalf("a -60%% move must be reported: %+v", rep.Deltas)
+	}
+	if rep.Regressions() != 0 {
+		t.Fatalf("an improvement counted as a regression: %+v", rep.Deltas)
+	}
+}
+
+// TestRunDiff pins the CLI contract: flags interleaving with file
+// operands, the 0/1/2 exit codes, and the -json form.
+func TestRunDiff(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, s *Snapshot) string {
+		t.Helper()
+		b, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldPath := write("old.json", snapOf(Result{Package: "p", Name: "BenchmarkA", NsPerOp: 1000}))
+	samePath := write("same.json", snapOf(Result{Package: "p", Name: "BenchmarkA", NsPerOp: 1050}))
+	slowPath := write("slow.json", snapOf(Result{Package: "p", Name: "BenchmarkA", NsPerOp: 1500}))
+
+	var out, errOut bytes.Buffer
+	if code := runDiff([]string{oldPath, samePath, "-threshold", "20"}, &out, &errOut); code != 0 {
+		t.Fatalf("within threshold: exit %d, stderr %s", code, errOut.String())
+	}
+	out.Reset()
+	if code := runDiff([]string{oldPath, slowPath, "-threshold", "20"}, &out, &errOut); code != 1 {
+		t.Fatalf("regression: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "slower") || !strings.Contains(out.String(), "BenchmarkA") {
+		t.Fatalf("regression not named:\n%s", out.String())
+	}
+	// The same slowdown passes a looser threshold.
+	if code := runDiff([]string{"-threshold", "60", oldPath, slowPath}, &out, &errOut); code != 0 {
+		t.Fatalf("loose threshold: exit %d, want 0", code)
+	}
+	out.Reset()
+	if code := runDiff([]string{"-json", oldPath, slowPath}, &out, &errOut); code != 1 {
+		t.Fatalf("-json regression: exit %d, want 1", code)
+	}
+	rep := &DiffReport{}
+	if err := json.Unmarshal(out.Bytes(), rep); err != nil {
+		t.Fatalf("-json output invalid: %v\n%s", err, out.String())
+	}
+	if rep.Regressions() != 1 {
+		t.Fatalf("-json report regressions = %d, want 1", rep.Regressions())
+	}
+	if code := runDiff([]string{oldPath, filepath.Join(dir, "missing.json")}, &out, &errOut); code != 2 {
+		t.Fatalf("missing file: exit %d, want 2", code)
+	}
+	if code := runDiff([]string{oldPath}, &out, &errOut); code != 2 {
+		t.Fatalf("one operand: exit %d, want 2", code)
 	}
 }
 

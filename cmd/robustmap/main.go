@@ -9,6 +9,17 @@
 //	robustmap -workload scenario.json [-out DIR]        # custom workload map
 //	robustmap -query query.json [-out DIR]              # optimizer regret map
 //	robustmap -query query.json -explain [-sel-a F -sel-b F]
+//	robustmap diff A.json B.json                        # compare two maps
+//
+// The diff subcommand loads two finished maps — bare result JSON or
+// stored envelopes from a map store's maps/ directory — and reports
+// winner-grid, rows-grid, landmark, and regret deltas. It exits 0 when
+// the maps are equivalent, 1 on any difference, 2 on a load error:
+// the primitive the CI map-regression gate is built on.
+//
+// -store DIR (with -workload or -query) persists measurements and the
+// finished map in a content-addressed store: re-running the identical
+// spec is served from disk without measuring anything.
 //
 // Each experiment writes its artifacts (summary.txt, data.csv, map.txt,
 // map.svg, map.ppm, and grids.json where applicable) under DIR/<id>/ and
@@ -29,9 +40,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -44,6 +57,8 @@ import (
 	"robustmap/internal/engine"
 	"robustmap/internal/experiments"
 	"robustmap/internal/httpapi"
+	"robustmap/internal/mapdiff"
+	"robustmap/internal/mapstore"
 	"robustmap/internal/optimizer"
 	"robustmap/internal/plan"
 	"robustmap/internal/service"
@@ -52,6 +67,11 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch before flag.Parse: `robustmap diff A B` has its
+	// own flag set and exit-code contract (0 identical, 1 differ, 2 error).
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(runDiff(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	var (
 		list     = flag.Bool("list", false, "list experiments and exit")
 		exp      = flag.String("exp", "", "experiment id to run (fig1..fig10, sortspill)")
@@ -64,6 +84,7 @@ func main() {
 		cache    = flag.Int("cache", 0, "measurement cache entries shared across sweeps (0 = off, -1 = unbounded)")
 		progress = flag.Bool("progress", false, "render a live measured-cell count line on stderr for every sweep")
 		server   = flag.String("server", "", "run the study's standard sweeps as jobs on the robustmapd at this base URL (local experiments still render the artifacts)")
+		storeDir = flag.String("store", "", "with -workload/-query: persist measurements and finished maps in this directory; identical reruns are served from disk")
 		workload = flag.String("workload", "", "render a robustness map for a declarative workload spec (JSON file) instead of a paper experiment")
 		query    = flag.String("query", "", "render an optimizer regret map for a logical query spec (JSON file) instead of a paper experiment")
 		explain  = flag.Bool("explain", false, "with -query: print the candidate plans and their estimated costs at one point instead of sweeping")
@@ -100,7 +121,7 @@ func main() {
 			runExplain(*query, *rows, *selA, *selB, fatalf)
 			return
 		}
-		runQuery(*query, *out, *rows, *parallel, *refine, *cache, *server, *progress, fatalf)
+		runQuery(*query, *out, *rows, *parallel, *refine, *cache, *server, *storeDir, *progress, fatalf)
 		return
 	}
 	if *explain {
@@ -110,8 +131,11 @@ func main() {
 		if *all || *exp != "" || *small {
 			fatalf("-workload runs a workload spec instead of a paper experiment; drop -exp/-all/-small")
 		}
-		runWorkload(*workload, *out, *rows, *parallel, *refine, *cache, *server, *progress, fatalf)
+		runWorkload(*workload, *out, *rows, *parallel, *refine, *cache, *server, *storeDir, *progress, fatalf)
 		return
+	}
+	if *storeDir != "" {
+		fatalf("-store applies to -workload and -query runs; paper experiments measure through the study directly")
 	}
 	if !*all && *exp == "" {
 		flag.Usage()
@@ -237,7 +261,7 @@ func writeArtifacts(dir string, art *experiments.Artifacts) error {
 // path — the same spec file drives cmd/sweep, the service API, and a
 // remote daemon with identical results.
 func runWorkload(path, out string, rows int64, parallel int, refine bool,
-	cache int, server string, progress bool, fatalf func(string, ...any)) {
+	cache int, server, storeDir string, progress bool, fatalf func(string, ...any)) {
 
 	ws, err := spec.LoadFile(path)
 	if err != nil {
@@ -270,13 +294,18 @@ func runWorkload(path, out string, rows int64, parallel int, refine bool,
 		if cache != 0 {
 			fmt.Fprintln(os.Stderr, "note: -cache is ignored with -server; the daemon manages its own cache")
 		}
+		if storeDir != "" {
+			fmt.Fprintln(os.Stderr, "note: -store is ignored with -server; the daemon manages its own store")
+		}
 		svc = httpapi.NewClient(server)
 	} else {
-		local = service.NewLocal(service.LocalConfig{Workers: 1, CacheSize: cache})
+		st := openStore(storeDir, fatalf)
+		local = service.NewLocal(service.LocalConfig{Workers: 1, CacheSize: cache, Store: st})
 		defer func() {
 			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer cancel()
 			_ = local.Close(cctx)
+			_ = st.Close()
 		}()
 		svc = local
 	}
@@ -333,7 +362,7 @@ func loadQuery(path string, fatalf func(string, ...any)) (*spec.QuerySpec, []opt
 // or on -server), and the artifacts overlay the per-point pick against
 // the oracle winner.
 func runQuery(path, out string, rows int64, parallel int, refine bool,
-	cache int, server string, progress bool, fatalf func(string, ...any)) {
+	cache int, server, storeDir string, progress bool, fatalf func(string, ...any)) {
 
 	q, cands := loadQuery(path, fatalf)
 	req := service.Request{
@@ -355,13 +384,18 @@ func runQuery(path, out string, rows int64, parallel int, refine bool,
 		if cache != 0 {
 			fmt.Fprintln(os.Stderr, "note: -cache is ignored with -server; the daemon manages its own cache")
 		}
+		if storeDir != "" {
+			fmt.Fprintln(os.Stderr, "note: -store is ignored with -server; the daemon manages its own store")
+		}
 		svc = httpapi.NewClient(server)
 	} else {
-		local = service.NewLocal(service.LocalConfig{Workers: 1, CacheSize: cache})
+		st := openStore(storeDir, fatalf)
+		local = service.NewLocal(service.LocalConfig{Workers: 1, CacheSize: cache, Store: st})
 		defer func() {
 			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer cancel()
 			_ = local.Close(cctx)
+			_ = st.Close()
 		}()
 		svc = local
 	}
@@ -439,6 +473,88 @@ func runExplain(path string, rows int64, selA, selB float64, fatalf func(string,
 		fmt.Printf("%s %-18s %s  %s\n", mark, e.ID, cost, e.Description)
 	}
 	fmt.Printf("\n=> marks the optimizer's pick;  - marks plans ineligible at this point.\n")
+}
+
+// openStore opens the persistent map store at dir, or returns nil when
+// no -store was given. A store locked by another process degrades to an
+// inert pass-through inside mapstore (the run still completes); only an
+// unusable directory is fatal, because the user explicitly asked for
+// persistence.
+func openStore(dir string, fatalf func(string, ...any)) *mapstore.Store {
+	if dir == "" {
+		return nil
+	}
+	st, err := mapstore.Open(dir, mapstore.Config{
+		EngineVersion: engine.MeasurementVersion,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "store: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatalf("opening store %s: %v", dir, err)
+		return nil
+	}
+	return st
+}
+
+// runDiff implements `robustmap diff A B`: load two finished maps (bare
+// result JSON or store envelopes), compare them structurally, and report
+// every drifted dimension. Exit codes: 0 identical, 1 different, 2 on
+// bad usage or unloadable inputs — so CI can gate on the comparison.
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("robustmap diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit the diff report as JSON")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: robustmap diff [-json] A.json B.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	resA, envA, err := mapdiff.LoadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 2
+	}
+	resB, envB, err := mapdiff.LoadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 2
+	}
+	for i, env := range []*mapstore.Envelope{envA, envB} {
+		if env != nil {
+			fmt.Fprintf(stderr, "%s: store envelope key=%s engine=%s kind=%s\n",
+				fs.Arg(i), env.Key, env.Engine, env.Scope.Kind)
+		}
+	}
+
+	report := mapdiff.Compare(resA, resB)
+	switch {
+	case *jsonOut:
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, "error:", err)
+			return 2
+		}
+	case report.Identical():
+		fmt.Fprintln(stdout, "maps identical")
+	default:
+		for _, line := range report.Lines() {
+			fmt.Fprintln(stdout, line)
+		}
+		fmt.Fprintf(stdout, "%d finding(s) across %d dimension(s)\n",
+			len(report.Lines()), len(report.Sections))
+	}
+	if report.Identical() {
+		return 0
+	}
+	return 1
 }
 
 // artifactDirName maps a workload name onto a safe single path

@@ -1,10 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
+
+	"robustmap/internal/core"
+	"robustmap/internal/service"
 )
 
 // badWorkload passes structural validation (the schema-less catalog
@@ -59,7 +66,7 @@ func TestWorkloadValidatesBeforeTouchingOutputDir(t *testing.T) {
 	}
 	out := filepath.Join(dir, "out")
 	expectFatalf(t, out, func() {
-		runWorkload(path, out, 0, 1, false, 0, "", false, fatalfPanic)
+		runWorkload(path, out, 0, 1, false, 0, "", "", false, fatalfPanic)
 	})
 }
 
@@ -71,8 +78,148 @@ func TestQueryValidatesBeforeTouchingOutputDir(t *testing.T) {
 	}
 	out := filepath.Join(dir, "out")
 	expectFatalf(t, out, func() {
-		runQuery(path, out, 0, 1, false, 0, "", false, fatalfPanic)
+		runQuery(path, out, 0, 1, false, 0, "", "", false, fatalfPanic)
 	})
+}
+
+// writeResult marshals a synthetic result map to path for diff tests.
+func writeResult(t *testing.T, path string, res *service.Result) {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// diffMap builds a small deterministic 2-D map for the diff subcommand
+// tests; plan 0 wins every cell.
+func diffMap(plans ...string) *core.Map2D {
+	n := 3
+	m := &core.Map2D{
+		FracA: []float64{0.25, 0.5, 1},
+		FracB: []float64{0.25, 0.5, 1},
+		TA:    []int64{32, 64, 128},
+		TB:    []int64{32, 64, 128},
+		Plans: plans,
+	}
+	m.Rows = make([][]int64, n)
+	for i := range m.Rows {
+		m.Rows[i] = make([]int64, n)
+		for j := range m.Rows[i] {
+			m.Rows[i][j] = int64((i + 1) * (j + 1))
+		}
+	}
+	for p := range plans {
+		grid := make([][]time.Duration, n)
+		for i := range grid {
+			grid[i] = make([]time.Duration, n)
+			for j := range grid[i] {
+				grid[i][j] = time.Duration((p+1)*(i+1)*(j+1)) * time.Millisecond
+			}
+		}
+		m.Times = append(m.Times, grid)
+	}
+	return m
+}
+
+// TestDiffSubcommand pins the exit-code contract: 0 for identical maps,
+// 1 with a named delta for a perturbed map, 2 for unloadable input.
+func TestDiffSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	writeResult(t, a, &service.Result{Map2D: diffMap("P1", "P2")})
+	writeResult(t, b, &service.Result{Map2D: diffMap("P1", "P2")})
+
+	var out, errOut bytes.Buffer
+	if code := runDiff([]string{a, b}, &out, &errOut); code != 0 {
+		t.Fatalf("identical maps: exit %d, stderr %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "maps identical") {
+		t.Fatalf("identical maps output: %q", out.String())
+	}
+
+	m := diffMap("P1", "P2")
+	m.Times[1][0][2] = time.Nanosecond // P2 takes cell (0,2)
+	writeResult(t, b, &service.Result{Map2D: m})
+	out.Reset()
+	code := runDiff([]string{a, b}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("perturbed map: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "winner-grid: (0,2): P1 -> P2") {
+		t.Fatalf("perturbed map report does not name the flip:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := runDiff([]string{"-json", a, b}, &out, &errOut); code != 1 {
+		t.Fatalf("-json exit %d, want 1", code)
+	}
+	var report struct {
+		Sections []struct {
+			Name string `json:"name"`
+		} `json:"sections"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(report.Sections) == 0 {
+		t.Fatal("-json report has no sections for a perturbed map")
+	}
+
+	if code := runDiff([]string{a, filepath.Join(dir, "missing.json")}, &out, &errOut); code != 2 {
+		t.Fatalf("missing file: exit %d, want 2", code)
+	}
+	if code := runDiff([]string{a}, &out, &errOut); code != 2 {
+		t.Fatalf("one argument: exit %d, want 2", code)
+	}
+}
+
+// TestWorkloadStoreRerun runs the example workload twice against the
+// same -store directory and checks the rerun is served from disk: the
+// archive holds exactly one envelope and the measurement log does not
+// grow, while the artifacts come out identical.
+func TestWorkloadStoreRerun(t *testing.T) {
+	dir := t.TempDir()
+	store := filepath.Join(dir, "store")
+	spec := filepath.Join("..", "..", "examples", "workloads", "skewed.json")
+
+	runWorkload(spec, filepath.Join(dir, "out1"), 4096, 1, false, 0, "", store, false, fatalfPanic)
+	logPath := filepath.Join(store, "measurements.log")
+	first, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatalf("measurement log missing after stored run: %v", err)
+	}
+	if first.Size() == 0 {
+		t.Fatal("measurement log empty after stored run")
+	}
+	maps, err := filepath.Glob(filepath.Join(store, "maps", "*.json"))
+	if err != nil || len(maps) != 1 {
+		t.Fatalf("archived maps = %v, err %v, want exactly 1", maps, err)
+	}
+
+	runWorkload(spec, filepath.Join(dir, "out2"), 4096, 1, false, 0, "", store, false, fatalfPanic)
+	second, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Size() != first.Size() {
+		t.Fatalf("rerun appended measurements: log %d -> %d bytes", first.Size(), second.Size())
+	}
+	s1, err := os.ReadFile(filepath.Join(dir, "out1", "skewed-selection", "summary.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := os.ReadFile(filepath.Join(dir, "out2", "skewed-selection", "summary.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Fatalf("stored rerun rendered a different summary:\n%s\nvs\n%s", s1, s2)
+	}
 }
 
 // TestExampleQuerySpecPlans pins the committed example query: it loads,

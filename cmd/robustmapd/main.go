@@ -10,6 +10,13 @@
 //
 //	robustmapd                                  # 127.0.0.1:8421, workers = CPUs
 //	robustmapd -addr :9000 -workers 4 -cache -1 # bounded pool, unbounded cache
+//	robustmapd -store /var/lib/robustmapd       # persistent across restarts
+//
+// With -store, every measured (system, plan, point) cell and every
+// finished map is persisted in a content-addressed on-disk store: the
+// cache re-warms on startup and a resubmitted identical request is
+// served byte-for-byte from disk without measuring anything. GET
+// /v1/stats reports the live cache, store, and job counters.
 //
 // Walkthrough:
 //
@@ -38,7 +45,9 @@ import (
 	"time"
 
 	"robustmap/internal/cliutil"
+	"robustmap/internal/engine"
 	"robustmap/internal/httpapi"
+	"robustmap/internal/mapstore"
 	"robustmap/internal/service"
 )
 
@@ -48,6 +57,7 @@ func main() {
 		workers = flag.Int("workers", -1, "concurrent jobs (-1 = all CPUs)")
 		queue   = flag.Int("queue", 0, "admission queue limit (0 = unbounded)")
 		cache   = flag.Int("cache", -1, "measurement cache entries shared across jobs (0 = off, -1 = unbounded)")
+		store   = flag.String("store", "", "persist measurements and finished maps in this directory; identical resubmissions are served from disk across restarts")
 		ttl     = flag.Duration("job-ttl", time.Hour, "retention of finished jobs before GC (0 = keep forever)")
 		grace   = flag.Duration("grace", 30*time.Second, "graceful drain budget on shutdown before jobs are cancelled")
 		quiet   = flag.Bool("quiet", false, "suppress per-request logging")
@@ -74,11 +84,24 @@ func main() {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
+	var st *mapstore.Store
+	if *store != "" {
+		var err error
+		st, err = mapstore.Open(*store, mapstore.Config{
+			EngineVersion: engine.MeasurementVersion,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			fatalf("opening store %s: %v", *store, err)
+		}
+		defer st.Close()
+	}
 	svc := service.NewLocal(service.LocalConfig{
 		Workers:    *workers,
 		QueueLimit: *queue,
 		TTL:        *ttl,
 		CacheSize:  *cache,
+		Store:      st,
 	})
 	// Request contexts derive from streamCtx so shutdown can end the
 	// open SSE watch streams: they otherwise hold their connections
@@ -97,8 +120,12 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("robustmapd: serving on %s (workers=%d cache=%d job-ttl=%s)",
-			*addr, *workers, *cache, *ttl)
+		extra := ""
+		if st != nil {
+			extra = fmt.Sprintf(" store=%s", st.Dir())
+		}
+		log.Printf("robustmapd: serving on %s (workers=%d cache=%d job-ttl=%s%s)",
+			*addr, *workers, *cache, *ttl, extra)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -128,7 +155,11 @@ func main() {
 			log.Printf("robustmapd: drain: %v", err)
 		}
 	}
-	st := svc.CacheStats()
+	cs := svc.CacheStats()
 	log.Printf("robustmapd: stopped (cache: %d hits, %d misses, %d entries)",
-		st.Hits, st.Misses, st.Size)
+		cs.Hits, cs.Misses, cs.Size)
+	if ss := st.Stats(); st != nil {
+		log.Printf("robustmapd: store: %d measurements (%d hits, %d new), %d maps (%d served from disk, %d quarantined)",
+			ss.Measurements, ss.MeasureHits, ss.MeasureAppends, ss.Maps, ss.MapHits, ss.Quarantined)
+	}
 }

@@ -8,6 +8,7 @@
 //	sweep -plans A1,A2,A4,B1,C1 -rows 65536 -max-exp 8 -grid    # 2-D
 //	sweep -plans A1,B1,C1 -grid -refine -parallel -1 -progress  # adaptive
 //	sweep -server http://127.0.0.1:8421 -plans A1,A2            # remote
+//	sweep -plans A1,A2 -store ./maps.store                      # persistent
 //	sweep -workload my-scenario.json                            # custom
 //	sweep -query my-query.json                                  # optimizer
 //
@@ -54,6 +55,7 @@ import (
 	"robustmap/internal/engine"
 	"robustmap/internal/experiments"
 	"robustmap/internal/httpapi"
+	"robustmap/internal/mapstore"
 	"robustmap/internal/service"
 	"robustmap/internal/spec"
 	"robustmap/internal/vis"
@@ -69,6 +71,7 @@ func main() {
 		parallel = flag.Int("parallel", 1, "sweep worker goroutines (1 = serial, -1 = all CPUs); results are identical at any setting")
 		refine   = flag.Bool("refine", false, "adaptive multi-resolution sweep: measure the coarse lattice, winner boundaries, and landmarks; interpolate constant regions")
 		cache    = flag.Int("cache", 0, "measurement cache entries (0 = off, -1 = unbounded); repeated cells are never re-measured (in-process sweeps; a daemon manages its own cache)")
+		storeDir = flag.String("store", "", "persist measurements and finished maps in this directory; identical reruns are served from disk (in-process sweeps; a daemon manages its own store)")
 		progress = flag.Bool("progress", false, "render a live measured-cell count line on stderr")
 		server   = flag.String("server", "", "submit to a robustmapd at this base URL instead of sweeping in process")
 		workload = flag.String("workload", "", "sweep a declarative workload spec (JSON file) instead of the built-in plans")
@@ -189,13 +192,29 @@ func main() {
 		if *cache != 0 {
 			fmt.Fprintln(os.Stderr, "note: -cache is ignored with -server; the daemon manages its own cache")
 		}
+		if *storeDir != "" {
+			fmt.Fprintln(os.Stderr, "note: -store is ignored with -server; the daemon manages its own store")
+		}
 		svc = httpapi.NewClient(*server)
 	} else {
-		local = service.NewLocal(service.LocalConfig{Workers: 1, CacheSize: *cache})
+		var st *mapstore.Store
+		if *storeDir != "" {
+			st, err = mapstore.Open(*storeDir, mapstore.Config{
+				EngineVersion: engine.MeasurementVersion,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, "store: "+format+"\n", args...)
+				},
+			})
+			if err != nil {
+				fatalf("opening store %s: %v", *storeDir, err)
+			}
+		}
+		local = service.NewLocal(service.LocalConfig{Workers: 1, CacheSize: *cache, Store: st})
 		defer func() {
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer cancel()
 			_ = local.Close(ctx)
+			_ = st.Close()
 		}()
 		svc = local
 	}
@@ -244,6 +263,13 @@ func main() {
 		st := local.CacheStats()
 		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d evictions, %d entries\n",
 			st.Hits, st.Misses, st.Evictions, st.Size)
+	}
+	if local != nil && *storeDir != "" {
+		if sst, err := local.ServiceStats(context.Background()); err == nil && sst.Store != nil {
+			s := sst.Store
+			fmt.Fprintf(os.Stderr, "store: %d measurements (%d hits, %d new), %d maps (%d served from disk)\n",
+				s.Measurements, s.MeasureHits, s.MeasureAppends, s.Maps, s.MapHits)
+		}
 	}
 }
 

@@ -99,6 +99,16 @@ func (c *MeasureCache) put(k cacheKey, v Measurement) {
 	}
 }
 
+// Put inserts a measurement directly, without touching the hit/miss
+// counters. It exists so a persistent tier can warm the cache with
+// entries loaded from disk before the first sweep runs.
+func (c *MeasureCache) Put(scope, plan string, ta, tb int64, v Measurement) {
+	if c == nil {
+		return
+	}
+	c.put(cacheKey{scope: scope, plan: plan, ta: ta, tb: tb}, v)
+}
+
 // Stats returns a snapshot of the cache counters.
 func (c *MeasureCache) Stats() CacheStats {
 	c.mu.Lock()

@@ -34,6 +34,14 @@ import (
 	"robustmap/internal/storage"
 )
 
+// MeasurementVersion names the measurement semantics of this engine
+// build: bump it whenever a change alters any measured time or row
+// count (cost-model constants, operator charge sequences, data
+// generation). Persistent stores key their contents on it, so stale
+// measurements from an older engine are quarantined instead of being
+// replayed into maps the current engine would not reproduce.
+const MeasurementVersion = "sim-v1"
+
 // Config parameterizes a system build.
 type Config struct {
 	// Rows is the lineitem-like table cardinality.

@@ -144,6 +144,15 @@ func (c *Client) QueryShapes(ctx context.Context) ([]service.PlanShapeInfo, erro
 	return pr.QueryShapes, nil
 }
 
+// ServiceStats implements service.StatsSource: the daemon's cache,
+// store, and job counters from GET /v1/stats. A daemon that does not
+// serve the endpoint yields service.ErrUnsupported.
+func (c *Client) ServiceStats(ctx context.Context) (service.Stats, error) {
+	var st service.Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
 // Health probes /healthz, returning nil when the daemon is up.
 func (c *Client) Health(ctx context.Context) error {
 	var hr healthResponse
@@ -237,4 +246,7 @@ func (c *Client) Watch(ctx context.Context, id service.JobID) (<-chan service.Ev
 	return ch, nil
 }
 
-var _ service.Service = (*Client)(nil)
+var (
+	_ service.Service     = (*Client)(nil)
+	_ service.StatsSource = (*Client)(nil)
+)

@@ -11,6 +11,7 @@
 //	GET    /v1/jobs/{id}/watch  Server-Sent Events progress stream
 //	DELETE /v1/jobs/{id}        cancel (idempotent on terminal jobs)
 //	GET    /v1/plans            built-in plan ids, systems, descriptions
+//	GET    /v1/stats            cache/store/job counters (when supported)
 //	GET    /healthz             liveness probe
 //
 // A Request may carry a full workload spec ("workload": {...}) instead
@@ -71,6 +72,7 @@ const (
 	codeFailed         = "failed"
 	codeDraining       = "draining"
 	codeQueueFull      = "queue_full"
+	codeUnsupported    = "unsupported"
 	codeInternal       = "internal"
 )
 
@@ -91,6 +93,8 @@ func errCode(err error) (int, string) {
 		return http.StatusServiceUnavailable, codeDraining
 	case errors.Is(err, service.ErrQueueFull):
 		return http.StatusTooManyRequests, codeQueueFull
+	case errors.Is(err, service.ErrUnsupported):
+		return http.StatusNotFound, codeUnsupported
 	default:
 		return http.StatusInternalServerError, codeInternal
 	}
@@ -113,6 +117,8 @@ func codeErr(code string) error {
 		return service.ErrDraining
 	case codeQueueFull:
 		return service.ErrQueueFull
+	case codeUnsupported:
+		return service.ErrUnsupported
 	default:
 		return nil
 	}
@@ -147,6 +153,7 @@ func NewServer(svc service.Service, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/watch", s.handleWatch)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/plans", s.handlePlans)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
 }
@@ -281,6 +288,23 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, healthResponse{Status: "ok"})
+}
+
+// handleStats exposes the service's internal counters — cache
+// effectiveness, persistent-store hit rates, job census — to operators.
+// A service without the StatsSource facet answers 404/unsupported.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	src, ok := s.svc.(service.StatsSource)
+	if !ok {
+		s.writeError(w, fmt.Errorf("%w: stats", service.ErrUnsupported))
+		return
+	}
+	st, err := src.ServiceStats(r.Context())
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
 }
 
 // handlePlans serves the built-in plan catalog. The listing is a

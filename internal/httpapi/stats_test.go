@@ -1,0 +1,114 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"robustmap/internal/mapstore"
+	"robustmap/internal/service"
+)
+
+// startStoreServer is startServer with a persistent store behind the
+// Local service.
+func startStoreServer(t *testing.T, dir string) (*httptest.Server, *mapstore.Store, func()) {
+	t.Helper()
+	st, err := mapstore.Open(dir, mapstore.Config{EngineVersion: "http-test", Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("mapstore.Open: %v", err)
+	}
+	l := service.NewLocal(service.LocalConfig{
+		Workers: 1, CacheSize: -1, Resolver: synthResolver{}, Store: st,
+	})
+	ts := httptest.NewServer(NewServer(l, WithLogger(func(string, ...any) {})))
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := l.Close(ctx); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+			if err := st.Close(); err != nil {
+				t.Errorf("store Close: %v", err)
+			}
+		})
+	}
+	t.Cleanup(stop)
+	return ts, st, stop
+}
+
+// TestStatsEndpoint runs a job and reads the daemon's counters back
+// through GET /v1/stats via the typed client.
+func TestStatsEndpoint(t *testing.T) {
+	check := startLeakCheck(t)
+	ts, _, stop := startStoreServer(t, t.TempDir())
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+
+	req := service.Request{Plans: []string{"S1"}, MaxExp: 3}
+	if _, err := service.Run(ctx, c, req, nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st, err := c.ServiceStats(ctx)
+	if err != nil {
+		t.Fatalf("ServiceStats: %v", err)
+	}
+	if st.Store == nil {
+		t.Fatal("Stats.Store missing over HTTP")
+	}
+	if st.Store.Maps != 1 || st.Store.MeasureAppends == 0 {
+		t.Fatalf("store stats = %+v, want one archived map and appended measurements", st.Store)
+	}
+	if st.Cache.Misses == 0 || st.Cache.Size == 0 {
+		t.Fatalf("cache stats = %+v, want populated cache", st.Cache)
+	}
+	if st.Jobs["succeeded"] != 1 {
+		t.Fatalf("job census = %v", st.Jobs)
+	}
+
+	// A repeated identical submission is archive-served: map hits move,
+	// measurements do not.
+	if _, err := service.Run(ctx, c, req, nil); err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+	st2, err := c.ServiceStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Store.MapHits != 1 {
+		t.Fatalf("MapHits = %d, want 1 after resubmission", st2.Store.MapHits)
+	}
+	if st2.Store.MeasureAppends != st.Store.MeasureAppends {
+		t.Fatalf("resubmission measured new cells: %d -> %d",
+			st.Store.MeasureAppends, st2.Store.MeasureAppends)
+	}
+	stop()
+	check()
+}
+
+// TestStatsUnsupported pins the wire behavior against a service without
+// the StatsSource facet: 404 with the unsupported code, translated back
+// to service.ErrUnsupported by the client.
+func TestStatsUnsupported(t *testing.T) {
+	// A bare Service (not Local) lacks ServiceStats.
+	bare := struct{ service.Service }{}
+	ts := httptest.NewServer(NewServer(bare, WithLogger(func(string, ...any) {})))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireError(t, resp, http.StatusNotFound, codeUnsupported)
+
+	_, err = NewClient(ts.URL).ServiceStats(context.Background())
+	if !errors.Is(err, service.ErrUnsupported) {
+		t.Fatalf("client error = %v, want ErrUnsupported", err)
+	}
+}

@@ -1,0 +1,231 @@
+package mapdiff
+
+import (
+	"fmt"
+	"time"
+
+	"robustmap/internal/core"
+)
+
+// compare1D diffs two 1-D maps: axis, rows, per-plan times, winners,
+// and §3.1 landmarks over the shared plans.
+func compare1D(r *Report, a, b *core.Map1D) {
+	shared := diffPlans(r, a.Plans, b.Plans)
+	axis := append(diffAxisF("fractions", a.Fractions, b.Fractions),
+		diffAxisI("thresholds", a.Thresholds, b.Thresholds)...)
+	r.add("axis", axis)
+	if len(axis) > 0 {
+		// Different axes measure different points; per-cell comparison
+		// would be noise.
+		r.add("axis", []string{"(grid comparisons skipped: axes differ)"})
+		return
+	}
+
+	var rows []string
+	n := 0
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			n++
+			rows = capped(rows, fmt.Sprintf("rows[%d] = %d vs %d", i, a.Rows[i], b.Rows[i]))
+		}
+	}
+	r.add("rows-grid", withCount(rows, n, "points"))
+
+	var times []string
+	for _, id := range shared {
+		sa, sb := a.Series(id), b.Series(id)
+		n, worst, worstAt := 0, 1.0, -1
+		for i := range sa {
+			if sa[i] != sb[i] {
+				n++
+				if q := ratio(sa[i], sb[i]); q > worst {
+					worst, worstAt = q, i
+				}
+			}
+		}
+		if n > 0 {
+			times = append(times, fmt.Sprintf(
+				"%s: %d/%d points differ, worst ratio %.3gx at point %d (%v vs %v)",
+				id, n, len(sa), worst, worstAt, sa[worstAt], sb[worstAt]))
+		}
+	}
+	r.add("times", times)
+
+	// Winners over the shared plan pool, in shared order on both sides.
+	if len(shared) > 0 {
+		wa, wb := winners1D(a, shared), winners1D(b, shared)
+		var diffs []string
+		n := 0
+		for i := range wa {
+			if wa[i] != wb[i] {
+				n++
+				diffs = capped(diffs, fmt.Sprintf("point %d: %s -> %s",
+					i, shared[wa[i]], shared[wb[i]]))
+			}
+		}
+		r.add("winner-grid", withCount(diffs, n, "points"))
+		r.add("landmarks", diffLandmarks1D(a, b, shared))
+	}
+}
+
+// winners1D computes per-point winner indices over the given plan pool.
+func winners1D(m *core.Map1D, pool []string) []int {
+	series := make([][]time.Duration, len(pool))
+	for i, id := range pool {
+		series[i] = m.Series(id)
+	}
+	out := make([]int, len(m.Thresholds))
+	for i := range out {
+		w := 0
+		for p := 1; p < len(series); p++ {
+			if series[p][i] < series[w][i] {
+				w = p
+			}
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// diffLandmarks1D compares the §3.1 landmark sets per shared plan,
+// keyed by (kind, index) — Detail magnitudes may drift harmlessly, but
+// a landmark appearing, vanishing, or moving is a robustness event.
+func diffLandmarks1D(a, b *core.Map1D, shared []string) []string {
+	cfg := core.MapLandmarkConfig()
+	var out []string
+	for _, id := range shared {
+		la := core.FindLandmarks(a.Rows, a.Series(id), cfg)
+		lb := core.FindLandmarks(b.Rows, b.Series(id), cfg)
+		keys := func(ls []core.Landmark) map[string]bool {
+			m := make(map[string]bool, len(ls))
+			for _, l := range ls {
+				m[fmt.Sprintf("%v@%d", l.Kind, l.Index)] = true
+			}
+			return m
+		}
+		ka, kb := keys(la), keys(lb)
+		for k := range ka {
+			if !kb[k] {
+				out = append(out, fmt.Sprintf("%s: %s only in A", id, k))
+			}
+		}
+		for k := range kb {
+			if !ka[k] {
+				out = append(out, fmt.Sprintf("%s: %s only in B", id, k))
+			}
+		}
+	}
+	return out
+}
+
+// compare2D diffs two 2-D maps: axes, rows grid, per-plan time grids,
+// the winner grid (the paper's region boundaries), and the landmark
+// grid, over the shared plans.
+func compare2D(r *Report, a, b *core.Map2D) {
+	shared := diffPlans(r, a.Plans, b.Plans)
+	var axis []string
+	axis = append(axis, diffAxisF("frac_a", a.FracA, b.FracA)...)
+	axis = append(axis, diffAxisF("frac_b", a.FracB, b.FracB)...)
+	axis = append(axis, diffAxisI("ta", a.TA, b.TA)...)
+	axis = append(axis, diffAxisI("tb", a.TB, b.TB)...)
+	r.add("axis", axis)
+	if len(axis) > 0 {
+		r.add("axis", []string{"(grid comparisons skipped: axes differ)"})
+		return
+	}
+
+	var rows []string
+	n := 0
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				n++
+				rows = capped(rows, fmt.Sprintf("rows(%d,%d) = %d vs %d",
+					i, j, a.Rows[i][j], b.Rows[i][j]))
+			}
+		}
+	}
+	r.add("rows-grid", withCount(rows, n, "cells"))
+
+	var times []string
+	for _, id := range shared {
+		ga, gb := a.PlanGrid(id), b.PlanGrid(id)
+		n, worst := 0, 1.0
+		worstI, worstJ := -1, -1
+		for i := range ga {
+			for j := range ga[i] {
+				if ga[i][j] != gb[i][j] {
+					n++
+					if q := ratio(ga[i][j], gb[i][j]); q > worst {
+						worst, worstI, worstJ = q, i, j
+					}
+				}
+			}
+		}
+		if n > 0 {
+			times = append(times, fmt.Sprintf(
+				"%s: %d/%d cells differ, worst ratio %.3gx at (%d,%d) (%v vs %v)",
+				id, n, len(ga)*len(ga[0]), worst, worstI, worstJ,
+				ga[worstI][worstJ], gb[worstI][worstJ]))
+		}
+	}
+	r.add("times", times)
+
+	if len(shared) > 0 {
+		sa, sb := a.SubMap(shared), b.SubMap(shared)
+		wa, wb := sa.WinnerGrid(), sb.WinnerGrid()
+		var diffs []string
+		n := 0
+		for i := range wa {
+			for j := range wa[i] {
+				if wa[i][j] != wb[i][j] {
+					n++
+					diffs = capped(diffs, fmt.Sprintf("(%d,%d): %s -> %s",
+						i, j, shared[wa[i][j]], shared[wb[i][j]]))
+				}
+			}
+		}
+		r.add("winner-grid", withCount(diffs, n, "cells"))
+		r.add("landmarks", diffLandmarks2D(sa, sb, shared))
+	}
+}
+
+// diffLandmarks2D compares LandmarkGrid sets per shared plan, keyed by
+// (plan, axis, fixed, kind, index).
+func diffLandmarks2D(a, b *core.Map2D, shared []string) []string {
+	cfg := core.MapLandmarkConfig()
+	var out []string
+	for _, id := range shared {
+		keys := func(ls []core.GridLandmark) map[string]bool {
+			m := make(map[string]bool, len(ls))
+			for _, l := range ls {
+				m[fmt.Sprintf("axis%d/slice%d %v@%d", l.Axis, l.Fixed, l.Kind, l.Index)] = true
+			}
+			return m
+		}
+		ka, kb := keys(a.LandmarkGrid(id, cfg)), keys(b.LandmarkGrid(id, cfg))
+		for k := range ka {
+			if !kb[k] {
+				out = append(out, fmt.Sprintf("%s: %s only in A", id, k))
+			}
+		}
+		for k := range kb {
+			if !ka[k] {
+				out = append(out, fmt.Sprintf("%s: %s only in B", id, k))
+			}
+		}
+	}
+	return out
+}
+
+// ratio is the larger-over-smaller quotient of two durations, ≥ 1, for
+// "how badly do these disagree" reporting.
+func ratio(x, y time.Duration) float64 {
+	if x < y {
+		x, y = y, x
+	}
+	if y <= 0 {
+		return float64(x) // degenerate; still orders worst-first
+	}
+	return float64(x) / float64(y)
+}

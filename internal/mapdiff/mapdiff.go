@@ -1,0 +1,203 @@
+// Package mapdiff compares two finished robustness-map results — the
+// primitive behind `robustmap diff` and the CI regression gate. It
+// answers the question the paper's maps exist to answer continuously:
+// did an engine change move a plan-choice boundary, shift a landmark,
+// or change the optimizer's regret anywhere on the map?
+//
+// The comparison is structural, not textual: plan lists, sweep axes,
+// winner grids, result-size grids, per-plan times, §3.1 landmarks, and
+// regret overlays are each diffed on their own terms, so the report
+// names what drifted ("winner at (3,5): A1 -> B2") instead of dumping
+// JSON deltas. Byte-identical inputs — the determinism contract of the
+// whole engine — produce an empty report.
+package mapdiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"robustmap/internal/mapstore"
+	"robustmap/internal/service"
+)
+
+// maxExamples caps how many per-cell examples a section lists; the
+// count is always exact.
+const maxExamples = 5
+
+// Section is one comparison dimension's findings.
+type Section struct {
+	Name  string   `json:"name"`
+	Diffs []string `json:"diffs"`
+}
+
+// Report is the structured outcome of one comparison. An empty report
+// (no sections) means the maps are equivalent on every compared
+// dimension.
+type Report struct {
+	Sections []Section `json:"sections"`
+}
+
+// Identical reports whether no dimension differed.
+func (r *Report) Identical() bool { return len(r.Sections) == 0 }
+
+// Lines renders the report for humans, one finding per line.
+func (r *Report) Lines() []string {
+	var out []string
+	for _, s := range r.Sections {
+		for _, d := range s.Diffs {
+			out = append(out, s.Name+": "+d)
+		}
+	}
+	return out
+}
+
+func (r *Report) add(name string, diffs []string) {
+	if len(diffs) > 0 {
+		r.Sections = append(r.Sections, Section{Name: name, Diffs: diffs})
+	}
+}
+
+// LoadFile reads one map result from path: either a mapstore envelope
+// (as written under a store's maps/ directory — verified, payload
+// extracted) or a bare service.Result JSON (as `sweep -json` and the
+// CLIs emit). The returned envelope is nil for bare results.
+func LoadFile(path string) (*service.Result, *mapstore.Envelope, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	// An envelope is recognized by its hash field; anything else is
+	// treated as a bare result. Envelope verification (format, payload
+	// hash) runs through the store's own reader.
+	var probe struct {
+		PayloadSHA256 string `json:"payload_sha256"`
+	}
+	if err := json.Unmarshal(b, &probe); err != nil {
+		return nil, nil, fmt.Errorf("%s: not JSON: %w", path, err)
+	}
+	payload := b
+	var env *mapstore.Envelope
+	if probe.PayloadSHA256 != "" {
+		env, err = mapstore.ReadEnvelopeFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		payload = env.Payload
+	}
+	res := &service.Result{}
+	if err := json.Unmarshal(payload, res); err != nil {
+		return nil, nil, fmt.Errorf("%s: decoding result: %w", path, err)
+	}
+	if res.Map1D == nil && res.Map2D == nil {
+		return nil, nil, fmt.Errorf("%s: no map in result", path)
+	}
+	return res, env, nil
+}
+
+// Compare diffs two results dimension by dimension.
+func Compare(a, b *service.Result) *Report {
+	r := &Report{}
+	r.add("shape", diffShape(a, b))
+	if a.Map1D != nil && b.Map1D != nil {
+		compare1D(r, a.Map1D, b.Map1D)
+	}
+	if a.Map2D != nil && b.Map2D != nil {
+		compare2D(r, a.Map2D, b.Map2D)
+	}
+	r.add("candidates", diffCandidates(a.Candidates, b.Candidates))
+	if a.Regret1D != nil && b.Regret1D != nil {
+		r.add("regret", diffRegret1D(a.Regret1D, b.Regret1D))
+	}
+	if a.Regret2D != nil && b.Regret2D != nil {
+		r.add("regret", diffRegret2D(a.Regret2D, b.Regret2D))
+	}
+	return r
+}
+
+// diffShape reports result components present on one side only.
+func diffShape(a, b *service.Result) []string {
+	var out []string
+	present := func(name string, inA, inB bool) {
+		switch {
+		case inA && !inB:
+			out = append(out, name+" only in A")
+		case !inA && inB:
+			out = append(out, name+" only in B")
+		}
+	}
+	present("map_1d", a.Map1D != nil, b.Map1D != nil)
+	present("map_2d", a.Map2D != nil, b.Map2D != nil)
+	present("regret_1d", a.Regret1D != nil, b.Regret1D != nil)
+	present("regret_2d", a.Regret2D != nil, b.Regret2D != nil)
+	present("candidates", len(a.Candidates) > 0, len(b.Candidates) > 0)
+	return out
+}
+
+// diffPlans reports plan-list membership changes and returns the shared
+// ids in A's order — deeper comparisons run over the intersection, so a
+// deliberately extended plan set still gets its unchanged plans
+// verified.
+func diffPlans(r *Report, aPlans, bPlans []string) []string {
+	inB := make(map[string]bool, len(bPlans))
+	for _, p := range bPlans {
+		inB[p] = true
+	}
+	inA := make(map[string]bool, len(aPlans))
+	var shared, diffs []string
+	for _, p := range aPlans {
+		inA[p] = true
+		if inB[p] {
+			shared = append(shared, p)
+		} else {
+			diffs = append(diffs, "only in A: "+p)
+		}
+	}
+	for _, p := range bPlans {
+		if !inA[p] {
+			diffs = append(diffs, "only in B: "+p)
+		}
+	}
+	r.add("plans", diffs)
+	return shared
+}
+
+func diffAxisF(name string, a, b []float64) []string {
+	if len(a) != len(b) {
+		return []string{fmt.Sprintf("%s length %d vs %d", name, len(a), len(b))}
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return []string{fmt.Sprintf("%s[%d] = %g vs %g", name, i, a[i], b[i])}
+		}
+	}
+	return nil
+}
+
+func diffAxisI(name string, a, b []int64) []string {
+	if len(a) != len(b) {
+		return []string{fmt.Sprintf("%s length %d vs %d", name, len(a), len(b))}
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return []string{fmt.Sprintf("%s[%d] = %d vs %d", name, i, a[i], b[i])}
+		}
+	}
+	return nil
+}
+
+// capped appends example to diffs only while under the example cap;
+// callers report exact counts separately.
+func capped(diffs []string, example string) []string {
+	if len(diffs) < maxExamples {
+		diffs = append(diffs, example)
+	}
+	return diffs
+}
+
+func withCount(diffs []string, n int, what string) []string {
+	if n > len(diffs) {
+		diffs = append(diffs, fmt.Sprintf("... %d %s differ in total", n, what))
+	}
+	return diffs
+}

@@ -1,0 +1,267 @@
+package mapdiff
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"robustmap/internal/core"
+	"robustmap/internal/mapstore"
+	"robustmap/internal/service"
+)
+
+// testMap2D builds a small deterministic 2-D map: plan p's time grows
+// with (i+1)*(j+1) scaled per plan, so plan 0 wins everywhere.
+func testMap2D(plans ...string) *core.Map2D {
+	n := 4
+	m := &core.Map2D{
+		FracA: []float64{0.125, 0.25, 0.5, 1},
+		FracB: []float64{0.125, 0.25, 0.5, 1},
+		TA:    []int64{16, 32, 64, 128},
+		TB:    []int64{16, 32, 64, 128},
+		Plans: plans,
+	}
+	m.Rows = make([][]int64, n)
+	for i := range m.Rows {
+		m.Rows[i] = make([]int64, n)
+		for j := range m.Rows[i] {
+			m.Rows[i][j] = int64((i + 1) * (j + 1))
+		}
+	}
+	for p := range plans {
+		grid := make([][]time.Duration, n)
+		for i := range grid {
+			grid[i] = make([]time.Duration, n)
+			for j := range grid[i] {
+				// Milliseconds, so perturbations clear MapLandmarkConfig's
+				// 1ms minimum step and register as landmarks.
+				grid[i][j] = time.Duration((p+1)*(i+1)*(j+1)) * time.Millisecond
+			}
+		}
+		m.Times = append(m.Times, grid)
+	}
+	return m
+}
+
+func clone2D(t *testing.T, m *core.Map2D) *core.Map2D {
+	t.Helper()
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &core.Map2D{}
+	if err := json.Unmarshal(b, out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestIdenticalMapsProduceEmptyReport(t *testing.T) {
+	a := &service.Result{Map2D: testMap2D("P1", "P2")}
+	b := &service.Result{Map2D: testMap2D("P1", "P2")}
+	r := Compare(a, b)
+	if !r.Identical() {
+		t.Fatalf("identical maps differ: %v", r.Lines())
+	}
+}
+
+func TestWinnerFlipIsReported(t *testing.T) {
+	a := &service.Result{Map2D: testMap2D("P1", "P2")}
+	m := testMap2D("P1", "P2")
+	// Make P2 win cell (1,2): drop its time below P1's there.
+	m.Times[1][1][2] = time.Nanosecond
+	b := &service.Result{Map2D: m}
+	r := Compare(a, b)
+	if r.Identical() {
+		t.Fatal("perturbed map reported identical")
+	}
+	report := strings.Join(r.Lines(), "\n")
+	if !strings.Contains(report, "winner-grid: (1,2): P1 -> P2") {
+		t.Fatalf("winner flip not named:\n%s", report)
+	}
+	if !strings.Contains(report, "times: P2:") {
+		t.Fatalf("time delta not attributed to P2:\n%s", report)
+	}
+}
+
+func TestRowsGridDrift(t *testing.T) {
+	a := &service.Result{Map2D: testMap2D("P1")}
+	m := testMap2D("P1")
+	m.Rows[2][3] += 5
+	r := Compare(a, &service.Result{Map2D: m})
+	if got := strings.Join(r.Lines(), "\n"); !strings.Contains(got, "rows-grid: rows(2,3) = 12 vs 17") {
+		t.Fatalf("rows drift not reported:\n%s", got)
+	}
+}
+
+func TestPlanListChangesCompareIntersection(t *testing.T) {
+	a := &service.Result{Map2D: testMap2D("P1", "P2")}
+	b := &service.Result{Map2D: testMap2D("P1", "P2", "P3")}
+	r := Compare(a, b)
+	report := strings.Join(r.Lines(), "\n")
+	if !strings.Contains(report, "plans: only in B: P3") {
+		t.Fatalf("added plan not reported:\n%s", report)
+	}
+	// The shared plans are identical, so nothing else may fire.
+	for _, line := range r.Lines() {
+		if !strings.HasPrefix(line, "plans:") {
+			t.Fatalf("unexpected diff beyond plan membership: %q", line)
+		}
+	}
+}
+
+func TestAxisMismatchSkipsGrids(t *testing.T) {
+	a := &service.Result{Map2D: testMap2D("P1")}
+	m := testMap2D("P1")
+	m.TA = []int64{1, 2, 3, 4}
+	r := Compare(a, &service.Result{Map2D: m})
+	report := strings.Join(r.Lines(), "\n")
+	if !strings.Contains(report, "axis: ta[0] = 16 vs 1") {
+		t.Fatalf("axis change not reported:\n%s", report)
+	}
+	if strings.Contains(report, "winner-grid") || strings.Contains(report, "times:") {
+		t.Fatalf("grid comparison ran across different axes:\n%s", report)
+	}
+}
+
+func TestLandmarkDrift(t *testing.T) {
+	a := &service.Result{Map2D: testMap2D("P1")}
+	m := testMap2D("P1")
+	// A non-monotonic spike: more rows, radically cheaper — §3.1's first
+	// landmark kind on the row-0 slice.
+	m.Times[0][0][3] = time.Nanosecond
+	r := Compare(a, &service.Result{Map2D: m})
+	report := strings.Join(r.Lines(), "\n")
+	if !strings.Contains(report, "landmarks: P1:") || !strings.Contains(report, "only in B") {
+		t.Fatalf("landmark appearance not reported:\n%s", report)
+	}
+}
+
+func Test1DComparison(t *testing.T) {
+	mk := func() *core.Map1D {
+		return &core.Map1D{
+			Fractions:  []float64{0.25, 0.5, 1},
+			Thresholds: []int64{32, 64, 128},
+			Plans:      []string{"P1", "P2"},
+			Times: [][]time.Duration{
+				{1 * time.Microsecond, 2 * time.Microsecond, 3 * time.Microsecond},
+				{2 * time.Microsecond, 3 * time.Microsecond, 4 * time.Microsecond},
+			},
+			Rows: []int64{1, 2, 3},
+		}
+	}
+	if r := Compare(&service.Result{Map1D: mk()}, &service.Result{Map1D: mk()}); !r.Identical() {
+		t.Fatalf("identical 1-D maps differ: %v", r.Lines())
+	}
+	m := mk()
+	m.Times[1][2] = time.Nanosecond // P2 takes point 2
+	r := Compare(&service.Result{Map1D: mk()}, &service.Result{Map1D: m})
+	report := strings.Join(r.Lines(), "\n")
+	if !strings.Contains(report, "winner-grid: point 2: P1 -> P2") {
+		t.Fatalf("1-D winner flip not reported:\n%s", report)
+	}
+}
+
+func TestRegretComparison(t *testing.T) {
+	mk := func() *core.RegretMap2D {
+		return &core.RegretMap2D{
+			FracA: []float64{0.5, 1}, FracB: []float64{0.5, 1},
+			TA: []int64{64, 128}, TB: []int64{64, 128},
+			Plans:     []string{"cand-0", "cand-1"},
+			Picks:     [][]int{{0, 0}, {1, 0}},
+			Regret:    [][]float64{{1, 1}, {1.5, 1}},
+			NonRobust: [][]bool{{false, false}, {true, false}},
+			Threshold: 2,
+		}
+	}
+	a := &service.Result{Map2D: testMap2D("P1"), Regret2D: mk()}
+	b := &service.Result{Map2D: testMap2D("P1"), Regret2D: mk()}
+	if r := Compare(a, b); !r.Identical() {
+		t.Fatalf("identical regret maps differ: %v", r.Lines())
+	}
+	m := mk()
+	m.Picks[0][1] = 1
+	m.NonRobust[0][1] = true
+	r := Compare(a, &service.Result{Map2D: testMap2D("P1"), Regret2D: m})
+	report := strings.Join(r.Lines(), "\n")
+	if !strings.Contains(report, "regret: pick at (0,1): cand-0 -> cand-1") {
+		t.Fatalf("pick flip not reported:\n%s", report)
+	}
+	if !strings.Contains(report, "1 non-robust flags differ") {
+		t.Fatalf("non-robust drift not reported:\n%s", report)
+	}
+}
+
+func TestShapeMismatch(t *testing.T) {
+	a := &service.Result{Map2D: testMap2D("P1")}
+	b := &service.Result{Map1D: &core.Map1D{
+		Fractions: []float64{1}, Thresholds: []int64{1},
+		Plans: []string{"P1"}, Times: [][]time.Duration{{1}}, Rows: []int64{1},
+	}}
+	r := Compare(a, b)
+	report := strings.Join(r.Lines(), "\n")
+	if !strings.Contains(report, "shape: map_1d only in B") ||
+		!strings.Contains(report, "shape: map_2d only in A") {
+		t.Fatalf("shape mismatch not reported:\n%s", report)
+	}
+}
+
+// TestLoadFile covers both on-disk forms: a bare Result and a store
+// envelope, which must load to the same comparison input.
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	res := &service.Result{Map2D: testMap2D("P1", "P2")}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bare := filepath.Join(dir, "bare.json")
+	if err := os.WriteFile(bare, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := mapstore.Open(filepath.Join(dir, "store"),
+		mapstore.Config{EngineVersion: "diff-test", Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "00112233445566778899aabbccddeeff"
+	st.PutMap(key, mapstore.Scope{Kind: "plans", Plans: []string{"P1", "P2"}}, payload)
+	st.Close()
+
+	fromBare, env, err := LoadFile(bare)
+	if err != nil {
+		t.Fatalf("LoadFile(bare): %v", err)
+	}
+	if env != nil {
+		t.Fatal("bare result came back with an envelope")
+	}
+	fromEnv, env, err := LoadFile(filepath.Join(dir, "store", "maps", key+".json"))
+	if err != nil {
+		t.Fatalf("LoadFile(envelope): %v", err)
+	}
+	if env == nil || env.Scope.Kind != "plans" {
+		t.Fatalf("envelope metadata missing: %+v", env)
+	}
+	if r := Compare(fromBare, fromEnv); !r.Identical() {
+		t.Fatalf("same payload loaded differently: %v", r.Lines())
+	}
+
+	if _, _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+	junk := filepath.Join(dir, "junk.json")
+	os.WriteFile(junk, []byte("not json"), 0o644)
+	if _, _, err := LoadFile(junk); err == nil {
+		t.Fatal("junk file loaded")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte("{}"), 0o644)
+	if _, _, err := LoadFile(empty); err == nil {
+		t.Fatal("mapless result loaded")
+	}
+}

@@ -1,0 +1,129 @@
+package mapdiff
+
+import (
+	"fmt"
+
+	"robustmap/internal/core"
+	"robustmap/internal/service"
+)
+
+// diffCandidates compares the optimizer's enumerated plan lists by id.
+func diffCandidates(a, b []service.CandidateInfo) []string {
+	ids := func(cs []service.CandidateInfo) map[string]bool {
+		m := make(map[string]bool, len(cs))
+		for _, c := range cs {
+			m[c.ID] = true
+		}
+		return m
+	}
+	ia, ib := ids(a), ids(b)
+	var out []string
+	for _, c := range a {
+		if !ib[c.ID] {
+			out = append(out, "only in A: "+c.ID)
+		}
+	}
+	for _, c := range b {
+		if !ia[c.ID] {
+			out = append(out, "only in B: "+c.ID)
+		}
+	}
+	return out
+}
+
+// pickName resolves a pick index to its plan id (-1 is "none").
+func pickName(plans []string, idx int) string {
+	if idx < 0 {
+		return "(none)"
+	}
+	if idx < len(plans) {
+		return plans[idx]
+	}
+	return fmt.Sprintf("#%d", idx)
+}
+
+// diffRegret1D compares the optimizer's pick vector and regret overlay.
+// Picks are compared by plan id, not index, so a re-ordered candidate
+// list with identical decisions stays clean.
+func diffRegret1D(a, b *core.RegretMap1D) []string {
+	var out []string
+	if a.Threshold != b.Threshold {
+		out = append(out, fmt.Sprintf("threshold %g vs %g", a.Threshold, b.Threshold))
+	}
+	if len(a.Picks) != len(b.Picks) {
+		return append(out, fmt.Sprintf("picks length %d vs %d", len(a.Picks), len(b.Picks)))
+	}
+	picks, regret, robust := 0, 0, 0
+	var ex []string
+	for i := range a.Picks {
+		pa, pb := pickName(a.Plans, a.Picks[i]), pickName(b.Plans, b.Picks[i])
+		if pa != pb {
+			picks++
+			ex = capped(ex, fmt.Sprintf("pick at point %d: %s -> %s", i, pa, pb))
+		}
+		if a.Regret[i] != b.Regret[i] {
+			regret++
+		}
+		if a.NonRobust[i] != b.NonRobust[i] {
+			robust++
+		}
+	}
+	out = append(out, ex...)
+	if picks > len(ex) {
+		out = append(out, fmt.Sprintf("... %d picks differ in total", picks))
+	}
+	if regret > 0 {
+		out = append(out, fmt.Sprintf("%d regret values differ", regret))
+	}
+	if robust > 0 {
+		out = append(out, fmt.Sprintf("%d non-robust flags differ", robust))
+	}
+	return out
+}
+
+// diffRegret2D is the grid counterpart of diffRegret1D.
+func diffRegret2D(a, b *core.RegretMap2D) []string {
+	var out []string
+	if a.Threshold != b.Threshold {
+		out = append(out, fmt.Sprintf("threshold %g vs %g", a.Threshold, b.Threshold))
+	}
+	if len(a.Picks) != len(b.Picks) || (len(a.Picks) > 0 && len(a.Picks[0]) != len(b.Picks[0])) {
+		return append(out, fmt.Sprintf("picks shape %dx%d vs %dx%d",
+			len(a.Picks), dim2(a.Picks), len(b.Picks), dim2(b.Picks)))
+	}
+	picks, regret, robust := 0, 0, 0
+	var ex []string
+	for i := range a.Picks {
+		for j := range a.Picks[i] {
+			pa, pb := pickName(a.Plans, a.Picks[i][j]), pickName(b.Plans, b.Picks[i][j])
+			if pa != pb {
+				picks++
+				ex = capped(ex, fmt.Sprintf("pick at (%d,%d): %s -> %s", i, j, pa, pb))
+			}
+			if a.Regret[i][j] != b.Regret[i][j] {
+				regret++
+			}
+			if a.NonRobust[i][j] != b.NonRobust[i][j] {
+				robust++
+			}
+		}
+	}
+	out = append(out, ex...)
+	if picks > len(ex) {
+		out = append(out, fmt.Sprintf("... %d picks differ in total", picks))
+	}
+	if regret > 0 {
+		out = append(out, fmt.Sprintf("%d regret values differ", regret))
+	}
+	if robust > 0 {
+		out = append(out, fmt.Sprintf("%d non-robust flags differ", robust))
+	}
+	return out
+}
+
+func dim2[T any](g [][]T) int {
+	if len(g) == 0 {
+		return 0
+	}
+	return len(g[0])
+}

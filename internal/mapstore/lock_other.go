@@ -1,0 +1,11 @@
+//go:build !unix
+
+package mapstore
+
+import "os"
+
+// lockExclusive has no advisory-lock support off unix; the store runs
+// unlocked and relies on deployments not sharing a directory.
+func lockExclusive(f *os.File) (bool, error) {
+	return true, nil
+}

@@ -1,0 +1,22 @@
+//go:build unix
+
+package mapstore
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// lockExclusive tries to take a non-blocking exclusive advisory lock on
+// f. It returns (false, nil) when another process holds the lock.
+func lockExclusive(f *os.File) (bool, error) {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if err == nil {
+		return true, nil
+	}
+	if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+		return false, nil
+	}
+	return false, err
+}

@@ -1,0 +1,234 @@
+package mapstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The map archive stores finished results as versioned JSON envelopes
+// under maps/<key>.json, where the key is the content hash of the
+// normalized request that produced the result (service.ArchiveKey). The
+// envelope records the store format, the engine measurement version, a
+// human-readable scope mirroring the in-memory cache scopes, and the
+// SHA-256 of the payload bytes; the payload itself is the marshaled
+// service.Result, stored verbatim so a hit is returned byte-identical.
+// Writes are atomic (temp file + rename + directory fsync); reads
+// verify the envelope before trusting it and quarantine on any
+// mismatch.
+
+// Scope describes what an archived map was computed over — a
+// human-readable mirror of the request, for inspection and diffing; the
+// key alone decides identity.
+type Scope struct {
+	// Kind is "plans", "workload", or "query" — which exactly-one-of arm
+	// of the request produced the map.
+	Kind string `json:"kind"`
+	// SpecHash is the workload/query spec hash for those kinds, mirroring
+	// the w/<spec-hash>/... cache scopes. Empty for builtin plan lists.
+	SpecHash string `json:"spec_hash,omitempty"`
+	// Plans lists the swept plan ids (builtin kind only).
+	Plans []string `json:"plans,omitempty"`
+	Rows  int64    `json:"rows"`
+	// MaxExp sets the sweep lattice resolution (2^MaxExp intervals).
+	MaxExp int  `json:"max_exp"`
+	Grid2D bool `json:"grid_2d,omitempty"`
+	Refine bool `json:"refine,omitempty"`
+}
+
+// Envelope is the archived form of one finished map.
+type Envelope struct {
+	Format int    `json:"format"`
+	Engine string `json:"engine"`
+	// Key is the content hash of the normalized request (the filename
+	// stem); stored inside too so a renamed file is detected.
+	Key           string `json:"key"`
+	Scope         Scope  `json:"scope"`
+	PayloadSHA256 string `json:"payload_sha256"`
+	// Payload is the marshaled service.Result, verbatim.
+	Payload json.RawMessage `json:"payload"`
+}
+
+// validKey reports whether key is safe as a filename stem: lowercase
+// hex, as ArchiveKey produces.
+func validKey(key string) bool {
+	if len(key) < 8 || len(key) > 64 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) mapPath(key string) string {
+	return filepath.Join(s.dir, "maps", key+".json")
+}
+
+// scanMaps indexes the archive directory. Envelopes are verified lazily
+// at GetMap; the scan only records which keys exist.
+func (s *Store) scanMaps() error {
+	ents, err := os.ReadDir(filepath.Join(s.dir, "maps"))
+	if err != nil {
+		return fmt.Errorf("mapstore: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		key, ok := strings.CutSuffix(name, ".json")
+		if !ok || !validKey(key) {
+			s.quarantinePath(filepath.Join(s.dir, "maps", name), "unrecognized file in maps/")
+			s.stats.Quarantined++
+			continue
+		}
+		s.maps[key] = true
+	}
+	return nil
+}
+
+// GetMap returns the archived payload for key, byte-identical to what
+// PutMap stored. The envelope is fully verified on every read — format,
+// engine version, embedded key, payload hash — and quarantined on any
+// mismatch, so a corrupt archive entry costs a rebuild, never a wrong
+// map.
+func (s *Store) GetMap(key string) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.disabled {
+		return nil, false
+	}
+	if !s.maps[key] {
+		s.stats.MapMisses++
+		return nil, false
+	}
+	path := s.mapPath(key)
+	env, err := readEnvelope(path)
+	if err == nil && env.Key != key {
+		err = fmt.Errorf("envelope key %q does not match filename", env.Key)
+	}
+	if err == nil && env.Engine != s.engine {
+		err = fmt.Errorf("envelope engine %q, this build is %q", env.Engine, s.engine)
+	}
+	if err != nil {
+		s.quarantinePath(path, err.Error())
+		s.stats.Quarantined++
+		delete(s.maps, key)
+		s.stats.MapMisses++
+		return nil, false
+	}
+	s.stats.MapHits++
+	return env.Payload, true
+}
+
+// readEnvelope loads and verifies one envelope file: format version,
+// payload hash, and well-formed payload JSON.
+func readEnvelope(path string) (*Envelope, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var env Envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, fmt.Errorf("corrupt envelope: %w", err)
+	}
+	if env.Format != FormatVersion {
+		return nil, fmt.Errorf("envelope format %d, this build reads %d", env.Format, FormatVersion)
+	}
+	// The envelope file is pretty-printed, which re-indents the embedded
+	// payload; compacting restores the canonical bytes the hash covers
+	// (whitespace is the only thing indentation changes).
+	payload, err := compactJSON(env.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("corrupt payload: %w", err)
+	}
+	env.Payload = payload
+	sum := sha256.Sum256(env.Payload)
+	if got := hex.EncodeToString(sum[:]); got != env.PayloadSHA256 {
+		return nil, fmt.Errorf("payload hash mismatch: envelope says %s, content is %s",
+			env.PayloadSHA256, got)
+	}
+	return &env, nil
+}
+
+// compactJSON strips inter-token whitespace, the canonical form hashed
+// and returned by the archive.
+func compactJSON(b []byte) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, b); err != nil {
+		return nil, err
+	}
+	return json.RawMessage(buf.Bytes()), nil
+}
+
+// ReadEnvelopeFile loads and verifies a stored envelope from an
+// arbitrary path — the loader behind `robustmap diff` when pointed at
+// store files directly. Unlike GetMap it does not check the engine
+// version: diffing maps across engine versions is exactly the point of
+// the tool.
+func ReadEnvelopeFile(path string) (*Envelope, error) {
+	env, err := readEnvelope(path)
+	if err != nil {
+		return nil, fmt.Errorf("mapstore: %s: %w", path, err)
+	}
+	return env, nil
+}
+
+// PutMap archives a finished map under key. The payload is stored
+// verbatim inside a versioned envelope; the write is atomic and fsync'd
+// before the key becomes visible. Errors are logged, not returned — an
+// archive failure must never fail the sweep that produced the map.
+func (s *Store) PutMap(key string, scope Scope, payload []byte) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.disabled {
+		return
+	}
+	if !validKey(key) {
+		s.logf("mapstore: refusing to archive under invalid key %q", key)
+		return
+	}
+	if s.maps[key] {
+		return // already archived; content-addressed, so identical
+	}
+	// Canonicalize before hashing: the pretty-printed envelope file
+	// re-indents the payload, and reads compact it back to exactly this
+	// form. Payloads from json.Marshal are already compact, so a hit
+	// returns the marshaled result byte-identical.
+	canonical, err := compactJSON(payload)
+	if err != nil {
+		s.logf("mapstore: archive %s: payload is not valid JSON: %v", key, err)
+		return
+	}
+	payload = canonical
+	sum := sha256.Sum256(payload)
+	env := Envelope{
+		Format:        FormatVersion,
+		Engine:        s.engine,
+		Key:           key,
+		Scope:         scope,
+		PayloadSHA256: hex.EncodeToString(sum[:]),
+		Payload:       json.RawMessage(payload),
+	}
+	b, err := json.MarshalIndent(&env, "", "  ")
+	if err != nil {
+		s.logf("mapstore: encode envelope %s: %v", key, err)
+		return
+	}
+	if err := s.atomicWrite(s.mapPath(key), append(b, '\n')); err != nil {
+		s.logf("mapstore: archive map %s: %v", key, err)
+		return
+	}
+	s.maps[key] = true
+}

@@ -1,0 +1,335 @@
+// Package mapstore persists robustness-map state across process
+// lifetimes: a content-addressed, crash-safe on-disk store for the two
+// artifacts a sweep produces — individual (scope, plan, point)
+// measurements and finished maps.
+//
+// Today the measurement cache and every finished map die with the
+// daemon: a robustmapd restart re-measures everything, and repeated
+// identical submissions pay full price every time. The store turns
+// robustness maps into durable, addressable objects (the same
+// content-hash distribution idea OPA uses for bundles): measurements
+// are appended to a checksummed log and warm the in-memory LRU on the
+// next open, and finished maps are archived under the content hash of
+// the request that produced them, so an identical resubmission is
+// served from disk byte-identically without building a single system.
+//
+// Layout under the store directory:
+//
+//	manifest.json     store format + engine measurement version (fsync'd)
+//	lock              advisory flock held while a process has the store open
+//	measurements.log  one checksummed JSON entry per measured cell
+//	maps/<key>.json   finished-map envelopes, atomic temp-file+rename writes
+//	quarantine/       corrupt or version-mismatched data moved aside
+//
+// Corruption handling is explicit and paranoid: a truncated log tail, a
+// garbage line, a hash-mismatched envelope, or an engine-version
+// mismatch is quarantined (moved into quarantine/, logged, counted) and
+// the affected cells simply re-measure. A corrupt store can cost time,
+// never correctness — quarantined data is never trusted into a map.
+//
+// One process owns a store at a time: Open takes an advisory exclusive
+// lock, and a second concurrent Open observes the lock and degrades to
+// an inert store (nothing persisted, everything re-measured) rather
+// than interleave appends with the owner. Measurement determinism makes
+// all of this invisible in map contents — a hit returns bit-for-bit
+// what a fresh measurement would.
+package mapstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// FormatVersion is the store's on-disk format version. Bump it when the
+// layout or framing changes incompatibly; an unknown version on open
+// quarantines the store's contents rather than guessing at them.
+const FormatVersion = 1
+
+// Config parameterizes Open.
+type Config struct {
+	// EngineVersion names the measurement semantics of the engine this
+	// process runs (engine.MeasurementVersion). A store written under a
+	// different version holds measurements the current engine would not
+	// reproduce; its contents are quarantined on open.
+	EngineVersion string
+	// Logf receives the store's operational log lines (quarantines,
+	// degraded opens). Nil means the standard logger.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a point-in-time snapshot of store effectiveness, the
+// persistent counterpart of core.CacheStats.
+type Stats struct {
+	// Disabled marks an inert store: another process holds the store
+	// lock, so nothing is read or persisted.
+	Disabled bool `json:"disabled,omitempty"`
+	// Measurements counts the (scope, plan, point) entries held.
+	Measurements int `json:"measurements"`
+	// MeasureHits and MeasureMisses count lookups against the
+	// measurement tier; MeasureAppends counts entries persisted.
+	MeasureHits    int64 `json:"measure_hits"`
+	MeasureMisses  int64 `json:"measure_misses"`
+	MeasureAppends int64 `json:"measure_appends"`
+	// Maps counts archived finished maps; MapHits and MapMisses count
+	// archive lookups.
+	Maps      int   `json:"maps"`
+	MapHits   int64 `json:"map_hits"`
+	MapMisses int64 `json:"map_misses"`
+	// Quarantined counts corrupt or mismatched items moved aside (log
+	// lines, envelopes, or whole files).
+	Quarantined int64 `json:"quarantined"`
+}
+
+// manifest is the store's identity file.
+type manifest struct {
+	Format int    `json:"format"`
+	Engine string `json:"engine"`
+}
+
+// Store is one opened store directory. All methods are safe for
+// concurrent use; release it with Close.
+type Store struct {
+	dir      string
+	engine   string
+	logf     func(format string, args ...any)
+	disabled bool
+	lockFile *os.File
+
+	mu       sync.Mutex
+	index    map[measKey]entryVal
+	logOut   *os.File
+	unsynced int
+	maps     map[string]bool
+	stats    Stats
+}
+
+// Open opens (creating if needed) the store at dir. A store owned by
+// another live process degrades to an inert store — every operation is
+// a no-op miss, logged once here — so concurrent daemons sharing a
+// directory re-measure instead of corrupting each other's logs.
+func Open(dir string, cfg Config) (*Store, error) {
+	if cfg.EngineVersion == "" {
+		return nil, fmt.Errorf("mapstore: Config.EngineVersion is required")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	for _, d := range []string{dir, filepath.Join(dir, "maps"), filepath.Join(dir, "quarantine")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("mapstore: %w", err)
+		}
+	}
+	s := &Store{
+		dir:    dir,
+		engine: cfg.EngineVersion,
+		logf:   logf,
+		index:  make(map[measKey]entryVal),
+		maps:   make(map[string]bool),
+	}
+	lf, err := os.OpenFile(filepath.Join(dir, "lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("mapstore: %w", err)
+	}
+	locked, err := lockExclusive(lf)
+	if err != nil {
+		lf.Close()
+		return nil, fmt.Errorf("mapstore: lock %s: %w", dir, err)
+	}
+	if !locked {
+		lf.Close()
+		s.disabled = true
+		s.stats.Disabled = true
+		logf("mapstore: %s is locked by another process; persistence disabled, all cells re-measure", dir)
+		return s, nil
+	}
+	s.lockFile = lf
+	if err := s.checkManifest(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	if err := s.loadMeasurements(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	if err := s.scanMaps(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// checkManifest validates the store's identity, quarantining the whole
+// contents on any mismatch: an unknown format version, a different
+// engine version, or an unreadable manifest all mean the data on disk
+// is not something the current engine would reproduce.
+func (s *Store) checkManifest() error {
+	path := filepath.Join(s.dir, "manifest.json")
+	b, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		// A fresh directory — unless data files exist without a manifest,
+		// in which case their provenance is unknown and they go aside.
+		if s.hasData() {
+			s.quarantineAll("store has data but no manifest")
+		}
+	case err != nil:
+		return fmt.Errorf("mapstore: read manifest: %w", err)
+	default:
+		var m manifest
+		decodeErr := json.Unmarshal(b, &m)
+		switch {
+		case decodeErr != nil:
+			s.quarantineAll(fmt.Sprintf("corrupt manifest: %v", decodeErr))
+		case m.Format != FormatVersion:
+			s.quarantineAll(fmt.Sprintf("store format %d, this build reads %d", m.Format, FormatVersion))
+		case m.Engine != s.engine:
+			s.quarantineAll(fmt.Sprintf("store written by engine %q, this build is %q", m.Engine, s.engine))
+		default:
+			return nil // manifest matches; keep the contents
+		}
+	}
+	return s.writeManifest()
+}
+
+// hasData reports whether any measurements or maps exist on disk.
+func (s *Store) hasData() bool {
+	if _, err := os.Stat(filepath.Join(s.dir, "measurements.log")); err == nil {
+		return true
+	}
+	ents, err := os.ReadDir(filepath.Join(s.dir, "maps"))
+	return err == nil && len(ents) > 0
+}
+
+// quarantineAll moves every data file aside — the store restarts empty.
+func (s *Store) quarantineAll(reason string) {
+	s.logf("mapstore: quarantining all contents of %s: %s", s.dir, reason)
+	stamp := fmt.Sprintf("%d", time.Now().UnixNano())
+	for _, name := range []string{"manifest.json", "measurements.log"} {
+		src := filepath.Join(s.dir, name)
+		if _, err := os.Stat(src); err != nil {
+			continue
+		}
+		if err := os.Rename(src, filepath.Join(s.dir, "quarantine", name+"."+stamp)); err != nil {
+			s.logf("mapstore: quarantine %s: %v", name, err)
+		} else {
+			s.stats.Quarantined++
+		}
+	}
+	ents, err := os.ReadDir(filepath.Join(s.dir, "maps"))
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		src := filepath.Join(s.dir, "maps", e.Name())
+		if err := os.Rename(src, filepath.Join(s.dir, "quarantine", e.Name()+"."+stamp)); err != nil {
+			s.logf("mapstore: quarantine %s: %v", e.Name(), err)
+		} else {
+			s.stats.Quarantined++
+		}
+	}
+}
+
+// writeManifest persists the store identity atomically and durably:
+// temp file, fsync, rename, fsync the directory.
+func (s *Store) writeManifest() error {
+	b, err := json.MarshalIndent(manifest{Format: FormatVersion, Engine: s.engine}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("mapstore: encode manifest: %w", err)
+	}
+	return s.atomicWrite(filepath.Join(s.dir, "manifest.json"), append(b, '\n'))
+}
+
+// atomicWrite writes path via a same-directory temp file with fsync on
+// both the file and its directory, so a crash leaves either the old
+// content or the new — never a torn file.
+func (s *Store) atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("mapstore: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("mapstore: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("mapstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("mapstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("mapstore: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// quarantinePath moves one file into quarantine/ under a unique name.
+func (s *Store) quarantinePath(path, reason string) {
+	dst := filepath.Join(s.dir, "quarantine",
+		fmt.Sprintf("%s.%d", filepath.Base(path), time.Now().UnixNano()))
+	if err := os.Rename(path, dst); err != nil {
+		s.logf("mapstore: quarantine %s (%s): %v", path, reason, err)
+		// Renaming failed; remove so the corrupt data cannot be re-read.
+		_ = os.Remove(path)
+		return
+	}
+	s.logf("mapstore: quarantined %s -> %s: %s", path, dst, reason)
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Measurements = len(s.index)
+	st.Maps = len(s.maps)
+	st.Disabled = s.disabled
+	return st
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close syncs and releases the store. Safe on a nil or inert store, and
+// idempotent.
+func (s *Store) Close() error {
+	if s == nil || s.disabled {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	if s.logOut != nil {
+		if err := s.logOut.Sync(); err != nil && first == nil {
+			first = err
+		}
+		if err := s.logOut.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.logOut = nil
+	}
+	if s.lockFile != nil {
+		// Closing the descriptor releases the advisory lock.
+		if err := s.lockFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.lockFile = nil
+	}
+	return first
+}

@@ -1,0 +1,471 @@
+package mapstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"robustmap/internal/core"
+)
+
+const testEngine = "sim-test"
+
+func openTest(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, Config{EngineVersion: testEngine, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// countingSource returns a PlanSource whose measurements are synthetic
+// but deterministic, counting how many times the underlying measure
+// function actually runs.
+func countingSource(id string, calls *int) core.PlanSource {
+	return core.PlanSource{
+		ID: id,
+		Measure: func(ta, tb int64) core.Measurement {
+			*calls++
+			return core.Measurement{
+				Time: time.Duration(ta*1000 + tb + 7),
+				Rows: ta + tb,
+			}
+		},
+	}
+}
+
+func TestMeasurementsSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+
+	var calls int
+	src := s.Wrap("sysA/1024", countingSource("P1", &calls))
+	first := src.Measure(10, 20)
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if again := src.Measure(10, 20); again != first {
+		t.Fatalf("store hit %+v != first measurement %+v", again, first)
+	}
+	if calls != 1 {
+		t.Fatalf("store hit re-measured: calls = %d", calls)
+	}
+	st := s.Stats()
+	if st.MeasureHits != 1 || st.MeasureAppends != 1 || st.Measurements != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// A fresh open must replay the log: same value, no re-measurement.
+	s2 := openTest(t, dir)
+	src2 := s2.Wrap("sysA/1024", countingSource("P1", &calls))
+	if got := src2.Measure(10, 20); got != first {
+		t.Fatalf("after reopen got %+v, want %+v", got, first)
+	}
+	if calls != 1 {
+		t.Fatalf("reopen re-measured: calls = %d", calls)
+	}
+}
+
+func TestScopesAndPointsAreDisjoint(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	var calls int
+	a := s.Wrap("scopeA", countingSource("P", &calls))
+	b := s.Wrap("scopeB", countingSource("P", &calls))
+	a.Measure(1, 2)
+	b.Measure(1, 2)
+	a.Measure(1, 3)
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3 (distinct scopes/points must not collide)", calls)
+	}
+	if st := s.Stats(); st.Measurements != 3 {
+		t.Fatalf("Measurements = %d, want 3", st.Measurements)
+	}
+}
+
+func TestWarmLoadsCache(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	var calls int
+	src := s.Wrap("sc", countingSource("P", &calls))
+	want := src.Measure(4, 5)
+	s.Close()
+
+	s2 := openTest(t, dir)
+	c := core.NewMeasureCache(0)
+	if n := s2.Warm(c); n != 1 {
+		t.Fatalf("Warm = %d, want 1", n)
+	}
+	// The cache must now answer without consulting the store or the
+	// measure function.
+	cached := c.Wrap("sc", core.PlanSource{ID: "P", Measure: func(ta, tb int64) core.Measurement {
+		t.Fatalf("cache miss after Warm")
+		return core.Measurement{}
+	}})
+	if got := cached.Measure(4, 5); got != want {
+		t.Fatalf("warmed value %+v, want %+v", got, want)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("cache stats after warm = %+v", st)
+	}
+}
+
+// TestTruncatedLogEntry simulates a crash mid-append: the final line is
+// cut short. The torn line must be quarantined and only its cell
+// re-measured.
+func TestTruncatedLogEntry(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	var calls int
+	src := s.Wrap("sc", countingSource("P", &calls))
+	keep := src.Measure(1, 1)
+	src.Measure(2, 2)
+	s.Close()
+
+	logPath := filepath.Join(dir, "measurements.log")
+	b, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(logPath, b[:len(b)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir)
+	if st := s2.Stats(); st.Measurements != 1 || st.Quarantined != 1 {
+		t.Fatalf("after truncation stats = %+v, want 1 measurement, 1 quarantined", st)
+	}
+	src2 := s2.Wrap("sc", countingSource("P", &calls))
+	if got := src2.Measure(1, 1); got != keep {
+		t.Fatalf("intact entry corrupted: got %+v, want %+v", got, keep)
+	}
+	calls = 0
+	src2.Measure(2, 2)
+	if calls != 1 {
+		t.Fatalf("torn entry must re-measure; calls = %d", calls)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", "measurements.bad")); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+}
+
+// TestGarbageLogLine injects non-JSON bytes with a valid-looking shape
+// into the middle of the log.
+func TestGarbageLogLine(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	var calls int
+	src := s.Wrap("sc", countingSource("P", &calls))
+	keep := src.Measure(1, 1)
+	s.Close()
+
+	logPath := filepath.Join(dir, "measurements.log")
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(f, "deadbeef {not json at all")
+	fmt.Fprintln(f, "garbage with no frame")
+	f.Close()
+
+	s2 := openTest(t, dir)
+	if st := s2.Stats(); st.Measurements != 1 || st.Quarantined != 2 {
+		t.Fatalf("stats = %+v, want 1 measurement, 2 quarantined", st)
+	}
+	src2 := s2.Wrap("sc", countingSource("P", &calls))
+	calls = 0
+	if got := src2.Measure(1, 1); got != keep || calls != 0 {
+		t.Fatalf("surviving entry got %+v (calls %d), want %+v (0)", got, calls, keep)
+	}
+	// The rewritten log must be clean: a third open quarantines nothing.
+	s2.Close()
+	s3 := openTest(t, dir)
+	if st := s3.Stats(); st.Quarantined != 0 || st.Measurements != 1 {
+		t.Fatalf("log not rewritten clean: %+v", st)
+	}
+}
+
+// TestChecksumMismatch flips a payload byte under an intact frame.
+func TestChecksumMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	var calls int
+	s.Wrap("sc", countingSource("P", &calls)).Measure(1, 1)
+	s.Close()
+
+	logPath := filepath.Join(dir, "measurements.log")
+	b, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := strings.Replace(string(b), `"ns":`, `"ns":9`, 1)
+	if mut == string(b) {
+		t.Fatal("test setup: payload pattern not found")
+	}
+	if err := os.WriteFile(logPath, []byte(mut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir)
+	if st := s2.Stats(); st.Measurements != 0 || st.Quarantined != 1 {
+		t.Fatalf("tampered entry survived: %+v", st)
+	}
+}
+
+// TestEngineVersionMismatch reopens a store under a different engine
+// version: everything must be quarantined, nothing replayed.
+func TestEngineVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	var calls int
+	s.Wrap("sc", countingSource("P", &calls)).Measure(1, 1)
+	s.PutMap("ab12cd34ab12cd34", Scope{Kind: "plans", Rows: 64}, []byte(`{"x":1}`))
+	s.Close()
+
+	s2, err := Open(dir, Config{EngineVersion: "sim-next", Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("Open under new engine: %v", err)
+	}
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Measurements != 0 || st.Maps != 0 {
+		t.Fatalf("stale engine data survived: %+v", st)
+	}
+	if st.Quarantined == 0 {
+		t.Fatalf("expected quarantines, got %+v", st)
+	}
+	if _, ok := s2.GetMap("ab12cd34ab12cd34"); ok {
+		t.Fatal("stale map served under new engine version")
+	}
+	// The new engine's data persists normally afterwards.
+	calls = 0
+	s2.Wrap("sc", countingSource("P", &calls)).Measure(1, 1)
+	if st := s2.Stats(); st.MeasureAppends != 1 {
+		t.Fatalf("new-engine append failed: %+v", st)
+	}
+}
+
+// TestConcurrentOpenDegrades opens the same directory twice: the second
+// open must become an inert store, not corrupt the first.
+func TestConcurrentOpenDegrades(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openTest(t, dir)
+	var logged strings.Builder
+	s2, err := Open(dir, Config{EngineVersion: testEngine, Logf: func(f string, a ...any) {
+		fmt.Fprintf(&logged, f+"\n", a...)
+	}})
+	if err != nil {
+		t.Fatalf("second Open: %v", err)
+	}
+	defer s2.Close()
+	if !s2.Stats().Disabled {
+		t.Fatal("second open of a locked store must be disabled")
+	}
+	if !strings.Contains(logged.String(), "locked by another process") {
+		t.Fatalf("degraded open not logged: %q", logged.String())
+	}
+
+	// The inert store is a pure pass-through: nothing persisted.
+	var calls int
+	src := s2.Wrap("sc", countingSource("P", &calls))
+	src.Measure(1, 1)
+	src.Measure(1, 1)
+	if calls != 2 {
+		t.Fatalf("inert store must not cache; calls = %d", calls)
+	}
+	s2.PutMap("ab12cd34ab12cd34", Scope{}, []byte(`{}`))
+	if _, ok := s2.GetMap("ab12cd34ab12cd34"); ok {
+		t.Fatal("inert store served a map")
+	}
+	if st := s1.Stats(); st.Measurements != 0 || st.Maps != 0 {
+		t.Fatalf("inert store leaked into owner: %+v", st)
+	}
+
+	// Once the owner closes, the lock is free and a new open is live.
+	s1.Close()
+	s3 := openTest(t, dir)
+	if s3.Stats().Disabled {
+		t.Fatal("open after owner closed should hold the lock")
+	}
+}
+
+func TestMapArchiveRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	key := "0123456789abcdef"
+	payload := []byte(`{"map_2d":{"plans":["A1"],"times":[[1,2],[3,4]]}}`)
+	if _, ok := s.GetMap(key); ok {
+		t.Fatal("empty archive returned a map")
+	}
+	s.PutMap(key, Scope{Kind: "plans", Plans: []string{"A1"}, Rows: 64, MaxExp: 2, Grid2D: true}, payload)
+	got, ok := s.GetMap(key)
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("GetMap = %q, %v; want stored payload", got, ok)
+	}
+	s.Close()
+
+	s2 := openTest(t, dir)
+	got, ok = s2.GetMap(key)
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("after reopen GetMap = %q, %v", got, ok)
+	}
+	if st := s2.Stats(); st.MapHits != 1 || st.Maps != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	env, err := ReadEnvelopeFile(filepath.Join(dir, "maps", key+".json"))
+	if err != nil {
+		t.Fatalf("ReadEnvelopeFile: %v", err)
+	}
+	if env.Key != key || env.Scope.Kind != "plans" || string(env.Payload) != string(payload) {
+		t.Fatalf("envelope = %+v", env)
+	}
+}
+
+// TestCorruptEnvelope tampers with an archived map; the entry must be
+// quarantined and never served.
+func TestCorruptEnvelope(t *testing.T) {
+	for name, mutate := range map[string]func(b []byte) []byte{
+		"garbage": func(b []byte) []byte { return []byte("not json") },
+		"payload-bitflip": func(b []byte) []byte {
+			return []byte(strings.Replace(string(b), `"x": 1`, `"x": 2`, 1))
+		},
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := openTest(t, dir)
+			key := "0123456789abcdef"
+			s.PutMap(key, Scope{Kind: "plans"}, []byte(`{"x":1}`))
+			s.Close()
+
+			path := filepath.Join(dir, "maps", key+".json")
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mut := mutate(b)
+			if string(mut) == string(b) {
+				t.Fatal("test setup: mutation was a no-op")
+			}
+			if err := os.WriteFile(path, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			s2 := openTest(t, dir)
+			if _, ok := s2.GetMap(key); ok {
+				t.Fatal("corrupt envelope served")
+			}
+			st := s2.Stats()
+			if st.Quarantined != 1 || st.MapHits != 0 {
+				t.Fatalf("stats = %+v", st)
+			}
+			// The bad file is gone from maps/, present in quarantine/.
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt envelope still in maps/: %v", err)
+			}
+			ents, _ := os.ReadDir(filepath.Join(dir, "quarantine"))
+			if len(ents) != 1 {
+				t.Fatalf("quarantine holds %d files, want 1", len(ents))
+			}
+			// Re-archiving the key works.
+			s2.PutMap(key, Scope{Kind: "plans"}, []byte(`{"x":1}`))
+			if got, ok := s2.GetMap(key); !ok || string(got) != `{"x":1}` {
+				t.Fatalf("re-archive failed: %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+// TestRenamedEnvelope stores a valid envelope under the wrong key.
+func TestRenamedEnvelope(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	s.PutMap("0123456789abcdef", Scope{}, []byte(`{"x":1}`))
+	s.Close()
+	if err := os.Rename(filepath.Join(dir, "maps", "0123456789abcdef.json"),
+		filepath.Join(dir, "maps", "fedcba9876543210.json")); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, dir)
+	if _, ok := s2.GetMap("fedcba9876543210"); ok {
+		t.Fatal("renamed envelope served under wrong key")
+	}
+}
+
+// TestManifestMissingWithData covers a store whose manifest was lost:
+// provenance unknown, contents quarantined.
+func TestManifestMissingWithData(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	var calls int
+	s.Wrap("sc", countingSource("P", &calls)).Measure(1, 1)
+	s.Close()
+	if err := os.Remove(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, dir)
+	if st := s2.Stats(); st.Measurements != 0 || st.Quarantined == 0 {
+		t.Fatalf("orphaned data trusted: %+v", st)
+	}
+}
+
+// TestCorruptManifest covers a torn manifest file.
+func TestCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	var calls int
+	s.Wrap("sc", countingSource("P", &calls)).Measure(1, 1)
+	s.Close()
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(`{"form`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, dir)
+	if st := s2.Stats(); st.Measurements != 0 {
+		t.Fatalf("data behind corrupt manifest trusted: %+v", st)
+	}
+	// Manifest must be rewritten valid.
+	b, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("manifest not rewritten: %v", err)
+	}
+}
+
+func TestNilStoreIsInert(t *testing.T) {
+	var s *Store
+	var calls int
+	src := s.Wrap("sc", countingSource("P", &calls))
+	src.Measure(1, 1)
+	src.Measure(1, 1)
+	if calls != 2 {
+		t.Fatalf("nil store cached: calls = %d", calls)
+	}
+	if _, ok := s.GetMap("0123456789abcdef"); ok {
+		t.Fatal("nil store served a map")
+	}
+	s.PutMap("0123456789abcdef", Scope{}, nil)
+	if n := s.Warm(core.NewMeasureCache(0)); n != 0 {
+		t.Fatalf("nil Warm = %d", n)
+	}
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("nil Stats = %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("nil Sync: %v", err)
+	}
+}

@@ -1,0 +1,285 @@
+package mapstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"robustmap/internal/core"
+)
+
+// The measurement tier is an append-only log, one framed line per
+// measured cell:
+//
+//	<crc32c-hex> <json>\n
+//
+// where the JSON carries (scope, plan, ta, tb) — the exact key of the
+// in-memory MeasureCache — plus the measured virtual time and row
+// count. The checksum covers the JSON bytes, so a torn tail from a
+// crash mid-append (or any flipped byte) is detected per line: bad
+// lines are copied into quarantine and skipped, and only the cells they
+// held re-measure. Appends are O_APPEND under the store mutex and
+// fsync'd every syncEvery entries and on Close — the log trades at most
+// a sync window of re-measurement for not fsyncing per cell.
+
+// syncEvery bounds how many appended measurements may be lost to a
+// crash between fsyncs.
+const syncEvery = 256
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+type measKey struct {
+	Scope string `json:"scope"`
+	Plan  string `json:"plan"`
+	TA    int64  `json:"ta"`
+	TB    int64  `json:"tb"`
+}
+
+type entryVal struct {
+	Ns   int64 `json:"ns"`
+	Rows int64 `json:"rows"`
+}
+
+// measEntry is one log line's JSON payload.
+type measEntry struct {
+	measKey
+	entryVal
+}
+
+// loadMeasurements replays the log into the in-memory index. Corrupt
+// lines (bad framing, checksum mismatch, garbage JSON) are appended to
+// a quarantine file and dropped; a truncated final line — the signature
+// of a crash mid-append — is quarantined the same way and the log is
+// rewritten without the bad bytes so it ends on a clean frame.
+func (s *Store) loadMeasurements() error {
+	path := filepath.Join(s.dir, "measurements.log")
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return s.openLog()
+	}
+	if err != nil {
+		return fmt.Errorf("mapstore: %w", err)
+	}
+	var bad []string
+	var keep []string
+	dirty := false
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		e, ok := decodeMeasLine(line)
+		if !ok {
+			bad = append(bad, line)
+			dirty = true
+			continue
+		}
+		s.index[e.measKey] = e.entryVal
+		keep = append(keep, line)
+	}
+	scanErr := sc.Err()
+	f.Close()
+	if scanErr != nil {
+		return fmt.Errorf("mapstore: read %s: %w", path, scanErr)
+	}
+	if len(bad) > 0 {
+		s.quarantineLines(bad)
+	}
+	if dirty {
+		// Rewrite the log from the surviving lines so corruption does not
+		// accumulate and the file ends on a frame boundary again.
+		var sb strings.Builder
+		for _, line := range keep {
+			sb.WriteString(line)
+			sb.WriteByte('\n')
+		}
+		if err := s.atomicWrite(path, []byte(sb.String())); err != nil {
+			return err
+		}
+	}
+	return s.openLog()
+}
+
+// decodeMeasLine parses and verifies one framed log line.
+func decodeMeasLine(line string) (measEntry, bool) {
+	var e measEntry
+	crcHex, payload, ok := strings.Cut(line, " ")
+	if !ok || len(crcHex) != 8 {
+		return e, false
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(crcHex, "%08x", &want); err != nil {
+		return e, false
+	}
+	if crc32.Checksum([]byte(payload), crcTable) != want {
+		return e, false
+	}
+	if err := json.Unmarshal([]byte(payload), &e); err != nil {
+		return e, false
+	}
+	if e.Scope == "" || e.Plan == "" || e.Ns < 0 || e.Rows < 0 {
+		return e, false
+	}
+	return e, true
+}
+
+// encodeMeasLine frames one entry for the log.
+func encodeMeasLine(e measEntry) ([]byte, error) {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return nil, err
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.Checksum(payload, crcTable), payload)
+	return []byte(line), nil
+}
+
+// quarantineLines appends corrupt log lines to quarantine/measurements.bad.
+func (s *Store) quarantineLines(lines []string) {
+	s.stats.Quarantined += int64(len(lines))
+	s.logf("mapstore: quarantining %d corrupt measurement line(s) from %s", len(lines), s.dir)
+	qf, err := os.OpenFile(filepath.Join(s.dir, "quarantine", "measurements.bad"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		s.logf("mapstore: open quarantine file: %v", err)
+		return
+	}
+	defer qf.Close()
+	for _, line := range lines {
+		fmt.Fprintln(qf, line)
+	}
+}
+
+// openLog opens the measurement log for appending.
+func (s *Store) openLog() error {
+	f, err := os.OpenFile(filepath.Join(s.dir, "measurements.log"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("mapstore: %w", err)
+	}
+	s.logOut = f
+	return nil
+}
+
+// getMeasurement consults the in-memory index of the persisted log.
+func (s *Store) getMeasurement(k measKey) (core.Measurement, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.disabled {
+		return core.Measurement{}, false
+	}
+	v, ok := s.index[k]
+	if !ok {
+		s.stats.MeasureMisses++
+		return core.Measurement{}, false
+	}
+	s.stats.MeasureHits++
+	return measurementOf(v), true
+}
+
+// putMeasurement records a freshly measured cell in the index and the
+// on-disk log. Append failures are logged and disable further
+// persistence rather than failing the sweep — losing durability must
+// never lose a map.
+func (s *Store) putMeasurement(k measKey, m core.Measurement) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.disabled {
+		return
+	}
+	if _, ok := s.index[k]; ok {
+		return // concurrent workers measured the same cell; values identical
+	}
+	s.index[k] = entryOf(m)
+	line, err := encodeMeasLine(measEntry{measKey: k, entryVal: entryOf(m)})
+	if err != nil {
+		s.logf("mapstore: encode measurement: %v", err)
+		return
+	}
+	if _, err := s.logOut.Write(line); err != nil {
+		s.logf("mapstore: append measurement: %v; persistence disabled", err)
+		s.disabled = true
+		s.stats.Disabled = true
+		return
+	}
+	s.stats.MeasureAppends++
+	s.unsynced++
+	if s.unsynced >= syncEvery {
+		if err := s.logOut.Sync(); err != nil {
+			s.logf("mapstore: sync measurement log: %v", err)
+		}
+		s.unsynced = 0
+	}
+}
+
+func measurementOf(v entryVal) core.Measurement {
+	return core.Measurement{Time: time.Duration(v.Ns), Rows: v.Rows}
+}
+
+func entryOf(m core.Measurement) entryVal {
+	return entryVal{Ns: int64(m.Time), Rows: m.Rows}
+}
+
+// Wrap returns a PlanSource that consults the persistent tier before
+// measuring and records what it measures, mirroring
+// core.MeasureCache.Wrap so the two stack: cache.Wrap(scope,
+// store.Wrap(scope, src)) gives LRU → disk → measure. A nil or inert
+// store returns the source unchanged.
+func (s *Store) Wrap(scope string, src core.PlanSource) core.PlanSource {
+	if s == nil || s.disabled {
+		return src
+	}
+	measure := src.Measure
+	id := src.ID
+	return core.PlanSource{
+		ID: id,
+		Measure: func(ta, tb int64) core.Measurement {
+			k := measKey{Scope: scope, Plan: id, TA: ta, TB: tb}
+			if v, ok := s.getMeasurement(k); ok {
+				return v
+			}
+			v := measure(ta, tb)
+			s.putMeasurement(k, v)
+			return v
+		},
+	}
+}
+
+// Warm copies every persisted measurement into the cache (without
+// touching its hit/miss counters) and returns how many entries were
+// loaded. Call it once after Open so a restarted process starts with
+// the LRU it shut down with.
+func (s *Store) Warm(c *core.MeasureCache) int {
+	if s == nil || c == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.disabled {
+		return 0
+	}
+	for k, v := range s.index {
+		c.Put(k.Scope, k.Plan, k.TA, k.TB, measurementOf(v))
+	}
+	return len(s.index)
+}
+
+// Sync flushes any buffered measurement appends to disk.
+func (s *Store) Sync() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.disabled || s.logOut == nil || s.unsynced == 0 {
+		return nil
+	}
+	s.unsynced = 0
+	return s.logOut.Sync()
+}
+
+var _ io.Closer = (*Store)(nil)

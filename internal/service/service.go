@@ -330,6 +330,9 @@ var (
 	// ErrQueueFull rejects Submit when the admission queue is at its
 	// configured limit.
 	ErrQueueFull = errors.New("admission queue full")
+	// ErrUnsupported marks an optional facet the implementation does not
+	// provide — e.g. Stats against a daemon without /v1/stats.
+	ErrUnsupported = errors.New("unsupported by this service")
 )
 
 // watchRetryDelay spaces out Wait's re-attach attempts after a watch

@@ -1,0 +1,73 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"robustmap/internal/core"
+	"robustmap/internal/mapstore"
+)
+
+// ArchiveKey is the content address of a request's finished map: the
+// hash of the request with its execution-only knobs normalized away.
+// Parallelism and Priority change how a job runs, never what it
+// produces — measurements are deterministic — so requests differing
+// only there share one archived result. Everything else (plans,
+// workload/query spec, rows, axis, grid shape, refinement) is part of
+// the address: change any of it and you have asked for a different map.
+func ArchiveKey(req Request) string {
+	req.Parallelism = 0
+	req.Priority = 0
+	b, err := json.Marshal(req)
+	if err != nil {
+		// A Request is plain data; Marshal cannot fail on one. Return a
+		// key no store will ever hold rather than panic in a job server.
+		return ""
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}
+
+// archiveScope builds the human-readable scope recorded beside an
+// archived map, mirroring the request the key hashes.
+func archiveScope(req Request) mapstore.Scope {
+	sc := mapstore.Scope{
+		Rows:   req.EffectiveRows(0),
+		MaxExp: req.EffectiveMaxExp(),
+		Grid2D: req.EffectiveGrid2D(),
+		Refine: req.Refine,
+	}
+	switch {
+	case req.Workload != nil:
+		sc.Kind = "workload"
+		sc.SpecHash = req.Workload.Hash()
+		sc.Plans = req.EffectivePlans()
+	case req.Query != nil:
+		sc.Kind = "query"
+		sc.SpecHash = req.Query.Hash()
+	default:
+		sc.Kind = "plans"
+		sc.Plans = req.EffectivePlans()
+	}
+	return sc
+}
+
+// Stats is a point-in-time snapshot of a service's internals: the
+// shared measurement cache, the persistent store (nil when the service
+// runs without one), and a job census by state.
+type Stats struct {
+	Cache core.CacheStats `json:"cache"`
+	Store *mapstore.Stats `json:"store,omitempty"`
+	Jobs  map[string]int  `json:"jobs,omitempty"`
+}
+
+// StatsSource is the optional introspection facet of a Service.
+// Implementations that can report their internals (Local, and
+// httpapi.Client against a daemon that serves /v1/stats) provide it;
+// callers type-assert and fall back gracefully (ErrUnsupported when
+// the facet is structurally absent).
+type StatsSource interface {
+	ServiceStats(ctx context.Context) (Stats, error)
+}

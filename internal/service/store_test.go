@@ -1,0 +1,194 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"robustmap/internal/mapstore"
+)
+
+func openStore(t *testing.T, dir string) *mapstore.Store {
+	t.Helper()
+	s, err := mapstore.Open(dir, mapstore.Config{EngineVersion: "svc-test", Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("mapstore.Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func runOne(t *testing.T, l *Local, req Request) *Result {
+	t.Helper()
+	ctx := context.Background()
+	id, err := l.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	res, err := Wait(ctx, l, id, nil)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	return res
+}
+
+// TestRestartServedFromArchive is the acceptance pin for the store: run
+// a job against a store, tear the whole service down (the "daemon"
+// dies), bring a fresh service up on the same store, and resubmit the
+// identical request. The result must come from the archive — no
+// resolve, no measurements, byte-identical maps.
+func TestRestartServedFromArchive(t *testing.T) {
+	check := startLeakCheck(t)
+	defer check()
+	dir := t.TempDir()
+	req := Request{Plans: []string{"p1", "p2"}, MaxExp: 3, Grid2D: true}
+
+	st1 := openStore(t, dir)
+	fr1 := newFakeResolver(0)
+	l1 := NewLocal(LocalConfig{Workers: 1, CacheSize: -1, Resolver: fr1, Store: st1})
+	res1 := runOne(t, l1, req)
+	first, err := json.Marshal(res1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := st1.Stats(); s.Maps != 1 || s.MeasureAppends == 0 {
+		t.Fatalf("first run store stats = %+v, want 1 archived map and appended measurements", s)
+	}
+	closeLocal(t, l1)
+	if err := st1.Close(); err != nil {
+		t.Fatalf("store Close: %v", err)
+	}
+
+	// "Restart": fresh store handle, fresh service, same directory. The
+	// request differs only in execution knobs, which the archive key
+	// normalizes away.
+	st2 := openStore(t, dir)
+	fr2 := newFakeResolver(0)
+	l2 := NewLocal(LocalConfig{Workers: 1, CacheSize: -1, Resolver: fr2, Store: st2})
+	defer closeLocal(t, l2)
+	req2 := req
+	req2.Parallelism = 4
+	req2.Priority = 9
+	res2 := runOne(t, l2, req2)
+	second, err := json.Marshal(res2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(first, second) {
+		t.Fatalf("restart result differs from original:\nfirst:  %s\nsecond: %s", first, second)
+	}
+	if got := fr2.order(); len(got) != 0 {
+		t.Fatalf("archive hit still resolved plans: %v", got)
+	}
+	s := st2.Stats()
+	if s.MapHits != 1 {
+		t.Fatalf("MapHits = %d, want 1 (stats: %+v)", s.MapHits, s)
+	}
+	if s.MeasureAppends != 0 {
+		t.Fatalf("restart run measured %d new cells, want 0", s.MeasureAppends)
+	}
+	if cs := l2.CacheStats(); cs.Misses != 0 {
+		t.Fatalf("restart run missed the cache %d times, want 0 (served from archive)", cs.Misses)
+	}
+}
+
+// TestMeasurementTierWarmsAcrossRestart covers the second tier: a *new*
+// request (archive miss) whose cells overlap an earlier run's must take
+// them from the persistent log, measuring only the genuinely new cells.
+func TestMeasurementTierWarmsAcrossRestart(t *testing.T) {
+	check := startLeakCheck(t)
+	defer check()
+	dir := t.TempDir()
+
+	st1 := openStore(t, dir)
+	l1 := NewLocal(LocalConfig{Workers: 1, Resolver: newFakeResolver(0), Store: st1})
+	runOne(t, l1, Request{Plans: []string{"p1"}, MaxExp: 3})
+	firstAppends := st1.Stats().MeasureAppends
+	if firstAppends == 0 {
+		t.Fatal("first run persisted nothing")
+	}
+	closeLocal(t, l1)
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The second request adds a plan: a different archive key, so the
+	// job really resolves and sweeps — but p1's cells are on disk.
+	// CacheSize 0 disables the in-memory tier, so hits prove the store.
+	st2 := openStore(t, dir)
+	l2 := NewLocal(LocalConfig{Workers: 1, CacheSize: 0, Resolver: newFakeResolver(0), Store: st2})
+	defer closeLocal(t, l2)
+	runOne(t, l2, Request{Plans: []string{"p1", "p2"}, MaxExp: 3})
+	s := st2.Stats()
+	if s.MeasureHits != firstAppends {
+		t.Fatalf("MeasureHits = %d, want %d (p1's cells from disk); stats %+v",
+			s.MeasureHits, firstAppends, s)
+	}
+	if s.MeasureAppends != firstAppends {
+		t.Fatalf("MeasureAppends = %d, want %d (only p2's cells measured)", s.MeasureAppends, firstAppends)
+	}
+}
+
+// TestArchiveKeyNormalization pins which request fields address a map
+// and which are execution detail.
+func TestArchiveKeyNormalization(t *testing.T) {
+	base := Request{Plans: []string{"A1"}, MaxExp: 4}
+	key := ArchiveKey(base)
+	if key == "" || len(key) != 32 {
+		t.Fatalf("ArchiveKey = %q", key)
+	}
+	same := base
+	same.Parallelism = 8
+	same.Priority = -3
+	if ArchiveKey(same) != key {
+		t.Fatal("execution knobs changed the archive key")
+	}
+	for name, mut := range map[string]func(*Request){
+		"plans":   func(r *Request) { r.Plans = []string{"A1", "A2"} },
+		"rows":    func(r *Request) { r.Rows = 4096 },
+		"max_exp": func(r *Request) { r.MaxExp = 5 },
+		"grid_2d": func(r *Request) { r.Grid2D = true },
+		"refine":  func(r *Request) { r.Refine = true },
+	} {
+		r := base
+		mut(&r)
+		if ArchiveKey(r) == key {
+			t.Errorf("%s did not change the archive key", name)
+		}
+	}
+}
+
+func TestServiceStats(t *testing.T) {
+	check := startLeakCheck(t)
+	defer check()
+	st := openStore(t, t.TempDir())
+	l := NewLocal(LocalConfig{Workers: 1, CacheSize: -1, Resolver: newFakeResolver(0), Store: st})
+	defer closeLocal(t, l)
+	runOne(t, l, Request{Plans: []string{"p1"}, MaxExp: 2})
+	stats, err := l.ServiceStats(context.Background())
+	if err != nil {
+		t.Fatalf("ServiceStats: %v", err)
+	}
+	if stats.Store == nil || stats.Store.Maps != 1 {
+		t.Fatalf("Stats.Store = %+v, want 1 archived map", stats.Store)
+	}
+	if stats.Cache.Misses == 0 {
+		t.Fatalf("Stats.Cache = %+v, want recorded misses", stats.Cache)
+	}
+	if stats.Jobs["succeeded"] != 1 {
+		t.Fatalf("Stats.Jobs = %v", stats.Jobs)
+	}
+
+	// Without a store the field stays absent rather than zero-valued.
+	l2 := NewLocal(LocalConfig{Workers: 1, Resolver: newFakeResolver(0)})
+	defer closeLocal(t, l2)
+	stats2, err := l2.ServiceStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Store != nil {
+		t.Fatalf("storeless Stats.Store = %+v, want nil", stats2.Store)
+	}
+}
