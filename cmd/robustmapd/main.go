@@ -158,7 +158,8 @@ func main() {
 	cs := svc.CacheStats()
 	log.Printf("robustmapd: stopped (cache: %d hits, %d misses, %d entries)",
 		cs.Hits, cs.Misses, cs.Size)
-	if ss := st.Stats(); st != nil {
+	if st != nil {
+		ss := st.Stats()
 		log.Printf("robustmapd: store: %d measurements (%d hits, %d new), %d maps (%d served from disk, %d quarantined)",
 			ss.Measurements, ss.MeasureHits, ss.MeasureAppends, ss.Maps, ss.MapHits, ss.Quarantined)
 	}

@@ -21,6 +21,10 @@ func compare1D(r *Report, a, b *core.Map1D) {
 		return
 	}
 
+	if !grids1DConsistent(r, a, b, shared) {
+		return
+	}
+
 	var rows []string
 	n := 0
 	for i := range a.Rows {
@@ -38,7 +42,7 @@ func compare1D(r *Report, a, b *core.Map1D) {
 		for i := range sa {
 			if sa[i] != sb[i] {
 				n++
-				if q := ratio(sa[i], sb[i]); q > worst {
+				if q := ratio(sa[i], sb[i]); worstAt == -1 || q > worst {
 					worst, worstAt = q, i
 				}
 			}
@@ -134,6 +138,10 @@ func compare2D(r *Report, a, b *core.Map2D) {
 		return
 	}
 
+	if !grids2DConsistent(r, a, b, shared) {
+		return
+	}
+
 	var rows []string
 	n := 0
 	for i := range a.Rows {
@@ -156,7 +164,7 @@ func compare2D(r *Report, a, b *core.Map2D) {
 			for j := range ga[i] {
 				if ga[i][j] != gb[i][j] {
 					n++
-					if q := ratio(ga[i][j], gb[i][j]); q > worst {
+					if q := ratio(ga[i][j], gb[i][j]); worstI == -1 || q > worst {
 						worst, worstI, worstJ = q, i, j
 					}
 				}
@@ -216,6 +224,69 @@ func diffLandmarks2D(a, b *core.Map2D, shared []string) []string {
 		}
 	}
 	return out
+}
+
+// grids1DConsistent verifies each side's grids match its axes: len(Rows)
+// and every shared plan's series must equal len(Thresholds). A sweep
+// always satisfies this, but `robustmap diff` also accepts hand-edited
+// or truncated bare-result JSON; report the bad shape instead of
+// indexing past the end of a short slice.
+func grids1DConsistent(r *Report, a, b *core.Map1D, shared []string) bool {
+	var out []string
+	check := func(side string, m *core.Map1D) {
+		want := len(m.Thresholds)
+		if len(m.Rows) != want {
+			out = append(out, fmt.Sprintf("%s: %d rows for %d thresholds", side, len(m.Rows), want))
+		}
+		for _, id := range shared {
+			if n := len(m.Series(id)); n != want {
+				out = append(out, fmt.Sprintf("%s: plan %s has %d points for %d thresholds", side, id, n, want))
+			}
+		}
+	}
+	check("A", a)
+	check("B", b)
+	if len(out) > 0 {
+		r.add("shape", append(out, "(grid comparisons skipped: grids do not match axes)"))
+		return false
+	}
+	return true
+}
+
+// grids2DConsistent is grids1DConsistent for 2-D maps: Rows and every
+// shared plan grid must be len(TA) x len(TB) on both sides.
+func grids2DConsistent(r *Report, a, b *core.Map2D, shared []string) bool {
+	var out []string
+	check := func(side string, m *core.Map2D) {
+		if !gridIs(m.Rows, len(m.TA), len(m.TB)) {
+			out = append(out, fmt.Sprintf("%s: rows grid is not %dx%d", side, len(m.TA), len(m.TB)))
+		}
+		for _, id := range shared {
+			if !gridIs(m.PlanGrid(id), len(m.TA), len(m.TB)) {
+				out = append(out, fmt.Sprintf("%s: plan %s grid is not %dx%d", side, id, len(m.TA), len(m.TB)))
+			}
+		}
+	}
+	check("A", a)
+	check("B", b)
+	if len(out) > 0 {
+		r.add("shape", append(out, "(grid comparisons skipped: grids do not match axes)"))
+		return false
+	}
+	return true
+}
+
+// gridIs reports whether g is a full rows x cols grid.
+func gridIs[T any](g [][]T, rows, cols int) bool {
+	if len(g) != rows {
+		return false
+	}
+	for _, row := range g {
+		if len(row) != cols {
+			return false
+		}
+	}
+	return true
 }
 
 // ratio is the larger-over-smaller quotient of two durations, ≥ 1, for

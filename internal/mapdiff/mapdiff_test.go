@@ -209,6 +209,50 @@ func TestShapeMismatch(t *testing.T) {
 	}
 }
 
+// TestTruncatedGridsReportShape pins the error contract for hand-edited
+// or truncated bare-result JSON — a documented input of `robustmap
+// diff`: grids shorter than the axes must surface as a shape finding,
+// never as an index panic.
+func TestTruncatedGridsReportShape(t *testing.T) {
+	t.Run("2d", func(t *testing.T) {
+		m := testMap2D("P1", "P2")
+		m.Times[1][2] = m.Times[1][2][:2] // one short grid row
+		m.Rows = m.Rows[:3]               // and a short rows grid
+		r := Compare(&service.Result{Map2D: testMap2D("P1", "P2")}, &service.Result{Map2D: m})
+		report := strings.Join(r.Lines(), "\n")
+		if !strings.Contains(report, "shape: B: plan P2 grid is not 4x4") ||
+			!strings.Contains(report, "shape: B: rows grid is not 4x4") {
+			t.Fatalf("truncated 2-D grids not reported as shape:\n%s", report)
+		}
+		if strings.Contains(report, "winner-grid") || strings.Contains(report, "times:") {
+			t.Fatalf("grid comparison ran over truncated grids:\n%s", report)
+		}
+	})
+	t.Run("1d", func(t *testing.T) {
+		mk := func() *core.Map1D {
+			return &core.Map1D{
+				Fractions:  []float64{0.25, 0.5, 1},
+				Thresholds: []int64{32, 64, 128},
+				Plans:      []string{"P1"},
+				Times:      [][]time.Duration{{1, 2, 3}},
+				Rows:       []int64{1, 2, 3},
+			}
+		}
+		m := mk()
+		m.Times[0] = m.Times[0][:1]
+		m.Rows = m.Rows[:2]
+		r := Compare(&service.Result{Map1D: mk()}, &service.Result{Map1D: m})
+		report := strings.Join(r.Lines(), "\n")
+		if !strings.Contains(report, "shape: B: plan P1 has 1 points for 3 thresholds") ||
+			!strings.Contains(report, "shape: B: 2 rows for 3 thresholds") {
+			t.Fatalf("truncated 1-D grids not reported as shape:\n%s", report)
+		}
+		if strings.Contains(report, "winner-grid") || strings.Contains(report, "times:") {
+			t.Fatalf("grid comparison ran over truncated series:\n%s", report)
+		}
+	})
+}
+
 // TestLoadFile covers both on-disk forms: a bare Result and a store
 // envelope, which must load to the same comparison input.
 func TestLoadFile(t *testing.T) {
