@@ -2,9 +2,10 @@
 // REST — the daemon half of the service API. Any number of clients
 // (cmd/sweep -server, the httpapi.Client, or plain curl) submit
 // declarative sweep requests; the daemon schedules them on a bounded
-// worker pool with priority admission, streams progress over SSE, and
-// shares one measurement cache across every job, so repeated studies
-// never re-measure a (system, plan, point) cell.
+// worker pool with priority admission and per-tenant quotas, streams
+// progress over SSE, and shares one measurement cache across every
+// job, so repeated studies never re-measure a (system, plan, point)
+// cell.
 //
 // Usage:
 //
@@ -14,9 +15,24 @@
 //
 // With -store, every measured (system, plan, point) cell and every
 // finished map is persisted in a content-addressed on-disk store: the
-// cache re-warms on startup and a resubmitted identical request is
-// served byte-for-byte from disk without measuring anything. GET
-// /v1/stats reports the live cache, store, and job counters.
+// cache re-warms on startup, a resubmitted identical request is served
+// byte-for-byte from disk without measuring anything, and GET
+// /v1/maps/{key} serves any archived map's verified envelope directly.
+// GET /v1/stats reports the live cache, store, and job counters.
+//
+// Fleet modes. One robustmapd can also be a sweep-fabric node:
+//
+//	robustmapd -coordinator -addr :8421           # shard jobs across workers
+//	robustmapd -worker http://coord:8421 -addr :8422
+//	robustmapd -worker http://coord:8421 -addr :8423
+//
+// A coordinator serves the exact same job API but executes nothing
+// itself: it partitions each job's grid into contiguous shards,
+// dispatches them to registered workers (shipping workload specs once,
+// by content hash), re-issues failed or straggling shards, and merges
+// the results byte-identical to a single-process run. Workers register
+// and heartbeat against the coordinator automatically and keep serving
+// direct submissions too.
 //
 // Walkthrough:
 //
@@ -27,7 +43,9 @@
 //	curl -s localhost:8421/v1/jobs/job-000001/result   # the maps
 //	curl -s -X DELETE localhost:8421/v1/jobs/job-000001
 //
-// On SIGINT/SIGTERM the daemon drains gracefully: the listener stops,
+// On SIGINT/SIGTERM the daemon drains gracefully: /readyz flips to 503
+// "draining" immediately (the /healthz liveness probe stays ok — the
+// process is alive, just not accepting new work), the listener stops,
 // running jobs finish (up to -grace), then stragglers are cancelled.
 package main
 
@@ -41,11 +59,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"robustmap/internal/cliutil"
 	"robustmap/internal/engine"
+	"robustmap/internal/fabric"
 	"robustmap/internal/httpapi"
 	"robustmap/internal/mapstore"
 	"robustmap/internal/service"
@@ -61,6 +81,16 @@ func main() {
 		ttl     = flag.Duration("job-ttl", time.Hour, "retention of finished jobs before GC (0 = keep forever)")
 		grace   = flag.Duration("grace", 30*time.Second, "graceful drain budget on shutdown before jobs are cancelled")
 		quiet   = flag.Bool("quiet", false, "suppress per-request logging")
+		quota   = flag.Int("tenant-quota", 0, "max active (queued+running) jobs per tenant (0 = unbounded)")
+
+		coordinator = flag.Bool("coordinator", false, "run as a fleet coordinator: shard jobs across registered workers instead of measuring locally")
+		workerOf    = flag.String("worker", "", "run as a fleet worker registering with the coordinator at this URL")
+		advertise   = flag.String("advertise", "", "URL workers advertise to the coordinator (default derives from -addr)")
+		shards      = flag.Int("shards", 0, "coordinator: shards per job (0 = 2x live workers)")
+		retries     = flag.Int("retries", fabric.DefaultRetries, "coordinator: per-shard re-issue budget beyond the first attempt")
+		straggler   = flag.Duration("straggler", 30*time.Second, "coordinator: hedged deadline before a straggling shard is re-issued (0 = off)")
+		workerTTL   = flag.Duration("worker-ttl", 15*time.Second, "coordinator: drop workers whose heartbeat is older than this")
+		heartbeat   = flag.Duration("heartbeat", fabric.DefaultHeartbeatInterval, "worker: heartbeat interval")
 	)
 	flag.Parse()
 	fatalf := func(format string, args ...any) {
@@ -79,6 +109,15 @@ func main() {
 	if *ttl < 0 || *grace < 0 {
 		fatalf("-job-ttl and -grace must not be negative")
 	}
+	if *quota < 0 {
+		fatalf("-tenant-quota must be 0 (unbounded) or positive, got %d", *quota)
+	}
+	if *coordinator && *workerOf != "" {
+		fatalf("-coordinator and -worker are mutually exclusive")
+	}
+	if *retries < 0 {
+		fatalf("-retries must not be negative")
+	}
 
 	logf := log.Printf
 	if *quiet {
@@ -96,13 +135,54 @@ func main() {
 		}
 		defer st.Close()
 	}
-	svc := service.NewLocal(service.LocalConfig{
-		Workers:    *workers,
-		QueueLimit: *queue,
-		TTL:        *ttl,
-		CacheSize:  *cache,
-		Store:      st,
-	})
+
+	// The readiness gate: unready while warming (store open, service
+	// start), flipped ready just before the listener accepts, and back
+	// to "draining" the instant a shutdown signal lands — while
+	// /healthz liveness stays ok throughout.
+	ready := httpapi.NewReadiness("warming")
+	// Every daemon gets a spec store: workers need it for the fabric's
+	// submit-by-reference, and on any daemon it lets clients ship a
+	// large workload once and reuse it by hash.
+	specs := fabric.NewSpecCache(0)
+
+	cfg := service.LocalConfig{
+		Workers:     *workers,
+		QueueLimit:  *queue,
+		TTL:         *ttl,
+		CacheSize:   *cache,
+		Store:       st,
+		Specs:       specs,
+		TenantQuota: *quota,
+	}
+	srvOpts := []httpapi.ServerOption{
+		httpapi.WithLogger(logf),
+		httpapi.WithReadiness(ready),
+		httpapi.WithSpecs(specs),
+	}
+	if st != nil {
+		srvOpts = append(srvOpts, httpapi.WithMaps(st))
+	}
+
+	mode := "daemon"
+	var registry *fabric.Registry
+	if *coordinator {
+		mode = "coordinator"
+		registry = fabric.NewRegistry(*workerTTL, nil)
+		cfg.Runner = fabric.NewCoordinator(fabric.CoordinatorConfig{
+			Registry:  registry,
+			Shards:    *shards,
+			Retries:   *retries,
+			Straggler: *straggler,
+			Logf:      logf,
+		})
+		// A coordinator measures nothing itself; its cache would only
+		// shadow the workers'. The store still archives merged maps.
+		cfg.CacheSize = 0
+		srvOpts = append(srvOpts, httpapi.WithRegistry(registry))
+	}
+
+	svc := service.NewLocal(cfg)
 	// Request contexts derive from streamCtx so shutdown can end the
 	// open SSE watch streams: they otherwise hold their connections
 	// until a job goes terminal, and srv.Shutdown would burn the whole
@@ -111,12 +191,37 @@ func main() {
 	defer stopStreams()
 	srv := &http.Server{
 		Addr:        *addr,
-		Handler:     httpapi.NewServer(svc, httpapi.WithLogger(logf)),
+		Handler:     httpapi.NewServer(svc, srvOpts...),
 		BaseContext: func(net.Listener) context.Context { return streamCtx },
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Worker mode: announce to the coordinator and keep heartbeating
+	// until shutdown; the bye on exit stops dispatch immediately.
+	hbCtx, stopHeartbeat := context.WithCancel(context.Background())
+	hbDone := make(chan struct{})
+	close(hbDone)
+	if *workerOf != "" {
+		mode = "worker"
+		self := *advertise
+		if self == "" {
+			host := *addr
+			if strings.HasPrefix(host, ":") {
+				host = "127.0.0.1" + host
+			}
+			self = "http://" + host
+		}
+		coordClient := httpapi.NewClient(strings.TrimRight(*workerOf, "/"))
+		hbDone = make(chan struct{})
+		go func() {
+			defer close(hbDone)
+			fabric.Heartbeat(hbCtx, coordClient, self, *heartbeat, logf)
+		}()
+		log.Printf("robustmapd: worker registering with %s as %s", *workerOf, self)
+	}
+	defer stopHeartbeat()
 
 	errc := make(chan error, 1)
 	go func() {
@@ -124,8 +229,9 @@ func main() {
 		if st != nil {
 			extra = fmt.Sprintf(" store=%s", st.Dir())
 		}
-		log.Printf("robustmapd: serving on %s (workers=%d cache=%d job-ttl=%s%s)",
-			*addr, *workers, *cache, *ttl, extra)
+		log.Printf("robustmapd: %s serving on %s (workers=%d cache=%d job-ttl=%s%s)",
+			mode, *addr, *workers, *cache, *ttl, extra)
+		ready.Set("")
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -137,23 +243,33 @@ func main() {
 	}
 	log.Printf("robustmapd: shutting down, draining for up to %s", *grace)
 
-	// Refuse new jobs first, end the watch streams (their clients fall
-	// back to polling Status), then stop the listener — in-flight plain
-	// requests finish — and only then drain the scheduler, so running
-	// jobs get the whole grace budget.
+	// Shutdown order matters and is pinned by tests: readiness flips
+	// first — load balancers and the coordinator must stop routing here
+	// before anything else winds down — then new jobs are refused, the
+	// worker deregisters, and the watch streams end. The listener stays
+	// up for the whole drain (watch clients fall back to polling
+	// Status, /readyz answers 503 draining while /healthz stays ok, and
+	// finished results remain fetchable); it stops only after the
+	// scheduler has drained, so running jobs get the whole grace
+	// budget and are observable to the end.
+	ready.Set("draining")
 	svc.Drain()
+	stopHeartbeat()
+	<-hbDone
 	stopStreams()
 	dctx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
-	if err := srv.Shutdown(dctx); err != nil {
-		log.Printf("robustmapd: listener shutdown: %v", err)
-	}
 	if err := svc.Close(dctx); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			log.Printf("robustmapd: grace period elapsed, remaining jobs cancelled")
 		} else {
 			log.Printf("robustmapd: drain: %v", err)
 		}
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("robustmapd: listener shutdown: %v", err)
 	}
 	cs := svc.CacheStats()
 	log.Printf("robustmapd: stopped (cache: %d hits, %d misses, %d entries)",

@@ -74,6 +74,7 @@ func main() {
 		storeDir = flag.String("store", "", "persist measurements and finished maps in this directory; identical reruns are served from disk (in-process sweeps; a daemon manages its own store)")
 		progress = flag.Bool("progress", false, "render a live measured-cell count line on stderr")
 		server   = flag.String("server", "", "submit to a robustmapd at this base URL instead of sweeping in process")
+		tenant   = flag.String("tenant", "", "tenant the job is accounted to (daemons may enforce per-tenant quotas)")
 		workload = flag.String("workload", "", "sweep a declarative workload spec (JSON file) instead of the built-in plans")
 		query    = flag.String("query", "", "sweep a logical query spec (JSON file): the optimizer enumerates the plans and the result carries its pick/regret overlay")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of this process to the file (covers the whole sweep; with -server it profiles only the client)")
@@ -129,6 +130,7 @@ func main() {
 		Grid2D:      *grid,
 		Parallelism: *parallel,
 		Refine:      *refine,
+		Tenant:      *tenant,
 	}
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })

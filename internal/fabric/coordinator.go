@@ -1,0 +1,307 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"robustmap/internal/core"
+	"robustmap/internal/engine"
+	"robustmap/internal/service"
+	"robustmap/internal/spec"
+)
+
+// CoordinatorConfig parameterizes the fleet runner.
+type CoordinatorConfig struct {
+	// Registry is the live worker fleet (required).
+	Registry *Registry
+	// Shards bounds how many shards a job is split into; 0 derives
+	// 2 × live workers (two waves, so a fast worker picks up a second
+	// shard instead of idling behind the slowest), clamped to the axis.
+	Shards int
+	// Retries is the per-shard re-issue budget beyond the first attempt
+	// (failed or hedged attempts both draw on it); < 0 means
+	// DefaultRetries.
+	Retries int
+	// Straggler is the hedged deadline: a shard still running after
+	// this long gets a second attempt issued on another worker, first
+	// result wins. 0 disables time-based hedging (failure re-issue
+	// still applies).
+	Straggler time.Duration
+	// DefaultRows is the row count used when a request does not pin one
+	// — it must match the workers' engine default so a query's cost
+	// model sees the cardinality its measurements ran at. 0 means
+	// engine.DefaultConfig().Rows.
+	DefaultRows int64
+	// Logf receives dispatch diagnostics (nil discards).
+	Logf func(format string, args ...any)
+}
+
+// DefaultRetries is the per-shard re-issue budget beyond the first
+// attempt: enough to survive a worker death plus a flaky dial without
+// letting a poisoned shard cycle the fleet forever.
+const DefaultRetries = 3
+
+// Coordinator is the fabric's service.Runner: it executes an admitted
+// job by sharding its grid across the worker fleet. Wrap it in a
+// service.Local (LocalConfig.Runner) to get the full Service surface —
+// queueing, quotas, watch, archive — on top.
+type Coordinator struct {
+	cfg     CoordinatorConfig
+	checker service.Resolver // submit-time validation, no engine builds
+	logf    func(format string, args ...any)
+}
+
+// NewCoordinator returns a runner dispatching to cfg.Registry's fleet.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	if cfg.Registry == nil {
+		panic("fabric: NewCoordinator needs a Registry")
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = DefaultRetries
+	}
+	if cfg.DefaultRows == 0 {
+		cfg.DefaultRows = engine.DefaultConfig().Rows
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	// The coordinator validates submissions exactly like a standalone
+	// daemon — same resolver, same sentinel errors — so a client cannot
+	// tell the two apart by their rejections. Check never builds
+	// systems, so the resolver stays cheap here.
+	return &Coordinator{cfg: cfg, checker: service.NewEngineResolver(engine.DefaultConfig()), logf: logf}
+}
+
+// Check implements service.Runner.
+func (c *Coordinator) Check(req service.Request) error { return c.checker.Check(req) }
+
+// Run implements service.Runner: partition, dispatch, re-issue, merge.
+func (c *Coordinator) Run(ctx context.Context, req service.Request, onProgress core.ProgressFunc) (*service.Result, error) {
+	// Adaptive refinement decides where to measure from what it has
+	// already seen — a global feedback loop that has no byte-identical
+	// decomposition — so refine jobs run whole on one worker.
+	if req.Refine {
+		return c.forward(ctx, req, onProgress)
+	}
+	// A query job is lowered to the workload its measurements actually
+	// run; the regret overlay is applied here on the merged map (a
+	// per-shard overlay would see false pick-flips at shard seams).
+	var finish func(*service.Result) error
+	if req.Query != nil {
+		lowered, fin, err := service.SynthesizeQuery(req, c.cfg.DefaultRows)
+		if err != nil {
+			return nil, err
+		}
+		req, finish = lowered, fin
+	}
+
+	workers := c.cfg.Registry.Live()
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("%w: no live workers registered", service.ErrUnsupported)
+	}
+	points := req.EffectiveMaxExp() + 1
+	nshards := c.cfg.Shards
+	if nshards <= 0 {
+		nshards = 2 * len(workers)
+	}
+	shards := Partition(points, nshards)
+	c.logf("fabric: dispatching %d shard(s) over %d point(s) to %d worker(s)",
+		len(shards), points, len(workers))
+
+	run := &fleetRun{
+		c:       c,
+		workers: workers,
+		ws:      req.Workload,
+		agg:     newProgressAgg(len(shards), onProgress),
+	}
+	parts := make([]*service.Result, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		shardReq := req
+		shardReq.Shard = &service.Shard{Lo: sh.Lo, Hi: sh.Hi}
+		// Tenancy and priority are the submitting job's concern; inside
+		// the fleet every shard is equal, and stripping them keeps the
+		// workers' archive keys canonical.
+		shardReq.Tenant = ""
+		shardReq.Priority = 0
+		wg.Add(1)
+		go func(i int, r service.Request) {
+			defer wg.Done()
+			parts[i], errs[i] = run.shard(ctx, i, r)
+		}(i, shardReq)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("fabric: shard %d/%d: %w", i+1, len(shards), err)
+		}
+	}
+	res, err := Merge(parts)
+	if err != nil {
+		return nil, err
+	}
+	if finish != nil {
+		if err := finish(res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// forward runs the request whole on one worker (refine jobs), with the
+// same ship-on-miss and failure re-issue as sharded dispatch.
+func (c *Coordinator) forward(ctx context.Context, req service.Request, onProgress core.ProgressFunc) (*service.Result, error) {
+	workers := c.cfg.Registry.Live()
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("%w: no live workers registered", service.ErrUnsupported)
+	}
+	run := &fleetRun{
+		c:       c,
+		workers: workers,
+		ws:      req.Workload,
+		agg:     newProgressAgg(1, onProgress),
+	}
+	req.Tenant = ""
+	req.Priority = 0
+	return run.shard(ctx, 0, req)
+}
+
+// fleetRun is one job's dispatch state, shared by its shard goroutines.
+type fleetRun struct {
+	c       *Coordinator
+	workers []Member
+	ws      *spec.WorkloadSpec // shipped on a worker's spec miss
+	agg     *progressAgg
+}
+
+// outcome is one attempt's return.
+type outcome struct {
+	res *service.Result
+	err error
+}
+
+// shard runs one shard to success: an attempt on a worker picked
+// round-robin (offset by the shard index so a fleet starts evenly
+// loaded), a hedged second attempt if the first outlives the straggler
+// deadline, and re-issue on another worker after a failure, within the
+// retry budget. The first successful attempt wins; the attempt context
+// cancels the rest, which the workers observe as a normal client
+// cancellation at the next cell boundary.
+func (f *fleetRun) shard(ctx context.Context, i int, req service.Request) (*service.Result, error) {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	budget := f.c.cfg.Retries + 1
+	resc := make(chan outcome, budget)
+	attempts, inflight := 0, 0
+	launch := func() {
+		m := f.workers[(i+attempts)%len(f.workers)]
+		attempts++
+		inflight++
+		f.c.logf("fabric: shard %d attempt %d on %s", i, attempts, m.Addr)
+		go func() {
+			res, err := f.dispatch(actx, m, i, req)
+			resc <- outcome{res, err}
+		}()
+	}
+	launch()
+	var hedge <-chan time.Time
+	if f.c.cfg.Straggler > 0 && len(f.workers) > 1 {
+		t := time.NewTimer(f.c.cfg.Straggler)
+		defer t.Stop()
+		hedge = t.C
+	}
+	var lastErr error
+	for {
+		select {
+		case out := <-resc:
+			inflight--
+			if out.err == nil {
+				return out.res, nil
+			}
+			if err := actx.Err(); err != nil && inflight == 0 {
+				return nil, err
+			}
+			lastErr = out.err
+			f.c.logf("fabric: shard %d attempt failed: %v", i, out.err)
+			switch {
+			case attempts < budget:
+				launch()
+			case inflight == 0:
+				return nil, fmt.Errorf("gave up after %d attempts: %w", attempts, lastErr)
+			}
+		case <-hedge:
+			// The primary is straggling. Don't kill it — it may yet win —
+			// but race a second attempt on the next worker.
+			hedge = nil
+			if attempts < budget {
+				f.c.logf("fabric: shard %d straggling past %s, hedging", i, f.c.cfg.Straggler)
+				launch()
+			}
+		}
+	}
+}
+
+// dispatch is one attempt on one worker: submit (shipping the workload
+// spec on a miss), stream progress into the aggregate, wait, fetch.
+func (f *fleetRun) dispatch(ctx context.Context, m Member, i int, req service.Request) (*service.Result, error) {
+	// Ship workloads by content hash: the first submission of a spec to
+	// a worker misses, costs one PUT, and every later shard or job
+	// reuses it. Requests without a workload (builtin plans) go as-is.
+	if req.Workload != nil {
+		req.WorkloadRef = req.Workload.Hash()
+		req.Workload = nil
+	}
+	onProgress := func(p core.Progress) { f.agg.update(i, p) }
+	res, err := service.Run(ctx, m.W, req, onProgress)
+	if errors.Is(err, service.ErrSpecNotFound) && f.ws != nil {
+		if perr := m.W.PutWorkload(ctx, f.ws); perr != nil {
+			return nil, fmt.Errorf("shipping spec to %s: %w", m.Addr, perr)
+		}
+		res, err = service.Run(ctx, m.W, req, onProgress)
+	}
+	return res, err
+}
+
+// progressAgg folds per-shard progress snapshots into one coherent
+// stream: totals and measured counts sum across shards, and Done is
+// reported only when every shard's final report is in — so a watcher
+// of the coordinator job sees a single sweep marching to completion,
+// not interleaved per-shard counters.
+type progressAgg struct {
+	mu         sync.Mutex
+	parts      []core.Progress
+	onProgress core.ProgressFunc
+}
+
+func newProgressAgg(n int, onProgress core.ProgressFunc) *progressAgg {
+	return &progressAgg{parts: make([]core.Progress, n), onProgress: onProgress}
+}
+
+func (a *progressAgg) update(i int, p core.Progress) {
+	if a.onProgress == nil {
+		return
+	}
+	a.mu.Lock()
+	// A hedged duplicate can regress the counter for its shard slot;
+	// keep the furthest-along snapshot so the aggregate stays monotonic.
+	if p.MeasuredCells >= a.parts[i].MeasuredCells || p.Done {
+		a.parts[i] = p
+	}
+	var sum core.Progress
+	sum.Done = true
+	for _, q := range a.parts {
+		sum.MeasuredCells += q.MeasuredCells
+		sum.InterpolatedCells += q.InterpolatedCells
+		sum.TotalCells += q.TotalCells
+		sum.Done = sum.Done && q.Done
+	}
+	a.mu.Unlock()
+	a.onProgress(sum)
+}
+
+var _ service.Runner = (*Coordinator)(nil)

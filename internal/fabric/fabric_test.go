@@ -1,0 +1,294 @@
+package fabric
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"robustmap/internal/core"
+	"robustmap/internal/service"
+	"robustmap/internal/spec"
+)
+
+func TestPartition(t *testing.T) {
+	cases := []struct {
+		points, k int
+		want      []service.Shard
+	}{
+		{points: 5, k: 1, want: []service.Shard{{Lo: 0, Hi: 5}}},
+		{points: 5, k: 2, want: []service.Shard{{Lo: 0, Hi: 3}, {Lo: 3, Hi: 5}}},
+		{points: 5, k: 3, want: []service.Shard{{Lo: 0, Hi: 2}, {Lo: 2, Hi: 4}, {Lo: 4, Hi: 5}}},
+		// More shards than points clamps to single-point shards.
+		{points: 5, k: 7, want: []service.Shard{
+			{Lo: 0, Hi: 1}, {Lo: 1, Hi: 2}, {Lo: 2, Hi: 3}, {Lo: 3, Hi: 4}, {Lo: 4, Hi: 5}}},
+		{points: 6, k: 4, want: []service.Shard{
+			{Lo: 0, Hi: 2}, {Lo: 2, Hi: 4}, {Lo: 4, Hi: 5}, {Lo: 5, Hi: 6}}},
+		// k < 1 is clamped to one shard.
+		{points: 3, k: 0, want: []service.Shard{{Lo: 0, Hi: 3}}},
+		{points: 0, k: 3, want: nil},
+		{points: -1, k: 3, want: nil},
+	}
+	for _, c := range cases {
+		got := Partition(c.points, c.k)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Partition(%d, %d) = %v, want %v", c.points, c.k, got, c.want)
+		}
+	}
+}
+
+// TestPartitionCovers is the structural property behind the merge: for
+// any (points, k) the shards are non-empty, contiguous, in order, and
+// jointly cover [0, points) exactly once.
+func TestPartitionCovers(t *testing.T) {
+	for points := 1; points <= 33; points++ {
+		for k := 1; k <= points+3; k++ {
+			shards := Partition(points, k)
+			lo := 0
+			for _, s := range shards {
+				if s.Lo != lo || s.Hi <= s.Lo {
+					t.Fatalf("Partition(%d, %d): bad shard %+v at offset %d", points, k, s, lo)
+				}
+				lo = s.Hi
+			}
+			if lo != points {
+				t.Fatalf("Partition(%d, %d) covers [0,%d), want [0,%d)", points, k, lo, points)
+			}
+		}
+	}
+}
+
+// map2DPart builds a tiny 2-D shard result covering A-axis rows
+// [lo, hi) with deterministic synthetic cells.
+func map2DPart(plans []string, lo, hi int) *service.Result {
+	m := &core.Map2D{
+		Plans: plans,
+		FracB: []float64{0.5, 1},
+		TB:    []int64{50, 100},
+		Times: make([][][]time.Duration, len(plans)),
+	}
+	for i := lo; i < hi; i++ {
+		m.FracA = append(m.FracA, float64(i+1)/10)
+		m.TA = append(m.TA, int64(i+1)*10)
+		m.Rows = append(m.Rows, []int64{int64(i) * 2, int64(i)*2 + 1})
+		for pi := range plans {
+			m.Times[pi] = append(m.Times[pi], []time.Duration{
+				time.Duration((pi+1)*(i+1)) * time.Microsecond,
+				time.Duration((pi+1)*(i+1)) * time.Millisecond,
+			})
+		}
+	}
+	return &service.Result{Map2D: m}
+}
+
+func TestMerge2D(t *testing.T) {
+	plans := []string{"p1", "p2"}
+	whole := map2DPart(plans, 0, 5)
+	parts := []*service.Result{
+		map2DPart(plans, 0, 2), map2DPart(plans, 2, 3), map2DPart(plans, 3, 5),
+	}
+	got, err := Merge(parts)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if !reflect.DeepEqual(got.Map2D, whole.Map2D) {
+		t.Errorf("merged map differs from the whole:\ngot  %+v\nwant %+v", got.Map2D, whole.Map2D)
+	}
+}
+
+func TestMerge1D(t *testing.T) {
+	mk := func(lo, hi int) *service.Result {
+		m := &core.Map1D{Plans: []string{"p"}, Times: make([][]time.Duration, 1)}
+		for i := lo; i < hi; i++ {
+			m.Fractions = append(m.Fractions, float64(i+1)/8)
+			m.Thresholds = append(m.Thresholds, int64(i+1))
+			m.Rows = append(m.Rows, int64(i))
+			m.Times[0] = append(m.Times[0], time.Duration(i+1)*time.Microsecond)
+		}
+		return &service.Result{Map1D: m}
+	}
+	got, err := Merge([]*service.Result{mk(0, 3), mk(3, 4)})
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if !reflect.DeepEqual(got.Map1D, mk(0, 4).Map1D) {
+		t.Errorf("merged 1-D map differs from the whole")
+	}
+}
+
+func TestMergeRejections(t *testing.T) {
+	plans := []string{"p1", "p2"}
+	ok := func() *service.Result { return map2DPart(plans, 0, 2) }
+	cases := []struct {
+		name  string
+		parts []*service.Result
+	}{
+		{"empty", nil},
+		{"nil part", []*service.Result{ok(), nil}},
+		{"no map", []*service.Result{{}}},
+		{"mesh overlay", []*service.Result{{Map2D: ok().Map2D, Mesh2D: &core.Mesh2D{}}}},
+		{"regret overlay", []*service.Result{{Map2D: ok().Map2D, Regret2D: &core.RegretMap2D{}}}},
+		{"plan mismatch", []*service.Result{ok(), map2DPart([]string{"p1", "zz"}, 2, 3)}},
+		{"plan count mismatch", []*service.Result{ok(), map2DPart([]string{"p1"}, 2, 3)}},
+		{"dimension mismatch", []*service.Result{ok(), {Map1D: &core.Map1D{Plans: plans}}}},
+		{"b-axis mismatch", []*service.Result{ok(), func() *service.Result {
+			p := map2DPart(plans, 2, 3)
+			p.Map2D.TB = p.Map2D.TB[:1]
+			p.Map2D.FracB = p.Map2D.FracB[:1]
+			return p
+		}()}},
+	}
+	for _, c := range cases {
+		if _, err := Merge(c.parts); err == nil {
+			t.Errorf("Merge(%s): no error, want one", c.name)
+		}
+	}
+}
+
+// TestMergeSinglePart pins the fast path: one shard passes through
+// untouched, overlays and all checks aside from the nil guards skipped.
+func TestMergeSinglePart(t *testing.T) {
+	p := map2DPart([]string{"p"}, 0, 3)
+	got, err := Merge([]*service.Result{p})
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if got != p {
+		t.Errorf("single-part merge did not pass the result through")
+	}
+}
+
+// testWorkload builds a minimal distinct spec: the cache keys on the
+// content hash alone, so structural validity is not needed here.
+func testWorkload(name string) *spec.WorkloadSpec {
+	return &spec.WorkloadSpec{Name: name}
+}
+
+func TestSpecCache(t *testing.T) {
+	c := NewSpecCache(2)
+	w1, w2, w3 := testWorkload("w1"), testWorkload("w2"), testWorkload("w3")
+
+	h1 := c.PutWorkload(w1)
+	if h1 != w1.Hash() {
+		t.Fatalf("PutWorkload hash = %q, want %q", h1, w1.Hash())
+	}
+	if got, ok := c.WorkloadByHash(h1); !ok || got != w1 {
+		t.Fatalf("WorkloadByHash(%q) = %v, %v", h1, got, ok)
+	}
+	if _, ok := c.WorkloadByHash("nope"); ok {
+		t.Fatal("WorkloadByHash on a missing hash reported a hit")
+	}
+
+	// Republish is idempotent, then fill to capacity.
+	c.PutWorkload(w1)
+	c.PutWorkload(w2)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	// Touch w1 so w2 is the LRU victim when w3 arrives.
+	c.WorkloadByHash(h1)
+	c.PutWorkload(w3)
+	if c.Len() != 2 {
+		t.Fatalf("Len after eviction = %d, want 2", c.Len())
+	}
+	if _, ok := c.WorkloadByHash(w2.Hash()); ok {
+		t.Error("w2 survived eviction; LRU should have evicted it")
+	}
+	if _, ok := c.WorkloadByHash(h1); !ok {
+		t.Error("w1 was evicted despite being most recently used")
+	}
+	if _, ok := c.WorkloadByHash(w3.Hash()); !ok {
+		t.Error("w3 missing right after Put")
+	}
+}
+
+// fakeWorker is a registry dial target that records nothing; registry
+// tests only care about membership, not dispatch.
+type fakeWorker struct{ Worker }
+
+func TestRegistryMembership(t *testing.T) {
+	dials := 0
+	r := NewRegistry(0, func(addr string) Worker { dials++; return fakeWorker{} })
+
+	r.RegisterWorker("http://b")
+	r.RegisterWorker("http://a")
+	r.RegisterWorker("http://b") // heartbeat, not a second dial
+	if dials != 2 {
+		t.Errorf("dials = %d, want 2 (heartbeat must not re-dial)", dials)
+	}
+	if got := r.WorkerAddrs(); !reflect.DeepEqual(got, []string{"http://a", "http://b"}) {
+		t.Errorf("WorkerAddrs = %v, want sorted [http://a http://b]", got)
+	}
+	live := r.Live()
+	if len(live) != 2 || live[0].Addr != "http://a" || live[1].Addr != "http://b" {
+		t.Errorf("Live = %+v, want two members sorted by addr", live)
+	}
+
+	r.DeregisterWorker("http://a")
+	if got := r.WorkerAddrs(); !reflect.DeepEqual(got, []string{"http://b"}) {
+		t.Errorf("WorkerAddrs after bye = %v, want [http://b]", got)
+	}
+}
+
+func TestRegistryTTL(t *testing.T) {
+	r := NewRegistry(30*time.Millisecond, func(string) Worker { return fakeWorker{} })
+	r.RegisterWorker("http://w")
+	if len(r.WorkerAddrs()) != 1 {
+		t.Fatal("worker missing right after registration")
+	}
+	// A heartbeat within the TTL keeps it alive...
+	time.Sleep(20 * time.Millisecond)
+	r.RegisterWorker("http://w")
+	time.Sleep(20 * time.Millisecond)
+	if len(r.WorkerAddrs()) != 1 {
+		t.Fatal("worker expired despite a fresh heartbeat")
+	}
+	// ...and letting the heartbeat lapse drops it without a bye.
+	time.Sleep(40 * time.Millisecond)
+	if got := r.WorkerAddrs(); len(got) != 0 {
+		t.Fatalf("WorkerAddrs after TTL lapse = %v, want none", got)
+	}
+}
+
+// TestProgressAggregation pins the watcher-facing contract: shard
+// snapshots sum, the aggregate never goes backwards even when a hedged
+// duplicate restarts a shard's counter, and Done is reported only once
+// every shard has finished.
+func TestProgressAggregation(t *testing.T) {
+	var got []core.Progress
+	agg := newProgressAgg(2, func(p core.Progress) { got = append(got, p) })
+
+	agg.update(0, core.Progress{MeasuredCells: 2, TotalCells: 4})
+	agg.update(1, core.Progress{MeasuredCells: 1, TotalCells: 4})
+	agg.update(0, core.Progress{MeasuredCells: 4, TotalCells: 4, Done: true})
+	// A hedged duplicate of shard 1 starts over from one cell — the
+	// regressed snapshot must not drag the aggregate backwards.
+	agg.update(1, core.Progress{MeasuredCells: 3, TotalCells: 4})
+	agg.update(1, core.Progress{MeasuredCells: 1, TotalCells: 4})
+	agg.update(1, core.Progress{MeasuredCells: 4, TotalCells: 4, Done: true})
+
+	if len(got) == 0 {
+		t.Fatal("no aggregated progress delivered")
+	}
+	prev := core.Progress{}
+	for i, p := range got {
+		if p.MeasuredCells < prev.MeasuredCells {
+			t.Errorf("aggregate regressed at %d: %d after %d measured cells",
+				i, p.MeasuredCells, prev.MeasuredCells)
+		}
+		if p.Done && i != len(got)-1 {
+			t.Errorf("Done reported at snapshot %d of %d, before every shard finished",
+				i, len(got))
+		}
+		prev = p
+	}
+	last := got[len(got)-1]
+	if !last.Done || last.MeasuredCells != 8 || last.TotalCells != 8 {
+		t.Errorf("final aggregate = %+v, want Done with 8/8 cells", last)
+	}
+}
+
+// A nil onProgress must not cost anything or panic.
+func TestProgressAggregationNilSink(t *testing.T) {
+	agg := newProgressAgg(1, nil)
+	agg.update(0, core.Progress{MeasuredCells: 1, TotalCells: 1, Done: true})
+}

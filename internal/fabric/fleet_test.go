@@ -1,0 +1,678 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"robustmap/internal/core"
+	"robustmap/internal/engine"
+	"robustmap/internal/httpapi"
+	"robustmap/internal/service"
+	"robustmap/internal/spec"
+)
+
+// thirteenPlans is the full two-predicate study: every plan of systems
+// A, B, and C — the map the fabric's byte-identity is pinned on.
+var thirteenPlans = []string{
+	"A1", "A2", "A3", "A4", "A5", "A6", "A7",
+	"B1", "B2", "B3", "B4", "C1", "C2",
+}
+
+// startWorker spins up one worker daemon in-process: a Local on the
+// given resolver (nil = the real engine), its spec cache, and an HTTP
+// server — exactly the wiring `robustmapd -worker` runs. The stop func
+// is idempotent and registered as a cleanup.
+func startWorker(t *testing.T, r service.Resolver, cfg service.LocalConfig) (*httptest.Server, *service.Local, *SpecCache, func()) {
+	t.Helper()
+	specs := NewSpecCache(0)
+	cfg.Resolver = r
+	cfg.Specs = specs
+	l := service.NewLocal(cfg)
+	srv := httpapi.NewServer(l,
+		httpapi.WithLogger(func(string, ...any) {}),
+		httpapi.WithSpecs(specs))
+	ts := httptest.NewServer(srv)
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := l.Close(ctx); err != nil {
+				t.Errorf("worker Close: %v", err)
+			}
+		})
+	}
+	t.Cleanup(stop)
+	return ts, l, specs, stop
+}
+
+// startFleet wires n engine workers, a registry over their URLs, and a
+// coordinator Local fronting them. Extra coordinator knobs come from
+// mutate (may be nil).
+func startFleet(t *testing.T, n int, mutate func(*CoordinatorConfig)) (*service.Local, []func()) {
+	t.Helper()
+	reg := NewRegistry(0, nil)
+	var stops []func()
+	for i := 0; i < n; i++ {
+		ts, _, _, stop := startWorker(t, nil, service.LocalConfig{Workers: 2})
+		reg.RegisterWorker(ts.URL)
+		stops = append(stops, stop)
+	}
+	ccfg := CoordinatorConfig{Registry: reg}
+	if mutate != nil {
+		mutate(&ccfg)
+	}
+	coord := service.NewLocal(service.LocalConfig{
+		Workers:   2,
+		CacheSize: 0,
+		Runner:    NewCoordinator(ccfg),
+	})
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := coord.Close(ctx); err != nil {
+				t.Errorf("coordinator Close: %v", err)
+			}
+		})
+	}
+	t.Cleanup(stop)
+	return coord, append(stops, stop)
+}
+
+// startLeakCheck snapshots the goroutine count and returns a func that
+// fails the test if the count has not returned to it shortly after.
+func startLeakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > before {
+			if time.Now().After(deadline) {
+				var buf strings.Builder
+				_ = pprof.Lookup("goroutine").WriteTo(&buf, 1)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf.String())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// jsonEqual compares two values by their canonical JSON bytes — the
+// fabric's byte-identity bar.
+func jsonEqual(t *testing.T, a, b any) bool {
+	t.Helper()
+	ab, err := json.Marshal(a)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	bb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return bytes.Equal(ab, bb)
+}
+
+// TestFourWaySubmissionEquivalence extends the PR-4 three-way pin to
+// the fabric: the 13-plan two-predicate study submitted four ways —
+// direct core.Sweep.Run, the in-process Service, the HTTP client
+// against one daemon, and a coordinator sharding it across two worker
+// daemons — yields byte-identical maps. Each path builds its own
+// systems; determinism of the virtual-time engine plus the shard
+// contract (full axis derived, then sliced) make the bytes agree.
+func TestFourWaySubmissionEquivalence(t *testing.T) {
+	ctx := context.Background()
+	req := service.Request{
+		Plans:  thirteenPlans,
+		Rows:   1 << 12,
+		MaxExp: 4,
+		Grid2D: true,
+	}
+
+	// Way 1: resolve by hand, run the sweep directly.
+	rs, err := service.NewEngineResolver(engine.DefaultConfig()).Resolve(req)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	direct, err := core.NewSweep(rs.Sources,
+		core.Grid2D(rs.Fractions, rs.Fractions, rs.Thresholds, rs.Thresholds)).Run(ctx)
+	if err != nil {
+		t.Fatalf("direct Sweep.Run: %v", err)
+	}
+
+	// Way 2: the in-process Service.
+	l := service.NewLocal(service.LocalConfig{Workers: 1})
+	lres, err := service.Run(ctx, l, req, nil)
+	if err != nil {
+		t.Fatalf("in-process service Run: %v", err)
+	}
+
+	// Way 3: the HTTP client against a single served daemon.
+	ts, _, _, _ := startWorker(t, nil, service.LocalConfig{Workers: 1})
+	hres, err := service.Run(ctx, httpapi.NewClient(ts.URL), req, nil)
+	if err != nil {
+		t.Fatalf("HTTP service Run: %v", err)
+	}
+
+	// Way 4: the sweep fabric — a coordinator sharding the same request
+	// across two worker daemons (default split: two shards per worker),
+	// watched through the coordinator's single aggregated stream.
+	coord, _ := startFleet(t, 2, nil)
+	var progress []core.Progress
+	fres, err := service.Run(ctx, coord, req, func(p core.Progress) {
+		progress = append(progress, p)
+	})
+	if err != nil {
+		t.Fatalf("fabric service Run: %v", err)
+	}
+
+	maps := map[string]*core.Map2D{
+		"direct": direct.Map2D,
+		"local":  lres.Map2D,
+		"http":   hres.Map2D,
+		"fabric": fres.Map2D,
+	}
+	for name, m := range maps {
+		if m == nil {
+			t.Fatalf("%s produced no 2-D map", name)
+		}
+	}
+	lcfg := core.MapLandmarkConfig()
+	for _, other := range []string{"local", "http", "fabric"} {
+		m := maps[other]
+		if !reflect.DeepEqual(m.WinnerGrid(), maps["direct"].WinnerGrid()) {
+			t.Errorf("%s winner grid differs from direct", other)
+		}
+		if !reflect.DeepEqual(m.Rows, maps["direct"].Rows) {
+			t.Errorf("%s row-count grid differs from direct", other)
+		}
+		for _, p := range req.Plans {
+			if !reflect.DeepEqual(m.LandmarkGrid(p, lcfg), maps["direct"].LandmarkGrid(p, lcfg)) {
+				t.Errorf("%s landmark set for plan %s differs from direct", other, p)
+			}
+		}
+		if !jsonEqual(t, m, maps["direct"]) {
+			t.Errorf("%s full map differs from direct", other)
+		}
+	}
+
+	// The aggregated stream reads like one sweep: monotone counters and
+	// a single Done at the end, never per-shard interleaving artifacts.
+	if len(progress) == 0 {
+		t.Fatal("no aggregated progress from the fabric run")
+	}
+	prev := core.Progress{}
+	for i, p := range progress {
+		if p.MeasuredCells < prev.MeasuredCells {
+			t.Errorf("fabric progress regressed at %d: %d after %d",
+				i, p.MeasuredCells, prev.MeasuredCells)
+		}
+		if p.Done && i != len(progress)-1 {
+			t.Errorf("fabric progress Done at %d of %d, before the merge", i, len(progress))
+		}
+		prev = p
+	}
+	if last := progress[len(progress)-1]; !last.Done || last.MeasuredCells != last.TotalCells {
+		t.Errorf("final fabric progress = %+v, want Done with all cells measured", last)
+	}
+
+	cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := l.Close(cctx); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// TestShardMergePartitions is the partitioning property pin: the same
+// 13-plan 2-D map, split 1, 2, 3, and 7 ways (7 > the 5-point axis, so
+// the split clamps to single-point shards; 2 and 3 are uneven), merges
+// byte-identical to the unsharded run every time. One worker with an
+// unbounded measurement cache serves every partition, so the property
+// costs one sweep plus cache hits.
+func TestShardMergePartitions(t *testing.T) {
+	checkLeaks := startLeakCheck(t)
+	ctx := context.Background()
+	req := service.Request{
+		Plans:  thirteenPlans,
+		Rows:   1 << 12,
+		MaxExp: 4,
+		Grid2D: true,
+	}
+
+	baselineLocal := service.NewLocal(service.LocalConfig{Workers: 1})
+	baseline, err := service.Run(ctx, baselineLocal, req, nil)
+	if err != nil {
+		t.Fatalf("baseline Run: %v", err)
+	}
+
+	ts, _, _, stopWorker := startWorker(t, nil, service.LocalConfig{Workers: 2, CacheSize: -1})
+	reg := NewRegistry(0, nil)
+	reg.RegisterWorker(ts.URL)
+
+	var stops []func()
+	for _, shards := range []int{1, 2, 3, 7} {
+		coord := service.NewLocal(service.LocalConfig{
+			Workers:   1,
+			CacheSize: 0,
+			Runner:    NewCoordinator(CoordinatorConfig{Registry: reg, Shards: shards}),
+		})
+		res, err := service.Run(ctx, coord, req, nil)
+		if err != nil {
+			t.Fatalf("fabric Run with %d shards: %v", shards, err)
+		}
+		if !jsonEqual(t, res, baseline) {
+			t.Errorf("%d-shard merge differs from the unsharded run", shards)
+		}
+		stops = append(stops, func() {
+			cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := coord.Close(cctx); err != nil {
+				t.Errorf("coordinator Close: %v", err)
+			}
+		})
+	}
+
+	for _, stop := range stops {
+		stop()
+	}
+	stopWorker()
+	cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := baselineLocal.Close(cctx); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	checkLeaks()
+}
+
+// blockResolver simulates a worker that accepts a shard and then hangs
+// mid-sweep: the first measured cell signals started, every cell blocks
+// on release, and any cell measured after release reports poisoned
+// values — so a merge that accidentally uses this worker's data fails
+// the byte-identity comparison instead of passing by luck.
+type blockResolver struct {
+	startOnce sync.Once
+	started   chan struct{}
+	release   chan struct{}
+}
+
+func (r *blockResolver) Check(req service.Request) error { return req.Validate() }
+
+func (r *blockResolver) Resolve(req service.Request) (*service.ResolvedSweep, error) {
+	rows := req.Rows
+	if rows == 0 {
+		rows = 1 << 10
+	}
+	rs := &service.ResolvedSweep{}
+	rs.Fractions, rs.Thresholds = core.SweepAxis(rows, req.MaxExp)
+	for _, id := range req.Plans {
+		rs.Sources = append(rs.Sources, core.PlanSource{
+			ID: id,
+			Measure: func(ta, tb int64) core.Measurement {
+				r.startOnce.Do(func() { close(r.started) })
+				<-r.release
+				return core.Measurement{Time: time.Nanosecond, Rows: 1}
+			},
+		})
+		rs.Scopes = append(rs.Scopes, "poison")
+	}
+	return rs, nil
+}
+
+// TestReissueAfterWorkerDeath kills one of two workers mid-job and
+// requires the coordinator to finish the 13-plan map anyway — the dead
+// worker's shard re-issued to the survivor — with bytes identical to a
+// single-process run. The doomed worker's resolver poisons any cell it
+// would contribute, so the comparison also proves the merged map holds
+// no data from the dead worker's aborted attempt.
+func TestReissueAfterWorkerDeath(t *testing.T) {
+	ctx := context.Background()
+	req := service.Request{
+		Plans:  thirteenPlans,
+		Rows:   1 << 12,
+		MaxExp: 4,
+		Grid2D: true,
+	}
+
+	baselineLocal := service.NewLocal(service.LocalConfig{Workers: 1})
+	defer func() {
+		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := baselineLocal.Close(cctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	baseline, err := service.Run(ctx, baselineLocal, req, nil)
+	if err != nil {
+		t.Fatalf("baseline Run: %v", err)
+	}
+
+	// Worker A measures for real; worker B accepts its shard and hangs.
+	tsA, _, _, _ := startWorker(t, nil, service.LocalConfig{Workers: 2})
+	doomed := &blockResolver{started: make(chan struct{}), release: make(chan struct{})}
+	tsB, _, _, _ := startWorker(t, doomed, service.LocalConfig{Workers: 2})
+	// Releasing the gate at cleanup lets B's orphaned job finish (with
+	// poisoned cells nobody reads) so its Local can close; cleanups run
+	// LIFO, so registering after B's start runs this before B's stop.
+	t.Cleanup(func() { close(doomed.release) })
+
+	reg := NewRegistry(0, nil)
+	reg.RegisterWorker(tsA.URL)
+	reg.RegisterWorker(tsB.URL)
+	coord := service.NewLocal(service.LocalConfig{
+		Workers:   1,
+		CacheSize: 0,
+		// Two shards over two workers: each worker gets exactly one, so
+		// killing B always kills an in-flight shard. Retries -1 is the
+		// production default budget.
+		Runner: NewCoordinator(CoordinatorConfig{Registry: reg, Shards: 2, Retries: -1}),
+	})
+	defer func() {
+		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := coord.Close(cctx); err != nil {
+			t.Errorf("coordinator Close: %v", err)
+		}
+	}()
+
+	type result struct {
+		res *service.Result
+		err error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		res, err := service.Run(ctx, coord, req, nil)
+		resc <- result{res, err}
+	}()
+
+	// Wait until B is demonstrably mid-sweep on its shard, then kill it:
+	// connections die first (the coordinator's watch stream breaks), then
+	// the listener, so every later dial fails fast.
+	select {
+	case <-doomed.started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker B never started measuring")
+	}
+	tsB.CloseClientConnections()
+	tsB.Close()
+
+	r := <-resc
+	if r.err != nil {
+		t.Fatalf("fabric Run after worker death: %v", r.err)
+	}
+	if !jsonEqual(t, r.res, baseline) {
+		t.Error("post-death merge differs from the single-process run")
+	}
+}
+
+// TestSpecShippingByHash pins fetch-on-miss: a coordinator submits a
+// workload-spec job to a worker that has never seen the spec; the
+// worker's first rejection (spec_not_found) triggers one PUT, the
+// resubmission runs, and the bytes match a local run of the same spec.
+func TestSpecShippingByHash(t *testing.T) {
+	ctx := context.Background()
+	ws, err := spec.LoadFile("../../examples/workloads/skewed.json")
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	req := service.Request{Workload: ws, Rows: 1 << 12, MaxExp: 3}
+
+	baselineLocal := service.NewLocal(service.LocalConfig{Workers: 1})
+	defer func() {
+		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := baselineLocal.Close(cctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	baseline, err := service.Run(ctx, baselineLocal, req, nil)
+	if err != nil {
+		t.Fatalf("baseline Run: %v", err)
+	}
+
+	ts, _, workerSpecs, _ := startWorker(t, nil, service.LocalConfig{Workers: 2})
+	reg := NewRegistry(0, nil)
+	reg.RegisterWorker(ts.URL)
+	coord := service.NewLocal(service.LocalConfig{
+		Workers:   1,
+		CacheSize: 0,
+		Runner:    NewCoordinator(CoordinatorConfig{Registry: reg, Shards: 2}),
+	})
+	defer func() {
+		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := coord.Close(cctx); err != nil {
+			t.Errorf("coordinator Close: %v", err)
+		}
+	}()
+
+	if workerSpecs.Len() != 0 {
+		t.Fatalf("worker spec cache starts with %d specs, want 0", workerSpecs.Len())
+	}
+	res, err := service.Run(ctx, coord, req, nil)
+	if err != nil {
+		t.Fatalf("fabric Run: %v", err)
+	}
+	if !jsonEqual(t, res, baseline) {
+		t.Error("shipped-spec run differs from the local inline run")
+	}
+	// The spec crossed the wire and is now cached on the worker: one
+	// entry, retrievable by the hash the shards named.
+	if workerSpecs.Len() != 1 {
+		t.Errorf("worker spec cache holds %d specs after the job, want 1", workerSpecs.Len())
+	}
+	if _, ok := workerSpecs.WorkloadByHash(ws.Hash()); !ok {
+		t.Errorf("worker spec cache does not hold the shipped spec %s", ws.Hash())
+	}
+}
+
+// TestQueryJobThroughFabric pins the coordinator's query lowering: a
+// logical query sharded across the fleet — measurements on the workers,
+// candidate enumeration and the regret overlay applied on the merged
+// map — must be byte-identical to the same query run in one process.
+func TestQueryJobThroughFabric(t *testing.T) {
+	ctx := context.Background()
+	qs, err := spec.LoadQueryFile("../../examples/workloads/skewed_query.json")
+	if err != nil {
+		t.Fatalf("LoadQueryFile: %v", err)
+	}
+	req := service.Request{Query: qs, Rows: 1 << 12, MaxExp: 3}
+
+	baselineLocal := service.NewLocal(service.LocalConfig{Workers: 1})
+	defer func() {
+		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := baselineLocal.Close(cctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	baseline, err := service.Run(ctx, baselineLocal, req, nil)
+	if err != nil {
+		t.Fatalf("baseline query Run: %v", err)
+	}
+	if baseline.Regret2D == nil || len(baseline.Candidates) == 0 {
+		t.Fatalf("baseline query result carries no optimizer overlay")
+	}
+
+	coord, _ := startFleet(t, 2, nil)
+	res, err := service.Run(ctx, coord, req, nil)
+	if err != nil {
+		t.Fatalf("fabric query Run: %v", err)
+	}
+	if !jsonEqual(t, res, baseline) {
+		t.Error("fabric query result differs from the single-process run")
+	}
+}
+
+// TestRefineForwardsWhole: adaptive refinement has no byte-identical
+// decomposition, so the coordinator runs it whole on one worker — and
+// the result (mesh and all) matches a single-process refine run.
+func TestRefineForwardsWhole(t *testing.T) {
+	ctx := context.Background()
+	req := service.Request{
+		Plans:  []string{"A1", "A2", "B1", "C1"},
+		Rows:   1 << 12,
+		MaxExp: 4,
+		Grid2D: true,
+		Refine: true,
+	}
+
+	baselineLocal := service.NewLocal(service.LocalConfig{Workers: 1})
+	defer func() {
+		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := baselineLocal.Close(cctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	baseline, err := service.Run(ctx, baselineLocal, req, nil)
+	if err != nil {
+		t.Fatalf("baseline refine Run: %v", err)
+	}
+	if baseline.Mesh2D == nil {
+		t.Fatal("baseline refine result carries no mesh")
+	}
+
+	coord, _ := startFleet(t, 2, nil)
+	res, err := service.Run(ctx, coord, req, nil)
+	if err != nil {
+		t.Fatalf("fabric refine Run: %v", err)
+	}
+	if !jsonEqual(t, res, baseline) {
+		t.Error("fabric refine result differs from the single-process run")
+	}
+}
+
+// TestNoLiveWorkers: a coordinator with an empty fleet rejects the job
+// with the unsupported sentinel rather than hanging or panicking.
+func TestNoLiveWorkers(t *testing.T) {
+	coord := NewCoordinator(CoordinatorConfig{Registry: NewRegistry(0, nil)})
+	_, err := coord.Run(context.Background(), service.Request{Plans: []string{"A1"}, MaxExp: 2}, nil)
+	if !errors.Is(err, service.ErrUnsupported) {
+		t.Fatalf("Run with no workers: %v, want ErrUnsupported", err)
+	}
+}
+
+// TestStragglerHedge pins time-based re-issue: with one worker wedged
+// and the hedged deadline short, the shard's second attempt lands on
+// the healthy worker and the job finishes while the straggler is still
+// stuck.
+func TestStragglerHedge(t *testing.T) {
+	ctx := context.Background()
+	req := service.Request{Plans: []string{"A1", "B1"}, Rows: 1 << 12, MaxExp: 3, Grid2D: true}
+
+	stuck := &blockResolver{started: make(chan struct{}), release: make(chan struct{})}
+	tsStuck, _, _, _ := startWorker(t, stuck, service.LocalConfig{Workers: 2})
+	// LIFO: registered after the stuck worker, so the gate opens before
+	// its Local is closed (a worker wedged in Measure cannot drain).
+	t.Cleanup(func() { close(stuck.release) })
+	tsGood, _, _, _ := startWorker(t, nil, service.LocalConfig{Workers: 2})
+
+	// A dial hook pins placement: the registry sorts by address, so
+	// naming the stuck worker "a-..." guarantees shard 0's first attempt
+	// lands on it and the hedge must rescue the job.
+	handles := map[string]Worker{
+		"a-stuck": httpapi.NewClient(tsStuck.URL),
+		"b-good":  httpapi.NewClient(tsGood.URL),
+	}
+	reg := NewRegistry(0, func(addr string) Worker { return handles[addr] })
+	reg.RegisterWorker("a-stuck")
+	reg.RegisterWorker("b-good")
+
+	coord := service.NewLocal(service.LocalConfig{
+		Workers:   1,
+		CacheSize: 0,
+		Runner: NewCoordinator(CoordinatorConfig{
+			Registry:  reg,
+			Shards:    1,
+			Retries:   -1,
+			Straggler: 100 * time.Millisecond,
+		}),
+	})
+	defer func() {
+		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := coord.Close(cctx); err != nil {
+			t.Errorf("coordinator Close: %v", err)
+		}
+	}()
+
+	start := time.Now()
+	res, err := service.Run(ctx, coord, req, nil)
+	if err != nil {
+		t.Fatalf("hedged Run: %v", err)
+	}
+	if res.Map2D == nil {
+		t.Fatal("hedged run produced no map")
+	}
+	// The gate is still closed: the result can only have come from the
+	// healthy worker's hedged attempt.
+	select {
+	case <-stuck.release:
+		t.Fatal("gate released early; hedge proof invalid")
+	default:
+	}
+	t.Logf("hedged run finished in %s with the primary still wedged", time.Since(start))
+}
+
+// TestHeartbeatLifecycle drives the worker side of registration against
+// a real coordinator endpoint: the first beat registers, the TTL
+// survives while beats flow, and cancelling the heartbeat deregisters
+// with a bye — immediately, not after a TTL lapse.
+func TestHeartbeatLifecycle(t *testing.T) {
+	reg := NewRegistry(time.Hour, func(string) Worker { return fakeWorker{} })
+	coordLocal := service.NewLocal(service.LocalConfig{Workers: 1})
+	defer func() {
+		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := coordLocal.Close(cctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	srv := httpapi.NewServer(coordLocal,
+		httpapi.WithLogger(func(string, ...any) {}),
+		httpapi.WithRegistry(reg))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Heartbeat(ctx, httpapi.NewClient(ts.URL), "http://worker-1:8422", 20*time.Millisecond, nil)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for len(reg.WorkerAddrs()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := reg.WorkerAddrs(); !reflect.DeepEqual(got, []string{"http://worker-1:8422"}) {
+		t.Fatalf("WorkerAddrs = %v", got)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Heartbeat did not return after cancel")
+	}
+	if got := reg.WorkerAddrs(); len(got) != 0 {
+		t.Fatalf("WorkerAddrs after bye = %v, want none", got)
+	}
+}

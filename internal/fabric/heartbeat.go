@@ -1,0 +1,53 @@
+package fabric
+
+import (
+	"context"
+	"time"
+
+	"robustmap/internal/httpapi"
+)
+
+// DefaultHeartbeatInterval paces worker heartbeats; the registry TTL
+// should be a small multiple of it (robustmapd uses 3×) so one dropped
+// beat doesn't evict a healthy worker.
+const DefaultHeartbeatInterval = 5 * time.Second
+
+// Heartbeat announces addr to the coordinator and keeps re-announcing
+// every interval until ctx ends, then deregisters with a best-effort
+// bye so the coordinator stops dispatching immediately instead of
+// waiting out the TTL. Registration failures are retried on the next
+// beat (the coordinator may simply not be up yet); the loop never
+// gives up while ctx lives. Blocks until ctx is done — run it on its
+// own goroutine.
+func Heartbeat(ctx context.Context, coord *httpapi.Client, addr string, interval time.Duration, logf func(format string, args ...any)) {
+	if interval <= 0 {
+		interval = DefaultHeartbeatInterval
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	beat := func() {
+		bctx, cancel := context.WithTimeout(ctx, interval)
+		defer cancel()
+		if err := coord.RegisterWorker(bctx, addr); err != nil {
+			logf("fabric: heartbeat: %v", err)
+		}
+	}
+	beat()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			// ctx is gone; the bye gets its own short deadline.
+			bctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := coord.ByeWorker(bctx, addr); err != nil {
+				logf("fabric: deregister: %v", err)
+			}
+			return
+		case <-t.C:
+			beat()
+		}
+	}
+}

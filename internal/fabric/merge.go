@@ -1,0 +1,166 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"robustmap/internal/core"
+	"robustmap/internal/service"
+)
+
+// The shard contract. A shard is a contiguous slice [Lo, Hi) of the
+// sweep's primary threshold axis — the point axis of a 1-D map, the
+// A (row) axis of a 2-D grid. The worker derives the FULL axis from
+// the request first and only then slices it (see service.Runner), so a
+// shard's cells carry exactly the thresholds, fractions, and measured
+// values the same cells of an unsharded run carry; determinism of the
+// measurement engine does the rest. Merging is therefore pure
+// concatenation in Lo order — no resampling, no boundary handling —
+// and the merged map is byte-identical to a single-process sweep.
+// Anything that breaks this property is not sharded: adaptive
+// (refine) sweeps are forwarded whole, and a query's regret overlay
+// (whose non-robustness analysis inspects cell neighbors across what
+// would be shard seams) is applied by the coordinator on the merged
+// map, never per shard.
+
+// Partition splits an n-point axis into at most k contiguous shards,
+// as evenly as possible (the first points%k shards get one extra
+// point). k is clamped to [1, points], so asking for more shards than
+// points yields single-point shards rather than empty ones.
+func Partition(points, k int) []service.Shard {
+	if points <= 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > points {
+		k = points
+	}
+	shards := make([]service.Shard, 0, k)
+	base, extra := points/k, points%k
+	lo := 0
+	for i := 0; i < k; i++ {
+		n := base
+		if i < extra {
+			n++
+		}
+		shards = append(shards, service.Shard{Lo: lo, Hi: lo + n})
+		lo += n
+	}
+	return shards
+}
+
+// Merge concatenates shard results — ordered by shard, jointly
+// covering the axis — into the single result an unsharded run
+// produces. Only plain grid maps merge; a part carrying a refinement
+// mesh or a regret overlay indicates a sharding bug upstream and is
+// rejected.
+func Merge(parts []*service.Result) (*service.Result, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("fabric: no shard results to merge")
+	}
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("fabric: shard %d has no result", i)
+		}
+		if p.Mesh1D != nil || p.Mesh2D != nil || p.Regret1D != nil || p.Regret2D != nil {
+			return nil, fmt.Errorf("fabric: shard %d carries non-mergeable overlays", i)
+		}
+		if p.Map1D == nil && p.Map2D == nil {
+			return nil, fmt.Errorf("fabric: shard %d carries no map", i)
+		}
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	first := parts[0]
+	switch {
+	case first.Map2D != nil:
+		m, err := merge2D(parts)
+		if err != nil {
+			return nil, err
+		}
+		return &service.Result{Map2D: m}, nil
+	case first.Map1D != nil:
+		m, err := merge1D(parts)
+		if err != nil {
+			return nil, err
+		}
+		return &service.Result{Map1D: m}, nil
+	default:
+		return nil, fmt.Errorf("fabric: shard 0 carries no map")
+	}
+}
+
+// checkPlans verifies every part swept the same plans in the same
+// order — the invariant that makes per-plan concatenation meaningful.
+func checkPlans(ref []string, i int, got []string) error {
+	if len(got) != len(ref) {
+		return fmt.Errorf("fabric: shard %d swept %d plans, shard 0 swept %d", i, len(got), len(ref))
+	}
+	for k := range ref {
+		if got[k] != ref[k] {
+			return fmt.Errorf("fabric: shard %d plan %d is %q, shard 0 has %q", i, k, got[k], ref[k])
+		}
+	}
+	return nil
+}
+
+func merge1D(parts []*service.Result) (*core.Map1D, error) {
+	out := &core.Map1D{}
+	var ref []string
+	for i, p := range parts {
+		m := p.Map1D
+		if m == nil {
+			return nil, fmt.Errorf("fabric: shard %d carries no 1-D map", i)
+		}
+		if i == 0 {
+			ref = m.Plans
+			out.Plans = m.Plans
+			out.Times = make([][]time.Duration, len(m.Plans))
+		} else if err := checkPlans(ref, i, m.Plans); err != nil {
+			return nil, err
+		}
+		out.Fractions = append(out.Fractions, m.Fractions...)
+		out.Thresholds = append(out.Thresholds, m.Thresholds...)
+		out.Rows = append(out.Rows, m.Rows...)
+		for pi := range m.Plans {
+			out.Times[pi] = append(out.Times[pi], m.Times[pi]...)
+		}
+	}
+	return out, nil
+}
+
+func merge2D(parts []*service.Result) (*core.Map2D, error) {
+	out := &core.Map2D{}
+	var ref []string
+	for i, p := range parts {
+		m := p.Map2D
+		if m == nil {
+			return nil, fmt.Errorf("fabric: shard %d carries no 2-D map", i)
+		}
+		if i == 0 {
+			ref = m.Plans
+			out.Plans = m.Plans
+			// The B axis is never sharded: every part carries it whole.
+			out.FracB, out.TB = m.FracB, m.TB
+			out.Times = make([][][]time.Duration, len(m.Plans))
+		} else {
+			if err := checkPlans(ref, i, m.Plans); err != nil {
+				return nil, err
+			}
+			if len(m.TB) != len(out.TB) {
+				return nil, fmt.Errorf("fabric: shard %d has %d B-axis points, shard 0 has %d",
+					i, len(m.TB), len(out.TB))
+			}
+		}
+		out.FracA = append(out.FracA, m.FracA...)
+		out.TA = append(out.TA, m.TA...)
+		out.Rows = append(out.Rows, m.Rows...)
+		for pi := range m.Plans {
+			out.Times[pi] = append(out.Times[pi], m.Times[pi]...)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+// Package fabric is the distributed sweep fabric: a coordinator that
+// implements service execution by partitioning a robustness map's cell
+// grid into contiguous shards, dispatching them to registered worker
+// daemons over the existing HTTP API, re-issuing failed or straggling
+// shards, and merging the shard maps byte-identical to a
+// single-process run.
+//
+// The layering is deliberately thin: a coordinator is a service.Local
+// whose Runner is a fabric.Coordinator, so admission, tenant quotas,
+// job lifecycle, watch fan-out, and the map archive are the very same
+// code paths a standalone daemon runs — the fabric only replaces how
+// an admitted job's cells get measured.
+package fabric
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"robustmap/internal/httpapi"
+	"robustmap/internal/service"
+	"robustmap/internal/spec"
+)
+
+// Worker is the coordinator's handle on one worker daemon: the full
+// job API plus the spec-shipping channel. *httpapi.Client satisfies it.
+type Worker interface {
+	service.Service
+	PutWorkload(ctx context.Context, ws *spec.WorkloadSpec) error
+}
+
+// Member is one registered worker: its advertised address and the
+// dialed handle the coordinator dispatches through.
+type Member struct {
+	Addr string
+	W    Worker
+}
+
+// Registry tracks the live worker fleet. Workers announce themselves
+// with RegisterWorker (registration and heartbeat are the same
+// idempotent call) and disappear either explicitly (bye) or by letting
+// their heartbeat lapse past the TTL — a crashed worker needs no
+// goodbye. Safe for concurrent use; implements httpapi.WorkerRegistry.
+type Registry struct {
+	ttl  time.Duration
+	dial func(addr string) Worker
+
+	mu      sync.Mutex
+	workers map[string]*member
+}
+
+type member struct {
+	w        Worker
+	lastSeen time.Time
+}
+
+// NewRegistry returns a registry expiring workers whose last heartbeat
+// is older than ttl (0 = never expire). dial turns an advertised
+// address into a Worker handle; nil dials the HTTP client, which is
+// what production uses — tests substitute in-process handles.
+func NewRegistry(ttl time.Duration, dial func(addr string) Worker) *Registry {
+	if dial == nil {
+		dial = func(addr string) Worker { return httpapi.NewClient(addr) }
+	}
+	return &Registry{ttl: ttl, dial: dial, workers: make(map[string]*member)}
+}
+
+// RegisterWorker implements httpapi.WorkerRegistry: upsert + stamp.
+func (r *Registry) RegisterWorker(addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.workers[addr]
+	if !ok {
+		m = &member{w: r.dial(addr)}
+		r.workers[addr] = m
+	}
+	m.lastSeen = time.Now()
+}
+
+// DeregisterWorker implements httpapi.WorkerRegistry.
+func (r *Registry) DeregisterWorker(addr string) {
+	r.mu.Lock()
+	delete(r.workers, addr)
+	r.mu.Unlock()
+}
+
+// pruneLocked drops members whose heartbeat lapsed.
+func (r *Registry) pruneLocked() {
+	if r.ttl <= 0 {
+		return
+	}
+	cutoff := time.Now().Add(-r.ttl)
+	for addr, m := range r.workers {
+		if m.lastSeen.Before(cutoff) {
+			delete(r.workers, addr)
+		}
+	}
+}
+
+// WorkerAddrs implements httpapi.WorkerRegistry: the live fleet's
+// addresses, sorted for stable listings.
+func (r *Registry) WorkerAddrs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pruneLocked()
+	addrs := make([]string, 0, len(r.workers))
+	for addr := range r.workers {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	return addrs
+}
+
+// Live returns the live fleet as dispatchable handles, sorted by
+// address so shard placement is deterministic for a given fleet.
+func (r *Registry) Live() []Member {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pruneLocked()
+	ms := make([]Member, 0, len(r.workers))
+	for addr, m := range r.workers {
+		ms = append(ms, Member{Addr: addr, W: m.w})
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Addr < ms[j].Addr })
+	return ms
+}

@@ -1,0 +1,81 @@
+package fabric
+
+import (
+	"sync"
+
+	"robustmap/internal/spec"
+)
+
+// SpecCache holds workload specs by content hash — the ship-once
+// channel between coordinators and workers. A worker wires one
+// instance into both its HTTP server (PUT /v1/specs/{hash}) and its
+// scheduler (service.SpecSource), so a spec published once serves
+// every subsequent submit-by-reference. Bounded LRU; an evicted spec
+// simply round-trips the wire again on next miss. Safe for concurrent
+// use; implements httpapi.SpecStore.
+type SpecCache struct {
+	mu    sync.Mutex
+	cap   int
+	specs map[string]*spec.WorkloadSpec
+	order []string // LRU order, least recent first
+}
+
+// DefaultSpecCacheSize bounds a worker's spec cache: far more distinct
+// workloads than any fleet runs concurrently, at negligible memory.
+const DefaultSpecCacheSize = 64
+
+// NewSpecCache returns a cache holding up to capacity specs (<= 0
+// means DefaultSpecCacheSize).
+func NewSpecCache(capacity int) *SpecCache {
+	if capacity <= 0 {
+		capacity = DefaultSpecCacheSize
+	}
+	return &SpecCache{cap: capacity, specs: make(map[string]*spec.WorkloadSpec)}
+}
+
+// PutWorkload stores the spec under its content hash and returns the
+// hash. Re-publishing is an idempotent freshness bump.
+func (c *SpecCache) PutWorkload(ws *spec.WorkloadSpec) string {
+	hash := ws.Hash()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.specs[hash]; !ok {
+		c.specs[hash] = ws
+		if len(c.specs) > c.cap {
+			evict := c.order[0]
+			c.order = c.order[1:]
+			delete(c.specs, evict)
+		}
+	}
+	c.touchLocked(hash)
+	return hash
+}
+
+// WorkloadByHash implements service.SpecSource.
+func (c *SpecCache) WorkloadByHash(hash string) (*spec.WorkloadSpec, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws, ok := c.specs[hash]
+	if ok {
+		c.touchLocked(hash)
+	}
+	return ws, ok
+}
+
+// touchLocked moves hash to the most-recent end of the LRU order.
+func (c *SpecCache) touchLocked(hash string) {
+	for i, h := range c.order {
+		if h == hash {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.order = append(c.order, hash)
+}
+
+// Len reports the cached spec count.
+func (c *SpecCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.specs)
+}

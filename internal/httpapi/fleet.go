@@ -1,0 +1,332 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"robustmap/internal/service"
+	"robustmap/internal/spec"
+)
+
+// This file is the HTTP surface the sweep fabric rides on, all of it
+// optional per server:
+//
+//	GET  /readyz            readiness probe (503 while draining/warming)
+//	GET  /v1/maps/{key}     archived map's verified store envelope
+//	PUT  /v1/specs/{hash}   publish a workload spec by content hash
+//	GET  /v1/specs/{hash}   fetch a published workload spec
+//	POST /v1/workers        register/heartbeat (or bye) a worker daemon
+//	GET  /v1/workers        list the live worker fleet
+//
+// /readyz always exists; the rest appear only when the matching
+// ServerOption wires a backend, and answer 404/unsupported otherwise —
+// a plain daemon keeps exactly its old surface.
+
+// Readiness is a daemon's readiness state: the empty reason means
+// ready, anything else names why not ("warming", "draining"). It is
+// deliberately distinct from liveness: a draining daemon is alive
+// (in-flight jobs and watch streams are still being served, /healthz
+// stays ok) but must not receive new traffic, which is exactly the
+// distinction k8s probes and load balancers key on. Safe for
+// concurrent use.
+type Readiness struct {
+	mu     sync.Mutex
+	reason string
+}
+
+// NewReadiness returns a readiness gate starting in the given state
+// (empty = ready; a reason like "warming" = not yet).
+func NewReadiness(reason string) *Readiness {
+	return &Readiness{reason: reason}
+}
+
+// Set transitions the state: empty marks ready, a reason marks unready.
+func (r *Readiness) Set(reason string) {
+	r.mu.Lock()
+	r.reason = reason
+	r.mu.Unlock()
+}
+
+// Reason returns the current unreadiness reason, empty when ready.
+func (r *Readiness) Reason() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reason
+}
+
+// MapSource serves archived map envelopes by content key; satisfied by
+// *mapstore.Store.
+type MapSource interface {
+	GetEnvelope(key string) ([]byte, bool)
+}
+
+// SpecStore holds workload specs by content hash: the fabric's
+// ship-once channel. Satisfied by *fabric.SpecCache.
+type SpecStore interface {
+	service.SpecSource
+	PutWorkload(ws *spec.WorkloadSpec) string
+}
+
+// WorkerRegistry tracks the worker fleet; satisfied by
+// *fabric.Registry.
+type WorkerRegistry interface {
+	RegisterWorker(addr string)
+	DeregisterWorker(addr string)
+	WorkerAddrs() []string
+}
+
+// WithReadiness wires the /readyz probe to a shared readiness gate the
+// daemon flips on SIGTERM (and before warm-up). Without it /readyz
+// always answers ok.
+func WithReadiness(r *Readiness) ServerOption {
+	return func(s *Server) { s.ready = r }
+}
+
+// WithMaps serves GET /v1/maps/{key} from the store's archive, so
+// read-heavy clients fetch finished maps by content key without
+// submitting a job.
+func WithMaps(src MapSource) ServerOption {
+	return func(s *Server) { s.maps = src }
+}
+
+// WithSpecs serves PUT/GET /v1/specs/{hash}, letting coordinators ship
+// workload specs once and submit jobs by reference afterwards.
+func WithSpecs(store SpecStore) ServerOption {
+	return func(s *Server) { s.specs = store }
+}
+
+// WithRegistry serves POST/GET /v1/workers — worker registration,
+// heartbeat, and fleet listing on a coordinator.
+func WithRegistry(reg WorkerRegistry) ServerOption {
+	return func(s *Server) { s.registry = reg }
+}
+
+// workerRequest is the POST /v1/workers body: a worker announcing
+// itself (register and heartbeat are the same call) or saying goodbye.
+type workerRequest struct {
+	Addr string `json:"addr"`
+	Bye  bool   `json:"bye,omitempty"`
+}
+
+// workersResponse answers GET /v1/workers.
+type workersResponse struct {
+	Workers []string `json:"workers"`
+}
+
+// specResponse answers PUT /v1/specs/{hash}.
+type specResponse struct {
+	Hash string `json:"hash"`
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.ready != nil {
+		if reason := s.ready.Reason(); reason != "" {
+			s.writeJSON(w, http.StatusServiceUnavailable, healthResponse{Status: reason})
+			return
+		}
+	}
+	s.writeJSON(w, http.StatusOK, healthResponse{Status: "ok"})
+}
+
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	if s.maps == nil {
+		s.writeError(w, fmt.Errorf("%w: map archive", service.ErrUnsupported))
+		return
+	}
+	key := r.PathValue("key")
+	env, ok := s.maps.GetEnvelope(key)
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound,
+			errorBody{Code: codeNotFound, Message: fmt.Sprintf("no archived map %q", key)})
+		return
+	}
+	// The envelope is already canonical JSON (key, scope, engine
+	// version, payload), verified by the store before release; serve the
+	// exact bytes so clients can hash-check end to end.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(env); err != nil {
+		s.logf("httpapi: write map envelope: %v", err)
+	}
+}
+
+func (s *Server) handlePutSpec(w http.ResponseWriter, r *http.Request) {
+	if s.specs == nil {
+		s.writeError(w, fmt.Errorf("%w: spec store", service.ErrUnsupported))
+		return
+	}
+	ws, err := spec.Decode(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		s.writeError(w, fmt.Errorf("%w: decoding workload spec: %v", service.ErrInvalidRequest, err))
+		return
+	}
+	// The path hash is the client's claim of what it is publishing; a
+	// mismatch means the spec was corrupted or rewritten in flight, and
+	// accepting it would poison every job submitted by that reference.
+	if want, got := r.PathValue("hash"), ws.Hash(); want != got {
+		s.writeError(w, fmt.Errorf("%w: spec hashes to %q, not %q",
+			service.ErrInvalidRequest, got, want))
+		return
+	}
+	hash := s.specs.PutWorkload(ws)
+	s.logf("httpapi: stored workload spec %s (%s)", hash, ws.Name)
+	s.writeJSON(w, http.StatusOK, specResponse{Hash: hash})
+}
+
+func (s *Server) handleGetSpec(w http.ResponseWriter, r *http.Request) {
+	if s.specs == nil {
+		s.writeError(w, fmt.Errorf("%w: spec store", service.ErrUnsupported))
+		return
+	}
+	hash := r.PathValue("hash")
+	ws, ok := s.specs.WorkloadByHash(hash)
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound,
+			errorBody{Code: codeSpecNotFound, Message: fmt.Sprintf("no workload spec %q", hash)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(ws.Encode()); err != nil {
+		s.logf("httpapi: write workload spec: %v", err)
+	}
+}
+
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	if s.registry == nil {
+		s.writeError(w, fmt.Errorf("%w: worker registry", service.ErrUnsupported))
+		return
+	}
+	var wr workerRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wr); err != nil || wr.Addr == "" {
+		s.writeError(w, fmt.Errorf("%w: worker registration needs an addr", service.ErrInvalidRequest))
+		return
+	}
+	if wr.Bye {
+		s.registry.DeregisterWorker(wr.Addr)
+		s.logf("httpapi: worker %s deregistered", wr.Addr)
+	} else {
+		s.registry.RegisterWorker(wr.Addr)
+	}
+	s.writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleListWorkers(w http.ResponseWriter, _ *http.Request) {
+	if s.registry == nil {
+		s.writeError(w, fmt.Errorf("%w: worker registry", service.ErrUnsupported))
+		return
+	}
+	addrs := s.registry.WorkerAddrs()
+	if addrs == nil {
+		addrs = []string{}
+	}
+	s.writeJSON(w, http.StatusOK, workersResponse{Workers: addrs})
+}
+
+// --- client side ---
+
+// Ready probes /readyz: nil when the daemon accepts new work, an error
+// naming the reason (e.g. "draining") otherwise.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return fmt.Errorf("httpapi: build request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("httpapi: GET /readyz: %w", err)
+	}
+	defer resp.Body.Close()
+	var hr healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		return fmt.Errorf("httpapi: decode readiness: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK || hr.Status != "ok" {
+		return fmt.Errorf("httpapi: daemon not ready: %q", hr.Status)
+	}
+	return nil
+}
+
+// Map fetches an archived map's verified store envelope by content key
+// (the raw envelope bytes, hash-checkable by the caller).
+func (c *Client) Map(ctx context.Context, key string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/maps/"+key, nil)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: build request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: GET /v1/maps/%s: %w", key, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+}
+
+// PutWorkload publishes a workload spec to the daemon's spec store
+// under its content hash, enabling submit-by-reference afterwards.
+func (c *Client) PutWorkload(ctx context.Context, ws *spec.WorkloadSpec) error {
+	hash := ws.Hash()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		c.base+"/v1/specs/"+hash, bytes.NewReader(ws.Encode()))
+	if err != nil {
+		return fmt.Errorf("httpapi: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("httpapi: PUT /v1/specs/%s: %w", hash, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return nil
+}
+
+// GetWorkload fetches a published workload spec by content hash.
+func (c *Client) GetWorkload(ctx context.Context, hash string) (*spec.WorkloadSpec, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/specs/"+hash, nil)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: build request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: GET /v1/specs/%s: %w", hash, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return spec.Decode(io.LimitReader(resp.Body, 8<<20))
+}
+
+// RegisterWorker announces a worker's address to a coordinator;
+// register and heartbeat are the same idempotent call.
+func (c *Client) RegisterWorker(ctx context.Context, addr string) error {
+	return c.do(ctx, http.MethodPost, "/v1/workers", workerRequest{Addr: addr}, nil)
+}
+
+// ByeWorker deregisters a worker (clean shutdown), so the coordinator
+// stops dispatching to it without waiting for its heartbeat to lapse.
+func (c *Client) ByeWorker(ctx context.Context, addr string) error {
+	return c.do(ctx, http.MethodPost, "/v1/workers", workerRequest{Addr: addr, Bye: true}, nil)
+}
+
+// Workers lists a coordinator's live worker fleet.
+func (c *Client) Workers(ctx context.Context) ([]string, error) {
+	var wr workersResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/workers", nil, &wr); err != nil {
+		return nil, err
+	}
+	return wr.Workers, nil
+}

@@ -1,0 +1,548 @@
+package httpapi
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"robustmap/internal/mapstore"
+	"robustmap/internal/service"
+	"robustmap/internal/spec"
+)
+
+// testSpecStore is an in-test SpecStore (the real one lives in
+// internal/fabric, which this package cannot import without a cycle).
+type testSpecStore struct {
+	mu    sync.Mutex
+	specs map[string]*spec.WorkloadSpec
+}
+
+func newTestSpecStore() *testSpecStore {
+	return &testSpecStore{specs: map[string]*spec.WorkloadSpec{}}
+}
+
+func (s *testSpecStore) PutWorkload(ws *spec.WorkloadSpec) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := ws.Hash()
+	s.specs[h] = ws
+	return h
+}
+
+func (s *testSpecStore) WorkloadByHash(hash string) (*spec.WorkloadSpec, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ws, ok := s.specs[hash]
+	return ws, ok
+}
+
+// testRegistry is an in-test WorkerRegistry.
+type testRegistry struct {
+	mu    sync.Mutex
+	addrs map[string]bool
+}
+
+func newTestRegistry() *testRegistry { return &testRegistry{addrs: map[string]bool{}} }
+
+func (r *testRegistry) RegisterWorker(addr string) {
+	r.mu.Lock()
+	r.addrs[addr] = true
+	r.mu.Unlock()
+}
+
+func (r *testRegistry) DeregisterWorker(addr string) {
+	r.mu.Lock()
+	delete(r.addrs, addr)
+	r.mu.Unlock()
+}
+
+func (r *testRegistry) WorkerAddrs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for a := range r.addrs {
+		out = append(out, a)
+	}
+	return out
+}
+
+// TestReadyzLifecycle pins the readiness probe against the liveness
+// probe: without a gate /readyz always answers ok; with one it mirrors
+// the gate's reason through warm-up, ready, and draining — while
+// /healthz answers ok throughout (a draining daemon is alive).
+func TestReadyzLifecycle(t *testing.T) {
+	ts, _, _ := startServer(t, synthResolver{}, 1)
+	var hr struct {
+		Status string `json:"status"`
+	}
+	resp, err := ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ungated /readyz = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	ready := NewReadiness("warming")
+	l := service.NewLocal(service.LocalConfig{Workers: 1, Resolver: synthResolver{}})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := l.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	gated := httptest.NewServer(NewServer(l,
+		WithLogger(func(string, ...any) {}), WithReadiness(ready)))
+	defer gated.Close()
+	c := NewClient(gated.URL)
+
+	check := func(wantStatus int, wantBody string) {
+		t.Helper()
+		resp, err := gated.Client().Get(gated.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("/readyz = %d, want %d", resp.StatusCode, wantStatus)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil || hr.Status != wantBody {
+			t.Fatalf("/readyz body = %+v (%v), want status %q", hr, err, wantBody)
+		}
+	}
+	check(http.StatusServiceUnavailable, "warming")
+	if err := c.Ready(context.Background()); err == nil {
+		t.Error("client Ready on a warming daemon: no error")
+	}
+
+	ready.Set("")
+	check(http.StatusOK, "ok")
+	if err := c.Ready(context.Background()); err != nil {
+		t.Errorf("client Ready on a ready daemon: %v", err)
+	}
+
+	ready.Set("draining")
+	check(http.StatusServiceUnavailable, "draining")
+	// Liveness is unchanged: the process serves in-flight work.
+	resp, err = gated.Client().Get(gated.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil || hr.Status != "ok" {
+		t.Fatalf("/healthz while draining = %+v (%v), want ok", hr, err)
+	}
+}
+
+// TestReadyzFlipsBeforeStreamsClose pins the shutdown ordering the
+// daemon promises: the instant a drain begins, /readyz answers 503 and
+// new submissions are refused — while an already-attached watch stream
+// is still open on a still-running job and /healthz still answers ok.
+// Readiness goes first; the streams close later.
+func TestReadyzFlipsBeforeStreamsClose(t *testing.T) {
+	defer startLeakCheck(t)()
+	oldKA := keepaliveInterval
+	keepaliveInterval = 20 * time.Millisecond
+	defer func() { keepaliveInterval = oldKA }()
+	r := synthResolver{gate: make(chan struct{})}
+	ready := NewReadiness("")
+	l := service.NewLocal(service.LocalConfig{Workers: 1, Resolver: r})
+	srv := httptest.NewServer(NewServer(l,
+		WithLogger(func(string, ...any) {}), WithReadiness(ready)))
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			srv.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := l.Close(ctx); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		})
+	}
+	defer stop()
+	hc := srv.Client()
+	ctx := context.Background()
+
+	// A job wedged mid-sweep, with a watch stream attached.
+	id, err := l.Submit(ctx, service.Request{Plans: []string{"gate"}, MaxExp: 1})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	watch, err := hc.Get(srv.URL + "/v1/jobs/" + string(id) + "/watch")
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	defer watch.Body.Close()
+	sc := bufio.NewScanner(watch.Body)
+	if !sc.Scan() {
+		t.Fatal("watch stream yielded nothing")
+	}
+
+	// Drain begins: readiness flips first, before anything winds down.
+	ready.Set("draining")
+	l.Drain()
+
+	resp, err := hc.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireErrorStatus := resp.StatusCode
+	resp.Body.Close()
+	if wireErrorStatus != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain = %d, want 503", wireErrorStatus)
+	}
+	resp, err = hc.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"plans":["p"],"max_exp":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireError(t, resp, http.StatusServiceUnavailable, "draining")
+	resp, err = hc.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz during drain = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// The watch stream outlived the readiness flip: release the job and
+	// the stream ends with its terminal event — not a moment before.
+	close(r.gate)
+	sawTerminal := false
+	for sc.Scan() {
+		if data, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+			var ev service.Event
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				t.Fatalf("bad SSE event %q: %v", data, err)
+			}
+			if ev.State.Terminal() {
+				sawTerminal = true
+			}
+		}
+	}
+	if !sawTerminal {
+		t.Error("watch stream closed without a terminal event during drain")
+	}
+}
+
+// TestMapEndpoint runs a job on a store-backed daemon and fetches the
+// archived envelope over GET /v1/maps/{key}: the wire bytes equal the
+// store's verified envelope, and an unknown key answers the standard
+// 404 shape. A daemon without a store answers unsupported.
+func TestMapEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	st, err := mapstore.Open(dir, mapstore.Config{EngineVersion: "sim-test", Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer st.Close()
+	l := service.NewLocal(service.LocalConfig{Workers: 1, Resolver: synthResolver{}, Store: st})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := l.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	srv := httptest.NewServer(NewServer(l,
+		WithLogger(func(string, ...any) {}), WithMaps(st)))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	ctx := context.Background()
+
+	if _, err := service.Run(ctx, c, service.Request{Plans: []string{"p1"}, MaxExp: 2}, nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	// The archive key is the envelope filename stem.
+	ents, err := os.ReadDir(filepath.Join(dir, "maps"))
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("maps dir: %v entries, err %v; want exactly 1", len(ents), err)
+	}
+	key := strings.TrimSuffix(ents[0].Name(), ".json")
+
+	got, err := c.Map(ctx, key)
+	if err != nil {
+		t.Fatalf("Map(%s): %v", key, err)
+	}
+	want, ok := st.GetEnvelope(key)
+	if !ok {
+		t.Fatal("store lost the envelope it just wrote")
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("wire envelope differs from the store's verified bytes")
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/v1/maps/0000000000000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireError(t, resp, http.StatusNotFound, "not_found")
+
+	// No store wired: the endpoint reports unsupported, like every other
+	// optional facet.
+	bare, _, _ := startServer(t, synthResolver{}, 1)
+	resp, err = bare.Client().Get(bare.URL + "/v1/maps/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireError(t, resp, http.StatusNotFound, "unsupported")
+}
+
+// TestSpecEndpoints round-trips a workload spec through PUT/GET
+// /v1/specs/{hash} and pins the two refusals: a PUT whose body hashes
+// differently from its claimed path, and a GET for an unpublished hash
+// (the spec_not_found code the fabric's fetch-on-miss keys on).
+func TestSpecEndpoints(t *testing.T) {
+	ws, err := spec.LoadFile("../../examples/workloads/skewed.json")
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	store := newTestSpecStore()
+	l := service.NewLocal(service.LocalConfig{Workers: 1, Resolver: synthResolver{}})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := l.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	srv := httptest.NewServer(NewServer(l,
+		WithLogger(func(string, ...any) {}), WithSpecs(store)))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	ctx := context.Background()
+
+	if _, err := c.GetWorkload(ctx, ws.Hash()); err == nil {
+		t.Fatal("GetWorkload before publishing: no error, want spec_not_found")
+	}
+	resp, err := srv.Client().Get(srv.URL + "/v1/specs/" + ws.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireError(t, resp, http.StatusNotFound, "spec_not_found")
+
+	if err := c.PutWorkload(ctx, ws); err != nil {
+		t.Fatalf("PutWorkload: %v", err)
+	}
+	got, err := c.GetWorkload(ctx, ws.Hash())
+	if err != nil {
+		t.Fatalf("GetWorkload: %v", err)
+	}
+	if got.Hash() != ws.Hash() || !reflect.DeepEqual(got, ws) {
+		t.Error("fetched spec differs from the published one")
+	}
+
+	// A hash-claim mismatch poisons by-reference submission and must be
+	// refused outright.
+	req, err := http.NewRequest(http.MethodPut,
+		srv.URL+"/v1/specs/0000000000000000", bytes.NewReader(ws.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireError(t, resp, http.StatusBadRequest, "invalid_request")
+
+	// Malformed spec body.
+	req, err = http.NewRequest(http.MethodPut,
+		srv.URL+"/v1/specs/"+ws.Hash(), strings.NewReader(`{"nope`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireError(t, resp, http.StatusBadRequest, "invalid_request")
+}
+
+// TestSubmitByRefOverHTTP pins the wire half of fetch-on-miss: a ref
+// submission against a daemon that has never seen the spec answers 404
+// spec_not_found; after one PUT the same body is admitted and the job
+// runs to the same result as an inline submission.
+func TestSubmitByRefOverHTTP(t *testing.T) {
+	ws, err := spec.LoadFile("../../examples/workloads/skewed.json")
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	store := newTestSpecStore()
+	l := service.NewLocal(service.LocalConfig{
+		Workers: 1, Resolver: synthResolver{}, Specs: store})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := l.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	srv := httptest.NewServer(NewServer(l,
+		WithLogger(func(string, ...any) {}), WithSpecs(store)))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	ctx := context.Background()
+
+	body := `{"workload_ref":"` + ws.Hash() + `","max_exp":2}`
+	resp, err := srv.Client().Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireError(t, resp, http.StatusNotFound, "spec_not_found")
+
+	if err := c.PutWorkload(ctx, ws); err != nil {
+		t.Fatalf("PutWorkload: %v", err)
+	}
+	byRef, err := service.Run(ctx, c,
+		service.Request{WorkloadRef: ws.Hash(), MaxExp: 2}, nil)
+	if err != nil {
+		t.Fatalf("Run by ref: %v", err)
+	}
+	inline, err := service.Run(ctx, c,
+		service.Request{Workload: ws, MaxExp: 2}, nil)
+	if err != nil {
+		t.Fatalf("Run inline: %v", err)
+	}
+	if !jsonEqual(t, byRef, inline) {
+		t.Error("by-ref result differs from the inline submission")
+	}
+}
+
+// TestTenantQuotaOverHTTP is the acceptance pin for multi-tenant
+// admission at the wire: a tenant at quota gets 429 tenant_quota (and
+// the client maps it back to the sentinel), while another tenant's
+// submission is admitted and completes meanwhile.
+func TestTenantQuotaOverHTTP(t *testing.T) {
+	defer startLeakCheck(t)()
+	r := synthResolver{gate: make(chan struct{})}
+	l := service.NewLocal(service.LocalConfig{
+		Workers: 2, Resolver: r, TenantQuota: 1})
+	srv := httptest.NewServer(NewServer(l, WithLogger(func(string, ...any) {})))
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			srv.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := l.Close(ctx); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		})
+	}
+	defer stop()
+	c := NewClient(srv.URL)
+	ctx := context.Background()
+
+	id, err := c.Submit(ctx, service.Request{Plans: []string{"gate"}, MaxExp: 1, Tenant: "alice"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	// Alice is at quota: pinned wire shape, and the client restores the
+	// sentinel for programmatic callers.
+	resp, err := srv.Client().Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"plans":["p"],"max_exp":1,"tenant":"alice"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireError(t, resp, http.StatusTooManyRequests, "tenant_quota")
+	if _, err := c.Submit(ctx, service.Request{Plans: []string{"p"}, MaxExp: 1, Tenant: "alice"}); !errorIs(err, service.ErrTenantQuota) {
+		t.Fatalf("client Submit over quota: %v, want ErrTenantQuota", err)
+	}
+
+	// Bob is unaffected and his job completes while alice's still runs.
+	if _, err := service.Run(ctx, c, service.Request{Plans: []string{"p"}, MaxExp: 1, Tenant: "bob"}, nil); err != nil {
+		t.Fatalf("bob Run: %v", err)
+	}
+
+	close(r.gate)
+	if _, err := service.Wait(ctx, c, id, nil); err != nil {
+		t.Fatalf("Wait alice: %v", err)
+	}
+	stop()
+}
+
+// TestWorkersEndpoint drives registration, heartbeat idempotence,
+// listing, and bye at the wire level against a coordinator-shaped
+// server; a daemon without a registry answers unsupported.
+func TestWorkersEndpoint(t *testing.T) {
+	reg := newTestRegistry()
+	l := service.NewLocal(service.LocalConfig{Workers: 1, Resolver: synthResolver{}})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := l.Close(ctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	srv := httptest.NewServer(NewServer(l,
+		WithLogger(func(string, ...any) {}), WithRegistry(reg)))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	ctx := context.Background()
+
+	if ws, err := c.Workers(ctx); err != nil || len(ws) != 0 {
+		t.Fatalf("Workers on empty fleet = %v (%v), want []", ws, err)
+	}
+	if err := c.RegisterWorker(ctx, "http://w1:8422"); err != nil {
+		t.Fatalf("RegisterWorker: %v", err)
+	}
+	if err := c.RegisterWorker(ctx, "http://w1:8422"); err != nil {
+		t.Fatalf("heartbeat re-register: %v", err)
+	}
+	if ws, err := c.Workers(ctx); err != nil || !reflect.DeepEqual(ws, []string{"http://w1:8422"}) {
+		t.Fatalf("Workers = %v (%v), want the one registered", ws, err)
+	}
+	if err := c.ByeWorker(ctx, "http://w1:8422"); err != nil {
+		t.Fatalf("ByeWorker: %v", err)
+	}
+	if ws, err := c.Workers(ctx); err != nil || len(ws) != 0 {
+		t.Fatalf("Workers after bye = %v (%v), want []", ws, err)
+	}
+
+	// Registration without an addr is malformed.
+	resp, err := srv.Client().Post(srv.URL+"/v1/workers", "application/json",
+		strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireError(t, resp, http.StatusBadRequest, "invalid_request")
+
+	// No registry: the worker surface does not exist on plain daemons.
+	bare, _, _ := startServer(t, synthResolver{}, 1)
+	resp, err = bare.Client().Get(bare.URL + "/v1/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireError(t, resp, http.StatusNotFound, "unsupported")
+}
+
+// errorIs avoids importing errors just for one assertion helper.
+func errorIs(err, target error) bool {
+	for e := err; e != nil; {
+		if e == target {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}

@@ -12,17 +12,24 @@
 //	DELETE /v1/jobs/{id}        cancel (idempotent on terminal jobs)
 //	GET    /v1/plans            built-in plan ids, systems, descriptions
 //	GET    /v1/stats            cache/store/job counters (when supported)
+//	GET    /v1/maps/{key}       archived map envelope by content key
+//	PUT    /v1/specs/{hash}     publish a workload spec by content hash
+//	GET    /v1/specs/{hash}     fetch a published workload spec
+//	POST   /v1/workers          register/heartbeat/bye a worker daemon
+//	GET    /v1/workers          list the live worker fleet
 //	GET    /healthz             liveness probe
+//	GET    /readyz              readiness probe (503 draining/warming)
 //
 // A Request may carry a full workload spec ("workload": {...}) instead
-// of naming built-in plans; it rides the same POST body and is
-// validated at submission like any other request field.
+// of naming built-in plans — or a "workload_ref" content hash resolved
+// against the daemon's spec store; both ride the same POST body and
+// are validated at submission like any other request field.
 //
 // Errors are a single JSON shape, {"code": "...", "message": "..."},
 // with codes mirroring the service error vocabulary (invalid_request,
-// not_found, not_ready, cancelled, failed, draining, queue_full), so
-// the client can translate them back into the same sentinel errors the
-// in-process service returns.
+// not_found, not_ready, cancelled, failed, draining, queue_full,
+// tenant_quota, spec_not_found), so the client can translate them back
+// into the same sentinel errors the in-process service returns.
 package httpapi
 
 import (
@@ -72,6 +79,8 @@ const (
 	codeFailed         = "failed"
 	codeDraining       = "draining"
 	codeQueueFull      = "queue_full"
+	codeTenantQuota    = "tenant_quota"
+	codeSpecNotFound   = "spec_not_found"
 	codeUnsupported    = "unsupported"
 	codeInternal       = "internal"
 )
@@ -93,6 +102,10 @@ func errCode(err error) (int, string) {
 		return http.StatusServiceUnavailable, codeDraining
 	case errors.Is(err, service.ErrQueueFull):
 		return http.StatusTooManyRequests, codeQueueFull
+	case errors.Is(err, service.ErrTenantQuota):
+		return http.StatusTooManyRequests, codeTenantQuota
+	case errors.Is(err, service.ErrSpecNotFound):
+		return http.StatusNotFound, codeSpecNotFound
 	case errors.Is(err, service.ErrUnsupported):
 		return http.StatusNotFound, codeUnsupported
 	default:
@@ -117,6 +130,10 @@ func codeErr(code string) error {
 		return service.ErrDraining
 	case codeQueueFull:
 		return service.ErrQueueFull
+	case codeTenantQuota:
+		return service.ErrTenantQuota
+	case codeSpecNotFound:
+		return service.ErrSpecNotFound
 	case codeUnsupported:
 		return service.ErrUnsupported
 	default:
@@ -130,6 +147,13 @@ type Server struct {
 	svc  service.Service
 	mux  *http.ServeMux
 	logf func(format string, args ...any)
+
+	// Fabric facets, each optional (see fleet.go): the readiness gate,
+	// the map archive, the workload spec store, and the worker registry.
+	ready    *Readiness
+	maps     MapSource
+	specs    SpecStore
+	registry WorkerRegistry
 }
 
 // ServerOption configures a Server.
@@ -154,7 +178,13 @@ func NewServer(svc service.Service, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/plans", s.handlePlans)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/maps/{key}", s.handleMap)
+	s.mux.HandleFunc("PUT /v1/specs/{hash}", s.handlePutSpec)
+	s.mux.HandleFunc("GET /v1/specs/{hash}", s.handleGetSpec)
+	s.mux.HandleFunc("POST /v1/workers", s.handleWorkers)
+	s.mux.HandleFunc("GET /v1/workers", s.handleListWorkers)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	return s
 }
 

@@ -1,0 +1,74 @@
+package mapstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestGetEnvelope pins the raw-envelope read behind GET /v1/maps/{key}:
+// the exact verified file bytes come back (so remote readers can
+// re-verify the payload hash end to end), a miss reports false, and a
+// tampered envelope is quarantined rather than served.
+func TestGetEnvelope(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	key := "ab12cd34ab12cd34"
+	payload := []byte(`{"map_1d":{"Plans":["A1"]}}`)
+	s.PutMap(key, Scope{Kind: "plans", Plans: []string{"A1"}, Rows: 64, MaxExp: 2}, payload)
+
+	raw, ok := s.GetEnvelope(key)
+	if !ok {
+		t.Fatal("GetEnvelope missed a key just written")
+	}
+	disk, err := os.ReadFile(s.mapPath(key))
+	if err != nil {
+		t.Fatalf("read envelope file: %v", err)
+	}
+	if !bytes.Equal(raw, disk) {
+		t.Error("GetEnvelope bytes differ from the on-disk envelope")
+	}
+	var env Envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatalf("envelope does not decode: %v", err)
+	}
+	if env.Key != key || env.Engine != testEngine {
+		t.Errorf("envelope (key %q, engine %q), want (%q, %q)", env.Key, env.Engine, key, testEngine)
+	}
+	if !bytes.Equal(compactOrDie(t, env.Payload), compactOrDie(t, payload)) {
+		t.Error("envelope payload differs from what PutMap stored")
+	}
+
+	if _, ok := s.GetEnvelope("00000000deadbeef"); ok {
+		t.Error("GetEnvelope hit on a key never written")
+	}
+
+	// A renamed (or tampered-key) envelope must be quarantined on read.
+	bad := "ffffffffffffffff"
+	if err := os.Rename(s.mapPath(key), s.mapPath(bad)); err != nil {
+		t.Fatal(err)
+	}
+	s.maps[bad] = true
+	if _, ok := s.GetEnvelope(bad); ok {
+		t.Error("GetEnvelope served an envelope whose embedded key mismatches")
+	}
+	if s.Stats().Quarantined == 0 {
+		t.Error("mismatched envelope was not quarantined")
+	}
+
+	// A nil store (no -store configured) is inert.
+	var nilStore *Store
+	if _, ok := nilStore.GetEnvelope(key); ok {
+		t.Error("nil store served an envelope")
+	}
+}
+
+func compactOrDie(t *testing.T, b []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, b); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	return buf.Bytes()
+}

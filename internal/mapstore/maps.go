@@ -129,6 +129,45 @@ func (s *Store) GetMap(key string) ([]byte, bool) {
 	return env.Payload, true
 }
 
+// GetEnvelope returns the raw verified envelope bytes for key — what
+// GET /v1/maps/{key} serves, so remote readers get the same format,
+// engine-version, and payload-hash guarantees as local ones and can
+// re-verify end to end. Verification and quarantine behave exactly as
+// in GetMap; only the return differs (the whole envelope rather than
+// the payload inside it).
+func (s *Store) GetEnvelope(key string) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.disabled || !s.maps[key] {
+		return nil, false
+	}
+	path := s.mapPath(key)
+	env, err := readEnvelope(path)
+	if err == nil && env.Key != key {
+		err = fmt.Errorf("envelope key %q does not match filename", env.Key)
+	}
+	if err == nil && env.Engine != s.engine {
+		err = fmt.Errorf("envelope engine %q, this build is %q", env.Engine, s.engine)
+	}
+	if err != nil {
+		s.quarantinePath(path, err.Error())
+		s.stats.Quarantined++
+		delete(s.maps, key)
+		return nil, false
+	}
+	// Re-read the file bytes only after verification passed; the file
+	// cannot have changed under the lock (the store is single-writer).
+	b, rerr := os.ReadFile(path)
+	if rerr != nil {
+		return nil, false
+	}
+	s.stats.MapHits++
+	return b, true
+}
+
 // readEnvelope loads and verifies one envelope file: format version,
 // payload hash, and well-formed payload JSON.
 func readEnvelope(path string) (*Envelope, error) {

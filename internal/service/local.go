@@ -1,7 +1,6 @@
 package service
 
 import (
-	"container/heap"
 	"context"
 	"encoding/json"
 	"errors"
@@ -13,6 +12,7 @@ import (
 	"robustmap/internal/core"
 	"robustmap/internal/engine"
 	"robustmap/internal/mapstore"
+	"robustmap/internal/spec"
 )
 
 // LocalConfig parameterizes the in-process scheduler.
@@ -46,6 +46,20 @@ type LocalConfig struct {
 	// owns the store's lifecycle (open it before NewLocal, close it
 	// after Close). Nil runs without persistence.
 	Store *mapstore.Store
+	// Runner overrides how admitted jobs execute; nil means the default
+	// in-process sweep runner over Resolver. The fabric coordinator
+	// substitutes a runner that dispatches shards to worker daemons
+	// while reusing this scheduler's queue, quotas, and watch fan-out.
+	Runner Runner
+	// Specs resolves Request.WorkloadRef content hashes to workload
+	// specs at Submit. Nil rejects every spec-by-reference submission
+	// with ErrSpecNotFound (the signal a fabric coordinator uses to
+	// ship the spec and resubmit).
+	Specs SpecSource
+	// TenantQuota bounds each tenant's active jobs (queued + running);
+	// Submit fails with ErrTenantQuota beyond it. The empty tenant is a
+	// tenant like any other. 0 means no per-tenant bound.
+	TenantQuota int
 
 	// gcInterval overrides the janitor period (tests); 0 derives it
 	// from TTL.
@@ -58,18 +72,28 @@ type LocalConfig struct {
 // NewLocal and release it with Close.
 type Local struct {
 	resolver Resolver
+	runner   Runner
+	specs    SpecSource
 	cache    *core.MeasureCache
 	store    *mapstore.Store
 	ttl      time.Duration
 	qlimit   int
+	quota    int
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signals workers: queue non-empty or stopping
 	jobs     map[JobID]*job
-	queue    jobQueue
+	queue    []*job // admission order; popNextLocked picks fairly
 	seq      int64
 	draining bool // Submit refused
 	stopping bool // workers exit once the queue is empty
+
+	// active counts queued+running jobs per tenant (quota admission);
+	// running counts only running ones (weighted fair pick). Both
+	// guarded by mu; entries are deleted at zero so the maps stay
+	// bounded by the live tenant set.
+	active  map[string]int
+	running map[string]int
 
 	wg       sync.WaitGroup // workers + janitor
 	stopGC   chan struct{}
@@ -100,38 +124,56 @@ type job struct {
 
 	watchers []chan Event
 	done     chan struct{} // closed on the terminal transition
-
-	heapIndex int // position in Local.queue while queued, else -1
 }
 
-// jobQueue is the admission queue: a max-heap on (priority, -seq), so
-// higher priorities run first and equal priorities run FIFO.
-type jobQueue []*job
-
-func (q jobQueue) Len() int { return len(q) }
-func (q jobQueue) Less(i, j int) bool {
-	if q[i].req.Priority != q[j].req.Priority {
-		return q[i].req.Priority > q[j].req.Priority
+// popNextLocked picks and removes the next job to run: highest
+// priority first, then — the weighted fair pick — the tenant with the
+// fewest running jobs, then admission order. With a single tenant the
+// middle key is constant, so the pre-fabric FIFO-within-priority order
+// is preserved exactly; with several, a tenant that has flooded the
+// queue still only ever gets its fair share of workers, because every
+// pop prefers whoever is running least. The queue stays a plain slice
+// scanned linearly: admission queues are short (bounded by QueueLimit)
+// and the fair-pick key depends on mutable running counts, which a
+// heap cannot index.
+func (l *Local) popNextLocked() *job {
+	best := -1
+	for i, j := range l.queue {
+		if best < 0 {
+			best = i
+			continue
+		}
+		b := l.queue[best]
+		switch {
+		case j.req.Priority != b.req.Priority:
+			if j.req.Priority > b.req.Priority {
+				best = i
+			}
+		case l.running[j.req.Tenant] != l.running[b.req.Tenant]:
+			if l.running[j.req.Tenant] < l.running[b.req.Tenant] {
+				best = i
+			}
+		case j.seq < b.seq:
+			best = i
+		}
 	}
-	return q[i].seq < q[j].seq
-}
-func (q jobQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].heapIndex, q[j].heapIndex = i, j
-}
-func (q *jobQueue) Push(x any) {
-	j := x.(*job)
-	j.heapIndex = len(*q)
-	*q = append(*q, j)
-}
-func (q *jobQueue) Pop() any {
-	old := *q
-	n := len(old)
-	j := old[n-1]
-	old[n-1] = nil
-	j.heapIndex = -1
-	*q = old[:n-1]
+	if best < 0 {
+		return nil
+	}
+	j := l.queue[best]
+	l.queue = append(l.queue[:best], l.queue[best+1:]...)
 	return j
+}
+
+// removeQueuedLocked splices a still-queued job out of the admission
+// queue (cancellation path); a job not present is a no-op.
+func (l *Local) removeQueuedLocked(j *job) {
+	for i, q := range l.queue {
+		if q == j {
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			return
+		}
+	}
 }
 
 // NewLocal starts an in-process service: its workers are running and
@@ -154,11 +196,19 @@ func NewLocal(cfg LocalConfig) *Local {
 	}
 	l := &Local{
 		resolver: resolver,
+		specs:    cfg.Specs,
 		store:    cfg.Store,
 		ttl:      cfg.TTL,
 		qlimit:   cfg.QueueLimit,
+		quota:    cfg.TenantQuota,
 		jobs:     make(map[JobID]*job),
+		active:   make(map[string]int),
+		running:  make(map[string]int),
 		stopGC:   make(chan struct{}),
+	}
+	l.runner = cfg.Runner
+	if l.runner == nil {
+		l.runner = &sweepRunner{resolver: resolver, local: l}
 	}
 	if cfg.CacheSize != 0 {
 		// NewMeasureCache treats negative capacities as unbounded.
@@ -216,7 +266,25 @@ func (l *Local) ServiceStats(_ context.Context) (Stats, error) {
 
 // Submit implements Service.
 func (l *Local) Submit(_ context.Context, req Request) (JobID, error) {
-	if err := l.resolver.Check(req); err != nil {
+	// A spec-by-reference request substitutes its workload before any
+	// further checking: a miss is the fabric's fetch-on-miss signal
+	// (the coordinator ships the spec and resubmits), and a hit makes
+	// the request indistinguishable from one that carried the spec
+	// inline — same validation, same archive key.
+	if req.WorkloadRef != "" {
+		var (
+			ws *spec.WorkloadSpec
+			ok bool
+		)
+		if l.specs != nil {
+			ws, ok = l.specs.WorkloadByHash(req.WorkloadRef)
+		}
+		if !ok {
+			return "", fmt.Errorf("%w: %q", ErrSpecNotFound, req.WorkloadRef)
+		}
+		req.Workload, req.WorkloadRef = ws, ""
+	}
+	if err := l.runner.Check(req); err != nil {
 		return "", err
 	}
 	l.mu.Lock()
@@ -224,8 +292,12 @@ func (l *Local) Submit(_ context.Context, req Request) (JobID, error) {
 	if l.draining {
 		return "", ErrDraining
 	}
-	if l.qlimit > 0 && l.queue.Len() >= l.qlimit {
+	if l.qlimit > 0 && len(l.queue) >= l.qlimit {
 		return "", ErrQueueFull
+	}
+	if l.quota > 0 && l.active[req.Tenant] >= l.quota {
+		return "", fmt.Errorf("%w: tenant %q has %d active jobs (quota %d)",
+			ErrTenantQuota, req.Tenant, l.active[req.Tenant], l.quota)
 	}
 	l.seq++
 	j := &job{
@@ -235,13 +307,13 @@ func (l *Local) Submit(_ context.Context, req Request) (JobID, error) {
 		state:     JobQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
-		heapIndex: -1,
 	}
 	// The job's context is rooted in Background, not the Submit ctx:
 	// the job outlives the submission call by design.
 	j.ctx, j.cancel = context.WithCancel(context.Background())
 	l.jobs[j.id] = j
-	heap.Push(&l.queue, j)
+	l.queue = append(l.queue, j)
+	l.active[req.Tenant]++
 	l.cond.Signal()
 	return j.id, nil
 }
@@ -317,9 +389,7 @@ func (l *Local) cancelLocked(j *job) error {
 	switch j.state {
 	case JobQueued:
 		// Still in the admission queue: go terminal directly.
-		if j.heapIndex >= 0 {
-			heap.Remove(&l.queue, j.heapIndex)
-		}
+		l.removeQueuedLocked(j)
 		j.cancel()
 		l.finishLocked(j, JobCancelled, nil, nil)
 	case JobRunning:
@@ -400,6 +470,16 @@ func (l *Local) publishLocked(j *job) {
 // slow watchers lose ticks, never the terminal event), and the done
 // broadcast.
 func (l *Local) finishLocked(j *job, state JobState, res *Result, err error) {
+	// Release the tenant's admission and fair-pick counts; delete at
+	// zero so the maps track only live tenants.
+	if j.state == JobRunning {
+		if l.running[j.req.Tenant]--; l.running[j.req.Tenant] <= 0 {
+			delete(l.running, j.req.Tenant)
+		}
+	}
+	if l.active[j.req.Tenant]--; l.active[j.req.Tenant] <= 0 {
+		delete(l.active, j.req.Tenant)
+	}
 	j.state = state
 	j.result = res
 	j.err = err
@@ -431,16 +511,17 @@ func (l *Local) worker() {
 	defer l.wg.Done()
 	for {
 		l.mu.Lock()
-		for l.queue.Len() == 0 && !l.stopping {
+		for len(l.queue) == 0 && !l.stopping {
 			l.cond.Wait()
 		}
-		if l.queue.Len() == 0 {
+		if len(l.queue) == 0 {
 			l.mu.Unlock()
 			return
 		}
-		j := heap.Pop(&l.queue).(*job)
+		j := l.popNextLocked()
 		j.state = JobRunning
 		j.started = time.Now()
+		l.running[j.req.Tenant]++
 		l.publishLocked(j)
 		l.mu.Unlock()
 		l.runJob(j)
@@ -462,8 +543,8 @@ func (l *Local) runJob(j *job) {
 	}
 }
 
-// execute builds the sweep a job's request describes and runs it under
-// the job's context.
+// execute runs one job through the configured Runner, bracketed by the
+// map archive: a hit is served from disk, a fresh result is archived.
 func (l *Local) execute(j *job) (res *Result, err error) {
 	// A broken plan's row-count cross-check panics in the sweep core;
 	// a job server must outlive it, so it lands as a failed job.
@@ -472,10 +553,10 @@ func (l *Local) execute(j *job) (res *Result, err error) {
 			res, err = nil, fmt.Errorf("service: job panicked: %v", r)
 		}
 	}()
-	// The map archive comes first — before the resolver builds (possibly
-	// gigabyte-scale) systems: an identical earlier request is served
-	// from disk, byte-identical by measurement determinism, with zero
-	// new measurements.
+	// The map archive comes first — before the runner builds (possibly
+	// gigabyte-scale) systems or dials a worker fleet: an identical
+	// earlier request is served from disk, byte-identical by
+	// measurement determinism, with zero new measurements.
 	key := ArchiveKey(j.req)
 	if l.store != nil && key != "" {
 		if payload, ok := l.store.GetMap(key); ok {
@@ -488,54 +569,14 @@ func (l *Local) execute(j *job) (res *Result, err error) {
 			res = nil
 		}
 	}
-	rs, err := l.resolver.Resolve(j.req)
+	res, err = l.runner.Run(j.ctx, j.req, func(p core.Progress) {
+		l.mu.Lock()
+		j.progress = p
+		l.publishLocked(j)
+		l.mu.Unlock()
+	})
 	if err != nil {
 		return nil, err
-	}
-	sources := make([]core.PlanSource, len(rs.Sources))
-	for i, src := range rs.Sources {
-		scope := ""
-		if i < len(rs.Scopes) {
-			scope = rs.Scopes[i]
-		}
-		// Two-tier chain, both optional: LRU in front, persistent log
-		// behind it, the real measurement at the bottom. Wrap on a nil
-		// cache or store returns the source unchanged.
-		sources[i] = l.cache.Wrap(scope, l.store.Wrap(scope, src))
-	}
-	opts := []core.SweepOption{
-		core.WithParallelism(j.req.Parallelism),
-		core.WithProgress(func(p core.Progress) {
-			l.mu.Lock()
-			j.progress = p
-			l.publishLocked(j)
-			l.mu.Unlock()
-		}),
-	}
-	if j.req.EffectiveGrid2D() {
-		opts = append(opts, core.Grid2D(rs.Fractions, rs.Fractions, rs.Thresholds, rs.Thresholds))
-	} else {
-		opts = append(opts, core.Grid1D(rs.Fractions, rs.Thresholds))
-	}
-	if j.req.Refine {
-		acfg := core.DefaultAdaptiveConfig()
-		acfg.ResultSize = rs.ResultSize
-		opts = append(opts, core.WithAdaptive(acfg))
-	}
-	sres, err := core.NewSweep(sources, opts...).Run(j.ctx)
-	if err != nil {
-		return nil, err
-	}
-	res = &Result{
-		Map1D:  sres.Map1D,
-		Mesh1D: sres.Mesh1D,
-		Map2D:  sres.Map2D,
-		Mesh2D: sres.Mesh2D,
-	}
-	if rs.Finish != nil {
-		if err := rs.Finish(res); err != nil {
-			return nil, err
-		}
 	}
 	if l.store != nil && key != "" {
 		if payload, merr := json.Marshal(res); merr == nil {

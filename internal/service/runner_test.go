@@ -1,0 +1,405 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"robustmap/internal/core"
+	"robustmap/internal/engine"
+	"robustmap/internal/spec"
+)
+
+// gateResolver resolves every plan to a synthetic source whose cells
+// block on the gate registered under the plan's id (no gate = measure
+// immediately) — per-job control the shared-release fakeResolver can't
+// give scheduling tests.
+type gateResolver struct {
+	mu      sync.Mutex
+	gates   map[string]chan struct{}
+	started map[string]chan struct{}
+}
+
+func newGateResolver() *gateResolver {
+	return &gateResolver{gates: map[string]chan struct{}{}, started: map[string]chan struct{}{}}
+}
+
+// gate registers plan id as gated and returns (started, release):
+// started closes when the plan measures its first cell, release unblocks
+// its cells.
+func (r *gateResolver) gate(id string) (started chan struct{}, release chan struct{}) {
+	started, release = make(chan struct{}), make(chan struct{})
+	r.mu.Lock()
+	r.gates[id], r.started[id] = release, started
+	r.mu.Unlock()
+	return started, release
+}
+
+func (r *gateResolver) Check(req Request) error { return req.Validate() }
+
+func (r *gateResolver) Resolve(req Request) (*ResolvedSweep, error) {
+	rows := req.Rows
+	if rows == 0 {
+		rows = 1 << 10
+	}
+	rs := &ResolvedSweep{}
+	rs.Fractions, rs.Thresholds = core.SweepAxis(rows, req.MaxExp)
+	for i, id := range req.Plans {
+		id := id
+		scale := time.Duration(i + 1)
+		var once sync.Once
+		rs.Sources = append(rs.Sources, core.PlanSource{
+			ID: id,
+			Measure: func(ta, tb int64) core.Measurement {
+				r.mu.Lock()
+				release, started := r.gates[id], r.started[id]
+				r.mu.Unlock()
+				if started != nil {
+					once.Do(func() { close(started) })
+				}
+				if release != nil {
+					<-release
+				}
+				t := time.Duration(ta+1) * scale * time.Microsecond
+				if tb >= 0 {
+					t += time.Duration(tb+1) * scale * time.Nanosecond
+				}
+				return core.Measurement{Time: t, Rows: ta + tb + 1}
+			},
+		})
+		rs.Scopes = append(rs.Scopes, "gate")
+	}
+	return rs, nil
+}
+
+// TestTenantQuota pins multi-tenant admission: a tenant at its active
+// quota is refused with ErrTenantQuota while another tenant's
+// submission is admitted and runs — and a finished job frees the slot.
+func TestTenantQuota(t *testing.T) {
+	defer startLeakCheck(t)()
+	ctx := context.Background()
+	r := newGateResolver()
+	started, release := r.gate("g1")
+	l := NewLocal(LocalConfig{Workers: 2, Resolver: r, TenantQuota: 1})
+	defer closeLocal(t, l)
+
+	id1, err := l.Submit(ctx, Request{Plans: []string{"g1"}, MaxExp: 1, Tenant: "alice"})
+	if err != nil {
+		t.Fatalf("Submit 1: %v", err)
+	}
+	<-started
+
+	// Alice is at quota — queued or running both count as active.
+	_, err = l.Submit(ctx, Request{Plans: []string{"p"}, MaxExp: 1, Tenant: "alice"})
+	if !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("Submit over quota: %v, want ErrTenantQuota", err)
+	}
+	// Bob's quota is his own: admitted, runs to completion while alice's
+	// job still occupies her slot.
+	bobID, err := l.Submit(ctx, Request{Plans: []string{"p"}, MaxExp: 1, Tenant: "bob"})
+	if err != nil {
+		t.Fatalf("Submit bob: %v", err)
+	}
+	if _, err := Wait(ctx, l, bobID, nil); err != nil {
+		t.Fatalf("Wait bob: %v", err)
+	}
+
+	// The slot frees when the job goes terminal.
+	close(release)
+	if _, err := Wait(ctx, l, id1, nil); err != nil {
+		t.Fatalf("Wait alice: %v", err)
+	}
+	if _, err := l.Submit(ctx, Request{Plans: []string{"p"}, MaxExp: 1, Tenant: "alice"}); err != nil {
+		t.Fatalf("Submit after slot freed: %v", err)
+	}
+}
+
+// TestTenantQuotaCancelFrees: cancelling a queued job releases its
+// tenant's quota slot without it ever running.
+func TestTenantQuotaCancelFrees(t *testing.T) {
+	defer startLeakCheck(t)()
+	ctx := context.Background()
+	r := newGateResolver()
+	_, release := r.gate("g1")
+	l := NewLocal(LocalConfig{Workers: 1, Resolver: r, TenantQuota: 2})
+	defer closeLocal(t, l)
+	// LIFO: the gate must open before closeLocal waits the job out.
+	defer close(release)
+
+	if _, err := l.Submit(ctx, Request{Plans: []string{"g1"}, MaxExp: 1, Tenant: "alice"}); err != nil {
+		t.Fatalf("Submit running: %v", err)
+	}
+	queued, err := l.Submit(ctx, Request{Plans: []string{"p"}, MaxExp: 1, Tenant: "alice"})
+	if err != nil {
+		t.Fatalf("Submit queued: %v", err)
+	}
+	if _, err := l.Submit(ctx, Request{Plans: []string{"p"}, MaxExp: 1, Tenant: "alice"}); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("Submit at quota: %v, want ErrTenantQuota", err)
+	}
+	if err := l.Cancel(ctx, queued); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	if _, err := l.Submit(ctx, Request{Plans: []string{"p"}, MaxExp: 1, Tenant: "alice"}); err != nil {
+		t.Fatalf("Submit after cancel: %v, want admission", err)
+	}
+}
+
+// TestFairTenantPick pins the weighted pick: at equal priority, the
+// scheduler prefers the tenant with the fewest running jobs, even when
+// the busier tenant's job was submitted first. (Single-tenant loads
+// degrade to plain FIFO — the tie-breaker below — which
+// TestLocalPriorityAdmission continues to pin.)
+func TestFairTenantPick(t *testing.T) {
+	defer startLeakCheck(t)()
+	ctx := context.Background()
+	r := newGateResolver()
+	s1, rel1 := r.gate("g1")
+	s2, rel2 := r.gate("g2")
+	s4, rel4 := r.gate("g4")
+	l := NewLocal(LocalConfig{Workers: 2, Resolver: r})
+	defer closeLocal(t, l)
+
+	// Saturate both workers with alice.
+	a1, err := l.Submit(ctx, Request{Plans: []string{"g1"}, MaxExp: 1, Tenant: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-s1
+	a2, err := l.Submit(ctx, Request{Plans: []string{"g2"}, MaxExp: 1, Tenant: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-s2
+
+	// Queue alice's third before bob's first.
+	a3, err := l.Submit(ctx, Request{Plans: []string{"g3"}, MaxExp: 1, Tenant: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b4, err := l.Submit(ctx, Request{Plans: []string{"g4"}, MaxExp: 1, Tenant: "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Free one worker: with alice still running a job, the freed worker
+	// must pick bob despite alice's earlier submission.
+	close(rel1)
+	if _, err := Wait(ctx, l, a1, nil); err != nil {
+		t.Fatalf("Wait a1: %v", err)
+	}
+	<-s4
+	st, err := l.Status(ctx, b4)
+	if err != nil || st.State != JobRunning {
+		t.Fatalf("bob's job state = %v (%v), want running before alice's third", st.State, err)
+	}
+	if st, err := l.Status(ctx, a3); err != nil || st.State != JobQueued {
+		t.Fatalf("alice's third job state = %v (%v), want still queued", st.State, err)
+	}
+
+	close(rel2)
+	close(rel4)
+	for _, id := range []JobID{a2, a3, b4} {
+		if _, err := Wait(ctx, l, id, nil); err != nil {
+			t.Fatalf("Wait %s: %v", id, err)
+		}
+	}
+}
+
+// specMap is a SpecSource over a plain map.
+type specMap map[string]*spec.WorkloadSpec
+
+func (m specMap) WorkloadByHash(hash string) (*spec.WorkloadSpec, bool) {
+	ws, ok := m[hash]
+	return ws, ok
+}
+
+// TestWorkloadRefSubstitution pins submit-by-reference: an unknown hash
+// is refused with ErrSpecNotFound (as is any ref on a service without a
+// spec source), a known hash runs exactly like the inlined spec —
+// including the archive treating both as the same study.
+func TestWorkloadRefSubstitution(t *testing.T) {
+	ctx := context.Background()
+	ws, err := spec.LoadFile("../../examples/workloads/skewed.json")
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	req := Request{WorkloadRef: ws.Hash(), Rows: 1 << 10, MaxExp: 2}
+
+	// No spec source wired at all.
+	bare := NewLocal(LocalConfig{Workers: 1})
+	defer closeLocal(t, bare)
+	if _, err := bare.Submit(ctx, req); !errors.Is(err, ErrSpecNotFound) {
+		t.Fatalf("Submit ref without a spec source: %v, want ErrSpecNotFound", err)
+	}
+
+	specs := specMap{}
+	l := NewLocal(LocalConfig{Workers: 1, Specs: specs})
+	defer closeLocal(t, l)
+	if _, err := l.Submit(ctx, req); !errors.Is(err, ErrSpecNotFound) {
+		t.Fatalf("Submit unknown ref: %v, want ErrSpecNotFound", err)
+	}
+
+	// Publish, then the same ref request runs — byte-for-byte the run
+	// the inlined spec produces.
+	specs[ws.Hash()] = ws
+	got, err := Run(ctx, l, req, nil)
+	if err != nil {
+		t.Fatalf("Run by ref: %v", err)
+	}
+	want, err := Run(ctx, l, Request{Workload: ws, Rows: 1 << 10, MaxExp: 2}, nil)
+	if err != nil {
+		t.Fatalf("Run inline: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("ref-submitted result differs from the inline submission")
+	}
+}
+
+// TestShardValidationAfterSubstitution: a shard bound that only becomes
+// checkable once the ref resolves to a spec (the axis depth lives in
+// the spec) is still rejected at Submit, not at run time.
+func TestShardValidationAfterSubstitution(t *testing.T) {
+	ctx := context.Background()
+	ws, err := spec.LoadFile("../../examples/workloads/skewed.json")
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	l := NewLocal(LocalConfig{Workers: 1, Specs: specMap{ws.Hash(): ws}})
+	defer closeLocal(t, l)
+
+	_, err = l.Submit(ctx, Request{
+		WorkloadRef: ws.Hash(),
+		Rows:        1 << 10,
+		MaxExp:      2, // 3-point axis
+		Shard:       &Shard{Lo: 0, Hi: 9},
+	})
+	if !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("Submit out-of-axis shard by ref: %v, want ErrInvalidRequest", err)
+	}
+}
+
+// TestShardRunsSliceOfAxis pins the worker half of the shard contract:
+// a shard request yields exactly the [Lo, Hi) slice of the unsharded
+// map — full axis derived first, then sliced, so cells carry identical
+// thresholds, fractions, and times.
+func TestShardRunsSliceOfAxis(t *testing.T) {
+	ctx := context.Background()
+	r := newGateResolver() // nothing gated: synthetic cells, no engine
+	l := NewLocal(LocalConfig{Workers: 1, Resolver: r})
+	defer closeLocal(t, l)
+
+	base := Request{Plans: []string{"p1", "p2"}, MaxExp: 4, Grid2D: true}
+	whole, err := Run(ctx, l, base, nil)
+	if err != nil {
+		t.Fatalf("Run whole: %v", err)
+	}
+	shardReq := base
+	shardReq.Shard = &Shard{Lo: 1, Hi: 4}
+	part, err := Run(ctx, l, shardReq, nil)
+	if err != nil {
+		t.Fatalf("Run shard: %v", err)
+	}
+
+	w, p := whole.Map2D, part.Map2D
+	if w == nil || p == nil {
+		t.Fatal("missing 2-D maps")
+	}
+	if !reflect.DeepEqual(p.TA, w.TA[1:4]) || !reflect.DeepEqual(p.FracA, w.FracA[1:4]) {
+		t.Errorf("shard A axis = (%v, %v), want slice (%v, %v)", p.TA, p.FracA, w.TA[1:4], w.FracA[1:4])
+	}
+	if !reflect.DeepEqual(p.TB, w.TB) || !reflect.DeepEqual(p.FracB, w.FracB) {
+		t.Error("shard B axis differs from the whole map's (it is never sharded)")
+	}
+	if !reflect.DeepEqual(p.Rows, w.Rows[1:4]) {
+		t.Error("shard row grid differs from the whole map's slice")
+	}
+	for pi := range w.Plans {
+		if !reflect.DeepEqual(p.Times[pi], w.Times[pi][1:4]) {
+			t.Errorf("plan %s shard times differ from the whole map's slice", w.Plans[pi])
+		}
+	}
+
+	// 1-D: same contract on the single axis.
+	base1 := Request{Plans: []string{"p1"}, MaxExp: 4}
+	whole1, err := Run(ctx, l, base1, nil)
+	if err != nil {
+		t.Fatalf("Run whole 1-D: %v", err)
+	}
+	shard1 := base1
+	shard1.Shard = &Shard{Lo: 2, Hi: 5}
+	part1, err := Run(ctx, l, shard1, nil)
+	if err != nil {
+		t.Fatalf("Run shard 1-D: %v", err)
+	}
+	if !reflect.DeepEqual(part1.Map1D.Thresholds, whole1.Map1D.Thresholds[2:5]) ||
+		!reflect.DeepEqual(part1.Map1D.Times[0], whole1.Map1D.Times[0][2:5]) {
+		t.Error("1-D shard differs from the whole axis slice")
+	}
+}
+
+// TestShardRejections: structurally bad shards fail Validate, and a
+// shard past the resolved axis fails at Submit via Check.
+func TestShardRejections(t *testing.T) {
+	ctx := context.Background()
+	r := newGateResolver()
+	l := NewLocal(LocalConfig{Workers: 1, Resolver: r})
+	defer closeLocal(t, l)
+
+	cases := []Request{
+		{Plans: []string{"p"}, MaxExp: 4, Shard: &Shard{Lo: -1, Hi: 2}},
+		{Plans: []string{"p"}, MaxExp: 4, Shard: &Shard{Lo: 2, Hi: 2}},
+		{Plans: []string{"p"}, MaxExp: 4, Shard: &Shard{Lo: 0, Hi: 6}},
+		{Plans: []string{"p"}, MaxExp: 4, Refine: true, Shard: &Shard{Lo: 0, Hi: 2}},
+	}
+	for i, req := range cases {
+		if _, err := l.Submit(ctx, req); !errors.Is(err, ErrInvalidRequest) {
+			t.Errorf("case %d: Submit = %v, want ErrInvalidRequest", i, err)
+		}
+	}
+}
+
+// TestSynthesizeQueryMatchesResolver pins the lowering the coordinator
+// relies on: running a query's synthesized workload and applying the
+// finish overlay reproduces, bit for bit, what the resolver's own query
+// path produces — candidates, picks, regret map, and the measured grid.
+func TestSynthesizeQueryMatchesResolver(t *testing.T) {
+	ctx := context.Background()
+	qs, err := spec.LoadQueryFile("../../examples/workloads/skewed_query.json")
+	if err != nil {
+		t.Fatalf("LoadQueryFile: %v", err)
+	}
+	req := Request{Query: qs, Rows: 1 << 10, MaxExp: 2}
+
+	l := NewLocal(LocalConfig{Workers: 1, CacheSize: -1})
+	defer closeLocal(t, l)
+	want, err := Run(ctx, l, req, nil)
+	if err != nil {
+		t.Fatalf("resolver query Run: %v", err)
+	}
+
+	lowered, finish, err := SynthesizeQuery(req, engine.DefaultConfig().Rows)
+	if err != nil {
+		t.Fatalf("SynthesizeQuery: %v", err)
+	}
+	if lowered.Query != nil || lowered.Workload == nil {
+		t.Fatalf("lowered request still carries a query, or no workload")
+	}
+	got, err := Run(ctx, l, lowered, nil)
+	if err != nil {
+		t.Fatalf("lowered Run: %v", err)
+	}
+	if err := finish(got); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("synthesized query run differs from the resolver's query path")
+	}
+
+	// Non-query requests don't lower.
+	if _, _, err := SynthesizeQuery(Request{Plans: []string{"A1"}, MaxExp: 2}, 0); err == nil {
+		t.Error("SynthesizeQuery on a non-query request: no error, want one")
+	}
+}

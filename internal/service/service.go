@@ -89,8 +89,31 @@ type Request struct {
 	// the query's catalog, sweeps all of them, and the result carries
 	// the candidate list plus regret and non-robustness maps (the
 	// optimizer's per-cell pick against the oracle winner). Exactly one
-	// of Plans, Workload, or Query must be set.
+	// of Plans, Workload, WorkloadRef, or Query must be set.
 	Query *spec.QuerySpec `json:"query,omitempty"`
+	// WorkloadRef names a workload spec by content hash instead of
+	// carrying it inline — the sweep fabric's spec-shipping form: a
+	// coordinator sends large catalogs across the wire once (PUT
+	// /v1/specs/{hash}) and every subsequent shard or job names the
+	// hash. A service resolves the ref from its spec cache at Submit and
+	// the job proceeds exactly as if the spec had been inlined; an
+	// unknown hash is rejected with ErrSpecNotFound, which the sender
+	// answers by pushing the spec and resubmitting (fetch-on-miss).
+	WorkloadRef string `json:"workload_ref,omitempty"`
+	// Shard, when set, restricts the sweep to a contiguous slice of the
+	// first (ta) axis — the unit of work the fabric coordinator
+	// dispatches to worker daemons. The full axis is still derived from
+	// (rows, max_exp) exactly as for a whole map, then sliced, so a
+	// shard's cells are byte-identical to the same cells of an unsharded
+	// run and contiguous shard results concatenate into the whole map.
+	// Shards cannot ride adaptive (refine) sweeps or query requests:
+	// refinement and regret both depend on global map structure.
+	Shard *Shard `json:"shard,omitempty"`
+	// Tenant attributes the job to a named tenant for multi-tenant
+	// admission: per-tenant quotas (LocalConfig.TenantQuota) and the
+	// weighted fair scheduler pick. Empty is the anonymous tenant. The
+	// tenant never affects map contents, only admission and scheduling.
+	Tenant string `json:"tenant,omitempty"`
 	// Rows is the table cardinality; 0 means the service's engine
 	// default (2^17). Bounded by MaxRows — a daemon builds a
 	// dataset-scale system per distinct (system, rows), so unbounded
@@ -113,6 +136,15 @@ type Request struct {
 	Priority int `json:"priority,omitempty"`
 }
 
+// Shard is a contiguous half-open index range [Lo, Hi) over the sweep's
+// first (ta) axis points. For a 2-D grid the slice spans the full tb
+// axis at each sliced ta row, so shards are whole contiguous bands of
+// the map and merge by concatenation.
+type Shard struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
 // MaxRows caps Request.Rows: four times the paper's 60M-row study, and
 // far above the 2^17 default — room for any sensible experiment while
 // keeping one job's dataset build bounded.
@@ -131,6 +163,9 @@ func (r Request) Validate() error {
 	if r.Workload != nil {
 		sources++
 	}
+	if r.WorkloadRef != "" {
+		sources++
+	}
 	if r.Query != nil {
 		sources++
 	}
@@ -147,7 +182,7 @@ func (r Request) Validate() error {
 			return fmt.Errorf("%w: %v", ErrInvalidRequest, err)
 		}
 	}
-	if r.Query == nil && len(r.EffectivePlans()) == 0 {
+	if r.Query == nil && r.WorkloadRef == "" && len(r.EffectivePlans()) == 0 {
 		return fmt.Errorf("%w: no plans", ErrInvalidRequest)
 	}
 	if r.Rows < 0 {
@@ -165,6 +200,27 @@ func (r Request) Validate() error {
 	if r.Parallelism < -1 {
 		return fmt.Errorf("%w: parallelism must be -1 (all CPUs) or at least 0, got %d",
 			ErrInvalidRequest, r.Parallelism)
+	}
+	if s := r.Shard; s != nil {
+		if r.Refine {
+			return fmt.Errorf("%w: shard cannot ride an adaptive (refine) sweep; refinement depends on global map structure", ErrInvalidRequest)
+		}
+		if r.Query != nil {
+			return fmt.Errorf("%w: shard cannot ride a query request; shard the synthesized workload instead", ErrInvalidRequest)
+		}
+		if s.Lo < 0 || s.Hi <= s.Lo {
+			return fmt.Errorf("%w: shard must be a non-empty half-open range, got [%d,%d)",
+				ErrInvalidRequest, s.Lo, s.Hi)
+		}
+		// The axis has EffectiveMaxExp()+1 points (2^-maxExp .. 2^0);
+		// with a ref-only request the spec's sweep section is unknown
+		// here and the bound is re-checked after substitution.
+		if r.WorkloadRef == "" {
+			if points := r.EffectiveMaxExp() + 1; s.Hi > points {
+				return fmt.Errorf("%w: shard [%d,%d) exceeds the %d-point axis",
+					ErrInvalidRequest, s.Lo, s.Hi, points)
+			}
+		}
 	}
 	return nil
 }
@@ -330,10 +386,27 @@ var (
 	// ErrQueueFull rejects Submit when the admission queue is at its
 	// configured limit.
 	ErrQueueFull = errors.New("admission queue full")
+	// ErrTenantQuota rejects Submit when the request's tenant already
+	// holds its full quota of active (queued or running) jobs. Other
+	// tenants' submissions are unaffected — that is the point.
+	ErrTenantQuota = errors.New("tenant quota exceeded")
+	// ErrSpecNotFound rejects a Request naming a workload by content
+	// hash (WorkloadRef) the service's spec cache does not hold. The
+	// sender pushes the spec (PUT /v1/specs/{hash}) and resubmits.
+	ErrSpecNotFound = errors.New("workload spec not found")
 	// ErrUnsupported marks an optional facet the implementation does not
 	// provide — e.g. Stats against a daemon without /v1/stats.
 	ErrUnsupported = errors.New("unsupported by this service")
 )
+
+// SpecSource resolves workload specs by content hash — the lookup
+// behind Request.WorkloadRef. The fabric's spec cache implements it;
+// a service without one rejects ref requests with ErrSpecNotFound.
+type SpecSource interface {
+	// WorkloadByHash returns the spec whose canonical encoding hashes to
+	// hash, or false when the cache does not hold it.
+	WorkloadByHash(hash string) (*spec.WorkloadSpec, bool)
+}
 
 // watchRetryDelay spaces out Wait's re-attach attempts after a watch
 // stream ends without a terminal event (a dropped connection, a

@@ -12,14 +12,16 @@ import (
 
 // ArchiveKey is the content address of a request's finished map: the
 // hash of the request with its execution-only knobs normalized away.
-// Parallelism and Priority change how a job runs, never what it
-// produces — measurements are deterministic — so requests differing
-// only there share one archived result. Everything else (plans,
-// workload/query spec, rows, axis, grid shape, refinement) is part of
-// the address: change any of it and you have asked for a different map.
+// Parallelism, Priority, and Tenant change how a job runs (or who it
+// is billed to), never what it produces — measurements are
+// deterministic — so requests differing only there share one archived
+// result. Everything else (plans, workload/query spec, rows, axis,
+// grid shape, shard range, refinement) is part of the address: change
+// any of it and you have asked for a different map.
 func ArchiveKey(req Request) string {
 	req.Parallelism = 0
 	req.Priority = 0
+	req.Tenant = ""
 	b, err := json.Marshal(req)
 	if err != nil {
 		// A Request is plain data; Marshal cannot fail on one. Return a

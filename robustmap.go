@@ -488,6 +488,8 @@ var (
 	ErrJobFailed         = service.ErrJobFailed
 	ErrServiceDraining   = service.ErrDraining
 	ErrJobQueueFull      = service.ErrQueueFull
+	ErrTenantOverQuota   = service.ErrTenantQuota
+	ErrWorkloadNotFound  = service.ErrSpecNotFound
 )
 
 // NewLocalService starts an in-process job service; its workers are
