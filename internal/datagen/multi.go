@@ -1,0 +1,124 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"robustmap/internal/record"
+)
+
+// Multi-table generation: each table of a multi-table catalog gets the
+// derived schema <t>_id, <t>_a, <t>_b, one int64 column per declared
+// foreign key, <t>_comment (see internal/spec's multi.go for the
+// naming contract). The id column is the insertion order 0..rows-1, so
+// a foreign-key value v < parentRows matches exactly one parent row.
+
+// FKSpec configures one generated foreign-key column.
+type FKSpec struct {
+	// Column names the FK column.
+	Column string
+	// ParentRows is the referenced table's cardinality; contained
+	// values draw from [0, ParentRows).
+	ParentRows int64
+	// Containment is the fraction of rows whose value matches an
+	// existing parent id, in (0, 1]; 0 means 1.0. The rest draw from
+	// [ParentRows, 2*ParentRows) and never match.
+	Containment float64
+	// FanoutZipf, if > 1, skews which parents are referenced (Zipf
+	// parameter); 0 draws parents uniformly.
+	FanoutZipf float64
+}
+
+// JoinSchema returns the derived schema of one multi-table-catalog
+// table.
+func JoinSchema(table string, fkColumns []string) *record.Schema {
+	cols := []record.Column{
+		{Name: table + "_id", Type: record.TypeInt64},
+		{Name: table + "_a", Type: record.TypeInt64},
+		{Name: table + "_b", Type: record.TypeInt64},
+	}
+	for _, fk := range fkColumns {
+		cols = append(cols, record.Column{Name: fk, Type: record.TypeInt64})
+	}
+	cols = append(cols, record.Column{Name: table + "_comment", Type: record.TypeString})
+	return record.NewSchema(cols...)
+}
+
+// GenerateTable streams one multi-table-catalog table's rows in
+// insertion order, matching JoinSchema(table, fk columns). The row
+// slice is reused between calls, exactly like Generate.
+func GenerateTable(spec Spec, fks []FKSpec, fn func(row []record.Value) error) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	for _, fk := range fks {
+		if fk.ParentRows <= 0 {
+			return fmt.Errorf("datagen: FK column %q ParentRows = %d, want > 0", fk.Column, fk.ParentRows)
+		}
+		if fk.Containment < 0 || fk.Containment > 1 {
+			return fmt.Errorf("datagen: FK column %q Containment = %g, want (0, 1] or 0", fk.Column, fk.Containment)
+		}
+		if fk.FanoutZipf != 0 && fk.FanoutZipf <= 1 {
+			return fmt.Errorf("datagen: FK column %q FanoutZipf = %g, want > 1 or 0", fk.Column, fk.FanoutZipf)
+		}
+	}
+	payload := spec.PayloadBytes
+	if payload == 0 {
+		payload = DefaultPayloadBytes
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	colA := permutedColumn(spec.Rows, spec.ZipfA, rng)
+	colB := permutedColumn(spec.Rows, spec.ZipfB, rng)
+	fkCols := make([]func(int64) int64, len(fks))
+	for i, fk := range fks {
+		fkCols[i] = fkColumn(spec.Rows, fk, rng)
+	}
+
+	comment := make([]byte, payload)
+	row := make([]record.Value, 4+len(fks))
+	for i := int64(0); i < spec.Rows; i++ {
+		for j := range comment {
+			comment[j] = byte('a' + (i+int64(j))%26)
+		}
+		row[0] = record.Int(i)
+		row[1] = record.Int(colA(i))
+		row[2] = record.Int(colB(i))
+		for j := range fkCols {
+			row[3+j] = record.Int(fkCols[j](i))
+		}
+		row[3+len(fks)] = record.String_(string(comment))
+		if err := fn(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fkColumn materializes one foreign-key column up front (like the
+// Zipf predicate columns) so each column's draws are independent of
+// the others.
+func fkColumn(rows int64, fk FKSpec, rng *rand.Rand) func(int64) int64 {
+	sub := rand.New(rand.NewSource(rng.Int63()))
+	containment := fk.Containment
+	if containment == 0 {
+		containment = 1
+	}
+	var parent func() int64
+	if fk.FanoutZipf > 1 {
+		z := rand.NewZipf(sub, fk.FanoutZipf, 1, uint64(fk.ParentRows-1))
+		parent = func() int64 { return int64(z.Uint64()) }
+	} else {
+		parent = func() int64 { return sub.Int63n(fk.ParentRows) }
+	}
+	vals := make([]int64, rows)
+	for i := range vals {
+		if containment < 1 && sub.Float64() >= containment {
+			// Dangling: an id no parent row has.
+			vals[i] = fk.ParentRows + sub.Int63n(fk.ParentRows)
+		} else {
+			vals[i] = parent()
+		}
+	}
+	return func(i int64) int64 { return vals[i] }
+}

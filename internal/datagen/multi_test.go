@@ -1,0 +1,95 @@
+package datagen
+
+import (
+	"testing"
+
+	"robustmap/internal/record"
+)
+
+func collectFK(t *testing.T, spec Spec, fk FKSpec) []int64 {
+	t.Helper()
+	var vals []int64
+	err := GenerateTable(spec, []FKSpec{fk}, func(row []record.Value) error {
+		vals = append(vals, row[3].AsInt())
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("GenerateTable: %v", err)
+	}
+	return vals
+}
+
+func TestJoinSchemaShape(t *testing.T) {
+	s := JoinSchema("orders", []string{"orders_cust"})
+	want := []string{"orders_id", "orders_a", "orders_b", "orders_cust", "orders_comment"}
+	if s.NumColumns() != len(want) {
+		t.Fatalf("schema has %d columns, want %d", s.NumColumns(), len(want))
+	}
+	for i, name := range want {
+		if s.Columns()[i].Name != name {
+			t.Fatalf("column %d = %q, want %q", i, s.Columns()[i].Name, name)
+		}
+	}
+}
+
+func TestFKContainment(t *testing.T) {
+	const rows, parents = 8192, 1024
+	vals := collectFK(t, Spec{Rows: rows, Seed: 7},
+		FKSpec{Column: "fk", ParentRows: parents, Containment: 0.75})
+	var contained, dangling int
+	for _, v := range vals {
+		switch {
+		case v >= 0 && v < parents:
+			contained++
+		case v >= parents && v < 2*parents:
+			dangling++
+		default:
+			t.Fatalf("FK value %d outside [0, %d)", v, 2*parents)
+		}
+	}
+	frac := float64(contained) / float64(rows)
+	if frac < 0.72 || frac > 0.78 {
+		t.Fatalf("contained fraction = %.3f, want ~0.75", frac)
+	}
+	if dangling == 0 {
+		t.Fatalf("no dangling FK values at containment 0.75")
+	}
+}
+
+func TestFKFullContainmentAndDeterminism(t *testing.T) {
+	const rows, parents = 4096, 512
+	a := collectFK(t, Spec{Rows: rows, Seed: 11}, FKSpec{Column: "fk", ParentRows: parents})
+	for _, v := range a {
+		if v < 0 || v >= parents {
+			t.Fatalf("FK value %d escapes [0, %d) at full containment", v, parents)
+		}
+	}
+	b := collectFK(t, Spec{Rows: rows, Seed: 11}, FKSpec{Column: "fk", ParentRows: parents})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generation is not deterministic at row %d", i)
+		}
+	}
+}
+
+func TestFKFanoutSkew(t *testing.T) {
+	const rows, parents = 8192, 256
+	uniform := collectFK(t, Spec{Rows: rows, Seed: 3}, FKSpec{Column: "fk", ParentRows: parents})
+	skewed := collectFK(t, Spec{Rows: rows, Seed: 3}, FKSpec{Column: "fk", ParentRows: parents, FanoutZipf: 1.5})
+	maxFanout := func(vals []int64) int {
+		counts := make([]int, parents)
+		for _, v := range vals {
+			counts[v]++
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		return max
+	}
+	if mu, ms := maxFanout(uniform), maxFanout(skewed); ms <= 2*mu {
+		t.Fatalf("Zipf fanout max %d not clearly above uniform max %d", ms, mu)
+	}
+}

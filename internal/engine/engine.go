@@ -73,12 +73,40 @@ type Config struct {
 	// ZipfA and ZipfB skew the predicate columns (see datagen.Spec); zero
 	// keeps the exact-selectivity permutations. Used by the skew ablation.
 	ZipfA, ZipfB float64
+	// Tables switches the build to a multi-table catalog: each entry is
+	// one generated table with the derived join schema (see
+	// datagen.JoinSchema). When set, Rows, Seed, PayloadBytes, ZipfA,
+	// ZipfB, TableName, and the Indexes shorthand are ignored; indexes
+	// come from IndexDefs, each bound to its table.
+	Tables []TableConfig
+}
+
+// TableConfig parameterizes one table of a multi-table build.
+type TableConfig struct {
+	Name         string
+	Rows         int64
+	Seed         int64
+	PayloadBytes int
+	ZipfA, ZipfB float64
+	ForeignKeys  []FKDef
+}
+
+// FKDef declares one foreign-key column of a multi-table build,
+// referencing RefTable's id column with the given correlation knobs
+// (see datagen.FKSpec).
+type FKDef struct {
+	Column      string
+	RefTable    string
+	Containment float64
+	FanoutZipf  float64
 }
 
 // IndexDef names one secondary index to build: its key columns, in
-// order.
+// order. Table binds it to one table of a multi-table build; empty
+// means the build's first (or only) table.
 type IndexDef struct {
 	Name    string
+	Table   string
 	Columns []string
 }
 
@@ -156,6 +184,13 @@ type System struct {
 	indexes   map[string]indexMeta
 	snapHigh  mvcc.TxnID
 
+	// tables is set for multi-table builds (nil on the legacy
+	// single-table path); colData retains every generated int64 column
+	// (table -> column -> values in insertion order) for result-size
+	// oracles over join queries.
+	tables  []tableMeta
+	colData map[string]map[string][]int64
+
 	// abPairs holds the generated (a, b) column pairs in row order, so
 	// ResultSize can answer "how many rows satisfy this query point"
 	// without executing a plan. 16 bytes per row (~2 MiB at the default
@@ -170,9 +205,18 @@ type System struct {
 
 type indexMeta struct {
 	name     string
+	table    string // owning table of a multi-table build; "" = legacy single table
 	columns  []string
 	covering bool
 	meta     btree.Meta
+}
+
+// tableMeta is one loaded table of a multi-table build.
+type tableMeta struct {
+	name     string
+	schema   *record.Schema
+	heapFile storage.FileID
+	rows     int64
 }
 
 // Result is one measured plan execution.
@@ -189,6 +233,9 @@ type Result struct {
 // BuildSystem loads the dataset and indexes for one system configuration.
 // Loading happens on a throwaway clock; only Run costs are measured.
 func BuildSystem(name string, cfg Config) (*System, error) {
+	if len(cfg.Tables) > 0 {
+		return buildMulti(name, cfg)
+	}
 	if cfg.Rows <= 0 {
 		return nil, fmt.Errorf("engine: Rows = %d", cfg.Rows)
 	}
@@ -315,16 +362,34 @@ func (s *System) Rows() int64 { return s.heapRows }
 // openCatalog rewires the persistent disk objects to a fresh pool/clock.
 func (s *System) openCatalog(pool *storage.Pool, clock *simclock.Clock) *catalog.Catalog {
 	c := catalog.New()
-	heap := storage.OpenHeap(pool, s.heapFile, s.heapRows)
-	tbl := &catalog.Table{Name: s.tableName, Schema: s.schema, Heap: heap}
-	if s.versioned {
-		tbl.Versioned = mvcc.NewStore(heap)
+	byName := map[string]*catalog.Table{}
+	if len(s.tables) > 0 {
+		for _, tm := range s.tables {
+			heap := storage.OpenHeap(pool, tm.heapFile, tm.rows)
+			tbl := &catalog.Table{Name: tm.name, Schema: tm.schema, Heap: heap}
+			if s.versioned {
+				tbl.Versioned = mvcc.NewStore(heap)
+			}
+			c.AddTable(tbl)
+			byName[tm.name] = tbl
+		}
+	} else {
+		heap := storage.OpenHeap(pool, s.heapFile, s.heapRows)
+		tbl := &catalog.Table{Name: s.tableName, Schema: s.schema, Heap: heap}
+		if s.versioned {
+			tbl.Versioned = mvcc.NewStore(heap)
+		}
+		c.AddTable(tbl)
+		byName[s.tableName] = tbl
 	}
-	c.AddTable(tbl)
 	for _, im := range s.indexes {
+		tbl := byName[s.tableName]
+		if im.table != "" {
+			tbl = byName[im.table]
+		}
 		ords := make([]int, len(im.columns))
 		for i, col := range im.columns {
-			ords[i] = s.schema.MustOrdinal(col)
+			ords[i] = tbl.Schema.MustOrdinal(col)
 		}
 		c.AddIndex(&catalog.Index{
 			Name: im.name, Table: tbl, Columns: im.columns, Ordinals: ords,
@@ -354,6 +419,12 @@ func (s *System) Disk() *storage.Disk { return s.disk }
 // are touched. Adaptive sweeps use it to fill the Rows grid of cells
 // they skip, and as an extra cross-check at cells they measure.
 func (s *System) ResultSize(q plan.Query) int64 {
+	if len(s.tables) > 0 {
+		// A multi-table system has no single-table (a, b) oracle; join
+		// result sizes are computed from ColumnData by whoever knows the
+		// query semantics (internal/service).
+		panic("engine: ResultSize on a multi-table system")
+	}
 	var n int64
 	for _, ab := range s.abPairs {
 		if ab[0] < q.TA && (q.TB < 0 || ab[1] < q.TB) {
@@ -373,6 +444,32 @@ func (s *System) OpenTable(pool *storage.Pool) *catalog.Table {
 		tbl.Versioned = mvcc.NewStore(heap)
 	}
 	return tbl
+}
+
+// Multi reports whether the system was built from a multi-table
+// catalog.
+func (s *System) Multi() bool { return len(s.tables) > 0 }
+
+// ColumnData returns one generated int64 column of a multi-table
+// system in insertion order (the id, a, b, and foreign-key columns are
+// retained at build time), or nil if the system is single-table or the
+// column unknown. Like ResultSize it is off the cost model's books.
+func (s *System) ColumnData(table, column string) []int64 {
+	if s.colData == nil {
+		return nil
+	}
+	return s.colData[table][column]
+}
+
+// TableRows returns a multi-table system's cardinality for one table,
+// or -1 if unknown.
+func (s *System) TableRows(table string) int64 {
+	for _, tm := range s.tables {
+		if tm.name == table {
+			return tm.rows
+		}
+	}
+	return -1
 }
 
 // HasIndexes reports whether the system has every named index — used by

@@ -56,6 +56,18 @@ func (j *MergeJoinRows) compareKeys(l, r Row) int {
 	return 0
 }
 
+// compareRightKeys compares two right-side rows — both indexed with the
+// right key ordinals, which need not match the left ordinals.
+func (j *MergeJoinRows) compareRightKeys(a, b Row) int {
+	j.ctx.ChargeCPU(simclock.AccountCompare, CostSortCompare, 1)
+	for _, k := range j.rightKeys {
+		if c := record.Compare(a[k], b[k]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
 func copyRowVals(r Row) Row {
 	out := make(Row, len(r))
 	copy(out, r)
@@ -123,7 +135,7 @@ func (j *MergeJoinRows) Next() (Row, bool) {
 			j.group = append(j.group[:0], copyRowVals(j.rRow))
 			for {
 				j.advanceRight()
-				if !j.rOK || j.compareKeys(j.groupKey, j.rRow) != 0 {
+				if !j.rOK || j.compareRightKeys(j.groupKey, j.rRow) != 0 {
 					break
 				}
 				j.group = append(j.group, copyRowVals(j.rRow))

@@ -676,3 +676,116 @@ func TestHeartbeatLifecycle(t *testing.T) {
 		t.Fatalf("WorkerAddrs after bye = %v, want none", got)
 	}
 }
+
+// TestJoinFourWayEquivalence is the multi-table acceptance pin: the
+// three-table join workload (FK-correlated tables, three join methods)
+// submitted four ways — direct core.Sweep.Run, the in-process Service,
+// the HTTP client against one daemon, and a coordinator sharding it
+// across two worker daemons — yields byte-identical maps. Each path
+// builds its own correlated datasets from the spec alone, which is what
+// makes the derived multi-table generation contract load-bearing.
+func TestJoinFourWayEquivalence(t *testing.T) {
+	ctx := context.Background()
+	ws, err := spec.LoadFile("../../examples/workloads/join_demo.json")
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	req := service.Request{Workload: ws, MaxExp: 4}
+
+	// Way 1: resolve by hand, run the sweep directly.
+	rs, err := service.NewEngineResolver(engine.DefaultConfig()).Resolve(req)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	direct, err := core.NewSweep(rs.Sources,
+		core.Grid1D(rs.Fractions, rs.Thresholds)).Run(ctx)
+	if err != nil {
+		t.Fatalf("direct Sweep.Run: %v", err)
+	}
+
+	// Way 2: the in-process Service.
+	l := service.NewLocal(service.LocalConfig{Workers: 1})
+	defer func() {
+		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := l.Close(cctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	lres, err := service.Run(ctx, l, req, nil)
+	if err != nil {
+		t.Fatalf("in-process service Run: %v", err)
+	}
+
+	// Way 3: the HTTP client against a single served daemon.
+	ts, _, _, _ := startWorker(t, nil, service.LocalConfig{Workers: 1})
+	hres, err := service.Run(ctx, httpapi.NewClient(ts.URL), req, nil)
+	if err != nil {
+		t.Fatalf("HTTP service Run: %v", err)
+	}
+
+	// Way 4: the fabric — shards ship the workload by content hash and
+	// each worker builds the same correlated tables from it.
+	coord, _ := startFleet(t, 2, nil)
+	fres, err := service.Run(ctx, coord, req, nil)
+	if err != nil {
+		t.Fatalf("fabric service Run: %v", err)
+	}
+
+	maps := map[string]*core.Map1D{
+		"direct": direct.Map1D,
+		"local":  lres.Map1D,
+		"http":   hres.Map1D,
+		"fabric": fres.Map1D,
+	}
+	for name, m := range maps {
+		if m == nil {
+			t.Fatalf("%s produced no 1-D map", name)
+		}
+	}
+	for _, other := range []string{"local", "http", "fabric"} {
+		if !jsonEqual(t, maps[other], maps["direct"]) {
+			t.Errorf("%s full map differs from direct", other)
+		}
+	}
+}
+
+// TestJoinQueryThroughFabric runs the FK-skew join query through the
+// fabric: the coordinator lowers it to the synthesized join-candidate
+// workload, shards that, and overlays picks and the join-order regret
+// map once over the merged result — byte-identical to a single-process
+// run.
+func TestJoinQueryThroughFabric(t *testing.T) {
+	ctx := context.Background()
+	qs, err := spec.LoadQueryFile("../../examples/workloads/join_fkskew_query.json")
+	if err != nil {
+		t.Fatalf("LoadQueryFile: %v", err)
+	}
+	req := service.Request{Query: qs, MaxExp: 4}
+
+	baselineLocal := service.NewLocal(service.LocalConfig{Workers: 1})
+	defer func() {
+		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := baselineLocal.Close(cctx); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	baseline, err := service.Run(ctx, baselineLocal, req, nil)
+	if err != nil {
+		t.Fatalf("baseline join query Run: %v", err)
+	}
+	if baseline.Regret1D == nil || len(baseline.Candidates) != 8 {
+		t.Fatalf("baseline join query result carries no join-order overlay (%d candidates)",
+			len(baseline.Candidates))
+	}
+
+	coord, _ := startFleet(t, 2, nil)
+	res, err := service.Run(ctx, coord, req, nil)
+	if err != nil {
+		t.Fatalf("fabric join query Run: %v", err)
+	}
+	if !jsonEqual(t, res, baseline) {
+		t.Error("fabric join query result differs from the single-process run")
+	}
+}

@@ -28,6 +28,7 @@ const (
 	shapeKeyFilter                  // composite-index entry filter + fetch
 	shapeMDAM                       // index-only MDAM over a covering index
 	shapeCoverJoin                  // covering RID join, no base access
+	shapeJoin                       // left-deep multi-table join (join.go)
 )
 
 // drive is one index leg: the predicate providing its bounds (nil for
@@ -48,6 +49,13 @@ type costShape struct {
 	sort        bool            // a sort wrapper was added
 	agg         bool            // a hash_agg wrapper was added
 	limitPushed bool            // the query limit sits directly on an ordered source
+
+	// Join shapes (shapeJoin): the uniform method and the left-deep
+	// step sequence; driving carries the index leg of the index-driven
+	// access variant.
+	joinMethod   string
+	jsteps       []joinStep
+	driveIndexed bool
 }
 
 // rowHeaderBytes approximates the per-row heap overhead (slot, header,
@@ -68,26 +76,88 @@ type Model struct {
 	Rows         int64
 	PayloadBytes int
 	IO           iomodel.Params
+
+	// Tables carries per-table statistics for multi-table (join)
+	// queries; nil for the legacy single-table model. ColRows maps each
+	// derived column name to its owning table's cardinality — the
+	// denominator of that column's uniform selectivity (every generated
+	// int64 column draws from [0, rows)).
+	Tables  map[string]TableStats
+	ColRows map[string]int64
+
+	// Hists holds per-column equi-depth histograms when the query opts
+	// in (QuerySpec.Histograms); columns without one fall back to the
+	// uniform assumption.
+	Hists map[string]*Histogram
+}
+
+// TableStats is the model's per-table statistics for join queries.
+type TableStats struct {
+	Rows         int64
+	PayloadBytes int
 }
 
 // NewModel derives the model from the query's catalog at the given
 // cardinality, with the default device parameters — the same ones the
-// measurement engine charges unless a scenario overrides them.
+// measurement engine charges unless a scenario overrides them. For a
+// multi-table catalog the per-table statistics come from the declared
+// cardinalities (join requests have no row override); rows is the axis
+// (primary) table's cardinality either way.
 func NewModel(q *spec.QuerySpec, rows int64) Model {
 	pb := datagen.DefaultPayloadBytes
 	if t := q.Catalog.Table(); t != nil && t.PayloadBytes > 0 {
 		pb = t.PayloadBytes
 	}
-	return Model{Rows: rows, PayloadBytes: pb, IO: iomodel.DefaultParams()}
+	m := Model{Rows: rows, PayloadBytes: pb, IO: iomodel.DefaultParams()}
+	if q.Catalog.Multi() {
+		m.Tables = make(map[string]TableStats, len(q.Catalog.Tables))
+		m.ColRows = make(map[string]int64)
+		for i := range q.Catalog.Tables {
+			t := &q.Catalog.Tables[i]
+			tpb := datagen.DefaultPayloadBytes
+			if t.PayloadBytes > 0 {
+				tpb = t.PayloadBytes
+			}
+			m.Tables[t.Name] = TableStats{Rows: t.Rows, PayloadBytes: tpb}
+			for _, col := range t.MultiColumns() {
+				m.ColRows[col] = t.Rows
+			}
+		}
+	}
+	if q.Histograms {
+		m.Hists = BuildHistograms(q, rows)
+	}
+	return m
+}
+
+// statsOf resolves one table's statistics; the legacy single-table
+// model answers for any name.
+func (m Model) statsOf(table string) TableStats {
+	if s, ok := m.Tables[table]; ok {
+		return s
+	}
+	return TableStats{Rows: m.Rows, PayloadBytes: m.PayloadBytes}
+}
+
+func pagesOf(rows int64, rowBytes int64) float64 {
+	return math.Ceil(float64(rows*rowBytes) / float64(storage.PageSize))
 }
 
 func (m Model) heapPages() float64 {
-	rowBytes := int64(m.PayloadBytes) + rowHeaderBytes
-	return math.Ceil(float64(m.Rows*rowBytes) / float64(storage.PageSize))
+	return pagesOf(m.Rows, int64(m.PayloadBytes)+rowHeaderBytes)
+}
+
+func (m Model) heapPagesOf(table string) float64 {
+	s := m.statsOf(table)
+	return pagesOf(s.Rows, int64(s.PayloadBytes)+rowHeaderBytes)
 }
 
 func (m Model) leafPages(width int) float64 {
-	return math.Ceil(float64(m.Rows*leafEntryBytes(width)) / float64(storage.PageSize))
+	return pagesOf(m.Rows, leafEntryBytes(width))
+}
+
+func (m Model) leafPagesOf(table string, width int) float64 {
+	return pagesOf(m.statsOf(table).Rows, leafEntryBytes(width))
 }
 
 // pages→ns helpers in iomodel's units.
@@ -115,8 +185,10 @@ func distinctPages(k, hp float64) float64 {
 	return hp * (1 - math.Exp(-k/hp))
 }
 
-// sel is the model's uniform selectivity of predicate p at the query
-// point: (hi−lo)/Rows with bounds resolved against ta/tb. active is
+// sel is the model's selectivity of predicate p at the query point —
+// (hi−lo)/rows under the uniform assumption, with the denominator
+// taken from the column's owning table for join queries, or the
+// column's equi-depth histogram fraction when one was built. active is
 // false when the predicate's guard drops it at this point (tb < 0),
 // in which case frac is 1 and the predicate costs nothing.
 func (m Model) sel(p *spec.PredSpec, ta, tb int64) (frac float64, active bool) {
@@ -125,6 +197,10 @@ func (m Model) sel(p *spec.PredSpec, ta, tb int64) (frac float64, active bool) {
 	}
 	if p.IfParam == spec.ParamTB && tb < 0 {
 		return 1, false
+	}
+	rows := m.Rows
+	if r, ok := m.ColRows[p.Column]; ok {
+		rows = r
 	}
 	val := func(v *spec.ValueSpec, dflt int64) int64 {
 		switch {
@@ -140,9 +216,23 @@ func (m Model) sel(p *spec.PredSpec, ta, tb int64) (frac float64, active bool) {
 		return dflt
 	}
 	lo := val(p.Lo, 0)
-	hi := val(p.Hi, m.Rows)
-	f := float64(hi-lo) / float64(m.Rows)
+	hi := val(p.Hi, rows)
+	if h := m.Hists[p.Column]; h != nil {
+		f := h.LessThan(hi) - h.LessThan(lo)
+		return math.Min(1, math.Max(0, f)), true
+	}
+	f := float64(hi-lo) / float64(rows)
 	return math.Min(1, math.Max(0, f)), true
+}
+
+// predsSel is the product of the active predicates' selectivities.
+func (m Model) predsSel(preds []spec.PredSpec, ta, tb int64) float64 {
+	f := 1.0
+	for i := range preds {
+		s, _ := m.sel(&preds[i], ta, tb)
+		f *= s
+	}
+	return f
 }
 
 // residualCPU is the per-row predicate charge for the still-active
@@ -163,7 +253,12 @@ func (m Model) residualCPU(preds []spec.PredSpec, ta, tb int64) float64 {
 // pass when that is cheaper), bitmap replaces the sort with bitmap
 // inserts.
 func (m Model) fetchCost(kind string, k float64) (ioNS, cpuNS float64) {
-	hp := m.heapPages()
+	return m.fetchCostPages(kind, k, m.heapPages())
+}
+
+// fetchCostPages is fetchCost against an explicit heap size — join
+// steps fetch from tables other than the axis table.
+func (m Model) fetchCostPages(kind string, k, hp float64) (ioNS, cpuNS float64) {
 	switch kind {
 	case "traditional":
 		return m.randNS(k), 0
@@ -280,6 +375,59 @@ func (m Model) Estimate(c Candidate, ta, tb int64) time.Duration {
 				cpu += k*math.Log2(k+2)*float64(exec.CostRIDCompare) + k*float64(exec.CostRIDCompare)
 			}
 		}
+
+	case shapeJoin:
+		// Left-deep join: K tracks the accumulated cardinality; each
+		// step pays its table's access plus the method's per-row work,
+		// then scales K by the edge multiplier and the step's predicate
+		// selectivities.
+		d0 := sh.jsteps[0]
+		s0 := m.statsOf(d0.table)
+		K := float64(s0.Rows) * m.predsSel(d0.preds, ta, tb)
+		if sh.driveIndexed {
+			dr := sh.driving[0]
+			f, _ := m.sel(dr.pred, ta, tb)
+			k := f * float64(s0.Rows)
+			io = m.seqNS(f * m.leafPagesOf(d0.table, dr.width))
+			cpu = k * float64(exec.CostIndexEntry)
+			fio, fcpu := m.fetchCostPages("improved", k, m.heapPagesOf(d0.table))
+			io += fio
+			cpu += fcpu + k*float64(exec.CostRowDecode) + k*m.residualCPU(d0.preds, ta, tb)
+		} else {
+			io = m.seqNS(m.heapPagesOf(d0.table))
+			cpu = float64(s0.Rows) * (float64(exec.CostRowDecode) + m.residualCPU(d0.preds, ta, tb))
+		}
+		for _, st := range sh.jsteps[1:] {
+			s := m.statsOf(st.table)
+			R := float64(s.Rows)
+			selT := m.predsSel(st.preds, ta, tb)
+			matched := K * st.matchFrac
+			switch sh.joinMethod {
+			case "inlj":
+				// One index descent per outer row; matches fetch base
+				// rows, clustered by how many distinct pages they hit.
+				cpu += K * float64(exec.CostIndexEntry)
+				io += m.randNS(distinctPages(K, m.leafPagesOf(st.table, 1)))
+				io += m.randNS(distinctPages(matched, m.heapPagesOf(st.table)))
+				cpu += matched * (float64(exec.CostRowDecode) + m.residualCPU(st.preds, ta, tb))
+			case "hash":
+				// Build on the new table (filtered), probe with the
+				// accumulated rows.
+				io += m.seqNS(m.heapPagesOf(st.table))
+				cpu += R * (float64(exec.CostRowDecode) + m.residualCPU(st.preds, ta, tb))
+				cpu += R*selT*float64(exec.CostHashOp) + K*float64(exec.CostHashOp)
+			case "merge":
+				// Sort both sides, then a single merge pass.
+				io += m.seqNS(m.heapPagesOf(st.table))
+				cpu += R * (float64(exec.CostRowDecode) + m.residualCPU(st.preds, ta, tb))
+				rf := R * selT
+				cpu += K * math.Log2(K+2) * float64(exec.CostSortCompare)
+				cpu += rf * math.Log2(rf+2) * float64(exec.CostSortCompare)
+				cpu += (K + rf) * float64(exec.CostSortCompare)
+			}
+			K = matched * selT
+		}
+		out = K
 	}
 
 	// Order/limit/aggregation wrappers, shared across shapes.

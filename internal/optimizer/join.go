@@ -1,0 +1,246 @@
+// Join enumeration: candidate plans for multi-table (join) queries.
+//
+// The search space is the classic left-deep one, bounded by the query's
+// FK tree: every join order whose prefixes stay connected through a
+// declared edge, crossed with a uniform join method per plan — hash,
+// sort+merge, and index nested loops where the needed single-column
+// index exists — and with the driving table's access path (full scan,
+// plus an index-driven fetch when the driving table has a bounded
+// indexed predicate). Uniform methods keep the candidate list small and
+// the regret maps legible: each cell's winner names one method and one
+// order, which is exactly the paper-style question ("where does the
+// optimizer's join order go wrong?") the maps answer.
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"robustmap/internal/spec"
+)
+
+// joinStep is the cost-relevant summary of one step of a left-deep
+// join: the table the step adds, the predicates applied at that table,
+// and the edge's cardinality multiplier on the accumulated row count
+// (containment for a parent step, containment-scaled fanout for a child
+// step). The first step is the driving table, matchFrac 1.
+type joinStep struct {
+	table     string
+	preds     []spec.PredSpec
+	matchFrac float64
+}
+
+// joins emits the join candidates; it replaces the single-table rules
+// entirely for queries that declare joins.
+func (e *enumerator) joins() {
+	q := e.q
+	edges := q.JoinEdges()
+	tables := q.Tables()
+
+	// Predicates grouped by owning table, query order preserved.
+	predsOf := map[string][]spec.PredSpec{}
+	for pi := range q.Predicates {
+		p := &q.Predicates[pi]
+		if t := q.Catalog.ColumnTable(p.Column); t != nil {
+			predsOf[t.Name] = append(predsOf[t.Name], *p)
+		}
+	}
+
+	for _, order := range leftDeepOrders(tables, edges) {
+		steps, keys, ok := resolveOrder(q, order, edges, predsOf)
+		if !ok {
+			continue
+		}
+		for _, method := range []string{"hash", "inlj", "merge"} {
+			if method == "inlj" && !e.inljIndexed(steps, keys) {
+				continue
+			}
+			for _, driveIx := range []bool{false, true} {
+				root, drives, requiresTB, ok := e.joinTree(method, steps, keys, driveIx)
+				if !ok {
+					continue
+				}
+				id := fmt.Sprintf("%s-%s", method, strings.Join(order, "."))
+				desc := fmt.Sprintf("left-deep %s join %s", method, strings.Join(order, " ⨝ "))
+				if driveIx {
+					id += "-ix"
+					desc += ", index-driven"
+				}
+				e.add(id, desc, requiresTB, root, nil, costShape{
+					kind: shapeJoin, joinMethod: method,
+					jsteps: steps, driving: drives, driveIndexed: driveIx,
+				})
+			}
+		}
+	}
+}
+
+// leftDeepOrders lists every permutation of the query's tables whose
+// prefixes stay edge-connected, in a deterministic order (extension
+// candidates tried in the query's table order).
+func leftDeepOrders(tables []string, edges []spec.JoinEdge) [][]string {
+	connected := func(prefix []string, next string) bool {
+		in := map[string]bool{}
+		for _, t := range prefix {
+			in[t] = true
+		}
+		for _, e := range edges {
+			if (e.Child == next && in[e.Parent]) || (e.Parent == next && in[e.Child]) {
+				return true
+			}
+		}
+		return false
+	}
+	var out [][]string
+	var extend func(prefix []string, rest []string)
+	extend = func(prefix []string, rest []string) {
+		if len(rest) == 0 {
+			out = append(out, append([]string(nil), prefix...))
+			return
+		}
+		for i, t := range rest {
+			if len(prefix) > 0 && !connected(prefix, t) {
+				continue
+			}
+			next := make([]string, 0, len(rest)-1)
+			next = append(next, rest[:i]...)
+			next = append(next, rest[i+1:]...)
+			extend(append(prefix, t), next)
+		}
+	}
+	extend(nil, tables)
+	return out
+}
+
+// stepKeys is the equi-join key pair of one step: the key column found
+// in the accumulated (outer) row and the key column of the table the
+// step adds.
+type stepKeys struct {
+	outer, inner string
+}
+
+// resolveOrder turns one join order into cost steps and key pairs. A
+// tree has exactly one edge between each new table and the prefix; the
+// edge fixes the key columns and the cardinality multiplier.
+func resolveOrder(q *spec.QuerySpec, order []string, edges []spec.JoinEdge,
+	predsOf map[string][]spec.PredSpec) ([]joinStep, []stepKeys, bool) {
+
+	rowsOf := func(t string) float64 {
+		return float64(q.Catalog.TableByName(t).Rows)
+	}
+	steps := []joinStep{{table: order[0], preds: predsOf[order[0]], matchFrac: 1}}
+	keys := []stepKeys{{}}
+	in := map[string]bool{order[0]: true}
+	for _, t := range order[1:] {
+		found := false
+		for _, e := range edges {
+			switch {
+			case e.Parent == t && in[e.Child]:
+				// Adding the parent: each accumulated row keeps its single
+				// parent match iff the FK value is contained.
+				steps = append(steps, joinStep{table: t, preds: predsOf[t], matchFrac: e.Containment})
+				keys = append(keys, stepKeys{outer: e.FK, inner: e.Parent + "_id"})
+				found = true
+			case e.Child == t && in[e.Parent]:
+				// Adding the child: fanout is children-per-parent.
+				steps = append(steps, joinStep{table: t, preds: predsOf[t],
+					matchFrac: rowsOf(e.Child) * e.Containment / rowsOf(e.Parent)})
+				keys = append(keys, stepKeys{outer: e.Parent + "_id", inner: e.FK})
+				found = true
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			return nil, nil, false
+		}
+		in[t] = true
+	}
+	return steps, keys, true
+}
+
+// inljIndexed reports whether every non-driving step has a built
+// single-column index on its inner key — the requirement for an
+// all-index-NLJ plan. Orders that lack one are skipped, which is what
+// makes index sets an experimental variable (the index-advisor story).
+func (e *enumerator) inljIndexed(steps []joinStep, keys []stepKeys) bool {
+	for i := range steps[1:] {
+		if e.stepIndex(keys[i+1].inner) == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// stepIndex finds the built single-column index on col, or nil.
+func (e *enumerator) stepIndex(col string) *spec.IndexSpec {
+	ixs := e.singleOn(col)
+	if len(ixs) == 0 {
+		return nil
+	}
+	return ixs[0]
+}
+
+// joinTree builds the plan tree for one (order, method, access) choice.
+// It returns ok=false for the index-driven access variant when the
+// driving table has no bounded indexed predicate.
+func (e *enumerator) joinTree(method string, steps []joinStep, keys []stepKeys,
+	driveIx bool) (root *spec.PlanNode, drives []drive, requiresTB bool, ok bool) {
+
+	d0 := steps[0]
+	var acc *spec.PlanNode
+	if driveIx {
+		var dp *spec.PredSpec
+		var ix *spec.IndexSpec
+		for pi := range d0.preds {
+			p := &d0.preds[pi]
+			if p.Lo == nil && p.Hi == nil {
+				continue
+			}
+			if cand := e.stepIndex(p.Column); cand != nil {
+				dp, ix = p, cand
+				break
+			}
+		}
+		if dp == nil {
+			return nil, nil, false, false
+		}
+		var residual []spec.PredSpec
+		for pi := range d0.preds {
+			if &d0.preds[pi] != dp {
+				residual = append(residual, d0.preds[pi])
+			}
+		}
+		acc = &spec.PlanNode{Op: "fetch", Kind: "improved", Table: d0.table,
+			Preds: clonePreds(residual), Input: indexScanFor(ix, dp)}
+		drives = []drive{{pred: dp, width: len(ix.Columns)}}
+		requiresTB = predNeedsTB(dp)
+	} else {
+		acc = &spec.PlanNode{Op: "table_scan", Table: d0.table, Preds: clonePreds(d0.preds)}
+	}
+
+	for i, st := range steps[1:] {
+		k := keys[i+1]
+		scan := &spec.PlanNode{Op: "table_scan", Table: st.table, Preds: clonePreds(st.preds)}
+		switch method {
+		case "hash":
+			acc = &spec.PlanNode{Op: "hash_join", Build: scan, Probe: acc,
+				BuildKeys: []string{k.inner}, ProbeKeys: []string{k.outer}}
+		case "merge":
+			acc = &spec.PlanNode{Op: "merge_join",
+				Left:     &spec.PlanNode{Op: "sort", Input: acc, Keys: []string{k.outer}},
+				Right:    &spec.PlanNode{Op: "sort", Input: scan, Keys: []string{k.inner}},
+				LeftKeys: []string{k.outer}, RightKeys: []string{k.inner}}
+		case "inlj":
+			ix := e.stepIndex(k.inner)
+			acc = &spec.PlanNode{Op: "index_nlj", Outer: acc, Index: ix.Name, OuterKey: k.outer}
+			if len(st.preds) > 0 {
+				// The index lookup cannot evaluate the inner table's
+				// predicates; filter the joined rows.
+				acc = &spec.PlanNode{Op: "filter", Input: acc, Preds: clonePreds(st.preds)}
+			}
+		}
+	}
+	return acc, drives, requiresTB, true
+}

@@ -58,6 +58,13 @@ func Enumerate(q *spec.QuerySpec) ([]Candidate, error) {
 		return nil, fmt.Errorf("optimizer: query %q has no catalog table", q.Name)
 	}
 	e := &enumerator{q: q, built: builtIndexes(q)}
+	if len(q.Joins) > 0 {
+		// Join queries swap the rule set: the single-table access-path
+		// rules are subsumed by the driving table's access choice inside
+		// the join enumeration.
+		e.joins()
+		return e.out, nil
+	}
 	e.scan()
 	e.fetches()
 	e.intersections()

@@ -47,12 +47,15 @@ func (k opKind) String() string {
 
 // compiled is one compiled plan node: its kind, the matching builder,
 // and (for row nodes) the emitted column shape downstream ops resolve
-// names against.
+// names against. RID nodes carry the table their RIDs address, so a
+// fetch against the wrong table of a multi-table catalog is a compile
+// error, not a garbled row decode.
 type compiled struct {
 	kind  opKind
 	row   rowBuild
 	rid   ridBuild
 	shape []record.Column
+	table string // RID nodes: the addressed table
 }
 
 // opCompiler is one registry entry. fields lists the spec fields the
@@ -149,12 +152,35 @@ func KnownOps() []string {
 	return out
 }
 
-// catalogModel is the compile-time view of a CatalogSpec: the generated
-// schema and the index definitions, resolved once per workload.
+// catalogModel is the compile-time view of a CatalogSpec: each table's
+// generated schema and the index definitions, resolved once per
+// workload.
 type catalogModel struct {
-	table   string
-	schema  *record.Schema
+	first   string // the catalog's first (axis) table
+	tables  map[string]*record.Schema
 	indexes map[string]*spec.IndexSpec
+}
+
+// schemaOf returns a declared table's generated schema, or nil.
+func (m *catalogModel) schemaOf(name string) *record.Schema { return m.tables[name] }
+
+// indexTable resolves an index definition's owning table ("" means the
+// first table).
+func (m *catalogModel) indexTable(def *spec.IndexSpec) string {
+	if def.Table != "" {
+		return def.Table
+	}
+	return m.first
+}
+
+// tableList renders the declared table names for error messages.
+func (m *catalogModel) tableList() string {
+	names := make([]string, 0, len(m.tables))
+	for name := range m.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
 }
 
 // typeName renders a record type in the spec's type vocabulary.
@@ -173,41 +199,73 @@ func typeName(t record.Type) string {
 	}
 }
 
-// modelFor resolves a CatalogSpec against the data generator's fixed
-// schema.
+// modelFor resolves a CatalogSpec against the data generator's
+// schemas: the fixed lineitem-like relation for single-table catalogs,
+// one derived join schema per table for multi-table ones.
 func modelFor(c *spec.CatalogSpec) (*catalogModel, error) {
 	t := c.Table()
 	if t == nil {
 		return nil, fmt.Errorf("plan: catalog declares no table")
 	}
-	schema := datagen.Schema()
-	if len(t.Columns) > 0 {
-		// The generator produces one fixed relation; a declared schema
-		// documents it and must match it exactly.
-		if len(t.Columns) != schema.NumColumns() {
-			return nil, fmt.Errorf("plan: table %q declares %d columns; the generator produces %d (%s)",
-				t.Name, len(t.Columns), schema.NumColumns(), schema)
-		}
-		for i, col := range t.Columns {
-			want := schema.Column(i)
-			if col.Name != want.Name || col.Type != typeName(want.Type) {
-				return nil, fmt.Errorf("plan: table %q column %d is %s %s; the generator produces %s %s",
-					t.Name, i, col.Name, col.Type, want.Name, typeName(want.Type))
+	m := &catalogModel{first: t.Name,
+		tables:  make(map[string]*record.Schema),
+		indexes: make(map[string]*spec.IndexSpec)}
+	if c.Multi() {
+		for i := range c.Tables {
+			tt := &c.Tables[i]
+			fkCols := make([]string, len(tt.ForeignKeys))
+			for j := range tt.ForeignKeys {
+				fkCols[j] = tt.ForeignKeys[j].Column
 			}
+			schema := datagen.JoinSchema(tt.Name, fkCols)
+			if err := declaredMatches(tt, schema); err != nil {
+				return nil, err
+			}
+			m.tables[tt.Name] = schema
 		}
+	} else {
+		schema := datagen.Schema()
+		if err := declaredMatches(t, schema); err != nil {
+			return nil, err
+		}
+		m.tables[t.Name] = schema
 	}
-	m := &catalogModel{table: t.Name, schema: schema, indexes: make(map[string]*spec.IndexSpec)}
 	for i := range c.Indexes {
 		ix := &c.Indexes[i]
+		schema := m.schemaOf(m.indexTable(ix))
+		if schema == nil {
+			return nil, fmt.Errorf("plan: index %q references unknown table %q", ix.Name, ix.Table)
+		}
 		for _, col := range ix.Columns {
 			if schema.Ordinal(col) < 0 {
 				return nil, fmt.Errorf("plan: index %q references unknown column %q (table %q has %s)",
-					ix.Name, col, t.Name, columnList(schema))
+					ix.Name, col, m.indexTable(ix), columnList(schema))
 			}
 		}
 		m.indexes[ix.Name] = ix
 	}
 	return m, nil
+}
+
+// declaredMatches checks an optional declared schema against the
+// generated one: the generator's relation is fixed per table, so a
+// declaration documents it and must match exactly.
+func declaredMatches(t *spec.TableSpec, schema *record.Schema) error {
+	if len(t.Columns) == 0 {
+		return nil
+	}
+	if len(t.Columns) != schema.NumColumns() {
+		return fmt.Errorf("plan: table %q declares %d columns; the generator produces %d (%s)",
+			t.Name, len(t.Columns), schema.NumColumns(), schema)
+	}
+	for i, col := range t.Columns {
+		want := schema.Column(i)
+		if col.Name != want.Name || col.Type != typeName(want.Type) {
+			return fmt.Errorf("plan: table %q column %d is %s %s; the generator produces %s %s",
+				t.Name, i, col.Name, col.Type, want.Name, typeName(want.Type))
+		}
+	}
+	return nil
 }
 
 func columnList(s *record.Schema) string {
@@ -256,13 +314,16 @@ func (cc *compileCtx) index(n *spec.PlanNode) (*spec.IndexSpec, error) {
 	return def, nil
 }
 
-// table resolves a node's table reference.
+// table resolves a node's table reference against the declared tables.
 func (cc *compileCtx) table(n *spec.PlanNode) (string, error) {
 	if n.Table == "" {
 		return "", cc.errf(n, "missing table")
 	}
-	if n.Table != cc.model.table {
-		return "", cc.errf(n, "unknown table %q (catalog table is %q)", n.Table, cc.model.table)
+	if cc.model.schemaOf(n.Table) == nil {
+		if len(cc.model.tables) == 1 {
+			return "", cc.errf(n, "unknown table %q (catalog table is %q)", n.Table, cc.model.first)
+		}
+		return "", cc.errf(n, "unknown table %q (catalog tables: %s)", n.Table, cc.model.tableList())
 	}
 	return n.Table, nil
 }
@@ -425,16 +486,17 @@ func (cc *compileCtx) bound(n *spec.PlanNode, v *spec.ValueSpec) (boundFn, error
 
 // indexShape maps an index's key columns onto their record columns.
 func (cc *compileCtx) indexShape(def *spec.IndexSpec) []record.Column {
+	schema := cc.model.schemaOf(cc.model.indexTable(def))
 	shape := make([]record.Column, len(def.Columns))
 	for i, col := range def.Columns {
-		shape[i] = cc.model.schema.Column(cc.model.schema.MustOrdinal(col))
+		shape[i] = schema.Column(schema.MustOrdinal(col))
 	}
 	return shape
 }
 
-// tableShape is the base table's full row shape.
-func (cc *compileCtx) tableShape() []record.Column {
-	return cc.model.schema.Columns()
+// tableShape is one table's full row shape.
+func (cc *compileCtx) tableShape(table string) []record.Column {
+	return cc.model.schemaOf(table).Columns()
 }
 
 // --- Scans ----------------------------------------------------------------
@@ -444,11 +506,11 @@ func compileTableScan(cc *compileCtx, n *spec.PlanNode) (*compiled, error) {
 	if err != nil {
 		return nil, err
 	}
-	pf, err := cc.preds(n, n.Preds, cc.tableShape())
+	pf, err := cc.preds(n, n.Preds, cc.tableShape(name))
 	if err != nil {
 		return nil, err
 	}
-	return &compiled{kind: opRows, shape: cc.tableShape(),
+	return &compiled{kind: opRows, shape: cc.tableShape(name),
 		row: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
 			return exec.NewTableScan(ctx, c.Table(name), pf(q))
 		}}, nil
@@ -468,7 +530,7 @@ func compileIndexScan(cc *compileCtx, n *spec.PlanNode) (*compiled, error) {
 		return nil, err
 	}
 	name := def.Name
-	return &compiled{kind: opRIDs,
+	return &compiled{kind: opRIDs, table: cc.model.indexTable(def),
 		rid: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RIDIter {
 			ix := c.Index(name)
 			var lob, hib []byte
@@ -501,7 +563,7 @@ func compileKeyFilterScan(cc *compileCtx, n *spec.PlanNode) (*compiled, error) {
 		return nil, err
 	}
 	name := def.Name
-	return &compiled{kind: opRIDs,
+	return &compiled{kind: opRIDs, table: cc.model.indexTable(def),
 		rid: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RIDIter {
 			ix := c.Index(name)
 			var lob, hib []byte
@@ -628,7 +690,10 @@ func compileFetch(cc *compileCtx, n *spec.PlanNode) (*compiled, error) {
 	if err != nil {
 		return nil, err
 	}
-	pf, err := cc.preds(n, n.Preds, cc.tableShape())
+	if in.table != "" && in.table != name {
+		return nil, cc.errf(n, "fetches table %q but its input produces RIDs of table %q", name, in.table)
+	}
+	pf, err := cc.preds(n, n.Preds, cc.tableShape(name))
 	if err != nil {
 		return nil, err
 	}
@@ -651,7 +716,7 @@ func compileFetch(cc *compileCtx, n *spec.PlanNode) (*compiled, error) {
 	default:
 		return nil, cc.errf(n, "unknown kind %q (want \"traditional\", \"improved\", or \"bitmap\")", n.Kind)
 	}
-	return &compiled{kind: opRows, shape: cc.tableShape(), row: row}, nil
+	return &compiled{kind: opRows, shape: cc.tableShape(name), row: row}, nil
 }
 
 func compileRIDMerge(cc *compileCtx, n *spec.PlanNode) (*compiled, error) {
@@ -663,8 +728,11 @@ func compileRIDMerge(cc *compileCtx, n *spec.PlanNode) (*compiled, error) {
 	if err != nil {
 		return nil, err
 	}
+	if l.table != r.table {
+		return nil, cc.errf(n, "intersects RIDs of table %q with RIDs of table %q", l.table, r.table)
+	}
 	lb, rb := l.rid, r.rid
-	return &compiled{kind: opRIDs,
+	return &compiled{kind: opRIDs, table: l.table,
 		rid: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RIDIter {
 			return exec.NewRIDMergeIntersect(ctx, lb(ctx, c, q), rb(ctx, c, q))
 		}}, nil
@@ -679,8 +747,11 @@ func compileRIDHash(cc *compileCtx, n *spec.PlanNode) (*compiled, error) {
 	if err != nil {
 		return nil, err
 	}
+	if b.table != p.table {
+		return nil, cc.errf(n, "intersects RIDs of table %q with RIDs of table %q", b.table, p.table)
+	}
 	bb, pb := b.rid, p.rid
-	return &compiled{kind: opRIDs,
+	return &compiled{kind: opRIDs, table: b.table,
 		rid: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RIDIter {
 			return exec.NewRIDHashIntersect(ctx, bb(ctx, c, q), pb(ctx, c, q))
 		}}, nil
@@ -847,7 +918,9 @@ func compileIndexNLJ(cc *compileCtx, n *spec.PlanNode) (*compiled, error) {
 			n.OuterKey, shapeList(outer.shape))
 	}
 	ob, name := outer.row, def.Name
-	return &compiled{kind: opRows, shape: concatShape(outer.shape, cc.tableShape()),
+	// The joined inner rows are the index's base table.
+	inner := cc.tableShape(cc.model.indexTable(def))
+	return &compiled{kind: opRows, shape: concatShape(outer.shape, inner),
 		row: func(ctx *exec.Ctx, c *catalog.Catalog, q Query) exec.RowIter {
 			return exec.NewIndexNestedLoopJoin(ctx, ob(ctx, c, q), c.Index(name), ord)
 		}}, nil

@@ -1,0 +1,89 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"robustmap/internal/spec"
+)
+
+// joinWorkload is a 2-table workload joining lineitem to orders three
+// ways: hash, index NLJ, and sort+merge.
+func joinWorkload() *spec.WorkloadSpec {
+	v := func(p string) *spec.ValueSpec { return &spec.ValueSpec{Param: p} }
+	liScan := &spec.PlanNode{Op: "table_scan", Table: "lineitem",
+		Preds: []spec.PredSpec{{Column: "lineitem_a", Hi: v(spec.ParamTA)}}}
+	ordScan := &spec.PlanNode{Op: "table_scan", Table: "orders"}
+	return &spec.WorkloadSpec{
+		Name: "join-demo",
+		Catalog: spec.CatalogSpec{
+			Tables: []spec.TableSpec{
+				{Name: "orders", Rows: 1 << 10, Seed: 1},
+				{Name: "lineitem", Rows: 1 << 12, Seed: 2, ForeignKeys: []spec.ForeignKeySpec{
+					{Column: "lineitem_ord", RefTable: "orders", Containment: 0.875},
+				}},
+			},
+			Indexes: []spec.IndexSpec{
+				{Name: "pk_orders", Table: "orders", Columns: []string{"orders_id"}},
+			},
+		},
+		Systems: []spec.SystemSpec{{
+			Name:    "J",
+			Indexes: []string{"pk_orders"},
+			Plans: []spec.PlanSpec{
+				{ID: "hash", Root: &spec.PlanNode{Op: "hash_join",
+					Build: ordScan, Probe: liScan,
+					BuildKeys: []string{"orders_id"}, ProbeKeys: []string{"lineitem_ord"}}},
+				{ID: "inlj", Root: &spec.PlanNode{Op: "index_nlj",
+					Outer: liScan, Index: "pk_orders", OuterKey: "lineitem_ord"}},
+				{ID: "merge", Root: &spec.PlanNode{Op: "merge_join",
+					Left:     &spec.PlanNode{Op: "sort", Input: liScan, Keys: []string{"lineitem_ord"}},
+					Right:    &spec.PlanNode{Op: "sort", Input: ordScan, Keys: []string{"orders_id"}},
+					LeftKeys: []string{"lineitem_ord"}, RightKeys: []string{"orders_id"}}},
+			},
+		}},
+		Sweep: spec.SweepSpec{MaxExp: 3},
+	}
+}
+
+func TestCompileJoinWorkload(t *testing.T) {
+	cw, err := CompileWorkload(joinWorkload())
+	if err != nil {
+		t.Fatalf("CompileWorkload: %v", err)
+	}
+	if got := len(cw.Plans()); got != 3 {
+		t.Fatalf("compiled %d plans, want 3", got)
+	}
+}
+
+func TestCompileMultiErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*spec.WorkloadSpec)
+		wantErr string
+	}{
+		{"scan unknown table", func(w *spec.WorkloadSpec) {
+			w.Systems[0].Plans[0].Root.Probe.Table = "nation"
+		}, `unknown table "nation" (catalog tables: lineitem, orders)`},
+		{"pred from other table", func(w *spec.WorkloadSpec) {
+			w.Systems[0].Plans[0].Root.Probe.Preds[0].Column = "orders_a"
+		}, `predicate column "orders_a" is not in the input row`},
+		{"fetch wrong table", func(w *spec.WorkloadSpec) {
+			w.Systems[0].Plans[0].Root = &spec.PlanNode{Op: "fetch", Kind: "improved", Table: "lineitem",
+				Input: &spec.PlanNode{Op: "index_scan", Index: "pk_orders", Hi: &spec.ValueSpec{Param: spec.ParamTA}}}
+		}, `fetches table "lineitem" but its input produces RIDs of table "orders"`},
+		{"join key from wrong side", func(w *spec.WorkloadSpec) {
+			w.Systems[0].Plans[0].Root.BuildKeys = []string{"lineitem_ord"}
+		}, `build key "lineitem_ord" is not in the build input row`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := joinWorkload()
+			tc.mutate(w)
+			_, err := CompileWorkload(w)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want it to contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"robustmap/internal/engine"
 	"robustmap/internal/optimizer"
 	"robustmap/internal/spec"
 )
@@ -164,5 +165,123 @@ func TestQueryRejectedAtSubmit(t *testing.T) {
 	invalid.Table = "nope"
 	if _, err := l.Submit(ctx, Request{Query: invalid}); !errors.Is(err, ErrInvalidRequest) {
 		t.Fatalf("Submit(invalid query) err = %v, want ErrInvalidRequest", err)
+	}
+}
+
+// joinTestQuery is a small two-table join query: orders (child) joined
+// up to customer, a swept predicate on the child and a constant one on
+// the parent — the multi-table counterpart of smallPaperQuery.
+func joinTestQuery() *spec.QuerySpec {
+	c := int64(1 << 7)
+	return &spec.QuerySpec{
+		Name: "join-orders-customer",
+		Catalog: spec.CatalogSpec{
+			Tables: []spec.TableSpec{
+				{Name: "orders", Rows: 1 << 10, Seed: 8, ForeignKeys: []spec.ForeignKeySpec{
+					{Column: "ord_cust", RefTable: "customer", Containment: 0.875},
+				}},
+				{Name: "customer", Rows: 1 << 8, Seed: 7},
+			},
+			Indexes: []spec.IndexSpec{
+				{Name: "pk_customer", Table: "customer", Columns: []string{"customer_id"}},
+				{Name: "idx_orders_a", Table: "orders", Columns: []string{"orders_a"}},
+			},
+		},
+		Table: "orders",
+		Joins: []spec.JoinSpec{{Table: "orders", Column: "ord_cust"}},
+		Predicates: []spec.PredSpec{
+			{Column: "orders_a", Hi: &spec.ValueSpec{Param: spec.ParamTA}},
+			{Column: "customer_a", Hi: &spec.ValueSpec{Const: &c}},
+		},
+		Sweep: spec.SweepSpec{MaxExp: 3},
+	}
+}
+
+// TestJoinQueryJob runs a multi-table join query end to end: the
+// candidate list covers both join orders, the measured map gets the
+// regret overlay, and the result is byte-identical at any parallelism.
+func TestJoinQueryJob(t *testing.T) {
+	l := NewLocal(LocalConfig{Workers: 2})
+	defer closeLocal(t, l)
+	ctx := context.Background()
+
+	run := func(parallelism int) *Result {
+		t.Helper()
+		res, err := Run(ctx, l, Request{Query: joinTestQuery(), Parallelism: parallelism}, nil)
+		if err != nil {
+			t.Fatalf("join query job (parallelism %d): %v", parallelism, err)
+		}
+		return res
+	}
+	serial := run(1)
+	if len(serial.Candidates) != 8 {
+		t.Fatalf("result carries %d candidates, want 8", len(serial.Candidates))
+	}
+	if serial.Map1D == nil || serial.Regret1D == nil {
+		t.Fatal("join query job must produce Map1D and Regret1D")
+	}
+	for i, p := range serial.Regret1D.Picks {
+		if p < 0 || p >= len(serial.Regret1D.Plans) {
+			t.Fatalf("pick %d = %d out of range", i, p)
+		}
+	}
+
+	parallel := run(-1)
+	a, _ := json.Marshal(serial)
+	b, _ := json.Marshal(parallel)
+	if string(a) != string(b) {
+		t.Fatal("join query job result differs between parallelism 1 and -1")
+	}
+}
+
+// TestMultiTableRowsOverrideRejected pins the admission rule: a request
+// cannot override rows on a multi-table catalog — every table declares
+// its own cardinality.
+func TestMultiTableRowsOverrideRejected(t *testing.T) {
+	req := Request{Query: joinTestQuery(), Rows: 1 << 12}
+	err := req.Validate()
+	if !errors.Is(err, ErrInvalidRequest) {
+		t.Fatalf("Validate err = %v, want ErrInvalidRequest", err)
+	}
+	if want := "rows cannot override a multi-table catalog"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("Validate err = %q, want it to contain %q", err, want)
+	}
+}
+
+// TestJoinResultSizeOracle checks the join-size oracle against ground
+// truth: every candidate plan's measured row count at every axis point
+// must equal the oracle's answer — and an adaptive (refine) join sweep,
+// which leans on that oracle, must succeed.
+func TestJoinResultSizeOracle(t *testing.T) {
+	r := NewEngineResolver(engine.DefaultConfig())
+	rs, err := r.Resolve(Request{Query: joinTestQuery()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.ResultSize == nil {
+		t.Fatal("join query resolved without a result-size oracle")
+	}
+	var sized int64
+	for _, ta := range rs.Thresholds {
+		want := rs.ResultSize(ta, -1)
+		sized += want
+		for i, src := range rs.Sources {
+			if got := src.Measure(ta, -1).Rows; got != want {
+				t.Fatalf("source %d at ta=%d measured %d rows, oracle says %d", i, ta, got, want)
+			}
+		}
+	}
+	if sized == 0 {
+		t.Fatal("oracle returned 0 at every axis point; the fixture no longer selects anything")
+	}
+
+	l := NewLocal(LocalConfig{Workers: 1})
+	defer closeLocal(t, l)
+	res, err := Run(context.Background(), l, Request{Query: joinTestQuery(), Refine: true}, nil)
+	if err != nil {
+		t.Fatalf("adaptive join query job: %v", err)
+	}
+	if res.Mesh1D == nil {
+		t.Fatal("adaptive join query job must produce Mesh1D")
 	}
 }

@@ -163,6 +163,10 @@ func QueryPlanShapes() []PlanShapeInfo {
 		{Shape: "mdam-<index>", Description: "MDAM over a covering composite index, index-only"},
 		{Shape: "cover-merge-<index>-<index>", Description: "covering RID join of two single-column indexes (merge), no base access"},
 		{Shape: "cover-hash-<index>-<index>", Description: "covering RID join of two single-column indexes (hash), no base access"},
+		{Shape: "hash-<t1>.<t2>[.<t3>...]", Description: "left-deep hash join in the named table order: each added table builds, the accumulated rows probe"},
+		{Shape: "merge-<t1>.<t2>[.<t3>...]", Description: "left-deep sort-merge join in the named table order, both sides sorted on the step's equi-join keys"},
+		{Shape: "inlj-<t1>.<t2>[.<t3>...]", Description: "left-deep index nested-loop join: each added table reached through a built single-column index on its join key"},
+		{Shape: "<join shape>-ix", Description: "join variant driving the first table through an index on a bounded indexed predicate (improved fetch) instead of a full scan"},
 		{Shape: "sort / limit / hash_agg wrappers", Description: "order_by adds a sort unless the candidate's natural order covers it; limit rides on top (TopN pushdown on ordered candidates); group_by/aggs add a hash aggregation"},
 	}
 }
@@ -296,6 +300,32 @@ func (r *EngineResolver) workloadSystem(ws *spec.WorkloadSpec, hash string,
 	sys *spec.SystemSpec, rows int64) (*engine.System, error) {
 
 	return r.system(sysKey{name: "w/" + hash + "/" + sys.Name, rows: rows}, func() (*engine.System, error) {
+		if ws.Catalog.Multi() {
+			// Multi-table catalogs carry every cardinality themselves
+			// (Request.Rows overrides are rejected at Validate); the build
+			// maps the declared tables, FK edges, and the system's index
+			// selection straight onto the engine's multi-table config.
+			cfg := r.base
+			cfg.Rows, cfg.TableName, cfg.Indexes, cfg.IndexDefs = 0, "", nil, nil
+			cfg.Versioned = sys.Versioned
+			for i := range ws.Catalog.Tables {
+				t := &ws.Catalog.Tables[i]
+				tc := engine.TableConfig{Name: t.Name, Rows: t.Rows, Seed: t.Seed,
+					PayloadBytes: t.PayloadBytes, ZipfA: t.ZipfA, ZipfB: t.ZipfB}
+				for _, fk := range t.ForeignKeys {
+					tc.ForeignKeys = append(tc.ForeignKeys, engine.FKDef{
+						Column: fk.Column, RefTable: fk.RefTable,
+						Containment: fk.Containment, FanoutZipf: fk.FanoutZipf})
+				}
+				cfg.Tables = append(cfg.Tables, tc)
+			}
+			for _, name := range sys.Indexes {
+				def := ws.Catalog.Index(name)
+				cfg.IndexDefs = append(cfg.IndexDefs,
+					engine.IndexDef{Name: def.Name, Table: def.Table, Columns: def.Columns})
+			}
+			return engine.BuildSystem(sys.Name, cfg)
+		}
 		t := ws.Catalog.Table()
 		cfg := r.base
 		cfg.Rows = rows
@@ -439,11 +469,18 @@ func (r *EngineResolver) Resolve(req Request) (*ResolvedSweep, error) {
 		})
 		rs.Scopes = append(rs.Scopes, scope)
 	}
-	if oracle != nil {
+	switch {
+	case oracle != nil && !oracle.Multi():
 		sys := oracle
 		rs.ResultSize = func(ta, tb int64) int64 {
 			return sys.ResultSize(plan.Query{TA: ta, TB: tb})
 		}
+	case oracle != nil && req.Query != nil && len(req.Query.Joins) > 0:
+		// Multi-table systems cannot answer ResultSize from (a, b) pairs;
+		// a join query's exact sizes come from the retained column data
+		// instead. Multi-table workload requests get no oracle — their
+		// plan trees, not the request, define the result semantics.
+		rs.ResultSize = joinResultSize(oracle, req.Query)
 	}
 	if q := req.Query; q != nil {
 		model := optimizer.NewModel(q, rows)
@@ -470,4 +507,109 @@ func (r *EngineResolver) Resolve(req Request) (*ResolvedSweep, error) {
 		}
 	}
 	return rs, nil
+}
+
+// joinResultSize builds an exact result-size oracle for a join query
+// from the multi-table system's retained column data: weights propagate
+// bottom-up over the query's join tree (rooted at the driving table),
+// so each root row's weight is the number of join-output rows it heads
+// that satisfy every predicate. Exactly the inner-join semantics the
+// compiled candidate plans execute, computed off the cost model's
+// books — the counterpart of System.ResultSize for the single-table
+// study.
+func joinResultSize(sys *engine.System, q *spec.QuerySpec) func(ta, tb int64) int64 {
+	edges := q.JoinEdges()
+	predsOf := map[string][]spec.PredSpec{}
+	for i := range q.Predicates {
+		p := q.Predicates[i]
+		if t := q.Catalog.ColumnTable(p.Column); t != nil {
+			predsOf[t.Name] = append(predsOf[t.Name], p)
+		}
+	}
+	return func(ta, tb int64) int64 {
+		// weigh returns one weight per row of table: the matching joined
+		// rows of the subtree reached without crossing back over `from`.
+		var weigh func(table, from string) []int64
+		weigh = func(table, from string) []int64 {
+			rows := sys.TableRows(table)
+			w := make([]int64, rows)
+			for i := range w {
+				w[i] = 1
+			}
+			for _, p := range predsOf[table] {
+				lo, hi, active := predBounds(&p, ta, tb)
+				if !active {
+					continue
+				}
+				col := sys.ColumnData(table, p.Column)
+				for i, v := range col {
+					if v < lo || v >= hi {
+						w[i] = 0
+					}
+				}
+			}
+			for _, e := range edges {
+				switch {
+				case e.Child == table && e.Parent != from:
+					// This table holds the FK: each row keeps its single
+					// parent match iff the value is contained.
+					sub := weigh(e.Parent, table)
+					fk := sys.ColumnData(table, e.FK)
+					for i := range w {
+						if w[i] == 0 {
+							continue
+						}
+						if j := fk[i]; j >= 0 && j < int64(len(sub)) {
+							w[i] *= sub[j]
+						} else {
+							w[i] = 0
+						}
+					}
+				case e.Parent == table && e.Child != from:
+					// The child holds the FK: fold its weights onto the
+					// parent ids they reference (fanout).
+					sub := weigh(e.Child, table)
+					fk := sys.ColumnData(e.Child, e.FK)
+					acc := make([]int64, rows)
+					for i, j := range fk {
+						if j >= 0 && j < rows {
+							acc[j] += sub[i]
+						}
+					}
+					for i := range w {
+						w[i] *= acc[i]
+					}
+				}
+			}
+			return w
+		}
+		var n int64
+		for _, x := range weigh(q.Table, "") {
+			n += x
+		}
+		return n
+	}
+}
+
+// predBounds resolves one predicate's half-open [lo, hi) interval at a
+// query point; active is false when its guard drops it (tb absent).
+func predBounds(p *spec.PredSpec, ta, tb int64) (lo, hi int64, active bool) {
+	if p.IfParam == spec.ParamTB && tb < 0 {
+		return 0, 0, false
+	}
+	val := func(v *spec.ValueSpec, dflt int64) int64 {
+		switch {
+		case v == nil:
+			return dflt
+		case v.Param == spec.ParamTA:
+			return ta
+		case v.Param == spec.ParamTB:
+			return tb
+		case v.Const != nil:
+			return *v.Const
+		}
+		return dflt
+	}
+	const minI, maxI = int64(-1 << 63), int64(1<<63 - 1)
+	return val(p.Lo, minI), val(p.Hi, maxI), true
 }

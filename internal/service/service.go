@@ -189,6 +189,19 @@ func (r Request) Validate() error {
 		return fmt.Errorf("%w: rows must be positive (or 0 for the default), got %d",
 			ErrInvalidRequest, r.Rows)
 	}
+	if r.Rows > 0 {
+		var cat *spec.CatalogSpec
+		switch {
+		case r.Workload != nil:
+			cat = &r.Workload.Catalog
+		case r.Query != nil:
+			cat = &r.Query.Catalog
+		}
+		if cat != nil && cat.Multi() {
+			return fmt.Errorf("%w: rows cannot override a multi-table catalog (every table declares its own cardinality)",
+				ErrInvalidRequest)
+		}
+	}
 	if rows := r.EffectiveRows(0); rows > MaxRows {
 		return fmt.Errorf("%w: rows must be at most %d, got %d",
 			ErrInvalidRequest, int64(MaxRows), rows)

@@ -1,0 +1,174 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// multiCatalog returns a valid 3-table FK chain:
+// lineitem —lineitem_ord→ orders —orders_cust→ customer.
+func multiCatalog() CatalogSpec {
+	return CatalogSpec{
+		Tables: []TableSpec{
+			{Name: "lineitem", Rows: 1 << 14, ForeignKeys: []ForeignKeySpec{
+				{Column: "lineitem_ord", RefTable: "orders", Containment: 0.9},
+			}},
+			{Name: "orders", Rows: 1 << 12, ForeignKeys: []ForeignKeySpec{
+				{Column: "orders_cust", RefTable: "customer", FanoutZipf: 1.5},
+			}},
+			{Name: "customer", Rows: 1 << 10},
+		},
+		Indexes: []IndexSpec{
+			{Name: "pk_orders", Table: "orders", Columns: []string{"orders_id"}},
+			{Name: "pk_customer", Table: "customer", Columns: []string{"customer_id"}},
+			{Name: "idx_li_a", Table: "lineitem", Columns: []string{"lineitem_a"}},
+		},
+	}
+}
+
+func multiQuery() *QuerySpec {
+	return &QuerySpec{
+		Name:    "join-q",
+		Catalog: multiCatalog(),
+		Table:   "lineitem",
+		Joins: []JoinSpec{
+			{Table: "lineitem", Column: "lineitem_ord"},
+			{Table: "orders", Column: "orders_cust"},
+		},
+		Predicates: []PredSpec{
+			{Column: "lineitem_a", Hi: &ValueSpec{Param: ParamTA}},
+			{Column: "lineitem_b", Hi: &ValueSpec{Param: ParamTB}, IfParam: ParamTB},
+		},
+		Sweep: SweepSpec{MaxExp: 4, Grid2D: true},
+	}
+}
+
+func TestMultiCatalogValid(t *testing.T) {
+	c := multiCatalog()
+	if err := c.validate(); err != nil {
+		t.Fatalf("valid multi catalog rejected: %v", err)
+	}
+	if !c.Multi() {
+		t.Fatalf("Multi() = false for a 3-table catalog")
+	}
+	li := c.TableByName("lineitem")
+	want := []string{"lineitem_id", "lineitem_a", "lineitem_b", "lineitem_ord", "lineitem_comment"}
+	got := li.MultiColumns()
+	if len(got) != len(want) {
+		t.Fatalf("MultiColumns = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MultiColumns = %v, want %v", got, want)
+		}
+	}
+	if owner := c.ColumnTable("orders_cust"); owner == nil || owner.Name != "orders" {
+		t.Fatalf("ColumnTable(orders_cust) = %v, want orders", owner)
+	}
+}
+
+func TestMultiQueryValidAndResolved(t *testing.T) {
+	q := multiQuery()
+	if err := q.Validate(); err != nil {
+		t.Fatalf("valid join query rejected: %v", err)
+	}
+	tables := q.Tables()
+	if len(tables) != 3 || tables[0] != "lineitem" || tables[1] != "orders" || tables[2] != "customer" {
+		t.Fatalf("Tables() = %v", tables)
+	}
+	edges := q.JoinEdges()
+	if len(edges) != 2 {
+		t.Fatalf("JoinEdges() = %v", edges)
+	}
+	if e := edges[0]; e.Child != "lineitem" || e.Parent != "orders" || e.Containment != 0.9 {
+		t.Fatalf("edge 0 = %+v", e)
+	}
+	if e := edges[1]; e.Containment != 1 || e.FanoutZipf != 1.5 {
+		t.Fatalf("edge 1 = %+v (containment should normalize 0 -> 1)", e)
+	}
+	// Canonical round trip.
+	q2, err := ParseQuery(q.Encode())
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if q2.Hash() != q.Hash() {
+		t.Fatalf("hash changed across round trip")
+	}
+}
+
+func TestMultiCatalogErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*CatalogSpec)
+		wantErr string
+	}{
+		{"duplicate table", func(c *CatalogSpec) { c.Tables[2].Name = "orders" },
+			`duplicate table "orders"`},
+		{"missing rows", func(c *CatalogSpec) { c.Tables[1].Rows = 0 },
+			"must declare rows > 0"},
+		{"fk unknown ref", func(c *CatalogSpec) { c.Tables[0].ForeignKeys[0].RefTable = "nation" },
+			`references unknown table "nation"`},
+		{"fk self ref", func(c *CatalogSpec) { c.Tables[0].ForeignKeys[0].RefTable = "lineitem" },
+			"references its own table"},
+		{"fk containment", func(c *CatalogSpec) { c.Tables[0].ForeignKeys[0].Containment = 1.5 },
+			"containment must be in (0, 1]"},
+		{"fk fanout", func(c *CatalogSpec) { c.Tables[1].ForeignKeys[0].FanoutZipf = 0.5 },
+			"fanout_zipf must be > 1"},
+		{"column collision", func(c *CatalogSpec) { c.Tables[0].ForeignKeys[0].Column = "orders_id" },
+			"collides with a column of table"},
+		{"index wrong table", func(c *CatalogSpec) { c.Indexes[0].Table = "lineitem" },
+			`column "orders_id" is not a column of table "lineitem"`},
+		{"index unknown table", func(c *CatalogSpec) { c.Indexes[0].Table = "nation" },
+			`references unknown table "nation"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := multiCatalog()
+			tc.mutate(&c)
+			err := c.validate()
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want it to contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestMultiQueryErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*QuerySpec)
+		wantErr string
+	}{
+		{"no joins over multi", func(q *QuerySpec) { q.Joins = nil },
+			"declares no joins"},
+		{"joins over single table", func(q *QuerySpec) {
+			q.Catalog = CatalogSpec{Tables: []TableSpec{{Name: "lineitem"}}}
+			q.Predicates = []PredSpec{{Column: "a", Hi: &ValueSpec{Param: ParamTA}}}
+		}, "joins over a single-table catalog"},
+		{"unknown edge", func(q *QuerySpec) { q.Joins[0].Column = "lineitem_x" },
+			"not a declared foreign key"},
+		{"duplicate edge", func(q *QuerySpec) { q.Joins[1] = q.Joins[0] },
+			"twice"},
+		{"not a tree", func(q *QuerySpec) {
+			// Drop the lineitem->orders edge: one edge cannot span the
+			// three touched tables.
+			q.Joins = q.Joins[1:]
+		}, "must form a tree"},
+		{"pred off-query column", func(q *QuerySpec) {
+			q.Joins = q.Joins[:1] // lineitem + orders only
+			q.Predicates = append(q.Predicates, PredSpec{Column: "customer_a", Hi: &ValueSpec{Const: i64(5)}})
+		}, `unknown column "customer_a"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := multiQuery()
+			tc.mutate(q)
+			err := q.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want it to contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func i64(v int64) *int64 { return &v }

@@ -34,12 +34,23 @@ type QuerySpec struct {
 	// Indexes names the catalog indexes actually built; empty means all
 	// of them. The optimizer only enumerates plans over built indexes.
 	Indexes []string `json:"indexes,omitempty"`
-	// Table names the queried table (the catalog's only table).
+	// Table names the queried table — the catalog's only table, or the
+	// driving table of a multi-table join query.
 	Table string `json:"table"`
+	// Joins names the declared foreign-key edges a multi-table query
+	// joins along; the edges must form a tree over the touched tables
+	// that includes Table. Single-table queries leave it empty.
+	Joins []JoinSpec `json:"joins,omitempty"`
 	// Predicates are the query's interval predicates. Values may
 	// reference the sweep params "ta"/"tb" or be constants; a predicate
-	// referencing "tb" should set if_param so 1-D points drop it.
+	// referencing "tb" should set if_param so 1-D points drop it. In a
+	// multi-table query, the catalog-unique derived column names resolve
+	// each predicate to its table.
 	Predicates []PredSpec `json:"predicates"`
+	// Histograms switches the optimizer's cost model from the uniform
+	// selectivity assumption to per-column equi-depth histograms built
+	// from the generated data.
+	Histograms bool `json:"histograms,omitempty"`
 	// Columns is the projection, by column name; empty means all
 	// columns. Index-only plans are legal only when the projection is
 	// covered by the index's key columns.
@@ -73,8 +84,15 @@ func (q *QuerySpec) Validate() error {
 	if q.Table == "" {
 		return fmt.Errorf("spec: query %q names no table", q.Name)
 	}
-	if q.Table != t.Name {
+	if q.Catalog.Multi() {
+		if q.Catalog.TableByName(q.Table) == nil {
+			return fmt.Errorf("spec: query %q references unknown table %q", q.Name, q.Table)
+		}
+	} else if q.Table != t.Name {
 		return fmt.Errorf("spec: query %q references unknown table %q (catalog table is %q)", q.Name, q.Table, t.Name)
+	}
+	if err := q.validateJoins(); err != nil {
+		return err
 	}
 	seenIx := map[string]bool{}
 	for _, ix := range q.Indexes {
@@ -89,12 +107,26 @@ func (q *QuerySpec) Validate() error {
 	if len(q.Predicates) == 0 {
 		return fmt.Errorf("spec: query %q declares no predicates", q.Name)
 	}
-	cols := map[string]bool{}
-	for _, c := range t.Columns {
-		cols[c.Name] = true
+	var known func(col string) bool
+	if q.Catalog.Multi() {
+		// Multi-table schemas are always derived, so every column is
+		// checkable: it must belong to one of the query's tables.
+		inQuery := map[string]bool{}
+		for _, name := range q.Tables() {
+			inQuery[name] = true
+		}
+		known = func(col string) bool {
+			owner := q.Catalog.ColumnTable(col)
+			return owner != nil && inQuery[owner.Name]
+		}
+	} else {
+		cols := map[string]bool{}
+		for _, c := range t.Columns {
+			cols[c.Name] = true
+		}
+		// A schema-less catalog defers column checks to the plan compiler.
+		known = func(col string) bool { return len(t.Columns) == 0 || cols[col] }
 	}
-	// A schema-less catalog defers column checks to the plan compiler.
-	known := func(col string) bool { return len(t.Columns) == 0 || cols[col] }
 	seenPred := map[string]bool{}
 	for _, p := range q.Predicates {
 		if err := p.validate(fmt.Sprintf("query %q", q.Name)); err != nil {

@@ -54,9 +54,11 @@ type WorkloadSpec struct {
 	Sweep SweepSpec `json:"sweep"`
 }
 
-// CatalogSpec declares the dataset: tables (exactly one today — the
-// generator produces a single lineitem-like relation) and the index
-// definitions systems may build over it.
+// CatalogSpec declares the dataset: one or more generated tables and
+// the index definitions systems may build over them. A single-table
+// catalog generates the paper's fixed lineitem-like relation; a
+// multi-table catalog generates one derived schema per table with
+// foreign-key columns correlating them (see multi.go).
 type CatalogSpec struct {
 	Tables []TableSpec `json:"tables"`
 	// Indexes defines secondary indexes by name; systems select which of
@@ -65,7 +67,9 @@ type CatalogSpec struct {
 	Indexes []IndexSpec `json:"indexes,omitempty"`
 }
 
-// Table returns the catalog's single table.
+// Table returns the catalog's first table — its only table in the
+// single-table case, and the axis table (whose cardinality scales the
+// sweep's selectivity thresholds) in the multi-table case.
 func (c *CatalogSpec) Table() *TableSpec {
 	if len(c.Tables) == 0 {
 		return nil
@@ -103,6 +107,9 @@ type TableSpec struct {
 	// permutations of the paper's study.
 	ZipfA float64 `json:"zipf_a,omitempty"`
 	ZipfB float64 `json:"zipf_b,omitempty"`
+	// ForeignKeys declares FK columns referencing other tables of a
+	// multi-table catalog; single-table catalogs must not declare any.
+	ForeignKeys []ForeignKeySpec `json:"foreign_keys,omitempty"`
 }
 
 // ColumnSpec declares one column: name and type ("int64", "float64",
@@ -362,38 +369,21 @@ func (w *WorkloadSpec) Validate() error {
 
 // validate checks the catalog's structural rules.
 func (c *CatalogSpec) validate() error {
-	if len(c.Tables) != 1 {
-		return fmt.Errorf("spec: catalog must declare exactly one table (the generator produces one relation), got %d", len(c.Tables))
+	if len(c.Tables) == 0 {
+		return fmt.Errorf("spec: catalog must declare at least one table, got %d", len(c.Tables))
+	}
+	if c.Multi() {
+		return c.validateMulti()
 	}
 	t := &c.Tables[0]
 	if t.Name == "" {
 		return fmt.Errorf("spec: table name must not be empty")
 	}
-	if t.Rows < 0 {
-		return fmt.Errorf("spec: table %q rows must not be negative, got %d", t.Name, t.Rows)
+	if len(t.ForeignKeys) > 0 {
+		return fmt.Errorf("spec: table %q declares foreign keys in a single-table catalog", t.Name)
 	}
-	if t.PayloadBytes < 0 {
-		return fmt.Errorf("spec: table %q payload_bytes must not be negative", t.Name)
-	}
-	if t.ZipfA != 0 && t.ZipfA <= 1 {
-		return fmt.Errorf("spec: table %q zipf_a must be > 1 (or 0 for uniform), got %g", t.Name, t.ZipfA)
-	}
-	if t.ZipfB != 0 && t.ZipfB <= 1 {
-		return fmt.Errorf("spec: table %q zipf_b must be > 1 (or 0 for uniform), got %g", t.Name, t.ZipfB)
-	}
-	cols := map[string]bool{}
-	for _, col := range t.Columns {
-		if col.Name == "" {
-			return fmt.Errorf("spec: table %q declares a column with no name", t.Name)
-		}
-		if cols[col.Name] {
-			return fmt.Errorf("spec: table %q declares column %q twice", t.Name, col.Name)
-		}
-		cols[col.Name] = true
-		if !columnTypes[col.Type] {
-			return fmt.Errorf("spec: table %q column %q has unknown type %q (want int64, float64, date, or string)",
-				t.Name, col.Name, col.Type)
-		}
+	if err := t.validateScalar(); err != nil {
+		return err
 	}
 	ixNames := map[string]bool{}
 	for i := range c.Indexes {

@@ -43,10 +43,10 @@ func TestValidateErrors(t *testing.T) {
 		{"no name", func(w *WorkloadSpec) { w.Name = "" },
 			"spec: workload name must not be empty"},
 		{"no tables", func(w *WorkloadSpec) { w.Catalog.Tables = nil },
-			"spec: catalog must declare exactly one table"},
-		{"two tables", func(w *WorkloadSpec) {
+			"spec: catalog must declare at least one table"},
+		{"second table without rows", func(w *WorkloadSpec) {
 			w.Catalog.Tables = append(w.Catalog.Tables, TableSpec{Name: "x"})
-		}, "spec: catalog must declare exactly one table"},
+		}, "must declare rows > 0"},
 		{"negative rows", func(w *WorkloadSpec) { w.Catalog.Tables[0].Rows = -1 },
 			`rows must not be negative`},
 		{"bad zipf", func(w *WorkloadSpec) { w.Catalog.Tables[0].ZipfA = 0.5 },

@@ -45,6 +45,13 @@ func mapBaselineScenarios(t *testing.T) []struct {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The join query carries no Rows/MaxExp overrides: multi-table
+	// catalogs declare every cardinality themselves (a Rows override is
+	// rejected at admission) and the axis comes from the spec's sweep.
+	jq, err := spec.LoadQueryFile(filepath.Join("examples", "workloads", "join_fkskew_query.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	return []struct {
 		Name string
 		Req  service.Request
@@ -53,6 +60,7 @@ func mapBaselineScenarios(t *testing.T) []struct {
 			Plans: []string{"A1", "A2", "B1"}, Rows: 65536, MaxExp: 6, Grid2D: true,
 		}},
 		{"skewed_query", service.Request{Query: q, Rows: 65536, MaxExp: 6}},
+		{"join_query", service.Request{Query: jq}},
 	}
 }
 
